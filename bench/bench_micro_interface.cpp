@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark micro-harness: per-interface-call cost by semantic
+ * detail level, on a warm simulator running the fib kernel.  Complements
+ * the table benches with statistically-managed measurements of the raw
+ * entrypoint overheads.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "benchcommon.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+
+namespace {
+
+struct MicroFixture
+{
+    explicit MicroFixture(const std::string &isa, const char *buildset)
+        : work(workloadsFor(isa)), ctx(*work.spec)
+    {
+        prog = &work.programs[0].second; // fib
+        ctx.load(*prog);
+        sim = SimRegistry::instance().create(ctx, buildset);
+    }
+
+    void
+    reloadIfDone(RunStatus st)
+    {
+        if (st != RunStatus::Ok)
+            ctx.load(*prog);
+    }
+
+    IsaWorkloads &work;
+    SimContext ctx;
+    const Program *prog;
+    std::unique_ptr<FunctionalSimulator> sim;
+};
+
+void
+BM_ExecuteOne(benchmark::State &state, const std::string &isa)
+{
+    MicroFixture f(isa, "OneAllNo");
+    DynInst di;
+    for (auto _ : state) {
+        RunStatus st = f.sim->execute(di);
+        f.reloadIfDone(st);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ExecuteOneMin(benchmark::State &state, const std::string &isa)
+{
+    MicroFixture f(isa, "OneMinNo");
+    DynInst di;
+    for (auto _ : state) {
+        RunStatus st = f.sim->execute(di);
+        f.reloadIfDone(st);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ExecuteBlock(benchmark::State &state, const std::string &isa)
+{
+    MicroFixture f(isa, "BlockMinNo");
+    DynInst block[64];
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        RunStatus st = RunStatus::Ok;
+        instrs += f.sim->executeBlock(block, 64, st);
+        f.reloadIfDone(st);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instrs));
+}
+
+void
+BM_StepAll(benchmark::State &state, const std::string &isa)
+{
+    MicroFixture f(isa, "StepAllNo");
+    DynInst di;
+    for (auto _ : state) {
+        RunStatus st = RunStatus::Ok;
+        for (unsigned s = 0; s < kNumSteps && st == RunStatus::Ok; ++s)
+            st = f.sim->step(static_cast<Step>(s), di);
+        f.reloadIfDone(st);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_InterpOne(benchmark::State &state, const std::string &isa)
+{
+    IsaWorkloads &work = workloadsFor(isa);
+    SimContext ctx(*work.spec);
+    const Program &prog = work.programs[0].second;
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    DynInst di;
+    for (auto _ : state) {
+        RunStatus st = sim->execute(di);
+        if (st != RunStatus::Ok)
+            ctx.load(prog);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+struct Registrar
+{
+    Registrar()
+    {
+        for (const char *isa : {"alpha64", "arm32", "ppc32"}) {
+            std::string s(isa);
+            benchmark::RegisterBenchmark(("execute_one_all/" + s).c_str(),
+                                         BM_ExecuteOne, s);
+            benchmark::RegisterBenchmark(("execute_one_min/" + s).c_str(),
+                                         BM_ExecuteOneMin, s);
+            benchmark::RegisterBenchmark(
+                ("execute_block_min/" + s).c_str(), BM_ExecuteBlock, s);
+            benchmark::RegisterBenchmark(("step_all/" + s).c_str(),
+                                         BM_StepAll, s);
+            benchmark::RegisterBenchmark(("interp_one_all/" + s).c_str(),
+                                         BM_InterpOne, s);
+        }
+    }
+};
+
+Registrar registrar;
+
+} // namespace
+
+BENCHMARK_MAIN();

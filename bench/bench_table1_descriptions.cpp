@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table I reproduction: instruction-set description characteristics --
+ * lines of LIS code by category, lines per experimental buildset, and
+ * instruction counts -- next to the paper's figures.  The punchline the
+ * table carries is unchanged: a new interface costs about a dozen lines
+ * (ours are terser still: one line per standard-level buildset).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "adl/load.hpp"
+#include "adl/parser.hpp"
+#include "adl/sema.hpp"
+#include "isa/isa.hpp"
+#include "support/logging.hpp"
+
+using namespace onespec;
+
+namespace {
+
+/** Count non-blank, non-comment lines. */
+int
+locOf(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ONESPEC_FATAL("cannot read ", path);
+    int loc = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t i = line.find_first_not_of(" \t\r");
+        if (i == std::string::npos)
+            continue;
+        if (line[i] == '#')
+            continue;
+        if (line.compare(i, 2, "//") == 0)
+            continue;
+        ++loc;
+    }
+    return loc;
+}
+
+struct PaperRow
+{
+    const char *isa;
+    int isaLoc, osLoc, buildsetLoc, perBuildset, instrs;
+};
+
+/** The paper's Table I (translator-support lines omitted: we have no
+ * separate binary-translator support category). */
+const PaperRow kPaper[] = {
+    {"Alpha", 1656, 317, 308, 13, 200},
+    {"ARM", 2047, 225, 308, 13, 40},
+    {"PowerPC", 3805, 182, 308, 14, 240},
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("TABLE I: INSTRUCTION SET CHARACTERISTICS\n\n");
+    std::printf("%-28s", "Lines of LIS code");
+    for (const auto &isa : shippedIsas())
+        std::printf(" %10s", isa.c_str());
+    std::printf("\n");
+
+    std::string dir = isaDescriptionDir();
+    std::vector<int> isa_loc, os_loc, n_instr, n_buildsets;
+    int bs_loc = locOf(dir + "/buildsets.lis");
+
+    for (const auto &isa : shippedIsas()) {
+        isa_loc.push_back(locOf(dir + "/" + isa + ".lis"));
+        os_loc.push_back(locOf(dir + "/" + isa + "_os.lis"));
+        auto spec = loadIsa(isa);
+        n_instr.push_back(static_cast<int>(spec->instrs.size()));
+        n_buildsets.push_back(static_cast<int>(spec->buildsets.size()));
+    }
+
+    std::printf("%-28s", "  ISA description");
+    for (int v : isa_loc)
+        std::printf(" %10d", v);
+    std::printf("\n%-28s", "  OS/simulator support");
+    for (int v : os_loc)
+        std::printf(" %10d", v);
+    std::printf("\n%-28s", "  Buildsets (shared file)");
+    for (size_t i = 0; i < isa_loc.size(); ++i)
+        std::printf(" %10d", bs_loc);
+    std::printf("\n%-28s", "Lines per experimental");
+    std::printf("\n%-28s", "  buildset");
+    for (size_t i = 0; i < isa_loc.size(); ++i)
+        std::printf(" %10.1f",
+                    static_cast<double>(bs_loc) / n_buildsets[i]);
+    std::printf("\n%-28s", "Number of instructions");
+    for (int v : n_instr)
+        std::printf(" %10d", v);
+    std::printf("\n%-28s", "Number of buildsets");
+    for (int v : n_buildsets)
+        std::printf(" %10d", v);
+    std::printf("\n\nPaper's Table I for comparison "
+                "(real ISAs, includes FP for Alpha/PowerPC):\n");
+    std::printf("%-12s %8s %8s %10s %14s %8s\n", "", "ISA", "OS",
+                "buildsets", "per-buildset", "instrs");
+    for (const auto &r : kPaper) {
+        std::printf("%-12s %8d %8d %10d %14d %8d\n", r.isa, r.isaLoc,
+                    r.osLoc, r.buildsetLoc, r.perBuildset, r.instrs);
+    }
+    std::printf("\nAdding a new tailored interface costs one `buildset`\n"
+                "declaration (1-5 lines) -- the single-specification\n"
+                "principle's development-effort claim.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table II reproduction: simulation speed (MIPS) for the twelve
+ * interfaces on the three ISAs, geometric mean over the workload suite.
+ * The paper's headline observations that should hold here:
+ *   - semantic detail dominates: Block > One > Step;
+ *   - informational detail costs: Min > Decode > All;
+ *   - speculation support costs a further slice;
+ *   - the lowest-detail interface is many times faster than the
+ *     highest-detail one (14.4x in the paper).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchcommon.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+
+namespace {
+
+struct Row
+{
+    const char *buildset;
+    const char *semantic;
+    const char *info;
+    const char *spec;
+};
+
+const Row kRows[] = {
+    {"BlockMinNo", "Block", "Min", "No"},
+    {"BlockDecNo", "Block", "Decode", "No"},
+    {"BlockDecYes", "Block", "Decode", "Yes"},
+    {"BlockAllNo", "Block", "All", "No"},
+    {"BlockAllYes", "Block", "All", "Yes"},
+    {"OneMinNo", "One", "Min", "No"},
+    {"OneDecNo", "One", "Decode", "No"},
+    {"OneDecYes", "One", "Decode", "Yes"},
+    {"OneAllNo", "One", "All", "No"},
+    {"OneAllYes", "One", "All", "Yes"},
+    {"StepAllNo", "Step", "All", "No"},
+    {"StepAllYes", "Step", "All", "Yes"},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t min_instrs = 2'000'000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc)
+            min_instrs = std::strtoull(argv[++i], nullptr, 0);
+    }
+
+    const auto &isas = shippedIsas();
+
+    std::printf("TABLE II: SIMULATION SPEED (MIPS)\n");
+    std::printf("(geometric mean over %zu kernels, >=%llu simulated "
+                "instructions per measurement)\n\n",
+                kernelNames().size(),
+                static_cast<unsigned long long>(min_instrs));
+    std::printf("%-9s %-13s %-6s", "Semantic", "Informational", "Spec.");
+    for (const auto &isa : isas)
+        std::printf(" %10s", isa.c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> table(std::size(kRows));
+    for (size_t r = 0; r < std::size(kRows); ++r) {
+        std::printf("%-9s %-13s %-6s", kRows[r].semantic, kRows[r].info,
+                    kRows[r].spec);
+        for (const auto &isa : isas) {
+            double mips = measureCell(isa, kRows[r].buildset, min_instrs);
+            table[r].push_back(mips);
+            std::printf(" %10.2f", mips);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nLowest/highest-detail speed ratio "
+                "(Block/Min/No vs Step/All/Yes; paper reports up to "
+                "14.4x):\n");
+    for (size_t i = 0; i < isas.size(); ++i) {
+        double lo = table[0][i];                      // BlockMinNo
+        double hi = table[std::size(kRows) - 1][i];   // StepAllYes
+        std::printf("  %-8s %.1fx\n", isas[i].c_str(),
+                    hi > 0 ? lo / hi : 0.0);
+    }
+    return 0;
+}

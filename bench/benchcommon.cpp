@@ -1,0 +1,139 @@
+#include "benchcommon.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "workload/builder.hpp"
+
+namespace onespec::bench {
+
+uint64_t
+benchParam(const std::string &kernel)
+{
+    // Sized so each kernel runs for roughly 1.5-5M dynamic instructions.
+    if (kernel == "fib")
+        return 250'000;
+    if (kernel == "sieve")
+        return 120'000;
+    if (kernel == "matmul")
+        return 56;
+    if (kernel == "shellsort")
+        return 24'000;
+    if (kernel == "strhash")
+        return 36'000;
+    if (kernel == "crc32")
+        return 40'000;
+    if (kernel == "listsum")
+        return 48'000;
+    return 1000;
+}
+
+IsaWorkloads &
+workloadsFor(const std::string &isa)
+{
+    static std::map<std::string, std::unique_ptr<IsaWorkloads>> cache;
+    auto &slot = cache[isa];
+    if (!slot) {
+        slot = std::make_unique<IsaWorkloads>();
+        slot->spec = loadIsa(isa);
+        for (const auto &k : kernelNames()) {
+            auto b = makeBuilder(*slot->spec);
+            slot->programs.emplace_back(
+                k, buildKernel(*b, k, benchParam(k)));
+        }
+    }
+    return *slot;
+}
+
+Measurement
+runTimed(SimContext &ctx, FunctionalSimulator &sim, const Program &prog,
+         uint64_t min_instrs, bool count_host)
+{
+    // Warm up: one full run primes decode/block caches and host caches.
+    ctx.load(prog);
+    RunResult warm = sim.run(min_instrs);
+    ONESPEC_ASSERT(warm.status != RunStatus::Fault,
+                   "kernel faulted during warm-up");
+
+    Measurement m;
+    HostInstrCounter counter;
+    Stopwatch sw;
+    if (count_host && counter.available())
+        counter.start();
+    sw.start();
+    while (m.instrs < min_instrs) {
+        ctx.load(prog);
+        RunResult rr = sim.run(min_instrs - m.instrs);
+        ONESPEC_ASSERT(rr.status != RunStatus::Fault, "kernel faulted");
+        m.instrs += rr.instrs;
+        if (rr.instrs == 0)
+            break;
+    }
+    m.ns = sw.elapsedNs();
+    if (count_host && counter.available())
+        m.hostInstrs = counter.stop();
+    return m;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    int n = 0;
+    for (double x : xs) {
+        if (x > 0) {
+            acc += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / n) : 0.0;
+}
+
+double
+measureCell(const std::string &isa, const std::string &buildset,
+            uint64_t min_instrs, double *out_host_per_sim,
+            double *out_ns_per_sim, int repeats)
+{
+    IsaWorkloads &w = workloadsFor(isa);
+    std::vector<double> mips, host, nsps;
+    for (const auto &[kname, prog] : w.programs) {
+        SimContext ctx(w.spec.operator*());
+        ctx.load(prog);
+        auto sim = SimRegistry::instance().create(ctx, buildset);
+        ONESPEC_ASSERT(sim, "no generated simulator for ", isa, "/",
+                       buildset);
+        // Best-of-N: wall-clock noise only ever slows a run down.
+        Measurement best;
+        for (int r = 0; r < repeats; ++r) {
+            Measurement m = runTimed(ctx, *sim, prog, min_instrs,
+                                     out_host_per_sim != nullptr);
+            if (r == 0 || m.nsPerSim() < best.nsPerSim())
+                best = m;
+        }
+        Measurement m = best;
+        mips.push_back(m.mips());
+        nsps.push_back(m.nsPerSim());
+        if (m.hostInstrs)
+            host.push_back(m.hostPerSim());
+    }
+    if (out_host_per_sim)
+        *out_host_per_sim = geomean(host);
+    if (out_ns_per_sim)
+        *out_ns_per_sim = geomean(nsps);
+    return geomean(mips);
+}
+
+bool
+hostCounterAvailable()
+{
+    HostInstrCounter c;
+    if (!c.available())
+        return false;
+    c.start();
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 1000; ++i)
+        x = x + 1;
+    return c.stop() > 0;
+}
+
+} // namespace onespec::bench

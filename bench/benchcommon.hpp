@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks: kernel setup at
+ * benchmark scale, timed runs over any simulator, geometric means, and
+ * table formatting.
+ */
+
+#ifndef ONESPEC_BENCH_BENCHCOMMON_HPP
+#define ONESPEC_BENCH_BENCHCOMMON_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iface/functional_simulator.hpp"
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "perf/hostcount.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec::bench {
+
+/** Benchmark-scale parameter per kernel (millions of instructions). */
+uint64_t benchParam(const std::string &kernel);
+
+/** One timed measurement. */
+struct Measurement
+{
+    uint64_t instrs = 0;
+    uint64_t ns = 0;
+    uint64_t hostInstrs = 0;    ///< 0 if the HW counter is unavailable
+
+    double mips() const
+    {
+        return ns ? static_cast<double>(instrs) * 1000.0 /
+                        static_cast<double>(ns)
+                  : 0.0;
+    }
+
+    double
+    hostPerSim() const
+    {
+        return instrs ? static_cast<double>(hostInstrs) /
+                            static_cast<double>(instrs)
+                      : 0.0;
+    }
+
+    /** Wall nanoseconds per simulated instruction. */
+    double
+    nsPerSim() const
+    {
+        return instrs ? static_cast<double>(ns) /
+                            static_cast<double>(instrs)
+                      : 0.0;
+    }
+};
+
+/** Pre-built kernels for one ISA. */
+struct IsaWorkloads
+{
+    std::unique_ptr<Spec> spec;
+    std::vector<std::pair<std::string, Program>> programs;
+};
+
+/** Build (and cache) benchmark-scale kernels for @p isa. */
+IsaWorkloads &workloadsFor(const std::string &isa);
+
+/**
+ * Run @p prog on @p sim until at least @p min_instrs simulated
+ * instructions have retired (reloading the program as needed) and
+ * measure.  The simulator must already be bound to @p ctx.
+ */
+Measurement runTimed(SimContext &ctx, FunctionalSimulator &sim,
+                     const Program &prog, uint64_t min_instrs,
+                     bool count_host = false);
+
+/** Geometric mean (ignores non-positive entries). */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Measure geomean-over-kernels for one (isa, buildset) cell using
+ * generated simulators.  @p out_host receives the geomean host (or ns)
+ * cost per simulated instruction.
+ */
+double measureCell(const std::string &isa, const std::string &buildset,
+                   uint64_t min_instrs, double *out_host_per_sim = nullptr,
+                   double *out_ns_per_sim = nullptr, int repeats = 2);
+
+/** True if the hardware instruction counter works in this environment. */
+bool hostCounterAvailable();
+
+} // namespace onespec::bench
+
+#endif // ONESPEC_BENCH_BENCHCOMMON_HPP

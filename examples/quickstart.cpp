@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: load an ISA description, assemble a program through the
+ * derived assembler, create a synthesized functional simulator for one
+ * interface, and run.
+ *
+ *   $ quickstart [isa] [kernel]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "perf/hostcount.hpp"
+#include "runtime/context.hpp"
+#include "workload/kernels.hpp"
+
+using namespace onespec;
+
+int
+main(int argc, char **argv)
+{
+    std::string isa = argc > 1 ? argv[1] : "alpha64";
+    std::string kernel = argc > 2 ? argv[2] : "fib";
+
+    // 1. Load the single specification (ISA + OS support + interfaces).
+    auto spec = loadIsa(isa);
+    std::printf("loaded %s: %zu instructions, %zu interfaces\n",
+                spec->props.name.c_str(), spec->instrs.size(),
+                spec->buildsets.size());
+
+    // 2. Build a program with the assembler derived from the same
+    //    specification.
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, kernel, 100000);
+    std::printf("assembled %s: %zu bytes of code\n", kernel.c_str(),
+                prog.segments[0].bytes.size());
+
+    // 3. Create a simulated machine and a synthesized simulator for the
+    //    One/All/No interface (the recommended debugging interface).
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    auto sim = SimRegistry::instance().create(ctx, "OneAllNo");
+    if (!sim) {
+        std::fprintf(stderr, "no synthesized simulator registered\n");
+        return 1;
+    }
+
+    // 4. Run and report.
+    Stopwatch sw;
+    sw.start();
+    RunResult rr = sim->run(1'000'000'000);
+    uint64_t ns = sw.elapsedNs();
+
+    std::printf("status: %s after %llu instructions\n",
+                rr.status == RunStatus::Halted ? "exited" : "stopped",
+                static_cast<unsigned long long>(rr.instrs));
+    std::printf("program output: %s", ctx.os().output().c_str());
+    std::printf("exit code: %d\n", ctx.os().exitCode());
+    std::printf("speed: %.1f MIPS\n",
+                ns ? 1000.0 * static_cast<double>(rr.instrs) /
+                         static_cast<double>(ns)
+                   : 0.0);
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "ast.hpp"
+
+namespace onespec {
+
+ExprPtr
+cloneExpr(const Expr &e)
+{
+    auto n = std::make_unique<Expr>();
+    n->kind = e.kind;
+    n->loc = e.loc;
+    n->intValue = e.intValue;
+    n->name = e.name;
+    n->symKind = e.symKind;
+    n->symIndex = e.symIndex;
+    n->unOp = e.unOp;
+    n->binOp = e.binOp;
+    if (e.a)
+        n->a = cloneExpr(*e.a);
+    if (e.b)
+        n->b = cloneExpr(*e.b);
+    if (e.c)
+        n->c = cloneExpr(*e.c);
+    n->castType = e.castType;
+    for (const auto &arg : e.args)
+        n->args.push_back(cloneExpr(*arg));
+    n->builtinIndex = e.builtinIndex;
+    n->type = e.type;
+    n->promotedType = e.promotedType;
+    return n;
+}
+
+StmtPtr
+cloneStmt(const Stmt &s)
+{
+    auto n = std::make_unique<Stmt>();
+    n->kind = s.kind;
+    n->loc = s.loc;
+    for (const auto &st : s.body)
+        n->body.push_back(cloneStmt(*st));
+    n->declType = s.declType;
+    n->name = s.name;
+    n->localIndex = s.localIndex;
+    if (s.init)
+        n->init = cloneExpr(*s.init);
+    if (s.target)
+        n->target = cloneExpr(*s.target);
+    if (s.value)
+        n->value = cloneExpr(*s.value);
+    if (s.cond)
+        n->cond = cloneExpr(*s.cond);
+    if (s.thenStmt)
+        n->thenStmt = cloneStmt(*s.thenStmt);
+    if (s.elseStmt)
+        n->elseStmt = cloneStmt(*s.elseStmt);
+    return n;
+}
+
+} // namespace onespec

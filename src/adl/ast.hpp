@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Abstract syntax tree for LIS descriptions.  Two layers:
+ *
+ *  - declaration level: isa properties, architectural state, fields,
+ *    instruction formats, opclasses, instructions, buildsets;
+ *  - action level: the C-subset action language in which instruction
+ *    semantics are written.
+ *
+ * The same action AST drives both the interpreter and the C++ code
+ * generator -- this is what makes the specification genuinely single.
+ */
+
+#ifndef ONESPEC_ADL_AST_HPP
+#define ONESPEC_ADL_AST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/types.hpp"
+#include "support/diag.hpp"
+
+namespace onespec {
+
+// ---------------------------------------------------------------------
+// Action language
+// ---------------------------------------------------------------------
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class UnOp { Neg, BitNot, LogNot };
+
+enum class BinOp
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LogAnd, LogOr,
+};
+
+/** How an identifier in action code was resolved (filled in by sema). */
+enum class SymKind
+{
+    Unresolved,
+    Local,      ///< action-local variable
+    Slot,       ///< declared field or operand value slot
+    EncField,   ///< bitfield of the instruction's format
+    ImplicitPc, ///< current instruction's PC
+    ImplicitNpc,///< next PC (default pc + instr_bytes; changed by branch())
+    ImplicitInst,///< raw instruction word
+};
+
+struct Expr
+{
+    enum class Kind { IntLit, Ident, Unary, Binary, Ternary, Cast, Call };
+
+    Kind kind;
+    SourceLoc loc;
+
+    // IntLit
+    uint64_t intValue = 0;
+
+    // Ident
+    std::string name;
+    SymKind symKind = SymKind::Unresolved;
+    int symIndex = -1;      ///< slot index / local index / format-field index
+
+    // Unary / Binary / Ternary / Cast / Call operands
+    UnOp unOp = UnOp::Neg;
+    BinOp binOp = BinOp::Add;
+    ExprPtr a, b, c;        ///< operands (ternary: a ? b : c)
+    ValueType castType;     // Cast
+    std::vector<ExprPtr> args; // Call
+    int builtinIndex = -1;  ///< resolved builtin id (sema)
+
+    /** Static type, computed by sema. */
+    ValueType type = U64;
+
+    /**
+     * For Binary: the promoted type the operands are evaluated at (for
+     * shifts, the left operand's type).  Comparisons compare at this type
+     * even though their result type is u8.
+     */
+    ValueType promotedType = U64;
+};
+
+struct Stmt
+{
+    enum class Kind { Block, LocalDecl, Assign, If, While, ExprStmt,
+                      Inline };
+
+    Kind kind;
+    SourceLoc loc;
+
+    // Block
+    std::vector<StmtPtr> body;
+
+    // LocalDecl (name, declType); Inline (name = helper to splice)
+    ValueType declType;
+    std::string name;
+    int localIndex = -1;    ///< assigned by sema
+    ExprPtr init;
+
+    // Assign: target = value
+    ExprPtr target;         ///< must resolve to Local or Slot
+    ExprPtr value;
+
+    // If / While
+    ExprPtr cond;
+    StmtPtr thenStmt, elseStmt; // While uses thenStmt as body
+};
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+/** Global properties of the described ISA. */
+struct IsaProps
+{
+    std::string name;
+    unsigned wordBits = 64;     ///< architectural word size
+    unsigned instrBytes = 4;    ///< fixed instruction size in bytes
+    bool littleEndian = true;
+    SourceLoc loc;
+};
+
+/** A register file, e.g. `regfile R[32] : u64 zero 31;`. */
+struct RegFileDecl
+{
+    std::string name;
+    unsigned count = 0;
+    ValueType type;
+    int zeroReg = -1;   ///< index that reads 0 / discards writes, or -1
+    SourceLoc loc;
+};
+
+/** A scalar architectural register, e.g. `reg CPSR : u32;`. */
+struct RegDecl
+{
+    std::string name;
+    ValueType type;
+    SourceLoc loc;
+};
+
+/** A reference to architectural state in the abi block: R[3] or CPSR. */
+struct StateRef
+{
+    std::string name;   ///< regfile or scalar reg name
+    int index = -1;     ///< element index; -1 for scalar regs
+    SourceLoc loc;
+};
+
+/** OS-emulation ABI: which registers carry syscall number/args/results. */
+struct AbiDecl
+{
+    StateRef syscallNum;
+    std::vector<StateRef> args;
+    StateRef ret;
+    StateRef error;     ///< optional (name empty if absent)
+    StateRef stack;
+    SourceLoc loc;
+};
+
+/** Informational-detail category a field belongs to. */
+enum class FieldCategory
+{
+    All,    ///< visible only at `info all`
+    Decode, ///< also visible at `info decode` (e.g. effective addresses)
+};
+
+/** An intermediate value, e.g. `field effective_addr : u64 decode;`. */
+struct FieldDecl
+{
+    std::string name;
+    ValueType type;
+    FieldCategory category = FieldCategory::All;
+    SourceLoc loc;
+};
+
+/** One bitfield of an instruction format. */
+struct FormatField
+{
+    std::string name;
+    unsigned hi = 0, lo = 0;
+    SourceLoc loc;
+};
+
+/** An instruction encoding format, e.g. `format MEM { op[31:26] ... }`. */
+struct FormatDecl
+{
+    std::string name;
+    std::vector<FormatField> fields;
+    SourceLoc loc;
+};
+
+/** One conjunct of an instruction's `match` clause: encfield == value. */
+struct MatchCond
+{
+    std::string field;
+    uint64_t value = 0;
+    SourceLoc loc;
+};
+
+/**
+ * An operand declaration: `src base = R[rb];` or `dst flags = CPSR;`.
+ * Reading happens at the read_operands step, writing at writeback; the
+ * index expression is evaluated at decode.
+ */
+struct OperandDecl
+{
+    bool isDst = false;
+    std::string slotName;
+    std::string stateName;  ///< regfile or scalar reg
+    ExprPtr indexExpr;      ///< null for scalar regs
+    SourceLoc loc;
+};
+
+/**
+ * A named semantic snippet: `action execute { ... }`.  A `late` action
+ * (`action late execute { ... }`) runs after all non-late actions of the
+ * same step; opclasses use this to wrap instruction-provided code (e.g. a
+ * branch class that tests a condition the instruction computes).
+ */
+struct ActionDecl
+{
+    std::string step;
+    bool late = false;
+    StmtPtr body;
+    SourceLoc loc;
+};
+
+/**
+ * A named reusable action snippet, spliced into action bodies with
+ * `inline <name>;` (e.g. the ARM condition-code check shared by every
+ * conditional instruction class).
+ */
+struct HelperDecl
+{
+    std::string name;
+    StmtPtr body;
+    SourceLoc loc;
+};
+
+/** Shared behaviour for a group of instructions. */
+struct OpClassDecl
+{
+    std::string name;
+    std::string formatName;     ///< optional
+    std::string baseClass;      ///< optional parent opclass
+    std::vector<MatchCond> match;
+    std::vector<OperandDecl> operands;
+    std::vector<ActionDecl> actions;
+    SourceLoc loc;
+};
+
+/** One instruction. */
+struct InstrDecl
+{
+    std::string name;
+    std::string formatName;     ///< optional if the opclass has one
+    std::string className;      ///< optional opclass
+    std::vector<MatchCond> match;
+    std::vector<OperandDecl> operands;
+    std::vector<ActionDecl> actions;
+    SourceLoc loc;
+};
+
+/** Semantic-detail shorthand levels (the paper's Block/One/Step). */
+enum class SemanticLevel { Block, One, Step, Custom };
+
+/** Informational-detail shorthand levels (the paper's Min/Decode/All). */
+enum class InfoLevel { Min, Decode, All, Custom };
+
+/** A custom entrypoint: `entrypoint front = fetch, decode;`. */
+struct EntrypointDecl
+{
+    std::string name;
+    std::vector<std::string> steps;
+    SourceLoc loc;
+};
+
+/**
+ * An interface specification (the paper's `buildset` construct): which
+ * entrypoints exist (semantic detail), which fields are visible
+ * (informational detail), and whether rollback support is generated.
+ */
+struct BuildsetDecl
+{
+    std::string name;
+    SemanticLevel semantic = SemanticLevel::One;
+    InfoLevel info = InfoLevel::All;
+    bool speculation = false;
+    std::vector<EntrypointDecl> entrypoints;    ///< when semantic==Custom
+    std::vector<std::string> hideList;          ///< visibility hide ...
+    std::vector<std::string> showList;          ///< visibility show ...
+    SourceLoc loc;
+};
+
+/** A whole parsed description (possibly merged from several files). */
+struct Description
+{
+    IsaProps isa;
+    std::vector<RegFileDecl> regfiles;
+    std::vector<RegDecl> regs;
+    AbiDecl abi;
+    std::vector<FieldDecl> fields;
+    std::vector<FormatDecl> formats;
+    std::vector<HelperDecl> helpers;
+    std::vector<OpClassDecl> classes;
+    std::vector<InstrDecl> instrs;
+    std::vector<BuildsetDecl> buildsets;
+};
+
+/** Deep copy helpers (opclass bodies are cloned into instructions). */
+ExprPtr cloneExpr(const Expr &e);
+StmtPtr cloneStmt(const Stmt &s);
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_AST_HPP

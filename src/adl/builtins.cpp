@@ -1,0 +1,87 @@
+#include "builtins.hpp"
+
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+namespace {
+
+const BuiltinInfo kTable[kNumBuiltins] = {
+    // name       nargs result  void   load   store  cflow
+    {"sext8",     1,    S64,    false, false, false, false},
+    {"sext16",    1,    S64,    false, false, false, false},
+    {"sext32",    1,    S64,    false, false, false, false},
+    {"zext8",     1,    U64,    false, false, false, false},
+    {"zext16",    1,    U64,    false, false, false, false},
+    {"zext32",    1,    U64,    false, false, false, false},
+    {"rotl32",    2,    U32,    false, false, false, false},
+    {"rotr32",    2,    U32,    false, false, false, false},
+    {"rotl64",    2,    U64,    false, false, false, false},
+    {"rotr64",    2,    U64,    false, false, false, false},
+    {"clz32",     1,    U32,    false, false, false, false},
+    {"clz64",     1,    U64,    false, false, false, false},
+    {"ctz32",     1,    U32,    false, false, false, false},
+    {"ctz64",     1,    U64,    false, false, false, false},
+    {"popcount",  1,    U64,    false, false, false, false},
+    {"addc32",    3,    U32,    false, false, false, false},
+    {"addv32",    3,    U32,    false, false, false, false},
+    {"addc64",    3,    U64,    false, false, false, false},
+    {"addv64",    3,    U64,    false, false, false, false},
+    {"mulh_u64",  2,    U64,    false, false, false, false},
+    {"mulh_s64",  2,    S64,    false, false, false, false},
+    {"load_u8",   1,    U64,    false, true,  false, false},
+    {"load_u16",  1,    U64,    false, true,  false, false},
+    {"load_u32",  1,    U64,    false, true,  false, false},
+    {"load_u64",  1,    U64,    false, true,  false, false},
+    {"store_u8",  2,    U64,    true,  false, true,  false},
+    {"store_u16", 2,    U64,    true,  false, true,  false},
+    {"store_u32", 2,    U64,    true,  false, true,  false},
+    {"store_u64", 2,    U64,    true,  false, true,  false},
+    {"branch",    1,    U64,    true,  false, false, true},
+    {"fault",     1,    U64,    true,  false, false, true},
+    {"syscall_emu", 0,  U64,    true,  false, false, true},
+    {"halt",      0,    U64,    true,  false, false, true},
+};
+
+} // namespace
+
+const BuiltinInfo &
+builtinInfo(Builtin b)
+{
+    int i = static_cast<int>(b);
+    ONESPEC_ASSERT(i >= 0 && i < kNumBuiltins, "bad builtin index");
+    return kTable[i];
+}
+
+std::optional<Builtin>
+lookupBuiltin(const std::string &name)
+{
+    static const std::unordered_map<std::string, Builtin> map = [] {
+        std::unordered_map<std::string, Builtin> m;
+        for (int i = 0; i < kNumBuiltins; ++i)
+            m.emplace(kTable[i].name, static_cast<Builtin>(i));
+        return m;
+    }();
+    auto it = map.find(name);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None: return "none";
+      case FaultKind::IllegalInstr: return "illegal-instruction";
+      case FaultKind::Unaligned: return "unaligned-access";
+      case FaultKind::BadMemory: return "bad-memory";
+      case FaultKind::Trap: return "trap";
+      case FaultKind::Syscall: return "syscall";
+    }
+    return "?";
+}
+
+} // namespace onespec

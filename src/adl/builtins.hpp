@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Builtin functions callable from LIS action code.  The table is shared by
+ * semantic analysis (arity/typing), the interpreter (evaluation), and the
+ * C++ code generator (emission), so the three can never disagree about a
+ * builtin's meaning.
+ */
+
+#ifndef ONESPEC_ADL_BUILTINS_HPP
+#define ONESPEC_ADL_BUILTINS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "adl/types.hpp"
+
+namespace onespec {
+
+enum class Builtin : int
+{
+    Sext8, Sext16, Sext32,
+    Zext8, Zext16, Zext32,
+    Rotl32, Rotr32, Rotl64, Rotr64,
+    Clz32, Clz64, Ctz32, Ctz64,
+    Popcount,
+    Addc32, Addv32, Addc64, Addv64,
+    MulhU64, MulhS64,
+    LoadU8, LoadU16, LoadU32, LoadU64,
+    StoreU8, StoreU16, StoreU32, StoreU64,
+    Branch,
+    Fault,
+    SyscallEmu,
+    Halt,
+    NumBuiltins,
+};
+
+constexpr int kNumBuiltins = static_cast<int>(Builtin::NumBuiltins);
+
+/** Static description of one builtin. */
+struct BuiltinInfo
+{
+    const char *name;
+    int numArgs;
+    ValueType result;       ///< meaningless for void builtins
+    bool isVoid;            ///< no usable result (store/branch/fault/...)
+    bool isMemLoad;
+    bool isMemStore;
+    bool isControlFlow;     ///< branch/fault/syscall/halt end a basic block
+};
+
+/** Table indexed by Builtin. */
+const BuiltinInfo &builtinInfo(Builtin b);
+
+/** Look up a builtin by name; nullopt if @p name is not a builtin. */
+std::optional<Builtin> lookupBuiltin(const std::string &name);
+
+/** Fault codes used by fault() and raised by the runtime itself. */
+enum class FaultKind : uint8_t
+{
+    None = 0,
+    IllegalInstr = 1,
+    Unaligned = 2,
+    BadMemory = 3,
+    Trap = 4,       ///< description-raised trap
+    Syscall = 5,    ///< internal: OS emulation requested (handled, not fatal)
+};
+
+const char *faultKindName(FaultKind k);
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_BUILTINS_HPP

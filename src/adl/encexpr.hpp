@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Evaluator for encoding-only expressions (operand index expressions):
+ * pure functions of the instruction word, usable without an instruction
+ * execution context.  Shared by decode-time operand-identifier extraction
+ * in both back ends.
+ */
+
+#ifndef ONESPEC_ADL_ENCEXPR_HPP
+#define ONESPEC_ADL_ENCEXPR_HPP
+
+#include <cstdint>
+
+#include "adl/ast.hpp"
+#include "adl/eval.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+/** Evaluate an operand index expression against an instruction word. */
+inline uint64_t
+evalEncExpr(const Expr &e, uint32_t inst, const FormatDecl &fmt)
+{
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return normalize(e.intValue, e.type);
+      case Expr::Kind::Ident: {
+        ONESPEC_ASSERT(e.symKind == SymKind::EncField,
+                       "non-encoding identifier in index expression");
+        const FormatField &ff = fmt.fields[e.symIndex];
+        return bits(inst, ff.hi, ff.lo);
+      }
+      case Expr::Kind::Unary:
+        return evalUnOp(e.unOp, evalEncExpr(*e.a, inst, fmt), e.type);
+      case Expr::Kind::Binary: {
+        if (e.binOp == BinOp::LogAnd) {
+            if (evalEncExpr(*e.a, inst, fmt) == 0)
+                return 0;
+            return evalEncExpr(*e.b, inst, fmt) != 0;
+        }
+        if (e.binOp == BinOp::LogOr) {
+            if (evalEncExpr(*e.a, inst, fmt) != 0)
+                return 1;
+            return evalEncExpr(*e.b, inst, fmt) != 0;
+        }
+        uint64_t a = normalize(evalEncExpr(*e.a, inst, fmt),
+                               e.promotedType);
+        uint64_t b = evalEncExpr(*e.b, inst, fmt);
+        if (e.binOp != BinOp::Shl && e.binOp != BinOp::Shr)
+            b = normalize(b, e.promotedType);
+        return evalBinOp(e.binOp, a, b, e.promotedType, e.type);
+      }
+      case Expr::Kind::Ternary:
+        return normalize(evalEncExpr(*e.a, inst, fmt)
+                             ? evalEncExpr(*e.b, inst, fmt)
+                             : evalEncExpr(*e.c, inst, fmt),
+                         e.type);
+      case Expr::Kind::Cast:
+        return normalize(evalEncExpr(*e.a, inst, fmt), e.castType);
+      case Expr::Kind::Call:
+        break;
+    }
+    ONESPEC_PANIC("unsupported construct in index expression");
+}
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_ENCEXPR_HPP

@@ -1,0 +1,70 @@
+#include "encode.hpp"
+
+#include "support/bitutil.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+bool
+encodeInstr(const Spec &spec, int instr_id,
+            const std::vector<EncField> &fields, uint32_t &out,
+            std::string &err)
+{
+    if (instr_id < 0 || instr_id >= static_cast<int>(spec.instrs.size())) {
+        err = "bad instruction id";
+        return false;
+    }
+    const InstrInfo &ii = spec.instrs[instr_id];
+    const FormatDecl &fmt = spec.formats[ii.formatIndex];
+
+    uint32_t word = ii.fixedBits;
+    uint32_t set_mask = ii.fixedMask;
+
+    for (const auto &[name, value] : fields) {
+        const FormatField *ff = nullptr;
+        for (const auto &f : fmt.fields) {
+            if (f.name == name) {
+                ff = &f;
+                break;
+            }
+        }
+        if (!ff) {
+            err = "format '" + fmt.name + "' has no field '" + name + "'";
+            return false;
+        }
+        unsigned width = ff->hi - ff->lo + 1;
+        if (value > lowMask(width)) {
+            err = strcat_args("value ", value, " does not fit in field '",
+                              name, "' (", width, " bits)");
+            return false;
+        }
+        uint32_t fmask = static_cast<uint32_t>(lowMask(width)) << ff->lo;
+        uint32_t fbits = static_cast<uint32_t>(value) << ff->lo;
+        if ((set_mask & fmask) &&
+            ((word & fmask & set_mask) != (fbits & set_mask & fmask))) {
+            err = "field '" + name + "' conflicts with bits already fixed "
+                  "by the instruction's match pattern";
+            return false;
+        }
+        word = (word & ~fmask) | fbits | (word & set_mask & fmask);
+        set_mask |= fmask;
+    }
+    out = word;
+    return true;
+}
+
+uint32_t
+mustEncode(const Spec &spec, const std::string &name,
+           const std::vector<EncField> &fields)
+{
+    auto it = spec.instrIndex.find(name);
+    if (it == spec.instrIndex.end())
+        ONESPEC_PANIC("unknown instruction '", name, "'");
+    uint32_t out = 0;
+    std::string err;
+    if (!encodeInstr(spec, it->second, fields, out, err))
+        ONESPEC_PANIC("encode '", name, "': ", err);
+    return out;
+}
+
+} // namespace onespec

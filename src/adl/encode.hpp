@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The encoder: the inverse view of the decode specification.  Because
+ * instruction encodings are declarative (format bitfields + match
+ * constraints), an assembler can be *derived* from the same single
+ * specification that produces the decoder -- no separate encoding tables
+ * to keep in sync.
+ */
+
+#ifndef ONESPEC_ADL_ENCODE_HPP
+#define ONESPEC_ADL_ENCODE_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adl/spec.hpp"
+
+namespace onespec {
+
+/** A (format-field-name, value) pair for encoding. */
+using EncField = std::pair<std::string, uint64_t>;
+
+/**
+ * Encode instruction @p instr_id with the given field values.  Unlisted
+ * non-fixed fields encode as 0.  On error (unknown field, value too wide,
+ * conflict with the match pattern) returns false and sets @p err.
+ */
+bool encodeInstr(const Spec &spec, int instr_id,
+                 const std::vector<EncField> &fields, uint32_t &out,
+                 std::string &err);
+
+/** Encode by instruction name; panics on unknown name or encode error. */
+uint32_t mustEncode(const Spec &spec, const std::string &name,
+                    const std::vector<EncField> &fields);
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_ENCODE_HPP

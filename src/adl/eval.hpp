@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Evaluation semantics of the LIS action language, shared verbatim by the
+ * interpreter and by generated simulators (generated code #includes this
+ * header and calls the same inline functions).  This guarantees the two
+ * back ends implement identical arithmetic: wrap-at-width, deterministic
+ * division (x/0 == 0, INT_MIN/-1 == INT_MIN), and shift amounts >= width
+ * yielding 0 (or the sign fill for arithmetic right shifts).
+ *
+ * Values are carried in uint64_t in *normalized* form for their static
+ * type: unsigned values are zero-extended, signed values sign-extended.
+ */
+
+#ifndef ONESPEC_ADL_EVAL_HPP
+#define ONESPEC_ADL_EVAL_HPP
+
+#include <cstdint>
+
+#include "adl/ast.hpp"
+#include "adl/builtins.hpp"
+#include "adl/types.hpp"
+#include "support/bitutil.hpp"
+
+namespace onespec {
+
+/** Deterministic unsigned division (x/0 == 0). */
+inline uint64_t
+safeDivU(uint64_t a, uint64_t b)
+{
+    return b == 0 ? 0 : a / b;
+}
+
+/** Deterministic signed division (x/0 == 0, INT64_MIN/-1 == INT64_MIN). */
+inline int64_t
+safeDivS(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT64_MIN && b == -1)
+        return INT64_MIN;
+    return a / b;
+}
+
+inline uint64_t
+safeRemU(uint64_t a, uint64_t b)
+{
+    return b == 0 ? 0 : a % b;
+}
+
+inline int64_t
+safeRemS(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+/** Left shift at @p width bits; amounts >= width yield 0. */
+inline uint64_t
+shiftL(uint64_t a, uint64_t amt, unsigned width)
+{
+    if (amt >= width)
+        return 0;
+    return a << amt;
+}
+
+/** Logical right shift of the low @p width bits. */
+inline uint64_t
+shiftRU(uint64_t a, uint64_t amt, unsigned width)
+{
+    if (amt >= width)
+        return 0;
+    return truncate(a, width) >> amt;
+}
+
+/** Arithmetic right shift; @p a must be sign-extended already. */
+inline uint64_t
+shiftRS(uint64_t a, uint64_t amt, unsigned width)
+{
+    int64_t sa = static_cast<int64_t>(sext(a, width));
+    if (amt >= width)
+        return static_cast<uint64_t>(sa < 0 ? -1 : 0);
+    return static_cast<uint64_t>(sa >> amt);
+}
+
+/**
+ * Evaluate a binary operator.  @p a and @p b are normalized for @p pt (the
+ * promoted operand type; for shifts, the left operand's type); the result
+ * is normalized for @p rt.  LogAnd/LogOr are short-circuit and must be
+ * handled by the caller.
+ */
+template <BinOp op>
+inline uint64_t
+evalBinOpT(uint64_t a, uint64_t b, ValueType pt, ValueType rt)
+{
+    if constexpr (op == BinOp::Add)
+        return normalize(a + b, rt);
+    else if constexpr (op == BinOp::Sub)
+        return normalize(a - b, rt);
+    else if constexpr (op == BinOp::Mul)
+        return normalize(a * b, rt);
+    else if constexpr (op == BinOp::Div) {
+        if (pt.isSigned) {
+            return normalize(static_cast<uint64_t>(safeDivS(
+                                 static_cast<int64_t>(a),
+                                 static_cast<int64_t>(b))),
+                             rt);
+        }
+        return normalize(safeDivU(truncate(a, pt.bits),
+                                  truncate(b, pt.bits)),
+                         rt);
+    } else if constexpr (op == BinOp::Rem) {
+        if (pt.isSigned) {
+            return normalize(static_cast<uint64_t>(safeRemS(
+                                 static_cast<int64_t>(a),
+                                 static_cast<int64_t>(b))),
+                             rt);
+        }
+        return normalize(safeRemU(truncate(a, pt.bits),
+                                  truncate(b, pt.bits)),
+                         rt);
+    } else if constexpr (op == BinOp::And)
+        return normalize(a & b, rt);
+    else if constexpr (op == BinOp::Or)
+        return normalize(a | b, rt);
+    else if constexpr (op == BinOp::Xor)
+        return normalize(a ^ b, rt);
+    else if constexpr (op == BinOp::Shl)
+        return normalize(shiftL(a, b, pt.bits), rt);
+    else if constexpr (op == BinOp::Shr) {
+        if (pt.isSigned)
+            return normalize(shiftRS(a, b, pt.bits), rt);
+        return normalize(shiftRU(a, b, pt.bits), rt);
+    } else if constexpr (op == BinOp::Eq)
+        return a == b;
+    else if constexpr (op == BinOp::Ne)
+        return a != b;
+    else if constexpr (op == BinOp::Lt) {
+        if (pt.isSigned)
+            return static_cast<int64_t>(a) < static_cast<int64_t>(b);
+        return truncate(a, pt.bits) < truncate(b, pt.bits);
+    } else if constexpr (op == BinOp::Le) {
+        if (pt.isSigned)
+            return static_cast<int64_t>(a) <= static_cast<int64_t>(b);
+        return truncate(a, pt.bits) <= truncate(b, pt.bits);
+    } else if constexpr (op == BinOp::Gt) {
+        if (pt.isSigned)
+            return static_cast<int64_t>(a) > static_cast<int64_t>(b);
+        return truncate(a, pt.bits) > truncate(b, pt.bits);
+    } else if constexpr (op == BinOp::Ge) {
+        if (pt.isSigned)
+            return static_cast<int64_t>(a) >= static_cast<int64_t>(b);
+        return truncate(a, pt.bits) >= truncate(b, pt.bits);
+    } else {
+        static_assert(op != BinOp::LogAnd && op != BinOp::LogOr,
+                      "logical operators are short-circuit; evaluate in "
+                      "the caller");
+        return 0;
+    }
+}
+
+/** Runtime-dispatch version for the interpreter. */
+inline uint64_t
+evalBinOp(BinOp op, uint64_t a, uint64_t b, ValueType pt, ValueType rt)
+{
+    switch (op) {
+      case BinOp::Add: return evalBinOpT<BinOp::Add>(a, b, pt, rt);
+      case BinOp::Sub: return evalBinOpT<BinOp::Sub>(a, b, pt, rt);
+      case BinOp::Mul: return evalBinOpT<BinOp::Mul>(a, b, pt, rt);
+      case BinOp::Div: return evalBinOpT<BinOp::Div>(a, b, pt, rt);
+      case BinOp::Rem: return evalBinOpT<BinOp::Rem>(a, b, pt, rt);
+      case BinOp::And: return evalBinOpT<BinOp::And>(a, b, pt, rt);
+      case BinOp::Or: return evalBinOpT<BinOp::Or>(a, b, pt, rt);
+      case BinOp::Xor: return evalBinOpT<BinOp::Xor>(a, b, pt, rt);
+      case BinOp::Shl: return evalBinOpT<BinOp::Shl>(a, b, pt, rt);
+      case BinOp::Shr: return evalBinOpT<BinOp::Shr>(a, b, pt, rt);
+      case BinOp::Eq: return evalBinOpT<BinOp::Eq>(a, b, pt, rt);
+      case BinOp::Ne: return evalBinOpT<BinOp::Ne>(a, b, pt, rt);
+      case BinOp::Lt: return evalBinOpT<BinOp::Lt>(a, b, pt, rt);
+      case BinOp::Le: return evalBinOpT<BinOp::Le>(a, b, pt, rt);
+      case BinOp::Gt: return evalBinOpT<BinOp::Gt>(a, b, pt, rt);
+      case BinOp::Ge: return evalBinOpT<BinOp::Ge>(a, b, pt, rt);
+      case BinOp::LogAnd:
+      case BinOp::LogOr:
+        break;
+    }
+    return 0;
+}
+
+/** Evaluate a unary operator on a value normalized for @p t. */
+inline uint64_t
+evalUnOp(UnOp op, uint64_t a, ValueType t)
+{
+    switch (op) {
+      case UnOp::Neg: return normalize(0 - a, t);
+      case UnOp::BitNot: return normalize(~a, t);
+      case UnOp::LogNot: return a == 0;
+    }
+    return 0;
+}
+
+/**
+ * Evaluate a pure (no memory, no control-flow) builtin.  Returns false if
+ * @p b is not pure; the caller must handle it.
+ */
+inline bool
+evalPureBuiltin(Builtin b, const uint64_t *args, uint64_t &out)
+{
+    switch (b) {
+      case Builtin::Sext8: out = sext(args[0], 8); return true;
+      case Builtin::Sext16: out = sext(args[0], 16); return true;
+      case Builtin::Sext32: out = sext(args[0], 32); return true;
+      case Builtin::Zext8: out = zext(args[0], 8); return true;
+      case Builtin::Zext16: out = zext(args[0], 16); return true;
+      case Builtin::Zext32: out = zext(args[0], 32); return true;
+      case Builtin::Rotl32:
+        out = rotl32(static_cast<uint32_t>(args[0]),
+                     static_cast<unsigned>(args[1]));
+        return true;
+      case Builtin::Rotr32:
+        out = rotr32(static_cast<uint32_t>(args[0]),
+                     static_cast<unsigned>(args[1]));
+        return true;
+      case Builtin::Rotl64:
+        out = rotl64(args[0], static_cast<unsigned>(args[1]));
+        return true;
+      case Builtin::Rotr64:
+        out = rotr64(args[0], static_cast<unsigned>(args[1]));
+        return true;
+      case Builtin::Clz32: out = clz(args[0], 32); return true;
+      case Builtin::Clz64: out = clz(args[0], 64); return true;
+      case Builtin::Ctz32: out = ctz(args[0], 32); return true;
+      case Builtin::Ctz64: out = ctz(args[0], 64); return true;
+      case Builtin::Popcount: out = popcount(args[0]); return true;
+      case Builtin::Addc32:
+        out = carryOut(args[0], args[1], args[2] & 1, 32);
+        return true;
+      case Builtin::Addv32:
+        out = overflowAdd(args[0], args[1], args[2] & 1, 32);
+        return true;
+      case Builtin::Addc64:
+        out = carryOut(args[0], args[1], args[2] & 1, 64);
+        return true;
+      case Builtin::Addv64:
+        out = overflowAdd(args[0], args[1], args[2] & 1, 64);
+        return true;
+      case Builtin::MulhU64: {
+        unsigned __int128 p = static_cast<unsigned __int128>(args[0]) *
+                              static_cast<unsigned __int128>(args[1]);
+        out = static_cast<uint64_t>(p >> 64);
+        return true;
+      }
+      case Builtin::MulhS64: {
+        __int128 p = static_cast<__int128>(static_cast<int64_t>(args[0])) *
+                     static_cast<__int128>(static_cast<int64_t>(args[1]));
+        out = static_cast<uint64_t>(static_cast<uint64_t>(p >> 64));
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_EVAL_HPP

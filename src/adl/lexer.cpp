@@ -1,0 +1,271 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+const char *
+tokKindName(TokKind k)
+{
+    switch (k) {
+      case TokKind::Ident: return "identifier";
+      case TokKind::Int: return "integer";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::Colon: return "':'";
+      case TokKind::Semi: return "';'";
+      case TokKind::Comma: return "','";
+      case TokKind::At: return "'@'";
+      case TokKind::Question: return "'?'";
+      case TokKind::Dot: return "'.'";
+      case TokKind::Assign: return "'='";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Minus: return "'-'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Slash: return "'/'";
+      case TokKind::Percent: return "'%'";
+      case TokKind::Amp: return "'&'";
+      case TokKind::Pipe: return "'|'";
+      case TokKind::Caret: return "'^'";
+      case TokKind::Tilde: return "'~'";
+      case TokKind::Bang: return "'!'";
+      case TokKind::Lt: return "'<'";
+      case TokKind::Gt: return "'>'";
+      case TokKind::Le: return "'<='";
+      case TokKind::Ge: return "'>='";
+      case TokKind::EqEq: return "'=='";
+      case TokKind::NotEq: return "'!='";
+      case TokKind::Shl: return "'<<'";
+      case TokKind::Shr: return "'>>'";
+      case TokKind::AmpAmp: return "'&&'";
+      case TokKind::PipePipe: return "'||'";
+      case TokKind::Eof: return "end of file";
+    }
+    return "?";
+}
+
+namespace {
+
+class Lexer
+{
+  public:
+    Lexer(const std::string &src, const std::string &file,
+          DiagnosticEngine &diags)
+        : src_(src), file_(file), diags_(diags)
+    {}
+
+    std::vector<Token> run();
+
+  private:
+    char peek(int off = 0) const
+    {
+        size_t i = pos_ + off;
+        return i < src_.size() ? src_[i] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    SourceLoc here() const { return {file_, line_, col_}; }
+
+    void push(TokKind k, SourceLoc loc, std::string text = {},
+              uint64_t val = 0)
+    {
+        toks_.push_back({k, std::move(text), val, loc});
+    }
+
+    void lexNumber(SourceLoc loc);
+    void lexIdent(SourceLoc loc);
+
+    const std::string &src_;
+    std::string file_;
+    DiagnosticEngine &diags_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    std::vector<Token> toks_;
+};
+
+void
+Lexer::lexNumber(SourceLoc loc)
+{
+    uint64_t v = 0;
+    bool overflow = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        bool any = false;
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+            char c = advance();
+            uint64_t d = std::isdigit(static_cast<unsigned char>(c))
+                             ? static_cast<uint64_t>(c - '0')
+                             : static_cast<uint64_t>(std::tolower(c) - 'a'
+                                                     + 10);
+            if (v > (~uint64_t{0} >> 4))
+                overflow = true;
+            v = (v << 4) | d;
+            any = true;
+        }
+        if (!any)
+            diags_.error(loc, "hex literal requires at least one digit");
+        if (std::isdigit(static_cast<unsigned char>(peek())) ||
+            std::isalpha(static_cast<unsigned char>(peek()))) {
+            diags_.error(here(), "invalid character in hex literal");
+        }
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            uint64_t d = static_cast<uint64_t>(advance() - '0');
+            if (v > (~uint64_t{0} - d) / 10)
+                overflow = true;
+            v = v * 10 + d;
+        }
+        if (std::isalpha(static_cast<unsigned char>(peek())))
+            diags_.error(here(), "invalid character in decimal literal");
+    }
+    if (overflow)
+        diags_.error(loc, "integer literal does not fit in 64 bits");
+    push(TokKind::Int, loc, {}, v);
+}
+
+void
+Lexer::lexIdent(SourceLoc loc)
+{
+    std::string s;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        s += advance();
+    push(TokKind::Ident, loc, std::move(s));
+}
+
+std::vector<Token>
+Lexer::run()
+{
+    while (pos_ < src_.size()) {
+        SourceLoc loc = here();
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            continue;
+        }
+        if (c == '#' || (c == '/' && peek(1) == '/')) {
+            while (pos_ < src_.size() && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            lexNumber(loc);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            lexIdent(loc);
+            continue;
+        }
+        advance();
+        switch (c) {
+          case '{': push(TokKind::LBrace, loc); break;
+          case '}': push(TokKind::RBrace, loc); break;
+          case '[': push(TokKind::LBracket, loc); break;
+          case ']': push(TokKind::RBracket, loc); break;
+          case '(': push(TokKind::LParen, loc); break;
+          case ')': push(TokKind::RParen, loc); break;
+          case ':': push(TokKind::Colon, loc); break;
+          case ';': push(TokKind::Semi, loc); break;
+          case ',': push(TokKind::Comma, loc); break;
+          case '@': push(TokKind::At, loc); break;
+          case '?': push(TokKind::Question, loc); break;
+          case '.': push(TokKind::Dot, loc); break;
+          case '+': push(TokKind::Plus, loc); break;
+          case '-': push(TokKind::Minus, loc); break;
+          case '*': push(TokKind::Star, loc); break;
+          case '/': push(TokKind::Slash, loc); break;
+          case '%': push(TokKind::Percent, loc); break;
+          case '^': push(TokKind::Caret, loc); break;
+          case '~': push(TokKind::Tilde, loc); break;
+          case '=':
+            if (peek() == '=') {
+                advance();
+                push(TokKind::EqEq, loc);
+            } else {
+                push(TokKind::Assign, loc);
+            }
+            break;
+          case '!':
+            if (peek() == '=') {
+                advance();
+                push(TokKind::NotEq, loc);
+            } else {
+                push(TokKind::Bang, loc);
+            }
+            break;
+          case '<':
+            if (peek() == '=') {
+                advance();
+                push(TokKind::Le, loc);
+            } else if (peek() == '<') {
+                advance();
+                push(TokKind::Shl, loc);
+            } else {
+                push(TokKind::Lt, loc);
+            }
+            break;
+          case '>':
+            if (peek() == '=') {
+                advance();
+                push(TokKind::Ge, loc);
+            } else if (peek() == '>') {
+                advance();
+                push(TokKind::Shr, loc);
+            } else {
+                push(TokKind::Gt, loc);
+            }
+            break;
+          case '&':
+            if (peek() == '&') {
+                advance();
+                push(TokKind::AmpAmp, loc);
+            } else {
+                push(TokKind::Amp, loc);
+            }
+            break;
+          case '|':
+            if (peek() == '|') {
+                advance();
+                push(TokKind::PipePipe, loc);
+            } else {
+                push(TokKind::Pipe, loc);
+            }
+            break;
+          default:
+            diags_.error(loc, strcat_args("unexpected character '", c, "'"));
+            break;
+        }
+    }
+    push(TokKind::Eof, here());
+    return std::move(toks_);
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source, const std::string &filename,
+    DiagnosticEngine &diags)
+{
+    return Lexer(source, filename, diags).run();
+}
+
+} // namespace onespec

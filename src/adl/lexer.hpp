@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tokenizer for LIS descriptions.  All alphabetic words lex as identifiers;
+ * the parser gives contextual keywords their meaning, which keeps the ADL's
+ * vocabulary extensible without reserving names.
+ */
+
+#ifndef ONESPEC_ADL_LEXER_HPP
+#define ONESPEC_ADL_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace onespec {
+
+enum class TokKind
+{
+    Ident,
+    Int,
+    // punctuation / operators
+    LBrace, RBrace, LBracket, RBracket, LParen, RParen,
+    Colon, Semi, Comma, At, Question, Dot,
+    Assign,          // =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    Shl, Shr, AmpAmp, PipePipe,
+    Eof,
+};
+
+/** One lexed token. */
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;       // identifier spelling
+    uint64_t intValue = 0;  // for Int
+    SourceLoc loc;
+
+    bool is(TokKind k) const { return kind == k; }
+    bool isIdent(const char *s) const
+    {
+        return kind == TokKind::Ident && text == s;
+    }
+};
+
+/** Human-readable token-kind name for diagnostics. */
+const char *tokKindName(TokKind k);
+
+/**
+ * Tokenize @p source.  Comments run from '#' or "//" to end of line.
+ * Lexical errors are reported to @p diags; lexing continues past them.
+ */
+std::vector<Token> lex(const std::string &source, const std::string &filename,
+                       DiagnosticEngine &diags);
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_LEXER_HPP

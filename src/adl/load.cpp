@@ -1,0 +1,48 @@
+#include "load.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "adl/parser.hpp"
+#include "adl/sema.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+std::string
+readFileOrFatal(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        ONESPEC_FATAL("cannot read '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::unique_ptr<Spec>
+loadSpec(const std::vector<std::string> &paths, DiagnosticEngine &diags)
+{
+    std::vector<SourceFile> files;
+    for (const auto &p : paths)
+        files.push_back({readFileOrFatal(p), p});
+    Description desc = parseFiles(files, diags);
+    if (diags.hasErrors())
+        return nullptr;
+    auto spec = analyze(std::move(desc), diags);
+    if (diags.hasErrors())
+        return nullptr;
+    return spec;
+}
+
+std::unique_ptr<Spec>
+loadSpecOrFatal(const std::vector<std::string> &paths)
+{
+    DiagnosticEngine diags;
+    auto spec = loadSpec(paths, diags);
+    if (!spec)
+        ONESPEC_FATAL("description errors:\n", diags.str());
+    return spec;
+}
+
+} // namespace onespec

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Convenience loaders: read LIS description files from disk, parse, and
+ * analyze them into a Spec.
+ */
+
+#ifndef ONESPEC_ADL_LOAD_HPP
+#define ONESPEC_ADL_LOAD_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/spec.hpp"
+#include "support/diag.hpp"
+
+namespace onespec {
+
+/** Read one file; fatal() if it cannot be read. */
+std::string readFileOrFatal(const std::string &path);
+
+/**
+ * Load and analyze the given description files (merged in order).
+ * Returns nullptr and fills @p diags on failure.
+ */
+std::unique_ptr<Spec> loadSpec(const std::vector<std::string> &paths,
+                               DiagnosticEngine &diags);
+
+/** Like loadSpec but fatal()s with the diagnostics on any error. */
+std::unique_ptr<Spec> loadSpecOrFatal(const std::vector<std::string> &paths);
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_LOAD_HPP

@@ -1,0 +1,911 @@
+#include "parser.hpp"
+
+#include "adl/lexer.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+namespace {
+
+/**
+ * One-file parser.  Appends declarations into a shared Description so that
+ * multi-file descriptions merge naturally.
+ */
+class Parser
+{
+  public:
+    Parser(std::vector<Token> toks, Description &desc,
+           DiagnosticEngine &diags)
+        : toks_(std::move(toks)), desc_(desc), diags_(diags)
+    {}
+
+    void run();
+
+  private:
+    const Token &peek(int off = 0) const
+    {
+        size_t i = pos_ + off;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+
+    const Token &advance()
+    {
+        const Token &t = toks_[pos_];
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    bool check(TokKind k) const { return peek().is(k); }
+
+    bool
+    accept(TokKind k)
+    {
+        if (check(k)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    acceptIdent(const char *s)
+    {
+        if (peek().isIdent(s)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(TokKind k, const char *what)
+    {
+        if (!check(k)) {
+            diags_.error(peek().loc,
+                         strcat_args("expected ", tokKindName(k), " (",
+                                     what, "), found ",
+                                     tokKindName(peek().kind),
+                                     peek().kind == TokKind::Ident
+                                         ? " '" + peek().text + "'"
+                                         : ""));
+            // Return current token without consuming so the caller can
+            // resynchronize; mark the error state.
+            hadSyntaxError_ = true;
+            return peek();
+        }
+        return advance();
+    }
+
+    std::string
+    expectIdent(const char *what)
+    {
+        const Token &t = expect(TokKind::Ident, what);
+        return t.is(TokKind::Ident) ? t.text : std::string{};
+    }
+
+    uint64_t
+    expectInt(const char *what)
+    {
+        const Token &t = expect(TokKind::Int, what);
+        return t.is(TokKind::Int) ? t.intValue : 0;
+    }
+
+    ValueType
+    expectType(const char *what)
+    {
+        SourceLoc loc = peek().loc;
+        std::string n = expectIdent(what);
+        auto t = parseValueType(n);
+        if (!t) {
+            diags_.error(loc, strcat_args("'", n, "' is not a value type (",
+                                          what, ")"));
+            return U64;
+        }
+        return *t;
+    }
+
+    /** Skip tokens until after the next ';' or matching '}'. */
+    void
+    synchronize()
+    {
+        int depth = 0;
+        while (!check(TokKind::Eof)) {
+            if (check(TokKind::LBrace)) {
+                ++depth;
+            } else if (check(TokKind::RBrace)) {
+                if (depth == 0) {
+                    advance();
+                    return;
+                }
+                --depth;
+            } else if (check(TokKind::Semi) && depth == 0) {
+                advance();
+                return;
+            }
+            advance();
+        }
+    }
+
+    static bool
+    isTopLevelKeyword(const Token &t)
+    {
+        if (!t.is(TokKind::Ident))
+            return false;
+        return t.text == "isa" || t.text == "state" || t.text == "abi" ||
+               t.text == "field" || t.text == "format" ||
+               t.text == "helper" || t.text == "opclass" ||
+               t.text == "instr" || t.text == "buildset";
+    }
+
+    /** Recover at top level: stop at the next declaration keyword. */
+    void
+    syncTopLevel()
+    {
+        int depth = 0;
+        while (!check(TokKind::Eof)) {
+            if (depth == 0 && isTopLevelKeyword(peek()))
+                return;
+            if (check(TokKind::LBrace)) {
+                ++depth;
+            } else if (check(TokKind::RBrace)) {
+                if (depth > 0)
+                    --depth;
+            } else if (check(TokKind::Semi) && depth == 0) {
+                advance();
+                return;
+            }
+            advance();
+        }
+    }
+
+    // Top-level declarations.
+    void parseIsa();
+    void parseState();
+    void parseAbi();
+    void parseField();
+    void parseFormat();
+    void parseOpClassOrInstr(bool is_class);
+    void parseBuildset();
+
+    StateRef parseStateRef();
+    std::vector<MatchCond> parseMatchList();
+    OperandDecl parseOperand(bool is_dst);
+    ActionDecl parseAction();
+
+    // Action language.
+    StmtPtr parseStmt();
+    StmtPtr parseStmtBlock();
+    ExprPtr parseExpr();
+    ExprPtr parseTernary();
+    ExprPtr parseBinary(int min_prec);
+    ExprPtr parseUnary();
+    ExprPtr parsePrimary();
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    Description &desc_;
+    DiagnosticEngine &diags_;
+    bool hadSyntaxError_ = false;
+    bool sawIsa_ = false;
+};
+
+void
+Parser::parseIsa()
+{
+    SourceLoc loc = peek().loc;
+    advance(); // 'isa'
+    if (!desc_.isa.name.empty()) {
+        diags_.error(loc, "duplicate 'isa' declaration (already declared "
+                          "as '" + desc_.isa.name + "')");
+    }
+    desc_.isa.name = expectIdent("isa name");
+    desc_.isa.loc = loc;
+    expect(TokKind::LBrace, "isa body");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        SourceLoc ploc = peek().loc;
+        if (acceptIdent("bits")) {
+            uint64_t b = expectInt("word size");
+            if (b != 32 && b != 64)
+                diags_.error(ploc, "word size must be 32 or 64");
+            desc_.isa.wordBits = static_cast<unsigned>(b);
+            expect(TokKind::Semi, "after bits");
+        } else if (acceptIdent("instr_bytes")) {
+            uint64_t b = expectInt("instruction size");
+            if (b != 2 && b != 4 && b != 8)
+                diags_.error(ploc, "instr_bytes must be 2, 4 or 8");
+            desc_.isa.instrBytes = static_cast<unsigned>(b);
+            expect(TokKind::Semi, "after instr_bytes");
+        } else if (acceptIdent("endian")) {
+            std::string e = expectIdent("endianness");
+            if (e == "little") {
+                desc_.isa.littleEndian = true;
+            } else if (e == "big") {
+                desc_.isa.littleEndian = false;
+            } else {
+                diags_.error(ploc, "endian must be 'little' or 'big'");
+            }
+            expect(TokKind::Semi, "after endian");
+        } else {
+            diags_.error(ploc, "unknown isa property '" + peek().text + "'");
+            synchronize();
+        }
+    }
+    expect(TokKind::RBrace, "end of isa body");
+    sawIsa_ = true;
+}
+
+void
+Parser::parseState()
+{
+    advance(); // 'state'
+    expect(TokKind::LBrace, "state body");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        SourceLoc loc = peek().loc;
+        if (acceptIdent("regfile")) {
+            RegFileDecl rf;
+            rf.loc = loc;
+            rf.name = expectIdent("regfile name");
+            expect(TokKind::LBracket, "regfile size");
+            rf.count = static_cast<unsigned>(expectInt("regfile size"));
+            expect(TokKind::RBracket, "regfile size");
+            expect(TokKind::Colon, "regfile type");
+            rf.type = expectType("regfile element type");
+            if (acceptIdent("zero")) {
+                rf.zeroReg = static_cast<int>(expectInt("zero register"));
+                if (rf.zeroReg >= static_cast<int>(rf.count)) {
+                    diags_.error(loc, "zero register index out of range");
+                }
+            }
+            expect(TokKind::Semi, "after regfile");
+            if (rf.count == 0)
+                diags_.error(loc, "regfile must have at least one register");
+            desc_.regfiles.push_back(std::move(rf));
+        } else if (acceptIdent("reg")) {
+            RegDecl r;
+            r.loc = loc;
+            r.name = expectIdent("register name");
+            expect(TokKind::Colon, "register type");
+            r.type = expectType("register type");
+            expect(TokKind::Semi, "after reg");
+            desc_.regs.push_back(std::move(r));
+        } else {
+            diags_.error(loc, "expected 'regfile' or 'reg' in state block");
+            synchronize();
+        }
+    }
+    expect(TokKind::RBrace, "end of state body");
+}
+
+StateRef
+Parser::parseStateRef()
+{
+    StateRef ref;
+    ref.loc = peek().loc;
+    ref.name = expectIdent("state reference");
+    if (accept(TokKind::LBracket)) {
+        ref.index = static_cast<int>(expectInt("register index"));
+        expect(TokKind::RBracket, "register index");
+    }
+    return ref;
+}
+
+void
+Parser::parseAbi()
+{
+    SourceLoc loc = peek().loc;
+    advance(); // 'abi'
+    desc_.abi.loc = loc;
+    expect(TokKind::LBrace, "abi body");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        SourceLoc ploc = peek().loc;
+        if (acceptIdent("syscall_num")) {
+            desc_.abi.syscallNum = parseStateRef();
+            expect(TokKind::Semi, "after syscall_num");
+        } else if (acceptIdent("arg")) {
+            desc_.abi.args.push_back(parseStateRef());
+            while (accept(TokKind::Comma))
+                desc_.abi.args.push_back(parseStateRef());
+            expect(TokKind::Semi, "after arg");
+        } else if (acceptIdent("ret")) {
+            desc_.abi.ret = parseStateRef();
+            expect(TokKind::Semi, "after ret");
+        } else if (acceptIdent("error")) {
+            desc_.abi.error = parseStateRef();
+            expect(TokKind::Semi, "after error");
+        } else if (acceptIdent("stack")) {
+            desc_.abi.stack = parseStateRef();
+            expect(TokKind::Semi, "after stack");
+        } else {
+            diags_.error(ploc, "unknown abi entry '" + peek().text + "'");
+            synchronize();
+        }
+    }
+    expect(TokKind::RBrace, "end of abi body");
+}
+
+void
+Parser::parseField()
+{
+    SourceLoc loc = peek().loc;
+    advance(); // 'field'
+    FieldDecl f;
+    f.loc = loc;
+    f.name = expectIdent("field name");
+    expect(TokKind::Colon, "field type");
+    f.type = expectType("field type");
+    if (acceptIdent("decode"))
+        f.category = FieldCategory::Decode;
+    expect(TokKind::Semi, "after field");
+    desc_.fields.push_back(std::move(f));
+}
+
+void
+Parser::parseFormat()
+{
+    SourceLoc loc = peek().loc;
+    advance(); // 'format'
+    FormatDecl fmt;
+    fmt.loc = loc;
+    fmt.name = expectIdent("format name");
+    expect(TokKind::LBrace, "format body");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        FormatField ff;
+        ff.loc = peek().loc;
+        ff.name = expectIdent("format field name");
+        expect(TokKind::LBracket, "bit range");
+        ff.hi = static_cast<unsigned>(expectInt("high bit"));
+        if (accept(TokKind::Colon)) {
+            ff.lo = static_cast<unsigned>(expectInt("low bit"));
+        } else {
+            ff.lo = ff.hi;
+        }
+        expect(TokKind::RBracket, "bit range");
+        accept(TokKind::Comma); // commas between fields are optional
+        if (ff.hi < ff.lo)
+            diags_.error(ff.loc, "bit range high < low");
+        fmt.fields.push_back(std::move(ff));
+        if (hadSyntaxError_) {
+            synchronize();
+            hadSyntaxError_ = false;
+            break;
+        }
+    }
+    expect(TokKind::RBrace, "end of format body");
+    desc_.formats.push_back(std::move(fmt));
+}
+
+std::vector<MatchCond>
+Parser::parseMatchList()
+{
+    std::vector<MatchCond> conds;
+    bool parens = accept(TokKind::LParen);
+    do {
+        MatchCond c;
+        c.loc = peek().loc;
+        c.field = expectIdent("match field");
+        expect(TokKind::EqEq, "match comparison");
+        c.value = expectInt("match value");
+        conds.push_back(std::move(c));
+    } while (accept(TokKind::Comma));
+    if (parens)
+        expect(TokKind::RParen, "end of match list");
+    return conds;
+}
+
+OperandDecl
+Parser::parseOperand(bool is_dst)
+{
+    OperandDecl op;
+    op.loc = peek().loc;
+    op.isDst = is_dst;
+    advance(); // 'src' / 'dst'
+    op.slotName = expectIdent("operand slot name");
+    expect(TokKind::Assign, "operand binding");
+    op.stateName = expectIdent("register or regfile name");
+    if (accept(TokKind::LBracket)) {
+        op.indexExpr = parseExpr();
+        expect(TokKind::RBracket, "register index");
+    }
+    expect(TokKind::Semi, "after operand");
+    return op;
+}
+
+ActionDecl
+Parser::parseAction()
+{
+    ActionDecl a;
+    a.loc = peek().loc;
+    advance(); // 'action'
+    if (acceptIdent("late"))
+        a.late = true;
+    a.step = expectIdent("step name");
+    a.body = parseStmtBlock();
+    return a;
+}
+
+void
+Parser::parseOpClassOrInstr(bool is_class)
+{
+    SourceLoc loc = peek().loc;
+    advance(); // 'opclass' / 'instr'
+
+    std::string name = expectIdent(is_class ? "opclass name" : "instr name");
+    std::string parent;
+    if (accept(TokKind::Colon))
+        parent = expectIdent("format or opclass name");
+
+    std::vector<MatchCond> match;
+    if (acceptIdent("match"))
+        match = parseMatchList();
+
+    std::vector<OperandDecl> operands;
+    std::vector<ActionDecl> actions;
+    expect(TokKind::LBrace, "body");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        if (peek().isIdent("src")) {
+            operands.push_back(parseOperand(false));
+        } else if (peek().isIdent("dst")) {
+            operands.push_back(parseOperand(true));
+        } else if (peek().isIdent("action")) {
+            actions.push_back(parseAction());
+        } else {
+            diags_.error(peek().loc,
+                         "expected 'src', 'dst' or 'action' in body, found '"
+                             + peek().text + "'");
+            synchronize();
+        }
+        if (hadSyntaxError_) {
+            hadSyntaxError_ = false;
+            synchronize();
+        }
+    }
+    expect(TokKind::RBrace, "end of body");
+
+    if (is_class) {
+        OpClassDecl cls;
+        cls.loc = loc;
+        cls.name = std::move(name);
+        cls.formatName = std::move(parent); // sema decides format vs class
+        cls.match = std::move(match);
+        cls.operands = std::move(operands);
+        cls.actions = std::move(actions);
+        desc_.classes.push_back(std::move(cls));
+    } else {
+        InstrDecl ins;
+        ins.loc = loc;
+        ins.name = std::move(name);
+        ins.formatName = std::move(parent); // sema decides format vs class
+        ins.match = std::move(match);
+        ins.operands = std::move(operands);
+        ins.actions = std::move(actions);
+        desc_.instrs.push_back(std::move(ins));
+    }
+}
+
+void
+Parser::parseBuildset()
+{
+    SourceLoc loc = peek().loc;
+    advance(); // 'buildset'
+    BuildsetDecl bs;
+    bs.loc = loc;
+    bs.name = expectIdent("buildset name");
+    bs.semantic = SemanticLevel::One;
+    bs.info = InfoLevel::All;
+    expect(TokKind::LBrace, "buildset body");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        SourceLoc ploc = peek().loc;
+        if (acceptIdent("semantic")) {
+            std::string l = expectIdent("semantic level");
+            if (l == "block") {
+                bs.semantic = SemanticLevel::Block;
+            } else if (l == "one") {
+                bs.semantic = SemanticLevel::One;
+            } else if (l == "step") {
+                bs.semantic = SemanticLevel::Step;
+            } else {
+                diags_.error(ploc,
+                             "semantic level must be block, one or step");
+            }
+            expect(TokKind::Semi, "after semantic");
+        } else if (acceptIdent("info")) {
+            std::string l = expectIdent("informational level");
+            if (l == "min") {
+                bs.info = InfoLevel::Min;
+            } else if (l == "decode") {
+                bs.info = InfoLevel::Decode;
+            } else if (l == "all") {
+                bs.info = InfoLevel::All;
+            } else {
+                diags_.error(ploc, "info level must be min, decode or all");
+            }
+            expect(TokKind::Semi, "after info");
+        } else if (acceptIdent("speculation")) {
+            std::string l = expectIdent("speculation switch");
+            if (l == "on") {
+                bs.speculation = true;
+            } else if (l == "off") {
+                bs.speculation = false;
+            } else {
+                diags_.error(ploc, "speculation must be 'on' or 'off'");
+            }
+            expect(TokKind::Semi, "after speculation");
+        } else if (acceptIdent("entrypoint")) {
+            EntrypointDecl ep;
+            ep.loc = ploc;
+            ep.name = expectIdent("entrypoint name");
+            expect(TokKind::Assign, "entrypoint steps");
+            ep.steps.push_back(expectIdent("step name"));
+            while (accept(TokKind::Comma))
+                ep.steps.push_back(expectIdent("step name"));
+            expect(TokKind::Semi, "after entrypoint");
+            bs.semantic = SemanticLevel::Custom;
+            bs.entrypoints.push_back(std::move(ep));
+        } else if (acceptIdent("visibility")) {
+            bool hide;
+            if (acceptIdent("hide")) {
+                hide = true;
+            } else if (acceptIdent("show")) {
+                hide = false;
+            } else {
+                diags_.error(ploc, "visibility must be 'hide' or 'show'");
+                synchronize();
+                continue;
+            }
+            auto &list = hide ? bs.hideList : bs.showList;
+            list.push_back(expectIdent("field name"));
+            while (accept(TokKind::Comma))
+                list.push_back(expectIdent("field name"));
+            expect(TokKind::Semi, "after visibility");
+            bs.info = InfoLevel::Custom;
+        } else {
+            diags_.error(ploc,
+                         "unknown buildset item '" + peek().text + "'");
+            synchronize();
+        }
+        if (hadSyntaxError_) {
+            hadSyntaxError_ = false;
+            synchronize();
+        }
+    }
+    expect(TokKind::RBrace, "end of buildset body");
+    desc_.buildsets.push_back(std::move(bs));
+}
+
+// ---------------------------------------------------------------------
+// Action language
+// ---------------------------------------------------------------------
+
+StmtPtr
+Parser::parseStmtBlock()
+{
+    auto blk = std::make_unique<Stmt>();
+    blk->kind = Stmt::Kind::Block;
+    blk->loc = peek().loc;
+    expect(TokKind::LBrace, "block");
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        blk->body.push_back(parseStmt());
+        if (hadSyntaxError_) {
+            hadSyntaxError_ = false;
+            synchronize();
+        }
+    }
+    expect(TokKind::RBrace, "end of block");
+    return blk;
+}
+
+StmtPtr
+Parser::parseStmt()
+{
+    SourceLoc loc = peek().loc;
+    if (check(TokKind::LBrace))
+        return parseStmtBlock();
+
+    if (peek().isIdent("if")) {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::If;
+        s->loc = loc;
+        expect(TokKind::LParen, "if condition");
+        s->cond = parseExpr();
+        expect(TokKind::RParen, "if condition");
+        s->thenStmt = parseStmt();
+        if (acceptIdent("else"))
+            s->elseStmt = parseStmt();
+        return s;
+    }
+
+    // Helper splice: `inline <name>;`
+    if (peek().isIdent("inline") && peek(1).is(TokKind::Ident) &&
+        peek(2).is(TokKind::Semi)) {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Inline;
+        s->loc = loc;
+        s->name = advance().text;
+        advance(); // ;
+        return s;
+    }
+
+    if (peek().isIdent("while")) {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::While;
+        s->loc = loc;
+        expect(TokKind::LParen, "while condition");
+        s->cond = parseExpr();
+        expect(TokKind::RParen, "while condition");
+        s->thenStmt = parseStmt();
+        return s;
+    }
+
+    // Local declaration: TYPE IDENT [= expr] ;
+    if (check(TokKind::Ident) && parseValueType(peek().text) &&
+        peek(1).is(TokKind::Ident)) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::LocalDecl;
+        s->loc = loc;
+        s->declType = *parseValueType(advance().text);
+        s->name = expectIdent("local variable name");
+        if (accept(TokKind::Assign))
+            s->init = parseExpr();
+        expect(TokKind::Semi, "after declaration");
+        return s;
+    }
+
+    // Expression or assignment.
+    ExprPtr e = parseExpr();
+    if (accept(TokKind::Assign)) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::Assign;
+        s->loc = loc;
+        if (e->kind != Expr::Kind::Ident) {
+            diags_.error(e->loc, "assignment target must be a field, "
+                                 "operand slot or local variable");
+        }
+        s->target = std::move(e);
+        s->value = parseExpr();
+        expect(TokKind::Semi, "after assignment");
+        return s;
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::ExprStmt;
+    s->loc = loc;
+    s->value = std::move(e);
+    expect(TokKind::Semi, "after expression");
+    return s;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseTernary();
+}
+
+ExprPtr
+Parser::parseTernary()
+{
+    ExprPtr cond = parseBinary(0);
+    if (accept(TokKind::Question)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Ternary;
+        e->loc = cond->loc;
+        e->a = std::move(cond);
+        e->b = parseTernary();
+        expect(TokKind::Colon, "ternary");
+        e->c = parseTernary();
+        return e;
+    }
+    return cond;
+}
+
+namespace {
+
+struct OpInfo
+{
+    BinOp op;
+    int prec;
+};
+
+/** Binary-operator precedence (higher binds tighter). */
+bool
+binOpFor(TokKind k, OpInfo &out)
+{
+    switch (k) {
+      case TokKind::PipePipe: out = {BinOp::LogOr, 1}; return true;
+      case TokKind::AmpAmp: out = {BinOp::LogAnd, 2}; return true;
+      case TokKind::Pipe: out = {BinOp::Or, 3}; return true;
+      case TokKind::Caret: out = {BinOp::Xor, 4}; return true;
+      case TokKind::Amp: out = {BinOp::And, 5}; return true;
+      case TokKind::EqEq: out = {BinOp::Eq, 6}; return true;
+      case TokKind::NotEq: out = {BinOp::Ne, 6}; return true;
+      case TokKind::Lt: out = {BinOp::Lt, 7}; return true;
+      case TokKind::Le: out = {BinOp::Le, 7}; return true;
+      case TokKind::Gt: out = {BinOp::Gt, 7}; return true;
+      case TokKind::Ge: out = {BinOp::Ge, 7}; return true;
+      case TokKind::Shl: out = {BinOp::Shl, 8}; return true;
+      case TokKind::Shr: out = {BinOp::Shr, 8}; return true;
+      case TokKind::Plus: out = {BinOp::Add, 9}; return true;
+      case TokKind::Minus: out = {BinOp::Sub, 9}; return true;
+      case TokKind::Star: out = {BinOp::Mul, 10}; return true;
+      case TokKind::Slash: out = {BinOp::Div, 10}; return true;
+      case TokKind::Percent: out = {BinOp::Rem, 10}; return true;
+      default: return false;
+    }
+}
+
+} // namespace
+
+ExprPtr
+Parser::parseBinary(int min_prec)
+{
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+        OpInfo info;
+        if (!binOpFor(peek().kind, info) || info.prec < min_prec)
+            return lhs;
+        advance();
+        ExprPtr rhs = parseBinary(info.prec + 1);
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Binary;
+        e->loc = lhs->loc;
+        e->binOp = info.op;
+        e->a = std::move(lhs);
+        e->b = std::move(rhs);
+        lhs = std::move(e);
+    }
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    SourceLoc loc = peek().loc;
+    UnOp op;
+    if (accept(TokKind::Minus)) {
+        op = UnOp::Neg;
+    } else if (accept(TokKind::Tilde)) {
+        op = UnOp::BitNot;
+    } else if (accept(TokKind::Bang)) {
+        op = UnOp::LogNot;
+    } else {
+        return parsePrimary();
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Unary;
+    e->loc = loc;
+    e->unOp = op;
+    e->a = parseUnary();
+    return e;
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    SourceLoc loc = peek().loc;
+
+    if (check(TokKind::Int)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::IntLit;
+        e->loc = loc;
+        e->intValue = advance().intValue;
+        return e;
+    }
+
+    if (check(TokKind::LParen)) {
+        // Cast: '(' TYPE ')' unary
+        if (peek(1).is(TokKind::Ident) && parseValueType(peek(1).text) &&
+            peek(2).is(TokKind::RParen)) {
+            advance(); // (
+            ValueType t = *parseValueType(advance().text);
+            advance(); // )
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Cast;
+            e->loc = loc;
+            e->castType = t;
+            e->a = parseUnary();
+            return e;
+        }
+        advance();
+        ExprPtr inner = parseExpr();
+        expect(TokKind::RParen, "closing parenthesis");
+        return inner;
+    }
+
+    if (check(TokKind::Ident)) {
+        std::string name = advance().text;
+        if (check(TokKind::LParen)) {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Call;
+            e->loc = loc;
+            e->name = std::move(name);
+            if (!check(TokKind::RParen)) {
+                e->args.push_back(parseExpr());
+                while (accept(TokKind::Comma))
+                    e->args.push_back(parseExpr());
+            }
+            expect(TokKind::RParen, "end of call");
+            return e;
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Ident;
+        e->loc = loc;
+        e->name = std::move(name);
+        return e;
+    }
+
+    diags_.error(loc, strcat_args("expected expression, found ",
+                                  tokKindName(peek().kind)));
+    hadSyntaxError_ = true;
+    if (!check(TokKind::Eof))
+        advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::IntLit;
+    e->loc = loc;
+    e->intValue = 0;
+    return e;
+}
+
+void
+Parser::run()
+{
+    while (!check(TokKind::Eof)) {
+        if (peek().isIdent("isa")) {
+            parseIsa();
+        } else if (peek().isIdent("state")) {
+            parseState();
+        } else if (peek().isIdent("abi")) {
+            parseAbi();
+        } else if (peek().isIdent("field")) {
+            parseField();
+        } else if (peek().isIdent("format")) {
+            parseFormat();
+        } else if (peek().isIdent("helper")) {
+            SourceLoc hloc = peek().loc;
+            advance();
+            HelperDecl h;
+            h.loc = hloc;
+            h.name = expectIdent("helper name");
+            h.body = parseStmtBlock();
+            desc_.helpers.push_back(std::move(h));
+        } else if (peek().isIdent("opclass")) {
+            parseOpClassOrInstr(true);
+        } else if (peek().isIdent("instr")) {
+            parseOpClassOrInstr(false);
+        } else if (peek().isIdent("buildset")) {
+            parseBuildset();
+        } else {
+            diags_.error(peek().loc,
+                         "expected a top-level declaration, found '" +
+                             peek().text + "'");
+            syncTopLevel();
+        }
+        if (hadSyntaxError_) {
+            hadSyntaxError_ = false;
+            syncTopLevel();
+        }
+    }
+}
+
+} // namespace
+
+Description
+parseFiles(const std::vector<SourceFile> &files, DiagnosticEngine &diags)
+{
+    Description desc;
+    for (const auto &f : files) {
+        auto toks = lex(f.text, f.name, diags);
+        Parser(std::move(toks), desc, diags).run();
+    }
+    return desc;
+}
+
+Description
+parseString(const std::string &text, DiagnosticEngine &diags,
+            const std::string &name)
+{
+    return parseFiles({{text, name}}, diags);
+}
+
+} // namespace onespec

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recursive-descent parser for LIS descriptions.  A description may be
+ * split over several files (e.g. the ISA proper, OS support, and shared
+ * buildsets); parseFiles merges them into one Description.
+ */
+
+#ifndef ONESPEC_ADL_PARSER_HPP
+#define ONESPEC_ADL_PARSER_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adl/ast.hpp"
+#include "support/diag.hpp"
+
+namespace onespec {
+
+/** (source text, file name) pair for one input file. */
+struct SourceFile
+{
+    std::string text;
+    std::string name;
+};
+
+/**
+ * Parse and merge the given files.  Errors go to @p diags; the returned
+ * Description is only meaningful if !diags.hasErrors().
+ */
+Description parseFiles(const std::vector<SourceFile> &files,
+                       DiagnosticEngine &diags);
+
+/** Convenience wrapper for a single in-memory source. */
+Description parseString(const std::string &text, DiagnosticEngine &diags,
+                        const std::string &name = "<input>");
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_PARSER_HPP

@@ -1,0 +1,1254 @@
+#include "sema.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "adl/builtins.hpp"
+#include "support/bitutil.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+namespace {
+
+/** Names that action code may not shadow. */
+bool
+isReservedName(const std::string &n)
+{
+    return n == "pc" || n == "npc" || n == "inst";
+}
+
+class Analyzer
+{
+  public:
+    Analyzer(Description desc, DiagnosticEngine &diags)
+        : desc_(std::move(desc)), diags_(diags),
+          spec_(std::make_unique<Spec>())
+    {}
+
+    std::unique_ptr<Spec> run();
+
+  private:
+    void buildState();
+    ResolvedStateRef resolveStateRef(const StateRef &ref, bool required);
+    void buildAbi();
+    void buildSlots();
+    void checkFormats();
+    void mergeAndResolveInstrs();
+    void resolveInstr(InstrDecl &decl);
+    void computeFixedBits(InstrInfo &ii, const std::vector<MatchCond> &conds);
+    void buildDecodeTree();
+    std::unique_ptr<DecodeNode> buildDecodeNode(std::vector<uint16_t> cands,
+                                                uint32_t used_mask,
+                                                int depth);
+    void resolveBuildsets();
+    void checkInterfaceCompleteness(BuildsetInfo &bs);
+    void computeFingerprint();
+
+    // Action resolution.
+    struct ActionCtx
+    {
+        InstrInfo *instr = nullptr;
+        const FormatDecl *format = nullptr;
+        Step step = Step::Execute;
+        std::vector<std::unordered_map<std::string, int>> scopes;
+        std::vector<ValueType> localTypes;
+        SlotMask reads = 0;
+        SlotMask writes = 0;
+        bool controlFlow = false;
+        bool syscall = false;
+        bool memAccess = false;
+        bool indexExprMode = false; ///< restrict to encoding fields
+    };
+
+    void expandInlines(StmtPtr &s, int depth);
+    void resolveStmt(Stmt &s, ActionCtx &ctx);
+    ValueType resolveExpr(Expr &e, ActionCtx &ctx);
+    void resolveIdent(Expr &e, ActionCtx &ctx);
+    void adoptLiteral(Expr &e, ValueType t);
+
+    Description desc_;
+    DiagnosticEngine &diags_;
+    std::unique_ptr<Spec> spec_;
+
+    std::unordered_map<std::string, int> formatIndex_;
+    std::unordered_map<std::string, const OpClassDecl *> classByName_;
+};
+
+// ---------------------------------------------------------------------
+// State & ABI
+// ---------------------------------------------------------------------
+
+void
+Analyzer::buildState()
+{
+    std::set<std::string> names;
+    unsigned offset = 0;
+    for (const auto &rf : desc_.regfiles) {
+        if (!names.insert(rf.name).second)
+            diags_.error(rf.loc, "duplicate state name '" + rf.name + "'");
+        if (isReservedName(rf.name))
+            diags_.error(rf.loc, "'" + rf.name + "' is a reserved name");
+        StateLayout::File f;
+        f.name = rf.name;
+        f.count = rf.count;
+        f.type = rf.type;
+        f.zeroReg = rf.zeroReg;
+        f.base = offset;
+        offset += rf.count;
+        spec_->state.files.push_back(std::move(f));
+    }
+    for (const auto &r : desc_.regs) {
+        if (!names.insert(r.name).second)
+            diags_.error(r.loc, "duplicate state name '" + r.name + "'");
+        if (isReservedName(r.name))
+            diags_.error(r.loc, "'" + r.name + "' is a reserved name");
+        StateLayout::Scalar s;
+        s.name = r.name;
+        s.type = r.type;
+        s.offset = offset;
+        offset += 1;
+        spec_->state.scalars.push_back(std::move(s));
+    }
+    spec_->state.totalWords = offset;
+    if (offset == 0) {
+        diags_.error(desc_.isa.loc,
+                     "description declares no architectural state");
+    }
+}
+
+ResolvedStateRef
+Analyzer::resolveStateRef(const StateRef &ref, bool required)
+{
+    ResolvedStateRef out;
+    if (ref.name.empty()) {
+        if (required)
+            diags_.error(desc_.abi.loc, "missing required abi register");
+        return out;
+    }
+    int fi = spec_->state.fileIndex(ref.name);
+    if (fi >= 0) {
+        if (ref.index < 0) {
+            diags_.error(ref.loc, "regfile reference '" + ref.name +
+                                      "' requires an index");
+            return out;
+        }
+        if (ref.index >= static_cast<int>(spec_->state.files[fi].count)) {
+            diags_.error(ref.loc, "register index out of range");
+            return out;
+        }
+        out.valid = true;
+        out.scalar = false;
+        out.fileIndex = fi;
+        out.regIndex = ref.index;
+        return out;
+    }
+    int si = spec_->state.scalarIndex(ref.name);
+    if (si >= 0) {
+        if (ref.index >= 0) {
+            diags_.error(ref.loc, "scalar register '" + ref.name +
+                                      "' cannot be indexed");
+            return out;
+        }
+        out.valid = true;
+        out.scalar = true;
+        out.scalarIdx = si;
+        return out;
+    }
+    diags_.error(ref.loc, "unknown state '" + ref.name + "' in abi");
+    return out;
+}
+
+void
+Analyzer::buildAbi()
+{
+    spec_->abi.syscallNum = resolveStateRef(desc_.abi.syscallNum, true);
+    for (const auto &a : desc_.abi.args)
+        spec_->abi.args.push_back(resolveStateRef(a, true));
+    spec_->abi.ret = resolveStateRef(desc_.abi.ret, true);
+    spec_->abi.error = resolveStateRef(desc_.abi.error, false);
+    spec_->abi.stack = resolveStateRef(desc_.abi.stack, true);
+}
+
+// ---------------------------------------------------------------------
+// Slots
+// ---------------------------------------------------------------------
+
+void
+Analyzer::buildSlots()
+{
+    auto addSlot = [&](const std::string &name, ValueType type,
+                       FieldCategory cat, bool is_operand,
+                       const SourceLoc &loc) {
+        if (isReservedName(name)) {
+            diags_.error(loc, "'" + name + "' is a reserved name");
+            return;
+        }
+        auto it = spec_->slotIndex.find(name);
+        if (it != spec_->slotIndex.end()) {
+            Slot &s = spec_->slots[it->second];
+            if (!is_operand || !s.isOperand) {
+                diags_.error(loc, "duplicate slot name '" + name + "'");
+            } else if (!(s.type == type)) {
+                diags_.error(loc, "operand slot '" + name +
+                                      "' redeclared with a different type");
+            }
+            return;
+        }
+        spec_->slotIndex.emplace(name, static_cast<int>(spec_->slots.size()));
+        spec_->slots.push_back({name, type, cat, is_operand});
+    };
+
+    for (const auto &f : desc_.fields)
+        addSlot(f.name, f.type, f.category, false, f.loc);
+
+    auto operandType = [&](const OperandDecl &op) -> ValueType {
+        int fi = spec_->state.fileIndex(op.stateName);
+        if (fi >= 0)
+            return spec_->state.files[fi].type;
+        int si = spec_->state.scalarIndex(op.stateName);
+        if (si >= 0)
+            return spec_->state.scalars[si].type;
+        diags_.error(op.loc,
+                     "unknown state '" + op.stateName + "' in operand");
+        return U64;
+    };
+
+    for (const auto &cls : desc_.classes)
+        for (const auto &op : cls.operands)
+            addSlot(op.slotName, operandType(op), FieldCategory::All, true,
+                    op.loc);
+    for (const auto &ins : desc_.instrs)
+        for (const auto &op : ins.operands)
+            addSlot(op.slotName, operandType(op), FieldCategory::All, true,
+                    op.loc);
+
+    if (spec_->slots.size() > kMaxSlots) {
+        diags_.error(desc_.isa.loc,
+                     strcat_args("too many slots (", spec_->slots.size(),
+                                 "); the limit is ", kMaxSlots));
+    }
+
+    // Slot names must not collide with encoding field names: the shadowing
+    // would silently change meaning between instructions.
+    for (const auto &fmt : desc_.formats) {
+        for (const auto &ff : fmt.fields) {
+            if (spec_->slotIndex.count(ff.name)) {
+                diags_.error(ff.loc,
+                             "encoding field '" + ff.name +
+                                 "' collides with a field/operand slot name");
+            }
+        }
+    }
+}
+
+void
+Analyzer::checkFormats()
+{
+    unsigned instr_bits = desc_.isa.instrBytes * 8;
+    for (auto &fmt : desc_.formats) {
+        if (formatIndex_.count(fmt.name)) {
+            diags_.error(fmt.loc, "duplicate format '" + fmt.name + "'");
+            continue;
+        }
+        std::set<std::string> names;
+        for (const auto &ff : fmt.fields) {
+            if (!names.insert(ff.name).second) {
+                diags_.error(ff.loc, "duplicate field '" + ff.name +
+                                         "' in format '" + fmt.name + "'");
+            }
+            if (ff.hi >= instr_bits) {
+                diags_.error(ff.loc,
+                             strcat_args("bit ", ff.hi,
+                                         " exceeds instruction width ",
+                                         instr_bits));
+            }
+        }
+        formatIndex_.emplace(fmt.name,
+                             static_cast<int>(spec_->formats.size()));
+        spec_->formats.push_back(fmt);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instruction merging and resolution
+// ---------------------------------------------------------------------
+
+void
+Analyzer::computeFixedBits(InstrInfo &ii, const std::vector<MatchCond> &conds)
+{
+    if (ii.formatIndex < 0)
+        return;
+    const FormatDecl &fmt = spec_->formats[ii.formatIndex];
+    for (const auto &c : conds) {
+        const FormatField *ff = nullptr;
+        for (const auto &f : fmt.fields) {
+            if (f.name == c.field) {
+                ff = &f;
+                break;
+            }
+        }
+        if (!ff) {
+            diags_.error(c.loc, "match field '" + c.field +
+                                    "' not in format '" + fmt.name + "'");
+            continue;
+        }
+        unsigned width = ff->hi - ff->lo + 1;
+        if (c.value > lowMask(width)) {
+            diags_.error(c.loc,
+                         strcat_args("match value ", c.value,
+                                     " does not fit in ", width, " bits"));
+            continue;
+        }
+        uint32_t mask =
+            static_cast<uint32_t>(lowMask(width)) << ff->lo;
+        uint32_t bits_ = static_cast<uint32_t>(c.value) << ff->lo;
+        if ((ii.fixedMask & mask) && (ii.fixedBits & mask) != bits_) {
+            diags_.error(c.loc, "conflicting match conditions on field '" +
+                                    c.field + "'");
+            continue;
+        }
+        ii.fixedMask |= mask;
+        ii.fixedBits |= bits_;
+    }
+}
+
+void
+Analyzer::resolveInstr(InstrDecl &decl)
+{
+    InstrInfo ii;
+    ii.name = decl.name;
+    ii.loc = decl.loc;
+
+    // The parent name is either a format or an opclass.
+    const OpClassDecl *cls = nullptr;
+    if (!decl.formatName.empty()) {
+        auto fit = formatIndex_.find(decl.formatName);
+        if (fit != formatIndex_.end()) {
+            ii.formatIndex = fit->second;
+        } else {
+            auto cit = classByName_.find(decl.formatName);
+            if (cit != classByName_.end()) {
+                cls = cit->second;
+            } else {
+                diags_.error(decl.loc, "unknown format or opclass '" +
+                                           decl.formatName + "'");
+                return;
+            }
+        }
+    }
+    if (cls && !cls->formatName.empty()) {
+        auto fit = formatIndex_.find(cls->formatName);
+        if (fit == formatIndex_.end()) {
+            diags_.error(cls->loc, "opclass '" + cls->name +
+                                       "' names unknown format '" +
+                                       cls->formatName + "'");
+            return;
+        }
+        ii.formatIndex = fit->second;
+    }
+    if (ii.formatIndex < 0) {
+        diags_.error(decl.loc,
+                     "instruction '" + decl.name + "' has no format");
+        return;
+    }
+
+    // Match conditions: class first, then instruction.
+    if (cls)
+        computeFixedBits(ii, cls->match);
+    computeFixedBits(ii, decl.match);
+    if (ii.fixedMask == 0) {
+        diags_.error(decl.loc, "instruction '" + decl.name +
+                                   "' has no match condition");
+    }
+
+    const FormatDecl &fmt = spec_->formats[ii.formatIndex];
+
+    // Operands: class operands first, then instruction operands.
+    auto addOperand = [&](const OperandDecl &od) {
+        for (const auto &existing : ii.operands) {
+            if (spec_->slots[existing.slotIndex].name == od.slotName) {
+                diags_.error(od.loc, "operand slot '" + od.slotName +
+                                         "' declared twice in '" +
+                                         decl.name + "'");
+                return;
+            }
+        }
+        ResolvedOperand ro;
+        ro.isDst = od.isDst;
+        ro.slotIndex = spec_->findSlot(od.slotName);
+        if (ro.slotIndex < 0)
+            return; // error reported in buildSlots
+        int fi = spec_->state.fileIndex(od.stateName);
+        if (fi >= 0) {
+            ro.scalar = false;
+            ro.fileIndex = fi;
+            if (!od.indexExpr) {
+                diags_.error(od.loc, "regfile operand requires an index");
+                return;
+            }
+            ro.indexExpr = cloneExpr(*od.indexExpr);
+            ActionCtx ctx;
+            ctx.instr = &ii;
+            ctx.format = &fmt;
+            ctx.indexExprMode = true;
+            ctx.scopes.emplace_back();
+            resolveExpr(*ro.indexExpr, ctx);
+        } else {
+            int si = spec_->state.scalarIndex(od.stateName);
+            if (si < 0)
+                return; // error reported in buildSlots
+            if (od.indexExpr) {
+                diags_.error(od.loc, "scalar operand cannot be indexed");
+                return;
+            }
+            ro.scalar = true;
+            ro.scalarIdx = si;
+        }
+        ii.operands.push_back(std::move(ro));
+    };
+
+    if (cls)
+        for (const auto &od : cls->operands)
+            addOperand(od);
+    for (const auto &od : decl.operands)
+        addOperand(od);
+
+    if (ii.operands.size() > kMaxOps) {
+        diags_.error(decl.loc,
+                     strcat_args("too many operands (", ii.operands.size(),
+                                 "); the limit is ", kMaxOps));
+    }
+
+    // Actions: non-late actions run in declaration order (class before
+    // instruction); `late` actions run after all non-late actions of the
+    // same step, again class before instruction.
+    std::array<std::vector<StmtPtr>, kNumSteps> pre_bodies, late_bodies;
+    auto placeAction = [&](const ActionDecl &ad) {
+        Step st;
+        if (!parseStep(ad.step, st)) {
+            diags_.error(ad.loc, "unknown step '" + ad.step + "'");
+            return;
+        }
+        if (st == Step::Fetch || st == Step::Decode) {
+            diags_.error(ad.loc,
+                         strcat_args("step '", ad.step,
+                                     "' is implicit and cannot carry "
+                                     "instruction actions"));
+            return;
+        }
+        auto &zone = ad.late ? late_bodies : pre_bodies;
+        zone[static_cast<unsigned>(st)].push_back(cloneStmt(*ad.body));
+    };
+
+    if (cls)
+        for (const auto &ad : cls->actions)
+            placeAction(ad);
+    for (const auto &ad : decl.actions)
+        placeAction(ad);
+
+    for (unsigned s = 0; s < kNumSteps; ++s) {
+        auto &pre = pre_bodies[s];
+        auto &late = late_bodies[s];
+        if (pre.empty() && late.empty())
+            continue;
+        InstrAction &ia = ii.actions[s];
+        if (pre.size() == 1 && late.empty()) {
+            ia.body = std::move(pre[0]);
+            continue;
+        }
+        auto blk = std::make_unique<Stmt>();
+        blk->kind = Stmt::Kind::Block;
+        blk->loc = !pre.empty() ? pre[0]->loc : late[0]->loc;
+        for (auto &b : pre)
+            blk->body.push_back(std::move(b));
+        for (auto &b : late)
+            blk->body.push_back(std::move(b));
+        ia.body = std::move(blk);
+    }
+
+    // Resolve and analyze each step's action.
+    for (unsigned s = 0; s < kNumSteps; ++s) {
+        InstrAction &ia = ii.actions[s];
+        if (!ia.body)
+            continue;
+        expandInlines(ia.body, 0);
+        ActionCtx ctx;
+        ctx.instr = &ii;
+        ctx.format = &fmt;
+        ctx.step = static_cast<Step>(s);
+        ctx.scopes.emplace_back();
+        resolveStmt(*ia.body, ctx);
+        ia.numLocals = static_cast<unsigned>(ctx.localTypes.size());
+        ia.localTypes = std::move(ctx.localTypes);
+        ii.slotReads[s] |= ctx.reads;
+        ii.slotWrites[s] |= ctx.writes;
+        ii.isControlFlow |= ctx.controlFlow;
+        ii.isSyscall |= ctx.syscall;
+        ii.hasMemAccess |= ctx.memAccess;
+    }
+
+    // Implicit operand data flow.
+    for (const auto &op : ii.operands) {
+        SlotMask bit = SlotMask{1} << op.slotIndex;
+        if (op.isDst) {
+            ii.slotReads[static_cast<unsigned>(Step::Writeback)] |= bit;
+        } else {
+            ii.slotWrites[static_cast<unsigned>(Step::ReadOperands)] |= bit;
+        }
+    }
+
+    if (spec_->instrIndex.count(ii.name)) {
+        diags_.error(decl.loc,
+                     "duplicate instruction '" + ii.name + "'");
+        return;
+    }
+    spec_->instrIndex.emplace(ii.name,
+                              static_cast<int>(spec_->instrs.size()));
+    spec_->instrs.push_back(std::move(ii));
+}
+
+void
+Analyzer::mergeAndResolveInstrs()
+{
+    for (const auto &cls : desc_.classes) {
+        if (classByName_.count(cls.name)) {
+            diags_.error(cls.loc, "duplicate opclass '" + cls.name + "'");
+            continue;
+        }
+        if (formatIndex_.count(cls.name)) {
+            diags_.error(cls.loc, "opclass '" + cls.name +
+                                      "' collides with a format name");
+            continue;
+        }
+        classByName_.emplace(cls.name, &cls);
+    }
+    for (auto &ins : desc_.instrs)
+        resolveInstr(ins);
+    if (spec_->instrs.empty())
+        diags_.error(desc_.isa.loc, "description declares no instructions");
+}
+
+// ---------------------------------------------------------------------
+// Action resolution & type checking
+// ---------------------------------------------------------------------
+
+void
+Analyzer::adoptLiteral(Expr &e, ValueType t)
+{
+    if (e.kind == Expr::Kind::IntLit)
+        e.type = t;
+}
+
+void
+Analyzer::resolveIdent(Expr &e, ActionCtx &ctx)
+{
+    // Locals (innermost scope first).
+    for (auto it = ctx.scopes.rbegin(); it != ctx.scopes.rend(); ++it) {
+        auto f = it->find(e.name);
+        if (f != it->end()) {
+            e.symKind = SymKind::Local;
+            e.symIndex = f->second;
+            e.type = ctx.localTypes[f->second];
+            return;
+        }
+    }
+
+    if (ctx.indexExprMode) {
+        // Operand index expressions may only use encoding fields.
+        if (ctx.format) {
+            for (size_t i = 0; i < ctx.format->fields.size(); ++i) {
+                if (ctx.format->fields[i].name == e.name) {
+                    e.symKind = SymKind::EncField;
+                    e.symIndex = static_cast<int>(i);
+                    e.type = U32;
+                    return;
+                }
+            }
+        }
+        diags_.error(e.loc, "operand index may only reference encoding "
+                            "fields; '" + e.name + "' is not one");
+        e.symKind = SymKind::EncField;
+        e.symIndex = 0;
+        e.type = U32;
+        return;
+    }
+
+    // Slots: fields are global; operand slots must belong to this instr.
+    int si = spec_->findSlot(e.name);
+    if (si >= 0) {
+        const Slot &slot = spec_->slots[si];
+        if (slot.isOperand) {
+            bool mine = false;
+            for (const auto &op : ctx.instr->operands)
+                if (op.slotIndex == si)
+                    mine = true;
+            if (!mine) {
+                diags_.error(e.loc, "operand slot '" + e.name +
+                                        "' is not declared by this "
+                                        "instruction");
+            }
+        }
+        e.symKind = SymKind::Slot;
+        e.symIndex = si;
+        e.type = slot.type;
+        return;
+    }
+
+    // Encoding fields of this instruction's format.
+    if (ctx.format) {
+        for (size_t i = 0; i < ctx.format->fields.size(); ++i) {
+            if (ctx.format->fields[i].name == e.name) {
+                e.symKind = SymKind::EncField;
+                e.symIndex = static_cast<int>(i);
+                e.type = U32;
+                return;
+            }
+        }
+    }
+
+    if (e.name == "pc") {
+        e.symKind = SymKind::ImplicitPc;
+        e.type = U64;
+        return;
+    }
+    if (e.name == "npc") {
+        e.symKind = SymKind::ImplicitNpc;
+        e.type = U64;
+        return;
+    }
+    if (e.name == "inst") {
+        e.symKind = SymKind::ImplicitInst;
+        e.type = U32;
+        return;
+    }
+
+    diags_.error(e.loc, "unknown identifier '" + e.name + "'");
+    e.symKind = SymKind::Local;
+    e.symIndex = 0;
+    e.type = U64;
+    // Make sure symIndex 0 exists so downstream passes don't crash.
+    if (ctx.localTypes.empty())
+        ctx.localTypes.push_back(U64);
+}
+
+ValueType
+Analyzer::resolveExpr(Expr &e, ActionCtx &ctx)
+{
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        e.type = U64;
+        return e.type;
+
+      case Expr::Kind::Ident:
+        resolveIdent(e, ctx);
+        if (e.symKind == SymKind::Slot)
+            ctx.reads |= SlotMask{1} << e.symIndex;
+        return e.type;
+
+      case Expr::Kind::Unary: {
+        ValueType t = resolveExpr(*e.a, ctx);
+        e.type = (e.unOp == UnOp::LogNot) ? U8 : t;
+        return e.type;
+      }
+
+      case Expr::Kind::Binary: {
+        ValueType ta = resolveExpr(*e.a, ctx);
+        ValueType tb = resolveExpr(*e.b, ctx);
+        // Bare literals adopt the other operand's type -- except around
+        // shifts, where the amount's type must not narrow the value (a
+        // literal shifted by a u8 amount still shifts at 64 bits).
+        bool is_shift = e.binOp == BinOp::Shl || e.binOp == BinOp::Shr;
+        if (!is_shift) {
+            if (e.a->kind == Expr::Kind::IntLit &&
+                e.b->kind != Expr::Kind::IntLit) {
+                adoptLiteral(*e.a, tb);
+                ta = tb;
+            } else if (e.b->kind == Expr::Kind::IntLit &&
+                       e.a->kind != Expr::Kind::IntLit) {
+                adoptLiteral(*e.b, ta);
+                tb = ta;
+            }
+        }
+        switch (e.binOp) {
+          case BinOp::Shl:
+          case BinOp::Shr: {
+            // C-style integer promotion: narrow left operands shift at
+            // (at least) 32 bits, so `u8_flag << 29` behaves as in C.
+            ValueType tp = ta.bits >= 32 ? ta
+                                         : ValueType{32, ta.isSigned};
+            e.type = tp;
+            e.promotedType = tp;
+            break;
+          }
+          case BinOp::Eq:
+          case BinOp::Ne:
+          case BinOp::Lt:
+          case BinOp::Le:
+          case BinOp::Gt:
+          case BinOp::Ge:
+            e.type = U8;
+            e.promotedType = promote(ta, tb);
+            break;
+          case BinOp::LogAnd:
+          case BinOp::LogOr:
+            e.type = U8;
+            e.promotedType = U8;
+            break;
+          default:
+            e.type = promote(ta, tb);
+            e.promotedType = e.type;
+            break;
+        }
+        return e.type;
+      }
+
+      case Expr::Kind::Ternary: {
+        resolveExpr(*e.a, ctx);
+        ValueType tb = resolveExpr(*e.b, ctx);
+        ValueType tc = resolveExpr(*e.c, ctx);
+        if (e.b->kind == Expr::Kind::IntLit &&
+            e.c->kind != Expr::Kind::IntLit) {
+            adoptLiteral(*e.b, tc);
+            tb = tc;
+        } else if (e.c->kind == Expr::Kind::IntLit &&
+                   e.b->kind != Expr::Kind::IntLit) {
+            adoptLiteral(*e.c, tb);
+            tc = tb;
+        }
+        e.type = promote(tb, tc);
+        return e.type;
+      }
+
+      case Expr::Kind::Cast: {
+        resolveExpr(*e.a, ctx);
+        e.type = e.castType;
+        return e.type;
+      }
+
+      case Expr::Kind::Call: {
+        auto b = lookupBuiltin(e.name);
+        if (!b) {
+            diags_.error(e.loc, "unknown function '" + e.name + "'");
+            e.builtinIndex = -1;
+            e.type = U64;
+            for (auto &arg : e.args)
+                resolveExpr(*arg, ctx);
+            return e.type;
+        }
+        const BuiltinInfo &info = builtinInfo(*b);
+        if (static_cast<int>(e.args.size()) != info.numArgs) {
+            diags_.error(e.loc,
+                         strcat_args("'", e.name, "' expects ",
+                                     info.numArgs, " argument(s), got ",
+                                     e.args.size()));
+        }
+        if (ctx.indexExprMode) {
+            diags_.error(e.loc, "function calls are not allowed in operand "
+                                "index expressions");
+        }
+        for (auto &arg : e.args) {
+            resolveExpr(*arg, ctx);
+            adoptLiteral(*arg, U64);
+        }
+        e.builtinIndex = static_cast<int>(*b);
+        e.type = info.result;
+        ctx.memAccess |= info.isMemLoad || info.isMemStore;
+        ctx.controlFlow |= info.isControlFlow;
+        if (*b == Builtin::SyscallEmu)
+            ctx.syscall = true;
+        return e.type;
+      }
+    }
+    ONESPEC_PANIC("unreachable expression kind");
+}
+
+void
+Analyzer::expandInlines(StmtPtr &s, int depth)
+{
+    if (!s)
+        return;
+    if (s->kind == Stmt::Kind::Inline) {
+        if (depth > 16) {
+            diags_.error(s->loc, "helper expansion too deep (recursive "
+                                 "helpers?)");
+            s->kind = Stmt::Kind::Block;
+            s->name.clear();
+            return;
+        }
+        const HelperDecl *h = nullptr;
+        for (const auto &hd : desc_.helpers)
+            if (hd.name == s->name)
+                h = &hd;
+        if (!h) {
+            diags_.error(s->loc, "unknown helper '" + s->name + "'");
+            // Neutralize so later passes don't trip on it.
+            s->kind = Stmt::Kind::Block;
+            return;
+        }
+        s = cloneStmt(*h->body);
+        expandInlines(s, depth + 1);
+        return;
+    }
+    for (auto &st : s->body)
+        expandInlines(st, depth);
+    expandInlines(s->thenStmt, depth);
+    expandInlines(s->elseStmt, depth);
+}
+
+void
+Analyzer::resolveStmt(Stmt &s, ActionCtx &ctx)
+{
+    switch (s.kind) {
+      case Stmt::Kind::Inline:
+        ONESPEC_PANIC("inline statement survived expansion");
+      case Stmt::Kind::Block: {
+        ctx.scopes.emplace_back();
+        for (auto &st : s.body)
+            resolveStmt(*st, ctx);
+        ctx.scopes.pop_back();
+        return;
+      }
+
+      case Stmt::Kind::LocalDecl: {
+        if (s.init) {
+            resolveExpr(*s.init, ctx);
+            adoptLiteral(*s.init, s.declType);
+        }
+        if (isReservedName(s.name)) {
+            diags_.error(s.loc, "'" + s.name + "' is a reserved name");
+        }
+        auto &scope = ctx.scopes.back();
+        if (scope.count(s.name)) {
+            diags_.error(s.loc,
+                         "redeclaration of local '" + s.name + "'");
+        }
+        s.localIndex = static_cast<int>(ctx.localTypes.size());
+        ctx.localTypes.push_back(s.declType);
+        scope[s.name] = s.localIndex;
+        return;
+      }
+
+      case Stmt::Kind::Assign: {
+        // Resolve the target without counting it as a slot read.
+        if (s.target->kind == Expr::Kind::Ident) {
+            resolveIdent(*s.target, ctx);
+            switch (s.target->symKind) {
+              case SymKind::Local:
+                break;
+              case SymKind::Slot:
+                ctx.writes |= SlotMask{1} << s.target->symIndex;
+                break;
+              default:
+                diags_.error(s.loc, "cannot assign to '" +
+                                        s.target->name + "'");
+                break;
+            }
+        } else {
+            resolveExpr(*s.target, ctx);
+            diags_.error(s.loc, "assignment target must be an identifier");
+        }
+        ValueType tt = s.target->type;
+        resolveExpr(*s.value, ctx);
+        adoptLiteral(*s.value, tt);
+        return;
+      }
+
+      case Stmt::Kind::If: {
+        resolveExpr(*s.cond, ctx);
+        resolveStmt(*s.thenStmt, ctx);
+        if (s.elseStmt)
+            resolveStmt(*s.elseStmt, ctx);
+        return;
+      }
+
+      case Stmt::Kind::While: {
+        resolveExpr(*s.cond, ctx);
+        resolveStmt(*s.thenStmt, ctx);
+        return;
+      }
+
+      case Stmt::Kind::ExprStmt: {
+        resolveExpr(*s.value, ctx);
+        if (s.value->kind == Expr::Kind::Call &&
+            s.value->builtinIndex >= 0) {
+            // Fine: builtin call used for effect.
+        } else {
+            diags_.warning(s.loc, "expression statement has no effect");
+        }
+        return;
+      }
+    }
+    ONESPEC_PANIC("unreachable statement kind");
+}
+
+// ---------------------------------------------------------------------
+// Decode tree
+// ---------------------------------------------------------------------
+
+std::unique_ptr<DecodeNode>
+Analyzer::buildDecodeNode(std::vector<uint16_t> cands, uint32_t used_mask,
+                          int depth)
+{
+    auto node = std::make_unique<DecodeNode>();
+    auto makeLeaf = [&] {
+        std::stable_sort(cands.begin(), cands.end(),
+                         [&](uint16_t a, uint16_t b) {
+                             return std::popcount(
+                                        spec_->instrs[a].fixedMask) >
+                                    std::popcount(spec_->instrs[b].fixedMask);
+                         });
+        node->testMask = 0;
+        node->candidates = std::move(cands);
+    };
+
+    if (cands.size() <= 2 || depth > 6) {
+        makeLeaf();
+        return node;
+    }
+
+    uint32_t common = ~uint32_t{0};
+    for (uint16_t id : cands)
+        common &= spec_->instrs[id].fixedMask;
+    common &= ~used_mask;
+    if (common == 0) {
+        makeLeaf();
+        return node;
+    }
+
+    // Bound fanout: keep at most the 12 most-significant common bits.
+    while (std::popcount(common) > 12)
+        common &= common - 1; // drop lowest set bit
+
+    node->testMask = common;
+    std::unordered_map<uint32_t, std::vector<uint16_t>> groups;
+    for (uint16_t id : cands) {
+        uint32_t key = 0;
+        uint32_t m = common;
+        unsigned pos = 0;
+        uint32_t fixed = spec_->instrs[id].fixedBits;
+        while (m) {
+            unsigned b = static_cast<unsigned>(std::countr_zero(m));
+            key |= ((fixed >> b) & 1u) << pos;
+            ++pos;
+            m &= m - 1;
+        }
+        groups[key].push_back(id);
+    }
+    if (groups.size() == 1) {
+        // No discrimination achieved; fall back to a leaf.
+        makeLeaf();
+        return node;
+    }
+    for (auto &[key, group] : groups) {
+        node->children.emplace(
+            key, buildDecodeNode(std::move(group), used_mask | common,
+                                 depth + 1));
+    }
+    return node;
+}
+
+void
+Analyzer::buildDecodeTree()
+{
+    // Conflict check: identical patterns cannot be distinguished.
+    std::unordered_map<uint64_t, uint16_t> seen;
+    for (size_t i = 0; i < spec_->instrs.size(); ++i) {
+        const InstrInfo &ii = spec_->instrs[i];
+        uint64_t key = (static_cast<uint64_t>(ii.fixedMask) << 32) |
+                       ii.fixedBits;
+        auto [it, fresh] = seen.emplace(key, static_cast<uint16_t>(i));
+        if (!fresh) {
+            diags_.error(ii.loc,
+                         "instructions '" + spec_->instrs[it->second].name +
+                             "' and '" + ii.name +
+                             "' have identical encodings");
+        }
+    }
+
+    std::vector<uint16_t> all(spec_->instrs.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = static_cast<uint16_t>(i);
+    spec_->decodeRoot = buildDecodeNode(std::move(all), 0, 0);
+}
+
+// ---------------------------------------------------------------------
+// Buildsets
+// ---------------------------------------------------------------------
+
+void
+Analyzer::resolveBuildsets()
+{
+    std::set<std::string> names;
+    for (auto &decl : desc_.buildsets) {
+        if (!names.insert(decl.name).second) {
+            diags_.error(decl.loc,
+                         "duplicate buildset '" + decl.name + "'");
+            continue;
+        }
+        BuildsetInfo bs;
+        bs.name = decl.name;
+        bs.semantic = decl.semantic;
+        bs.info = decl.info;
+        bs.speculation = decl.speculation;
+
+        // Entrypoints.
+        auto allSteps = [] {
+            std::vector<Step> v;
+            for (unsigned i = 0; i < kNumSteps; ++i)
+                v.push_back(static_cast<Step>(i));
+            return v;
+        };
+        switch (decl.semantic) {
+          case SemanticLevel::Block:
+            bs.entrypoints.push_back({"block", allSteps()});
+            break;
+          case SemanticLevel::One:
+            bs.entrypoints.push_back({"one", allSteps()});
+            break;
+          case SemanticLevel::Step:
+            for (unsigned i = 0; i < kNumSteps; ++i) {
+                Step st = static_cast<Step>(i);
+                bs.entrypoints.push_back({stepName(st), {st}});
+            }
+            break;
+          case SemanticLevel::Custom: {
+            for (const auto &ep : decl.entrypoints) {
+                EntrypointInfo info;
+                info.name = ep.name;
+                for (const auto &sn : ep.steps) {
+                    Step st;
+                    if (!parseStep(sn, st)) {
+                        diags_.error(ep.loc,
+                                     "unknown step '" + sn +
+                                         "' in entrypoint '" + ep.name +
+                                         "'");
+                        continue;
+                    }
+                    info.steps.push_back(st);
+                }
+                bs.entrypoints.push_back(std::move(info));
+            }
+            break;
+          }
+        }
+
+        // Every step must appear exactly once, in canonical order within
+        // each entrypoint.
+        bs.stepOwner.fill(-1);
+        for (size_t e = 0; e < bs.entrypoints.size(); ++e) {
+            Step prev = Step::Fetch;
+            bool first = true;
+            for (Step st : bs.entrypoints[e].steps) {
+                unsigned si = static_cast<unsigned>(st);
+                if (bs.stepOwner[si] != -1) {
+                    diags_.error(decl.loc,
+                                 strcat_args("step '", stepName(st),
+                                             "' appears in more than one "
+                                             "entrypoint of buildset '",
+                                             decl.name, "'"));
+                }
+                bs.stepOwner[si] = static_cast<int>(e);
+                if (!first && static_cast<unsigned>(st) <=
+                                  static_cast<unsigned>(prev)) {
+                    diags_.error(decl.loc,
+                                 strcat_args("steps of entrypoint '",
+                                             bs.entrypoints[e].name,
+                                             "' are not in canonical "
+                                             "order"));
+                }
+                prev = st;
+                first = false;
+            }
+        }
+        for (unsigned i = 0; i < kNumSteps; ++i) {
+            if (bs.stepOwner[i] == -1) {
+                diags_.error(decl.loc,
+                             strcat_args("step '",
+                                         stepName(static_cast<Step>(i)),
+                                         "' is missing from buildset '",
+                                         decl.name, "'"));
+            }
+        }
+
+        // Visibility.
+        switch (decl.info) {
+          case InfoLevel::Min:
+            bs.visibleSlots = 0;
+            bs.opRegsVisible = false;
+            break;
+          case InfoLevel::Decode:
+            bs.visibleSlots = spec_->slotsForInfoLevel(InfoLevel::Decode);
+            bs.opRegsVisible = true;
+            break;
+          case InfoLevel::All:
+            bs.visibleSlots = spec_->slotsForInfoLevel(InfoLevel::All);
+            bs.opRegsVisible = true;
+            break;
+          case InfoLevel::Custom: {
+            if (!decl.showList.empty()) {
+                bs.visibleSlots = 0;
+                for (const auto &n : decl.showList) {
+                    int si = spec_->findSlot(n);
+                    if (si < 0) {
+                        diags_.error(decl.loc,
+                                     "unknown field '" + n +
+                                         "' in visibility list");
+                        continue;
+                    }
+                    bs.visibleSlots |= SlotMask{1} << si;
+                }
+            } else {
+                bs.visibleSlots = spec_->slotsForInfoLevel(InfoLevel::All);
+            }
+            for (const auto &n : decl.hideList) {
+                int si = spec_->findSlot(n);
+                if (si < 0) {
+                    diags_.error(decl.loc, "unknown field '" + n +
+                                               "' in visibility list");
+                    continue;
+                }
+                bs.visibleSlots &= ~(SlotMask{1} << si);
+            }
+            bs.opRegsVisible = true;
+            break;
+          }
+        }
+
+        checkInterfaceCompleteness(bs);
+        spec_->buildsets.push_back(std::move(bs));
+    }
+}
+
+void
+Analyzer::checkInterfaceCompleteness(BuildsetInfo &bs)
+{
+    if (bs.entrypoints.size() <= 1)
+        return; // everything stays in one call's locals
+
+    for (const auto &ii : spec_->instrs) {
+        // For each slot, the last entrypoint that wrote it must be the one
+        // that reads it, or the slot must be visible.
+        for (unsigned si = 0; si < spec_->slots.size(); ++si) {
+            SlotMask bit = SlotMask{1} << si;
+            if (bs.visibleSlots & bit)
+                continue;
+            int writer_ep = -1;
+            for (unsigned st = 0; st < kNumSteps; ++st) {
+                int ep = bs.stepOwner[st];
+                if ((ii.slotReads[st] & bit) && writer_ep >= 0 &&
+                    writer_ep != ep) {
+                    diags_.warning(
+                        ii.loc,
+                        strcat_args("buildset '", bs.name, "': slot '",
+                                    spec_->slots[si].name,
+                                    "' of instruction '", ii.name,
+                                    "' crosses entrypoints but is hidden; "
+                                    "its value will be lost"));
+                    break;
+                }
+                if (ii.slotWrites[st] & bit)
+                    writer_ep = ep;
+            }
+        }
+        // Operand register identifiers flow decode -> read_operands /
+        // writeback.
+        if (!bs.opRegsVisible && !ii.operands.empty()) {
+            int dec_ep = bs.stepOwner[static_cast<unsigned>(Step::Decode)];
+            int rd_ep =
+                bs.stepOwner[static_cast<unsigned>(Step::ReadOperands)];
+            int wb_ep = bs.stepOwner[static_cast<unsigned>(Step::Writeback)];
+            if (dec_ep != rd_ep || dec_ep != wb_ep) {
+                diags_.warning(ii.loc,
+                               strcat_args(
+                                   "buildset '", bs.name,
+                                   "': operand identifiers are hidden but "
+                                   "decode and operand access are in "
+                                   "different entrypoints"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------
+
+void
+Analyzer::computeFingerprint()
+{
+    uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    auto mixs = [&](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+        }
+    };
+    mixs(spec_->props.name);
+    mix(spec_->props.wordBits);
+    mix(spec_->props.instrBytes);
+    mix(spec_->props.littleEndian);
+    mix(spec_->state.totalWords);
+    mix(spec_->slots.size());
+    for (const auto &s : spec_->slots) {
+        mixs(s.name);
+        mix(s.type.bits);
+    }
+    mix(spec_->instrs.size());
+    for (const auto &ii : spec_->instrs) {
+        mixs(ii.name);
+        mix(ii.fixedMask);
+        mix(ii.fixedBits);
+        mix(ii.operands.size());
+    }
+    spec_->fingerprint = h;
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Spec>
+Analyzer::run()
+{
+    if (desc_.isa.name.empty()) {
+        diags_.error(SourceLoc{}, "description has no 'isa' declaration");
+        return std::move(spec_);
+    }
+    spec_->props = desc_.isa;
+    if (desc_.isa.instrBytes != 4 && desc_.isa.instrBytes != 2) {
+        diags_.error(desc_.isa.loc,
+                     "only 2- and 4-byte instructions are supported");
+    }
+
+    buildState();
+    if (diags_.hasErrors())
+        return std::move(spec_);
+    buildAbi();
+    checkFormats();
+    buildSlots();
+    if (diags_.hasErrors())
+        return std::move(spec_);
+    mergeAndResolveInstrs();
+    if (diags_.hasErrors())
+        return std::move(spec_);
+    buildDecodeTree();
+    resolveBuildsets();
+    computeFingerprint();
+    return std::move(spec_);
+}
+
+} // namespace
+
+std::unique_ptr<Spec>
+analyze(Description desc, DiagnosticEngine &diags)
+{
+    return Analyzer(std::move(desc), diags).run();
+}
+
+} // namespace onespec

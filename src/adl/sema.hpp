@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Semantic analysis: turns a parsed Description into a resolved Spec.
+ *
+ * Responsibilities:
+ *  - build the architectural-state layout and resolve the ABI;
+ *  - build the slot table (fields + operand value slots);
+ *  - merge opclass behaviour into instructions (class actions run before
+ *    instruction actions for the same step);
+ *  - resolve and type-check all action code and operand index expressions;
+ *  - compute per-step slot data flow and instruction properties;
+ *  - build and conflict-check the decode tree;
+ *  - resolve buildsets (entrypoints, visibility) and run the
+ *    interface-completeness check: a slot produced in one entrypoint and
+ *    consumed in another must be visible, otherwise its value cannot cross
+ *    the interface (reported as a warning; the paper observes such errors
+ *    manifest within a few hundred simulated instructions).
+ */
+
+#ifndef ONESPEC_ADL_SEMA_HPP
+#define ONESPEC_ADL_SEMA_HPP
+
+#include <memory>
+
+#include "adl/ast.hpp"
+#include "adl/spec.hpp"
+#include "support/diag.hpp"
+
+namespace onespec {
+
+/**
+ * Analyze @p desc.  Returns a Spec (only meaningful when
+ * !diags.hasErrors()).  @p desc is consumed: action ASTs are moved into
+ * the Spec.
+ */
+std::unique_ptr<Spec> analyze(Description desc, DiagnosticEngine &diags);
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_SEMA_HPP

@@ -1,0 +1,133 @@
+#include "spec.hpp"
+
+#include "support/bitutil.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+const char *
+stepName(Step s)
+{
+    switch (s) {
+      case Step::Fetch: return "fetch";
+      case Step::Decode: return "decode";
+      case Step::ReadOperands: return "read_operands";
+      case Step::Execute: return "execute";
+      case Step::Memory: return "memory";
+      case Step::Writeback: return "writeback";
+      case Step::Exception: return "exception";
+    }
+    return "?";
+}
+
+bool
+parseStep(const std::string &name, Step &out)
+{
+    for (unsigned i = 0; i < kNumSteps; ++i) {
+        if (name == stepName(static_cast<Step>(i))) {
+            out = static_cast<Step>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+StateLayout::fileIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < files.size(); ++i)
+        if (files[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+StateLayout::scalarIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < scalars.size(); ++i)
+        if (scalars[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+namespace {
+
+/** Compress the bits of @p v selected by @p mask into the low bits. */
+uint32_t
+extractCompressed(uint32_t v, uint32_t mask)
+{
+    uint32_t out = 0;
+    unsigned pos = 0;
+    while (mask) {
+        unsigned b = static_cast<unsigned>(std::countr_zero(mask));
+        out |= ((v >> b) & 1u) << pos;
+        ++pos;
+        mask &= mask - 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+Spec::decode(uint32_t inst) const
+{
+    const DecodeNode *node = decodeRoot.get();
+    while (node && node->testMask) {
+        uint32_t key = extractCompressed(inst, node->testMask);
+        auto it = node->children.find(key);
+        if (it == node->children.end())
+            return -1;
+        node = it->second.get();
+    }
+    if (!node)
+        return -1;
+    for (uint16_t id : node->candidates) {
+        const InstrInfo &ii = instrs[id];
+        if ((inst & ii.fixedMask) == ii.fixedBits)
+            return id;
+    }
+    return -1;
+}
+
+const BuildsetInfo *
+Spec::findBuildset(const std::string &name) const
+{
+    for (const auto &bs : buildsets)
+        if (bs.name == name)
+            return &bs;
+    return nullptr;
+}
+
+int
+Spec::findSlot(const std::string &name) const
+{
+    auto it = slotIndex.find(name);
+    return it == slotIndex.end() ? -1 : it->second;
+}
+
+SlotMask
+Spec::slotsForInfoLevel(InfoLevel level) const
+{
+    SlotMask m = 0;
+    for (size_t i = 0; i < slots.size(); ++i) {
+        bool vis = false;
+        switch (level) {
+          case InfoLevel::Min:
+            vis = false;
+            break;
+          case InfoLevel::Decode:
+            vis = slots[i].category == FieldCategory::Decode;
+            break;
+          case InfoLevel::All:
+          case InfoLevel::Custom:
+            vis = true;
+            break;
+        }
+        if (vis)
+            m |= SlotMask{1} << i;
+    }
+    return m;
+}
+
+} // namespace onespec

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * The resolved specification model produced by semantic analysis.  A Spec
+ * is the single source of truth from which every derived artifact is
+ * produced: the interpreter executes it directly, the code generator
+ * specializes it per buildset, the decoder and the encoder (assembler) are
+ * both views of its encoding information, and the architectural-state
+ * layout is computed from its state declarations.
+ */
+
+#ifndef ONESPEC_ADL_SPEC_HPP
+#define ONESPEC_ADL_SPEC_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adl/ast.hpp"
+#include "adl/builtins.hpp"
+#include "adl/types.hpp"
+
+namespace onespec {
+
+// ---------------------------------------------------------------------
+// Steps
+// ---------------------------------------------------------------------
+
+/**
+ * The canonical semantic steps, mirroring the paper's seven interface
+ * calls: fetch, decode, operand fetch, evaluate, memory, writeback,
+ * exception.
+ */
+enum class Step : uint8_t
+{
+    Fetch = 0,
+    Decode,
+    ReadOperands,
+    Execute,
+    Memory,
+    Writeback,
+    Exception,
+};
+
+constexpr unsigned kNumSteps = 7;
+
+const char *stepName(Step s);
+/** Parse a step name; returns false if unknown. */
+bool parseStep(const std::string &name, Step &out);
+
+// ---------------------------------------------------------------------
+// Slots (informational detail)
+// ---------------------------------------------------------------------
+
+/** Upper bound on value slots per ISA (fields + operand value slots). */
+constexpr unsigned kMaxSlots = 48;
+/** Upper bound on operands per instruction. */
+constexpr unsigned kMaxOps = 8;
+
+/** Bitmask over slot indices. */
+using SlotMask = uint64_t;
+
+/**
+ * One value slot of the dynamic-instruction record: either a declared
+ * `field` (intermediate value) or an operand value slot.
+ */
+struct Slot
+{
+    std::string name;
+    ValueType type;
+    FieldCategory category = FieldCategory::All;
+    bool isOperand = false;
+};
+
+// ---------------------------------------------------------------------
+// Architectural state layout
+// ---------------------------------------------------------------------
+
+/**
+ * Flat layout of all architectural state in a single uint64_t array.
+ * PC is implicit and lives outside the array.
+ */
+struct StateLayout
+{
+    struct File
+    {
+        std::string name;
+        unsigned count = 0;
+        ValueType type;
+        int zeroReg = -1;
+        unsigned base = 0;      ///< offset of element 0 in the flat array
+    };
+
+    struct Scalar
+    {
+        std::string name;
+        ValueType type;
+        unsigned offset = 0;
+    };
+
+    std::vector<File> files;
+    std::vector<Scalar> scalars;
+    unsigned totalWords = 0;
+
+    /** Find a register file by name; -1 if absent. */
+    int fileIndex(const std::string &name) const;
+    /** Find a scalar register by name; -1 if absent. */
+    int scalarIndex(const std::string &name) const;
+};
+
+/** A resolved reference to one architectural register. */
+struct ResolvedStateRef
+{
+    bool valid = false;
+    bool scalar = false;
+    int fileIndex = -1;     ///< when !scalar
+    int regIndex = -1;      ///< when !scalar
+    int scalarIdx = -1;     ///< when scalar
+};
+
+/** Resolved ABI description for OS-call emulation. */
+struct ResolvedAbi
+{
+    ResolvedStateRef syscallNum;
+    std::vector<ResolvedStateRef> args;
+    ResolvedStateRef ret;
+    ResolvedStateRef error;     ///< may be !valid
+    ResolvedStateRef stack;
+};
+
+// ---------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------
+
+/** A resolved operand of an instruction. */
+struct ResolvedOperand
+{
+    bool isDst = false;
+    int slotIndex = -1;
+    bool scalar = false;        ///< scalar reg rather than regfile element
+    int fileIndex = -1;         ///< regfile index (when !scalar)
+    int scalarIdx = -1;         ///< scalar index (when scalar)
+    ExprPtr indexExpr;          ///< regfile element selector (encoding expr)
+};
+
+/** One semantic action of an instruction, bound to a step. */
+struct InstrAction
+{
+    StmtPtr body;               ///< null if the instruction has no action
+    unsigned numLocals = 0;     ///< locals allocated by sema
+    std::vector<ValueType> localTypes;
+};
+
+/** A fully resolved instruction. */
+struct InstrInfo
+{
+    std::string name;
+    int formatIndex = -1;
+    SourceLoc loc;
+
+    /** Encoding bits fixed by the match clause. */
+    uint32_t fixedMask = 0;
+    uint32_t fixedBits = 0;
+
+    std::vector<ResolvedOperand> operands;
+    std::array<InstrAction, kNumSteps> actions;
+
+    /** Slot data-flow per step (for interface-completeness checking). */
+    std::array<SlotMask, kNumSteps> slotReads{};
+    std::array<SlotMask, kNumSteps> slotWrites{};
+
+    /** True if any action may change control flow (branch/fault/...). */
+    bool isControlFlow = false;
+    /** True if the instruction enters OS emulation. */
+    bool isSyscall = false;
+    /** True if any action touches memory. */
+    bool hasMemAccess = false;
+};
+
+// ---------------------------------------------------------------------
+// Decode tree
+// ---------------------------------------------------------------------
+
+/**
+ * Decision tree mapping an instruction word to an instruction id.
+ * Interior nodes test a mask; leaves hold candidates ordered most-specific
+ * first, each verified against its full fixed mask.
+ */
+struct DecodeNode
+{
+    uint32_t testMask = 0;  ///< 0 => leaf
+    /** Interior: value (bits under testMask, compacted) -> child. */
+    std::unordered_map<uint32_t, std::unique_ptr<DecodeNode>> children;
+    /** Leaf (or fallback): candidate instruction ids, most specific first. */
+    std::vector<uint16_t> candidates;
+};
+
+// ---------------------------------------------------------------------
+// Buildsets (interfaces)
+// ---------------------------------------------------------------------
+
+/** One interface entrypoint: a named, ordered group of steps. */
+struct EntrypointInfo
+{
+    std::string name;
+    std::vector<Step> steps;
+};
+
+/** A resolved interface specification. */
+struct BuildsetInfo
+{
+    std::string name;
+    SemanticLevel semantic = SemanticLevel::One;
+    InfoLevel info = InfoLevel::All;
+    bool speculation = false;
+
+    std::vector<EntrypointInfo> entrypoints;
+
+    /** Which slots are stored into the DynInst record. */
+    SlotMask visibleSlots = 0;
+    /** Whether operand register identifiers are recorded. */
+    bool opRegsVisible = true;
+
+    /** Step -> entrypoint index (for completeness analysis). */
+    std::array<int, kNumSteps> stepOwner{};
+};
+
+// ---------------------------------------------------------------------
+// Spec
+// ---------------------------------------------------------------------
+
+/** A fully resolved, validated ISA + interface specification. */
+struct Spec
+{
+    IsaProps props;
+    StateLayout state;
+    ResolvedAbi abi;
+
+    std::vector<Slot> slots;
+    std::unordered_map<std::string, int> slotIndex;
+
+    std::vector<FormatDecl> formats;
+    std::vector<InstrInfo> instrs;
+    std::unordered_map<std::string, int> instrIndex;
+
+    std::unique_ptr<DecodeNode> decodeRoot;
+
+    std::vector<BuildsetInfo> buildsets;
+
+    /** Content fingerprint for generated-code integrity checks. */
+    uint64_t fingerprint = 0;
+
+    /** Decode @p inst; returns instruction id or -1 if illegal. */
+    int decode(uint32_t inst) const;
+
+    /** Find a buildset by name; nullptr if absent. */
+    const BuildsetInfo *findBuildset(const std::string &name) const;
+
+    /** Find a slot by name; -1 if absent. */
+    int findSlot(const std::string &name) const;
+
+    /** The slot mask implied by an informational level. */
+    SlotMask slotsForInfoLevel(InfoLevel level) const;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_SPEC_HPP

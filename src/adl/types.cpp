@@ -1,0 +1,56 @@
+#include "types.hpp"
+
+#include "support/bitutil.hpp"
+
+namespace onespec {
+
+std::string
+ValueType::cppName() const
+{
+    std::string base = isSigned ? "int" : "uint";
+    return base + std::to_string(static_cast<int>(bits)) + "_t";
+}
+
+std::string
+ValueType::lisName() const
+{
+    return (isSigned ? "s" : "u") + std::to_string(static_cast<int>(bits));
+}
+
+std::optional<ValueType>
+parseValueType(const std::string &name)
+{
+    if (name.size() < 2 || (name[0] != 'u' && name[0] != 's'))
+        return std::nullopt;
+    bool sgn = name[0] == 's';
+    std::string w = name.substr(1);
+    if (w == "8")
+        return ValueType{8, sgn};
+    if (w == "16")
+        return ValueType{16, sgn};
+    if (w == "32")
+        return ValueType{32, sgn};
+    if (w == "64")
+        return ValueType{64, sgn};
+    return std::nullopt;
+}
+
+ValueType
+promote(ValueType a, ValueType b)
+{
+    if (a.bits != b.bits)
+        return a.bits > b.bits ? a : b;
+    if (!a.isSigned || !b.isSigned)
+        return ValueType{a.bits, false};
+    return a;
+}
+
+uint64_t
+normalize(uint64_t raw, ValueType t)
+{
+    if (t.isSigned)
+        return sext(raw, t.bits);
+    return zext(raw, t.bits);
+}
+
+} // namespace onespec

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Value types of the LIS action language.  Every runtime value is carried
+ * in a uint64_t; a ValueType records the logical width and signedness so
+ * that the interpreter and the C++ code generator apply identical
+ * wrap/extend semantics.
+ */
+
+#ifndef ONESPEC_ADL_TYPES_HPP
+#define ONESPEC_ADL_TYPES_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace onespec {
+
+/** A scalar value type: u8..u64 or s8..s64. */
+struct ValueType
+{
+    uint8_t bits = 64;
+    bool isSigned = false;
+
+    bool operator==(const ValueType &) const = default;
+
+    /** The C++ spelling used by the code generator (e.g. "uint32_t"). */
+    std::string cppName() const;
+
+    /** The LIS spelling (e.g. "u32"). */
+    std::string lisName() const;
+};
+
+constexpr ValueType U8{8, false};
+constexpr ValueType U16{16, false};
+constexpr ValueType U32{32, false};
+constexpr ValueType U64{64, false};
+constexpr ValueType S8{8, true};
+constexpr ValueType S16{16, true};
+constexpr ValueType S32{32, true};
+constexpr ValueType S64{64, true};
+
+/** Parse a LIS type name; nullopt if @p name is not a type. */
+std::optional<ValueType> parseValueType(const std::string &name);
+
+/**
+ * C-like promotion for binary operators: the wider type wins; at equal
+ * width, unsigned wins.
+ */
+ValueType promote(ValueType a, ValueType b);
+
+/** Truncate/extend @p raw (a bag of 64 bits) to be a valid value of @p t. */
+uint64_t normalize(uint64_t raw, ValueType t);
+
+} // namespace onespec
+
+#endif // ONESPEC_ADL_TYPES_HPP

@@ -1,0 +1,1137 @@
+#include "cppgen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "adl/builtins.hpp"
+#include "iface/dyninst.hpp"
+#include "support/bitutil.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+namespace {
+
+/** Step-mask bits. */
+constexpr unsigned
+stepBit(Step s)
+{
+    return 1u << static_cast<unsigned>(s);
+}
+
+constexpr unsigned kFullMask = (1u << kNumSteps) - 1;
+
+/**
+ * A specialization profile: the properties that change generated code.
+ * Buildsets sharing a profile share generated group functions.
+ */
+struct Profile
+{
+    SlotMask vis = 0;
+    bool spec = false;
+    bool opRegs = true;
+    int id = 0;
+};
+
+/** One generated group function: a set of steps for one profile. */
+struct Group
+{
+    int profile = 0;
+    unsigned mask = 0;
+    bool decodePreset = false;  ///< di.inst/di.opId supplied by the caller
+    std::string fnName;
+};
+
+class CppGen
+{
+  public:
+    CppGen(const Spec &spec, std::string only)
+        : spec_(spec), only_(std::move(only))
+    {}
+
+    std::string run();
+
+  private:
+    int profileFor(const BuildsetInfo &bs);
+    const std::string &groupFn(int profile, unsigned mask, bool preset);
+    void planBuildsets();
+
+    void emitPrelude();
+    void emitDecoder();
+    void emitDecodeNode(const DecodeNode &node, int indent);
+    void emitTables();
+    void emitEngineOpen();
+    void emitGroup(const Group &g);
+    void emitInstrCase(const Group &g, const Profile &p, uint16_t id);
+    void emitBlockExec(int profile);
+    void emitBuildsetClass(const BuildsetInfo &bs);
+    void emitEpilogue();
+
+    // Action-language emission.
+    struct ECtx
+    {
+        const InstrInfo *instr = nullptr;
+        const FormatDecl *fmt = nullptr;
+        bool spec = false;
+        SlotMask vis = 0;
+        int faultLabel = 0;
+        bool sawMayFault = false;
+    };
+
+    std::string emitExpr(const Expr &e, ECtx &ctx);
+    std::string emitCall(const Expr &e, ECtx &ctx);
+    void emitStmt(const Stmt &s, ECtx &ctx, int ind);
+    static bool stmtMayFault(const Stmt &s);
+    static bool exprMayFault(const Expr &e);
+
+    std::string emitIndexExpr(const Expr &e, const InstrInfo &ii);
+    std::string regRead(const ResolvedOperand &op, const std::string &idx);
+
+    static std::string vt(ValueType t);
+    static std::string hex(uint64_t v);
+    std::string norm(const std::string &e, ValueType from, ValueType to);
+
+    void
+    line(int ind, const std::string &s)
+    {
+        for (int i = 0; i < ind; ++i)
+            out_ << "    ";
+        out_ << s << "\n";
+    }
+
+    const Spec &spec_;
+    std::string only_;
+    std::ostringstream out_;
+
+    std::vector<Profile> profiles_;
+    std::vector<Group> groups_;
+    std::vector<const BuildsetInfo *> selected_;
+    int labelCounter_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------
+
+std::string
+CppGen::vt(ValueType t)
+{
+    std::ostringstream os;
+    os << "VT{" << static_cast<int>(t.bits) << ", "
+       << (t.isSigned ? "true" : "false") << "}";
+    return os.str();
+}
+
+std::string
+CppGen::hex(uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v << "ull";
+    return os.str();
+}
+
+std::string
+CppGen::norm(const std::string &e, ValueType from, ValueType to)
+{
+    if (from == to)
+        return e;
+    return "::onespec::normalize(" + e + ", " + vt(to) + ")";
+}
+
+// ---------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------
+
+int
+CppGen::profileFor(const BuildsetInfo &bs)
+{
+    for (const auto &p : profiles_) {
+        if (p.vis == bs.visibleSlots && p.spec == bs.speculation &&
+            p.opRegs == bs.opRegsVisible) {
+            return p.id;
+        }
+    }
+    Profile p;
+    p.vis = bs.visibleSlots;
+    p.spec = bs.speculation;
+    p.opRegs = bs.opRegsVisible;
+    p.id = static_cast<int>(profiles_.size());
+    profiles_.push_back(p);
+    return p.id;
+}
+
+const std::string &
+CppGen::groupFn(int profile, unsigned mask, bool preset)
+{
+    for (const auto &g : groups_) {
+        if (g.profile == profile && g.mask == mask &&
+            g.decodePreset == preset) {
+            return g.fnName;
+        }
+    }
+    Group g;
+    g.profile = profile;
+    g.mask = mask;
+    g.decodePreset = preset;
+    std::ostringstream n;
+    n << "g_p" << profile << "_m" << std::hex << mask
+      << (preset ? "_pre" : "");
+    g.fnName = n.str();
+    groups_.push_back(std::move(g));
+    return groups_.back().fnName;
+}
+
+void
+CppGen::planBuildsets()
+{
+    for (const auto &bs : spec_.buildsets) {
+        if (!only_.empty() && bs.name != only_)
+            continue;
+        selected_.push_back(&bs);
+        int p = profileFor(bs);
+        switch (bs.semantic) {
+          case SemanticLevel::One:
+            groupFn(p, kFullMask, false);
+            break;
+          case SemanticLevel::Block:
+            groupFn(p, kFullMask, false);
+            // Cached-block replay path: decode preset by the cache.
+            groupFn(p, kFullMask & ~stepBit(Step::Fetch), true);
+            break;
+          case SemanticLevel::Step:
+            for (unsigned s = 0; s < kNumSteps; ++s)
+                groupFn(p, 1u << s, false);
+            break;
+          case SemanticLevel::Custom:
+            for (const auto &ep : bs.entrypoints) {
+                unsigned m = 0;
+                for (Step st : ep.steps)
+                    m |= stepBit(st);
+                groupFn(p, m, false);
+            }
+            break;
+        }
+    }
+    if (selected_.empty())
+        ONESPEC_FATAL("no buildset selected for code generation",
+                      only_.empty() ? "" : (" (wanted '" + only_ + "')"));
+}
+
+// ---------------------------------------------------------------------
+// Expression emission
+// ---------------------------------------------------------------------
+
+bool
+CppGen::exprMayFault(const Expr &e)
+{
+    if (e.kind == Expr::Kind::Call && e.builtinIndex >= 0) {
+        const BuiltinInfo &bi =
+            builtinInfo(static_cast<Builtin>(e.builtinIndex));
+        if (bi.isMemLoad || bi.isMemStore ||
+            static_cast<Builtin>(e.builtinIndex) == Builtin::Fault) {
+            return true;
+        }
+    }
+    if (e.a && exprMayFault(*e.a))
+        return true;
+    if (e.b && exprMayFault(*e.b))
+        return true;
+    if (e.c && exprMayFault(*e.c))
+        return true;
+    for (const auto &a : e.args)
+        if (exprMayFault(*a))
+            return true;
+    return false;
+}
+
+bool
+CppGen::stmtMayFault(const Stmt &s)
+{
+    switch (s.kind) {
+      case Stmt::Kind::Block:
+        for (const auto &st : s.body)
+            if (stmtMayFault(*st))
+                return true;
+        return false;
+      case Stmt::Kind::LocalDecl:
+        return s.init && exprMayFault(*s.init);
+      case Stmt::Kind::Assign:
+        return exprMayFault(*s.value);
+      case Stmt::Kind::If:
+        return exprMayFault(*s.cond) || stmtMayFault(*s.thenStmt) ||
+               (s.elseStmt && stmtMayFault(*s.elseStmt));
+      case Stmt::Kind::While:
+        return exprMayFault(*s.cond) || stmtMayFault(*s.thenStmt);
+      case Stmt::Kind::ExprStmt:
+        return exprMayFault(*s.value);
+      case Stmt::Kind::Inline:
+        break;
+    }
+    return false;
+}
+
+std::string
+CppGen::emitCall(const Expr &e, ECtx &ctx)
+{
+    Builtin b = static_cast<Builtin>(e.builtinIndex);
+    std::vector<std::string> a;
+    for (const auto &arg : e.args)
+        a.push_back(emitExpr(*arg, ctx));
+
+    switch (b) {
+      case Builtin::Sext8: return "::onespec::sext(" + a[0] + ", 8)";
+      case Builtin::Sext16: return "::onespec::sext(" + a[0] + ", 16)";
+      case Builtin::Sext32: return "::onespec::sext(" + a[0] + ", 32)";
+      case Builtin::Zext8: return "::onespec::zext(" + a[0] + ", 8)";
+      case Builtin::Zext16: return "::onespec::zext(" + a[0] + ", 16)";
+      case Builtin::Zext32: return "::onespec::zext(" + a[0] + ", 32)";
+      case Builtin::Rotl32:
+        return "(uint64_t)::onespec::rotl32((uint32_t)(" + a[0] +
+               "), (unsigned)(" + a[1] + "))";
+      case Builtin::Rotr32:
+        return "(uint64_t)::onespec::rotr32((uint32_t)(" + a[0] +
+               "), (unsigned)(" + a[1] + "))";
+      case Builtin::Rotl64:
+        return "::onespec::rotl64(" + a[0] + ", (unsigned)(" + a[1] +
+               "))";
+      case Builtin::Rotr64:
+        return "::onespec::rotr64(" + a[0] + ", (unsigned)(" + a[1] +
+               "))";
+      case Builtin::Clz32:
+        return "(uint64_t)::onespec::clz(" + a[0] + ", 32)";
+      case Builtin::Clz64:
+        return "(uint64_t)::onespec::clz(" + a[0] + ", 64)";
+      case Builtin::Ctz32:
+        return "(uint64_t)::onespec::ctz(" + a[0] + ", 32)";
+      case Builtin::Ctz64:
+        return "(uint64_t)::onespec::ctz(" + a[0] + ", 64)";
+      case Builtin::Popcount:
+        return "(uint64_t)::onespec::popcount(" + a[0] + ")";
+      case Builtin::Addc32:
+        return "::onespec::carryOut(" + a[0] + ", " + a[1] + ", (" +
+               a[2] + ") & 1, 32)";
+      case Builtin::Addv32:
+        return "::onespec::overflowAdd(" + a[0] + ", " + a[1] + ", (" +
+               a[2] + ") & 1, 32)";
+      case Builtin::Addc64:
+        return "::onespec::carryOut(" + a[0] + ", " + a[1] + ", (" +
+               a[2] + ") & 1, 64)";
+      case Builtin::Addv64:
+        return "::onespec::overflowAdd(" + a[0] + ", " + a[1] + ", (" +
+               a[2] + ") & 1, 64)";
+      case Builtin::MulhU64:
+        return "::onespec::osgMulhU(" + a[0] + ", " + a[1] + ")";
+      case Builtin::MulhS64:
+        return "::onespec::osgMulhS(" + a[0] + ", " + a[1] + ")";
+
+      case Builtin::LoadU8:
+        ctx.sawMayFault = true;
+        return "this->memRead(" + a[0] + ", 1, di)";
+      case Builtin::LoadU16:
+        ctx.sawMayFault = true;
+        return "this->memRead(" + a[0] + ", 2, di)";
+      case Builtin::LoadU32:
+        ctx.sawMayFault = true;
+        return "this->memRead(" + a[0] + ", 4, di)";
+      case Builtin::LoadU64:
+        ctx.sawMayFault = true;
+        return "this->memRead(" + a[0] + ", 8, di)";
+
+      case Builtin::StoreU8:
+      case Builtin::StoreU16:
+      case Builtin::StoreU32:
+      case Builtin::StoreU64: {
+        ctx.sawMayFault = true;
+        unsigned len = 1u << (static_cast<int>(b) -
+                              static_cast<int>(Builtin::StoreU8));
+        return "(this->memWrite<" +
+               std::string(ctx.spec ? "true" : "false") + ">(" + a[0] +
+               ", " + a[1] + ", " + std::to_string(len) +
+               ", di), 0ull)";
+      }
+
+      case Builtin::Branch:
+        return "(di.npc = (" + a[0] +
+               "), di.flags |= ::onespec::kFlagBranchTaken, 0ull)";
+      case Builtin::Fault:
+        ctx.sawMayFault = true;
+        return "(::onespec::osgRaise(di, " + a[0] + "), 0ull)";
+      case Builtin::SyscallEmu:
+        return "(this->doSyscall(di), 0ull)";
+      case Builtin::Halt:
+        return "(di.flags |= ::onespec::kFlagHalted, 0ull)";
+
+      default:
+        ONESPEC_PANIC("unknown builtin in codegen");
+    }
+}
+
+std::string
+CppGen::emitExpr(const Expr &e, ECtx &ctx)
+{
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return hex(normalize(e.intValue, e.type));
+
+      case Expr::Kind::Ident:
+        switch (e.symKind) {
+          case SymKind::Local:
+            return "l" + std::to_string(e.symIndex);
+          case SymKind::Slot:
+            return "s" + std::to_string(e.symIndex);
+          case SymKind::EncField: {
+            const FormatField &ff = ctx.fmt->fields[e.symIndex];
+            return "::onespec::bits(inst, " + std::to_string(ff.hi) +
+                   ", " + std::to_string(ff.lo) + ")";
+          }
+          case SymKind::ImplicitPc:
+            return "di.pc";
+          case SymKind::ImplicitNpc:
+            return "di.npc";
+          case SymKind::ImplicitInst:
+            return "(uint64_t)inst";
+          case SymKind::Unresolved:
+            break;
+        }
+        ONESPEC_PANIC("unresolved identifier in codegen");
+
+      case Expr::Kind::Unary: {
+        std::string a = emitExpr(*e.a, ctx);
+        switch (e.unOp) {
+          case UnOp::Neg:
+            return norm("(0 - " + a + ")", ValueType{64, false}, e.type);
+          case UnOp::BitNot:
+            return norm("(~(" + a + "))", ValueType{64, false}, e.type);
+          case UnOp::LogNot:
+            return "((" + a + ") == 0 ? 1ull : 0ull)";
+        }
+        ONESPEC_PANIC("bad unop");
+      }
+
+      case Expr::Kind::Binary: {
+        if (e.binOp == BinOp::LogAnd) {
+            return "(((" + emitExpr(*e.a, ctx) + ") != 0) && ((" +
+                   emitExpr(*e.b, ctx) + ") != 0) ? 1ull : 0ull)";
+        }
+        if (e.binOp == BinOp::LogOr) {
+            return "(((" + emitExpr(*e.a, ctx) + ") != 0) || ((" +
+                   emitExpr(*e.b, ctx) + ") != 0) ? 1ull : 0ull)";
+        }
+        std::string a =
+            norm(emitExpr(*e.a, ctx), e.a->type, e.promotedType);
+        std::string b = emitExpr(*e.b, ctx);
+        if (e.binOp != BinOp::Shl && e.binOp != BinOp::Shr)
+            b = norm(b, e.b->type, e.promotedType);
+        static const char *names[] = {
+            "Add", "Sub", "Mul", "Div", "Rem", "And", "Or",  "Xor",
+            "Shl", "Shr", "Eq",  "Ne",  "Lt",  "Le",  "Gt",  "Ge",
+        };
+        return "::onespec::evalBinOpT<::onespec::BinOp::" +
+               std::string(names[static_cast<int>(e.binOp)]) + ">(" + a +
+               ", " + b + ", " + vt(e.promotedType) + ", " + vt(e.type) +
+               ")";
+      }
+
+      case Expr::Kind::Ternary: {
+        std::string a = emitExpr(*e.a, ctx);
+        std::string b = norm(emitExpr(*e.b, ctx), e.b->type, e.type);
+        std::string c = norm(emitExpr(*e.c, ctx), e.c->type, e.type);
+        return "((" + a + ") != 0 ? (" + b + ") : (" + c + "))";
+      }
+
+      case Expr::Kind::Cast:
+        return norm(emitExpr(*e.a, ctx), e.a->type, e.castType);
+
+      case Expr::Kind::Call:
+        return emitCall(e, ctx);
+    }
+    ONESPEC_PANIC("unreachable expression kind");
+}
+
+void
+CppGen::emitStmt(const Stmt &s, ECtx &ctx, int ind)
+{
+    switch (s.kind) {
+      case Stmt::Kind::Block: {
+        line(ind, "{");
+        for (const auto &st : s.body) {
+            emitStmt(*st, ctx, ind + 1);
+            if (stmtMayFault(*st)) {
+                line(ind + 1,
+                     "if (di.fault != ::onespec::FaultKind::None) goto "
+                     "act_end_" + std::to_string(ctx.faultLabel) + ";");
+            }
+        }
+        line(ind, "}");
+        return;
+      }
+
+      case Stmt::Kind::LocalDecl: {
+        std::string init =
+            s.init ? norm(emitExpr(*s.init, ctx), s.init->type, s.declType)
+                   : "0";
+        line(ind, "[[maybe_unused]] uint64_t l" +
+                      std::to_string(s.localIndex) + " = " + init + ";");
+        return;
+      }
+
+      case Stmt::Kind::Assign: {
+        const Expr &t = *s.target;
+        std::string v = emitExpr(*s.value, ctx);
+        if (t.symKind == SymKind::Local) {
+            line(ind, "l" + std::to_string(t.symIndex) + " = " +
+                          norm(v, s.value->type, t.type) + ";");
+        } else {
+            ValueType st_ = spec_.slots[t.symIndex].type;
+            line(ind, "s" + std::to_string(t.symIndex) + " = " +
+                          norm(v, s.value->type, st_) + ";");
+            line(ind, "wr |= " + hex(uint64_t{1} << t.symIndex) + ";");
+            // Visible slots write through to the record eagerly, as the
+            // interface contract requires (a consumer between calls must
+            // see them); hidden slots stay in the local.
+            if (ctx.vis & (SlotMask{1} << t.symIndex)) {
+                line(ind, "di.vals[" + std::to_string(t.symIndex) +
+                              "] = s" + std::to_string(t.symIndex) + ";");
+            }
+        }
+        return;
+      }
+
+      case Stmt::Kind::If: {
+        line(ind, "if ((" + emitExpr(*s.cond, ctx) + ") != 0)");
+        if (s.thenStmt->kind == Stmt::Kind::Block) {
+            emitStmt(*s.thenStmt, ctx, ind);
+        } else {
+            line(ind, "{");
+            emitStmt(*s.thenStmt, ctx, ind + 1);
+            line(ind, "}");
+        }
+        if (s.elseStmt) {
+            line(ind, "else");
+            if (s.elseStmt->kind == Stmt::Kind::Block) {
+                emitStmt(*s.elseStmt, ctx, ind);
+            } else {
+                line(ind, "{");
+                emitStmt(*s.elseStmt, ctx, ind + 1);
+                line(ind, "}");
+            }
+        }
+        return;
+      }
+
+      case Stmt::Kind::While: {
+        line(ind, "while ((" + emitExpr(*s.cond, ctx) + ") != 0)");
+        line(ind, "{");
+        emitStmt(*s.thenStmt, ctx, ind + 1);
+        if (stmtMayFault(*s.thenStmt)) {
+            line(ind + 1,
+                 "if (di.fault != ::onespec::FaultKind::None) goto "
+                 "act_end_" + std::to_string(ctx.faultLabel) + ";");
+        }
+        line(ind, "}");
+        return;
+      }
+
+      case Stmt::Kind::ExprStmt:
+        line(ind, "(void)(" + emitExpr(*s.value, ctx) + ");");
+        return;
+
+      case Stmt::Kind::Inline:
+        break;
+    }
+    ONESPEC_PANIC("unreachable statement kind in codegen");
+}
+
+std::string
+CppGen::emitIndexExpr(const Expr &e, const InstrInfo &ii)
+{
+    ECtx ctx;
+    ctx.instr = &ii;
+    ctx.fmt = &spec_.formats[ii.formatIndex];
+    return emitExpr(e, ctx);
+}
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+void
+CppGen::emitDecodeNode(const DecodeNode &node, int indent)
+{
+    if (node.testMask == 0) {
+        for (uint16_t id : node.candidates) {
+            const InstrInfo &ii = spec_.instrs[id];
+            line(indent, "if ((w & " + hex(ii.fixedMask) + ") == " +
+                             hex(ii.fixedBits) + ") return " +
+                             std::to_string(id) + "; // " + ii.name);
+        }
+        line(indent, "return -1;");
+        return;
+    }
+
+    // Gather the masked bits into a compact key.
+    std::ostringstream g;
+    uint32_t m = node.testMask;
+    unsigned pos = 0;
+    bool first = true;
+    while (m) {
+        unsigned b = static_cast<unsigned>(std::countr_zero(m));
+        if (!first)
+            g << " | ";
+        g << "(((w >> " << b << ") & 1u) << " << pos << ")";
+        first = false;
+        ++pos;
+        m &= m - 1;
+    }
+    line(indent, "switch (" + g.str() + ") {");
+    std::vector<std::pair<uint32_t, const DecodeNode *>> kids;
+    for (const auto &[k, child] : node.children)
+        kids.emplace_back(k, child.get());
+    std::sort(kids.begin(), kids.end(),
+              [](auto &a, auto &b) { return a.first < b.first; });
+    for (const auto &[k, child] : kids) {
+        line(indent, "  case " + std::to_string(k) + ": {");
+        emitDecodeNode(*child, indent + 1);
+        line(indent, "  }");
+    }
+    line(indent, "  default: return -1;");
+    line(indent, "}");
+}
+
+void
+CppGen::emitDecoder()
+{
+    line(0, "int");
+    line(0, "Engine::decodeWord(uint32_t w)");
+    line(0, "{");
+    emitDecodeNode(*spec_.decodeRoot, 1);
+    line(0, "}");
+    line(0, "");
+}
+
+void
+CppGen::emitTables()
+{
+    std::ostringstream t;
+    t << "constexpr bool kIsCtl[" << spec_.instrs.size() << "] = {";
+    for (const auto &ii : spec_.instrs)
+        t << (ii.isControlFlow ? "true, " : "false, ");
+    t << "};";
+    line(0, t.str());
+    line(0, "");
+}
+
+// ---------------------------------------------------------------------
+// Group functions
+// ---------------------------------------------------------------------
+
+void
+CppGen::emitInstrCase(const Group &g, const Profile &p, uint16_t id)
+{
+    const InstrInfo &ii = spec_.instrs[id];
+    ECtx ctx;
+    ctx.instr = &ii;
+    ctx.fmt = &spec_.formats[ii.formatIndex];
+    ctx.spec = p.spec;
+    ctx.vis = p.vis;
+    ctx.faultLabel = ++labelCounter_;
+
+    bool has_decode = g.mask & stepBit(Step::Decode);
+    bool has_read = g.mask & stepBit(Step::ReadOperands);
+    bool has_wb = g.mask & stepBit(Step::Writeback);
+
+    // Which slots does this group touch for this instruction?
+    SlotMask touched = 0;
+    for (unsigned s = 0; s < kNumSteps; ++s) {
+        if (g.mask & (1u << s))
+            touched |= ii.slotReads[s] | ii.slotWrites[s];
+    }
+
+    // Does this instruction contribute anything to this group at all?
+    bool has_actions = false;
+    for (unsigned s = 2; s < kNumSteps; ++s) {
+        if ((g.mask & (1u << s)) && ii.actions[s].body)
+            has_actions = true;
+    }
+    bool op_regs_here = has_decode && p.opRegs && !ii.operands.empty();
+    if (!has_actions && !touched && !op_regs_here &&
+        !(has_read || has_wb)) {
+        return; // nothing to emit; default case is a no-op
+    }
+
+    // Will any emitted statement route to the fault label?
+    bool may_fault = false;
+    for (unsigned s = 2; s < kNumSteps; ++s) {
+        if ((g.mask & (1u << s)) && ii.actions[s].body &&
+            stmtMayFault(*ii.actions[s].body)) {
+            may_fault = true;
+        }
+    }
+
+    line(2, "case " + std::to_string(id) + ": { // " + ii.name);
+
+    // Operand register identifiers (decode step).
+    if (op_regs_here) {
+        line(3, "di.nOps = " + std::to_string(ii.operands.size()) + ";");
+        for (size_t i = 0; i < ii.operands.size(); ++i) {
+            const ResolvedOperand &op = ii.operands[i];
+            std::string reg =
+                op.scalar ? "0" : emitIndexExpr(*op.indexExpr, ii);
+            unsigned file_id =
+                op.scalar ? (0x40u | static_cast<unsigned>(op.scalarIdx))
+                          : static_cast<unsigned>(op.fileIndex);
+            line(3, "di.opRegs[" + std::to_string(i) + "] = (uint8_t)(" +
+                        reg + ");");
+            line(3, "di.opMeta[" + std::to_string(i) + "] = " +
+                        std::to_string(makeOpMeta(op.isDst, file_id)) +
+                        ";");
+        }
+    }
+
+    // Slot locals: visible slots resume from the record, hidden start 0.
+    for (unsigned i = 0; i < spec_.slots.size(); ++i) {
+        if (!(touched & (SlotMask{1} << i)))
+            continue;
+        if (p.vis & (SlotMask{1} << i)) {
+            line(3, "[[maybe_unused]] uint64_t s" + std::to_string(i) +
+                        " = di.vals[" + std::to_string(i) + "];");
+        } else {
+            line(3, "[[maybe_unused]] uint64_t s" + std::to_string(i) +
+                        " = 0;");
+        }
+    }
+
+    // Steps in canonical order.
+    for (unsigned s = 2; s < kNumSteps; ++s) {
+        if (!(g.mask & (1u << s)))
+            continue;
+        Step st = static_cast<Step>(s);
+
+        if (st == Step::ReadOperands) {
+            for (const auto &op : ii.operands) {
+                if (op.isDst)
+                    continue;
+                std::string bit = hex(uint64_t{1} << op.slotIndex);
+                if (op.scalar) {
+                    unsigned off =
+                        spec_.state.scalars[op.scalarIdx].offset;
+                    line(3, "s" + std::to_string(op.slotIndex) +
+                                " = stateWords_[" + std::to_string(off) +
+                                "];");
+                } else {
+                    const auto &f = spec_.state.files[op.fileIndex];
+                    std::string idx = emitIndexExpr(*op.indexExpr, ii);
+                    std::string read;
+                    if (f.zeroReg >= 0) {
+                        read = "((" + idx + ") == " +
+                               std::to_string(f.zeroReg) +
+                               " ? 0ull : stateWords_[" +
+                               std::to_string(f.base) + " + (" + idx +
+                               ")])";
+                    } else {
+                        read = "stateWords_[" + std::to_string(f.base) +
+                               " + (" + idx + ")]";
+                    }
+                    line(3, "s" + std::to_string(op.slotIndex) + " = " +
+                                read + ";");
+                }
+                line(3, "wr |= " + bit + ";");
+                if (p.vis & (SlotMask{1} << op.slotIndex)) {
+                    line(3, "di.vals[" + std::to_string(op.slotIndex) +
+                                "] = s" + std::to_string(op.slotIndex) +
+                                ";");
+                }
+            }
+        }
+
+        if (ii.actions[s].body) {
+            line(3, "// action " + std::string(stepName(st)));
+            emitStmt(*ii.actions[s].body, ctx, 3);
+        }
+
+        if (st == Step::Writeback) {
+            for (const auto &op : ii.operands) {
+                if (!op.isDst)
+                    continue;
+                std::string bit = hex(uint64_t{1} << op.slotIndex);
+                std::string sv = "s" + std::to_string(op.slotIndex);
+                line(3, "if (wr & " + bit + ") {");
+                if (op.scalar) {
+                    const auto &sc = spec_.state.scalars[op.scalarIdx];
+                    std::string off = std::to_string(sc.offset);
+                    if (p.spec)
+                        line(4, "this->journalWord(" + off + ");");
+                    line(4, "stateWords_[" + off + "] = " +
+                                norm(sv, sc.type, sc.type) /*identity*/ +
+                                ";");
+                } else {
+                    const auto &f = spec_.state.files[op.fileIndex];
+                    std::string idx = emitIndexExpr(*op.indexExpr, ii);
+                    line(4, "const uint64_t rix = " + idx + ";");
+                    std::string guard =
+                        f.zeroReg >= 0
+                            ? "if (rix != " + std::to_string(f.zeroReg) +
+                                  ") {"
+                            : "{";
+                    line(4, guard);
+                    std::string off =
+                        std::to_string(f.base) + " + (unsigned)rix";
+                    if (p.spec)
+                        line(5, "this->journalWord(" + off + ");");
+                    line(5, "stateWords_[" + off +
+                                "] = ::onespec::normalize(" + sv + ", " +
+                                vt(f.type) + ");");
+                    line(4, "}");
+                }
+                line(3, "}");
+            }
+        }
+    }
+
+    if (may_fault)
+        line(3, "act_end_" + std::to_string(ctx.faultLabel) + ":;");
+
+    line(3, "break;");
+    line(2, "}");
+}
+
+void
+CppGen::emitGroup(const Group &g)
+{
+    const Profile &p = profiles_[g.profile];
+
+    line(0, "RunStatus");
+    line(0, "Engine::" + g.fnName + "(DynInst &di)");
+    line(0, "{");
+
+    bool has_fetch = g.mask & stepBit(Step::Fetch);
+    bool has_decode = g.mask & stepBit(Step::Decode);
+    bool has_later = (g.mask & ~0x3u) != 0;
+    bool has_exc = g.mask & stepBit(Step::Exception);
+
+    if (has_fetch) {
+        line(1, "{");
+        line(2, "const uint64_t fpc = ctx_.state().pc();");
+        line(2, "di.beginInstr(fpc, fpc + " +
+                    std::to_string(spec_.props.instrBytes) + ");");
+        if (p.spec)
+            line(2, "this->journalBegin(fpc);");
+        line(2, "DEnt &de = dentFor(fpc);");
+        line(2, "if (dcEnabled_ && de.pc == fpc) {");
+        line(3, "di.inst = de.inst;");
+        if (has_decode)
+            line(3, "di.opId = de.opId;");
+        line(2, "} else {");
+        line(3, "di.inst = (uint32_t)this->memRead(fpc, " +
+                    std::to_string(spec_.props.instrBytes) + ", di);");
+        line(3, "if (di.fault != ::onespec::FaultKind::None) return "
+                "RunStatus::Fault;");
+        if (has_decode) {
+            line(3, "const int dec = decodeWord(di.inst);");
+            line(3, "di.opId = dec < 0 ? 0xffff : (uint16_t)dec;");
+            line(3, "if (dcEnabled_) { de.pc = fpc; de.inst = di.inst; "
+                    "de.opId = di.opId; }");
+        }
+        line(2, "}");
+        line(1, "}");
+    }
+
+    if (has_decode && !has_fetch && !g.decodePreset) {
+        // Standalone decode step (Step detail): decode di.inst.
+        line(1, "{");
+        line(2, "DEnt &de = dentFor(di.pc);");
+        line(2, "if (dcEnabled_ && de.pc == di.pc && de.inst == di.inst) "
+                "{");
+        line(3, "di.opId = de.opId;");
+        line(2, "} else {");
+        line(3, "const int dec = decodeWord(di.inst);");
+        line(3, "di.opId = dec < 0 ? 0xffff : (uint16_t)dec;");
+        line(3, "if (dcEnabled_) { de.pc = di.pc; de.inst = di.inst; "
+                "de.opId = di.opId; }");
+        line(2, "}");
+        line(1, "}");
+    }
+
+    if (has_decode || g.decodePreset || has_later) {
+        line(1, "if (di.opId == 0xffff) { di.fault = "
+                "::onespec::FaultKind::IllegalInstr; return "
+                "RunStatus::Fault; }");
+    }
+
+    if (has_decode || has_later) {
+        line(1, "const uint32_t inst = di.inst;");
+        line(1, "(void)inst;");
+        line(1, "uint64_t wr = di.written;");
+        line(1, "switch (di.opId) {");
+        for (uint16_t id = 0; id < spec_.instrs.size(); ++id)
+            emitInstrCase(g, p, id);
+        line(2, "default: break;");
+        line(1, "}");
+        line(1, "di.written = wr;");
+    }
+
+    line(1, "if (di.fault != ::onespec::FaultKind::None) return "
+            "RunStatus::Fault;");
+    if (has_exc)
+        line(1, "return this->retire(di);");
+    else
+        line(1, "return RunStatus::Ok;");
+    line(0, "}");
+    line(0, "");
+}
+
+void
+CppGen::emitBlockExec(int profile)
+{
+    const Profile &p = profiles_[profile];
+    std::string full = groupFn(profile, kFullMask, false);
+    std::string rest =
+        groupFn(profile, kFullMask & ~stepBit(Step::Fetch), true);
+
+    line(0, "unsigned");
+    line(0, "Engine::blockExec_p" + std::to_string(profile) +
+                "(DynInst *out, unsigned cap, RunStatus &st)");
+    line(0, "{");
+    line(1, "unsigned n = 0;");
+    line(1, "st = RunStatus::Ok;");
+    line(1, "uint64_t pc = ctx_.state().pc();");
+    line(1, "CBlock *cb = bcEnabled_ ? blockFor(pc) : nullptr;");
+    line(1, "if (cb) {");
+    line(2, "++bcHits_;");
+    line(2, "for (const auto &ip : cb->instrs) {");
+    line(3, "if (n >= cap) return n;");
+    line(3, "DynInst &di = out[n];");
+    line(3, "di.beginInstr(pc, pc + " +
+                std::to_string(spec_.props.instrBytes) + ");");
+    if (p.spec)
+        line(3, "this->journalBegin(pc);");
+    line(3, "di.inst = ip.first;");
+    line(3, "di.opId = ip.second;");
+    line(3, "RunStatus s = " + rest + "(di);");
+    line(3, "++n;");
+    line(3, "pc = ctx_.state().pc();");
+    line(3, "if (s != RunStatus::Ok) { st = s; return n; }");
+    line(2, "}");
+    line(2, "return n;");
+    line(1, "}");
+    line(1, "++bcMisses_;");
+    line(1, "CBlock blk;");
+    line(1, "while (n < cap && blk.instrs.size() < kMaxBlockLen) {");
+    line(2, "DynInst &di = out[n];");
+    line(2, "RunStatus s = " + full + "(di);");
+    line(2, "++n;");
+    line(2, "if (s != RunStatus::Ok) { st = s; return n; }");
+    line(2, "blk.instrs.emplace_back(di.inst, di.opId);");
+    line(2, "if (kIsCtl[di.opId]) {");
+    line(3, "if (bcEnabled_) insertBlock(pc, std::move(blk));");
+    line(3, "return n;");
+    line(2, "}");
+    line(1, "}");
+    line(1, "return n;");
+    line(0, "}");
+    line(0, "");
+}
+
+// ---------------------------------------------------------------------
+// Top-level structure
+// ---------------------------------------------------------------------
+
+void
+CppGen::emitPrelude()
+{
+    line(0, "// Generated by lisc from the " + spec_.props.name +
+                " description. DO NOT EDIT.");
+    line(0, "//");
+    line(0, "// One specialized simulator class per buildset; group");
+    line(0, "// functions are shared between buildsets with identical");
+    line(0, "// (visibility, speculation) profiles.");
+    line(0, "");
+    line(0, "#include \"codegen/genruntime.hpp\"");
+    line(0, "");
+    line(0, "namespace onespec_gen_" + spec_.props.name + " {");
+    line(0, "");
+    line(0, "using namespace ::onespec;");
+    line(0, "using VT = ::onespec::ValueType;");
+    line(0, "");
+    line(0, "constexpr uint64_t kFingerprint = " + hex(spec_.fingerprint) +
+                ";");
+    line(0, "");
+}
+
+void
+CppGen::emitEngineOpen()
+{
+    line(0, "class Engine : public GenSimBase");
+    line(0, "{");
+    line(0, "  public:");
+    line(0, "    using GenSimBase::GenSimBase;");
+    line(0, "");
+    line(0, "  protected:");
+    line(0, "    static int decodeWord(uint32_t w);");
+    for (const auto &g : groups_)
+        line(0, "    RunStatus " + g.fnName + "(DynInst &di);");
+    for (const auto &p : profiles_) {
+        bool block_used = false;
+        for (const auto &g : groups_)
+            if (g.profile == p.id && g.decodePreset)
+                block_used = true;
+        if (block_used) {
+            line(0, "    unsigned blockExec_p" + std::to_string(p.id) +
+                        "(DynInst *out, unsigned cap, RunStatus &st);");
+        }
+    }
+    line(0, "};");
+    line(0, "");
+}
+
+void
+CppGen::emitBuildsetClass(const BuildsetInfo &bs)
+{
+    int p = profileFor(bs);
+    std::string cls = "Sim_" + bs.name;
+    line(0, "class " + cls + " final : public Engine");
+    line(0, "{");
+    line(0, "  public:");
+    line(0, "    explicit " + cls + "(SimContext &ctx) : Engine(ctx, \"" +
+                bs.name + "\") {}");
+    line(0, "");
+
+    switch (bs.semantic) {
+      case SemanticLevel::One: {
+        std::string fn = groupFn(p, kFullMask, false);
+        line(0, "    RunStatus");
+        line(0, "    execute(DynInst &di) override");
+        line(0, "    {");
+        line(0, "        return " + fn + "(di);");
+        line(0, "    }");
+        break;
+      }
+
+      case SemanticLevel::Block: {
+        line(0, "    unsigned");
+        line(0, "    executeBlock(DynInst *out, unsigned cap, RunStatus "
+                "&st) override");
+        line(0, "    {");
+        line(0, "        return blockExec_p" + std::to_string(p) +
+                    "(out, cap, st);");
+        line(0, "    }");
+        line(0, "");
+        line(0, "    uint64_t");
+        line(0, "    fastForward(uint64_t max_instrs, RunStatus &st) "
+                "override");
+        line(0, "    {");
+        line(0, "        DynInst scratch[kMaxBlockLen];");
+        line(0, "        uint64_t done = 0;");
+        line(0, "        st = RunStatus::Ok;");
+        line(0, "        while (done < max_instrs) {");
+        line(0, "            unsigned cap = (unsigned)std::min<uint64_t>("
+                "kMaxBlockLen, max_instrs - done);");
+        line(0, "            unsigned n = blockExec_p" +
+                    std::to_string(p) + "(scratch, cap, st);");
+        line(0, "            done += n;");
+        line(0, "            if (st != RunStatus::Ok) break;");
+        line(0, "        }");
+        line(0, "        return done;");
+        line(0, "    }");
+        break;
+      }
+
+      case SemanticLevel::Step: {
+        line(0, "    RunStatus");
+        line(0, "    step(Step s, DynInst &di) override");
+        line(0, "    {");
+        line(0, "        switch (s) {");
+        for (unsigned s = 0; s < kNumSteps; ++s) {
+            std::string fn = groupFn(p, 1u << s, false);
+            line(0, "          case Step::" +
+                        std::string(
+                            s == 0   ? "Fetch"
+                            : s == 1 ? "Decode"
+                            : s == 2 ? "ReadOperands"
+                            : s == 3 ? "Execute"
+                            : s == 4 ? "Memory"
+                            : s == 5 ? "Writeback"
+                                     : "Exception") +
+                        ": return " + fn + "(di);");
+        }
+        line(0, "        }");
+        line(0, "        ONESPEC_PANIC(\"bad step\");");
+        line(0, "    }");
+        break;
+      }
+
+      case SemanticLevel::Custom: {
+        line(0, "    RunStatus");
+        line(0, "    call(unsigned index, DynInst &di) override");
+        line(0, "    {");
+        line(0, "        switch (index) {");
+        for (size_t e = 0; e < bs.entrypoints.size(); ++e) {
+            unsigned m = 0;
+            for (Step st : bs.entrypoints[e].steps)
+                m |= stepBit(st);
+            std::string fn = groupFn(p, m, false);
+            line(0, "          case " + std::to_string(e) + ": return " +
+                        fn + "(di); // " + bs.entrypoints[e].name);
+        }
+        line(0, "        }");
+        line(0, "        ONESPEC_PANIC(\"bad entrypoint index\");");
+        line(0, "    }");
+        break;
+      }
+    }
+
+    line(0, "};");
+    line(0, "");
+    line(0, "std::unique_ptr<FunctionalSimulator>");
+    line(0, "make_" + bs.name + "(SimContext &ctx)");
+    line(0, "{");
+    line(0, "    return std::make_unique<" + cls + ">(ctx);");
+    line(0, "}");
+    line(0, "");
+    line(0, "static SimRegistrar reg_" + bs.name + "(\"" +
+                spec_.props.name + "\", \"" + bs.name +
+                "\", kFingerprint, &make_" + bs.name + ");");
+    line(0, "");
+}
+
+void
+CppGen::emitEpilogue()
+{
+    line(0, "");
+    line(0, "} // namespace onespec_gen_" + spec_.props.name);
+}
+
+std::string
+CppGen::run()
+{
+    planBuildsets();
+    emitPrelude();
+    emitEngineOpen();
+    emitTables();
+    emitDecoder();
+    for (const auto &g : groups_)
+        emitGroup(g);
+    for (const auto &p : profiles_) {
+        bool block_used = false;
+        for (const auto &g : groups_)
+            if (g.profile == p.id && g.decodePreset)
+                block_used = true;
+        if (block_used)
+            emitBlockExec(p.id);
+    }
+    for (const auto *bs : selected_)
+        emitBuildsetClass(*bs);
+    emitEpilogue();
+    return out_.str();
+}
+
+} // namespace
+
+std::string
+generateSimulators(const Spec &spec, const std::string &only_buildset)
+{
+    return CppGen(spec, only_buildset).run();
+}
+
+} // namespace onespec

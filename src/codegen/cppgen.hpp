@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The C++ back end: synthesizes a specialized functional simulator per
+ * buildset.  This is the tool half of the single-specification principle:
+ * instruction semantics are inlined into each interface entrypoint,
+ * hidden fields become function-local variables (dead-store-eliminated by
+ * the C++ compiler), and visible fields are stored into the DynInst
+ * record -- the specialization strategy of Section V-C of the paper.
+ */
+
+#ifndef ONESPEC_CODEGEN_CPPGEN_HPP
+#define ONESPEC_CODEGEN_CPPGEN_HPP
+
+#include <string>
+
+#include "adl/spec.hpp"
+
+namespace onespec {
+
+/**
+ * Generate one C++ translation unit containing a simulator class per
+ * buildset (or only @p only_buildset if non-empty), each registered with
+ * the SimRegistry under (isa, buildset).
+ */
+std::string generateSimulators(const Spec &spec,
+                               const std::string &only_buildset = "");
+
+} // namespace onespec
+
+#endif // ONESPEC_CODEGEN_CPPGEN_HPP

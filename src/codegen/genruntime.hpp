@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Runtime support for lisc-generated simulators.  Generated code derives
+ * from GenSimBase and calls the same inline evaluation helpers
+ * (adl/eval.hpp) the interpreter uses, so the two back ends cannot
+ * disagree about action-language semantics; what the generator adds is
+ * specialization -- semantics inlined into entrypoints, hidden fields as
+ * locals, constant state-layout offsets, and decoded-block caching.
+ */
+
+#ifndef ONESPEC_CODEGEN_GENRUNTIME_HPP
+#define ONESPEC_CODEGEN_GENRUNTIME_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "adl/encexpr.hpp"
+#include "adl/eval.hpp"
+#include "iface/dyninst.hpp"
+#include "iface/functional_simulator.hpp"
+#include "iface/registry.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+/** Base class for generated simulators. */
+class GenSimBase : public FunctionalSimulator
+{
+  public:
+    GenSimBase(SimContext &ctx, const char *bs_name)
+        : FunctionalSimulator(ctx),
+          bs_(ctx.spec().findBuildset(bs_name)),
+          dcache_(kDecodeCacheSize), bcache_(kBlockCacheSize)
+    {
+        if (!bs_)
+            ONESPEC_FATAL("context spec has no buildset '", bs_name, "'");
+        stateWords_ = ctx.state().rawData();
+    }
+
+    const BuildsetInfo &buildset() const override { return *bs_; }
+
+    void
+    undo(uint64_t n) override
+    {
+        if (!bs_->speculation)
+            FunctionalSimulator::undo(n); // panics with a clear message
+        auto mark = ctx_.journal().undo(static_cast<size_t>(n),
+                                        ctx_.state(), ctx_.mem());
+        ctx_.os().restore(mark.osOutputLen, mark.osBrk, mark.osInputPos);
+    }
+
+    /** Ablation knobs (used by the block-cache ablation bench). */
+    void setDecodeCacheEnabled(bool on) { dcEnabled_ = on; }
+    void setBlockCacheEnabled(bool on) { bcEnabled_ = on; }
+
+    void
+    flushCaches()
+    {
+        std::fill(dcache_.begin(), dcache_.end(), DEnt{});
+        for (auto &s : bcache_) {
+            s.pc = ~uint64_t{0};
+            s.blk.instrs.clear();
+        }
+    }
+
+    uint64_t blockCacheHits() const { return bcHits_; }
+    uint64_t blockCacheMisses() const { return bcMisses_; }
+
+  protected:
+    static constexpr unsigned kDecodeCacheBits = 14;
+    static constexpr unsigned kDecodeCacheSize = 1u << kDecodeCacheBits;
+    static constexpr unsigned kMaxBlockLen = 64;
+
+    struct DEnt
+    {
+        uint64_t pc = ~uint64_t{0};
+        uint32_t inst = 0;
+        uint16_t opId = 0xffff;
+    };
+
+    /** A decoded basic block (the unit of Block-detail dispatch). */
+    struct CBlock
+    {
+        std::vector<std::pair<uint32_t, uint16_t>> instrs;
+    };
+
+    /** Direct-mapped decoded-block cache slot. */
+    struct BSlot
+    {
+        uint64_t pc = ~uint64_t{0};
+        CBlock blk;
+    };
+
+    static constexpr unsigned kBlockCacheBits = 12;
+    static constexpr unsigned kBlockCacheSize = 1u << kBlockCacheBits;
+
+    DEnt &
+    dentFor(uint64_t pc)
+    {
+        return dcache_[(pc >> 2) & (kDecodeCacheSize - 1)];
+    }
+
+    CBlock *
+    blockFor(uint64_t pc)
+    {
+        BSlot &s = bcache_[(pc >> 2) & (kBlockCacheSize - 1)];
+        return s.pc == pc ? &s.blk : nullptr;
+    }
+
+    void
+    insertBlock(uint64_t pc, CBlock &&blk)
+    {
+        BSlot &s = bcache_[(pc >> 2) & (kBlockCacheSize - 1)];
+        s.pc = pc;
+        s.blk = std::move(blk);
+    }
+
+    /** Memory read; faults are recorded in the DynInst. */
+    uint64_t
+    memRead(uint64_t addr, unsigned len, DynInst &di)
+    {
+        FaultKind f = FaultKind::None;
+        uint64_t v = ctx_.mem().read(addr, len, f);
+        if (f != FaultKind::None && di.fault == FaultKind::None)
+            di.fault = f;
+        return v;
+    }
+
+    /** Memory write, optionally journaled for rollback. */
+    template <bool Journal>
+    void
+    memWrite(uint64_t addr, uint64_t value, unsigned len, DynInst &di)
+    {
+        FaultKind f = FaultKind::None;
+        if constexpr (Journal) {
+            uint64_t old = ctx_.mem().read(addr, len, f);
+            if (f == FaultKind::None)
+                ctx_.journal().recordMem(addr, len, old);
+        }
+        ctx_.mem().write(addr, value, len, f);
+        if (f != FaultKind::None && di.fault == FaultKind::None)
+            di.fault = f;
+    }
+
+    /** Journal one flat state word before overwriting it. */
+    void
+    journalWord(unsigned offset)
+    {
+        ctx_.journal().recordReg(offset, stateWords_[offset]);
+    }
+
+    void
+    journalBegin(uint64_t pc)
+    {
+        ctx_.journal().beginInstr(pc, ctx_.os().output().size(),
+                                  ctx_.os().brk(), ctx_.os().inputPos());
+    }
+
+    void
+    doSyscall(DynInst &di)
+    {
+        di.flags |= kFlagSyscall;
+        ctx_.os().doSyscall();
+    }
+
+    /** Retire: commit next pc, count, and surface halt/exit. */
+    RunStatus
+    retire(DynInst &di)
+    {
+        ctx_.state().setPc(di.npc);
+        ctx_.addRetired(1);
+        if ((di.flags & kFlagHalted) || ctx_.os().exited())
+            return RunStatus::Halted;
+        return RunStatus::Ok;
+    }
+
+    const BuildsetInfo *bs_;
+    uint64_t *stateWords_ = nullptr;
+    std::vector<DEnt> dcache_;
+    std::vector<BSlot> bcache_;
+    bool dcEnabled_ = true;
+    bool bcEnabled_ = true;
+    uint64_t bcHits_ = 0;
+    uint64_t bcMisses_ = 0;
+};
+
+/** fault() builtin support. */
+inline void
+osgRaise(DynInst &di, uint64_t code)
+{
+    if (di.fault == FaultKind::None)
+        di.fault = static_cast<FaultKind>(code & 0xff);
+}
+
+inline uint64_t
+osgMulhU(uint64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) *
+         static_cast<unsigned __int128>(b)) >> 64);
+}
+
+inline uint64_t
+osgMulhS(uint64_t a, uint64_t b)
+{
+    __int128 p = static_cast<__int128>(static_cast<int64_t>(a)) *
+                 static_cast<__int128>(static_cast<int64_t>(b));
+    return static_cast<uint64_t>(static_cast<uint64_t>(p >> 64));
+}
+
+} // namespace onespec
+
+#endif // ONESPEC_CODEGEN_GENRUNTIME_HPP

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The dynamic-instruction record: the unit of information flowing across
+ * the functional-to-timing interface (the paper's Figure 2).
+ *
+ * Layout: a fixed header that is always maintained (it is *semantic*:
+ * pc/npc/fault/written-mask are needed for correct execution regardless of
+ * the interface's informational detail) plus a flat array of value slots.
+ * Which slots are actually stored is the buildset's informational detail:
+ * hidden slots never touch this record -- in generated simulators they
+ * live in function-local variables and are dead-store-eliminated.
+ */
+
+#ifndef ONESPEC_IFACE_DYNINST_HPP
+#define ONESPEC_IFACE_DYNINST_HPP
+
+#include <cstdint>
+
+#include "adl/builtins.hpp"
+#include "adl/spec.hpp"
+
+namespace onespec {
+
+/** Flag bits in DynInst::flags. */
+enum DynInstFlags : uint8_t
+{
+    kFlagBranchTaken = 1 << 0,  ///< branch() redirected control flow
+    kFlagSyscall = 1 << 1,      ///< instruction entered OS emulation
+    kFlagHalted = 1 << 2,       ///< instruction requested simulation halt
+};
+
+/**
+ * One dynamic instruction crossing the interface.
+ *
+ * The record is deliberately *not* cleared between instructions: visible
+ * slots are written when the instruction produces them (tracked in
+ * `written`), mirroring how generated code initializes only what it
+ * computes.  Consumers must consult `written` before trusting a slot.
+ */
+struct DynInst
+{
+    uint64_t pc = 0;
+    uint64_t npc = 0;
+    uint64_t written = 0;       ///< slot-written mask (always maintained)
+    uint32_t inst = 0;          ///< raw instruction word
+    uint16_t opId = 0xffff;     ///< decoded instruction id; 0xffff illegal
+    FaultKind fault = FaultKind::None;
+    uint8_t flags = 0;
+    uint8_t nOps = 0;
+    uint8_t opRegs[kMaxOps] = {};   ///< operand register indices
+    uint8_t opMeta[kMaxOps] = {};   ///< bit7 = isDst; low bits = file id
+
+    uint64_t vals[kMaxSlots] = {};
+
+    bool slotWritten(int idx) const
+    {
+        return (written >> idx) & 1;
+    }
+
+    uint64_t val(int idx) const { return vals[idx]; }
+
+    void
+    setVal(int idx, uint64_t v)
+    {
+        vals[idx] = v;
+        written |= uint64_t{1} << idx;
+    }
+
+    bool branchTaken() const { return flags & kFlagBranchTaken; }
+    bool isSyscall() const { return flags & kFlagSyscall; }
+
+    /** Reset per-instruction header state (slots are left stale). */
+    void
+    beginInstr(uint64_t pc_, uint64_t npc_)
+    {
+        pc = pc_;
+        npc = npc_;
+        written = 0;
+        opId = 0xffff;
+        fault = FaultKind::None;
+        flags = 0;
+        nOps = 0;
+    }
+};
+
+/** Operand-meta helpers. */
+constexpr uint8_t
+makeOpMeta(bool is_dst, unsigned file_id)
+{
+    return static_cast<uint8_t>((is_dst ? 0x80 : 0) | (file_id & 0x7f));
+}
+
+constexpr bool opMetaIsDst(uint8_t m) { return m & 0x80; }
+constexpr unsigned opMetaFile(uint8_t m) { return m & 0x7f; }
+
+} // namespace onespec
+
+#endif // ONESPEC_IFACE_DYNINST_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * FieldView: ISA-generic, name-based access to a DynInst's informational
+ * content.  Timing simulators that are not specialized to one ISA resolve
+ * slot names once (at setup) and then read slots by index.
+ */
+
+#ifndef ONESPEC_IFACE_FIELDVIEW_HPP
+#define ONESPEC_IFACE_FIELDVIEW_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "adl/spec.hpp"
+#include "iface/dyninst.hpp"
+
+namespace onespec {
+
+/** Resolves slot names against one Spec for repeated DynInst queries. */
+class FieldView
+{
+  public:
+    explicit FieldView(const Spec &spec) : spec_(&spec) {}
+
+    /** Slot handle for @p name; -1 if the ISA has no such slot. */
+    int handle(const std::string &name) const
+    {
+        return spec_->findSlot(name);
+    }
+
+    /**
+     * Value of slot @p h in @p di, if the executing instruction produced
+     * it *and* the interface made it visible.
+     */
+    std::optional<uint64_t>
+    get(const DynInst &di, int h) const
+    {
+        if (h < 0 || !di.slotWritten(h))
+            return std::nullopt;
+        return di.val(h);
+    }
+
+    std::optional<uint64_t>
+    get(const DynInst &di, const std::string &name) const
+    {
+        return get(di, handle(name));
+    }
+
+    const Spec &spec() const { return *spec_; }
+
+  private:
+    const Spec *spec_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_IFACE_FIELDVIEW_HPP

@@ -1,0 +1,138 @@
+#include "functional_simulator.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+FunctionalSimulator::~FunctionalSimulator() = default;
+
+void
+FunctionalSimulator::unsupported(const char *what) const
+{
+    ONESPEC_PANIC("buildset '", buildset().name, "' does not provide the ",
+                  what, " entrypoint");
+}
+
+RunStatus
+FunctionalSimulator::execute(DynInst &)
+{
+    unsupported("execute()");
+}
+
+unsigned
+FunctionalSimulator::executeBlock(DynInst *, unsigned, RunStatus &)
+{
+    unsupported("executeBlock()");
+}
+
+RunStatus
+FunctionalSimulator::step(Step, DynInst &)
+{
+    unsupported("step()");
+}
+
+RunStatus
+FunctionalSimulator::call(unsigned index, DynInst &di)
+{
+    const BuildsetInfo &bs = buildset();
+    ONESPEC_ASSERT(index < bs.entrypoints.size(), "bad entrypoint index");
+    switch (bs.semantic) {
+      case SemanticLevel::One:
+      case SemanticLevel::Block:
+        return execute(di);
+      case SemanticLevel::Step:
+        return step(bs.entrypoints[index].steps[0], di);
+      case SemanticLevel::Custom:
+        break;
+    }
+    unsupported("call()");
+}
+
+uint64_t
+FunctionalSimulator::fastForward(uint64_t, RunStatus &)
+{
+    unsupported("fastForward()");
+}
+
+void
+FunctionalSimulator::undo(uint64_t)
+{
+    unsupported("undo()");
+}
+
+RunResult
+FunctionalSimulator::run(uint64_t max_instrs)
+{
+    RunResult rr;
+    const BuildsetInfo &bs = buildset();
+    DynInst di;
+    switch (bs.semantic) {
+      case SemanticLevel::Block: {
+        DynInst block[64];
+        while (rr.instrs < max_instrs) {
+            RunStatus st = RunStatus::Ok;
+            unsigned cap = static_cast<unsigned>(
+                std::min<uint64_t>(64, max_instrs - rr.instrs));
+            unsigned n = executeBlock(block, cap, st);
+            rr.instrs += n;
+            if (st != RunStatus::Ok) {
+                rr.status = st;
+                return rr;
+            }
+        }
+        break;
+      }
+
+      case SemanticLevel::One: {
+        while (rr.instrs < max_instrs) {
+            RunStatus st = execute(di);
+            ++rr.instrs;
+            if (st != RunStatus::Ok) {
+                rr.status = st;
+                return rr;
+            }
+        }
+        break;
+      }
+
+      case SemanticLevel::Step: {
+        while (rr.instrs < max_instrs) {
+            RunStatus st = RunStatus::Ok;
+            for (unsigned s = 0; s < kNumSteps; ++s) {
+                st = step(static_cast<Step>(s), di);
+                if (st != RunStatus::Ok)
+                    break;
+            }
+            ++rr.instrs;
+            if (st != RunStatus::Ok) {
+                rr.status = st;
+                return rr;
+            }
+        }
+        break;
+      }
+
+      case SemanticLevel::Custom: {
+        while (rr.instrs < max_instrs) {
+            RunStatus st = RunStatus::Ok;
+            for (unsigned e = 0; e < bs.entrypoints.size(); ++e) {
+                st = call(e, di);
+                if (st != RunStatus::Ok)
+                    break;
+            }
+            ++rr.instrs;
+            if (st != RunStatus::Ok) {
+                rr.status = st;
+                return rr;
+            }
+        }
+        break;
+      }
+    }
+    rr.status = RunStatus::Ok;
+    return rr;
+}
+
+} // namespace onespec

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The abstract functional-to-timing simulator interface.  A concrete
+ * simulator (interpreter-backed or synthesized by lisc) implements the
+ * entrypoints its buildset defines; calling an entrypoint the buildset
+ * does not provide is a usage error and panics, mirroring how a tailored
+ * interface simply does not offer calls the timing simulator did not ask
+ * for.
+ *
+ * Semantic detail -> entrypoints:
+ *   block  : executeBlock() / fastForward()
+ *   one    : execute()
+ *   step   : step(Step::Fetch..Step::Exception)
+ *   custom : call(entrypointIndex, di)
+ *
+ * Speculation (when the buildset enables it): undo(n).
+ */
+
+#ifndef ONESPEC_IFACE_FUNCTIONAL_SIMULATOR_HPP
+#define ONESPEC_IFACE_FUNCTIONAL_SIMULATOR_HPP
+
+#include <cstdint>
+
+#include "adl/spec.hpp"
+#include "iface/dyninst.hpp"
+#include "runtime/context.hpp"
+
+namespace onespec {
+
+/** Outcome of advancing the functional simulation. */
+enum class RunStatus : uint8_t
+{
+    Ok,     ///< instruction(s) executed normally
+    Halted, ///< program exited (OS exit or halt())
+    Fault,  ///< an architectural fault was raised; see DynInst::fault
+};
+
+/** Result of a run-to-completion helper. */
+struct RunResult
+{
+    RunStatus status = RunStatus::Ok;
+    uint64_t instrs = 0;
+};
+
+/** Abstract functional simulator over a SimContext. */
+class FunctionalSimulator
+{
+  public:
+    explicit FunctionalSimulator(SimContext &ctx) : ctx_(ctx) {}
+    virtual ~FunctionalSimulator();
+
+    FunctionalSimulator(const FunctionalSimulator &) = delete;
+    FunctionalSimulator &operator=(const FunctionalSimulator &) = delete;
+
+    /** The interface specification this simulator was built for. */
+    virtual const BuildsetInfo &buildset() const = 0;
+
+    /** One-detail entrypoint: execute a single instruction. */
+    virtual RunStatus execute(DynInst &di);
+
+    /**
+     * Block-detail entrypoint: execute up to @p cap instructions, stopping
+     * after the first control-flow instruction (end of basic block), a
+     * fault, or program exit.  Fills @p out[0..n) and returns n.
+     */
+    virtual unsigned executeBlock(DynInst *out, unsigned cap,
+                                  RunStatus &status);
+
+    /** Step-detail entrypoint: run one semantic step of an instruction. */
+    virtual RunStatus step(Step s, DynInst &di);
+
+    /**
+     * Custom entrypoints: invoke entrypoint @p index of the buildset on
+     * @p di.  Default maps standard groupings onto execute()/step().
+     */
+    virtual RunStatus call(unsigned index, DynInst &di);
+
+    /**
+     * Fast-forward: execute up to @p max_instrs with no per-instruction
+     * information (the sampling use case).  Returns instructions retired.
+     */
+    virtual uint64_t fastForward(uint64_t max_instrs, RunStatus &status);
+
+    /** Undo the last @p n instructions (requires speculation support). */
+    virtual void undo(uint64_t n);
+
+    /** True if the buildset journals for rollback. */
+    bool supportsUndo() const { return buildset().speculation; }
+
+    /** Redirect the next fetch (timing simulators use this on flushes). */
+    void redirect(uint64_t pc) { ctx_.state().setPc(pc); }
+
+    SimContext &ctx() { return ctx_; }
+    const SimContext &ctx() const { return ctx_; }
+
+    /**
+     * Run to completion (or @p max_instrs) through the buildset's natural
+     * entrypoints.  Convenience for validation and speed measurement.
+     */
+    RunResult run(uint64_t max_instrs);
+
+  protected:
+    [[noreturn]] void unsupported(const char *what) const;
+
+    SimContext &ctx_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_IFACE_FUNCTIONAL_SIMULATOR_HPP

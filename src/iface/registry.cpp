@@ -1,0 +1,55 @@
+#include "registry.hpp"
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+SimRegistry &
+SimRegistry::instance()
+{
+    static SimRegistry reg;
+    return reg;
+}
+
+void
+SimRegistry::add(const std::string &isa, const std::string &buildset,
+                 uint64_t fingerprint, SimFactory factory)
+{
+    for (const auto &e : entries_) {
+        if (e.isa == isa && e.buildset == buildset) {
+            ONESPEC_PANIC("simulator for ", isa, "/", buildset,
+                          " registered twice");
+        }
+    }
+    entries_.push_back({isa, buildset, fingerprint, factory});
+}
+
+std::unique_ptr<FunctionalSimulator>
+SimRegistry::create(SimContext &ctx, const std::string &buildset) const
+{
+    const std::string &isa = ctx.spec().props.name;
+    for (const auto &e : entries_) {
+        if (e.isa == isa && e.buildset == buildset) {
+            if (e.fingerprint != ctx.spec().fingerprint) {
+                ONESPEC_FATAL(
+                    "generated simulator ", isa, "/", buildset,
+                    " was synthesized from a different description than "
+                    "the one loaded (fingerprint mismatch); re-run lisc");
+            }
+            return e.factory(ctx);
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+SimRegistry::buildsetsFor(const std::string &isa) const
+{
+    std::vector<std::string> out;
+    for (const auto &e : entries_)
+        if (e.isa == isa)
+            out.push_back(e.buildset);
+    return out;
+}
+
+} // namespace onespec

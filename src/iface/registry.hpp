@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Registry of synthesized simulators.  Each generated translation unit
+ * registers a factory keyed by (isa, buildset) together with the
+ * fingerprint of the specification it was generated from; creating a
+ * simulator against a context whose loaded Spec has a different
+ * fingerprint is refused -- the generated code would disagree with the
+ * description it claims to implement.
+ */
+
+#ifndef ONESPEC_IFACE_REGISTRY_HPP
+#define ONESPEC_IFACE_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iface/functional_simulator.hpp"
+
+namespace onespec {
+
+/** Factory signature for registered simulators. */
+using SimFactory =
+    std::unique_ptr<FunctionalSimulator> (*)(SimContext &ctx);
+
+/** Global registry of generated simulators. */
+class SimRegistry
+{
+  public:
+    static SimRegistry &instance();
+
+    void add(const std::string &isa, const std::string &buildset,
+             uint64_t fingerprint, SimFactory factory);
+
+    /**
+     * Create the generated simulator for @p buildset over @p ctx.
+     * Returns nullptr if no such simulator is registered.  fatal()s on a
+     * fingerprint mismatch.
+     */
+    std::unique_ptr<FunctionalSimulator>
+    create(SimContext &ctx, const std::string &buildset) const;
+
+    /** Buildsets registered for @p isa. */
+    std::vector<std::string> buildsetsFor(const std::string &isa) const;
+
+  private:
+    struct Entry
+    {
+        std::string isa;
+        std::string buildset;
+        uint64_t fingerprint;
+        SimFactory factory;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+/** Static-initialization helper used by generated code. */
+struct SimRegistrar
+{
+    SimRegistrar(const char *isa, const char *buildset,
+                 uint64_t fingerprint, SimFactory factory)
+    {
+        SimRegistry::instance().add(isa, buildset, fingerprint, factory);
+    }
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_IFACE_REGISTRY_HPP

@@ -1,0 +1,47 @@
+#include "isa.hpp"
+
+#include <cstdlib>
+
+#include "adl/load.hpp"
+#include "support/logging.hpp"
+
+#ifndef ONESPEC_ISA_DIR
+#define ONESPEC_ISA_DIR "src/isa/descriptions"
+#endif
+
+namespace onespec {
+
+std::string
+isaDescriptionDir()
+{
+    if (const char *env = std::getenv("ONESPEC_ISA_DIR"))
+        return env;
+    return ONESPEC_ISA_DIR;
+}
+
+const std::vector<std::string> &
+shippedIsas()
+{
+    static const std::vector<std::string> isas = {"alpha64", "arm32",
+                                                  "ppc32"};
+    return isas;
+}
+
+std::vector<std::string>
+isaDescriptionFiles(const std::string &isa)
+{
+    std::string dir = isaDescriptionDir();
+    return {
+        dir + "/" + isa + ".lis",
+        dir + "/" + isa + "_os.lis",
+        dir + "/buildsets.lis",
+    };
+}
+
+std::unique_ptr<Spec>
+loadIsa(const std::string &isa)
+{
+    return loadSpecOrFatal(isaDescriptionFiles(isa));
+}
+
+} // namespace onespec

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Access to the shipped ISA descriptions.  Descriptions live in
+ * src/isa/descriptions/ and are loaded at run time (they are the single
+ * specification both back ends derive from).  The directory is baked in
+ * at configure time and can be overridden with $ONESPEC_ISA_DIR.
+ */
+
+#ifndef ONESPEC_ISA_ISA_HPP
+#define ONESPEC_ISA_ISA_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/spec.hpp"
+
+namespace onespec {
+
+/** Directory containing the .lis descriptions. */
+std::string isaDescriptionDir();
+
+/** The ISAs shipped with OneSpec. */
+const std::vector<std::string> &shippedIsas();
+
+/** Description files (ISA + OS support + shared buildsets) for @p isa. */
+std::vector<std::string> isaDescriptionFiles(const std::string &isa);
+
+/** Load and analyze the shipped description of @p isa; fatal on error. */
+std::unique_ptr<Spec> loadIsa(const std::string &isa);
+
+} // namespace onespec
+
+#endif // ONESPEC_ISA_ISA_HPP

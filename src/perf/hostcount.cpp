@@ -1,0 +1,53 @@
+#include "hostcount.hpp"
+
+#include <cstring>
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace onespec {
+
+HostInstrCounter::HostInstrCounter()
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    fd_ = static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+HostInstrCounter::~HostInstrCounter()
+{
+    if (fd_ >= 0)
+        close(fd_);
+}
+
+void
+HostInstrCounter::start()
+{
+    if (fd_ < 0)
+        return;
+    ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+uint64_t
+HostInstrCounter::stop()
+{
+    if (fd_ < 0)
+        return 0;
+    ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+    uint64_t count = 0;
+    if (read(fd_, &count, sizeof(count)) != sizeof(count))
+        return 0;
+    return count;
+}
+
+} // namespace onespec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Host-cost measurement for the Table III reproduction.  The paper
+ * reports detail costs in *host instructions per simulated instruction*;
+ * we count retired host instructions with perf_event_open when the
+ * container permits it, and otherwise fall back to wall-clock
+ * nanoseconds (reported in clearly-labeled time units).
+ */
+
+#ifndef ONESPEC_PERF_HOSTCOUNT_HPP
+#define ONESPEC_PERF_HOSTCOUNT_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace onespec {
+
+/** Counts retired host instructions for the calling thread. */
+class HostInstrCounter
+{
+  public:
+    HostInstrCounter();
+    ~HostInstrCounter();
+
+    HostInstrCounter(const HostInstrCounter &) = delete;
+    HostInstrCounter &operator=(const HostInstrCounter &) = delete;
+
+    /** True if the hardware counter could be opened. */
+    bool available() const { return fd_ >= 0; }
+
+    void start();
+    /** Host instructions retired since start(); 0 if unavailable. */
+    uint64_t stop();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Simple steady-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    void start() { t0_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed nanoseconds since start(). */
+    uint64_t
+    elapsedNs() const
+    {
+        auto dt = std::chrono::steady_clock::now() - t0_;
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_PERF_HOSTCOUNT_HPP

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Architectural register state, laid out per the Spec's StateLayout in a
+ * single flat uint64_t array.  PC is implicit and kept separately.  Zero
+ * registers (e.g. Alpha R31) read as zero and discard writes.
+ */
+
+#ifndef ONESPEC_RUNTIME_ARCHSTATE_HPP
+#define ONESPEC_RUNTIME_ARCHSTATE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "adl/spec.hpp"
+#include "adl/types.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+/** All architectural register state of one simulated context. */
+class ArchState
+{
+  public:
+    explicit ArchState(const StateLayout &layout)
+        : layout_(&layout), words_(layout.totalWords, 0)
+    {}
+
+    const StateLayout &layout() const { return *layout_; }
+
+    uint64_t pc() const { return pc_; }
+    void setPc(uint64_t v) { pc_ = v; }
+
+    /** Read regfile @p file element @p idx (normalized to element type). */
+    uint64_t
+    readReg(unsigned file, unsigned idx) const
+    {
+        const auto &f = layout_->files[file];
+        if (static_cast<int>(idx) == f.zeroReg)
+            return 0;
+        return words_[f.base + idx];
+    }
+
+    /** Write regfile @p file element @p idx. */
+    void
+    writeReg(unsigned file, unsigned idx, uint64_t v)
+    {
+        const auto &f = layout_->files[file];
+        if (static_cast<int>(idx) == f.zeroReg)
+            return;
+        words_[f.base + idx] = normalize(v, f.type);
+    }
+
+    uint64_t
+    readScalar(unsigned idx) const
+    {
+        return words_[layout_->scalars[idx].offset];
+    }
+
+    void
+    writeScalar(unsigned idx, uint64_t v)
+    {
+        const auto &s = layout_->scalars[idx];
+        words_[s.offset] = normalize(v, s.type);
+    }
+
+    /** Access by resolved ABI reference. */
+    uint64_t
+    readRef(const ResolvedStateRef &r) const
+    {
+        ONESPEC_ASSERT(r.valid, "reading invalid state ref");
+        return r.scalar ? readScalar(r.scalarIdx)
+                        : readReg(r.fileIndex, r.regIndex);
+    }
+
+    void
+    writeRef(const ResolvedStateRef &r, uint64_t v)
+    {
+        ONESPEC_ASSERT(r.valid, "writing invalid state ref");
+        if (r.scalar)
+            writeScalar(r.scalarIdx, v);
+        else
+            writeReg(r.fileIndex, r.regIndex, v);
+    }
+
+    /** Raw flat-word access (rollback and checkers). */
+    uint64_t rawWord(unsigned offset) const { return words_[offset]; }
+    void setRawWord(unsigned offset, uint64_t v) { words_[offset] = v; }
+
+    /** Raw pointer to the flat word array (generated simulators). */
+    uint64_t *rawData() { return words_.data(); }
+    unsigned numWords() const
+    {
+        return static_cast<unsigned>(words_.size());
+    }
+
+    bool
+    operator==(const ArchState &o) const
+    {
+        return pc_ == o.pc_ && words_ == o.words_;
+    }
+
+    /** Zero every register and the PC. */
+    void
+    reset()
+    {
+        std::fill(words_.begin(), words_.end(), 0);
+        pc_ = 0;
+    }
+
+  private:
+    const StateLayout *layout_;
+    std::vector<uint64_t> words_;
+    uint64_t pc_ = 0;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_RUNTIME_ARCHSTATE_HPP

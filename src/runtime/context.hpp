@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SimContext: the complete simulated machine that functional simulators
+ * execute against -- memory, architectural state, OS emulation, and the
+ * rollback journal.  Several simulators (different buildsets, or the
+ * interpreter and a generated simulator) can drive the *same* context,
+ * which is how rotating-interface validation works.
+ */
+
+#ifndef ONESPEC_RUNTIME_CONTEXT_HPP
+#define ONESPEC_RUNTIME_CONTEXT_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "adl/spec.hpp"
+#include "runtime/archstate.hpp"
+#include "runtime/memory.hpp"
+#include "runtime/os.hpp"
+#include "runtime/program.hpp"
+#include "runtime/rollback.hpp"
+
+namespace onespec {
+
+/** One simulated machine context. */
+class SimContext
+{
+  public:
+    explicit SimContext(const Spec &spec)
+        : spec_(&spec), mem_(!spec.props.littleEndian),
+          state_(spec.state), os_(spec.abi, mem_, state_)
+    {}
+
+    const Spec &spec() const { return *spec_; }
+    Memory &mem() { return mem_; }
+    ArchState &state() { return state_; }
+    const ArchState &state() const { return state_; }
+    OsEmulator &os() { return os_; }
+    RollbackLog &journal() { return journal_; }
+
+    /** Load @p prog: clear everything, map segments, set pc and sp. */
+    void
+    load(const Program &prog)
+    {
+        mem_.clear();
+        state_.reset();
+        journal_.clear();
+        for (const auto &seg : prog.segments)
+            mem_.writeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+        state_.setPc(prog.entry);
+        if (spec_->abi.stack.valid)
+            state_.writeRef(spec_->abi.stack, prog.stackTop);
+        uint64_t brk = prog.initialBrk ? prog.initialBrk
+                                       : prog.highWater();
+        os_.reset(brk);
+        os_.setInput(prog.stdinData);
+        instrsRetired_ = 0;
+    }
+
+    uint64_t instrsRetired() const { return instrsRetired_; }
+    void addRetired(uint64_t n) { instrsRetired_ += n; }
+
+  private:
+    const Spec *spec_;
+    Memory mem_;
+    ArchState state_;
+    OsEmulator os_;
+    RollbackLog journal_;
+    uint64_t instrsRetired_ = 0;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_RUNTIME_CONTEXT_HPP

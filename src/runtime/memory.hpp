@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Sparse paged simulated memory.  Pages are allocated on first write;
+ * reads of untouched memory return zero (deterministic, and matches how
+ * user-mode simulators typically present bss).  Accesses above a sanity
+ * limit raise BadMemory so runaway programs fail fast instead of
+ * allocating the host to death.
+ *
+ * The hot single-page path is inline; generated simulators call these
+ * functions directly.
+ */
+
+#ifndef ONESPEC_RUNTIME_MEMORY_HPP
+#define ONESPEC_RUNTIME_MEMORY_HPP
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "adl/builtins.hpp"
+#include "support/bitutil.hpp"
+
+namespace onespec {
+
+/** Simulated byte-addressable memory. */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageBits = 16;
+    static constexpr uint64_t kPageSize = uint64_t{1} << kPageBits;
+    static constexpr uint64_t kPageMask = kPageSize - 1;
+    /** Addresses at or above this limit fault. */
+    static constexpr uint64_t kAddrLimit = uint64_t{1} << 48;
+
+    explicit Memory(bool big_endian = false) : bigEndian_(big_endian) {}
+
+    bool bigEndian() const { return bigEndian_; }
+
+    /**
+     * Read @p len (1/2/4/8) bytes at @p addr.  Returns the zero-extended
+     * value in target byte order.  Sets @p fault on bad addresses.
+     */
+    uint64_t
+    read(uint64_t addr, unsigned len, FaultKind &fault)
+    {
+        if (addr + len > kAddrLimit) [[unlikely]] {
+            fault = FaultKind::BadMemory;
+            return 0;
+        }
+        const uint8_t *p = pageFor(addr, false);
+        uint64_t off = addr & kPageMask;
+        uint64_t v = 0;
+        if (off + len <= kPageSize) [[likely]] {
+            if (!p)
+                return 0;
+            std::memcpy(&v, p + off, len);
+        } else {
+            for (unsigned i = 0; i < len; ++i) {
+                const uint8_t *q = pageFor(addr + i, false);
+                uint8_t b = q ? q[(addr + i) & kPageMask] : 0;
+                v |= static_cast<uint64_t>(b) << (8 * i);
+            }
+        }
+        if (bigEndian_)
+            v = swapBytes(v, len);
+        return v;
+    }
+
+    /** Write @p len (1/2/4/8) bytes at @p addr. */
+    void
+    write(uint64_t addr, uint64_t value, unsigned len, FaultKind &fault)
+    {
+        if (addr + len > kAddrLimit) [[unlikely]] {
+            fault = FaultKind::BadMemory;
+            return;
+        }
+        if (bigEndian_)
+            value = swapBytes(value, len);
+        uint8_t *p = pageFor(addr, true);
+        uint64_t off = addr & kPageMask;
+        if (off + len <= kPageSize) [[likely]] {
+            std::memcpy(p + off, &value, len);
+        } else {
+            for (unsigned i = 0; i < len; ++i) {
+                uint8_t *q = pageFor(addr + i, true);
+                q[(addr + i) & kPageMask] =
+                    static_cast<uint8_t>(value >> (8 * i));
+            }
+        }
+    }
+
+    /** Raw byte access in *host* order (for loaders and the OS layer). */
+    uint8_t
+    readByte(uint64_t addr)
+    {
+        const uint8_t *p = pageFor(addr, false);
+        return p ? p[addr & kPageMask] : 0;
+    }
+
+    void
+    writeByte(uint64_t addr, uint8_t v)
+    {
+        pageFor(addr, true)[addr & kPageMask] = v;
+    }
+
+    /** Bulk copy into simulated memory. */
+    void
+    writeBlock(uint64_t addr, const void *src, size_t len)
+    {
+        const uint8_t *s = static_cast<const uint8_t *>(src);
+        while (len > 0) {
+            uint64_t off = addr & kPageMask;
+            size_t chunk = static_cast<size_t>(
+                std::min<uint64_t>(len, kPageSize - off));
+            std::memcpy(pageFor(addr, true) + off, s, chunk);
+            addr += chunk;
+            s += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Bulk copy out of simulated memory. */
+    void
+    readBlock(uint64_t addr, void *dst, size_t len)
+    {
+        uint8_t *d = static_cast<uint8_t *>(dst);
+        while (len > 0) {
+            uint64_t off = addr & kPageMask;
+            size_t chunk = static_cast<size_t>(
+                std::min<uint64_t>(len, kPageSize - off));
+            const uint8_t *p = pageFor(addr, false);
+            if (p)
+                std::memcpy(d, p + off, chunk);
+            else
+                std::memset(d, 0, chunk);
+            addr += chunk;
+            d += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Number of allocated pages (for tests and statistics). */
+    size_t pageCount() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void
+    clear()
+    {
+        pages_.clear();
+        cachedPage_ = nullptr;
+        cachedIdx_ = ~uint64_t{0};
+    }
+
+  private:
+    using Page = std::array<uint8_t, kPageSize>;
+
+    static uint64_t
+    swapBytes(uint64_t v, unsigned len)
+    {
+        switch (len) {
+          case 1: return v;
+          case 2: return __builtin_bswap16(static_cast<uint16_t>(v));
+          case 4: return __builtin_bswap32(static_cast<uint32_t>(v));
+          default: return __builtin_bswap64(v);
+        }
+    }
+
+    uint8_t *
+    pageFor(uint64_t addr, bool alloc)
+    {
+        uint64_t idx = addr >> kPageBits;
+        if (idx == cachedIdx_) [[likely]]
+            return cachedPage_;
+        auto it = pages_.find(idx);
+        if (it == pages_.end()) {
+            if (!alloc)
+                return nullptr;
+            it = pages_.emplace(idx, std::make_unique<Page>()).first;
+            std::memset(it->second->data(), 0, kPageSize);
+        }
+        cachedIdx_ = idx;
+        cachedPage_ = it->second->data();
+        return cachedPage_;
+    }
+
+    bool bigEndian_;
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    uint64_t cachedIdx_ = ~uint64_t{0};
+    uint8_t *cachedPage_ = nullptr;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_RUNTIME_MEMORY_HPP

@@ -1,0 +1,92 @@
+#include "os.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+void
+OsEmulator::doSyscall()
+{
+    ++syscallCount_;
+    uint64_t num = state_->readRef(abi_->syscallNum);
+    auto arg = [&](size_t i) -> uint64_t {
+        if (i >= abi_->args.size())
+            return 0;
+        return state_->readRef(abi_->args[i]);
+    };
+    auto setResult = [&](uint64_t v, bool err) {
+        state_->writeRef(abi_->ret, v);
+        if (abi_->error.valid)
+            state_->writeRef(abi_->error, err ? 1 : 0);
+    };
+
+    switch (num) {
+      case kSysExit:
+        exited_ = true;
+        exitCode_ = static_cast<int>(arg(0));
+        setResult(0, false);
+        return;
+
+      case kSysWrite: {
+        uint64_t fd = arg(0);
+        uint64_t buf = arg(1);
+        uint64_t len = arg(2);
+        if (fd != 1 && fd != 2) {
+            setResult(static_cast<uint64_t>(-1), true);
+            return;
+        }
+        len = std::min<uint64_t>(len, 1 << 20);
+        std::vector<char> tmp(static_cast<size_t>(len));
+        mem_->readBlock(buf, tmp.data(), tmp.size());
+        output_.append(tmp.data(), tmp.size());
+        setResult(len, false);
+        return;
+      }
+
+      case kSysRead: {
+        uint64_t fd = arg(0);
+        uint64_t buf = arg(1);
+        uint64_t len = arg(2);
+        if (fd != 0) {
+            setResult(static_cast<uint64_t>(-1), true);
+            return;
+        }
+        uint64_t avail = input_.size() - inputPos_;
+        uint64_t n = std::min(len, avail);
+        if (n > 0)
+            mem_->writeBlock(buf, input_.data() + inputPos_,
+                             static_cast<size_t>(n));
+        inputPos_ += static_cast<size_t>(n);
+        setResult(n, false);
+        return;
+      }
+
+      case kSysBrk: {
+        uint64_t addr = arg(0);
+        if (addr != 0) {
+            if (addr >= brk_ && addr < Memory::kAddrLimit)
+                brk_ = addr;
+        }
+        setResult(brk_, false);
+        return;
+      }
+
+      case kSysTimeMs:
+        // Deterministic: advances by one millisecond per query.
+        setResult(timeMs_++, false);
+        return;
+
+      case kSysGetPid:
+        setResult(1000, false);
+        return;
+
+      default:
+        ONESPEC_WARN("unknown OS call ", num, "; returning -1");
+        setResult(static_cast<uint64_t>(-1), true);
+        return;
+    }
+}
+
+} // namespace onespec

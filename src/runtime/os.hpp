@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic user-mode OS-call emulation (the paper: "operating system
+ * calls were emulated").  All three ISA descriptions share one portable
+ * "OneSpec OS personality": syscall numbers and semantics are identical;
+ * only the ABI registers that carry them differ, and those are declared in
+ * each description's `abi` block.
+ *
+ * Everything is deterministic: time is a counter, stdin is preset, output
+ * is captured.  This keeps every interface's validation run bit-exact.
+ */
+
+#ifndef ONESPEC_RUNTIME_OS_HPP
+#define ONESPEC_RUNTIME_OS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adl/spec.hpp"
+#include "runtime/archstate.hpp"
+#include "runtime/memory.hpp"
+
+namespace onespec {
+
+/** OneSpec OS personality syscall numbers. */
+enum OsCall : uint64_t
+{
+    kSysExit = 1,
+    kSysWrite = 2,   ///< write(fd, buf, len) -> len
+    kSysRead = 3,    ///< read(fd, buf, len) -> bytes read (stdin only)
+    kSysBrk = 4,     ///< brk(addr); addr==0 queries -> new break
+    kSysTimeMs = 5,  ///< deterministic milliseconds counter
+    kSysGetPid = 6,  ///< always 1000
+};
+
+/** Emulates OS calls for one simulated context. */
+class OsEmulator
+{
+  public:
+    OsEmulator(const ResolvedAbi &abi, Memory &mem, ArchState &state)
+        : abi_(&abi), mem_(&mem), state_(&state)
+    {}
+
+    /** Handle one OS call per the ABI registers.  */
+    void doSyscall();
+
+    bool exited() const { return exited_; }
+    int exitCode() const { return exitCode_; }
+
+    const std::string &output() const { return output_; }
+
+    void
+    setInput(std::vector<uint8_t> data)
+    {
+        input_ = std::move(data);
+        inputPos_ = 0;
+    }
+
+    uint64_t brk() const { return brk_; }
+    void setBrk(uint64_t b) { brk_ = b; }
+    size_t inputPos() const { return inputPos_; }
+
+    /** Restore undoable OS state (used by rollback). */
+    void
+    restore(size_t output_len, uint64_t brk, size_t input_pos)
+    {
+        ONESPEC_ASSERT(output_len <= output_.size(),
+                       "cannot restore OS output forward");
+        output_.resize(output_len);
+        brk_ = brk;
+        inputPos_ = input_pos;
+        // An undone exit is no longer an exit.
+        exited_ = false;
+    }
+
+    void
+    reset(uint64_t initial_brk)
+    {
+        exited_ = false;
+        exitCode_ = 0;
+        output_.clear();
+        inputPos_ = 0;
+        brk_ = initial_brk;
+        timeMs_ = 0;
+        syscallCount_ = 0;
+    }
+
+    uint64_t syscallCount() const { return syscallCount_; }
+
+  private:
+    const ResolvedAbi *abi_;
+    Memory *mem_;
+    ArchState *state_;
+
+    bool exited_ = false;
+    int exitCode_ = 0;
+    std::string output_;
+    std::vector<uint8_t> input_;
+    size_t inputPos_ = 0;
+    uint64_t brk_ = 0;
+    uint64_t timeMs_ = 0;
+    uint64_t syscallCount_ = 0;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_RUNTIME_OS_HPP

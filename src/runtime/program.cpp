@@ -1,0 +1,16 @@
+#include "program.hpp"
+
+#include <algorithm>
+
+namespace onespec {
+
+uint64_t
+Program::highWater() const
+{
+    uint64_t hi = 0;
+    for (const auto &s : segments)
+        hi = std::max(hi, s.base + s.bytes.size());
+    return hi;
+}
+
+} // namespace onespec

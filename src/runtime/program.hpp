@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Program images.  OneSpec uses a simple in-memory program format (the
+ * workload generator produces these directly through the derived
+ * assembler), with code/data segments, an entry point, an initial program
+ * break for brk() emulation, and optional preset standard input.
+ */
+
+#ifndef ONESPEC_RUNTIME_PROGRAM_HPP
+#define ONESPEC_RUNTIME_PROGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace onespec {
+
+/** One contiguous initialized region of a program image. */
+struct Segment
+{
+    uint64_t base = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** A loadable program. */
+struct Program
+{
+    std::string name;
+    uint64_t entry = 0;
+    std::vector<Segment> segments;
+
+    /** Initial program break (end of static data); 0 = auto. */
+    uint64_t initialBrk = 0;
+
+    /** Initial stack pointer. */
+    uint64_t stackTop = 0x7ff0'0000;
+
+    /** Preset bytes readable via the read() OS call. */
+    std::vector<uint8_t> stdinData;
+
+    /** Highest address of any segment plus one (0 if no segments). */
+    uint64_t highWater() const;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_RUNTIME_PROGRAM_HPP

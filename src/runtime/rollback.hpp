@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The rollback journal behind speculation support.  When a buildset
+ * enables speculation, every architectural write (registers, memory, and
+ * undoable OS effects) is journaled with its old value, with one mark per
+ * instruction, so undo(n) can restore the context to any recent point --
+ * the mechanism the paper generates from operand accessors' default
+ * store/restore methods.
+ */
+
+#ifndef ONESPEC_RUNTIME_ROLLBACK_HPP
+#define ONESPEC_RUNTIME_ROLLBACK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/archstate.hpp"
+#include "runtime/memory.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+/** Journal of undoable architectural effects. */
+class RollbackLog
+{
+  public:
+    /** Bound on retained history, in instructions. */
+    static constexpr size_t kHorizon = 100000;
+
+    struct Entry
+    {
+        enum Kind : uint8_t { RegWrite, MemWrite };
+        Kind kind;
+        uint8_t len;            ///< memory access size
+        uint32_t stateOffset;   ///< flat word offset (RegWrite)
+        uint64_t addr;          ///< memory address (MemWrite)
+        uint64_t old;           ///< previous value
+    };
+
+    struct Mark
+    {
+        size_t entryCount;      ///< journal length at instruction start
+        uint64_t pc;            ///< pc of the journaled instruction
+        size_t osOutputLen;     ///< OS output length at instruction start
+        uint64_t osBrk;         ///< program break at instruction start
+        size_t osInputPos;      ///< stdin read position
+    };
+
+    void
+    beginInstr(uint64_t pc, size_t os_output_len, uint64_t os_brk,
+               size_t os_input_pos)
+    {
+        if (marks_.capacity() == marks_.size()) [[unlikely]] {
+            if (marks_.size() > 2 * kHorizon)
+                trim();
+            marks_.reserve(marks_.size() + kHorizon);
+            entries_.reserve(entries_.size() + 2 * kHorizon);
+        }
+        marks_.push_back({entries_.size(), pc, os_output_len, os_brk,
+                          os_input_pos});
+    }
+
+    void
+    recordReg(uint32_t state_offset, uint64_t old)
+    {
+        entries_.push_back(
+            {Entry::RegWrite, 0, state_offset, 0, old});
+    }
+
+    void
+    recordMem(uint64_t addr, unsigned len, uint64_t old)
+    {
+        entries_.push_back(
+            {Entry::MemWrite, static_cast<uint8_t>(len), 0, addr, old});
+    }
+
+    /** Number of instructions that can currently be undone. */
+    size_t depth() const { return marks_.size(); }
+
+    /**
+     * Undo the last @p n instructions against @p state and @p mem.
+     * Returns the mark of the earliest undone instruction so the caller
+     * can restore pc and OS-layer state.
+     */
+    Mark
+    undo(size_t n, ArchState &state, Memory &mem)
+    {
+        ONESPEC_ASSERT(n > 0 && n <= marks_.size(),
+                       "undo(", n, ") with only ", marks_.size(),
+                       " instructions journaled");
+        Mark target = marks_[marks_.size() - n];
+        while (entries_.size() > target.entryCount) {
+            const Entry &e = entries_.back();
+            if (e.kind == Entry::RegWrite) {
+                state.setRawWord(e.stateOffset, e.old);
+            } else {
+                FaultKind f = FaultKind::None;
+                mem.write(e.addr, e.old, e.len, f);
+            }
+            entries_.pop_back();
+        }
+        marks_.resize(marks_.size() - n);
+        state.setPc(target.pc);
+        return target;
+    }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        marks_.clear();
+    }
+
+    size_t entryCount() const { return entries_.size(); }
+
+  private:
+    void
+    trim()
+    {
+        size_t drop = marks_.size() - kHorizon;
+        size_t entry_base = marks_[drop].entryCount;
+        entries_.erase(entries_.begin(),
+                       entries_.begin() +
+                           static_cast<std::ptrdiff_t>(entry_base));
+        marks_.erase(marks_.begin(),
+                     marks_.begin() + static_cast<std::ptrdiff_t>(drop));
+        for (auto &m : marks_)
+            m.entryCount -= entry_base;
+    }
+
+    std::vector<Entry> entries_;
+    std::vector<Mark> marks_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_RUNTIME_ROLLBACK_HPP

@@ -1,0 +1,541 @@
+#include "interp.hpp"
+
+#include <cstring>
+
+#include "adl/encexpr.hpp"
+#include "adl/eval.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+// ---------------------------------------------------------------------
+// Runner: evaluates action code for one instruction
+// ---------------------------------------------------------------------
+
+/**
+ * Per-instruction evaluation state.  Hidden slots live in the simulator's
+ * scratch array (zeroed per entrypoint invocation); visible slots live in
+ * the DynInst.  The written mask is always maintained in the DynInst --
+ * it is semantic (conditional writeback depends on it).
+ */
+class InterpSimulator::Runner
+{
+  public:
+    Runner(InterpSimulator &sim, DynInst &di, const InstrInfo &ii)
+        : sim_(sim), ctx_(sim.ctx_), di_(di), ii_(ii),
+          fmt_(ctx_.spec().formats[ii.formatIndex]),
+          visible_(sim.bs_->visibleSlots), spec_(ctx_.spec())
+    {}
+
+    /** Run one semantic step.  Returns false if a fault was raised. */
+    bool runStep(Step s);
+
+  private:
+    uint64_t
+    getSlot(int idx) const
+    {
+        if ((visible_ >> idx) & 1)
+            return di_.vals[idx];
+        return sim_.scratch_[idx];
+    }
+
+    void
+    setSlot(int idx, uint64_t v)
+    {
+        v = normalize(v, spec_.slots[idx].type);
+        if ((visible_ >> idx) & 1)
+            di_.vals[idx] = v;
+        else
+            sim_.scratch_[idx] = v;
+        di_.written |= uint64_t{1} << idx;
+    }
+
+    uint64_t encField(int idx) const
+    {
+        const FormatField &ff = fmt_.fields[idx];
+        return bits(di_.inst, ff.hi, ff.lo);
+    }
+
+    uint64_t evalExpr(const Expr &e);
+    void execStmt(const Stmt &s);
+    uint64_t evalBuiltin(const Expr &e);
+
+    void
+    raise(FaultKind k)
+    {
+        if (di_.fault == FaultKind::None)
+            di_.fault = k;
+    }
+
+    InterpSimulator &sim_;
+    SimContext &ctx_;
+    DynInst &di_;
+    const InstrInfo &ii_;
+    const FormatDecl &fmt_;
+    SlotMask visible_;
+    const Spec &spec_;
+    uint64_t locals_[kMaxLocals] = {};
+};
+
+uint64_t
+InterpSimulator::Runner::evalBuiltin(const Expr &e)
+{
+    Builtin b = static_cast<Builtin>(e.builtinIndex);
+    uint64_t args[3] = {};
+    unsigned n = static_cast<unsigned>(e.args.size());
+    ONESPEC_ASSERT(n <= 3, "builtin arity");
+    for (unsigned i = 0; i < n; ++i)
+        args[i] = evalExpr(*e.args[i]);
+
+    uint64_t out = 0;
+    if (evalPureBuiltin(b, args, out))
+        return out;
+
+    bool spec_on = sim_.bs_->speculation;
+    Memory &mem = ctx_.mem();
+    FaultKind f = FaultKind::None;
+
+    switch (b) {
+      case Builtin::LoadU8:
+      case Builtin::LoadU16:
+      case Builtin::LoadU32:
+      case Builtin::LoadU64: {
+        unsigned len = 1u << (static_cast<int>(b) -
+                              static_cast<int>(Builtin::LoadU8));
+        uint64_t v = mem.read(args[0], len, f);
+        if (f != FaultKind::None)
+            raise(f);
+        return v;
+      }
+
+      case Builtin::StoreU8:
+      case Builtin::StoreU16:
+      case Builtin::StoreU32:
+      case Builtin::StoreU64: {
+        unsigned len = 1u << (static_cast<int>(b) -
+                              static_cast<int>(Builtin::StoreU8));
+        if (spec_on) {
+            uint64_t old = mem.read(args[0], len, f);
+            if (f == FaultKind::None)
+                ctx_.journal().recordMem(args[0], len, old);
+        }
+        mem.write(args[0], args[1], len, f);
+        if (f != FaultKind::None)
+            raise(f);
+        return 0;
+      }
+
+      case Builtin::Branch:
+        di_.npc = args[0];
+        di_.flags |= kFlagBranchTaken;
+        return 0;
+
+      case Builtin::Fault:
+        raise(static_cast<FaultKind>(args[0] & 0xff));
+        return 0;
+
+      case Builtin::SyscallEmu:
+        di_.flags |= kFlagSyscall;
+        ctx_.os().doSyscall();
+        return 0;
+
+      case Builtin::Halt:
+        di_.flags |= kFlagHalted;
+        return 0;
+
+      default:
+        ONESPEC_PANIC("unhandled builtin in interpreter");
+    }
+}
+
+uint64_t
+InterpSimulator::Runner::evalExpr(const Expr &e)
+{
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return normalize(e.intValue, e.type);
+
+      case Expr::Kind::Ident:
+        switch (e.symKind) {
+          case SymKind::Local:
+            return locals_[e.symIndex];
+          case SymKind::Slot:
+            return getSlot(e.symIndex);
+          case SymKind::EncField:
+            return encField(e.symIndex);
+          case SymKind::ImplicitPc:
+            return di_.pc;
+          case SymKind::ImplicitNpc:
+            return di_.npc;
+          case SymKind::ImplicitInst:
+            return di_.inst;
+          case SymKind::Unresolved:
+            break;
+        }
+        ONESPEC_PANIC("unresolved identifier '", e.name,
+                      "' reached the interpreter");
+
+      case Expr::Kind::Unary:
+        return evalUnOp(e.unOp, evalExpr(*e.a), e.type);
+
+      case Expr::Kind::Binary: {
+        if (e.binOp == BinOp::LogAnd) {
+            if (evalExpr(*e.a) == 0)
+                return 0;
+            return evalExpr(*e.b) != 0;
+        }
+        if (e.binOp == BinOp::LogOr) {
+            if (evalExpr(*e.a) != 0)
+                return 1;
+            return evalExpr(*e.b) != 0;
+        }
+        uint64_t a = normalize(evalExpr(*e.a), e.promotedType);
+        uint64_t b;
+        if (e.binOp == BinOp::Shl || e.binOp == BinOp::Shr) {
+            // Shift amounts are plain magnitudes, not promoted.
+            b = evalExpr(*e.b);
+        } else {
+            b = normalize(evalExpr(*e.b), e.promotedType);
+        }
+        return evalBinOp(e.binOp, a, b, e.promotedType, e.type);
+      }
+
+      case Expr::Kind::Ternary:
+        return normalize(evalExpr(*e.a) ? evalExpr(*e.b) : evalExpr(*e.c),
+                         e.type);
+
+      case Expr::Kind::Cast:
+        return normalize(evalExpr(*e.a), e.castType);
+
+      case Expr::Kind::Call:
+        return evalBuiltin(e);
+    }
+    ONESPEC_PANIC("unreachable expression kind");
+}
+
+void
+InterpSimulator::Runner::execStmt(const Stmt &s)
+{
+    switch (s.kind) {
+      case Stmt::Kind::Block:
+        for (const auto &st : s.body) {
+            execStmt(*st);
+            if (di_.fault != FaultKind::None)
+                return;
+        }
+        return;
+
+      case Stmt::Kind::LocalDecl:
+        locals_[s.localIndex] =
+            s.init ? normalize(evalExpr(*s.init), s.declType) : 0;
+        return;
+
+      case Stmt::Kind::Assign: {
+        uint64_t v = evalExpr(*s.value);
+        const Expr &t = *s.target;
+        if (t.symKind == SymKind::Local)
+            locals_[t.symIndex] = normalize(v, t.type);
+        else
+            setSlot(t.symIndex, v);
+        return;
+      }
+
+      case Stmt::Kind::If:
+        if (evalExpr(*s.cond))
+            execStmt(*s.thenStmt);
+        else if (s.elseStmt)
+            execStmt(*s.elseStmt);
+        return;
+
+      case Stmt::Kind::While: {
+        uint64_t guard = 0;
+        while (evalExpr(*s.cond)) {
+            execStmt(*s.thenStmt);
+            if (di_.fault != FaultKind::None)
+                return;
+            if (++guard > kLoopGuard) {
+                ONESPEC_PANIC("runaway while-loop in action code of '",
+                              ii_.name, "'");
+            }
+        }
+        return;
+      }
+
+      case Stmt::Kind::ExprStmt:
+        evalExpr(*s.value);
+        return;
+
+      case Stmt::Kind::Inline:
+        break; // expanded by sema; falls through to panic
+    }
+    ONESPEC_PANIC("unreachable statement kind");
+}
+
+bool
+InterpSimulator::Runner::runStep(Step s)
+{
+    unsigned si = static_cast<unsigned>(s);
+    bool spec_on = sim_.bs_->speculation;
+
+    switch (s) {
+      case Step::ReadOperands:
+        for (const auto &op : ii_.operands) {
+            if (op.isDst)
+                continue;
+            uint64_t v;
+            if (op.scalar) {
+                v = ctx_.state().readScalar(op.scalarIdx);
+            } else {
+                unsigned idx =
+                    static_cast<unsigned>(evalExpr(*op.indexExpr));
+                v = ctx_.state().readReg(op.fileIndex, idx);
+            }
+            setSlot(op.slotIndex, v);
+        }
+        break;
+
+      case Step::Writeback:
+        if (ii_.actions[si].body) {
+            std::memset(locals_, 0,
+                        ii_.actions[si].numLocals * sizeof(uint64_t));
+            execStmt(*ii_.actions[si].body);
+        }
+        for (const auto &op : ii_.operands) {
+            if (!op.isDst || !di_.slotWritten(op.slotIndex))
+                continue;
+            uint64_t v = getSlot(op.slotIndex);
+            ArchState &st = ctx_.state();
+            if (op.scalar) {
+                if (spec_on) {
+                    unsigned off =
+                        st.layout().scalars[op.scalarIdx].offset;
+                    ctx_.journal().recordReg(off, st.rawWord(off));
+                }
+                st.writeScalar(op.scalarIdx, v);
+            } else {
+                unsigned idx =
+                    static_cast<unsigned>(evalExpr(*op.indexExpr));
+                if (spec_on) {
+                    unsigned off =
+                        st.layout().files[op.fileIndex].base + idx;
+                    ctx_.journal().recordReg(off, st.rawWord(off));
+                }
+                st.writeReg(op.fileIndex, idx, v);
+            }
+        }
+        return di_.fault == FaultKind::None;
+
+      default:
+        break;
+    }
+
+    const InstrAction &ia = ii_.actions[si];
+    if (ia.body && s != Step::Writeback) {
+        std::memset(locals_, 0, ia.numLocals * sizeof(uint64_t));
+        execStmt(*ia.body);
+    }
+    return di_.fault == FaultKind::None;
+}
+
+// ---------------------------------------------------------------------
+// InterpSimulator
+// ---------------------------------------------------------------------
+
+InterpSimulator::InterpSimulator(SimContext &ctx, const BuildsetInfo &bs)
+    : FunctionalSimulator(ctx), bs_(&bs), dcache_(kDecodeCacheSize)
+{
+    for (const auto &ii : ctx.spec().instrs) {
+        for (const auto &ia : ii.actions) {
+            ONESPEC_ASSERT(ia.numLocals <= kMaxLocals,
+                           "too many locals in '", ii.name, "'");
+        }
+    }
+    std::memset(scratch_, 0, sizeof(scratch_));
+}
+
+InterpSimulator::~InterpSimulator() = default;
+
+RunStatus
+InterpSimulator::runSteps(DynInst &di, const Step *steps, unsigned count)
+{
+    const Spec &spec = ctx_.spec();
+
+    for (unsigned k = 0; k < count; ++k) {
+        Step s = steps[k];
+        switch (s) {
+          case Step::Fetch: {
+            uint64_t pc = ctx_.state().pc();
+            di.beginInstr(pc, pc + spec.props.instrBytes);
+            if (bs_->speculation) {
+                ctx_.journal().beginInstr(pc, ctx_.os().output().size(),
+                                          ctx_.os().brk(),
+                                          ctx_.os().inputPos());
+            }
+            DecodeEntry &de = dcache_[(pc >> 2) & (kDecodeCacheSize - 1)];
+            if (dcEnabled_ && de.pc == pc) {
+                ++dcHits_;
+                di.inst = de.inst;
+            } else {
+                FaultKind f = FaultKind::None;
+                di.inst = static_cast<uint32_t>(
+                    ctx_.mem().read(pc, spec.props.instrBytes, f));
+                if (f != FaultKind::None) {
+                    di.fault = f;
+                    return RunStatus::Fault;
+                }
+            }
+            break;
+          }
+
+          case Step::Decode: {
+            DecodeEntry &de =
+                dcache_[(di.pc >> 2) & (kDecodeCacheSize - 1)];
+            int id;
+            if (dcEnabled_ && de.pc == di.pc && de.inst == di.inst) {
+                id = de.opId == 0xffff ? -1 : de.opId;
+            } else {
+                ++dcMisses_;
+                id = spec.decode(di.inst);
+                if (dcEnabled_) {
+                    de.pc = di.pc;
+                    de.inst = di.inst;
+                    de.opId = id < 0 ? 0xffff
+                                     : static_cast<uint16_t>(id);
+                }
+            }
+            if (id < 0) {
+                di.fault = FaultKind::IllegalInstr;
+                return RunStatus::Fault;
+            }
+            di.opId = static_cast<uint16_t>(id);
+            if (bs_->opRegsVisible) {
+                const InstrInfo &ii = spec.instrs[id];
+                const FormatDecl &fmt = spec.formats[ii.formatIndex];
+                di.nOps = static_cast<uint8_t>(ii.operands.size());
+                for (size_t i = 0; i < ii.operands.size(); ++i) {
+                    const ResolvedOperand &op = ii.operands[i];
+                    unsigned reg = 0;
+                    if (!op.scalar) {
+                        reg = static_cast<unsigned>(
+                            evalEncExpr(*op.indexExpr, di.inst, fmt));
+                    }
+                    di.opRegs[i] = static_cast<uint8_t>(reg);
+                    unsigned file_id =
+                        op.scalar ? (0x40u | op.scalarIdx)
+                                  : static_cast<unsigned>(op.fileIndex);
+                    di.opMeta[i] = makeOpMeta(op.isDst, file_id);
+                }
+            }
+            break;
+          }
+
+          default: {
+            if (di.opId == 0xffff) {
+                di.fault = FaultKind::IllegalInstr;
+                return RunStatus::Fault;
+            }
+            const InstrInfo &ii = spec.instrs[di.opId];
+            Runner r(*this, di, ii);
+            if (!r.runStep(s))
+                return RunStatus::Fault;
+            if (s == Step::Exception) {
+                // Retire: advance pc, count, and surface halts.
+                ctx_.state().setPc(di.npc);
+                ctx_.addRetired(1);
+                if ((di.flags & kFlagHalted) || ctx_.os().exited())
+                    return RunStatus::Halted;
+            }
+            break;
+          }
+        }
+    }
+    return RunStatus::Ok;
+}
+
+RunStatus
+InterpSimulator::execute(DynInst &di)
+{
+    static constexpr Step all[kNumSteps] = {
+        Step::Fetch, Step::Decode, Step::ReadOperands, Step::Execute,
+        Step::Memory, Step::Writeback, Step::Exception,
+    };
+    // Hidden slots behave like locals of this one call.
+    std::memset(scratch_, 0, sizeof(scratch_));
+    return runSteps(di, all, kNumSteps);
+}
+
+unsigned
+InterpSimulator::executeBlock(DynInst *out, unsigned cap, RunStatus &status)
+{
+    unsigned n = 0;
+    status = RunStatus::Ok;
+    while (n < cap) {
+        DynInst &di = out[n];
+        status = execute(di);
+        ++n;
+        if (status != RunStatus::Ok)
+            return n;
+        if (ctx_.spec().instrs[di.opId].isControlFlow)
+            break;
+    }
+    return n;
+}
+
+RunStatus
+InterpSimulator::step(Step s, DynInst &di)
+{
+    // Each call is its own scope: hidden values do not survive between
+    // calls (this is precisely what makes Step+min/decode lossy).
+    std::memset(scratch_, 0, sizeof(scratch_));
+    Step one = s;
+    return runSteps(di, &one, 1);
+}
+
+RunStatus
+InterpSimulator::call(unsigned index, DynInst &di)
+{
+    ONESPEC_ASSERT(index < bs_->entrypoints.size(),
+                   "bad entrypoint index");
+    const auto &ep = bs_->entrypoints[index];
+    std::memset(scratch_, 0, sizeof(scratch_));
+    return runSteps(di, ep.steps.data(),
+                    static_cast<unsigned>(ep.steps.size()));
+}
+
+uint64_t
+InterpSimulator::fastForward(uint64_t max_instrs, RunStatus &status)
+{
+    if (bs_->semantic != SemanticLevel::Block)
+        unsupported("fastForward()");
+    DynInst di;
+    uint64_t n = 0;
+    status = RunStatus::Ok;
+    while (n < max_instrs) {
+        status = execute(di);
+        ++n;
+        if (status != RunStatus::Ok)
+            break;
+    }
+    return n;
+}
+
+void
+InterpSimulator::undo(uint64_t n)
+{
+    if (!bs_->speculation)
+        unsupported("undo()");
+    auto mark = ctx_.journal().undo(static_cast<size_t>(n), ctx_.state(),
+                                    ctx_.mem());
+    ctx_.os().restore(mark.osOutputLen, mark.osBrk, mark.osInputPos);
+}
+
+std::unique_ptr<InterpSimulator>
+makeInterpSimulator(SimContext &ctx, const std::string &buildset_name)
+{
+    const BuildsetInfo *bs = ctx.spec().findBuildset(buildset_name);
+    if (!bs)
+        ONESPEC_FATAL("no buildset named '", buildset_name, "'");
+    return std::make_unique<InterpSimulator>(ctx, *bs);
+}
+
+} // namespace onespec

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The interpreter back end: executes the Spec's action ASTs directly,
+ * honoring any buildset's semantic/informational detail at run time.
+ *
+ * It serves three roles:
+ *  - the reference implementation against which generated simulators are
+ *    validated (both back ends share eval.hpp semantics);
+ *  - the "interpreted style of execution" baseline of the paper's
+ *    footnote 5;
+ *  - the debugging vehicle for new descriptions (step through actions
+ *    without a synthesis round trip).
+ */
+
+#ifndef ONESPEC_SIM_INTERP_HPP
+#define ONESPEC_SIM_INTERP_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "iface/functional_simulator.hpp"
+
+namespace onespec {
+
+/** Interpreter-backed functional simulator for one buildset. */
+class InterpSimulator : public FunctionalSimulator
+{
+  public:
+    /** Maximum locals per action (checked against the Spec). */
+    static constexpr unsigned kMaxLocals = 64;
+    /** Iteration guard for while-loops in action code. */
+    static constexpr uint64_t kLoopGuard = 1u << 24;
+
+    InterpSimulator(SimContext &ctx, const BuildsetInfo &bs);
+    ~InterpSimulator() override;
+
+    const BuildsetInfo &buildset() const override { return *bs_; }
+
+    RunStatus execute(DynInst &di) override;
+    unsigned executeBlock(DynInst *out, unsigned cap,
+                          RunStatus &status) override;
+    RunStatus step(Step s, DynInst &di) override;
+    RunStatus call(unsigned index, DynInst &di) override;
+    uint64_t fastForward(uint64_t max_instrs, RunStatus &status) override;
+    void undo(uint64_t n) override;
+
+    /** Decode-cache statistics (for the ablation bench). */
+    uint64_t decodeCacheHits() const { return dcHits_; }
+    uint64_t decodeCacheMisses() const { return dcMisses_; }
+    void setDecodeCacheEnabled(bool on) { dcEnabled_ = on; }
+
+    /** Invalidate cached decodes (call after loading a new program). */
+    void
+    flushDecodeCache()
+    {
+        std::fill(dcache_.begin(), dcache_.end(), DecodeEntry{});
+    }
+
+  private:
+    struct DecodeEntry
+    {
+        uint64_t pc = ~uint64_t{0};
+        uint32_t inst = 0;
+        uint16_t opId = 0xffff;
+    };
+
+    static constexpr unsigned kDecodeCacheBits = 14;
+    static constexpr unsigned kDecodeCacheSize = 1u << kDecodeCacheBits;
+
+    class Runner;
+
+    /** Run the given ordered steps of one instruction. */
+    RunStatus runSteps(DynInst &di, const Step *steps, unsigned count);
+
+    const BuildsetInfo *bs_;
+    std::vector<DecodeEntry> dcache_;
+    bool dcEnabled_ = true;
+    uint64_t dcHits_ = 0;
+    uint64_t dcMisses_ = 0;
+
+    /** Scratch for hidden slots (zeroed per entrypoint invocation). */
+    uint64_t scratch_[kMaxSlots];
+};
+
+/**
+ * Create an interpreter simulator for @p buildset_name over @p ctx;
+ * fatal()s if the buildset does not exist.
+ */
+std::unique_ptr<InterpSimulator>
+makeInterpSimulator(SimContext &ctx, const std::string &buildset_name);
+
+} // namespace onespec
+
+#endif // ONESPEC_SIM_INTERP_HPP

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the decoder, encoder, action-language
+ * evaluator, and generated simulators.  Everything operates on uint64_t so
+ * the same helpers back every value type in the action language.
+ */
+
+#ifndef ONESPEC_SUPPORT_BITUTIL_HPP
+#define ONESPEC_SUPPORT_BITUTIL_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace onespec {
+
+/** Mask with the low @p n bits set (n in [0, 64]). */
+constexpr uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [hi:lo] of @p v (inclusive, hi >= lo). */
+constexpr uint64_t
+bits(uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & lowMask(hi - lo + 1);
+}
+
+/** Insert the low (hi-lo+1) bits of @p field into bits [hi:lo] of @p v. */
+constexpr uint64_t
+insertBits(uint64_t v, unsigned hi, unsigned lo, uint64_t field)
+{
+    uint64_t m = lowMask(hi - lo + 1);
+    return (v & ~(m << lo)) | ((field & m) << lo);
+}
+
+/** Sign-extend the low @p n bits of @p v to 64 bits (n in [1, 64]). */
+constexpr uint64_t
+sext(uint64_t v, unsigned n)
+{
+    if (n >= 64)
+        return v;
+    uint64_t sign_bit = uint64_t{1} << (n - 1);
+    uint64_t masked = v & lowMask(n);
+    return (masked ^ sign_bit) - sign_bit;
+}
+
+/** Zero-extend the low @p n bits of @p v. */
+constexpr uint64_t
+zext(uint64_t v, unsigned n)
+{
+    return v & lowMask(n);
+}
+
+/** Truncate @p v to @p bits bits (identity for bits >= 64). */
+constexpr uint64_t
+truncate(uint64_t v, unsigned bits_)
+{
+    return v & lowMask(bits_);
+}
+
+constexpr uint32_t
+rotl32(uint32_t v, unsigned s)
+{
+    return std::rotl(v, static_cast<int>(s & 31));
+}
+
+constexpr uint32_t
+rotr32(uint32_t v, unsigned s)
+{
+    return std::rotr(v, static_cast<int>(s & 31));
+}
+
+constexpr uint64_t
+rotl64(uint64_t v, unsigned s)
+{
+    return std::rotl(v, static_cast<int>(s & 63));
+}
+
+constexpr uint64_t
+rotr64(uint64_t v, unsigned s)
+{
+    return std::rotr(v, static_cast<int>(s & 63));
+}
+
+/** Count leading zeros of the low @p width bits (returns width if zero). */
+constexpr unsigned
+clz(uint64_t v, unsigned width)
+{
+    v = truncate(v, width);
+    if (v == 0)
+        return width;
+    return static_cast<unsigned>(std::countl_zero(v)) - (64 - width);
+}
+
+/** Count trailing zeros of the low @p width bits (returns width if zero). */
+constexpr unsigned
+ctz(uint64_t v, unsigned width)
+{
+    v = truncate(v, width);
+    if (v == 0)
+        return width;
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+constexpr unsigned
+popcount(uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** True if @p v is aligned to @p align (a power of two). */
+constexpr bool
+isAligned(uint64_t v, uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/**
+ * Unsigned add-with-carry-out: returns carry of a + b + cin as 0/1 for the
+ * given operand @p width in bits.
+ */
+constexpr uint64_t
+carryOut(uint64_t a, uint64_t b, uint64_t cin, unsigned width)
+{
+    a = truncate(a, width);
+    b = truncate(b, width);
+    if (width < 64) {
+        return ((a + b + cin) >> width) & 1;
+    }
+    uint64_t s = a + b;
+    uint64_t c1 = s < a;
+    uint64_t s2 = s + cin;
+    uint64_t c2 = s2 < s;
+    return c1 | c2;
+}
+
+/** Signed overflow of a + b + cin at the given width, as 0/1. */
+constexpr uint64_t
+overflowAdd(uint64_t a, uint64_t b, uint64_t cin, unsigned width)
+{
+    uint64_t sum = truncate(a + b + cin, width);
+    uint64_t sa = bits(a, width - 1, width - 1);
+    uint64_t sb = bits(b, width - 1, width - 1);
+    uint64_t ss = bits(sum, width - 1, width - 1);
+    return (sa == sb && sa != ss) ? 1 : 0;
+}
+
+} // namespace onespec
+
+#endif // ONESPEC_SUPPORT_BITUTIL_HPP

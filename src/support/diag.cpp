@@ -1,0 +1,52 @@
+#include "diag.hpp"
+
+#include <sstream>
+
+namespace onespec {
+
+std::string
+SourceLoc::str() const
+{
+    std::ostringstream os;
+    os << (file.empty() ? "<input>" : file) << ":" << line << ":" << col;
+    return os.str();
+}
+
+std::string
+Diagnostic::str() const
+{
+    const char *sev = severity == DiagSeverity::Error     ? "error"
+                      : severity == DiagSeverity::Warning ? "warning"
+                                                          : "note";
+    return loc.str() + ": " + sev + ": " + message;
+}
+
+void
+DiagnosticEngine::error(const SourceLoc &loc, const std::string &msg)
+{
+    diags_.push_back({DiagSeverity::Error, loc, msg});
+    ++errorCount_;
+}
+
+void
+DiagnosticEngine::warning(const SourceLoc &loc, const std::string &msg)
+{
+    diags_.push_back({DiagSeverity::Warning, loc, msg});
+}
+
+void
+DiagnosticEngine::note(const SourceLoc &loc, const std::string &msg)
+{
+    diags_.push_back({DiagSeverity::Note, loc, msg});
+}
+
+std::string
+DiagnosticEngine::str() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags_)
+        os << d.str() << "\n";
+    return os.str();
+}
+
+} // namespace onespec

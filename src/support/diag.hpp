@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Source locations and diagnostics for the LIS front end.  The parser and
+ * semantic analyzer accumulate diagnostics into a DiagnosticEngine rather
+ * than aborting, so a single run reports every problem in a description.
+ */
+
+#ifndef ONESPEC_SUPPORT_DIAG_HPP
+#define ONESPEC_SUPPORT_DIAG_HPP
+
+#include <string>
+#include <vector>
+
+namespace onespec {
+
+/** A position within a LIS description file. */
+struct SourceLoc
+{
+    std::string file;
+    int line = 0;
+    int col = 0;
+
+    std::string str() const;
+};
+
+/** Severity of a diagnostic. */
+enum class DiagSeverity { Error, Warning, Note };
+
+/** One diagnostic message with its location. */
+struct Diagnostic
+{
+    DiagSeverity severity = DiagSeverity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    std::string str() const;
+};
+
+/** Collects diagnostics produced while processing a description. */
+class DiagnosticEngine
+{
+  public:
+    void error(const SourceLoc &loc, const std::string &msg);
+    void warning(const SourceLoc &loc, const std::string &msg);
+    void note(const SourceLoc &loc, const std::string &msg);
+
+    bool hasErrors() const { return errorCount_ > 0; }
+    int errorCount() const { return errorCount_; }
+    const std::vector<Diagnostic> &all() const { return diags_; }
+
+    /** All diagnostics, one per line, for error reporting / tests. */
+    std::string str() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    int errorCount_ = 0;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_SUPPORT_DIAG_HPP

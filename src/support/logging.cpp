@@ -1,0 +1,58 @@
+#include "logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "panic_exception.hpp"
+
+namespace onespec {
+namespace detail {
+
+namespace {
+std::atomic<int> warn_counter{0};
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = strcat_args("panic: ", msg, " @ ", file, ":", line);
+    if (PanicException::throwInsteadOfAbort()) {
+        throw PanicException(full);
+    }
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = strcat_args("fatal: ", msg, " @ ", file, ":", line);
+    if (PanicException::throwInsteadOfAbort()) {
+        throw FatalException(full);
+    }
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    warn_counter.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "warn: %s @ %s:%d\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+int
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+} // namespace detail
+} // namespace onespec

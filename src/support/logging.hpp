@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error and status reporting in the style of gem5's logging facilities.
+ *
+ * panic()  -- a OneSpec bug: a condition that should never happen no matter
+ *             what the user does.  Aborts (core-dumpable).
+ * fatal()  -- a user error (bad description, bad arguments): the simulation
+ *             cannot continue but OneSpec itself is fine.  Exits with code 1.
+ * warn()   -- something is probably not modeled as well as it could be.
+ * inform() -- normal operating status.
+ */
+
+#ifndef ONESPEC_SUPPORT_LOGGING_HPP
+#define ONESPEC_SUPPORT_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace onespec {
+
+/** Concatenate any streamable arguments into one std::string. */
+template <typename... Args>
+std::string
+strcat_args(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Number of warnings emitted so far (for tests). */
+int warnCount();
+
+} // namespace detail
+
+} // namespace onespec
+
+#define ONESPEC_PANIC(...)                                                   \
+    ::onespec::detail::panicImpl(__FILE__, __LINE__,                         \
+                                 ::onespec::strcat_args(__VA_ARGS__))
+
+#define ONESPEC_FATAL(...)                                                   \
+    ::onespec::detail::fatalImpl(__FILE__, __LINE__,                         \
+                                 ::onespec::strcat_args(__VA_ARGS__))
+
+#define ONESPEC_WARN(...)                                                    \
+    ::onespec::detail::warnImpl(__FILE__, __LINE__,                          \
+                                ::onespec::strcat_args(__VA_ARGS__))
+
+#define ONESPEC_INFORM(...)                                                  \
+    ::onespec::detail::informImpl(::onespec::strcat_args(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define ONESPEC_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ONESPEC_PANIC("assertion '" #cond "' failed: ",                  \
+                          ::onespec::strcat_args(__VA_ARGS__));              \
+        }                                                                    \
+    } while (0)
+
+#endif // ONESPEC_SUPPORT_LOGGING_HPP

@@ -1,0 +1,12 @@
+#include "panic_exception.hpp"
+
+namespace onespec {
+
+bool &
+PanicException::throwInsteadOfAbort()
+{
+    static bool flag = false;
+    return flag;
+}
+
+} // namespace onespec

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exception types thrown by panic()/fatal() when running under a test
+ * harness.  Production runs abort/exit; tests flip throwInsteadOfAbort()
+ * so that death paths become observable without forking.
+ */
+
+#ifndef ONESPEC_SUPPORT_PANIC_EXCEPTION_HPP
+#define ONESPEC_SUPPORT_PANIC_EXCEPTION_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace onespec {
+
+/** Thrown by ONESPEC_PANIC under test harnesses. */
+class PanicException : public std::runtime_error
+{
+  public:
+    explicit PanicException(const std::string &msg)
+        : std::runtime_error(msg) {}
+
+    /** Global switch: when true, panic/fatal throw instead of aborting. */
+    static bool &throwInsteadOfAbort();
+};
+
+/** Thrown by ONESPEC_FATAL under test harnesses. */
+class FatalException : public std::runtime_error
+{
+  public:
+    explicit FatalException(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** RAII guard enabling throw-mode for the current scope (used in tests). */
+class ScopedThrowOnPanic
+{
+  public:
+    ScopedThrowOnPanic()
+        : saved_(PanicException::throwInsteadOfAbort())
+    {
+        PanicException::throwInsteadOfAbort() = true;
+    }
+    ~ScopedThrowOnPanic() { PanicException::throwInsteadOfAbort() = saved_; }
+
+    ScopedThrowOnPanic(const ScopedThrowOnPanic &) = delete;
+    ScopedThrowOnPanic &operator=(const ScopedThrowOnPanic &) = delete;
+
+  private:
+    bool saved_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_SUPPORT_PANIC_EXCEPTION_HPP

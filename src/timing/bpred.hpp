@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Branch prediction for the timing simulators: a gshare direction
+ * predictor with 2-bit saturating counters plus a direct-mapped BTB for
+ * targets.
+ */
+
+#ifndef ONESPEC_TIMING_BPRED_HPP
+#define ONESPEC_TIMING_BPRED_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace onespec {
+
+/** gshare + BTB. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(unsigned history_bits = 12)
+        : historyBits_(history_bits),
+          counters_(size_t{1} << history_bits, 1),
+          btbTags_(kBtbSize, ~uint64_t{0}), btbTargets_(kBtbSize, 0)
+    {}
+
+    /** Predict the direction of the branch at @p pc. */
+    bool
+    predictTaken(uint64_t pc) const
+    {
+        return counters_[index(pc)] >= 2;
+    }
+
+    /** Predicted target (0 if the BTB misses). */
+    uint64_t
+    predictTarget(uint64_t pc) const
+    {
+        unsigned i = btbIndex(pc);
+        return btbTags_[i] == pc ? btbTargets_[i] : 0;
+    }
+
+    /** Train with the resolved outcome. */
+    void
+    update(uint64_t pc, bool taken, uint64_t target)
+    {
+        ++branches_;
+        bool predicted = predictTaken(pc);
+        uint64_t ptarget = predictTarget(pc);
+        if (predicted != taken || (taken && ptarget != target))
+            ++mispredicts_;
+        uint8_t &c = counters_[index(pc)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   ((uint64_t{1} << historyBits_) - 1);
+        if (taken) {
+            unsigned i = btbIndex(pc);
+            btbTags_[i] = pc;
+            btbTargets_[i] = target;
+        }
+    }
+
+    uint64_t branches() const { return branches_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    void
+    reset()
+    {
+        std::fill(counters_.begin(), counters_.end(), 1);
+        std::fill(btbTags_.begin(), btbTags_.end(), ~uint64_t{0});
+        history_ = 0;
+        branches_ = mispredicts_ = 0;
+    }
+
+  private:
+    static constexpr unsigned kBtbSize = 1024;
+
+    size_t
+    index(uint64_t pc) const
+    {
+        return static_cast<size_t>(((pc >> 2) ^ history_) &
+                                   ((uint64_t{1} << historyBits_) - 1));
+    }
+
+    static unsigned
+    btbIndex(uint64_t pc)
+    {
+        return static_cast<unsigned>((pc >> 2) & (kBtbSize - 1));
+    }
+
+    unsigned historyBits_;
+    std::vector<uint8_t> counters_;
+    std::vector<uint64_t> btbTags_;
+    std::vector<uint64_t> btbTargets_;
+    uint64_t history_ = 0;
+    uint64_t branches_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_BPRED_HPP

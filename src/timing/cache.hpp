@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A classic set-associative cache model with LRU replacement, used by the
+ * timing simulators.  Timing-only: holds tags, not data (the functional
+ * simulator owns the data; this is precisely the decoupling the paper's
+ * organizations rely on).
+ */
+
+#ifndef ONESPEC_TIMING_CACHE_HPP
+#define ONESPEC_TIMING_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitutil.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    unsigned sizeBytes = 32 * 1024;
+    unsigned lineBytes = 64;
+    unsigned ways = 4;
+    unsigned hitLatency = 1;
+};
+
+/** Tag-only set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg) : cfg_(cfg)
+    {
+        ONESPEC_ASSERT(cfg.lineBytes != 0 &&
+                           (cfg.lineBytes & (cfg.lineBytes - 1)) == 0,
+                       "line size must be a power of two");
+        sets_ = cfg.sizeBytes / (cfg.lineBytes * cfg.ways);
+        ONESPEC_ASSERT(sets_ > 0 && (sets_ & (sets_ - 1)) == 0,
+                       "set count must be a power of two");
+        tags_.assign(static_cast<size_t>(sets_) * cfg.ways, kInvalid);
+        lru_.assign(tags_.size(), 0);
+    }
+
+    /** Access @p addr; returns true on hit and updates LRU state. */
+    bool
+    access(uint64_t addr)
+    {
+        ++accesses_;
+        uint64_t line = addr / cfg_.lineBytes;
+        unsigned set = static_cast<unsigned>(line & (sets_ - 1));
+        uint64_t tag = line; // full line id as tag
+        size_t base = static_cast<size_t>(set) * cfg_.ways;
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            if (tags_[base + w] == tag) {
+                touch(base, w);
+                return true;
+            }
+        }
+        ++misses_;
+        // Fill: replace the LRU way.
+        unsigned victim = 0;
+        uint64_t oldest = lru_[base];
+        for (unsigned w = 1; w < cfg_.ways; ++w) {
+            if (lru_[base + w] < oldest) {
+                oldest = lru_[base + w];
+                victim = w;
+            }
+        }
+        tags_[base + victim] = tag;
+        touch(base, victim);
+        return false;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    unsigned hitLatency() const { return cfg_.hitLatency; }
+
+    void
+    reset()
+    {
+        std::fill(tags_.begin(), tags_.end(), kInvalid);
+        std::fill(lru_.begin(), lru_.end(), 0);
+        accesses_ = misses_ = 0;
+        clock_ = 0;
+    }
+
+  private:
+    static constexpr uint64_t kInvalid = ~uint64_t{0};
+
+    void
+    touch(size_t base, unsigned way)
+    {
+        lru_[base + way] = ++clock_;
+    }
+
+    CacheConfig cfg_;
+    unsigned sets_;
+    std::vector<uint64_t> tags_;
+    std::vector<uint64_t> lru_;
+    uint64_t clock_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** A two-level hierarchy: split L1 I/D over a unified L2. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CacheConfig &l1i, const CacheConfig &l1d,
+                   const CacheConfig &l2, unsigned mem_latency = 100)
+        : l1i_(l1i), l1d_(l1d), l2_(l2), memLatency_(mem_latency)
+    {}
+
+    /** Latency in cycles of an instruction fetch at @p addr. */
+    unsigned
+    fetch(uint64_t addr)
+    {
+        if (l1i_.access(addr))
+            return l1i_.hitLatency();
+        if (l2_.access(addr))
+            return l1i_.hitLatency() + l2_.hitLatency();
+        return l1i_.hitLatency() + l2_.hitLatency() + memLatency_;
+    }
+
+    /** Latency in cycles of a data access at @p addr. */
+    unsigned
+    data(uint64_t addr)
+    {
+        if (l1d_.access(addr))
+            return l1d_.hitLatency();
+        if (l2_.access(addr))
+            return l1d_.hitLatency() + l2_.hitLatency();
+        return l1d_.hitLatency() + l2_.hitLatency() + memLatency_;
+    }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+
+    void
+    reset()
+    {
+        l1i_.reset();
+        l1d_.reset();
+        l2_.reset();
+    }
+
+  private:
+    Cache l1i_, l1d_, l2_;
+    unsigned memLatency_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_CACHE_HPP

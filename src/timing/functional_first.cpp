@@ -1,0 +1,81 @@
+#include "functional_first.hpp"
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+FunctionalFirstModel::FunctionalFirstModel(const Spec &spec,
+                                           const FunctionalFirstConfig &cfg)
+    : spec_(&spec), cfg_(cfg),
+      caches_(cfg.l1i, cfg.l1d, cfg.l2, cfg.memLatency),
+      bpred_(12), eaSlot_(spec.findSlot("effective_addr"))
+{
+    ONESPEC_ASSERT(eaSlot_ >= 0,
+                   "functional-first model needs an effective_addr field");
+}
+
+void
+FunctionalFirstModel::account(const DynInst &di, TimingStats &st)
+{
+    ++st.instrs;
+    uint64_t cycles = 1;
+
+    unsigned flat = caches_.fetch(di.pc);
+    cycles += flat - 1;
+
+    if (di.opId != 0xffff) {
+        const InstrInfo &ii = spec_->instrs[di.opId];
+        if (ii.hasMemAccess && di.slotWritten(eaSlot_)) {
+            unsigned dlat = caches_.data(di.vals[eaSlot_]);
+            cycles += dlat - 1;
+        }
+        if (ii.isControlFlow) {
+            bool taken = di.branchTaken();
+            bool predicted = bpred_.predictTaken(di.pc);
+            uint64_t ptarget = bpred_.predictTarget(di.pc);
+            bpred_.update(di.pc, taken, di.npc);
+            if (predicted != taken || (taken && ptarget != di.npc))
+                cycles += cfg_.mispredictPenalty;
+        }
+    }
+    st.cycles += cycles;
+}
+
+TimingStats
+FunctionalFirstModel::run(FunctionalSimulator &sim, uint64_t max_instrs)
+{
+    TimingStats st;
+    const BuildsetInfo &bs = sim.buildset();
+    RunStatus status = RunStatus::Ok;
+    uint64_t i0 = caches_.l1i().misses();
+    uint64_t d0 = caches_.l1d().misses();
+    uint64_t b0 = bpred_.branches();
+    uint64_t m0 = bpred_.mispredicts();
+
+    if (bs.semantic == SemanticLevel::Block) {
+        DynInst block[64];
+        while (st.instrs < max_instrs && status == RunStatus::Ok) {
+            unsigned cap = static_cast<unsigned>(
+                std::min<uint64_t>(64, max_instrs - st.instrs));
+            unsigned n = sim.executeBlock(block, cap, status);
+            for (unsigned i = 0; i < n; ++i)
+                account(block[i], st);
+            if (n == 0)
+                break;
+        }
+    } else {
+        DynInst di;
+        while (st.instrs < max_instrs && status == RunStatus::Ok) {
+            status = sim.execute(di);
+            account(di, st);
+        }
+    }
+
+    st.icacheMisses = caches_.l1i().misses() - i0;
+    st.dcacheMisses = caches_.l1d().misses() - d0;
+    st.branches = bpred_.branches() - b0;
+    st.mispredicts = bpred_.mispredicts() - m0;
+    return st;
+}
+
+} // namespace onespec

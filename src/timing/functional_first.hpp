@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The functional-first organization (paper Section II-B): the functional
+ * simulator runs in charge, producing a stream of dynamic-instruction
+ * records that the timing model consumes.  The interface needs low
+ * semantic detail (one call per instruction or basic block) and moderate
+ * informational detail -- decoded operand identifiers, branch
+ * resolutions, and effective addresses -- i.e. a `Decode`-level buildset.
+ */
+
+#ifndef ONESPEC_TIMING_FUNCTIONAL_FIRST_HPP
+#define ONESPEC_TIMING_FUNCTIONAL_FIRST_HPP
+
+#include "iface/fieldview.hpp"
+#include "iface/functional_simulator.hpp"
+#include "timing/bpred.hpp"
+#include "timing/cache.hpp"
+#include "timing/stats.hpp"
+
+namespace onespec {
+
+/** Configuration of the trace-consuming superscalar-ish timing model. */
+struct FunctionalFirstConfig
+{
+    CacheConfig l1i{16 * 1024, 64, 2, 1};
+    CacheConfig l1d{16 * 1024, 64, 4, 2};
+    CacheConfig l2{256 * 1024, 64, 8, 10};
+    unsigned memLatency = 100;
+    unsigned mispredictPenalty = 8;
+};
+
+/**
+ * Consumes the instruction stream of a Block- or One-detail functional
+ * simulator and computes cycles with cache and branch-predictor models.
+ */
+class FunctionalFirstModel
+{
+  public:
+    FunctionalFirstModel(const Spec &spec,
+                         const FunctionalFirstConfig &cfg = {});
+
+    /**
+     * Run up to @p max_instrs through @p sim (which must offer Block or
+     * One semantic detail and at least Decode informational detail).
+     */
+    TimingStats run(FunctionalSimulator &sim, uint64_t max_instrs);
+
+  private:
+    void account(const DynInst &di, TimingStats &st);
+
+    const Spec *spec_;
+    FunctionalFirstConfig cfg_;
+    CacheHierarchy caches_;
+    BranchPredictor bpred_;
+    int eaSlot_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_FUNCTIONAL_FIRST_HPP

@@ -1,0 +1,51 @@
+#include "sampling.hpp"
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+SamplingStats
+runSampled(const Spec &spec, FunctionalSimulator &detailed,
+           FunctionalSimulator &fast, const SamplingConfig &cfg,
+           uint64_t max_instrs)
+{
+    ONESPEC_ASSERT(&detailed.ctx() == &fast.ctx(),
+                   "sampling interfaces must share one context");
+    SamplingStats out;
+    TimingDirectedPipeline pipe(spec, cfg.pipeline);
+    uint64_t total = 0;
+    RunStatus status = RunStatus::Ok;
+
+    while (total < max_instrs && status == RunStatus::Ok) {
+        // Detailed window.
+        TimingStats w = pipe.run(detailed,
+                                 std::min(cfg.windowInstrs,
+                                          max_instrs - total));
+        out.detailed.cycles += w.cycles;
+        out.detailed.instrs += w.instrs;
+        out.detailed.icacheMisses += w.icacheMisses;
+        out.detailed.dcacheMisses += w.dcacheMisses;
+        out.detailed.branches += w.branches;
+        out.detailed.mispredicts += w.mispredicts;
+        total += w.instrs;
+        ++out.windows;
+        if (w.instrs < cfg.windowInstrs)
+            break; // program ended inside the window
+
+        // Fast-forward to the next window.
+        uint64_t ff = cfg.periodInstrs > cfg.windowInstrs
+                          ? cfg.periodInstrs - cfg.windowInstrs
+                          : 0;
+        ff = std::min(ff, max_instrs - total);
+        if (ff) {
+            uint64_t done = fast.fastForward(ff, status);
+            out.fastForwarded += done;
+            total += done;
+            if (done < ff)
+                break;
+        }
+    }
+    return out;
+}
+
+} // namespace onespec

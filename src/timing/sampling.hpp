@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A sampling driver in the SMARTS style (paper Sections I-II): detailed
+ * timing simulation for short windows, functional fast-forward between
+ * them.  Uses two interfaces of the *same* functional simulator context:
+ * the Step-detail interface inside windows and a Block-detail
+ * fast-forward interface between them -- the paper's canonical case for
+ * multiple interfaces derived from one specification.
+ */
+
+#ifndef ONESPEC_TIMING_SAMPLING_HPP
+#define ONESPEC_TIMING_SAMPLING_HPP
+
+#include "timing/timing_directed.hpp"
+
+namespace onespec {
+
+/** Sampling configuration. */
+struct SamplingConfig
+{
+    uint64_t windowInstrs = 1000;   ///< detailed window length
+    uint64_t periodInstrs = 100000; ///< window start-to-start distance
+    TimingDirectedConfig pipeline;
+};
+
+/** Result of a sampled simulation. */
+struct SamplingStats
+{
+    TimingStats detailed;       ///< aggregated over windows
+    uint64_t fastForwarded = 0; ///< instructions skipped functionally
+    uint64_t windows = 0;
+
+    /** Estimated whole-program CPI from the sampled windows. */
+    double
+    estimatedCpi() const
+    {
+        return detailed.instrs
+                   ? static_cast<double>(detailed.cycles) /
+                         static_cast<double>(detailed.instrs)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run sampled simulation: @p detailed provides Step detail, @p fast
+ * provides fastForward(); both must execute over the same SimContext.
+ */
+SamplingStats runSampled(const Spec &spec, FunctionalSimulator &detailed,
+                         FunctionalSimulator &fast,
+                         const SamplingConfig &cfg, uint64_t max_instrs);
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_SAMPLING_HPP

@@ -1,0 +1,48 @@
+#include "spec_ff.hpp"
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+TimingStats
+SpecFunctionalFirstModel::run(FunctionalSimulator &sim,
+                              uint64_t max_instrs)
+{
+    ONESPEC_ASSERT(sim.supportsUndo(),
+                   "speculative functional-first requires a speculation-"
+                   "enabled buildset");
+    TimingStats st;
+    RunStatus status = RunStatus::Ok;
+    DynInst block[64];
+    uint64_t since_violation = 0;
+
+    while (st.instrs < max_instrs && status == RunStatus::Ok) {
+        unsigned n = sim.executeBlock(block, 64, status);
+        st.instrs += n;
+        st.cycles += n; // base CPI 1 for the consuming timing model
+        since_violation += n;
+        if (n == 0)
+            break;
+
+        if (cfg_.violationEvery &&
+            since_violation >= cfg_.violationEvery &&
+            status == RunStatus::Ok) {
+            // The timing model declares the recent execution
+            // timing-inconsistent: squash and re-execute.
+            uint64_t depth =
+                std::min<uint64_t>(cfg_.squashDepth,
+                                   sim.ctx().journal().depth());
+            if (depth > 0) {
+                sim.undo(depth);
+                ++st.rollbacks;
+                st.rolledBackInstrs += depth;
+                st.instrs -= depth;
+                st.cycles += depth * cfg_.replayCostPerInstr;
+            }
+            since_violation = 0;
+        }
+    }
+    return st;
+}
+
+} // namespace onespec

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The speculative functional-first organization (paper Section II-E,
+ * after UTFast/FastSim): the functional simulator runs ahead producing a
+ * stream of execution records, all of which are considered speculative.
+ * When the timing simulator decides the functional execution diverged
+ * from the timing-correct one (e.g. a different memory order), it
+ * commands the functional simulator to undo and re-execute.
+ *
+ * The interface therefore needs Block/One semantic detail, Decode-level
+ * information plus load values, and -- crucially -- speculation support
+ * (the rollback journal generated when a buildset says `speculation on`).
+ *
+ * Timing-dependent divergence itself needs a multi-context memory system
+ * we do not model, so divergences are *declared* on a configurable
+ * schedule; what is really exercised is the undo/redirect/re-execute
+ * machinery and its cost accounting.
+ */
+
+#ifndef ONESPEC_TIMING_SPEC_FF_HPP
+#define ONESPEC_TIMING_SPEC_FF_HPP
+
+#include "iface/functional_simulator.hpp"
+#include "timing/stats.hpp"
+
+namespace onespec {
+
+/** Speculative functional-first configuration. */
+struct SpecFFConfig
+{
+    /** Declare a misspeculation every N instructions (0 = never). */
+    uint64_t violationEvery = 10000;
+    /** How many instructions are squashed per violation. */
+    uint64_t squashDepth = 20;
+    /** Cycles charged per squashed instruction on re-execution. */
+    unsigned replayCostPerInstr = 1;
+};
+
+/** Drives an undo-capable functional simulator with declared violations. */
+class SpecFunctionalFirstModel
+{
+  public:
+    explicit SpecFunctionalFirstModel(const SpecFFConfig &cfg = {})
+        : cfg_(cfg)
+    {}
+
+    /**
+     * @p sim must be a Block-detail buildset with speculation on
+     * (e.g. BlockDecYes).  Returns stats including rollback counts.
+     */
+    TimingStats run(FunctionalSimulator &sim, uint64_t max_instrs);
+
+  private:
+    SpecFFConfig cfg_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_SPEC_FF_HPP

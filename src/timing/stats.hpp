@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Statistics shared by the timing-simulator organizations.
+ */
+
+#ifndef ONESPEC_TIMING_STATS_HPP
+#define ONESPEC_TIMING_STATS_HPP
+
+#include <cstdint>
+
+namespace onespec {
+
+/** Results of a timing-simulation run. */
+struct TimingStats
+{
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t dcacheMisses = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+
+    // timing-first organization
+    uint64_t mismatches = 0;
+
+    // speculative functional-first organization
+    uint64_t rollbacks = 0;
+    uint64_t rolledBackInstrs = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instrs) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_STATS_HPP

@@ -1,0 +1,122 @@
+#include "timing_directed.hpp"
+
+#include <cstring>
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+TimingDirectedPipeline::TimingDirectedPipeline(
+    const Spec &spec, const TimingDirectedConfig &cfg)
+    : spec_(&spec), cfg_(cfg),
+      caches_(cfg.l1i, cfg.l1d, cfg.l2, cfg.memLatency), bpred_(12),
+      eaSlot_(spec.findSlot("effective_addr"))
+{}
+
+TimingStats
+TimingDirectedPipeline::run(FunctionalSimulator &sim, uint64_t max_instrs)
+{
+    TimingStats st;
+    RunStatus status = RunStatus::Ok;
+    uint64_t i0 = caches_.l1i().misses();
+    uint64_t d0 = caches_.l1d().misses();
+    uint64_t b0 = bpred_.branches();
+    uint64_t m0 = bpred_.mispredicts();
+
+    // Scoreboard state: the cycle at which the previous instruction
+    // occupied each stage, register-ready cycles for bypassing, and the
+    // front-end redirect cycle.
+    uint64_t prev_if = 0, prev_id = 0, prev_rd = 0, prev_ex = 0,
+             prev_mem = 0, prev_wb = 0;
+    uint64_t redirect = 0;
+
+    // Register ready-time map, indexed by (fileId, reg).  128 entries per
+    // file id is plenty for the shipped ISAs.
+    uint64_t ready[128][32];
+    std::memset(ready, 0, sizeof(ready));
+    auto regSlot = [](uint8_t meta, uint8_t reg) -> std::pair<int, int> {
+        unsigned file = opMetaFile(meta);
+        return {static_cast<int>(file & 0x7f) % 128, reg % 32};
+    };
+
+    DynInst di;
+    while (st.instrs < max_instrs && status == RunStatus::Ok) {
+        // ---- IF
+        uint64_t c_if = std::max(prev_if + 1, redirect);
+        status = sim.step(Step::Fetch, di);
+        if (status != RunStatus::Ok)
+            break;
+        unsigned if_lat = caches_.fetch(di.pc);
+        // ---- ID
+        uint64_t c_id = std::max(c_if + if_lat, prev_id + 1);
+        status = sim.step(Step::Decode, di);
+        if (status != RunStatus::Ok)
+            break;
+        // ---- RD: stall until source operands are ready.
+        uint64_t c_rd = std::max(c_id + 1, prev_rd + 1);
+        for (unsigned i = 0; i < di.nOps; ++i) {
+            if (opMetaIsDst(di.opMeta[i]))
+                continue;
+            auto [f, r] = regSlot(di.opMeta[i], di.opRegs[i]);
+            c_rd = std::max(c_rd, ready[f][r]);
+        }
+        status = sim.step(Step::ReadOperands, di);
+        if (status != RunStatus::Ok)
+            break;
+        // ---- EX
+        uint64_t c_ex = std::max(c_rd + 1, prev_ex + 1);
+        status = sim.step(Step::Execute, di);
+        if (status != RunStatus::Ok)
+            break;
+        // ---- MEM
+        uint64_t c_mem = std::max(c_ex + 1, prev_mem + 1);
+        bool is_mem = di.opId != 0xffff &&
+                      spec_->instrs[di.opId].hasMemAccess;
+        if (is_mem && eaSlot_ >= 0 && di.slotWritten(eaSlot_))
+            c_mem += caches_.data(di.vals[eaSlot_]) - 1;
+        status = sim.step(Step::Memory, di);
+        if (status != RunStatus::Ok)
+            break;
+        // ---- WB
+        uint64_t c_wb = std::max(c_mem + 1, prev_wb + 1);
+        status = sim.step(Step::Writeback, di);
+        if (status != RunStatus::Ok)
+            break;
+        // Destination registers become ready at WB (bypassed to RD).
+        for (unsigned i = 0; i < di.nOps; ++i) {
+            if (!opMetaIsDst(di.opMeta[i]))
+                continue;
+            auto [f, r] = regSlot(di.opMeta[i], di.opRegs[i]);
+            ready[f][r] = is_mem ? c_mem + 1 : c_ex + 1;
+        }
+        // ---- retire
+        status = sim.step(Step::Exception, di);
+        ++st.instrs;
+        st.cycles = c_wb;
+
+        // Branch resolution at EX: train the predictor; charge redirect.
+        if (di.opId != 0xffff && spec_->instrs[di.opId].isControlFlow) {
+            bool taken = di.branchTaken();
+            bool predicted = bpred_.predictTaken(di.pc);
+            uint64_t ptarget = bpred_.predictTarget(di.pc);
+            bpred_.update(di.pc, taken, di.npc);
+            if (predicted != taken || (taken && ptarget != di.npc))
+                redirect = c_ex + 1;
+        }
+
+        prev_if = c_if;
+        prev_id = c_id;
+        prev_rd = c_rd;
+        prev_ex = c_ex;
+        prev_mem = c_mem;
+        prev_wb = c_wb;
+    }
+
+    st.icacheMisses = caches_.l1i().misses() - i0;
+    st.dcacheMisses = caches_.l1d().misses() - d0;
+    st.branches = bpred_.branches() - b0;
+    st.mispredicts = bpred_.mispredicts() - m0;
+    return st;
+}
+
+} // namespace onespec

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The timing-directed organization (paper Section II-C): the timing
+ * simulator is in control and asks the functional simulator to perform
+ * individual elements of each instruction's behaviour -- exactly the
+ * Step-level semantic detail, with All informational detail (operand
+ * identifiers for hazard detection, effective addresses for the data
+ * cache, branch resolution for redirects).
+ *
+ * The model is a classic five-stage in-order pipeline computed with a
+ * scoreboard recurrence; the functional simulator's step() calls are
+ * issued in program order as each instruction traverses the stages.
+ * Wrong-path instructions are not executed (correct-path timing-directed
+ * simulation); mispredicted branches charge a redirect penalty.
+ */
+
+#ifndef ONESPEC_TIMING_TIMING_DIRECTED_HPP
+#define ONESPEC_TIMING_TIMING_DIRECTED_HPP
+
+#include "iface/functional_simulator.hpp"
+#include "timing/bpred.hpp"
+#include "timing/cache.hpp"
+#include "timing/stats.hpp"
+
+namespace onespec {
+
+/** Pipeline configuration. */
+struct TimingDirectedConfig
+{
+    CacheConfig l1i{16 * 1024, 64, 2, 1};
+    CacheConfig l1d{16 * 1024, 64, 4, 2};
+    CacheConfig l2{256 * 1024, 64, 8, 10};
+    unsigned memLatency = 100;
+};
+
+/** Five-stage in-order pipeline driving a Step-detail interface. */
+class TimingDirectedPipeline
+{
+  public:
+    TimingDirectedPipeline(const Spec &spec,
+                           const TimingDirectedConfig &cfg = {});
+
+    /**
+     * Run up to @p max_instrs.  @p sim must provide the Step entrypoints
+     * with All informational detail.
+     */
+    TimingStats run(FunctionalSimulator &sim, uint64_t max_instrs);
+
+  private:
+    const Spec *spec_;
+    TimingDirectedConfig cfg_;
+    CacheHierarchy caches_;
+    BranchPredictor bpred_;
+    int eaSlot_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_TIMING_DIRECTED_HPP

@@ -1,0 +1,53 @@
+#include "timing_first.hpp"
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+TimingStats
+TimingFirstModel::run(FunctionalSimulator &timing,
+                      FunctionalSimulator &checker, uint64_t max_instrs)
+{
+    TimingStats st;
+    SimContext &tctx = timing.ctx();
+    SimContext &cctx = checker.ctx();
+    ONESPEC_ASSERT(&tctx != &cctx,
+                   "timing-first needs two separate contexts");
+
+    DynInst tdi, cdi;
+    RunStatus ts = RunStatus::Ok;
+    while (st.instrs < max_instrs && ts == RunStatus::Ok) {
+        ts = timing.execute(tdi);
+        RunStatus cs = checker.execute(cdi);
+        ++st.instrs;
+        st.cycles += 1;
+
+        // Optionally corrupt the timing side's *result* (a "timing-model
+        // bug" producing a wrong value); the checker must catch it at
+        // this instruction's comparison, so the corruption never steers
+        // subsequent execution or memory traffic.
+        if (cfg_.injectBugEvery &&
+            st.instrs % cfg_.injectBugEvery == 0) {
+            unsigned off =
+                static_cast<unsigned>(st.instrs %
+                                      tctx.state().numWords());
+            tctx.state().setRawWord(off,
+                                    tctx.state().rawWord(off) ^ 0x1);
+        }
+
+        if (!(tctx.state() == cctx.state())) {
+            // Mismatch: flush and reload architectural state from the
+            // functional simulator (TFsim-style recovery).
+            ++st.mismatches;
+            st.cycles += cfg_.flushPenalty;
+            for (unsigned i = 0; i < cctx.state().numWords(); ++i)
+                tctx.state().setRawWord(i, cctx.state().rawWord(i));
+            tctx.state().setPc(cctx.state().pc());
+        }
+        if (cs != RunStatus::Ok)
+            ts = cs;
+    }
+    return st;
+}
+
+} // namespace onespec

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The timing-first organization (paper Section II-D, after TFsim): an
+ * "integrated" timing simulator executes instructions itself and a
+ * functional simulator checks it, instruction by instruction, by
+ * comparing architectural state.  On a mismatch the timing simulator's
+ * state is reloaded from the functional simulator and its pipeline is
+ * flushed.  The interface needs only one call per instruction and no
+ * per-instruction information at all -- the checker queries architectural
+ * state directly.
+ *
+ * To exercise the checking machinery, the model can inject functional
+ * bugs into the "timing" side at a configurable interval (standing in for
+ * the corner cases a timing-first timing model is allowed to get wrong).
+ */
+
+#ifndef ONESPEC_TIMING_TIMING_FIRST_HPP
+#define ONESPEC_TIMING_TIMING_FIRST_HPP
+
+#include "iface/functional_simulator.hpp"
+#include "timing/stats.hpp"
+
+namespace onespec {
+
+/** Timing-first checker configuration. */
+struct TimingFirstConfig
+{
+    /** Inject a register corruption every N instructions (0 = never). */
+    uint64_t injectBugEvery = 0;
+    /** Pipeline-flush penalty charged per detected mismatch. */
+    unsigned flushPenalty = 12;
+};
+
+/**
+ * Runs a "timing" context and a checker context in lockstep.  Both
+ * simulators must execute over *different* SimContexts loaded with the
+ * same program.
+ */
+class TimingFirstModel
+{
+  public:
+    explicit TimingFirstModel(const TimingFirstConfig &cfg = {})
+        : cfg_(cfg)
+    {}
+
+    /**
+     * @p timing executes the integrated model's functionality;
+     * @p checker is the trusted functional simulator.
+     */
+    TimingStats run(FunctionalSimulator &timing,
+                    FunctionalSimulator &checker, uint64_t max_instrs);
+
+  private:
+    TimingFirstConfig cfg_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_TIMING_TIMING_FIRST_HPP

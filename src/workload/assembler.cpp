@@ -1,0 +1,140 @@
+#include "assembler.hpp"
+
+#include <cstring>
+
+#include "support/bitutil.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+
+Assembler::Assembler(const Spec &spec, uint64_t code_base,
+                     uint64_t data_base)
+    : spec_(&spec), codeBase_(code_base), dataBase_(data_base)
+{
+    ONESPEC_ASSERT(isAligned(code_base, spec.props.instrBytes),
+                   "misaligned code base");
+}
+
+int
+Assembler::newLabel()
+{
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size()) - 1;
+}
+
+void
+Assembler::bind(int label)
+{
+    ONESPEC_ASSERT(label >= 0 && label < static_cast<int>(labels_.size()),
+                   "bad label");
+    ONESPEC_ASSERT(labels_[label] < 0, "label bound twice");
+    labels_[label] = static_cast<int64_t>(codeAddr());
+}
+
+void
+Assembler::emit(const std::string &name, std::vector<EncField> fields)
+{
+    words_.push_back(mustEncode(*spec_, name, fields));
+}
+
+void
+Assembler::emitBranch(const std::string &name, std::vector<EncField> fields,
+                      const std::string &field, int label, int pc_adjust,
+                      int shift)
+{
+    auto it = spec_->instrIndex.find(name);
+    ONESPEC_ASSERT(it != spec_->instrIndex.end(), "unknown instruction '",
+                   name, "'");
+    Fixup fx;
+    fx.wordIdx = words_.size();
+    fx.instrId = it->second;
+    fx.field = field;
+    fx.label = label;
+    fx.pcAdjust = pc_adjust;
+    fx.shift = shift;
+    fixups_.push_back(std::move(fx));
+    emit(name, std::move(fields));
+}
+
+uint64_t
+Assembler::dataAlloc(size_t size, const void *init, size_t align)
+{
+    while (data_.size() % align != 0)
+        data_.push_back(0);
+    uint64_t addr = dataBase_ + data_.size();
+    data_.resize(data_.size() + size, 0);
+    if (init)
+        std::memcpy(data_.data() + (addr - dataBase_), init, size);
+    return addr;
+}
+
+Program
+Assembler::finish(const std::string &name)
+{
+    unsigned ib = spec_->props.instrBytes;
+
+    for (const auto &fx : fixups_) {
+        ONESPEC_ASSERT(labels_[fx.label] >= 0, "unbound label in '", name,
+                       "'");
+        uint64_t target = static_cast<uint64_t>(labels_[fx.label]);
+        uint64_t addr = codeBase_ + fx.wordIdx * ib;
+        int64_t delta = static_cast<int64_t>(target) -
+                        static_cast<int64_t>(addr + fx.pcAdjust);
+        int64_t value = delta >> fx.shift;
+
+        const InstrInfo &ii = spec_->instrs[fx.instrId];
+        const FormatDecl &fmt = spec_->formats[ii.formatIndex];
+        const FormatField *ff = nullptr;
+        for (const auto &f : fmt.fields) {
+            if (f.name == fx.field) {
+                ff = &f;
+                break;
+            }
+        }
+        ONESPEC_ASSERT(ff, "fixup field '", fx.field, "' not in format");
+        unsigned width = ff->hi - ff->lo + 1;
+        int64_t lo = -(int64_t{1} << (width - 1));
+        int64_t hi = (int64_t{1} << (width - 1)) - 1;
+        ONESPEC_ASSERT(value >= lo && value <= hi,
+                       "branch displacement out of range in '", name, "'");
+        words_[fx.wordIdx] = static_cast<uint32_t>(
+            insertBits(words_[fx.wordIdx], ff->hi, ff->lo,
+                       static_cast<uint64_t>(value)));
+    }
+
+    Program p;
+    p.name = name;
+    p.entry = codeBase_;
+
+    Segment code;
+    code.base = codeBase_;
+    bool be = !spec_->props.littleEndian;
+    for (uint32_t w : words_) {
+        if (ib == 4) {
+            if (be) {
+                code.bytes.push_back(static_cast<uint8_t>(w >> 24));
+                code.bytes.push_back(static_cast<uint8_t>(w >> 16));
+                code.bytes.push_back(static_cast<uint8_t>(w >> 8));
+                code.bytes.push_back(static_cast<uint8_t>(w));
+            } else {
+                code.bytes.push_back(static_cast<uint8_t>(w));
+                code.bytes.push_back(static_cast<uint8_t>(w >> 8));
+                code.bytes.push_back(static_cast<uint8_t>(w >> 16));
+                code.bytes.push_back(static_cast<uint8_t>(w >> 24));
+            }
+        } else {
+            ONESPEC_PANIC("unsupported instruction size");
+        }
+    }
+    p.segments.push_back(std::move(code));
+
+    if (!data_.empty()) {
+        Segment data;
+        data.base = dataBase_;
+        data.bytes = data_;
+        p.segments.push_back(std::move(data));
+    }
+    return p;
+}
+
+} // namespace onespec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Label-aware assembler built on the encoder that is *derived from the
+ * decode specification* (adl/encode.hpp): field packing and match-pattern
+ * placement come from the same single specification as the decoder, so
+ * the workload generator can never disagree with the simulator about
+ * encodings.
+ */
+
+#ifndef ONESPEC_WORKLOAD_ASSEMBLER_HPP
+#define ONESPEC_WORKLOAD_ASSEMBLER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adl/encode.hpp"
+#include "adl/spec.hpp"
+#include "runtime/program.hpp"
+
+namespace onespec {
+
+/** Assembles one program image for a Spec's ISA. */
+class Assembler
+{
+  public:
+    Assembler(const Spec &spec, uint64_t code_base, uint64_t data_base);
+
+    /** Address of the next emitted instruction. */
+    uint64_t codeAddr() const
+    {
+        return codeBase_ + words_.size() * spec_->props.instrBytes;
+    }
+
+    /** Create an unbound label. */
+    int newLabel();
+
+    /** Bind @p label to the current code address. */
+    void bind(int label);
+
+    /** Emit one instruction. */
+    void emit(const std::string &name, std::vector<EncField> fields);
+
+    /**
+     * Emit a branch whose @p field is a pc-relative displacement to
+     * @p label: field = (target - (addr + pc_adjust)) >> shift, masked
+     * to the field's width at patch time.
+     */
+    void emitBranch(const std::string &name, std::vector<EncField> fields,
+                    const std::string &field, int label, int pc_adjust,
+                    int shift);
+
+    /** Reserve @p size bytes of data (optionally initialized). */
+    uint64_t dataAlloc(size_t size, const void *init = nullptr,
+                       size_t align = 8);
+
+    /** Finalize: patch fixups and produce the program image. */
+    Program finish(const std::string &name);
+
+    const Spec &spec() const { return *spec_; }
+
+  private:
+    struct Fixup
+    {
+        size_t wordIdx;
+        int instrId;
+        std::string field;
+        int label;
+        int pcAdjust;
+        int shift;
+    };
+
+    const Spec *spec_;
+    uint64_t codeBase_;
+    uint64_t dataBase_;
+    std::vector<uint32_t> words_;
+    std::vector<uint8_t> data_;
+    std::vector<int64_t> labels_;   ///< bound address or -1
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace onespec
+
+#endif // ONESPEC_WORKLOAD_ASSEMBLER_HPP

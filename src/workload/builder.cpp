@@ -1,0 +1,824 @@
+#include "builder.hpp"
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+KernelBuilder::~KernelBuilder() = default;
+
+void
+KernelBuilder::emitWriteHex(int vval, int t0, int t1, int t2)
+{
+    if (hexTable_ == 0)
+        hexTable_ = dataAlloc(16, "0123456789abcdef", 8);
+    if (hexBuf_ == 0)
+        hexBuf_ = dataAlloc(16, nullptr, 8);
+
+    for (int k = 0; k < 8; ++k) {
+        unsigned shift = 28 - 4 * static_cast<unsigned>(k);
+        if (shift)
+            shri(t1, vval, shift);
+        else
+            mov(t1, vval);
+        li(t2, 15);
+        and_(t1, t1, t2);
+        li(t2, hexTable_);
+        add(t1, t1, t2);
+        loadb(t1, t1, 0);
+        li(t0, hexBuf_);
+        storeb(t1, t0, k);
+    }
+    li(t1, 10); // '\n'
+    li(t0, hexBuf_);
+    storeb(t1, t0, 8);
+    li(t1, 9);
+    sysWrite(t0, t1);
+}
+
+// ---------------------------------------------------------------------
+// alpha64
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** alpha64: v0..v7 -> R1..R8; scratch R9/R10; abi v0=R0 a0..=R16.. */
+class AlphaBuilder final : public KernelBuilder
+{
+  public:
+    using KernelBuilder::KernelBuilder;
+
+    void
+    li(int vd, uint64_t imm) override
+    {
+        liPhys(P(vd), imm);
+    }
+
+    void mov(int vd, int vs) override { movPhys(P(vd), P(vs)); }
+
+    void
+    add(int vd, int va, int vb) override
+    {
+        asm_.emit("addq", {{"ra", P(va)}, {"rb", P(vb)}, {"rc", P(vd)}});
+    }
+
+    void
+    sub(int vd, int va, int vb) override
+    {
+        asm_.emit("subq", {{"ra", P(va)}, {"rb", P(vb)}, {"rc", P(vd)}});
+    }
+
+    void
+    mul(int vd, int va, int vb) override
+    {
+        asm_.emit("mulq", {{"ra", P(va)}, {"rb", P(vb)}, {"rc", P(vd)}});
+    }
+
+    void
+    and_(int vd, int va, int vb) override
+    {
+        asm_.emit("and", {{"ra", P(va)}, {"rb", P(vb)}, {"rc", P(vd)}});
+    }
+
+    void
+    or_(int vd, int va, int vb) override
+    {
+        asm_.emit("bis", {{"ra", P(va)}, {"rb", P(vb)}, {"rc", P(vd)}});
+    }
+
+    void
+    xor_(int vd, int va, int vb) override
+    {
+        asm_.emit("xor", {{"ra", P(va)}, {"rb", P(vb)}, {"rc", P(vd)}});
+    }
+
+    void
+    addi(int vd, int va, int32_t imm) override
+    {
+        ONESPEC_ASSERT(imm >= -32768 && imm <= 32767, "addi range");
+        asm_.emit("lda", {{"ra", P(vd)},
+                          {"rb", P(va)},
+                          {"disp", static_cast<uint16_t>(imm)}});
+    }
+
+    void
+    shli(int vd, int va, unsigned amt) override
+    {
+        asm_.emit("sll_l",
+                  {{"ra", P(va)}, {"lit", amt & 63}, {"rc", P(vd)}});
+    }
+
+    void
+    shri(int vd, int va, unsigned amt) override
+    {
+        asm_.emit("srl_l",
+                  {{"ra", P(va)}, {"lit", amt & 63}, {"rc", P(vd)}});
+    }
+
+    void
+    sari(int vd, int va, unsigned amt) override
+    {
+        asm_.emit("sra_l",
+                  {{"ra", P(va)}, {"lit", amt & 63}, {"rc", P(vd)}});
+    }
+
+    void
+    loadw(int vd, int vbase, int32_t off) override
+    {
+        asm_.emit("ldq", {{"ra", P(vd)},
+                          {"rb", P(vbase)},
+                          {"disp", d16(off)}});
+    }
+
+    void
+    storew(int vs, int vbase, int32_t off) override
+    {
+        asm_.emit("stq", {{"ra", P(vs)},
+                          {"rb", P(vbase)},
+                          {"disp", d16(off)}});
+    }
+
+    void
+    loadb(int vd, int vbase, int32_t off) override
+    {
+        asm_.emit("ldbu", {{"ra", P(vd)},
+                           {"rb", P(vbase)},
+                           {"disp", d16(off)}});
+    }
+
+    void
+    storeb(int vs, int vbase, int32_t off) override
+    {
+        asm_.emit("stb", {{"ra", P(vs)},
+                          {"rb", P(vbase)},
+                          {"disp", d16(off)}});
+    }
+
+    void
+    beq(int va, int vb, int label) override
+    {
+        cmpBranch("cmpeq", va, vb, label, true);
+    }
+
+    void
+    bne(int va, int vb, int label) override
+    {
+        cmpBranch("cmpeq", va, vb, label, false);
+    }
+
+    void
+    blt(int va, int vb, int label) override
+    {
+        cmpBranch("cmplt", va, vb, label, true);
+    }
+
+    void
+    bge(int va, int vb, int label) override
+    {
+        cmpBranch("cmplt", va, vb, label, false);
+    }
+
+    void
+    bltu(int va, int vb, int label) override
+    {
+        cmpBranch("cmpult", va, vb, label, true);
+    }
+
+    void
+    jmp(int label) override
+    {
+        asm_.emitBranch("br", {{"ra", 31}}, "bdisp", label, 4, 2);
+    }
+
+    void
+    sysWrite(int vbuf, int vlen) override
+    {
+        liPhys(0, 2);           // kSysWrite
+        liPhys(16, 1);          // fd
+        movPhys(17, P(vbuf));
+        movPhys(18, P(vlen));
+        asm_.emit("callsys", {});
+    }
+
+    void
+    sysExit(int vcode) override
+    {
+        liPhys(0, 1);           // kSysExit
+        movPhys(16, P(vcode));
+        asm_.emit("callsys", {});
+    }
+
+  private:
+    static uint64_t
+    P(int v)
+    {
+        ONESPEC_ASSERT(v >= 0 && v < kNumVRegs, "bad vreg");
+        return static_cast<uint64_t>(v + 1); // R1..R8
+    }
+
+    static uint64_t
+    d16(int32_t off)
+    {
+        ONESPEC_ASSERT(off >= -32768 && off <= 32767, "disp range");
+        return static_cast<uint16_t>(off);
+    }
+
+    void
+    movPhys(uint64_t pd, uint64_t ps)
+    {
+        asm_.emit("bis", {{"ra", 31}, {"rb", ps}, {"rc", pd}});
+    }
+
+    void
+    liPhys(uint64_t pd, uint64_t imm)
+    {
+        int64_t v = static_cast<int64_t>(imm);
+        if (v >= -32768 && v <= 32767) {
+            asm_.emit("lda", {{"ra", pd},
+                              {"rb", 31},
+                              {"disp", static_cast<uint16_t>(v)}});
+            return;
+        }
+        // Unsigned 32-bit constants with the high bit set: build the
+        // sign-extended value, then clear the upper bytes with zapnot.
+        bool clear_high = false;
+        if ((imm >> 32) == 0 && (imm & 0x80000000ull)) {
+            v = static_cast<int32_t>(imm);
+            clear_high = true;
+        }
+        int64_t lo = static_cast<int16_t>(v & 0xffff);
+        int64_t hi = (v - lo) >> 16;
+        ONESPEC_ASSERT(hi >= -32768 && hi <= 32767,
+                       "alpha li constant out of 32-bit range: ", imm);
+        asm_.emit("ldah", {{"ra", pd},
+                           {"rb", 31},
+                           {"disp", static_cast<uint16_t>(hi)}});
+        if (lo != 0) {
+            asm_.emit("lda", {{"ra", pd},
+                              {"rb", pd},
+                              {"disp", static_cast<uint16_t>(lo)}});
+        }
+        if (clear_high) {
+            asm_.emit("zapnot_l",
+                      {{"ra", pd}, {"lit", 0x0f}, {"rc", pd}});
+        }
+    }
+
+    void
+    cmpBranch(const char *cmp, int va, int vb, int label, bool want)
+    {
+        // scratch R9 holds the comparison result
+        asm_.emit(cmp, {{"ra", P(va)}, {"rb", P(vb)}, {"rc", 9}});
+        asm_.emitBranch(want ? "bne" : "beq", {{"ra", 9}}, "bdisp", label,
+                        4, 2);
+    }
+};
+
+// ---------------------------------------------------------------------
+// arm32
+// ---------------------------------------------------------------------
+
+/** arm32: v0..v7 -> R4..R11; scratch R3/R12; cond=AL everywhere. */
+class ArmBuilder final : public KernelBuilder
+{
+  public:
+    using KernelBuilder::KernelBuilder;
+
+    void
+    li(int vd, uint64_t imm) override
+    {
+        liPhys(P(vd), static_cast<uint32_t>(imm));
+    }
+
+    void mov(int vd, int vs) override { movPhys(P(vd), P(vs)); }
+
+    void
+    add(int vd, int va, int vb) override
+    {
+        dp3("add_r", vd, va, vb);
+    }
+
+    void
+    sub(int vd, int va, int vb) override
+    {
+        dp3("sub_r", vd, va, vb);
+    }
+
+    void
+    mul(int vd, int va, int vb) override
+    {
+        asm_.emit("mul", {{"cond", 14},
+                          {"sflag", 0},
+                          {"rd", P(vd)},
+                          {"rn", 0},
+                          {"rs", P(vb)},
+                          {"rm", P(va)}});
+    }
+
+    void
+    and_(int vd, int va, int vb) override
+    {
+        dp3("and_r", vd, va, vb);
+    }
+
+    void
+    or_(int vd, int va, int vb) override
+    {
+        dp3("orr_r", vd, va, vb);
+    }
+
+    void
+    xor_(int vd, int va, int vb) override
+    {
+        dp3("eor_r", vd, va, vb);
+    }
+
+    void
+    addi(int vd, int va, int32_t imm) override
+    {
+        if (imm >= 0 && imm <= 255) {
+            asm_.emit("add_i", {{"cond", 14},
+                                {"sflag", 0},
+                                {"rn", P(va)},
+                                {"rd", P(vd)},
+                                {"rot", 0},
+                                {"imm8", static_cast<uint64_t>(imm)}});
+        } else if (imm < 0 && imm >= -255) {
+            asm_.emit("sub_i", {{"cond", 14},
+                                {"sflag", 0},
+                                {"rn", P(va)},
+                                {"rd", P(vd)},
+                                {"rot", 0},
+                                {"imm8", static_cast<uint64_t>(-imm)}});
+        } else {
+            liPhys(3, static_cast<uint32_t>(imm)); // scratch R3
+            asm_.emit("add_r", {{"cond", 14},
+                                {"sflag", 0},
+                                {"rn", P(va)},
+                                {"rd", P(vd)},
+                                {"shimm", 0},
+                                {"shtype", 0},
+                                {"rm", 3}});
+        }
+    }
+
+    void
+    shli(int vd, int va, unsigned amt) override
+    {
+        shiftOp(vd, va, amt & 31, 0);
+    }
+
+    void
+    shri(int vd, int va, unsigned amt) override
+    {
+        shiftOp(vd, va, amt & 31, 1);
+    }
+
+    void
+    sari(int vd, int va, unsigned amt) override
+    {
+        shiftOp(vd, va, amt & 31, 2);
+    }
+
+    void
+    loadw(int vd, int vbase, int32_t off) override
+    {
+        ldst("ldr", vd, vbase, off);
+    }
+
+    void
+    storew(int vs, int vbase, int32_t off) override
+    {
+        ldst("str", vs, vbase, off);
+    }
+
+    void
+    loadb(int vd, int vbase, int32_t off) override
+    {
+        ldst("ldrb", vd, vbase, off);
+    }
+
+    void
+    storeb(int vs, int vbase, int32_t off) override
+    {
+        ldst("strb", vs, vbase, off);
+    }
+
+    void
+    beq(int va, int vb, int label) override
+    {
+        cmpBranch(va, vb, label, 0); // EQ
+    }
+
+    void
+    bne(int va, int vb, int label) override
+    {
+        cmpBranch(va, vb, label, 1); // NE
+    }
+
+    void
+    blt(int va, int vb, int label) override
+    {
+        cmpBranch(va, vb, label, 11); // LT
+    }
+
+    void
+    bge(int va, int vb, int label) override
+    {
+        cmpBranch(va, vb, label, 10); // GE
+    }
+
+    void
+    bltu(int va, int vb, int label) override
+    {
+        cmpBranch(va, vb, label, 3); // CC (unsigned lower)
+    }
+
+    void
+    jmp(int label) override
+    {
+        asm_.emitBranch("b", {{"cond", 14}}, "off24", label, 8, 2);
+    }
+
+    void
+    sysWrite(int vbuf, int vlen) override
+    {
+        liPhys(7, 2);  // kSysWrite
+        liPhys(0, 1);  // fd
+        movPhys(1, P(vbuf));
+        movPhys(2, P(vlen));
+        asm_.emit("swi", {{"cond", 14}, {"imm24", 0}});
+    }
+
+    void
+    sysExit(int vcode) override
+    {
+        liPhys(7, 1);
+        movPhys(0, P(vcode));
+        asm_.emit("swi", {{"cond", 14}, {"imm24", 0}});
+    }
+
+  private:
+    static uint64_t
+    P(int v)
+    {
+        ONESPEC_ASSERT(v >= 0 && v < kNumVRegs, "bad vreg");
+        return static_cast<uint64_t>(v + 4); // R4..R11
+    }
+
+    void
+    dp3(const char *op, int vd, int va, int vb)
+    {
+        asm_.emit(op, {{"cond", 14},
+                       {"sflag", 0},
+                       {"rn", P(va)},
+                       {"rd", P(vd)},
+                       {"shimm", 0},
+                       {"shtype", 0},
+                       {"rm", P(vb)}});
+    }
+
+    void
+    shiftOp(int vd, int va, unsigned amt, unsigned type)
+    {
+        asm_.emit("mov_r", {{"cond", 14},
+                            {"sflag", 0},
+                            {"rn", 0},
+                            {"rd", P(vd)},
+                            {"shimm", amt},
+                            {"shtype", type},
+                            {"rm", P(va)}});
+    }
+
+    void
+    ldst(const char *op, int vreg, int vbase, int32_t off)
+    {
+        uint64_t u = off >= 0 ? 1 : 0;
+        uint64_t mag = static_cast<uint64_t>(off >= 0 ? off : -off);
+        ONESPEC_ASSERT(mag < 4096, "arm offset range");
+        asm_.emit(op, {{"cond", 14},
+                       {"pbit", 1},
+                       {"ubit", u},
+                       {"wbit", 0},
+                       {"rn", P(vbase)},
+                       {"rd", P(vreg)},
+                       {"off12", mag}});
+    }
+
+    void
+    movPhys(uint64_t pd, uint64_t ps)
+    {
+        asm_.emit("mov_r", {{"cond", 14},
+                            {"sflag", 0},
+                            {"rn", 0},
+                            {"rd", pd},
+                            {"shimm", 0},
+                            {"shtype", 0},
+                            {"rm", ps}});
+    }
+
+    void
+    liPhys(uint64_t pd, uint32_t imm)
+    {
+        // mov the most significant non-zero byte, orr the rest.
+        bool first = true;
+        for (int k = 3; k >= 0; --k) {
+            uint32_t byte = (imm >> (8 * k)) & 0xff;
+            if (byte == 0 && !(first && k == 0))
+                continue;
+            // Position the byte at bits [8k+7:8k]: rotate right by
+            // (32 - 8k) % 32, encoded as rot = ((32 - 8k) % 32) / 2.
+            uint64_t rot = ((32 - 8 * static_cast<unsigned>(k)) % 32) / 2;
+            asm_.emit(first ? "mov_i" : "orr_i",
+                      {{"cond", 14},
+                       {"sflag", 0},
+                       {"rn", first ? 0 : pd},
+                       {"rd", pd},
+                       {"rot", rot},
+                       {"imm8", byte}});
+            first = false;
+        }
+    }
+
+    void
+    cmpBranch(int va, int vb, int label, uint64_t cond)
+    {
+        asm_.emit("cmp_r", {{"cond", 14},
+                            {"rn", P(va)},
+                            {"rd", 0},
+                            {"shimm", 0},
+                            {"shtype", 0},
+                            {"rm", P(vb)}});
+        asm_.emitBranch("b", {{"cond", cond}}, "off24", label, 8, 2);
+    }
+};
+
+// ---------------------------------------------------------------------
+// ppc32
+// ---------------------------------------------------------------------
+
+/** ppc32: v0..v7 -> R14..R21; scratch R10/R11. */
+class PpcBuilder final : public KernelBuilder
+{
+  public:
+    using KernelBuilder::KernelBuilder;
+
+    void
+    li(int vd, uint64_t imm) override
+    {
+        liPhys(P(vd), static_cast<uint32_t>(imm));
+    }
+
+    void
+    mov(int vd, int vs) override
+    {
+        movPhys(P(vd), P(vs));
+    }
+
+    void
+    add(int vd, int va, int vb) override
+    {
+        asm_.emit("add", {{"rt", P(vd)},
+                          {"ra", P(va)},
+                          {"rb", P(vb)},
+                          {"rc", 0}});
+    }
+
+    void
+    sub(int vd, int va, int vb) override
+    {
+        // subf rt = rb - ra
+        asm_.emit("subf", {{"rt", P(vd)},
+                           {"ra", P(vb)},
+                           {"rb", P(va)},
+                           {"rc", 0}});
+    }
+
+    void
+    mul(int vd, int va, int vb) override
+    {
+        asm_.emit("mullw", {{"rt", P(vd)},
+                            {"ra", P(va)},
+                            {"rb", P(vb)},
+                            {"rc", 0}});
+    }
+
+    void
+    and_(int vd, int va, int vb) override
+    {
+        logic3("and", vd, va, vb);
+    }
+
+    void
+    or_(int vd, int va, int vb) override
+    {
+        logic3("or", vd, va, vb);
+    }
+
+    void
+    xor_(int vd, int va, int vb) override
+    {
+        logic3("xor", vd, va, vb);
+    }
+
+    void
+    addi(int vd, int va, int32_t imm) override
+    {
+        ONESPEC_ASSERT(imm >= -32768 && imm <= 32767, "addi range");
+        asm_.emit("addi", {{"rt", P(vd)},
+                           {"ra", P(va)},
+                           {"dimm", static_cast<uint16_t>(imm)}});
+    }
+
+    void
+    shli(int vd, int va, unsigned amt) override
+    {
+        amt &= 31;
+        // slwi: rlwinm rd, rs, amt, 0, 31-amt
+        asm_.emit("rlwinm", {{"rt", P(va)},
+                             {"ra", P(vd)},
+                             {"sh", amt},
+                             {"mb", 0},
+                             {"me", 31 - amt},
+                             {"rc", 0}});
+    }
+
+    void
+    shri(int vd, int va, unsigned amt) override
+    {
+        amt &= 31;
+        // srwi: rlwinm rd, rs, 32-amt, amt, 31
+        asm_.emit("rlwinm", {{"rt", P(va)},
+                             {"ra", P(vd)},
+                             {"sh", (32 - amt) & 31},
+                             {"mb", amt},
+                             {"me", 31},
+                             {"rc", 0}});
+    }
+
+    void
+    sari(int vd, int va, unsigned amt) override
+    {
+        asm_.emit("srawi", {{"rt", P(va)},
+                            {"ra", P(vd)},
+                            {"rb", amt & 31},
+                            {"rc", 0}});
+    }
+
+    void
+    loadw(int vd, int vbase, int32_t off) override
+    {
+        dmem("lwz", vd, vbase, off);
+    }
+
+    void
+    storew(int vs, int vbase, int32_t off) override
+    {
+        dmem("stw", vs, vbase, off);
+    }
+
+    void
+    loadb(int vd, int vbase, int32_t off) override
+    {
+        dmem("lbz", vd, vbase, off);
+    }
+
+    void
+    storeb(int vs, int vbase, int32_t off) override
+    {
+        dmem("stb", vs, vbase, off);
+    }
+
+    void
+    beq(int va, int vb, int label) override
+    {
+        cmpBranch("cmpw", va, vb, label, 12, 2); // true, EQ
+    }
+
+    void
+    bne(int va, int vb, int label) override
+    {
+        cmpBranch("cmpw", va, vb, label, 4, 2); // false, EQ
+    }
+
+    void
+    blt(int va, int vb, int label) override
+    {
+        cmpBranch("cmpw", va, vb, label, 12, 0); // true, LT
+    }
+
+    void
+    bge(int va, int vb, int label) override
+    {
+        cmpBranch("cmpw", va, vb, label, 4, 0); // false, LT
+    }
+
+    void
+    bltu(int va, int vb, int label) override
+    {
+        cmpBranch("cmplw", va, vb, label, 12, 0);
+    }
+
+    void
+    jmp(int label) override
+    {
+        asm_.emitBranch("b", {{"aa", 0}, {"lk", 0}}, "li", label, 0, 2);
+    }
+
+    void
+    sysWrite(int vbuf, int vlen) override
+    {
+        liPhys(0, 2);
+        liPhys(3, 1);
+        movPhys(4, P(vbuf));
+        movPhys(5, P(vlen));
+        asm_.emit("sc", {});
+    }
+
+    void
+    sysExit(int vcode) override
+    {
+        liPhys(0, 1);
+        movPhys(3, P(vcode));
+        asm_.emit("sc", {});
+    }
+
+  private:
+    static uint64_t
+    P(int v)
+    {
+        ONESPEC_ASSERT(v >= 0 && v < kNumVRegs, "bad vreg");
+        return static_cast<uint64_t>(v + 14); // R14..R21
+    }
+
+    void
+    logic3(const char *op, int vd, int va, int vb)
+    {
+        // X-form logical: ra <- rs op rb; rs travels in the rt field.
+        asm_.emit(op, {{"rt", P(va)},
+                       {"ra", P(vd)},
+                       {"rb", P(vb)},
+                       {"rc", 0}});
+    }
+
+    void
+    dmem(const char *op, int vreg, int vbase, int32_t off)
+    {
+        ONESPEC_ASSERT(off >= -32768 && off <= 32767, "ppc offset range");
+        asm_.emit(op, {{"rt", P(vreg)},
+                       {"ra", P(vbase)},
+                       {"dimm", static_cast<uint16_t>(off)}});
+    }
+
+    void
+    movPhys(uint64_t pd, uint64_t ps)
+    {
+        // mr pd, ps == or pd, ps, ps
+        asm_.emit("or", {{"rt", ps}, {"ra", pd}, {"rb", ps}, {"rc", 0}});
+    }
+
+    void
+    liPhys(uint64_t pd, uint32_t imm)
+    {
+        int32_t sv = static_cast<int32_t>(imm);
+        if (sv >= -32768 && sv <= 32767) {
+            asm_.emit("addi", {{"rt", pd},
+                               {"ra", 0},
+                               {"dimm", static_cast<uint16_t>(sv)}});
+            return;
+        }
+        // lis + ori
+        asm_.emit("addis",
+                  {{"rt", pd}, {"ra", 0}, {"dimm", (imm >> 16) & 0xffff}});
+        if (imm & 0xffff) {
+            asm_.emit("ori",
+                      {{"rt", pd}, {"ra", pd}, {"dimm", imm & 0xffff}});
+        }
+    }
+
+    void
+    cmpBranch(const char *cmp, int va, int vb, int label, uint64_t bo,
+              uint64_t bi)
+    {
+        asm_.emit(cmp, {{"crfd", 0}, {"ra", P(va)}, {"rb", P(vb)}});
+        asm_.emitBranch("bc",
+                        {{"bo", bo}, {"bi", bi}, {"aa", 0}, {"lk", 0}},
+                        "bd", label, 0, 2);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelBuilder>
+makeBuilder(const Spec &spec, uint64_t code_base, uint64_t data_base)
+{
+    const std::string &isa = spec.props.name;
+    if (isa == "alpha64")
+        return std::make_unique<AlphaBuilder>(spec, code_base, data_base);
+    if (isa == "arm32")
+        return std::make_unique<ArmBuilder>(spec, code_base, data_base);
+    if (isa == "ppc32")
+        return std::make_unique<PpcBuilder>(spec, code_base, data_base);
+    ONESPEC_FATAL("no kernel builder for ISA '", isa, "'");
+}
+
+} // namespace onespec

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * KernelBuilder: a small portable macro-assembler interface over the
+ * three shipped ISAs.  Workload kernels are written once against this
+ * interface (virtual registers v0..v7, word-size loads/stores, compare-
+ * and-branch macros, OS-call helpers); each ISA supplies a concrete
+ * builder that lowers the operations to real instructions through the
+ * derived assembler.  This substitutes for the paper's compiled SPEC
+ * binaries: the simulators execute only genuine target-ISA encodings.
+ */
+
+#ifndef ONESPEC_WORKLOAD_BUILDER_HPP
+#define ONESPEC_WORKLOAD_BUILDER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/assembler.hpp"
+
+namespace onespec {
+
+/** Portable kernel-construction interface. */
+class KernelBuilder
+{
+  public:
+    /** Virtual registers available to kernels. */
+    static constexpr int kNumVRegs = 8;
+
+    KernelBuilder(const Spec &spec, uint64_t code_base, uint64_t data_base)
+        : asm_(spec, code_base, data_base)
+    {}
+    virtual ~KernelBuilder();
+
+    /** Architectural word size in bytes (4 or 8). */
+    unsigned
+    wordBytes() const
+    {
+        return asm_.spec().props.wordBits / 8;
+    }
+
+    int newLabel() { return asm_.newLabel(); }
+    void bind(int l) { asm_.bind(l); }
+
+    uint64_t
+    dataAlloc(size_t size, const void *init = nullptr, size_t align = 8)
+    {
+        return asm_.dataAlloc(size, init, align);
+    }
+
+    Program finish(const std::string &name) { return asm_.finish(name); }
+
+    // ----- register ops (vd, va, vb are virtual register numbers) -----
+    virtual void li(int vd, uint64_t imm) = 0;
+    virtual void mov(int vd, int vs) = 0;
+    virtual void add(int vd, int va, int vb) = 0;
+    virtual void sub(int vd, int va, int vb) = 0;
+    virtual void mul(int vd, int va, int vb) = 0;
+    virtual void and_(int vd, int va, int vb) = 0;
+    virtual void or_(int vd, int va, int vb) = 0;
+    virtual void xor_(int vd, int va, int vb) = 0;
+    virtual void addi(int vd, int va, int32_t imm) = 0;
+    virtual void shli(int vd, int va, unsigned amt) = 0;
+    virtual void shri(int vd, int va, unsigned amt) = 0;
+    virtual void sari(int vd, int va, unsigned amt) = 0;
+
+    // ----- memory -----
+    virtual void loadw(int vd, int vbase, int32_t off) = 0;
+    virtual void storew(int vs, int vbase, int32_t off) = 0;
+    virtual void loadb(int vd, int vbase, int32_t off) = 0;
+    virtual void storeb(int vs, int vbase, int32_t off) = 0;
+
+    // ----- control -----
+    virtual void beq(int va, int vb, int label) = 0;
+    virtual void bne(int va, int vb, int label) = 0;
+    virtual void blt(int va, int vb, int label) = 0;   ///< signed
+    virtual void bge(int va, int vb, int label) = 0;   ///< signed
+    virtual void bltu(int va, int vb, int label) = 0;  ///< unsigned
+    virtual void jmp(int label) = 0;
+
+    // ----- OS -----
+    virtual void sysWrite(int vbuf, int vlen) = 0; ///< fd 1
+    virtual void sysExit(int vcode) = 0;
+
+    // ----- portable helpers built on the ops above -----
+
+    /**
+     * Write the low 32 bits of @p vval as 8 hex digits plus newline to
+     * stdout.  Clobbers @p t0..@p t2 (and vval stays intact).
+     */
+    void emitWriteHex(int vval, int t0, int t1, int t2);
+
+    /** Exit with code @p code (clobbers @p t0). */
+    void
+    emitExit(int t0, uint64_t code)
+    {
+        li(t0, code);
+        sysExit(t0);
+    }
+
+  protected:
+    Assembler asm_;
+
+  private:
+    uint64_t hexTable_ = 0;   ///< lazily allocated "0123..f" table
+    uint64_t hexBuf_ = 0;
+};
+
+/** Create the builder matching @p spec's ISA (by name). */
+std::unique_ptr<KernelBuilder> makeBuilder(const Spec &spec,
+                                           uint64_t code_base = 0x10000,
+                                           uint64_t data_base = 0x400000);
+
+} // namespace onespec
+
+#endif // ONESPEC_WORKLOAD_BUILDER_HPP

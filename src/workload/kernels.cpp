@@ -1,0 +1,721 @@
+#include "kernels.hpp"
+
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace onespec {
+
+namespace {
+
+constexpr uint64_t kMask32 = 0xffffffffull;
+constexpr uint32_t kLcgA = 1664525u;
+constexpr uint32_t kLcgC = 1013904223u;
+constexpr uint32_t kSeed = 12345u;
+
+// ---------------------------------------------------------------------
+// fib: iterative Fibonacci, masked to 32 bits each step.
+// ---------------------------------------------------------------------
+
+Program
+buildFib(KernelBuilder &b, uint64_t n)
+{
+    // v0=a v1=b v2=i v3=n v4=t v5=mask
+    b.li(0, 0);
+    b.li(1, 1);
+    b.li(2, 0);
+    b.li(3, n);
+    b.li(5, kMask32);
+    int loop = b.newLabel(), end = b.newLabel();
+    b.bind(loop);
+    b.bge(2, 3, end);
+    b.add(4, 0, 1);
+    b.and_(4, 4, 5);
+    b.mov(0, 1);
+    b.mov(1, 4);
+    b.addi(2, 2, 1);
+    b.jmp(loop);
+    b.bind(end);
+    b.emitWriteHex(0, 5, 6, 7);
+    b.emitExit(6, 0);
+    return b.finish("fib");
+}
+
+uint32_t
+goldenFib(uint64_t n)
+{
+    uint32_t a = 0, bb = 1;
+    for (uint64_t i = 0; i < n; ++i) {
+        uint32_t t = a + bb;
+        a = bb;
+        bb = t;
+    }
+    return a;
+}
+
+// ---------------------------------------------------------------------
+// sieve: count primes below n with a byte sieve.
+// ---------------------------------------------------------------------
+
+Program
+buildSieve(KernelBuilder &b, uint64_t n)
+{
+    uint64_t buf = b.dataAlloc(n, nullptr, 8);
+    // v0=count v1=i v2=j v3=n v4=buf v5=tmp
+    b.li(0, 0);
+    b.li(2, 0); // placate nothing; j used later
+    b.li(3, n);
+    b.li(4, buf);
+    b.li(1, 2);
+    int iloop = b.newLabel(), iend = b.newLabel();
+    int jloop = b.newLabel(), jend = b.newLabel();
+    int notprime = b.newLabel();
+    b.bind(iloop);
+    b.bge(1, 3, iend);
+    b.add(5, 4, 1);
+    b.loadb(5, 5, 0);
+    b.li(6, 0);
+    b.bne(5, 6, notprime);
+    b.addi(0, 0, 1);
+    // mark multiples j = 2i, 3i, ...
+    b.add(2, 1, 1);
+    b.bind(jloop);
+    b.bge(2, 3, jend);
+    b.add(5, 4, 2);
+    b.li(6, 1);
+    b.storeb(6, 5, 0);
+    b.add(2, 2, 1);
+    b.jmp(jloop);
+    b.bind(jend);
+    b.bind(notprime);
+    b.addi(1, 1, 1);
+    b.jmp(iloop);
+    b.bind(iend);
+    b.emitWriteHex(0, 5, 6, 7);
+    b.emitExit(6, 0);
+    return b.finish("sieve");
+}
+
+uint32_t
+goldenSieve(uint64_t n)
+{
+    std::vector<uint8_t> buf(n, 0);
+    uint32_t count = 0;
+    for (uint64_t i = 2; i < n; ++i) {
+        if (buf[i] == 0) {
+            ++count;
+            for (uint64_t j = i + i; j < n; j += i)
+                buf[j] = 1;
+        }
+    }
+    return count;
+}
+
+// ---------------------------------------------------------------------
+// matmul: n x n integer matrix multiply, checksum of C.
+// ---------------------------------------------------------------------
+
+Program
+buildMatmul(KernelBuilder &b, uint64_t n)
+{
+    unsigned w = b.wordBytes();
+    uint64_t a_base = b.dataAlloc(n * n * w, nullptr, 8);
+    uint64_t b_base = b.dataAlloc(n * n * w, nullptr, 8);
+    uint64_t c_base = b.dataAlloc(n * n * w, nullptr, 8);
+    unsigned wlog = w == 8 ? 3 : 2;
+
+    // --- init: A[i][j] = (i*7 + j) & 0xff; B[i][j] = (i + j*13) & 0xff
+    // v0=i v1=j v2=t v3=n v4=addr v5=t2 v6=t3 v7=base
+    b.li(3, n);
+    b.li(0, 0);
+    int init_i = b.newLabel(), init_iend = b.newLabel();
+    b.bind(init_i);
+    b.bge(0, 3, init_iend);
+    b.li(1, 0);
+    int init_j = b.newLabel(), init_jend = b.newLabel();
+    b.bind(init_j);
+    b.bge(1, 3, init_jend);
+    // offset = (i*n + j) << wlog
+    b.mul(4, 0, 3);
+    b.add(4, 4, 1);
+    b.shli(4, 4, wlog);
+    // A value
+    b.li(2, 7);
+    b.mul(2, 0, 2);
+    b.add(2, 2, 1);
+    b.li(5, 255);
+    b.and_(2, 2, 5);
+    b.li(7, a_base);
+    b.add(5, 7, 4);
+    b.storew(2, 5, 0);
+    // B value
+    b.li(2, 13);
+    b.mul(2, 1, 2);
+    b.add(2, 2, 0);
+    b.li(5, 255);
+    b.and_(2, 2, 5);
+    b.li(7, b_base);
+    b.add(5, 7, 4);
+    b.storew(2, 5, 0);
+    b.addi(1, 1, 1);
+    b.jmp(init_j);
+    b.bind(init_jend);
+    b.addi(0, 0, 1);
+    b.jmp(init_i);
+    b.bind(init_iend);
+
+    // --- multiply: C[i][j] = sum_k A[i][k] * B[k][j]
+    // v0=i v1=j v2=k v4=acc v5=addr v6=tmp v7=tmp2
+    b.li(0, 0);
+    int mi = b.newLabel(), miend = b.newLabel();
+    b.bind(mi);
+    b.bge(0, 3, miend);
+    b.li(1, 0);
+    int mj = b.newLabel(), mjend = b.newLabel();
+    b.bind(mj);
+    b.bge(1, 3, mjend);
+    b.li(4, 0);
+    b.li(2, 0);
+    int mk = b.newLabel(), mkend = b.newLabel();
+    b.bind(mk);
+    b.bge(2, 3, mkend);
+    // A[i][k]
+    b.mul(5, 0, 3);
+    b.add(5, 5, 2);
+    b.shli(5, 5, wlog);
+    b.li(6, a_base);
+    b.add(5, 5, 6);
+    b.loadw(6, 5, 0);
+    // B[k][j]
+    b.mul(5, 2, 3);
+    b.add(5, 5, 1);
+    b.shli(5, 5, wlog);
+    b.li(7, b_base);
+    b.add(5, 5, 7);
+    b.loadw(7, 5, 0);
+    b.mul(6, 6, 7);
+    b.add(4, 4, 6);
+    b.addi(2, 2, 1);
+    b.jmp(mk);
+    b.bind(mkend);
+    // store C[i][j]
+    b.mul(5, 0, 3);
+    b.add(5, 5, 1);
+    b.shli(5, 5, wlog);
+    b.li(6, c_base);
+    b.add(5, 5, 6);
+    b.storew(4, 5, 0);
+    b.addi(1, 1, 1);
+    b.jmp(mj);
+    b.bind(mjend);
+    b.addi(0, 0, 1);
+    b.jmp(mi);
+    b.bind(miend);
+
+    // --- checksum = sum(C) & mask32, rotated per element
+    // v0=idx v1=limit v2=sum v4=addr v5=tmp
+    b.li(0, 0);
+    b.mul(1, 3, 3);
+    b.li(2, 0);
+    int cs = b.newLabel(), csend = b.newLabel();
+    b.bind(cs);
+    b.bge(0, 1, csend);
+    b.mov(4, 0);
+    b.shli(4, 4, wlog);
+    b.li(5, c_base);
+    b.add(4, 4, 5);
+    b.loadw(5, 4, 0);
+    b.add(2, 2, 5);
+    b.li(5, kMask32);
+    b.and_(2, 2, 5);
+    b.addi(0, 0, 1);
+    b.jmp(cs);
+    b.bind(csend);
+    b.mov(0, 2);
+    b.emitWriteHex(0, 5, 6, 7);
+    b.emitExit(6, 0);
+    return b.finish("matmul");
+}
+
+uint32_t
+goldenMatmul(uint64_t n)
+{
+    std::vector<uint32_t> a(n * n), bm(n * n), c(n * n);
+    for (uint64_t i = 0; i < n; ++i) {
+        for (uint64_t j = 0; j < n; ++j) {
+            a[i * n + j] = static_cast<uint32_t>((i * 7 + j) & 0xff);
+            bm[i * n + j] = static_cast<uint32_t>((i + j * 13) & 0xff);
+        }
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+        for (uint64_t j = 0; j < n; ++j) {
+            uint32_t acc = 0;
+            for (uint64_t k = 0; k < n; ++k)
+                acc += a[i * n + k] * bm[k * n + j];
+            c[i * n + j] = acc;
+        }
+    }
+    uint32_t sum = 0;
+    for (uint64_t i = 0; i < n * n; ++i)
+        sum += c[i];
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+// shellsort: sort an LCG-filled array, positional checksum.
+// ---------------------------------------------------------------------
+
+Program
+buildShellsort(KernelBuilder &b, uint64_t n)
+{
+    unsigned w = b.wordBytes();
+    unsigned wlog = w == 8 ? 3 : 2;
+    uint64_t base = b.dataAlloc(n * w, nullptr, 8);
+
+    // fill: x = lcg(x); a[i] = x
+    // v0=i v1=x v2=n v4=addr v5=tmp v6=const
+    b.li(2, n);
+    b.li(0, 0);
+    b.li(1, kSeed);
+    int fl = b.newLabel(), flend = b.newLabel();
+    b.bind(fl);
+    b.bge(0, 2, flend);
+    b.li(6, kLcgA);
+    b.mul(1, 1, 6);
+    b.li(6, kLcgC);
+    b.add(1, 1, 6);
+    b.li(6, kMask32);
+    b.and_(1, 1, 6);
+    b.mov(4, 0);
+    b.shli(4, 4, wlog);
+    b.li(5, base);
+    b.add(4, 4, 5);
+    b.storew(1, 4, 0);
+    b.addi(0, 0, 1);
+    b.jmp(fl);
+    b.bind(flend);
+
+    // shell sort, gap sequence n/2, n/4, ..., 1
+    // v0=gap v1=i v2=j v3=tmp(value being inserted) v4=addr v5=val
+    // v6=n v7=scratch
+    b.li(6, n);
+    b.mov(0, 6);
+    b.shri(0, 0, 1);
+    int gaploop = b.newLabel(), gapend = b.newLabel();
+    b.bind(gaploop);
+    b.li(7, 0);
+    b.beq(0, 7, gapend);
+
+    b.mov(1, 0); // i = gap
+    int il = b.newLabel(), ilend = b.newLabel();
+    b.bind(il);
+    b.bge(1, 6, ilend);
+    // tmp = a[i]
+    b.mov(4, 1);
+    b.shli(4, 4, wlog);
+    b.li(7, base);
+    b.add(4, 4, 7);
+    b.loadw(3, 4, 0);
+    b.mov(2, 1); // j = i
+    int wl = b.newLabel(), wlend = b.newLabel(), doshift = b.newLabel();
+    b.bind(wl);
+    b.blt(2, 0, wlend); // j < gap -> done
+    // val = a[j-gap]
+    b.sub(4, 2, 0);
+    b.shli(4, 4, wlog);
+    b.li(7, base);
+    b.add(4, 4, 7);
+    b.loadw(5, 4, 0);
+    // shift only while a[j-gap] > tmp  (unsigned)
+    b.bltu(3, 5, doshift);
+    b.jmp(wlend);
+    b.bind(doshift);
+    // a[j] = val
+    b.mov(4, 2);
+    b.shli(4, 4, wlog);
+    b.li(7, base);
+    b.add(4, 4, 7);
+    b.storew(5, 4, 0);
+    b.sub(2, 2, 0); // j -= gap
+    b.jmp(wl);
+    b.bind(wlend);
+    // a[j] = tmp
+    b.mov(4, 2);
+    b.shli(4, 4, wlog);
+    b.li(7, base);
+    b.add(4, 4, 7);
+    b.storew(3, 4, 0);
+    b.addi(1, 1, 1);
+    b.jmp(il);
+    b.bind(ilend);
+    b.shri(0, 0, 1); // gap /= 2
+    b.jmp(gaploop);
+    b.bind(gapend);
+
+    // checksum = sum(a[i] * (i+1)) & mask32
+    // v0=i v1=sum v2=tmp v4=addr v6=n v7=scratch
+    b.li(0, 0);
+    b.li(1, 0);
+    int cs = b.newLabel(), csend = b.newLabel();
+    b.bind(cs);
+    b.bge(0, 6, csend);
+    b.mov(4, 0);
+    b.shli(4, 4, wlog);
+    b.li(7, base);
+    b.add(4, 4, 7);
+    b.loadw(2, 4, 0);
+    b.addi(7, 0, 1);
+    b.mul(2, 2, 7);
+    b.add(1, 1, 2);
+    b.li(7, kMask32);
+    b.and_(1, 1, 7);
+    b.addi(0, 0, 1);
+    b.jmp(cs);
+    b.bind(csend);
+    b.mov(0, 1);
+    b.emitWriteHex(0, 5, 6, 7);
+    b.emitExit(6, 0);
+    return b.finish("shellsort");
+}
+
+uint32_t
+goldenShellsort(uint64_t n)
+{
+    std::vector<uint32_t> a(n);
+    uint32_t x = kSeed;
+    for (uint64_t i = 0; i < n; ++i) {
+        x = x * kLcgA + kLcgC;
+        a[i] = x;
+    }
+    for (uint64_t gap = n / 2; gap > 0; gap /= 2) {
+        for (uint64_t i = gap; i < n; ++i) {
+            uint32_t tmp = a[i];
+            uint64_t j = i;
+            while (j >= gap && a[j - gap] > tmp) {
+                a[j] = a[j - gap];
+                j -= gap;
+            }
+            a[j] = tmp;
+        }
+    }
+    uint32_t sum = 0;
+    for (uint64_t i = 0; i < n; ++i)
+        sum += a[i] * static_cast<uint32_t>(i + 1);
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+// strhash: FNV-1a over an LCG-filled buffer, several passes.
+// ---------------------------------------------------------------------
+
+Program
+buildStrhash(KernelBuilder &b, uint64_t len, uint64_t reps)
+{
+    uint64_t buf = b.dataAlloc(len, nullptr, 8);
+
+    // fill buffer with pseudo-text bytes
+    // v0=i v1=x v2=len v4=addr v5=tmp v6=const
+    b.li(2, len);
+    b.li(0, 0);
+    b.li(1, kSeed);
+    int fl = b.newLabel(), flend = b.newLabel();
+    b.bind(fl);
+    b.bge(0, 2, flend);
+    b.li(6, kLcgA);
+    b.mul(1, 1, 6);
+    b.li(6, kLcgC);
+    b.add(1, 1, 6);
+    b.li(6, kMask32);
+    b.and_(1, 1, 6);
+    b.mov(5, 1);
+    b.shri(5, 5, 16);
+    b.li(6, 0x7f);
+    b.and_(5, 5, 6);
+    b.li(6, buf);
+    b.add(6, 6, 0);
+    b.storeb(5, 6, 0);
+    b.addi(0, 0, 1);
+    b.jmp(fl);
+    b.bind(flend);
+
+    // hash passes: v0=rep v1=h v2=i v3=len v4=addr v5=byte v6=const
+    // v7=reps
+    b.li(7, reps);
+    b.li(3, len);
+    b.li(1, 2166136261u);
+    b.li(0, 0);
+    int rl = b.newLabel(), rlend = b.newLabel();
+    b.bind(rl);
+    b.bge(0, 7, rlend);
+    b.li(2, 0);
+    int hl = b.newLabel(), hlend = b.newLabel();
+    b.bind(hl);
+    b.bge(2, 3, hlend);
+    b.li(4, buf);
+    b.add(4, 4, 2);
+    b.loadb(5, 4, 0);
+    b.xor_(1, 1, 5);
+    b.li(6, 16777619);
+    b.mul(1, 1, 6);
+    b.li(6, kMask32);
+    b.and_(1, 1, 6);
+    b.addi(2, 2, 1);
+    b.jmp(hl);
+    b.bind(hlend);
+    b.addi(0, 0, 1);
+    b.jmp(rl);
+    b.bind(rlend);
+    b.mov(0, 1);
+    b.emitWriteHex(0, 5, 6, 7);
+    b.emitExit(6, 0);
+    return b.finish("strhash");
+}
+
+uint32_t
+goldenStrhash(uint64_t len, uint64_t reps)
+{
+    std::vector<uint8_t> buf(len);
+    uint32_t x = kSeed;
+    for (uint64_t i = 0; i < len; ++i) {
+        x = x * kLcgA + kLcgC;
+        buf[i] = static_cast<uint8_t>((x >> 16) & 0x7f);
+    }
+    uint32_t h = 2166136261u;
+    for (uint64_t r = 0; r < reps; ++r) {
+        for (uint64_t i = 0; i < len; ++i) {
+            h ^= buf[i];
+            h *= 16777619u;
+        }
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// crc32: bitwise CRC-32 over an LCG-filled buffer.
+// ---------------------------------------------------------------------
+
+Program
+buildCrc32(KernelBuilder &b, uint64_t len)
+{
+    uint64_t buf = b.dataAlloc(len, nullptr, 8);
+
+    // fill
+    b.li(2, len);
+    b.li(0, 0);
+    b.li(1, kSeed);
+    int fl = b.newLabel(), flend = b.newLabel();
+    b.bind(fl);
+    b.bge(0, 2, flend);
+    b.li(6, kLcgA);
+    b.mul(1, 1, 6);
+    b.li(6, kLcgC);
+    b.add(1, 1, 6);
+    b.li(6, kMask32);
+    b.and_(1, 1, 6);
+    b.mov(5, 1);
+    b.shri(5, 5, 8);
+    b.li(6, 0xff);
+    b.and_(5, 5, 6);
+    b.li(6, buf);
+    b.add(6, 6, 0);
+    b.storeb(5, 6, 0);
+    b.addi(0, 0, 1);
+    b.jmp(fl);
+    b.bind(flend);
+
+    // crc: v0=crc v1=i v2=len v3=bit v4=addr/byte v5=tmp v6=const
+    b.li(2, len);
+    b.li(0, kMask32); // crc = 0xffffffff
+    b.li(1, 0);
+    int cl = b.newLabel(), clend = b.newLabel();
+    b.bind(cl);
+    b.bge(1, 2, clend);
+    b.li(4, buf);
+    b.add(4, 4, 1);
+    b.loadb(4, 4, 0);
+    b.xor_(0, 0, 4);
+    b.li(6, kMask32);
+    b.and_(0, 0, 6);
+    b.li(3, 0);
+    int bl = b.newLabel(), blend = b.newLabel(), noxor = b.newLabel();
+    b.bind(bl);
+    b.li(6, 8);
+    b.bge(3, 6, blend);
+    b.li(6, 1);
+    b.and_(5, 0, 6);
+    b.shri(0, 0, 1);
+    b.li(6, 0);
+    b.beq(5, 6, noxor);
+    b.li(6, 0xedb88320);
+    b.xor_(0, 0, 6);
+    b.bind(noxor);
+    b.addi(3, 3, 1);
+    b.jmp(bl);
+    b.bind(blend);
+    b.addi(1, 1, 1);
+    b.jmp(cl);
+    b.bind(clend);
+    b.li(6, kMask32);
+    b.xor_(0, 0, 6);
+    b.and_(0, 0, 6);
+    b.emitWriteHex(0, 5, 6, 7);
+    b.emitExit(6, 0);
+    return b.finish("crc32");
+}
+
+uint32_t
+goldenCrc32(uint64_t len)
+{
+    std::vector<uint8_t> buf(len);
+    uint32_t x = kSeed;
+    for (uint64_t i = 0; i < len; ++i) {
+        x = x * kLcgA + kLcgC;
+        buf[i] = static_cast<uint8_t>((x >> 8) & 0xff);
+    }
+    uint32_t crc = 0xffffffffu;
+    for (uint64_t i = 0; i < len; ++i) {
+        crc ^= buf[i];
+        for (int k = 0; k < 8; ++k) {
+            uint32_t lsb = crc & 1;
+            crc >>= 1;
+            if (lsb)
+                crc ^= 0xedb88320u;
+        }
+    }
+    return crc ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------
+// listsum: pointer-chase over a permuted singly linked list.
+// ---------------------------------------------------------------------
+
+Program
+buildListsum(KernelBuilder &b, uint64_t n, uint64_t steps)
+{
+    unsigned w = b.wordBytes();
+    unsigned node_log = w == 8 ? 4 : 3; // node = {next, value}
+    uint64_t base = b.dataAlloc(n << node_log, nullptr, 16);
+    uint64_t stride = 7; // gcd(7, n) must be 1 for a full cycle
+
+    // build: node[i].next = &node[(i+stride) mod n]; node[i].value = i^2
+    // v0=i v1=j v2=n v4=addr v5=tmp v6=const
+    b.li(2, n);
+    b.li(0, 0);
+    int bl = b.newLabel(), blend = b.newLabel(), nowrap = b.newLabel();
+    b.bind(bl);
+    b.bge(0, 2, blend);
+    b.addi(1, 0, static_cast<int32_t>(stride));
+    b.blt(1, 2, nowrap);
+    b.sub(1, 1, 2);
+    b.bind(nowrap);
+    // &node[j]
+    b.mov(5, 1);
+    b.shli(5, 5, node_log);
+    b.li(6, base);
+    b.add(5, 5, 6);
+    // &node[i]
+    b.mov(4, 0);
+    b.shli(4, 4, node_log);
+    b.add(4, 4, 6);
+    b.storew(5, 4, 0);
+    b.mul(5, 0, 0);
+    b.storew(5, 4, static_cast<int32_t>(w));
+    b.addi(0, 0, 1);
+    b.jmp(bl);
+    b.bind(blend);
+
+    // chase: v0=sum v1=ptr v2=k v3=steps v4=val v6=const
+    b.li(0, 0);
+    b.li(1, base);
+    b.li(3, steps);
+    b.li(2, 0);
+    int cl = b.newLabel(), clend = b.newLabel();
+    b.bind(cl);
+    b.bge(2, 3, clend);
+    b.loadw(4, 1, static_cast<int32_t>(w));
+    b.add(0, 0, 4);
+    b.li(6, kMask32);
+    b.and_(0, 0, 6);
+    b.loadw(1, 1, 0);
+    b.addi(2, 2, 1);
+    b.jmp(cl);
+    b.bind(clend);
+    b.emitWriteHex(0, 5, 6, 7);
+    b.emitExit(6, 0);
+    return b.finish("listsum");
+}
+
+uint32_t
+goldenListsum(uint64_t n, uint64_t steps)
+{
+    uint64_t stride = 7;
+    uint32_t sum = 0;
+    uint64_t i = 0;
+    for (uint64_t k = 0; k < steps; ++k) {
+        sum += static_cast<uint32_t>(i * i);
+        i = (i + stride) % n;
+    }
+    return sum;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "fib", "sieve", "matmul", "shellsort", "strhash", "crc32",
+        "listsum",
+    };
+    return names;
+}
+
+Program
+buildKernel(KernelBuilder &b, const std::string &name, uint64_t param)
+{
+    if (name == "fib")
+        return buildFib(b, param);
+    if (name == "sieve")
+        return buildSieve(b, param);
+    if (name == "matmul")
+        return buildMatmul(b, param);
+    if (name == "shellsort")
+        return buildShellsort(b, param);
+    if (name == "strhash")
+        return buildStrhash(b, param, 4);
+    if (name == "crc32")
+        return buildCrc32(b, param);
+    if (name == "listsum")
+        return buildListsum(b, param, param * 8);
+    ONESPEC_FATAL("unknown kernel '", name, "'");
+}
+
+uint32_t
+goldenResult(const std::string &name, uint64_t param)
+{
+    if (name == "fib")
+        return goldenFib(param);
+    if (name == "sieve")
+        return goldenSieve(param);
+    if (name == "matmul")
+        return goldenMatmul(param);
+    if (name == "shellsort")
+        return goldenShellsort(param);
+    if (name == "strhash")
+        return goldenStrhash(param, 4);
+    if (name == "crc32")
+        return goldenCrc32(param);
+    if (name == "listsum")
+        return goldenListsum(param, param * 8);
+    ONESPEC_FATAL("unknown kernel '", name, "'");
+}
+
+std::string
+goldenOutput(const std::string &name, uint64_t param)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x\n", goldenResult(name, param));
+    return buf;
+}
+
+} // namespace onespec

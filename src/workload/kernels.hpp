@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The workload suite: integer kernels standing in for the paper's SPEC
+ * CPU2000int runs.  Each kernel is written once against KernelBuilder and
+ * lowered per ISA; every kernel computes a 32-bit result, prints it as
+ * "%08x\n" through the emulated OS, and exits, so a run is validated by
+ * comparing output bytes against the golden model computed in plain C++.
+ *
+ * All result-bearing arithmetic is masked to 32 bits inside the kernels,
+ * making the expected output identical across 32- and 64-bit ISAs.
+ */
+
+#ifndef ONESPEC_WORKLOAD_KERNELS_HPP
+#define ONESPEC_WORKLOAD_KERNELS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.hpp"
+#include "workload/builder.hpp"
+
+namespace onespec {
+
+/** Kernel names: fib, sieve, matmul, shellsort, strhash, crc32, listsum. */
+const std::vector<std::string> &kernelNames();
+
+/**
+ * Build kernel @p name with scale parameter @p param.
+ * Rough dynamic-instruction counts at parameter p:
+ *   fib: ~10p      sieve: ~14p      matmul: ~18p^3   shellsort: O(p^1.3)
+ *   strhash: ~14p  crc32: ~60p      listsum: ~6p
+ */
+Program buildKernel(KernelBuilder &b, const std::string &name,
+                    uint64_t param);
+
+/** The 32-bit result the kernel prints. */
+uint32_t goldenResult(const std::string &name, uint64_t param);
+
+/** The exact bytes the kernel writes to stdout ("%08x\n"). */
+std::string goldenOutput(const std::string &name, uint64_t param);
+
+} // namespace onespec
+
+#endif // ONESPEC_WORKLOAD_KERNELS_HPP

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Instruction-level semantics tests for the alpha64 description.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/encode.hpp"
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+
+namespace onespec {
+namespace {
+
+class Alpha64Test : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { spec_ = loadIsa("alpha64").release(); }
+    static void TearDownTestSuite()
+    {
+        delete spec_;
+        spec_ = nullptr;
+    }
+
+    /**
+     * Run one operate-style instruction with R1=a, R2=b, result in R3.
+     */
+    uint64_t
+    runOp(const std::string &name, uint64_t a, uint64_t b,
+          std::vector<EncField> extra = {})
+    {
+        std::vector<EncField> f = {{"ra", 1}, {"rb", 2}, {"rc", 3}};
+        for (auto &e : extra)
+            f.push_back(e);
+        return runWith(mustEncode(*spec_, name, f), a, b);
+    }
+
+    /** Literal-form operate: R1=a, literal value, result in R3. */
+    uint64_t
+    runOpLit(const std::string &name, uint64_t a, uint64_t lit)
+    {
+        uint32_t w = mustEncode(*spec_, name,
+                                {{"ra", 1}, {"lit", lit}, {"rc", 3}});
+        return runWith(w, a, 0);
+    }
+
+    uint64_t
+    runWith(uint32_t word, uint64_t r1, uint64_t r2)
+    {
+        SimContext ctx(*spec_);
+        Program p;
+        p.entry = 0x10000;
+        Segment s;
+        s.base = 0x10000;
+        for (int i = 0; i < 4; ++i)
+            s.bytes.push_back(static_cast<uint8_t>(word >> (8 * i)));
+        p.segments.push_back(std::move(s));
+        ctx.load(p);
+        ctx.state().writeReg(0, 1, r1);
+        ctx.state().writeReg(0, 2, r2);
+        auto sim = makeInterpSimulator(ctx, "OneAllNo");
+        DynInst di;
+        EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+        lastDi_ = di;
+        return ctx.state().readReg(0, 3);
+    }
+
+    static Spec *spec_;
+    DynInst lastDi_;
+};
+
+Spec *Alpha64Test::spec_ = nullptr;
+
+TEST_F(Alpha64Test, DescriptionLoads)
+{
+    EXPECT_EQ(spec_->props.name, "alpha64");
+    EXPECT_GE(spec_->instrs.size(), 100u);
+    EXPECT_GE(spec_->buildsets.size(), 12u);
+    EXPECT_TRUE(spec_->props.littleEndian);
+}
+
+TEST_F(Alpha64Test, Arithmetic)
+{
+    EXPECT_EQ(runOp("addq", 5, 7), 12u);
+    EXPECT_EQ(runOp("subq", 5, 7), static_cast<uint64_t>(-2));
+    EXPECT_EQ(runOp("mulq", 1000000, 1000000), 1000000000000ull);
+    EXPECT_EQ(runOp("addl", 0x7fffffff, 1),
+              0xffffffff80000000ull); // 32-bit overflow sign-extends
+    EXPECT_EQ(runOp("subl", 0, 1), ~uint64_t{0});
+    EXPECT_EQ(runOp("s4addq", 3, 5), 17u);
+    EXPECT_EQ(runOp("s8addq", 3, 5), 29u);
+    EXPECT_EQ(runOp("s4subq", 3, 5), 7u);
+    EXPECT_EQ(runOp("umulh", ~uint64_t{0}, 2), 1u);
+    EXPECT_EQ(runOp("mull", 0x10000, 0x10000), 0u); // low 32 bits
+}
+
+TEST_F(Alpha64Test, LiteralForms)
+{
+    EXPECT_EQ(runOpLit("addq_l", 5, 200), 205u);
+    EXPECT_EQ(runOpLit("subq_l", 5, 7), static_cast<uint64_t>(-2));
+    EXPECT_EQ(runOpLit("and_l", 0xff, 0x0f), 0x0fu);
+    EXPECT_EQ(runOpLit("sll_l", 1, 12), 4096u);
+    EXPECT_EQ(runOpLit("sra_l", static_cast<uint64_t>(-8), 1),
+              static_cast<uint64_t>(-4));
+    EXPECT_EQ(runOpLit("cmplt_l", static_cast<uint64_t>(-1), 0), 1u);
+    EXPECT_EQ(runOpLit("cmpult_l", static_cast<uint64_t>(-1), 0), 0u);
+}
+
+TEST_F(Alpha64Test, Comparisons)
+{
+    EXPECT_EQ(runOp("cmpeq", 4, 4), 1u);
+    EXPECT_EQ(runOp("cmpeq", 4, 5), 0u);
+    EXPECT_EQ(runOp("cmplt", static_cast<uint64_t>(-5), 3), 1u);
+    EXPECT_EQ(runOp("cmplt", 3, static_cast<uint64_t>(-5)), 0u);
+    EXPECT_EQ(runOp("cmpult", 3, static_cast<uint64_t>(-5)), 1u);
+    EXPECT_EQ(runOp("cmpule", 3, 3), 1u);
+    EXPECT_EQ(runOp("cmple", static_cast<uint64_t>(-1), 0), 1u);
+}
+
+TEST_F(Alpha64Test, Logical)
+{
+    EXPECT_EQ(runOp("and", 0xf0f0, 0xff00), 0xf000u);
+    EXPECT_EQ(runOp("bis", 0xf0f0, 0x0f00), 0xfff0u);
+    EXPECT_EQ(runOp("xor", 0xffff, 0x0ff0), 0xf00fu);
+    EXPECT_EQ(runOp("bic", 0xffff, 0x0ff0), 0xf00fu);
+    EXPECT_EQ(runOp("ornot", 0, 0), ~uint64_t{0});
+    EXPECT_EQ(runOp("eqv", 0xff, 0xff), ~uint64_t{0});
+}
+
+TEST_F(Alpha64Test, ShiftsAndBytes)
+{
+    EXPECT_EQ(runOp("sll", 1, 63), uint64_t{1} << 63);
+    EXPECT_EQ(runOp("srl", uint64_t{1} << 63, 63), 1u);
+    EXPECT_EQ(runOp("sra", uint64_t{1} << 63, 63), ~uint64_t{0});
+    EXPECT_EQ(runOp("extbl", 0x8877665544332211ull, 3), 0x44u);
+    EXPECT_EQ(runOp("extwl", 0x8877665544332211ull, 2), 0x4433u);
+    EXPECT_EQ(runOp("extll", 0x8877665544332211ull, 4), 0x88776655u);
+    EXPECT_EQ(runOp("insbl", 0xab, 2), 0xab0000u);
+    EXPECT_EQ(runOp("mskbl", 0xffffffffffffffffull, 1),
+              0xffffffffffff00ffull);
+    EXPECT_EQ(runOp("zapnot", 0x8877665544332211ull, 0x0f),
+              0x44332211u);
+    EXPECT_EQ(runOp("zap", 0x8877665544332211ull, 0x0f),
+              0x8877665500000000ull);
+    EXPECT_EQ(runOp("cmpbge", 0x0102030405060708ull,
+                    0x0102030405060708ull),
+              0xffu);
+}
+
+TEST_F(Alpha64Test, CountsAndSext)
+{
+    EXPECT_EQ(runOp("ctpop", 0, 0xff), 8u);
+    EXPECT_EQ(runOp("ctlz", 0, 1), 63u);
+    EXPECT_EQ(runOp("cttz", 0, uint64_t{1} << 10), 10u);
+    EXPECT_EQ(runOp("sextb", 0, 0x80), 0xffffffffffffff80ull);
+    EXPECT_EQ(runOp("sextw", 0, 0x8000), 0xffffffffffff8000ull);
+}
+
+TEST_F(Alpha64Test, ConditionalMoveLeavesDestOnFalse)
+{
+    // cmoveq with a!=0: R3 keeps its previous value (writeback skipped).
+    SimContext ctx(*spec_);
+    Program p;
+    p.entry = 0x10000;
+    uint32_t w = mustEncode(*spec_, "cmoveq",
+                            {{"ra", 1}, {"rb", 2}, {"rc", 3}});
+    Segment s;
+    s.base = 0x10000;
+    for (int i = 0; i < 4; ++i)
+        s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    p.segments.push_back(std::move(s));
+    ctx.load(p);
+    ctx.state().writeReg(0, 1, 1);   // condition false
+    ctx.state().writeReg(0, 2, 99);
+    ctx.state().writeReg(0, 3, 1234);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    DynInst di;
+    EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+    EXPECT_EQ(ctx.state().readReg(0, 3), 1234u);
+}
+
+TEST_F(Alpha64Test, MemoryAndDisplacement)
+{
+    SimContext ctx(*spec_);
+    Program p;
+    p.entry = 0x10000;
+    Segment s;
+    s.base = 0x10000;
+    auto push = [&](uint32_t w) {
+        for (int i = 0; i < 4; ++i)
+            s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    };
+    // stq R1 -> [R2 - 8]; ldq R3 <- [R2 - 8]; ldl R4 <- [R2 - 8]
+    push(mustEncode(*spec_, "stq",
+                    {{"ra", 1}, {"rb", 2}, {"disp", 0xfff8}}));
+    push(mustEncode(*spec_, "ldq",
+                    {{"ra", 3}, {"rb", 2}, {"disp", 0xfff8}}));
+    push(mustEncode(*spec_, "ldl",
+                    {{"ra", 4}, {"rb", 2}, {"disp", 0xfff8}}));
+    push(mustEncode(*spec_, "ldbu",
+                    {{"ra", 5}, {"rb", 2}, {"disp", 0xfff8}}));
+    p.segments.push_back(std::move(s));
+    ctx.load(p);
+    ctx.state().writeReg(0, 1, 0xdeadbeefcafef00dull);
+    ctx.state().writeReg(0, 2, 0x20008);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    DynInst di;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+    EXPECT_EQ(ctx.state().readReg(0, 3), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(ctx.state().readReg(0, 4), 0xffffffffcafef00dull); // sext32
+    EXPECT_EQ(ctx.state().readReg(0, 5), 0x0dull);
+}
+
+TEST_F(Alpha64Test, BranchesAndJumps)
+{
+    SimContext ctx(*spec_);
+    Program p;
+    p.entry = 0x10000;
+    Segment s;
+    s.base = 0x10000;
+    auto push = [&](uint32_t w) {
+        for (int i = 0; i < 4; ++i)
+            s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    };
+    // beq R1 (taken, +1) ; pal_halt (skipped) ; br R5, +0 ;
+    push(mustEncode(*spec_, "beq", {{"ra", 1}, {"bdisp", 1}}));
+    push(mustEncode(*spec_, "pal_halt", {}));
+    push(mustEncode(*spec_, "br", {{"ra", 5}, {"bdisp", 0}}));
+    // jmp R6, (R2)
+    push(mustEncode(*spec_, "jmp", {{"ra", 6}, {"rb", 2}}));
+    p.segments.push_back(std::move(s));
+    ctx.load(p);
+    ctx.state().writeReg(0, 1, 0);        // beq condition true
+    ctx.state().writeReg(0, 2, 0x10010);  // jmp target
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    DynInst di;
+    EXPECT_EQ(sim->execute(di), RunStatus::Ok); // beq
+    EXPECT_TRUE(di.branchTaken());
+    EXPECT_EQ(ctx.state().pc(), 0x10008u);
+    EXPECT_EQ(sim->execute(di), RunStatus::Ok); // br
+    EXPECT_EQ(ctx.state().readReg(0, 5), 0x1000cu); // link
+    EXPECT_EQ(ctx.state().pc(), 0x1000cu);
+    EXPECT_EQ(sim->execute(di), RunStatus::Ok); // jmp
+    EXPECT_EQ(ctx.state().readReg(0, 6), 0x10010u);
+    EXPECT_EQ(ctx.state().pc(), 0x10010u);
+}
+
+TEST_F(Alpha64Test, BackwardBranchDisplacement)
+{
+    SimContext ctx(*spec_);
+    Program p;
+    p.entry = 0x10004;
+    Segment s;
+    s.base = 0x10000;
+    auto push = [&](uint32_t w) {
+        for (int i = 0; i < 4; ++i)
+            s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    };
+    push(mustEncode(*spec_, "pal_halt", {}));
+    // br with bdisp = -2 (21-bit two's complement): to 0x10000.
+    push(mustEncode(*spec_, "br",
+                    {{"ra", 31}, {"bdisp", (1u << 21) - 2}}));
+    p.segments.push_back(std::move(s));
+    ctx.load(p);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    DynInst di;
+    EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+    EXPECT_EQ(ctx.state().pc(), 0x10000u);
+    EXPECT_EQ(sim->execute(di), RunStatus::Halted); // pal_halt
+}
+
+} // namespace
+} // namespace onespec

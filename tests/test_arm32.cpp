@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Instruction-level semantics tests for the arm32 description:
+ * conditional execution, the barrel shifter, flag setting, multiplies,
+ * and addressing modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/encode.hpp"
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+
+namespace onespec {
+namespace {
+
+constexpr uint32_t kN = 1u << 31;
+constexpr uint32_t kZ = 1u << 30;
+constexpr uint32_t kC = 1u << 29;
+constexpr uint32_t kV = 1u << 28;
+
+class Arm32Test : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { spec_ = loadIsa("arm32").release(); }
+    static void TearDownTestSuite()
+    {
+        delete spec_;
+        spec_ = nullptr;
+    }
+
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_unique<SimContext>(*spec_);
+        cpsrIdx_ = spec_->state.scalarIndex("CPSR");
+        ASSERT_GE(cpsrIdx_, 0);
+    }
+
+    /**
+     * Run the single instruction @p w against the current context state
+     * (registers and memory set by the test are preserved).
+     */
+    RunStatus
+    run1(uint32_t w)
+    {
+        FaultKind f = FaultKind::None;
+        ctx_->mem().write(0x8000, w, 4, f);
+        ctx_->state().setPc(0x8000);
+        auto sim = makeInterpSimulator(*ctx_, "OneAllNo");
+        lastDi_ = DynInst{};
+        return sim->execute(lastDi_);
+    }
+
+    uint32_t reg(unsigned i) const
+    {
+        return static_cast<uint32_t>(ctx_->state().readReg(0, i));
+    }
+
+    void setReg(unsigned i, uint32_t v) { ctx_->state().writeReg(0, i, v); }
+
+    uint32_t cpsr() const
+    {
+        return static_cast<uint32_t>(
+            ctx_->state().readScalar(cpsrIdx_));
+    }
+
+    void setCpsr(uint32_t v) { ctx_->state().writeScalar(cpsrIdx_, v); }
+
+    uint32_t
+    dp(const char *op, unsigned rd, unsigned rn, unsigned rm,
+       unsigned shimm = 0, unsigned shtype = 0, unsigned sflag = 0,
+       unsigned cond = 14)
+    {
+        return mustEncode(*spec_, op,
+                          {{"cond", cond},
+                           {"sflag", sflag},
+                           {"rn", rn},
+                           {"rd", rd},
+                           {"shimm", shimm},
+                           {"shtype", shtype},
+                           {"rm", rm}});
+    }
+
+    static Spec *spec_;
+    std::unique_ptr<SimContext> ctx_;
+    DynInst lastDi_;
+    int cpsrIdx_ = -1;
+};
+
+Spec *Arm32Test::spec_ = nullptr;
+
+TEST_F(Arm32Test, DescriptionLoads)
+{
+    EXPECT_EQ(spec_->props.name, "arm32");
+    EXPECT_EQ(spec_->props.wordBits, 32u);
+    EXPECT_GE(spec_->instrs.size(), 50u);
+}
+
+TEST_F(Arm32Test, AddRegister)
+{
+    setReg(1, 5);
+    setReg(2, 7);
+    EXPECT_EQ(run1(dp("add_r", 0, 1, 2)), RunStatus::Ok);
+    EXPECT_EQ(reg(0), 12u);
+    EXPECT_EQ(cpsr(), 0u); // S clear: flags untouched
+}
+
+TEST_F(Arm32Test, AddImmediateRotated)
+{
+    // mov r0, #0xff000000  (imm8=0xff ror 8 -> rot=4)
+    uint32_t w = mustEncode(*spec_, "mov_i",
+                            {{"cond", 14},
+                             {"sflag", 0},
+                             {"rn", 0},
+                             {"rd", 0},
+                             {"rot", 4},
+                             {"imm8", 0xff}});
+    EXPECT_EQ(run1(w), RunStatus::Ok);
+    EXPECT_EQ(reg(0), 0xff000000u);
+}
+
+TEST_F(Arm32Test, SubSetsCarryAsNotBorrow)
+{
+    setReg(1, 5);
+    setReg(2, 3);
+    run1(dp("sub_r", 0, 1, 2, 0, 0, 1));
+    EXPECT_EQ(reg(0), 2u);
+    EXPECT_TRUE(cpsr() & kC);  // no borrow
+    EXPECT_FALSE(cpsr() & kN);
+    EXPECT_FALSE(cpsr() & kZ);
+
+    setReg(1, 3);
+    setReg(2, 5);
+    run1(dp("sub_r", 0, 1, 2, 0, 0, 1));
+    EXPECT_EQ(reg(0), static_cast<uint32_t>(-2));
+    EXPECT_FALSE(cpsr() & kC); // borrow
+    EXPECT_TRUE(cpsr() & kN);
+}
+
+TEST_F(Arm32Test, AddsOverflowAndZeroFlags)
+{
+    setReg(1, 0x7fffffff);
+    setReg(2, 1);
+    run1(dp("add_r", 0, 1, 2, 0, 0, 1));
+    EXPECT_TRUE(cpsr() & kV);
+    EXPECT_TRUE(cpsr() & kN);
+
+    setReg(1, 0);
+    setReg(2, 0);
+    run1(dp("add_r", 0, 1, 2, 0, 0, 1));
+    EXPECT_TRUE(cpsr() & kZ);
+}
+
+TEST_F(Arm32Test, AdcUsesCarryIn)
+{
+    setCpsr(kC);
+    setReg(1, 1);
+    setReg(2, 2);
+    run1(dp("adc_r", 0, 1, 2));
+    EXPECT_EQ(reg(0), 4u);
+}
+
+TEST_F(Arm32Test, SbcSubtractsNotCarry)
+{
+    setCpsr(0); // carry clear: extra -1
+    setReg(1, 10);
+    setReg(2, 3);
+    run1(dp("sbc_r", 0, 1, 2));
+    EXPECT_EQ(reg(0), 6u);
+    setCpsr(kC);
+    run1(dp("sbc_r", 0, 1, 2));
+    EXPECT_EQ(reg(0), 7u);
+}
+
+TEST_F(Arm32Test, ShifterLslWithCarryOut)
+{
+    setReg(1, 0);
+    setReg(2, 0x80000001);
+    // movs r0, r2, lsl #1
+    run1(dp("mov_r", 0, 0, 2, 1, 0, 1));
+    EXPECT_EQ(reg(0), 2u);
+    EXPECT_TRUE(cpsr() & kC); // bit 31 shifted out
+}
+
+TEST_F(Arm32Test, ShifterLsrZeroMeansThirtyTwo)
+{
+    setReg(2, 0x80000000);
+    run1(dp("mov_r", 0, 0, 2, 0, 1, 1)); // LSR #32
+    EXPECT_EQ(reg(0), 0u);
+    EXPECT_TRUE(cpsr() & kC); // bit 31 out
+    EXPECT_TRUE(cpsr() & kZ);
+}
+
+TEST_F(Arm32Test, ShifterAsrAndRor)
+{
+    setReg(2, 0x80000000);
+    run1(dp("mov_r", 0, 0, 2, 4, 2)); // ASR #4
+    EXPECT_EQ(reg(0), 0xf8000000u);
+    setReg(2, 0x0000000f);
+    run1(dp("mov_r", 0, 0, 2, 4, 3)); // ROR #4
+    EXPECT_EQ(reg(0), 0xf0000000u);
+}
+
+TEST_F(Arm32Test, ShifterRrxUsesCarry)
+{
+    setCpsr(kC);
+    setReg(2, 2);
+    run1(dp("mov_r", 0, 0, 2, 0, 3)); // ROR #0 == RRX
+    EXPECT_EQ(reg(0), 0x80000001u);
+}
+
+TEST_F(Arm32Test, ConditionalExecutionSkipsWhenFalse)
+{
+    setCpsr(0); // Z clear
+    setReg(0, 111);
+    setReg(1, 1);
+    setReg(2, 2);
+    // addeq r0, r1, r2 -- must not execute
+    run1(dp("add_r", 0, 1, 2, 0, 0, 0, /*cond=*/0));
+    EXPECT_EQ(reg(0), 111u);
+
+    setCpsr(kZ);
+    run1(dp("add_r", 0, 1, 2, 0, 0, 0, /*cond=*/0));
+    EXPECT_EQ(reg(0), 3u);
+}
+
+TEST_F(Arm32Test, ConditionCodesMatrix)
+{
+    struct CondCase
+    {
+        unsigned cond;
+        uint32_t cpsr;
+        bool should;
+    };
+    const CondCase cases[] = {
+        {0, kZ, true},   {0, 0, false},      // EQ
+        {1, 0, true},    {1, kZ, false},     // NE
+        {2, kC, true},   {3, kC, false},     // CS / CC
+        {4, kN, true},   {5, kN, false},     // MI / PL
+        {6, kV, true},   {7, 0, true},       // VS / VC
+        {8, kC, true},   {8, kC | kZ, false},// HI
+        {9, kZ, true},   {9, kC, false},     // LS
+        {10, kN | kV, true}, {10, kN, false},// GE
+        {11, kN, true},  {11, kN | kV, false},// LT
+        {12, 0, true},   {12, kZ, false},    // GT
+        {13, kZ, true},  {13, 0, false},     // LE
+        {14, 0, true},                       // AL
+    };
+    for (const auto &c : cases) {
+        setCpsr(c.cpsr);
+        setReg(0, 99);
+        setReg(1, 1);
+        setReg(2, 1);
+        run1(dp("add_r", 0, 1, 2, 0, 0, 0, c.cond));
+        EXPECT_EQ(reg(0), c.should ? 2u : 99u)
+            << "cond=" << c.cond << " cpsr=" << std::hex << c.cpsr;
+    }
+}
+
+TEST_F(Arm32Test, CmpAndBranchFlow)
+{
+    setReg(1, 5);
+    setReg(2, 5);
+    run1(dp("cmp_r", 0, 1, 2, 0, 0, 1));
+    EXPECT_TRUE(cpsr() & kZ);
+    // beq +2 (target = pc + 8 + 8)
+    uint32_t b = mustEncode(*spec_, "b",
+                            {{"cond", 0}, {"off24", 2}});
+    EXPECT_EQ(run1(b), RunStatus::Ok);
+    EXPECT_TRUE(lastDi_.branchTaken());
+    EXPECT_EQ(ctx_->state().pc(), 0x8000u + 8 + 8);
+}
+
+TEST_F(Arm32Test, BranchBackwardDisplacement)
+{
+    uint32_t b = mustEncode(*spec_, "b",
+                            {{"cond", 14},
+                             {"off24", (1u << 24) - 4}}); // -4 words
+    run1(b);
+    EXPECT_EQ(ctx_->state().pc(), 0x8000u + 8 - 16);
+}
+
+TEST_F(Arm32Test, BranchAndLinkWritesR14)
+{
+    uint32_t bl = mustEncode(*spec_, "bl",
+                             {{"cond", 14}, {"off24", 1}});
+    run1(bl);
+    EXPECT_EQ(reg(14), 0x8004u);
+    EXPECT_EQ(ctx_->state().pc(), 0x8000u + 8 + 4);
+}
+
+TEST_F(Arm32Test, BxClearsThumbBit)
+{
+    setReg(3, 0x9001);
+    uint32_t bx = mustEncode(*spec_, "bx", {{"cond", 14}, {"rm", 3}});
+    run1(bx);
+    EXPECT_EQ(ctx_->state().pc(), 0x9000u);
+}
+
+TEST_F(Arm32Test, MulAndMla)
+{
+    setReg(1, 7);
+    setReg(2, 6);
+    setReg(3, 100);
+    uint32_t mul = mustEncode(*spec_, "mul",
+                              {{"cond", 14},
+                               {"sflag", 0},
+                               {"rd", 0},
+                               {"rn", 0},
+                               {"rs", 2},
+                               {"rm", 1}});
+    run1(mul);
+    EXPECT_EQ(reg(0), 42u);
+    uint32_t mla = mustEncode(*spec_, "mla",
+                              {{"cond", 14},
+                               {"sflag", 0},
+                               {"rd", 0},
+                               {"rn", 3},
+                               {"rs", 2},
+                               {"rm", 1}});
+    run1(mla);
+    EXPECT_EQ(reg(0), 142u);
+}
+
+TEST_F(Arm32Test, LongMultiplies)
+{
+    setReg(1, 0xffffffff);
+    setReg(2, 0xffffffff);
+    uint32_t umull = mustEncode(*spec_, "umull",
+                                {{"cond", 14},
+                                 {"sflag", 0},
+                                 {"rdhi", 4},
+                                 {"rdlo", 3},
+                                 {"rs", 2},
+                                 {"rm", 1}});
+    run1(umull);
+    // 0xffffffff^2 = 0xfffffffe00000001
+    EXPECT_EQ(reg(4), 0xfffffffeu);
+    EXPECT_EQ(reg(3), 0x00000001u);
+
+    uint32_t smull = mustEncode(*spec_, "smull",
+                                {{"cond", 14},
+                                 {"sflag", 0},
+                                 {"rdhi", 4},
+                                 {"rdlo", 3},
+                                 {"rs", 2},
+                                 {"rm", 1}});
+    run1(smull);
+    // (-1) * (-1) = 1
+    EXPECT_EQ(reg(4), 0u);
+    EXPECT_EQ(reg(3), 1u);
+}
+
+TEST_F(Arm32Test, LoadStoreOffsets)
+{
+    FaultKind f = FaultKind::None;
+    ctx_->mem().write(0x20010, 0xcafebabe, 4, f);
+    setReg(1, 0x20000);
+    uint32_t ldr = mustEncode(*spec_, "ldr",
+                              {{"cond", 14},
+                               {"pbit", 1},
+                               {"ubit", 1},
+                               {"wbit", 0},
+                               {"rn", 1},
+                               {"rd", 0},
+                               {"off12", 0x10}});
+    run1(ldr);
+    EXPECT_EQ(reg(0), 0xcafebabeu);
+
+    // Negative offset (ubit=0).
+    setReg(1, 0x20020);
+    uint32_t ldr2 = mustEncode(*spec_, "ldr",
+                               {{"cond", 14},
+                                {"pbit", 1},
+                                {"ubit", 0},
+                                {"wbit", 0},
+                                {"rn", 1},
+                                {"rd", 2},
+                                {"off12", 0x10}});
+    run1(ldr2);
+    EXPECT_EQ(reg(2), 0xcafebabeu);
+}
+
+TEST_F(Arm32Test, PreIndexWritebackAndPostIndex)
+{
+    FaultKind f = FaultKind::None;
+    ctx_->mem().write(0x20010, 0x11, 4, f);
+    ctx_->mem().write(0x20000, 0x22, 4, f);
+
+    // Pre-indexed with writeback: ldr r0, [r1, #0x10]!
+    setReg(1, 0x20000);
+    run1(mustEncode(*spec_, "ldr",
+                    {{"cond", 14},
+                     {"pbit", 1},
+                     {"ubit", 1},
+                     {"wbit", 1},
+                     {"rn", 1},
+                     {"rd", 0},
+                     {"off12", 0x10}}));
+    EXPECT_EQ(reg(0), 0x11u);
+    EXPECT_EQ(reg(1), 0x20010u);
+
+    // Post-indexed: ldr r0, [r1], #0x10
+    setReg(1, 0x20000);
+    run1(mustEncode(*spec_, "ldr",
+                    {{"cond", 14},
+                     {"pbit", 0},
+                     {"ubit", 1},
+                     {"wbit", 0},
+                     {"rn", 1},
+                     {"rd", 0},
+                     {"off12", 0x10}}));
+    EXPECT_EQ(reg(0), 0x22u); // accessed at rn, then rn updated
+    EXPECT_EQ(reg(1), 0x20010u);
+}
+
+TEST_F(Arm32Test, HalfwordAndSignedLoads)
+{
+    FaultKind f = FaultKind::None;
+    ctx_->mem().write(0x20000, 0x8081, 2, f);
+    setReg(1, 0x20000);
+    auto mls = [&](const char *op, unsigned rd) {
+        return mustEncode(*spec_, op,
+                          {{"cond", 14},
+                           {"ubit", 1},
+                           {"rn", 1},
+                           {"rd", rd},
+                           {"immhi", 0},
+                           {"immlo", 0}});
+    };
+    run1(mls("ldrh", 0));
+    EXPECT_EQ(reg(0), 0x8081u);
+    run1(mls("ldrsh", 2));
+    EXPECT_EQ(reg(2), 0xffff8081u);
+    run1(mls("ldrsb", 3));
+    EXPECT_EQ(reg(3), 0xffffff81u);
+}
+
+TEST_F(Arm32Test, ClzMrsMsr)
+{
+    setReg(1, 0x00010000);
+    run1(mustEncode(*spec_, "clz", {{"cond", 14}, {"rd", 0}, {"rm", 1}}));
+    EXPECT_EQ(reg(0), 15u);
+
+    setCpsr(kN | kC);
+    run1(mustEncode(*spec_, "mrs", {{"cond", 14}, {"rd", 2}}));
+    EXPECT_EQ(reg(2), kN | kC);
+
+    setReg(3, kZ | 0x1234); // only flag bits transfer
+    run1(mustEncode(*spec_, "msr", {{"cond", 14}, {"rm", 3}}));
+    EXPECT_EQ(cpsr() & 0xf0000000, kZ);
+}
+
+TEST_F(Arm32Test, ShifterOutIsVisibleInterfaceInformation)
+{
+    // The paper's ARM example: the shifter output is intermediate
+    // information a timing simulator may want.
+    setReg(1, 1);
+    setReg(2, 0x10);
+    run1(dp("add_r", 0, 1, 2, 4, 0)); // r2 lsl #4 = 0x100
+    int slot = spec_->findSlot("shifter_out");
+    ASSERT_GE(slot, 0);
+    EXPECT_TRUE(lastDi_.slotWritten(slot));
+    EXPECT_EQ(lastDi_.vals[slot], 0x100u);
+}
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the label-aware assembler and the kernel builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "support/panic_exception.hpp"
+#include "testutil.hpp"
+#include "workload/assembler.hpp"
+#include "workload/builder.hpp"
+
+namespace onespec {
+namespace {
+
+class AssemblerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { spec_ = test::makeMiniSpec(); }
+    std::unique_ptr<Spec> spec_;
+};
+
+TEST_F(AssemblerTest, EmitsSequentialWords)
+{
+    Assembler a(*spec_, 0x1000, 0x8000);
+    EXPECT_EQ(a.codeAddr(), 0x1000u);
+    a.emit("li", {{"ra", 1}, {"imm", 5}});
+    EXPECT_EQ(a.codeAddr(), 0x1004u);
+    a.emit("hlt", {});
+    Program p = a.finish("t");
+    EXPECT_EQ(p.entry, 0x1000u);
+    ASSERT_EQ(p.segments.size(), 1u);
+    EXPECT_EQ(p.segments[0].bytes.size(), 8u);
+}
+
+TEST_F(AssemblerTest, ForwardAndBackwardBranchFixups)
+{
+    Assembler a(*spec_, 0x1000, 0x8000);
+    int fwd = a.newLabel();
+    int back = a.newLabel();
+    a.bind(back);
+    // beq r7(zero) -> fwd : taken, skips the hlt
+    a.emitBranch("beq", {{"ra", 7}}, "imm", fwd, 4, 2);
+    a.emit("hlt", {});
+    a.bind(fwd);
+    a.emitBranch("br", {{"ra", 0}}, "imm", back, 4, 2);
+    Program p = a.finish("t");
+
+    // Word 0: displacement to fwd (= +1 instruction).
+    uint32_t w0 = p.segments[0].bytes[0] |
+                  (p.segments[0].bytes[1] << 8) |
+                  (p.segments[0].bytes[2] << 16) |
+                  (p.segments[0].bytes[3] << 24);
+    EXPECT_EQ(w0 & 0xffff, 1u);
+    // Word 2: displacement back to 0x1000 = -3 instructions.
+    uint32_t w2 = p.segments[0].bytes[8] |
+                  (p.segments[0].bytes[9] << 8) |
+                  (p.segments[0].bytes[10] << 16) |
+                  (p.segments[0].bytes[11] << 24);
+    EXPECT_EQ(w2 & 0xffff, 0xfffdu);
+}
+
+TEST_F(AssemblerTest, UnboundLabelPanicsAtFinish)
+{
+    Assembler a(*spec_, 0x1000, 0x8000);
+    int l = a.newLabel();
+    a.emitBranch("br", {{"ra", 0}}, "imm", l, 4, 2);
+    ScopedThrowOnPanic guard;
+    EXPECT_THROW(a.finish("t"), PanicException);
+}
+
+TEST_F(AssemblerTest, DoubleBindPanics)
+{
+    Assembler a(*spec_, 0x1000, 0x8000);
+    int l = a.newLabel();
+    a.bind(l);
+    ScopedThrowOnPanic guard;
+    EXPECT_THROW(a.bind(l), PanicException);
+}
+
+TEST_F(AssemblerTest, DisplacementOutOfRangePanics)
+{
+    Assembler a(*spec_, 0x1000, 0x8000);
+    int l = a.newLabel();
+    a.emitBranch("beq", {{"ra", 1}}, "imm", l, 4, 2);
+    // Put the target ~2^18 instructions away: imm is 16 bits -> overflow.
+    for (int i = 0; i < (1 << 16); ++i)
+        a.emit("hlt", {});
+    a.bind(l);
+    ScopedThrowOnPanic guard;
+    EXPECT_THROW(a.finish("t"), PanicException);
+}
+
+TEST_F(AssemblerTest, DataAllocationAlignsAndInitializes)
+{
+    Assembler a(*spec_, 0x1000, 0x8000);
+    uint64_t d1 = a.dataAlloc(3, "abc", 1);
+    uint64_t d2 = a.dataAlloc(8, nullptr, 8);
+    EXPECT_EQ(d1, 0x8000u);
+    EXPECT_EQ(d2 % 8, 0u);
+    EXPECT_GT(d2, d1);
+    a.emit("hlt", {});
+    Program p = a.finish("t");
+    ASSERT_EQ(p.segments.size(), 2u);
+    EXPECT_EQ(p.segments[1].bytes[0], 'a');
+}
+
+TEST(BuilderTest, WordSizesMatchIsas)
+{
+    EXPECT_EQ(makeBuilder(*loadIsa("alpha64"))->wordBytes(), 8u);
+    EXPECT_EQ(makeBuilder(*loadIsa("arm32"))->wordBytes(), 4u);
+    EXPECT_EQ(makeBuilder(*loadIsa("ppc32"))->wordBytes(), 4u);
+}
+
+/** Portable-builder op correctness across all three ISAs. */
+class BuilderOpsTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BuilderOpsTest, FundamentalOpsBehaveIdentically)
+{
+    auto spec = loadIsa(GetParam());
+    auto b = makeBuilder(*spec);
+    // v0 = ((5 + 7) * 3 - 6) ^ 0xf  = 30 ^ 15 = 17; store/load word;
+    // then compare-branch sanity: if v0 != 17 -> exit(1) else exit(0).
+    uint64_t buf = b->dataAlloc(16);
+    b->li(0, 5);
+    b->li(1, 7);
+    b->add(0, 0, 1);
+    b->li(1, 3);
+    b->mul(0, 0, 1);
+    b->addi(0, 0, -6);
+    b->li(1, 0xf);
+    b->xor_(0, 0, 1);
+    b->li(2, buf);
+    b->storew(0, 2, 8);
+    b->loadw(3, 2, 8);
+    b->li(4, 17);
+    int bad = b->newLabel(), done = b->newLabel();
+    b->bne(3, 4, bad);
+    b->shli(3, 3, 2);      // 68
+    b->shri(3, 3, 1);      // 34
+    b->li(4, 34);
+    b->bne(3, 4, bad);
+    b->li(4, 0x80);
+    b->storeb(4, 2, 0);
+    b->loadb(5, 2, 0);
+    b->li(4, 0x80);
+    b->bne(5, 4, bad);
+    b->emitExit(6, 0);
+    b->bind(bad);
+    b->emitExit(6, 1);
+    b->bind(done);
+    Program p = b->finish("ops");
+
+    SimContext ctx(*spec);
+    ctx.load(p);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    RunResult rr = sim->run(10000);
+    EXPECT_EQ(rr.status, RunStatus::Halted);
+    EXPECT_EQ(ctx.os().exitCode(), 0) << GetParam();
+}
+
+TEST_P(BuilderOpsTest, SignedAndUnsignedBranches)
+{
+    auto spec = loadIsa(GetParam());
+    auto b = makeBuilder(*spec);
+    int bad = b->newLabel();
+    // -1 < 1 signed, but not unsigned.  Built via addi so the value is
+    // sign-extended at the ISA's word size.
+    b->li(0, 0);
+    b->addi(0, 0, -1);
+    b->li(1, 1);
+    int ok1 = b->newLabel();
+    b->blt(0, 1, ok1);      // signed: taken
+    b->jmp(bad);
+    b->bind(ok1);
+    int ok2 = b->newLabel();
+    b->bltu(1, 0, ok2);     // unsigned: 1 < 0xffffffff taken
+    b->jmp(bad);
+    b->bind(ok2);
+    int ok3 = b->newLabel();
+    b->bge(1, 0, ok3);      // signed: 1 >= -1 taken
+    b->jmp(bad);
+    b->bind(ok3);
+    b->emitExit(6, 0);
+    b->bind(bad);
+    b->emitExit(6, 1);
+    Program p = b->finish("branches");
+
+    SimContext ctx(*spec);
+    ctx.load(p);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    EXPECT_EQ(sim->run(1000).status, RunStatus::Halted);
+    EXPECT_EQ(ctx.os().exitCode(), 0) << GetParam();
+}
+
+TEST_P(BuilderOpsTest, SarShiftsArithmetically)
+{
+    auto spec = loadIsa(GetParam());
+    auto b = makeBuilder(*spec);
+    // -256 built via addi so it is sign-extended at the ISA's word size
+    // (a raw 0xffffff00 literal would be zero-extended on alpha64).
+    b->li(0, 0);
+    b->addi(0, 0, -256);
+    b->sari(0, 0, 4);     // -16
+    b->li(1, 0xfffffff0);
+    int bad = b->newLabel();
+    // Compare low 32 bits (alpha keeps it sign-extended to 64).
+    b->li(2, 0xffffffff);
+    b->and_(0, 0, 2);
+    b->and_(1, 1, 2);
+    b->bne(0, 1, bad);
+    b->emitExit(6, 0);
+    b->bind(bad);
+    b->emitExit(6, 1);
+    Program p = b->finish("sar");
+    SimContext ctx(*spec);
+    ctx.load(p);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    EXPECT_EQ(sim->run(1000).status, RunStatus::Halted);
+    EXPECT_EQ(ctx.os().exitCode(), 0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, BuilderOpsTest,
+                         ::testing::ValuesIn(shippedIsas()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace onespec

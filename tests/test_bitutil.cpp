@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers every layer builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitutil.hpp"
+
+namespace onespec {
+namespace {
+
+TEST(BitUtil, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(16), 0xffffu);
+    EXPECT_EQ(lowMask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(lowMask(64), ~uint64_t{0});
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 4), 0xeu);
+    EXPECT_EQ(bits(0x80000000u, 31, 31), 1u);
+    EXPECT_EQ(bits(~uint64_t{0}, 63, 0), ~uint64_t{0});
+}
+
+TEST(BitUtil, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 8, 0), 0xffff00ffu);
+    EXPECT_EQ(insertBits(0, 31, 31, 1), 0x80000000u);
+    // Value wider than the field is masked.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(BitUtil, SextZext)
+{
+    EXPECT_EQ(sext(0x80, 8), 0xffffffffffffff80ull);
+    EXPECT_EQ(sext(0x7f, 8), 0x7fu);
+    EXPECT_EQ(sext(0xffff, 16), ~uint64_t{0});
+    EXPECT_EQ(sext(0x8000, 16), 0xffffffffffff8000ull);
+    EXPECT_EQ(sext(5, 64), 5u);
+    EXPECT_EQ(zext(0xffffffffffffff80ull, 8), 0x80u);
+    EXPECT_EQ(zext(~uint64_t{0}, 32), 0xffffffffull);
+}
+
+TEST(BitUtil, Rotates)
+{
+    EXPECT_EQ(rotl32(0x80000001u, 1), 0x00000003u);
+    EXPECT_EQ(rotr32(0x00000003u, 1), 0x80000001u);
+    EXPECT_EQ(rotl32(0x12345678u, 0), 0x12345678u);
+    EXPECT_EQ(rotl64(uint64_t{1} << 63, 1), 1u);
+    EXPECT_EQ(rotr64(1, 1), uint64_t{1} << 63);
+}
+
+TEST(BitUtil, Counts)
+{
+    EXPECT_EQ(clz(0, 32), 32u);
+    EXPECT_EQ(clz(1, 32), 31u);
+    EXPECT_EQ(clz(0x80000000u, 32), 0u);
+    EXPECT_EQ(clz(1, 64), 63u);
+    EXPECT_EQ(ctz(0, 64), 64u);
+    EXPECT_EQ(ctz(8, 64), 3u);
+    EXPECT_EQ(popcount(0xffu), 8u);
+    EXPECT_EQ(popcount(0), 0u);
+}
+
+TEST(BitUtil, CarryOut)
+{
+    EXPECT_EQ(carryOut(0xffffffffu, 1, 0, 32), 1u);
+    EXPECT_EQ(carryOut(0xfffffffeu, 1, 0, 32), 0u);
+    EXPECT_EQ(carryOut(0xfffffffeu, 1, 1, 32), 1u);
+    EXPECT_EQ(carryOut(~uint64_t{0}, 1, 0, 64), 1u);
+    EXPECT_EQ(carryOut(~uint64_t{0}, 0, 1, 64), 1u);
+    EXPECT_EQ(carryOut(1, 2, 0, 64), 0u);
+    // Subtraction borrow convention: a - b == a + ~b + 1; carry means
+    // no borrow.
+    EXPECT_EQ(carryOut(5, ~uint64_t{3}, 1, 64), 1u); // 5 >= 3
+    EXPECT_EQ(carryOut(3, ~uint64_t{5}, 1, 64), 0u); // 3 < 5
+}
+
+TEST(BitUtil, OverflowAdd)
+{
+    EXPECT_EQ(overflowAdd(0x7fffffffu, 1, 0, 32), 1u);
+    EXPECT_EQ(overflowAdd(0x80000000u, 0xffffffffu, 0, 32), 1u);
+    EXPECT_EQ(overflowAdd(1, 1, 0, 32), 0u);
+    EXPECT_EQ(overflowAdd(0x7fffffffffffffffull, 1, 0, 64), 1u);
+}
+
+TEST(BitUtil, Alignment)
+{
+    EXPECT_TRUE(isAligned(0, 8));
+    EXPECT_TRUE(isAligned(64, 8));
+    EXPECT_FALSE(isAligned(4, 8));
+    EXPECT_TRUE(isAligned(4, 4));
+}
+
+class SextRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SextRoundTrip, SextThenZextRecoversLowBits)
+{
+    unsigned n = GetParam();
+    for (uint64_t v :
+         {uint64_t{0}, uint64_t{1}, lowMask(n), lowMask(n) >> 1,
+          uint64_t{1} << (n - 1)}) {
+        EXPECT_EQ(zext(sext(v, n), n), v & lowMask(n)) << n << " " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SextRoundTrip,
+                         ::testing::Values(1u, 8u, 13u, 16u, 21u, 32u,
+                                           48u, 63u, 64u));
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Encoder tests, including the key derived-assembler property: for every
+ * instruction of every shipped ISA, encoding (with randomized operand
+ * fields) and then decoding returns the same instruction.  Because
+ * encoder and decoder are two views of one specification, this property
+ * is what guarantees the workload generator and the simulators agree.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "adl/encode.hpp"
+#include "isa/isa.hpp"
+#include "support/bitutil.hpp"
+#include "support/panic_exception.hpp"
+#include "testutil.hpp"
+
+namespace onespec {
+namespace {
+
+TEST(Encode, FieldsArePlacedAtTheirBitPositions)
+{
+    auto spec = test::makeMiniSpec();
+    uint32_t w = mustEncode(*spec, "add",
+                            {{"ra", 3}, {"rb", 5}, {"rc", 7}});
+    EXPECT_EQ(bits(w, 31, 26), 1u);  // op
+    EXPECT_EQ(bits(w, 25, 21), 3u);  // ra
+    EXPECT_EQ(bits(w, 20, 16), 5u);  // rb
+    EXPECT_EQ(bits(w, 15, 11), 7u);  // rc
+}
+
+TEST(Encode, UnknownFieldFails)
+{
+    auto spec = test::makeMiniSpec();
+    uint32_t out;
+    std::string err;
+    EXPECT_FALSE(encodeInstr(*spec, spec->instrIndex.at("add"),
+                             {{"nosuch", 1}}, out, err));
+    EXPECT_NE(err.find("no field"), std::string::npos);
+}
+
+TEST(Encode, ValueTooWideFails)
+{
+    auto spec = test::makeMiniSpec();
+    uint32_t out;
+    std::string err;
+    EXPECT_FALSE(encodeInstr(*spec, spec->instrIndex.at("add"),
+                             {{"ra", 32}}, out, err));
+    EXPECT_NE(err.find("does not fit"), std::string::npos);
+}
+
+TEST(Encode, ConflictWithMatchPatternFails)
+{
+    auto spec = test::makeMiniSpec();
+    uint32_t out;
+    std::string err;
+    // `op` is fixed to 1 by add's match; writing 2 conflicts.
+    EXPECT_FALSE(encodeInstr(*spec, spec->instrIndex.at("add"),
+                             {{"op", 2}}, out, err));
+}
+
+TEST(Encode, MatchingFixedValueIsAllowed)
+{
+    auto spec = test::makeMiniSpec();
+    uint32_t out;
+    std::string err;
+    EXPECT_TRUE(encodeInstr(*spec, spec->instrIndex.at("add"),
+                            {{"op", 1}, {"ra", 2}}, out, err))
+        << err;
+}
+
+TEST(Encode, UnknownInstructionPanics)
+{
+    auto spec = test::makeMiniSpec();
+    ScopedThrowOnPanic guard;
+    EXPECT_THROW(mustEncode(*spec, "nosuch", {}), PanicException);
+}
+
+// ---------------------------------------------------------------------
+// Property: encode(decode-pattern + random operands) decodes back to the
+// same instruction, for every instruction of every shipped ISA.
+// ---------------------------------------------------------------------
+
+class EncodeDecodeRoundTrip
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EncodeDecodeRoundTrip, EveryInstructionSurvives)
+{
+    auto spec = loadIsa(GetParam());
+    std::mt19937_64 rng(42);
+
+    for (size_t id = 0; id < spec->instrs.size(); ++id) {
+        const InstrInfo &ii = spec->instrs[id];
+        const FormatDecl &fmt = spec->formats[ii.formatIndex];
+        for (int trial = 0; trial < 16; ++trial) {
+            // Randomize every non-fixed format field.
+            std::vector<EncField> fields;
+            for (const auto &ff : fmt.fields) {
+                unsigned width = ff.hi - ff.lo + 1;
+                uint32_t fmask = static_cast<uint32_t>(lowMask(width))
+                                 << ff.lo;
+                if (fmask & ii.fixedMask)
+                    continue; // fixed by the match pattern
+                fields.emplace_back(ff.name, rng() & lowMask(width));
+            }
+            uint32_t word;
+            std::string err;
+            ASSERT_TRUE(encodeInstr(*spec, static_cast<int>(id), fields,
+                                    word, err))
+                << ii.name << ": " << err;
+            int back = spec->decode(word);
+            ASSERT_GE(back, 0) << ii.name << " word=" << std::hex << word;
+            // Random operand bits may accidentally form a *more specific*
+            // sibling encoding (e.g. a literal-form vs register-form
+            // distinction); the decoded instruction must at least carry
+            // the same fixed pattern.
+            const InstrInfo &bi = spec->instrs[back];
+            EXPECT_EQ(word & ii.fixedMask, ii.fixedBits) << ii.name;
+            EXPECT_EQ(word & bi.fixedMask, bi.fixedBits) << ii.name;
+            if (static_cast<size_t>(back) != id) {
+                // Only acceptable if the decoded instruction is more
+                // specific (its mask covers ours).
+                EXPECT_EQ(bi.fixedMask & ii.fixedMask, ii.fixedMask)
+                    << ii.name << " decoded as " << bi.name;
+            }
+        }
+        // The canonical encoding (all operand fields zero) must decode
+        // to an instruction with the same fixed pattern.
+        int canon = spec->decode(ii.fixedBits);
+        ASSERT_GE(canon, 0) << ii.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, EncodeDecodeRoundTrip,
+                         ::testing::ValuesIn(shippedIsas()),
+                         [](const auto &info) { return info.param; });
+
+class DecodeProperties : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DecodeProperties, RandomWordsDecodeConsistentlyWithLinearScan)
+{
+    // The decode tree must agree with a brute-force most-specific-first
+    // linear scan on arbitrary words.
+    auto spec = loadIsa(GetParam());
+    std::mt19937_64 rng(7);
+
+    auto linear = [&](uint32_t w) -> int {
+        int best = -1;
+        int best_bits = -1;
+        for (size_t i = 0; i < spec->instrs.size(); ++i) {
+            const InstrInfo &ii = spec->instrs[i];
+            if ((w & ii.fixedMask) == ii.fixedBits) {
+                int nb = __builtin_popcount(ii.fixedMask);
+                if (nb > best_bits) {
+                    best_bits = nb;
+                    best = static_cast<int>(i);
+                }
+            }
+        }
+        return best;
+    };
+
+    for (int t = 0; t < 5000; ++t) {
+        uint32_t w = static_cast<uint32_t>(rng());
+        int a = spec->decode(w);
+        int b = linear(w);
+        if (b < 0) {
+            EXPECT_LT(a, 0) << std::hex << w;
+        } else {
+            ASSERT_GE(a, 0) << std::hex << w;
+            // Equal specificity may pick either; patterns must both
+            // match.
+            EXPECT_EQ(w & spec->instrs[a].fixedMask,
+                      spec->instrs[a].fixedBits)
+                << std::hex << w;
+            EXPECT_EQ(__builtin_popcount(spec->instrs[a].fixedMask),
+                      __builtin_popcount(spec->instrs[b].fixedMask))
+                << std::hex << w << " tree=" << spec->instrs[a].name
+                << " linear=" << spec->instrs[b].name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, DecodeProperties,
+                         ::testing::ValuesIn(shippedIsas()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Action-language semantics: each case wraps a snippet into a one-
+ * instruction ISA, runs it through the interpreter, and checks the value
+ * of the `out` field.  Covers the typing rules (promotion, literal
+ * adoption, C-style shift promotion), deterministic division, shifts
+ * beyond width, builtins, and control flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/parser.hpp"
+#include "adl/sema.hpp"
+#include "iface/dyninst.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "testutil.hpp"
+
+namespace onespec {
+namespace {
+
+struct EvalCase
+{
+    const char *name;
+    const char *body;       ///< statements; must assign `out`
+    uint64_t expected;
+};
+
+class EvalTest : public ::testing::TestWithParam<EvalCase>
+{
+};
+
+uint64_t
+runSnippet(const std::string &body)
+{
+    std::string src = R"(
+isa t { bits 64; instr_bytes 4; endian little; }
+state { regfile R[4] : u64; }
+abi { syscall_num R[0]; arg R[1]; ret R[0]; stack R[3]; }
+field out : u64;
+format F { op[31:26] pad[25:0] }
+instr compute : F match op == 1 {
+    action execute {
+)" + body + R"(
+    }
+}
+buildset B { semantic one; info all; }
+)";
+    DiagnosticEngine diags;
+    Description d = parseString(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    auto spec = analyze(std::move(d), diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+
+    SimContext ctx(*spec);
+    Program p;
+    p.entry = 0x1000;
+    Segment s;
+    s.base = 0x1000;
+    uint32_t w = spec->instrs[0].fixedBits;
+    for (int i = 0; i < 4; ++i)
+        s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    p.segments.push_back(std::move(s));
+    ctx.load(p);
+
+    InterpSimulator sim(ctx, *spec->findBuildset("B"));
+    DynInst di;
+    EXPECT_EQ(sim.execute(di), RunStatus::Ok);
+    int slot = spec->findSlot("out");
+    EXPECT_TRUE(di.slotWritten(slot));
+    return di.vals[slot];
+}
+
+TEST_P(EvalTest, SnippetProducesExpectedValue)
+{
+    EXPECT_EQ(runSnippet(GetParam().body), GetParam().expected)
+        << GetParam().body;
+}
+
+const EvalCase kCases[] = {
+    // --- literals and basic arithmetic
+    {"add", "out = 2 + 3;", 5},
+    {"hex", "out = 0xff00 | 0xff;", 0xffff},
+    {"mul_wrap64", "u64 a = 0x8000000000000001; out = a * 2;", 2},
+    {"sub_underflow", "out = 0 - 1;", ~uint64_t{0}},
+
+    // --- typed locals wrap at their width
+    {"u8_wrap", "u8 a = 255; a = a + 1; out = a;", 0},
+    {"u16_wrap", "u16 a = 0xffff; a = a + 3; out = a;", 2},
+    {"u32_wrap", "u32 a = 0xffffffff; a = a + 1; out = a;", 0},
+    {"s8_signext", "s8 a = 0xff; out = (u64)a;", ~uint64_t{0}},
+    {"s16_store_normalizes", "s16 a = 0x8000; out = (u64)a;",
+     0xffffffffffff8000ull},
+
+    // --- literal adoption: literal takes the other operand's type
+    {"lit_adopts_u32", "u32 a = 0xffffffff; out = a + 1;", 0},
+    {"lit_adopts_s32_cmp", "s32 a = 0xffffffff; out = a < 0 ? 7 : 8;", 7},
+
+    // --- promotion: wider wins; equal width unsigned wins
+    {"mixed_width", "u32 a = 0xffffffff; u64 b = 1; out = a + b;",
+     0x100000000ull},
+    {"signed_unsigned_same_width",
+     "s32 a = 0xffffffff; u32 b = 1; out = a + b;", 0},
+
+    // --- division semantics (deterministic, no UB)
+    {"div_unsigned", "u32 a = 7; u32 b = 2; out = a / b;", 3},
+    {"div_signed", "s32 a = 0xfffffff9; s32 b = 2; out = (u64)(a / b);",
+     static_cast<uint64_t>(-3)},
+    {"div_by_zero", "u64 a = 5; u64 b = 0; out = a / b;", 0},
+    {"div_min_by_minus1",
+     "s64 a = 0x8000000000000000; s64 b = 0 - 1; out = (u64)(a / b);",
+     0x8000000000000000ull},
+    {"rem_unsigned", "u32 a = 7; u32 b = 2; out = a % b;", 1},
+    {"rem_by_zero", "u64 a = 5; u64 b = 0; out = a % b;", 0},
+    {"rem_signed", "s32 a = 0xfffffff9; s32 b = 2; out = (u64)(a % b);",
+     static_cast<uint64_t>(-1)},
+
+    // --- shifts: C-style promotion, deterministic over-shift
+    {"shl_basic", "out = 1 << 40;", uint64_t{1} << 40},
+    {"u8_shl_promotes_to_32", "u8 a = 1; out = a << 29;",
+     uint64_t{1} << 29},
+    {"u32_shl_wraps", "u32 a = 1; out = a << 33;", 0},
+    {"u64_overshift_is_zero", "u64 a = 1; u64 s = 64; out = a << s;", 0},
+    {"shr_logical", "u32 a = 0x80000000; out = a >> 31;", 1},
+    {"shr_arith", "s32 a = 0x80000000; out = (u64)(a >> 31);",
+     ~uint64_t{0}},
+    {"sar_overshift_fills_sign",
+     "s32 a = 0x80000000; u64 s = 40; out = (u64)(a >> s);",
+     ~uint64_t{0}},
+
+    // --- comparisons at the promoted type
+    {"cmp_unsigned", "u64 a = 0 - 1; out = a < 1 ? 1 : 0;", 0},
+    {"cmp_signed", "s64 a = 0 - 1; out = a < 1 ? 1 : 0;", 1},
+    {"cmp_eq_chain", "out = (3 == 3) + (4 != 4);", 1},
+
+    // --- logical operators short-circuit
+    {"logand_shortcircuit",
+     "u64 a = 0; out = (a != 0 && (1 / a) != 0) ? 9 : 4;", 4},
+    {"logor", "out = (1 || 0) + (0 || 0);", 1},
+    {"lognot", "out = !5 + !0;", 1},
+
+    // --- unary
+    {"neg", "u32 a = 1; out = (u64)(0 - a);", 0xffffffffull},
+    {"bitnot", "u8 a = 0x0f; out = ~a;", 0xf0},
+
+    // --- ternary types
+    {"ternary_promotes", "u8 a = 200; u32 b = 100000; out = 1 ? a : b;",
+     200},
+
+    // --- casts
+    {"cast_truncates", "u64 a = 0x1234567890; out = (u16)a;", 0x7890},
+    {"cast_signextends", "u64 a = 0x80; out = (u64)(s8)a;",
+     ~uint64_t{0} - 0x7f},
+
+    // --- builtins
+    {"sext16", "out = sext16(0x8000) + 0x10000;", 0x8000},
+    {"zext8", "out = zext8(0x1ff);", 0xff},
+    {"rotl32", "out = rotl32(0x80000001, 4);", 0x18},
+    {"rotr64", "out = rotr64(1, 1);", uint64_t{1} << 63},
+    {"clz32", "out = clz32(0x00800000);", 8},
+    {"ctz64", "out = ctz64(0x100);", 8},
+    {"popcount", "out = popcount(0xf0f0);", 8},
+    {"addc32_carry", "out = addc32(0xffffffff, 1, 0);", 1},
+    {"addc32_nocarry", "out = addc32(0xfffffffe, 1, 0);", 0},
+    {"addv32", "out = addv32(0x7fffffff, 1, 0);", 1},
+    {"mulh_u64", "out = mulh_u64(0x8000000000000000, 4);", 2},
+    {"mulh_s64", "out = mulh_s64(0 - 1, 4) + 1;", 0},
+
+    // --- control flow
+    {"if_else", "u64 a = 3; if (a > 2) out = 10; else out = 20;", 10},
+    {"while_sum",
+     "u64 i = 0; u64 s = 0; while (i < 10) { s = s + i; i = i + 1; } "
+     "out = s;",
+     45},
+    {"nested_loops",
+     "u64 i = 0; u64 s = 0; while (i < 4) { u64 j = 0; while (j < 4) "
+     "{ s = s + 1; j = j + 1; } i = i + 1; } out = s;",
+     16},
+
+    // --- implicit identifiers
+    {"pc_visible", "out = pc;", 0x1000},
+    {"npc_default", "out = npc;", 0x1004},
+    {"inst_bits", "out = inst >> 26;", 1},
+};
+
+INSTANTIATE_TEST_SUITE_P(ActionLanguage, EvalTest,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST(EvalExtra, MemoryBuiltinsThroughContext)
+{
+    EXPECT_EQ(runSnippet("store_u32(0x2000, 0xabcd1234); "
+                         "out = load_u32(0x2000);"),
+              0xabcd1234u);
+    EXPECT_EQ(runSnippet("store_u8(0x2000, 0x77); "
+                         "store_u8(0x2001, 0x66); "
+                         "out = load_u16(0x2000);"),
+              0x6677u);
+}
+
+TEST(EvalExtra, BranchBuiltinSetsNpcAndFlag)
+{
+    std::string src = "branch(0x4000); out = npc;";
+    EXPECT_EQ(runSnippet(src), 0x4000u);
+}
+
+TEST(EvalExtra, FaultAbortsRestOfAction)
+{
+    // After fault(3), the remaining statements must not run.
+    std::string src = R"(
+isa t { bits 64; instr_bytes 4; endian little; }
+state { regfile R[4] : u64; }
+abi { syscall_num R[0]; arg R[1]; ret R[0]; stack R[3]; }
+field out : u64;
+format F { op[31:26] pad[25:0] }
+instr compute : F match op == 1 {
+    action execute { out = 1; fault(3); out = 2; }
+}
+buildset B { semantic one; info all; }
+)";
+    DiagnosticEngine diags;
+    auto spec = analyze(parseString(src, diags), diags);
+    ASSERT_FALSE(diags.hasErrors()) << diags.str();
+    SimContext ctx(*spec);
+    Program p;
+    p.entry = 0x1000;
+    Segment s;
+    s.base = 0x1000;
+    uint32_t w = spec->instrs[0].fixedBits;
+    for (int i = 0; i < 4; ++i)
+        s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    p.segments.push_back(std::move(s));
+    ctx.load(p);
+    InterpSimulator sim(ctx, *spec->findBuildset("B"));
+    DynInst di;
+    EXPECT_EQ(sim.execute(di), RunStatus::Fault);
+    EXPECT_EQ(di.fault, FaultKind::BadMemory); // code 3
+    EXPECT_EQ(di.vals[spec->findSlot("out")], 1u);
+    // pc did not advance past the faulting instruction.
+    EXPECT_EQ(ctx.state().pc(), 0x1000u);
+}
+
+} // namespace
+} // namespace onespec

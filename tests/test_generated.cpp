@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Validation of the synthesized simulators:
+ *
+ *  - every (ISA x buildset) generated simulator produces the same output
+ *    and final architectural state as the reference interpreter on every
+ *    kernel (the two back ends are derived from the same specification,
+ *    so any divergence is a synthesis bug);
+ *  - the paper's Section V-D rotating-interface validation: a single run
+ *    that switches interfaces on a rotating basis per call validates all
+ *    interfaces at once;
+ *  - speculation support: undo() on generated simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec {
+namespace {
+
+uint64_t
+smallParam(const std::string &kernel)
+{
+    if (kernel == "fib")
+        return 64;
+    if (kernel == "sieve")
+        return 300;
+    if (kernel == "matmul")
+        return 6;
+    if (kernel == "shellsort")
+        return 48;
+    if (kernel == "strhash")
+        return 96;
+    if (kernel == "crc32")
+        return 48;
+    if (kernel == "listsum")
+        return 61;
+    return 16;
+}
+
+struct IsaFixtureState
+{
+    std::unique_ptr<Spec> spec;
+    std::vector<std::pair<std::string, Program>> programs;
+};
+
+IsaFixtureState *
+stateFor(const std::string &isa)
+{
+    static std::map<std::string, std::unique_ptr<IsaFixtureState>> cache;
+    auto &slot = cache[isa];
+    if (!slot) {
+        slot = std::make_unique<IsaFixtureState>();
+        slot->spec = loadIsa(isa);
+        for (const auto &k : kernelNames()) {
+            auto b = makeBuilder(*slot->spec);
+            slot->programs.emplace_back(
+                k, buildKernel(*b, k, smallParam(k)));
+        }
+    }
+    return slot.get();
+}
+
+class GeneratedTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+/** Run @p prog to completion on @p sim; return (status, instrs). */
+RunResult
+runAll(FunctionalSimulator &sim, uint64_t cap = 100'000'000)
+{
+    return sim.run(cap);
+}
+
+TEST_P(GeneratedTest, EveryBuildsetMatchesInterpreter)
+{
+    IsaFixtureState *st = stateFor(GetParam());
+    const Spec &spec = *st->spec;
+
+    for (const auto &[kname, prog] : st->programs) {
+        // Reference run.
+        SimContext ref(spec);
+        ref.load(prog);
+        auto isim = makeInterpSimulator(ref, "OneAllNo");
+        RunResult rref = runAll(*isim);
+        ASSERT_EQ(rref.status, RunStatus::Halted) << kname;
+        std::string golden = goldenOutput(kname, smallParam(kname));
+        ASSERT_EQ(ref.os().output(), golden) << kname;
+
+        for (const auto &bs : spec.buildsets) {
+            SimContext ctx(spec);
+            ctx.load(prog);
+            auto gsim = SimRegistry::instance().create(ctx, bs.name);
+            ASSERT_NE(gsim, nullptr)
+                << "no generated simulator for " << bs.name;
+            RunResult rr = runAll(*gsim);
+            EXPECT_EQ(rr.status, RunStatus::Halted)
+                << kname << "/" << bs.name;
+            EXPECT_EQ(rr.instrs, rref.instrs) << kname << "/" << bs.name;
+            EXPECT_EQ(ctx.os().output(), golden)
+                << kname << "/" << bs.name;
+            EXPECT_TRUE(ctx.state() == ref.state())
+                << kname << "/" << bs.name
+                << ": final architectural state differs";
+        }
+
+        // Interpreter honoring each buildset must agree as well.
+        for (const auto &bs : spec.buildsets) {
+            SimContext ctx(spec);
+            ctx.load(prog);
+            auto sim = makeInterpSimulator(ctx, bs.name);
+            RunResult rr = runAll(*sim);
+            EXPECT_EQ(rr.status, RunStatus::Halted)
+                << kname << "/interp/" << bs.name;
+            EXPECT_EQ(ctx.os().output(), golden)
+                << kname << "/interp/" << bs.name;
+            EXPECT_TRUE(ctx.state() == ref.state())
+                << kname << "/interp/" << bs.name;
+        }
+    }
+}
+
+TEST_P(GeneratedTest, RotatingInterfaceValidation)
+{
+    // The paper's validation procedure: call the interfaces on a rotating
+    // basis -- each dynamic instruction (or basic block) uses a different
+    // interface than the previous one -- validating every interface in a
+    // single run.
+    IsaFixtureState *st = stateFor(GetParam());
+    const Spec &spec = *st->spec;
+
+    for (const auto &[kname, prog] : st->programs) {
+        SimContext ctx(spec);
+        ctx.load(prog);
+
+        std::vector<std::unique_ptr<FunctionalSimulator>> sims;
+        for (const auto &bs : spec.buildsets)
+            sims.push_back(SimRegistry::instance().create(ctx, bs.name));
+
+        std::string golden = goldenOutput(kname, smallParam(kname));
+        uint64_t instrs = 0;
+        RunStatus status = RunStatus::Ok;
+        size_t turn = 0;
+        DynInst di;
+        DynInst block[64];
+        while (status == RunStatus::Ok && instrs < 100'000'000) {
+            FunctionalSimulator &sim = *sims[turn % sims.size()];
+            ++turn;
+            const BuildsetInfo &bs = sim.buildset();
+            switch (bs.semantic) {
+              case SemanticLevel::Block: {
+                unsigned n = sim.executeBlock(block, 64, status);
+                instrs += n;
+                break;
+              }
+              case SemanticLevel::One:
+                status = sim.execute(di);
+                ++instrs;
+                break;
+              case SemanticLevel::Step: {
+                for (unsigned s = 0; s < kNumSteps; ++s) {
+                    status = sim.step(static_cast<Step>(s), di);
+                    if (status != RunStatus::Ok)
+                        break;
+                }
+                ++instrs;
+                break;
+              }
+              case SemanticLevel::Custom: {
+                for (unsigned e = 0;
+                     e < bs.entrypoints.size() && status == RunStatus::Ok;
+                     ++e) {
+                    status = sim.call(e, di);
+                }
+                ++instrs;
+                break;
+              }
+            }
+        }
+        EXPECT_EQ(status, RunStatus::Halted) << kname;
+        EXPECT_EQ(ctx.os().output(), golden) << kname;
+    }
+}
+
+TEST_P(GeneratedTest, GeneratedUndoRestoresState)
+{
+    IsaFixtureState *st = stateFor(GetParam());
+    const Spec &spec = *st->spec;
+    const auto &prog = st->programs.front().second; // fib
+
+    SimContext ctx(spec);
+    ctx.load(prog);
+    auto sim = SimRegistry::instance().create(ctx, "OneAllYes");
+    ASSERT_NE(sim, nullptr);
+
+    DynInst di;
+    for (int i = 0; i < 20; ++i)
+        ASSERT_EQ(sim->execute(di), RunStatus::Ok);
+
+    // Snapshot, run 10 more, undo 10, compare.
+    std::vector<uint64_t> snap;
+    for (unsigned i = 0; i < ctx.state().numWords(); ++i)
+        snap.push_back(ctx.state().rawWord(i));
+    uint64_t pc_snap = ctx.state().pc();
+
+    for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(sim->execute(di), RunStatus::Ok);
+    sim->undo(10);
+
+    EXPECT_EQ(ctx.state().pc(), pc_snap);
+    for (unsigned i = 0; i < ctx.state().numWords(); ++i)
+        EXPECT_EQ(ctx.state().rawWord(i), snap[i]) << "word " << i;
+}
+
+TEST_P(GeneratedTest, FastForwardMatchesExecute)
+{
+    IsaFixtureState *st = stateFor(GetParam());
+    const Spec &spec = *st->spec;
+    const auto &prog = st->programs[1].second; // sieve
+
+    SimContext a(spec), b(spec);
+    a.load(prog);
+    b.load(prog);
+    auto fast = SimRegistry::instance().create(a, "BlockMinNo");
+    auto ref = SimRegistry::instance().create(b, "OneAllNo");
+    ASSERT_NE(fast, nullptr);
+    ASSERT_NE(ref, nullptr);
+
+    RunStatus st1 = RunStatus::Ok;
+    uint64_t n1 = fast->fastForward(5000, st1);
+    RunResult r2 = ref->run(5000);
+    EXPECT_EQ(n1, r2.instrs);
+    EXPECT_TRUE(a.state() == b.state());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, GeneratedTest,
+                         ::testing::ValuesIn(shippedIsas()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Interface-behaviour tests: custom entrypoints, unsupported-entrypoint
+ * panics, fast-forward semantics, and the paper's central failure mode --
+ * hiding a field whose value must cross entrypoints makes the simulation
+ * go wrong within a few instructions (Section IV-B step 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/encode.hpp"
+#include "adl/load.hpp"
+#include "adl/parser.hpp"
+#include "adl/sema.hpp"
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "support/panic_exception.hpp"
+#include "testutil.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec {
+namespace {
+
+TEST(Interfaces, UnsupportedEntrypointPanicsWithBuildsetName)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    InterpSimulator sim(ctx, *spec->findBuildset("OneAllNo"));
+    ScopedThrowOnPanic guard;
+    DynInst di[4];
+    RunStatus st;
+    // A One-detail interpreter offers execute() but not fastForward().
+    EXPECT_THROW(sim.fastForward(10, st), PanicException);
+    EXPECT_THROW(sim.undo(1), PanicException);
+    (void)di;
+}
+
+TEST(Interfaces, UndoWithoutSpeculationPanicsOnGenerated)
+{
+    auto spec = loadIsa("alpha64");
+    SimContext ctx(*spec);
+    auto sim = SimRegistry::instance().create(ctx, "OneAllNo");
+    ASSERT_NE(sim, nullptr);
+    ScopedThrowOnPanic guard;
+    EXPECT_THROW(sim->undo(1), PanicException);
+}
+
+TEST(Interfaces, CustomFrontRestBuildsetExecutesCorrectly)
+{
+    // The FrontRest buildset splits fetch+decode from the rest -- the
+    // paper's Figure 4 style of custom interface.
+    auto spec = loadIsa("alpha64");
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, "fib", 50);
+    std::string golden = goldenOutput("fib", 50);
+
+    for (bool generated : {false, true}) {
+        SimContext ctx(*spec);
+        ctx.load(prog);
+        std::unique_ptr<FunctionalSimulator> sim;
+        if (generated)
+            sim = SimRegistry::instance().create(ctx, "FrontRest");
+        else
+            sim = makeInterpSimulator(ctx, "FrontRest");
+        ASSERT_NE(sim, nullptr);
+        RunResult rr = sim->run(100000);
+        EXPECT_EQ(rr.status, RunStatus::Halted) << generated;
+        EXPECT_EQ(ctx.os().output(), golden) << generated;
+    }
+}
+
+TEST(Interfaces, HiddenCrossEntrypointFieldDivergesQuickly)
+{
+    // Reproduce the paper's observation: "it is usually impossible to
+    // simulate more than a few hundred instructions before the
+    // simulation goes wrong" when a needed value is hidden.  We hide
+    // effective_addr while splitting execute from memory across
+    // entrypoints: loads then access address 0 instead.
+    std::string extra = R"(
+buildset LossyTest {
+    visibility hide effective_addr;
+    entrypoint front = fetch, decode, read_operands, execute;
+    entrypoint back  = memory, writeback, exception;
+}
+)";
+    std::vector<SourceFile> files;
+    for (const auto &p : isaDescriptionFiles("alpha64"))
+        files.push_back({readFileOrFatal(p), p});
+    files.push_back({extra, "<lossy>"});
+    DiagnosticEngine diags;
+    auto spec = analyze(parseFiles(files, diags), diags);
+    ASSERT_FALSE(diags.hasErrors()) << diags.str();
+    // The completeness checker warned about exactly this.
+    bool warned = false;
+    for (const auto &d : diags.all()) {
+        if (d.severity == DiagSeverity::Warning &&
+            d.message.find("LossyTest") != std::string::npos) {
+            warned = true;
+        }
+    }
+    EXPECT_TRUE(warned);
+
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, "sieve", 200);
+    std::string golden = goldenOutput("sieve", 200);
+
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    InterpSimulator sim(ctx, *spec->findBuildset("LossyTest"));
+    DynInst di;
+    RunStatus st = RunStatus::Ok;
+    uint64_t n = 0;
+    while (st == RunStatus::Ok && n < 100000) {
+        st = sim.call(0, di);
+        if (st == RunStatus::Ok)
+            st = sim.call(1, di);
+        ++n;
+    }
+    // Whatever happened, it is not the correct run.
+    EXPECT_NE(ctx.os().output(), golden);
+}
+
+TEST(Interfaces, FastForwardCountsPartialRuns)
+{
+    auto spec = loadIsa("alpha64");
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, "fib", 10); // short program
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    auto sim = SimRegistry::instance().create(ctx, "BlockMinNo");
+    RunStatus st = RunStatus::Ok;
+    uint64_t done = sim->fastForward(1'000'000, st);
+    EXPECT_EQ(st, RunStatus::Halted);
+    EXPECT_LT(done, 1'000'000u);
+    EXPECT_GT(done, 50u);
+}
+
+TEST(Interfaces, ExecuteBlockStopsAtControlFlow)
+{
+    auto spec = loadIsa("alpha64");
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, "fib", 1000);
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    auto sim = SimRegistry::instance().create(ctx, "BlockAllNo");
+    DynInst block[64];
+    RunStatus st = RunStatus::Ok;
+    for (int rounds = 0; rounds < 50 && st == RunStatus::Ok; ++rounds) {
+        unsigned n = sim->executeBlock(block, 64, st);
+        ASSERT_GT(n, 0u);
+        // Only the last instruction of a full block may be control flow.
+        for (unsigned i = 0; i + 1 < n; ++i) {
+            EXPECT_FALSE(spec->instrs[block[i].opId].isControlFlow)
+                << "round " << rounds << " instr " << i;
+        }
+    }
+}
+
+TEST(Interfaces, ExecuteBlockHonorsCap)
+{
+    auto spec = loadIsa("alpha64");
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, "crc32", 100);
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    auto sim = SimRegistry::instance().create(ctx, "BlockMinNo");
+    DynInst block[64];
+    RunStatus st = RunStatus::Ok;
+    unsigned n = sim->executeBlock(block, 3, st);
+    EXPECT_LE(n, 3u);
+    EXPECT_GT(n, 0u);
+}
+
+TEST(Interfaces, StepInterfaceDrivesInstructionPiecewise)
+{
+    auto spec = loadIsa("alpha64");
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, "fib", 5);
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    auto sim = SimRegistry::instance().create(ctx, "StepAllNo");
+
+    DynInst di;
+    // Drive the first instruction step by step and observe the record
+    // filling in.
+    EXPECT_EQ(sim->step(Step::Fetch, di), RunStatus::Ok);
+    EXPECT_NE(di.inst, 0u);
+    EXPECT_EQ(di.opId, 0xffff); // not yet decoded
+    EXPECT_EQ(sim->step(Step::Decode, di), RunStatus::Ok);
+    EXPECT_NE(di.opId, 0xffff);
+    uint64_t pc_before = ctx.state().pc();
+    EXPECT_EQ(sim->step(Step::ReadOperands, di), RunStatus::Ok);
+    EXPECT_EQ(sim->step(Step::Execute, di), RunStatus::Ok);
+    EXPECT_EQ(sim->step(Step::Memory, di), RunStatus::Ok);
+    EXPECT_EQ(sim->step(Step::Writeback, di), RunStatus::Ok);
+    // pc only advances at retire.
+    EXPECT_EQ(ctx.state().pc(), pc_before);
+    EXPECT_EQ(sim->step(Step::Exception, di), RunStatus::Ok);
+    EXPECT_EQ(ctx.state().pc(), pc_before + 4);
+}
+
+TEST(Interfaces, RedirectSteersNextFetch)
+{
+    auto spec = loadIsa("alpha64");
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, "fib", 5);
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    auto sim = SimRegistry::instance().create(ctx, "OneAllNo");
+    DynInst di;
+    EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+    uint64_t entry = prog.entry;
+    sim->redirect(entry);
+    DynInst di2;
+    EXPECT_EQ(sim->execute(di2), RunStatus::Ok);
+    EXPECT_EQ(di2.pc, entry);
+    EXPECT_EQ(di2.inst, di.inst);
+}
+
+TEST(Interfaces, FingerprintMismatchIsFatal)
+{
+    // A spec with the same buildset names but different instructions must
+    // be refused by the registry.
+    auto other = test::makeMiniSpec(); // isa name "mini" != registered
+    SimContext ctx(*other);
+    EXPECT_EQ(SimRegistry::instance().create(ctx, "OneAllNo"), nullptr);
+}
+
+TEST(Interfaces, RegistryListsAllTwelveBuildsetsPerIsa)
+{
+    for (const auto &isa : shippedIsas()) {
+        auto names = SimRegistry::instance().buildsetsFor(isa);
+        EXPECT_GE(names.size(), 13u) << isa; // 12 + FrontRest
+    }
+}
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Workload-kernel validation on the interpreter back end: every kernel on
+ * every ISA must produce the golden output through the reference
+ * (One/All/No) interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec {
+namespace {
+
+struct Case
+{
+    std::string isa;
+    std::string kernel;
+};
+
+class KernelTest : public ::testing::TestWithParam<Case>
+{
+};
+
+uint64_t
+kernelTestParam(const std::string &kernel)
+{
+    if (kernel == "fib")
+        return 90;
+    if (kernel == "sieve")
+        return 500;
+    if (kernel == "matmul")
+        return 8;
+    if (kernel == "shellsort")
+        return 64;
+    if (kernel == "strhash")
+        return 128;
+    if (kernel == "crc32")
+        return 64;
+    if (kernel == "listsum")
+        return 97;
+    return 16;
+}
+
+TEST_P(KernelTest, MatchesGoldenOnInterpreter)
+{
+    const Case &c = GetParam();
+    auto spec = loadIsa(c.isa);
+    uint64_t param = kernelTestParam(c.kernel);
+
+    auto builder = makeBuilder(*spec);
+    Program prog = buildKernel(*builder, c.kernel, param);
+
+    SimContext ctx(*spec);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    RunResult rr = sim->run(200'000'000);
+    ASSERT_EQ(rr.status, RunStatus::Halted)
+        << "kernel did not exit cleanly; instrs=" << rr.instrs;
+    EXPECT_EQ(ctx.os().exitCode(), 0);
+    EXPECT_EQ(ctx.os().output(), goldenOutput(c.kernel, param));
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &isa : shippedIsas())
+        for (const auto &k : kernelNames())
+            cases.push_back({isa, k});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, KernelTest,
+                         ::testing::ValuesIn(allCases()),
+                         [](const auto &info) {
+                             return info.param.isa + "_" +
+                                    info.param.kernel;
+                         });
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the LIS tokenizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/lexer.hpp"
+
+namespace onespec {
+namespace {
+
+std::vector<Token>
+lexOk(const std::string &src)
+{
+    DiagnosticEngine diags;
+    auto toks = lex(src, "<test>", diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    return toks;
+}
+
+TEST(Lexer, EmptyInputYieldsEof)
+{
+    auto t = lexOk("");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].kind, TokKind::Eof);
+}
+
+TEST(Lexer, IdentifiersAndKeywordsAreAllIdents)
+{
+    auto t = lexOk("isa field _under score99 u32");
+    ASSERT_EQ(t.size(), 6u);
+    for (size_t i = 0; i + 1 < t.size(); ++i)
+        EXPECT_EQ(t[i].kind, TokKind::Ident);
+    EXPECT_EQ(t[0].text, "isa");
+    EXPECT_EQ(t[1].text, "field");
+    EXPECT_EQ(t[2].text, "_under");
+    EXPECT_EQ(t[3].text, "score99");
+}
+
+TEST(Lexer, DecimalAndHexIntegers)
+{
+    auto t = lexOk("0 42 0x2A 0xffffffffffffffff 0XaB");
+    EXPECT_EQ(t[0].intValue, 0u);
+    EXPECT_EQ(t[1].intValue, 42u);
+    EXPECT_EQ(t[2].intValue, 0x2au);
+    EXPECT_EQ(t[3].intValue, ~uint64_t{0});
+    EXPECT_EQ(t[4].intValue, 0xabu);
+}
+
+TEST(Lexer, IntegerOverflowIsAnError)
+{
+    DiagnosticEngine diags;
+    lex("18446744073709551616", "<t>", diags); // 2^64
+    EXPECT_TRUE(diags.hasErrors());
+    DiagnosticEngine d2;
+    lex("0x10000000000000000", "<t>", d2);
+    EXPECT_TRUE(d2.hasErrors());
+}
+
+TEST(Lexer, BadSuffixOnNumberIsAnError)
+{
+    DiagnosticEngine diags;
+    lex("123abc", "<t>", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, TwoCharOperators)
+{
+    auto t = lexOk("== != <= >= << >> && ||");
+    EXPECT_EQ(t[0].kind, TokKind::EqEq);
+    EXPECT_EQ(t[1].kind, TokKind::NotEq);
+    EXPECT_EQ(t[2].kind, TokKind::Le);
+    EXPECT_EQ(t[3].kind, TokKind::Ge);
+    EXPECT_EQ(t[4].kind, TokKind::Shl);
+    EXPECT_EQ(t[5].kind, TokKind::Shr);
+    EXPECT_EQ(t[6].kind, TokKind::AmpAmp);
+    EXPECT_EQ(t[7].kind, TokKind::PipePipe);
+}
+
+TEST(Lexer, SingleCharOperatorsSplitCorrectly)
+{
+    auto t = lexOk("= ! < > & | + - * / % ^ ~ ? :");
+    EXPECT_EQ(t[0].kind, TokKind::Assign);
+    EXPECT_EQ(t[1].kind, TokKind::Bang);
+    EXPECT_EQ(t[2].kind, TokKind::Lt);
+    EXPECT_EQ(t[3].kind, TokKind::Gt);
+    EXPECT_EQ(t[4].kind, TokKind::Amp);
+    EXPECT_EQ(t[5].kind, TokKind::Pipe);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine)
+{
+    auto t = lexOk("a # comment == {} \nb // another\nc");
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].text, "a");
+    EXPECT_EQ(t[1].text, "b");
+    EXPECT_EQ(t[2].text, "c");
+}
+
+TEST(Lexer, LineAndColumnTracking)
+{
+    auto t = lexOk("a\n  b\n    c");
+    EXPECT_EQ(t[0].loc.line, 1);
+    EXPECT_EQ(t[0].loc.col, 1);
+    EXPECT_EQ(t[1].loc.line, 2);
+    EXPECT_EQ(t[1].loc.col, 3);
+    EXPECT_EQ(t[2].loc.line, 3);
+    EXPECT_EQ(t[2].loc.col, 5);
+}
+
+TEST(Lexer, UnexpectedCharacterReportsAndContinues)
+{
+    DiagnosticEngine diags;
+    auto t = lex("a $ b", "<t>", diags);
+    EXPECT_TRUE(diags.hasErrors());
+    // Lexing continued past the bad character.
+    ASSERT_GE(t.size(), 3u);
+    EXPECT_EQ(t[0].text, "a");
+    EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(Lexer, PunctuationKinds)
+{
+    auto t = lexOk("{ } [ ] ( ) : ; , @ .");
+    EXPECT_EQ(t[0].kind, TokKind::LBrace);
+    EXPECT_EQ(t[1].kind, TokKind::RBrace);
+    EXPECT_EQ(t[2].kind, TokKind::LBracket);
+    EXPECT_EQ(t[3].kind, TokKind::RBracket);
+    EXPECT_EQ(t[4].kind, TokKind::LParen);
+    EXPECT_EQ(t[5].kind, TokKind::RParen);
+    EXPECT_EQ(t[6].kind, TokKind::Colon);
+    EXPECT_EQ(t[7].kind, TokKind::Semi);
+    EXPECT_EQ(t[8].kind, TokKind::Comma);
+    EXPECT_EQ(t[9].kind, TokKind::At);
+    EXPECT_EQ(t[10].kind, TokKind::Dot);
+}
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the sparse paged memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/memory.hpp"
+
+namespace onespec {
+namespace {
+
+TEST(Memory, ReadsOfUntouchedMemoryAreZero)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    EXPECT_EQ(m.read(0x1234, 8, f), 0u);
+    EXPECT_EQ(f, FaultKind::None);
+    EXPECT_EQ(m.pageCount(), 0u); // reads do not allocate
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x1000, 0xdeadbeefcafef00dull, 8, f);
+    EXPECT_EQ(m.read(0x1000, 8, f), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read(0x1000, 4, f), 0xcafef00dull);
+    EXPECT_EQ(m.read(0x1004, 4, f), 0xdeadbeefull);
+    EXPECT_EQ(m.read(0x1000, 1, f), 0x0dull);
+    EXPECT_EQ(f, FaultKind::None);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    uint64_t addr = Memory::kPageSize - 4;
+    m.write(addr, 0x1122334455667788ull, 8, f);
+    EXPECT_EQ(f, FaultKind::None);
+    EXPECT_EQ(m.read(addr, 8, f), 0x1122334455667788ull);
+    EXPECT_EQ(m.pageCount(), 2u);
+    // The two halves land on each side of the boundary.
+    EXPECT_EQ(m.read(addr, 4, f), 0x55667788ull);
+    EXPECT_EQ(m.read(Memory::kPageSize, 4, f), 0x11223344ull);
+}
+
+TEST(Memory, BigEndianByteOrder)
+{
+    Memory m(true);
+    FaultKind f = FaultKind::None;
+    m.write(0x100, 0x11223344, 4, f);
+    EXPECT_EQ(m.readByte(0x100), 0x11);
+    EXPECT_EQ(m.readByte(0x103), 0x44);
+    EXPECT_EQ(m.read(0x100, 4, f), 0x11223344u);
+    EXPECT_EQ(m.read(0x100, 2, f), 0x1122u);
+}
+
+TEST(Memory, LittleEndianByteOrder)
+{
+    Memory m(false);
+    FaultKind f = FaultKind::None;
+    m.write(0x100, 0x11223344, 4, f);
+    EXPECT_EQ(m.readByte(0x100), 0x44);
+    EXPECT_EQ(m.readByte(0x103), 0x11);
+}
+
+TEST(Memory, AddressLimitFaults)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(Memory::kAddrLimit, 1, 1, f);
+    EXPECT_EQ(f, FaultKind::BadMemory);
+    f = FaultKind::None;
+    (void)m.read(Memory::kAddrLimit - 1, 8, f);
+    EXPECT_EQ(f, FaultKind::BadMemory);
+    f = FaultKind::None;
+    (void)m.read(Memory::kAddrLimit - 8, 8, f);
+    EXPECT_EQ(f, FaultKind::None);
+}
+
+TEST(Memory, BlockCopy)
+{
+    Memory m;
+    std::vector<uint8_t> src(100000);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<uint8_t>(i * 7);
+    uint64_t base = Memory::kPageSize - 1234;
+    m.writeBlock(base, src.data(), src.size());
+    std::vector<uint8_t> dst(src.size());
+    m.readBlock(base, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(Memory, ReadBlockFromUnmappedIsZero)
+{
+    Memory m;
+    uint8_t buf[16] = {0xff, 0xff};
+    m.readBlock(0x999000, buf, sizeof(buf));
+    for (uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Memory, ClearDropsContents)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x0, 42, 8, f);
+    EXPECT_GT(m.pageCount(), 0u);
+    m.clear();
+    EXPECT_EQ(m.pageCount(), 0u);
+    EXPECT_EQ(m.read(0x0, 8, f), 0u);
+}
+
+TEST(Memory, PageCacheSurvivesInterleavedPages)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    // Ping-pong between pages to exercise the one-entry cache.
+    for (int i = 0; i < 100; ++i) {
+        m.write(0x0 + i, static_cast<uint64_t>(i), 1, f);
+        m.write(Memory::kPageSize * 3 + i, static_cast<uint64_t>(i + 1),
+                1, f);
+    }
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(m.read(0x0 + i, 1, f), static_cast<uint64_t>(i) & 0xff);
+        EXPECT_EQ(m.read(Memory::kPageSize * 3 + i, 1, f),
+                  static_cast<uint64_t>(i + 1) & 0xff);
+    }
+}
+
+} // namespace
+} // namespace onespec

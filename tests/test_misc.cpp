@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Smaller units: FieldView, SimContext program loading, diagnostics
+ * formatting, DynInst helpers, and Spec lookup functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/encode.hpp"
+#include "iface/fieldview.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "support/diag.hpp"
+#include "testutil.hpp"
+
+namespace onespec {
+namespace {
+
+TEST(FieldView, ResolvesAndGuardsSlots)
+{
+    auto spec = test::makeMiniSpec();
+    FieldView fv(*spec);
+    int ea = fv.handle("effective_addr");
+    ASSERT_GE(ea, 0);
+    EXPECT_EQ(fv.handle("nosuch"), -1);
+
+    DynInst di;
+    EXPECT_FALSE(fv.get(di, ea).has_value());
+    EXPECT_FALSE(fv.get(di, -1).has_value());
+    di.setVal(ea, 0x1234);
+    ASSERT_TRUE(fv.get(di, ea).has_value());
+    EXPECT_EQ(*fv.get(di, ea), 0x1234u);
+    EXPECT_EQ(*fv.get(di, "effective_addr"), 0x1234u);
+}
+
+TEST(DynInstRecord, BeginInstrResetsHeaderNotSlots)
+{
+    DynInst di;
+    di.setVal(3, 77);
+    di.fault = FaultKind::Trap;
+    di.flags = kFlagBranchTaken;
+    di.nOps = 4;
+    di.beginInstr(0x100, 0x104);
+    EXPECT_EQ(di.pc, 0x100u);
+    EXPECT_EQ(di.npc, 0x104u);
+    EXPECT_EQ(di.written, 0u);
+    EXPECT_EQ(di.fault, FaultKind::None);
+    EXPECT_EQ(di.flags, 0);
+    EXPECT_EQ(di.nOps, 0);
+    // Value storage is deliberately left stale.
+    EXPECT_EQ(di.vals[3], 77u);
+    EXPECT_FALSE(di.slotWritten(3));
+}
+
+TEST(DynInstRecord, OpMetaHelpers)
+{
+    uint8_t m = makeOpMeta(true, 5);
+    EXPECT_TRUE(opMetaIsDst(m));
+    EXPECT_EQ(opMetaFile(m), 5u);
+    uint8_t s = makeOpMeta(false, 0x41);
+    EXPECT_FALSE(opMetaIsDst(s));
+    EXPECT_EQ(opMetaFile(s), 0x41u);
+}
+
+TEST(Context, LoadInitializesStackPcBrkAndClearsState)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.state().writeReg(0, 1, 999);
+    FaultKind f = FaultKind::None;
+    ctx.mem().write(0x5000, 42, 8, f);
+
+    Program p;
+    p.entry = 0x2000;
+    p.stackTop = 0x70000;
+    Segment s;
+    s.base = 0x2000;
+    s.bytes = {1, 2, 3, 4};
+    p.segments.push_back(s);
+    ctx.load(p);
+
+    EXPECT_EQ(ctx.state().pc(), 0x2000u);
+    EXPECT_EQ(ctx.state().readReg(0, 1), 0u);       // cleared
+    EXPECT_EQ(ctx.state().readReg(0, 6), 0x70000u); // abi stack reg
+    EXPECT_EQ(ctx.mem().read(0x5000, 8, f), 0u);    // old memory gone
+    EXPECT_EQ(ctx.mem().read(0x2000, 4, f), 0x04030201u);
+    EXPECT_EQ(ctx.os().brk(), 0x2004u);             // auto break = highWater
+}
+
+TEST(Context, ExplicitInitialBrkWins)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    Program p;
+    p.entry = 0x1000;
+    p.initialBrk = 0x900000;
+    ctx.load(p);
+    EXPECT_EQ(ctx.os().brk(), 0x900000u);
+}
+
+TEST(Context, RetiredCounterAccumulates)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    Program p;
+    p.entry = 0x1000;
+    ctx.load(p);
+    EXPECT_EQ(ctx.instrsRetired(), 0u);
+    ctx.addRetired(5);
+    ctx.addRetired(2);
+    EXPECT_EQ(ctx.instrsRetired(), 7u);
+    ctx.load(p);
+    EXPECT_EQ(ctx.instrsRetired(), 0u);
+}
+
+TEST(Diagnostics, FormattingAndCounts)
+{
+    DiagnosticEngine d;
+    EXPECT_FALSE(d.hasErrors());
+    d.warning({"f.lis", 3, 7}, "suspicious");
+    EXPECT_FALSE(d.hasErrors());
+    d.error({"f.lis", 10, 1}, "broken");
+    d.note({"f.lis", 10, 2}, "because");
+    EXPECT_TRUE(d.hasErrors());
+    EXPECT_EQ(d.errorCount(), 1);
+    std::string s = d.str();
+    EXPECT_NE(s.find("f.lis:3:7: warning: suspicious"), std::string::npos);
+    EXPECT_NE(s.find("f.lis:10:1: error: broken"), std::string::npos);
+    EXPECT_NE(s.find("note: because"), std::string::npos);
+}
+
+TEST(SpecLookup, FindersBehave)
+{
+    auto spec = test::makeMiniSpec();
+    EXPECT_NE(spec->findBuildset("OneAllNo"), nullptr);
+    EXPECT_EQ(spec->findBuildset("zzz"), nullptr);
+    EXPECT_GE(spec->findSlot("alu_result"), 0);
+    EXPECT_EQ(spec->findSlot("zzz"), -1);
+    // Info-level masks are nested: min subset of decode subset of all.
+    SlotMask dec = spec->slotsForInfoLevel(InfoLevel::Decode);
+    SlotMask all = spec->slotsForInfoLevel(InfoLevel::All);
+    EXPECT_EQ(dec & ~all, 0u);
+    EXPECT_NE(dec, all);
+}
+
+TEST(SpecLookup, StateLayoutOffsetsAreDense)
+{
+    auto spec = test::makeMiniSpec();
+    EXPECT_EQ(spec->state.files[0].base, 0u);
+    EXPECT_EQ(spec->state.totalWords, 8u);
+    EXPECT_EQ(spec->state.fileIndex("R"), 0);
+    EXPECT_EQ(spec->state.fileIndex("Q"), -1);
+    EXPECT_EQ(spec->state.scalarIndex("nope"), -1);
+}
+
+TEST(ArchStateOps, NormalizationAndZeroReg)
+{
+    auto spec = test::makeMiniSpec();
+    ArchState st(spec->state);
+    st.writeReg(0, 1, ~uint64_t{0});
+    EXPECT_EQ(st.readReg(0, 1), ~uint64_t{0}); // u64 file
+    st.writeReg(0, 7, 123);                    // zero register
+    EXPECT_EQ(st.readReg(0, 7), 0u);
+    ArchState other(spec->state);
+    EXPECT_FALSE(st == other);
+    st.reset();
+    EXPECT_TRUE(st == other);
+}
+
+TEST(RunHelpers, RunStopsAtCap)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    // An infinite loop: br -1 (branch to itself).
+    Program p;
+    p.entry = 0x1000;
+    Segment s;
+    s.base = 0x1000;
+    uint32_t w = mustEncode(*spec, "br",
+                            {{"imm", 0xffff}}); // disp -1
+    for (int i = 0; i < 4; ++i)
+        s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    p.segments.push_back(std::move(s));
+    ctx.load(p);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    RunResult rr = sim->run(1000);
+    EXPECT_EQ(rr.status, RunStatus::Ok); // still running
+    EXPECT_EQ(rr.instrs, 1000u);
+}
+
+} // namespace
+} // namespace onespec

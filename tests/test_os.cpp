@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the deterministic OS emulation layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/context.hpp"
+#include "testutil.hpp"
+
+namespace onespec {
+namespace {
+
+class OsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec_ = test::makeMiniSpec();
+        ctx_ = std::make_unique<SimContext>(*spec_);
+        Program p;
+        p.entry = 0x1000;
+        p.initialBrk = 0x30000;
+        ctx_->load(p);
+    }
+
+    /** Issue a syscall through the ABI registers (mini ISA: R0, R1-R3). */
+    uint64_t
+    sys(uint64_t num, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0)
+    {
+        ArchState &st = ctx_->state();
+        st.writeReg(0, 0, num);
+        st.writeReg(0, 1, a0);
+        st.writeReg(0, 2, a1);
+        st.writeReg(0, 3, a2);
+        ctx_->os().doSyscall();
+        return st.readReg(0, 0);
+    }
+
+    std::unique_ptr<Spec> spec_;
+    std::unique_ptr<SimContext> ctx_;
+};
+
+TEST_F(OsTest, ExitSetsCodeAndFlag)
+{
+    sys(kSysExit, 42);
+    EXPECT_TRUE(ctx_->os().exited());
+    EXPECT_EQ(ctx_->os().exitCode(), 42);
+}
+
+TEST_F(OsTest, WriteCapturesOutput)
+{
+    ctx_->mem().writeBlock(0x2000, "hello", 5);
+    uint64_t n = sys(kSysWrite, 1, 0x2000, 5);
+    EXPECT_EQ(n, 5u);
+    EXPECT_EQ(ctx_->os().output(), "hello");
+    // stderr is captured too
+    ctx_->mem().writeBlock(0x2000, "!", 1);
+    sys(kSysWrite, 2, 0x2000, 1);
+    EXPECT_EQ(ctx_->os().output(), "hello!");
+}
+
+TEST_F(OsTest, WriteToBadFdFails)
+{
+    uint64_t r = sys(kSysWrite, 5, 0x2000, 3);
+    EXPECT_EQ(r, static_cast<uint64_t>(-1));
+}
+
+TEST_F(OsTest, ReadConsumesPresetInput)
+{
+    ctx_->os().setInput({'a', 'b', 'c', 'd'});
+    uint64_t n = sys(kSysRead, 0, 0x2100, 3);
+    EXPECT_EQ(n, 3u);
+    FaultKind f = FaultKind::None;
+    EXPECT_EQ(ctx_->mem().read(0x2100, 1, f), 'a');
+    EXPECT_EQ(ctx_->mem().read(0x2102, 1, f), 'c');
+    // Second read gets the remainder, third gets EOF (0).
+    EXPECT_EQ(sys(kSysRead, 0, 0x2100, 10), 1u);
+    EXPECT_EQ(sys(kSysRead, 0, 0x2100, 10), 0u);
+}
+
+TEST_F(OsTest, BrkQueryAndGrow)
+{
+    EXPECT_EQ(sys(kSysBrk, 0), 0x30000u);
+    EXPECT_EQ(sys(kSysBrk, 0x40000), 0x40000u);
+    // Shrinking below the current break is refused (break unchanged).
+    EXPECT_EQ(sys(kSysBrk, 0x1000), 0x40000u);
+}
+
+TEST_F(OsTest, TimeIsDeterministicCounter)
+{
+    EXPECT_EQ(sys(kSysTimeMs), 0u);
+    EXPECT_EQ(sys(kSysTimeMs), 1u);
+    EXPECT_EQ(sys(kSysTimeMs), 2u);
+}
+
+TEST_F(OsTest, GetPidIsStable)
+{
+    EXPECT_EQ(sys(kSysGetPid), 1000u);
+    EXPECT_EQ(sys(kSysGetPid), 1000u);
+}
+
+TEST_F(OsTest, UnknownSyscallReturnsError)
+{
+    EXPECT_EQ(sys(999), static_cast<uint64_t>(-1));
+}
+
+TEST_F(OsTest, RestoreTruncatesOutputAndClearsExit)
+{
+    ctx_->mem().writeBlock(0x2000, "abcdef", 6);
+    sys(kSysWrite, 1, 0x2000, 6);
+    sys(kSysExit, 1);
+    EXPECT_TRUE(ctx_->os().exited());
+    ctx_->os().restore(3, 0x30000, 0);
+    EXPECT_EQ(ctx_->os().output(), "abc");
+    EXPECT_FALSE(ctx_->os().exited());
+}
+
+TEST_F(OsTest, SyscallCountTracks)
+{
+    uint64_t before = ctx_->os().syscallCount();
+    sys(kSysTimeMs);
+    sys(kSysTimeMs);
+    EXPECT_EQ(ctx_->os().syscallCount(), before + 2);
+}
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the LIS parser: structure recovery and located errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/parser.hpp"
+
+namespace onespec {
+namespace {
+
+Description
+parseOk(const std::string &src)
+{
+    DiagnosticEngine diags;
+    Description d = parseString(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    return d;
+}
+
+std::string
+parseErr(const std::string &src)
+{
+    DiagnosticEngine diags;
+    parseString(src, diags);
+    EXPECT_TRUE(diags.hasErrors()) << "expected a parse error";
+    return diags.str();
+}
+
+TEST(Parser, IsaProperties)
+{
+    auto d = parseOk("isa t { bits 32; instr_bytes 4; endian big; }");
+    EXPECT_EQ(d.isa.name, "t");
+    EXPECT_EQ(d.isa.wordBits, 32u);
+    EXPECT_FALSE(d.isa.littleEndian);
+}
+
+TEST(Parser, DuplicateIsaIsError)
+{
+    parseErr("isa a { bits 32; } isa b { bits 32; }");
+}
+
+TEST(Parser, BadWordSizeIsError)
+{
+    parseErr("isa t { bits 33; }");
+}
+
+TEST(Parser, StateBlock)
+{
+    auto d = parseOk("state { regfile R[32] : u64 zero 31; reg CR : u32; }");
+    ASSERT_EQ(d.regfiles.size(), 1u);
+    EXPECT_EQ(d.regfiles[0].count, 32u);
+    EXPECT_EQ(d.regfiles[0].zeroReg, 31);
+    EXPECT_EQ(d.regfiles[0].type, U64);
+    ASSERT_EQ(d.regs.size(), 1u);
+    EXPECT_EQ(d.regs[0].name, "CR");
+}
+
+TEST(Parser, ZeroRegOutOfRangeIsError)
+{
+    parseErr("state { regfile R[8] : u64 zero 8; }");
+}
+
+TEST(Parser, FieldCategories)
+{
+    auto d = parseOk("field ea : u64 decode; field x : u8;");
+    ASSERT_EQ(d.fields.size(), 2u);
+    EXPECT_EQ(d.fields[0].category, FieldCategory::Decode);
+    EXPECT_EQ(d.fields[1].category, FieldCategory::All);
+    EXPECT_EQ(d.fields[1].type, U8);
+}
+
+TEST(Parser, FormatBitRanges)
+{
+    auto d = parseOk("format F { op[31:26] r[25:21] flag[4] }");
+    ASSERT_EQ(d.formats.size(), 1u);
+    ASSERT_EQ(d.formats[0].fields.size(), 3u);
+    EXPECT_EQ(d.formats[0].fields[0].hi, 31u);
+    EXPECT_EQ(d.formats[0].fields[0].lo, 26u);
+    // Single-bit shorthand.
+    EXPECT_EQ(d.formats[0].fields[2].hi, 4u);
+    EXPECT_EQ(d.formats[0].fields[2].lo, 4u);
+}
+
+TEST(Parser, ReversedBitRangeIsError)
+{
+    parseErr("format F { op[3:8] }");
+}
+
+TEST(Parser, InstrWithMatchOperandsActions)
+{
+    auto d = parseOk(R"(
+        format F { op[31:26] ra[25:21] rb[20:16] }
+        instr foo : F match op == 7, ra == 1 {
+            src a = R[rb];
+            dst b = R[ra];
+            action execute { b = a + 1; }
+        })");
+    ASSERT_EQ(d.instrs.size(), 1u);
+    const InstrDecl &i = d.instrs[0];
+    EXPECT_EQ(i.formatName, "F");
+    ASSERT_EQ(i.match.size(), 2u);
+    EXPECT_EQ(i.match[1].value, 1u);
+    ASSERT_EQ(i.operands.size(), 2u);
+    EXPECT_FALSE(i.operands[0].isDst);
+    EXPECT_TRUE(i.operands[1].isDst);
+    ASSERT_EQ(i.actions.size(), 1u);
+    EXPECT_EQ(i.actions[0].step, "execute");
+}
+
+TEST(Parser, LateActions)
+{
+    auto d = parseOk(R"(
+        opclass c : F { action late execute { } }
+    )");
+    ASSERT_EQ(d.classes.size(), 1u);
+    EXPECT_TRUE(d.classes[0].actions[0].late);
+}
+
+TEST(Parser, Helpers)
+{
+    auto d = parseOk("helper h { u32 x = 1; }");
+    ASSERT_EQ(d.helpers.size(), 1u);
+    EXPECT_EQ(d.helpers[0].name, "h");
+}
+
+TEST(Parser, InlineStatement)
+{
+    auto d = parseOk(R"(
+        instr i : F match op == 1 {
+            action execute { inline h; }
+        })");
+    const Stmt &body = *d.instrs[0].actions[0].body;
+    ASSERT_EQ(body.body.size(), 1u);
+    EXPECT_EQ(body.body[0]->kind, Stmt::Kind::Inline);
+    EXPECT_EQ(body.body[0]->name, "h");
+}
+
+TEST(Parser, BuildsetShorthands)
+{
+    auto d = parseOk(
+        "buildset B { semantic block; info decode; speculation on; }");
+    ASSERT_EQ(d.buildsets.size(), 1u);
+    EXPECT_EQ(d.buildsets[0].semantic, SemanticLevel::Block);
+    EXPECT_EQ(d.buildsets[0].info, InfoLevel::Decode);
+    EXPECT_TRUE(d.buildsets[0].speculation);
+}
+
+TEST(Parser, BuildsetCustomEntrypointsAndVisibility)
+{
+    auto d = parseOk(R"(
+        buildset B {
+            entrypoint front = fetch, decode;
+            entrypoint rest = execute;
+            visibility hide ea, foo;
+        })");
+    const BuildsetDecl &b = d.buildsets[0];
+    EXPECT_EQ(b.semantic, SemanticLevel::Custom);
+    EXPECT_EQ(b.info, InfoLevel::Custom);
+    ASSERT_EQ(b.entrypoints.size(), 2u);
+    EXPECT_EQ(b.entrypoints[0].steps.size(), 2u);
+    EXPECT_EQ(b.hideList.size(), 2u);
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    auto d = parseOk(R"(
+        instr i : F match op == 1 {
+            action execute { x = 1 + 2 * 3; }
+        })");
+    // x = (1 + (2 * 3)): root value is Add whose rhs is Mul.
+    const Stmt &assign = *d.instrs[0].actions[0].body->body[0];
+    ASSERT_EQ(assign.kind, Stmt::Kind::Assign);
+    ASSERT_EQ(assign.value->kind, Expr::Kind::Binary);
+    EXPECT_EQ(assign.value->binOp, BinOp::Add);
+    EXPECT_EQ(assign.value->b->binOp, BinOp::Mul);
+}
+
+TEST(Parser, CastVsParenDisambiguation)
+{
+    auto d = parseOk(R"(
+        instr i : F match op == 1 {
+            action execute { x = (u32)y; z = (y); }
+        })");
+    const auto &stmts = d.instrs[0].actions[0].body->body;
+    EXPECT_EQ(stmts[0]->value->kind, Expr::Kind::Cast);
+    EXPECT_EQ(stmts[1]->value->kind, Expr::Kind::Ident);
+}
+
+TEST(Parser, TernaryAndLogical)
+{
+    auto d = parseOk(R"(
+        instr i : F match op == 1 {
+            action execute { x = a && b ? c : d || e; }
+        })");
+    const Expr &e = *d.instrs[0].actions[0].body->body[0]->value;
+    EXPECT_EQ(e.kind, Expr::Kind::Ternary);
+    EXPECT_EQ(e.a->binOp, BinOp::LogAnd);
+    EXPECT_EQ(e.c->binOp, BinOp::LogOr);
+}
+
+TEST(Parser, IfElseWhile)
+{
+    auto d = parseOk(R"(
+        instr i : F match op == 1 {
+            action execute {
+                if (a) x = 1; else x = 2;
+                while (x < 10) x = x + 1;
+            }
+        })");
+    const auto &stmts = d.instrs[0].actions[0].body->body;
+    EXPECT_EQ(stmts[0]->kind, Stmt::Kind::If);
+    ASSERT_NE(stmts[0]->elseStmt, nullptr);
+    EXPECT_EQ(stmts[1]->kind, Stmt::Kind::While);
+}
+
+TEST(Parser, AssignToNonIdentIsError)
+{
+    parseErr(R"(
+        instr i : F match op == 1 {
+            action execute { 1 + 2 = 3; }
+        })");
+}
+
+TEST(Parser, MissingSemicolonIsError)
+{
+    parseErr("field x : u64");
+}
+
+TEST(Parser, ErrorRecoveryContinuesToNextDecl)
+{
+    DiagnosticEngine diags;
+    Description d = parseString(
+        "field : u64;\nfield ok : u32;", diags);
+    EXPECT_TRUE(diags.hasErrors());
+    // The second field should still have parsed.
+    bool found = false;
+    for (const auto &f : d.fields)
+        if (f.name == "ok")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Parser, MultiFileMerge)
+{
+    DiagnosticEngine diags;
+    std::vector<SourceFile> files = {
+        {"isa t { bits 32; } field a : u8;", "one.lis"},
+        {"field b : u16;", "two.lis"},
+    };
+    Description d = parseFiles(files, diags);
+    EXPECT_FALSE(diags.hasErrors());
+    EXPECT_EQ(d.isa.name, "t");
+    EXPECT_EQ(d.fields.size(), 2u);
+}
+
+} // namespace
+} // namespace onespec

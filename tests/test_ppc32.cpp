@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Instruction-level semantics tests for the ppc32 description: record
+ * forms, CR fields, XER carry, CTR branches, update-form memory ops, and
+ * big-endian data layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/encode.hpp"
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+
+namespace onespec {
+namespace {
+
+// CR0 bits in our (conventional) numbering: LT=31 GT=30 EQ=29 SO=28.
+constexpr uint32_t kLt = 1u << 31;
+constexpr uint32_t kGt = 1u << 30;
+constexpr uint32_t kEq = 1u << 29;
+constexpr uint32_t kCa = 1u << 29; // XER.CA
+
+class Ppc32Test : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { spec_ = loadIsa("ppc32").release(); }
+    static void TearDownTestSuite()
+    {
+        delete spec_;
+        spec_ = nullptr;
+    }
+
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_unique<SimContext>(*spec_);
+        crIdx_ = spec_->state.scalarIndex("CR");
+        lrIdx_ = spec_->state.scalarIndex("LR");
+        ctrIdx_ = spec_->state.scalarIndex("CTR");
+        xerIdx_ = spec_->state.scalarIndex("XER");
+    }
+
+    RunStatus
+    run1(uint32_t w)
+    {
+        // Memory::write applies the ISA's (big-endian) byte order.
+        FaultKind f = FaultKind::None;
+        ctx_->mem().write(0x8000, w, 4, f);
+        ctx_->state().setPc(0x8000);
+        auto sim = makeInterpSimulator(*ctx_, "OneAllNo");
+        lastDi_ = DynInst{};
+        return sim->execute(lastDi_);
+    }
+
+    uint32_t reg(unsigned i) const
+    {
+        return static_cast<uint32_t>(ctx_->state().readReg(0, i));
+    }
+    void setReg(unsigned i, uint32_t v) { ctx_->state().writeReg(0, i, v); }
+    uint32_t cr() const
+    {
+        return static_cast<uint32_t>(ctx_->state().readScalar(crIdx_));
+    }
+    uint32_t xer() const
+    {
+        return static_cast<uint32_t>(ctx_->state().readScalar(xerIdx_));
+    }
+    void setXer(uint32_t v) { ctx_->state().writeScalar(xerIdx_, v); }
+    uint32_t lr() const
+    {
+        return static_cast<uint32_t>(ctx_->state().readScalar(lrIdx_));
+    }
+    void setCtr(uint32_t v) { ctx_->state().writeScalar(ctrIdx_, v); }
+    uint32_t ctr() const
+    {
+        return static_cast<uint32_t>(ctx_->state().readScalar(ctrIdx_));
+    }
+
+    uint32_t
+    xo(const char *op, unsigned rt, unsigned ra, unsigned rb,
+       unsigned rc = 0)
+    {
+        return mustEncode(*spec_, op,
+                          {{"rt", rt}, {"ra", ra}, {"rb", rb},
+                           {"rc", rc}});
+    }
+
+    static Spec *spec_;
+    std::unique_ptr<SimContext> ctx_;
+    DynInst lastDi_;
+    int crIdx_ = -1, lrIdx_ = -1, ctrIdx_ = -1, xerIdx_ = -1;
+};
+
+Spec *Ppc32Test::spec_ = nullptr;
+
+TEST_F(Ppc32Test, DescriptionLoads)
+{
+    EXPECT_EQ(spec_->props.name, "ppc32");
+    EXPECT_FALSE(spec_->props.littleEndian);
+    EXPECT_GE(spec_->instrs.size(), 70u);
+}
+
+TEST_F(Ppc32Test, AddiWithR0MeansLiteral)
+{
+    setReg(0, 999);
+    run1(mustEncode(*spec_, "addi",
+                    {{"rt", 3}, {"ra", 0}, {"dimm", 42}}));
+    EXPECT_EQ(reg(3), 42u); // ra==0 reads as literal 0, not R0
+
+    setReg(4, 100);
+    run1(mustEncode(*spec_, "addi",
+                    {{"rt", 3}, {"ra", 4}, {"dimm", 0xffff}}));
+    EXPECT_EQ(reg(3), 99u); // sign-extended -1
+}
+
+TEST_F(Ppc32Test, AddisAndOriBuildConstants)
+{
+    run1(mustEncode(*spec_, "addis",
+                    {{"rt", 3}, {"ra", 0}, {"dimm", 0xdead}}));
+    run1(mustEncode(*spec_, "ori",
+                    {{"rt", 3}, {"ra", 3}, {"dimm", 0xbeef}}));
+    EXPECT_EQ(reg(3), 0xdeadbeefu);
+}
+
+TEST_F(Ppc32Test, RecordFormUpdatesCr0)
+{
+    setReg(4, 5);
+    setReg(5, 10);
+    run1(xo("subf", 3, 5, 4, 1)); // rt = rb - ra = 5 - 10 (dotted)
+    EXPECT_EQ(reg(3), static_cast<uint32_t>(-5));
+    EXPECT_TRUE(cr() & kLt);
+    EXPECT_FALSE(cr() & kGt);
+    EXPECT_FALSE(cr() & kEq);
+
+    run1(xo("subf", 3, 4, 4, 1)); // 5 - 5 = 0
+    EXPECT_TRUE(cr() & kEq);
+}
+
+TEST_F(Ppc32Test, NonRecordFormLeavesCrAlone)
+{
+    ctx_->state().writeScalar(crIdx_, 0x12345678);
+    setReg(4, 1);
+    setReg(5, 2);
+    run1(xo("add", 3, 4, 5, 0));
+    EXPECT_EQ(cr(), 0x12345678u);
+}
+
+TEST_F(Ppc32Test, CarryChainAddcAdde)
+{
+    setReg(4, 0xffffffff);
+    setReg(5, 1);
+    run1(xo("addc", 3, 4, 5));
+    EXPECT_EQ(reg(3), 0u);
+    EXPECT_TRUE(xer() & kCa);
+
+    setReg(6, 10);
+    setReg(7, 20);
+    run1(xo("adde", 3, 6, 7)); // 10 + 20 + CA(1)
+    EXPECT_EQ(reg(3), 31u);
+    EXPECT_FALSE(xer() & kCa);
+}
+
+TEST_F(Ppc32Test, SubficAndAddze)
+{
+    setReg(4, 3);
+    run1(mustEncode(*spec_, "subfic",
+                    {{"rt", 3}, {"ra", 4}, {"dimm", 10}}));
+    EXPECT_EQ(reg(3), 7u);
+    EXPECT_TRUE(xer() & kCa); // 10 >= 3: no borrow
+
+    setReg(5, 100);
+    run1(xo("addze", 3, 5, 0));
+    EXPECT_EQ(reg(3), 101u);
+}
+
+TEST_F(Ppc32Test, MultiplyFamily)
+{
+    setReg(4, 0x10000);
+    setReg(5, 0x10000);
+    run1(xo("mullw", 3, 4, 5));
+    EXPECT_EQ(reg(3), 0u);
+    run1(xo("mulhwu", 3, 4, 5));
+    EXPECT_EQ(reg(3), 1u);
+    setReg(4, static_cast<uint32_t>(-2));
+    setReg(5, 3);
+    run1(xo("mulhw", 3, 4, 5));
+    EXPECT_EQ(reg(3), 0xffffffffu); // high word of -6
+}
+
+TEST_F(Ppc32Test, DivideFamily)
+{
+    setReg(4, static_cast<uint32_t>(-7));
+    setReg(5, 2);
+    run1(xo("divw", 3, 4, 5));
+    EXPECT_EQ(reg(3), static_cast<uint32_t>(-3));
+    run1(xo("divwu", 3, 4, 5));
+    EXPECT_EQ(reg(3), 0x7ffffffcu);
+    // Divide by zero yields 0 deterministically.
+    setReg(5, 0);
+    run1(xo("divw", 3, 4, 5));
+    EXPECT_EQ(reg(3), 0u);
+}
+
+TEST_F(Ppc32Test, LogicalOpsWithSwappedSourceField)
+{
+    setReg(4, 0xf0f0);  // rs (travels in rt field)
+    setReg(5, 0xff00);  // rb
+    // and ra, rs, rb: rs in rt-field, dest in ra-field
+    run1(mustEncode(*spec_, "and",
+                    {{"rt", 4}, {"ra", 3}, {"rb", 5}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), 0xf000u);
+    run1(mustEncode(*spec_, "nor",
+                    {{"rt", 4}, {"ra", 3}, {"rb", 5}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), ~0xfff0u);
+}
+
+TEST_F(Ppc32Test, RlwinmMasks)
+{
+    setReg(4, 0x12345678);
+    // slwi 8: rlwinm 3,4,8,0,23
+    run1(mustEncode(*spec_, "rlwinm",
+                    {{"rt", 4}, {"ra", 3}, {"sh", 8}, {"mb", 0},
+                     {"me", 23}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), 0x34567800u);
+    // srwi 16: rlwinm 3,4,16,16,31
+    run1(mustEncode(*spec_, "rlwinm",
+                    {{"rt", 4}, {"ra", 3}, {"sh", 16}, {"mb", 16},
+                     {"me", 31}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), 0x1234u);
+    // wrap-around mask (mb > me): extract rotated bits outside the hole
+    run1(mustEncode(*spec_, "rlwinm",
+                    {{"rt", 4}, {"ra", 3}, {"sh", 0}, {"mb", 24},
+                     {"me", 7}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), 0x12000078u);
+}
+
+TEST_F(Ppc32Test, RlwimiInserts)
+{
+    setReg(4, 0x000000ff); // rs
+    setReg(3, 0x12345678); // ra old value
+    // insert rs<<8 into bits [15:8]: rlwimi 3,4,8,16,23
+    run1(mustEncode(*spec_, "rlwimi",
+                    {{"rt", 4}, {"ra", 3}, {"sh", 8}, {"mb", 16},
+                     {"me", 23}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), 0x1234ff78u);
+}
+
+TEST_F(Ppc32Test, CompareWritesSelectedCrField)
+{
+    setReg(4, 5);
+    run1(mustEncode(*spec_, "cmpwi",
+                    {{"crfd", 2}, {"ra", 4}, {"simm", 10}}));
+    // CR field 2 occupies bits [23:20]; LT of field 2 = bit 23.
+    EXPECT_TRUE(cr() & (1u << 23));
+    // Other fields untouched (were zero).
+    EXPECT_EQ(cr() & 0xf0000000, 0u);
+
+    setReg(5, 0xffffffff);
+    run1(mustEncode(*spec_, "cmplwi",
+                    {{"crfd", 0}, {"ra", 5}, {"simm", 1}}));
+    EXPECT_TRUE(cr() & kGt); // unsigned: 0xffffffff > 1
+    run1(mustEncode(*spec_, "cmpwi",
+                    {{"crfd", 0}, {"ra", 5}, {"simm", 1}}));
+    EXPECT_TRUE(cr() & kLt); // signed: -1 < 1
+}
+
+TEST_F(Ppc32Test, BranchConditionalOnCrBit)
+{
+    setReg(4, 7);
+    run1(mustEncode(*spec_, "cmpwi",
+                    {{"crfd", 0}, {"ra", 4}, {"simm", 7}}));
+    EXPECT_TRUE(cr() & kEq);
+    // beq: bo=12 (branch if true), bi=2 (EQ of cr0), bd=+4 words
+    run1(mustEncode(*spec_, "bc",
+                    {{"bo", 12}, {"bi", 2}, {"bd", 4}, {"aa", 0},
+                     {"lk", 0}}));
+    EXPECT_TRUE(lastDi_.branchTaken());
+    EXPECT_EQ(ctx_->state().pc(), 0x8010u);
+    // bne: bo=4 (branch if false) -- not taken here
+    run1(mustEncode(*spec_, "bc",
+                    {{"bo", 4}, {"bi", 2}, {"bd", 4}, {"aa", 0},
+                     {"lk", 0}}));
+    EXPECT_FALSE(lastDi_.branchTaken());
+    EXPECT_EQ(ctx_->state().pc(), 0x8004u);
+}
+
+TEST_F(Ppc32Test, BdnzDecrementsCtr)
+{
+    setCtr(3);
+    // bdnz: bo=16 (decrement, branch if ctr != 0)
+    uint32_t bdnz = mustEncode(*spec_, "bc",
+                               {{"bo", 16}, {"bi", 0}, {"bd", 8},
+                                {"aa", 0}, {"lk", 0}});
+    run1(bdnz);
+    EXPECT_EQ(ctr(), 2u);
+    EXPECT_TRUE(lastDi_.branchTaken());
+    setCtr(1);
+    run1(bdnz);
+    EXPECT_EQ(ctr(), 0u);
+    EXPECT_FALSE(lastDi_.branchTaken());
+}
+
+TEST_F(Ppc32Test, BranchAndLinkThroughLr)
+{
+    run1(mustEncode(*spec_, "b",
+                    {{"li", 4}, {"aa", 0}, {"lk", 1}}));
+    EXPECT_EQ(lr(), 0x8004u);
+    EXPECT_EQ(ctx_->state().pc(), 0x8010u);
+    // blr: bclr with bo=20 (always)
+    ctx_->state().writeScalar(lrIdx_, 0x9000);
+    run1(mustEncode(*spec_, "bclr",
+                    {{"bo", 20}, {"bi", 0}, {"lk", 0}}));
+    EXPECT_EQ(ctx_->state().pc(), 0x9000u);
+}
+
+TEST_F(Ppc32Test, SprMoves)
+{
+    setReg(4, 0x1234);
+    run1(mustEncode(*spec_, "mtlr", {{"rt", 4}}));
+    EXPECT_EQ(lr(), 0x1234u);
+    run1(mustEncode(*spec_, "mflr", {{"rt", 5}}));
+    EXPECT_EQ(reg(5), 0x1234u);
+    setReg(6, 77);
+    run1(mustEncode(*spec_, "mtctr", {{"rt", 6}}));
+    EXPECT_EQ(ctr(), 77u);
+    ctx_->state().writeScalar(crIdx_, 0xabcd0123);
+    run1(mustEncode(*spec_, "mfcr", {{"rt", 7}}));
+    EXPECT_EQ(reg(7), 0xabcd0123u);
+}
+
+TEST_F(Ppc32Test, BigEndianLoadsAndStores)
+{
+    setReg(4, 0x20000);
+    setReg(5, 0x11223344);
+    run1(mustEncode(*spec_, "stw",
+                    {{"rt", 5}, {"ra", 4}, {"dimm", 0}}));
+    // Byte order in memory is big-endian.
+    EXPECT_EQ(ctx_->mem().readByte(0x20000), 0x11);
+    EXPECT_EQ(ctx_->mem().readByte(0x20003), 0x44);
+    run1(mustEncode(*spec_, "lhz",
+                    {{"rt", 6}, {"ra", 4}, {"dimm", 2}}));
+    EXPECT_EQ(reg(6), 0x3344u);
+    run1(mustEncode(*spec_, "lha",
+                    {{"rt", 6}, {"ra", 4}, {"dimm", 0}}));
+    EXPECT_EQ(reg(6), 0x1122u);
+    run1(mustEncode(*spec_, "lbz",
+                    {{"rt", 6}, {"ra", 4}, {"dimm", 1}}));
+    EXPECT_EQ(reg(6), 0x22u);
+}
+
+TEST_F(Ppc32Test, UpdateFormsWriteBase)
+{
+    FaultKind f = FaultKind::None;
+    ctx_->mem().write(0x20010, 0x55, 4, f);
+    setReg(4, 0x20000);
+    run1(mustEncode(*spec_, "lwzu",
+                    {{"rt", 5}, {"ra", 4}, {"dimm", 0x10}}));
+    EXPECT_EQ(reg(5), 0x55u);
+    EXPECT_EQ(reg(4), 0x20010u); // base updated
+
+    setReg(6, 0x99);
+    run1(mustEncode(*spec_, "stwu",
+                    {{"rt", 6}, {"ra", 4}, {"dimm", 0x10}}));
+    EXPECT_EQ(reg(4), 0x20020u);
+    EXPECT_EQ(ctx_->mem().read(0x20020, 4, f), 0x99u);
+}
+
+TEST_F(Ppc32Test, IndexedLoadsStores)
+{
+    FaultKind f = FaultKind::None;
+    setReg(4, 0x20000);
+    setReg(5, 0x30);
+    setReg(6, 0xabcd);
+    run1(mustEncode(*spec_, "stwx",
+                    {{"rt", 6}, {"ra", 4}, {"rb", 5}, {"rc", 0}}));
+    EXPECT_EQ(ctx_->mem().read(0x20030, 4, f), 0xabcdu);
+    run1(mustEncode(*spec_, "lwzx",
+                    {{"rt", 7}, {"ra", 4}, {"rb", 5}, {"rc", 0}}));
+    EXPECT_EQ(reg(7), 0xabcdu);
+}
+
+TEST_F(Ppc32Test, ShiftsWithCarry)
+{
+    setReg(4, static_cast<uint32_t>(-8)); // rs
+    run1(mustEncode(*spec_, "srawi",
+                    {{"rt", 4}, {"ra", 3}, {"rb", 2}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), static_cast<uint32_t>(-2));
+    // -8 >> 2 loses no 1-bits: CA clear.
+    EXPECT_FALSE(xer() & kCa);
+    setReg(4, static_cast<uint32_t>(-7));
+    run1(mustEncode(*spec_, "srawi",
+                    {{"rt", 4}, {"ra", 3}, {"rb", 1}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), static_cast<uint32_t>(-4));
+    EXPECT_TRUE(xer() & kCa); // a 1 fell off a negative value
+}
+
+TEST_F(Ppc32Test, ExtendAndCount)
+{
+    setReg(4, 0x80);
+    run1(mustEncode(*spec_, "extsb",
+                    {{"rt", 4}, {"ra", 3}, {"rb", 0}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), 0xffffff80u);
+    setReg(4, 0x00010000);
+    run1(mustEncode(*spec_, "cntlzw",
+                    {{"rt", 4}, {"ra", 3}, {"rb", 0}, {"rc", 0}}));
+    EXPECT_EQ(reg(3), 15u);
+}
+
+TEST_F(Ppc32Test, CrLogicalOps)
+{
+    // Set CR bit 31 (our numbering; PPC bit 0 = cr0.LT) and bit 29 (EQ).
+    ctx_->state().writeScalar(crIdx_, kLt | kEq);
+    auto crl = [&](const char *op, unsigned d, unsigned a, unsigned b) {
+        return mustEncode(*spec_, op,
+                          {{"crbd", d}, {"crba", a}, {"crbb", b}});
+    };
+    // crand 4, 0, 2: bit4 <- LT(1) & EQ(1) = 1
+    run1(crl("crand", 4, 0, 2));
+    EXPECT_TRUE(cr() & (1u << 27));
+    // crxor 4, 0, 2: 1 ^ 1 = 0
+    run1(crl("crxor", 4, 0, 2));
+    EXPECT_FALSE(cr() & (1u << 27));
+    // cror 5, 1, 2: GT(0) | EQ(1) = 1
+    run1(crl("cror", 5, 1, 2));
+    EXPECT_TRUE(cr() & (1u << 26));
+    // crnor 6, 1, 3: ~(0|0) = 1
+    run1(crl("crnor", 6, 1, 3));
+    EXPECT_TRUE(cr() & (1u << 25));
+    // crandc 7, 0, 1: LT & ~GT = 1
+    run1(crl("crandc", 7, 0, 1));
+    EXPECT_TRUE(cr() & (1u << 24));
+    // creqv 8, 1, 3: ~(0^0) = 1
+    run1(crl("creqv", 8, 1, 3));
+    EXPECT_TRUE(cr() & (1u << 23));
+    // crnand 9, 0, 2: ~(1&1) = 0
+    run1(crl("crnand", 9, 0, 2));
+    EXPECT_FALSE(cr() & (1u << 22));
+    // crorc 10, 1, 1: 0 | ~0 = 1
+    run1(crl("crorc", 10, 1, 1));
+    EXPECT_TRUE(cr() & (1u << 21));
+}
+
+TEST_F(Ppc32Test, McrfCopiesField)
+{
+    ctx_->state().writeScalar(crIdx_, 0xa0000000); // cr0 = 0b1010
+    run1(mustEncode(*spec_, "mcrf", {{"crfd", 3}, {"crfs", 0}}));
+    // Field 3 occupies bits [19:16].
+    EXPECT_EQ((cr() >> 16) & 0xf, 0xau);
+    // Source field unchanged.
+    EXPECT_EQ((cr() >> 28) & 0xf, 0xau);
+}
+
+} // namespace
+} // namespace onespec

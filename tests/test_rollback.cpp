@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit and property tests for the rollback journal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/rollback.hpp"
+#include "support/panic_exception.hpp"
+#include "testutil.hpp"
+
+namespace onespec {
+namespace {
+
+class RollbackTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec_ = test::makeMiniSpec();
+        state_ = std::make_unique<ArchState>(spec_->state);
+    }
+
+    std::unique_ptr<Spec> spec_;
+    std::unique_ptr<ArchState> state_;
+    Memory mem_;
+    RollbackLog log_;
+};
+
+TEST_F(RollbackTest, UndoRestoresRegisterWrites)
+{
+    state_->writeReg(0, 1, 100);
+    log_.beginInstr(0x1000, 0, 0, 0);
+    log_.recordReg(1, state_->rawWord(1));
+    state_->writeReg(0, 1, 200);
+
+    log_.beginInstr(0x1004, 0, 0, 0);
+    log_.recordReg(1, state_->rawWord(1));
+    state_->writeReg(0, 1, 300);
+
+    EXPECT_EQ(log_.depth(), 2u);
+    auto mark = log_.undo(1, *state_, mem_);
+    EXPECT_EQ(state_->readReg(0, 1), 200u);
+    EXPECT_EQ(mark.pc, 0x1004u);
+    EXPECT_EQ(state_->pc(), 0x1004u);
+
+    log_.undo(1, *state_, mem_);
+    EXPECT_EQ(state_->readReg(0, 1), 100u);
+    EXPECT_EQ(log_.depth(), 0u);
+}
+
+TEST_F(RollbackTest, UndoRestoresMemoryInReverseOrder)
+{
+    FaultKind f = FaultKind::None;
+    mem_.write(0x100, 0xaa, 1, f);
+    log_.beginInstr(0x1000, 0, 0, 0);
+    log_.recordMem(0x100, 1, mem_.read(0x100, 1, f));
+    mem_.write(0x100, 0xbb, 1, f);
+    // Same location written twice in one instruction.
+    log_.recordMem(0x100, 1, mem_.read(0x100, 1, f));
+    mem_.write(0x100, 0xcc, 1, f);
+
+    log_.undo(1, *state_, mem_);
+    EXPECT_EQ(mem_.read(0x100, 1, f), 0xaau);
+}
+
+TEST_F(RollbackTest, UndoMultipleInstructionsAtOnce)
+{
+    for (int i = 0; i < 10; ++i) {
+        log_.beginInstr(0x1000 + 4 * i, 0, 0, 0);
+        log_.recordReg(2, state_->rawWord(2));
+        state_->writeReg(0, 2, static_cast<uint64_t>(i + 1));
+    }
+    log_.undo(7, *state_, mem_);
+    EXPECT_EQ(state_->readReg(0, 2), 3u);
+    EXPECT_EQ(state_->pc(), 0x1000u + 4 * 3);
+    EXPECT_EQ(log_.depth(), 3u);
+}
+
+TEST_F(RollbackTest, UndoTooDeepPanics)
+{
+    ScopedThrowOnPanic guard;
+    log_.beginInstr(0x1000, 0, 0, 0);
+    EXPECT_THROW(log_.undo(2, *state_, mem_), PanicException);
+    EXPECT_THROW(log_.undo(0, *state_, mem_), PanicException);
+}
+
+TEST_F(RollbackTest, MarksCarryOsState)
+{
+    log_.beginInstr(0x1000, 55, 0x20000, 7);
+    auto mark = log_.undo(1, *state_, mem_);
+    EXPECT_EQ(mark.osOutputLen, 55u);
+    EXPECT_EQ(mark.osBrk, 0x20000u);
+    EXPECT_EQ(mark.osInputPos, 7u);
+}
+
+TEST_F(RollbackTest, TrimBoundsHistoryButKeepsHorizon)
+{
+    // Journal far beyond the horizon; old history is trimmed but at
+    // least kHorizon instructions stay undoable.
+    for (uint64_t i = 0; i < 2 * RollbackLog::kHorizon + 1000; ++i) {
+        log_.beginInstr(i * 4, 0, 0, 0);
+        log_.recordReg(3, state_->rawWord(3));
+        state_->writeReg(0, 3, i);
+    }
+    EXPECT_LE(log_.depth(), 2 * RollbackLog::kHorizon + 1000);
+    EXPECT_GE(log_.depth(), RollbackLog::kHorizon);
+
+    // Undo a large chunk within the kept horizon.
+    size_t n = RollbackLog::kHorizon / 2;
+    log_.undo(n, *state_, mem_);
+    uint64_t last = 2 * RollbackLog::kHorizon + 1000 - 1;
+    EXPECT_EQ(state_->readReg(0, 3), last - n + 1 - 1);
+}
+
+TEST_F(RollbackTest, ClearEmptiesJournal)
+{
+    log_.beginInstr(0x1000, 0, 0, 0);
+    log_.recordReg(1, 0);
+    log_.clear();
+    EXPECT_EQ(log_.depth(), 0u);
+    EXPECT_EQ(log_.entryCount(), 0u);
+}
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Semantic-analysis tests: resolution, typing rules, and every class of
+ * description error the analyzer must reject or warn about.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/parser.hpp"
+#include "adl/sema.hpp"
+#include "testutil.hpp"
+
+namespace onespec {
+namespace {
+
+/** Boilerplate wrapped around test snippets. */
+std::string
+wrap(const std::string &body)
+{
+    return R"(
+isa t { bits 64; instr_bytes 4; endian little; }
+state { regfile R[8] : u64; }
+abi { syscall_num R[0]; arg R[1]; ret R[0]; stack R[7]; }
+format F { op[31:26] ra[25:21] rb[20:16] imm[15:0] }
+)" + body;
+}
+
+std::string
+semaErr(const std::string &src)
+{
+    DiagnosticEngine diags;
+    Description d = parseString(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << "parse failed: " << diags.str();
+    analyze(std::move(d), diags);
+    EXPECT_TRUE(diags.hasErrors()) << "expected a sema error";
+    return diags.str();
+}
+
+std::unique_ptr<Spec>
+semaOk(const std::string &src, std::string *warnings = nullptr)
+{
+    DiagnosticEngine diags;
+    Description d = parseString(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    auto spec = analyze(std::move(d), diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    if (warnings)
+        *warnings = diags.str();
+    return spec;
+}
+
+TEST(Sema, MinimalValidDescription)
+{
+    auto spec = semaOk(wrap(R"(
+        instr nop : F match op == 1 { }
+        buildset B { semantic one; info all; }
+    )"));
+    EXPECT_EQ(spec->instrs.size(), 1u);
+    EXPECT_EQ(spec->state.files[0].count, 8u);
+    EXPECT_EQ(spec->state.totalWords, 8u);
+}
+
+TEST(Sema, MissingIsaIsError)
+{
+    DiagnosticEngine diags;
+    Description d = parseString("field x : u64;", diags);
+    analyze(std::move(d), diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Sema, NoInstructionsIsError)
+{
+    semaErr(wrap(""));
+}
+
+TEST(Sema, DuplicateStateNameIsError)
+{
+    semaErr(R"(
+isa t { bits 64; }
+state { regfile R[4] : u64; reg R : u32; }
+abi { syscall_num R[0]; arg R[1]; ret R[0]; stack R[3]; }
+format F { op[31:26] }
+instr nop : F match op == 1 { }
+)");
+}
+
+TEST(Sema, ReservedStateNameIsError)
+{
+    semaErr(R"(
+isa t { bits 64; }
+state { reg pc : u64; regfile R[4] : u64; }
+abi { syscall_num R[0]; arg R[1]; ret R[0]; stack R[3]; }
+format F { op[31:26] }
+instr nop : F match op == 1 { }
+)");
+}
+
+TEST(Sema, UnknownAbiRegisterIsError)
+{
+    semaErr(R"(
+isa t { bits 64; }
+state { regfile R[4] : u64; }
+abi { syscall_num Q[0]; arg R[1]; ret R[0]; stack R[3]; }
+format F { op[31:26] }
+instr nop : F match op == 1 { }
+)");
+}
+
+TEST(Sema, AbiIndexOutOfRangeIsError)
+{
+    semaErr(R"(
+isa t { bits 64; }
+state { regfile R[4] : u64; }
+abi { syscall_num R[9]; arg R[1]; ret R[0]; stack R[3]; }
+format F { op[31:26] }
+instr nop : F match op == 1 { }
+)");
+}
+
+TEST(Sema, DuplicateFieldIsError)
+{
+    semaErr(wrap(R"(
+        field x : u64;
+        field x : u32;
+        instr nop : F match op == 1 { }
+    )"));
+}
+
+TEST(Sema, SlotCollidesWithEncodingFieldIsError)
+{
+    semaErr(wrap(R"(
+        field imm : u64;
+        instr nop : F match op == 1 { }
+    )"));
+}
+
+TEST(Sema, OperandSlotTypeMismatchIsError)
+{
+    semaErr(R"(
+isa t { bits 64; }
+state { regfile R[4] : u64; reg CR : u32; }
+abi { syscall_num R[0]; arg R[1]; ret R[0]; stack R[3]; }
+format F { op[31:26] ra[25:21] }
+instr a : F match op == 1 { src v = R[ra]; }
+instr b : F match op == 2 { src v = CR; }
+)");
+}
+
+TEST(Sema, MatchFieldNotInFormatIsError)
+{
+    semaErr(wrap("instr i : F match nosuch == 1 { }"));
+}
+
+TEST(Sema, MatchValueTooWideIsError)
+{
+    semaErr(wrap("instr i : F match op == 0x40 { }")); // op is 6 bits
+}
+
+TEST(Sema, ConflictingMatchValuesIsError)
+{
+    semaErr(wrap("instr i : F match op == 1, op == 2 { }"));
+}
+
+TEST(Sema, NoMatchConditionIsError)
+{
+    semaErr(wrap("instr i : F { }"));
+}
+
+TEST(Sema, IdenticalEncodingsAreError)
+{
+    auto s = semaErr(wrap(R"(
+        instr a : F match op == 1 { }
+        instr b : F match op == 1 { }
+    )"));
+    EXPECT_NE(s.find("identical encodings"), std::string::npos);
+}
+
+TEST(Sema, UnknownIdentifierInActionIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action execute { mystery = 1; }
+        }
+    )"));
+}
+
+TEST(Sema, OperandOfOtherInstructionIsError)
+{
+    semaErr(wrap(R"(
+        instr a : F match op == 1 { src v = R[ra]; }
+        instr b : F match op == 2 {
+            action execute { branch(v); }
+        }
+    )"));
+}
+
+TEST(Sema, AssignToEncodingFieldIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action execute { imm = 1; }
+        }
+    )"));
+}
+
+TEST(Sema, BuiltinArityIsChecked)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action execute { branch(1, 2); }
+        }
+    )"));
+}
+
+TEST(Sema, UnknownFunctionIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action execute { frobnicate(1); }
+        }
+    )"));
+}
+
+TEST(Sema, ActionOnImplicitStepIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action fetch { branch(1); }
+        }
+    )"));
+}
+
+TEST(Sema, UnknownStepIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action retire { branch(1); }
+        }
+    )"));
+}
+
+TEST(Sema, LocalRedeclarationInScopeIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action execute { u32 x = 1; u32 x = 2; }
+        }
+    )"));
+}
+
+TEST(Sema, NestedScopeShadowingIsAllowed)
+{
+    semaOk(wrap(R"(
+        field out : u64;
+        instr i : F match op == 1 {
+            action execute {
+                u32 x = 1;
+                if (x) { u32 y = 2; out = y; }
+                out = out + x;
+            }
+        }
+        buildset B { semantic one; info all; }
+    )"));
+}
+
+TEST(Sema, IndexExprMayOnlyUseEncodingFields)
+{
+    semaErr(wrap(R"(
+        field f : u64;
+        instr i : F match op == 1 { src v = R[f]; }
+    )"));
+}
+
+TEST(Sema, UnknownHelperIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            action execute { inline nothere; }
+        }
+    )"));
+}
+
+TEST(Sema, RecursiveHelperIsError)
+{
+    semaErr(wrap(R"(
+        helper loop { inline loop; }
+        instr i : F match op == 1 {
+            action execute { inline loop; }
+        }
+    )"));
+}
+
+TEST(Sema, HelperExpandsIntoActions)
+{
+    auto spec = semaOk(wrap(R"(
+        field out : u64;
+        helper hset { out = 7; }
+        instr i : F match op == 1 {
+            action execute { inline hset; }
+        }
+        buildset B { semantic one; info all; }
+    )"));
+    const InstrAction &ia =
+        spec->instrs[0].actions[static_cast<unsigned>(Step::Execute)];
+    ASSERT_NE(ia.body, nullptr);
+    // The inline statement was replaced by the helper's block.
+    EXPECT_EQ(ia.body->body[0]->kind, Stmt::Kind::Block);
+}
+
+TEST(Sema, StepMissingFromCustomBuildsetIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 { }
+        buildset B { entrypoint e = fetch, decode; }
+    )"));
+}
+
+TEST(Sema, StepInTwoEntrypointsIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 { }
+        buildset B {
+            entrypoint a = fetch, decode, read_operands, execute;
+            entrypoint b = execute, memory, writeback, exception;
+        }
+    )"));
+}
+
+TEST(Sema, OutOfOrderStepsInEntrypointIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 { }
+        buildset B {
+            entrypoint a = decode, fetch;
+            entrypoint b = read_operands, execute, memory, writeback,
+                           exception;
+        }
+    )"));
+}
+
+TEST(Sema, UnknownFieldInVisibilityIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 { }
+        buildset B { visibility hide nosuch; }
+    )"));
+}
+
+TEST(Sema, HiddenCrossEntrypointSlotWarns)
+{
+    // effective-address-style flow: produced at execute, consumed at
+    // memory, with the two steps in different entrypoints and the field
+    // hidden -> the paper's "value will be lost" situation.
+    std::string warnings;
+    semaOk(wrap(R"(
+        field ea : u64;
+        instr ld : F match op == 1 {
+            src base = R[rb];
+            dst v = R[ra];
+            action execute { ea = base + sext16(imm); }
+            action memory { v = load_u64(ea); }
+        }
+        buildset Lossy {
+            visibility hide ea;
+            entrypoint front = fetch, decode, read_operands, execute;
+            entrypoint back = memory, writeback, exception;
+        }
+    )"),
+           &warnings);
+    EXPECT_NE(warnings.find("crosses entrypoints"), std::string::npos);
+}
+
+TEST(Sema, DecodeInfoLevelSelectsDecodeFields)
+{
+    auto spec = test::makeMiniSpec();
+    const BuildsetInfo *dec = spec->findBuildset("OneDecNo");
+    const BuildsetInfo *min = spec->findBuildset("OneMinNo");
+    const BuildsetInfo *all = spec->findBuildset("OneAllNo");
+    int ea = spec->findSlot("effective_addr");
+    int alu = spec->findSlot("alu_result");
+    EXPECT_TRUE(dec->visibleSlots & (SlotMask{1} << ea));
+    EXPECT_FALSE(dec->visibleSlots & (SlotMask{1} << alu));
+    EXPECT_EQ(min->visibleSlots, 0u);
+    EXPECT_TRUE(all->visibleSlots & (SlotMask{1} << alu));
+    EXPECT_FALSE(min->opRegsVisible);
+    EXPECT_TRUE(dec->opRegsVisible);
+}
+
+TEST(Sema, ShiftTypingPromotesNarrowLeftOperands)
+{
+    // u8 << 29 must shift at (at least) 32 bits; the mini program
+    // computes (flag << 29) where flag : u8 == 1.
+    auto spec = semaOk(wrap(R"(
+        field flag : u8;
+        field out : u64;
+        instr i : F match op == 1 {
+            action execute { flag = 1; out = flag << 29; }
+        }
+        buildset B { semantic one; info all; }
+    )"));
+    (void)spec;
+}
+
+TEST(Sema, LiteralAdoptsOperandType)
+{
+    // (u32)x + 1 : the literal becomes u32, so wrap-around matches C.
+    auto spec = semaOk(wrap(R"(
+        field out : u32;
+        instr i : F match op == 1 {
+            action execute { out = 0xffffffff; out = out + 1; }
+        }
+        buildset B { semantic one; info all; }
+    )"));
+    (void)spec;
+}
+
+TEST(Sema, TooManyOperandsIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            src a1 = R[ra]; src a2 = R[ra]; src a3 = R[ra];
+            src a4 = R[ra]; src a5 = R[ra]; src a6 = R[ra];
+            src a7 = R[ra]; src a8 = R[ra]; src a9 = R[ra];
+        }
+    )"));
+}
+
+TEST(Sema, DuplicateOperandSlotInOneInstrIsError)
+{
+    semaErr(wrap(R"(
+        instr i : F match op == 1 {
+            src a = R[ra];
+            src a = R[rb];
+        }
+    )"));
+}
+
+TEST(Sema, FingerprintIsStableAndSensitive)
+{
+    auto a = test::makeMiniSpec();
+    auto b = test::makeMiniSpec();
+    EXPECT_EQ(a->fingerprint, b->fingerprint);
+    auto c = semaOk(wrap(R"(
+        instr nop : F match op == 1 { }
+        buildset B { semantic one; info all; }
+    )"));
+    EXPECT_NE(a->fingerprint, c->fingerprint);
+}
+
+} // namespace
+} // namespace onespec

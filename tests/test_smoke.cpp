@@ -1,0 +1,284 @@
+/**
+ * @file
+ * End-to-end smoke tests over the mini ISA: parse -> analyze -> encode ->
+ * load -> interpret, across several buildsets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adl/encode.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "testutil.hpp"
+
+namespace onespec::test {
+namespace {
+
+class SmokeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { spec_ = makeMiniSpec(); }
+
+    /** Assemble a program from raw words at base 0x1000. */
+    Program
+    makeProgram(const std::vector<uint32_t> &words)
+    {
+        Program p;
+        p.name = "smoke";
+        p.entry = 0x1000;
+        Segment seg;
+        seg.base = 0x1000;
+        for (uint32_t w : words) {
+            for (int i = 0; i < 4; ++i)
+                seg.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+        }
+        p.segments.push_back(std::move(seg));
+        return p;
+    }
+
+    uint32_t
+    enc(const std::string &name, std::vector<EncField> fields)
+    {
+        return mustEncode(*spec_, name, fields);
+    }
+
+    std::unique_ptr<Spec> spec_;
+};
+
+TEST_F(SmokeTest, SpecBasics)
+{
+    EXPECT_EQ(spec_->props.name, "mini");
+    EXPECT_EQ(spec_->instrs.size(), 10u);
+    EXPECT_EQ(spec_->buildsets.size(), 8u);
+    EXPECT_GE(spec_->slots.size(), 4u);
+    // Decode round trip for every instruction's canonical encoding.
+    for (size_t i = 0; i < spec_->instrs.size(); ++i) {
+        uint32_t w = spec_->instrs[i].fixedBits;
+        EXPECT_EQ(spec_->decode(w), static_cast<int>(i))
+            << spec_->instrs[i].name;
+    }
+}
+
+TEST_F(SmokeTest, AddExecutes)
+{
+    // li r1, 5; li r2, 7; add r3 = r1 + r2; hlt
+    auto prog = makeProgram({
+        enc("li", {{"ra", 1}, {"imm", 5}}),
+        enc("li", {{"ra", 2}, {"imm", 7}}),
+        enc("add", {{"ra", 1}, {"rb", 2}, {"rc", 3}}),
+        enc("hlt", {}),
+    });
+    SimContext ctx(*spec_);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    RunResult rr = sim->run(100);
+    EXPECT_EQ(rr.status, RunStatus::Halted);
+    EXPECT_EQ(rr.instrs, 4u);
+    EXPECT_EQ(ctx.state().readReg(0, 3), 12u);
+}
+
+TEST_F(SmokeTest, ZeroRegisterReadsZeroDiscardsWrites)
+{
+    auto prog = makeProgram({
+        enc("li", {{"ra", 7}, {"imm", 42}}),      // write discarded
+        enc("add", {{"ra", 7}, {"rb", 7}, {"rc", 1}}), // r1 = 0 + 0
+        enc("hlt", {}),
+    });
+    SimContext ctx(*spec_);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    sim->run(100);
+    EXPECT_EQ(ctx.state().readReg(0, 7), 0u);
+    EXPECT_EQ(ctx.state().readReg(0, 1), 0u);
+}
+
+TEST_F(SmokeTest, LoadStoreRoundTrip)
+{
+    // li r1, 0x22; li r2, 0x2000(base); stq [r2+8] = r1; ldq r3 = [r2+8]
+    auto prog = makeProgram({
+        enc("li", {{"ra", 1}, {"imm", 0x22}}),
+        enc("li", {{"ra", 2}, {"imm", 0x2000}}),
+        enc("stq", {{"ra", 1}, {"rb", 2}, {"imm", 8}}),
+        enc("ldq", {{"ra", 3}, {"rb", 2}, {"imm", 8}}),
+        enc("hlt", {}),
+    });
+    SimContext ctx(*spec_);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    RunResult rr = sim->run(100);
+    EXPECT_EQ(rr.status, RunStatus::Halted);
+    EXPECT_EQ(ctx.state().readReg(0, 3), 0x22u);
+    FaultKind f = FaultKind::None;
+    EXPECT_EQ(ctx.mem().read(0x2008, 8, f), 0x22u);
+}
+
+TEST_F(SmokeTest, BranchLoopSumsCountdown)
+{
+    // r1 = 5 (counter), r2 = 0 (sum), r3 = -1 step
+    // loop: beq r1, +3 ; add r2 = r2 + r1 ; add r1 = r1 + r3 ; br loop
+    // end: hlt
+    auto prog = makeProgram({
+        enc("li", {{"ra", 1}, {"imm", 5}}),
+        enc("li", {{"ra", 2}, {"imm", 0}}),
+        enc("li", {{"ra", 3}, {"imm", 0xffff}}), // sext16 -> -1
+        enc("beq", {{"ra", 1}, {"imm", 3}}),
+        enc("add", {{"ra", 2}, {"rb", 1}, {"rc", 2}}),
+        enc("add", {{"ra", 1}, {"rb", 3}, {"rc", 1}}),
+        enc("br", {{"imm", 0xfffb}}), // -5: back to beq
+        enc("hlt", {}),
+    });
+    SimContext ctx(*spec_);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    RunResult rr = sim->run(1000);
+    EXPECT_EQ(rr.status, RunStatus::Halted);
+    EXPECT_EQ(ctx.state().readReg(0, 2), 15u); // 5+4+3+2+1
+}
+
+TEST_F(SmokeTest, SyscallWriteAndExit)
+{
+    // Store "hi\n" at 0x3000 then write(1, 0x3000, 3); exit(7).
+    auto prog = makeProgram({
+        enc("li", {{"ra", 1}, {"imm", 0x6868}}), // placeholder bytes
+        enc("li", {{"ra", 2}, {"imm", 0x3000}}),
+        enc("stq", {{"ra", 1}, {"rb", 2}, {"imm", 0}}),
+        enc("li", {{"ra", 0}, {"imm", 2}}),       // kSysWrite
+        enc("li", {{"ra", 1}, {"imm", 1}}),       // fd
+        enc("li", {{"ra", 2}, {"imm", 0x3000}}),  // buf
+        enc("li", {{"ra", 3}, {"imm", 2}}),       // len
+        enc("sys", {}),
+        enc("li", {{"ra", 0}, {"imm", 1}}),       // kSysExit
+        enc("li", {{"ra", 1}, {"imm", 7}}),
+        enc("sys", {}),
+        enc("hlt", {}),
+    });
+    SimContext ctx(*spec_);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    RunResult rr = sim->run(100);
+    EXPECT_EQ(rr.status, RunStatus::Halted);
+    EXPECT_EQ(ctx.os().exitCode(), 7);
+    EXPECT_EQ(ctx.os().output(), "hh");
+}
+
+TEST_F(SmokeTest, AllBuildsetsAgree)
+{
+    auto prog = makeProgram({
+        enc("li", {{"ra", 1}, {"imm", 100}}),
+        enc("li", {{"ra", 2}, {"imm", 0}}),
+        enc("li", {{"ra", 3}, {"imm", 0xffff}}),
+        enc("beq", {{"ra", 1}, {"imm", 3}}),
+        enc("add", {{"ra", 2}, {"rb", 1}, {"rc", 2}}),
+        enc("add", {{"ra", 1}, {"rb", 3}, {"rc", 1}}),
+        enc("br", {{"imm", 0xfffb}}),
+        enc("hlt", {}),
+    });
+
+    std::vector<uint64_t> sums;
+    std::vector<uint64_t> counts;
+    for (const auto &bs : spec_->buildsets) {
+        SimContext ctx(*spec_);
+        ctx.load(prog);
+        auto sim = makeInterpSimulator(ctx, bs.name);
+        RunResult rr = sim->run(10000);
+        EXPECT_EQ(rr.status, RunStatus::Halted) << bs.name;
+        sums.push_back(ctx.state().readReg(0, 2));
+        counts.push_back(rr.instrs);
+    }
+    for (size_t i = 1; i < sums.size(); ++i) {
+        EXPECT_EQ(sums[i], sums[0]) << spec_->buildsets[i].name;
+        EXPECT_EQ(counts[i], counts[0]) << spec_->buildsets[i].name;
+    }
+    EXPECT_EQ(sums[0], 5050u);
+}
+
+TEST_F(SmokeTest, InformationalDetailControlsVisibility)
+{
+    auto prog = makeProgram({
+        enc("li", {{"ra", 2}, {"imm", 0x2000}}),
+        enc("ldq", {{"ra", 3}, {"rb", 2}, {"imm", 8}}),
+        enc("hlt", {}),
+    });
+
+    int ea = spec_->findSlot("effective_addr");
+    int alu = spec_->findSlot("alu_result");
+    ASSERT_GE(ea, 0);
+    ASSERT_GE(alu, 0);
+
+    auto runAndGrab = [&](const char *bs, DynInst &ld) {
+        SimContext ctx(*spec_);
+        ctx.load(prog);
+        auto sim = makeInterpSimulator(ctx, bs);
+        DynInst di;
+        EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+        EXPECT_EQ(sim->execute(ld), RunStatus::Ok);
+    };
+
+    DynInst ld;
+    runAndGrab("OneAllNo", ld);
+    EXPECT_TRUE(ld.slotWritten(ea));
+    EXPECT_EQ(ld.vals[ea], 0x2008u);
+
+    DynInst ld2;
+    runAndGrab("OneDecNo", ld2);
+    // effective_addr is category `decode` -> visible.
+    EXPECT_TRUE(ld2.slotWritten(ea));
+    EXPECT_EQ(ld2.vals[ea], 0x2008u);
+
+    DynInst ld3;
+    runAndGrab("OneMinNo", ld3);
+    // Hidden at min detail: written mask is semantic and still set, but
+    // the value never reached the record.
+    EXPECT_TRUE(ld3.slotWritten(ea));
+    EXPECT_EQ(ld3.vals[ea], 0u);
+    // Header info is always present at min.
+    EXPECT_EQ(ld3.pc, 0x1004u);
+    EXPECT_EQ(ld3.npc, 0x1008u);
+}
+
+TEST_F(SmokeTest, UndoRestoresRegistersMemoryAndOutput)
+{
+    auto prog = makeProgram({
+        enc("li", {{"ra", 1}, {"imm", 0x11}}),
+        enc("li", {{"ra", 2}, {"imm", 0x2000}}),
+        enc("stq", {{"ra", 1}, {"rb", 2}, {"imm", 0}}),
+        enc("li", {{"ra", 1}, {"imm", 0x22}}),
+        enc("stq", {{"ra", 1}, {"rb", 2}, {"imm", 0}}),
+        enc("hlt", {}),
+    });
+    SimContext ctx(*spec_);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllYes");
+    DynInst di;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+    FaultKind f = FaultKind::None;
+    EXPECT_EQ(ctx.mem().read(0x2000, 8, f), 0x22u);
+
+    // Undo the second li+stq pair.
+    sim->undo(2);
+    EXPECT_EQ(ctx.mem().read(0x2000, 8, f), 0x11u);
+    EXPECT_EQ(ctx.state().readReg(0, 1), 0x11u);
+    EXPECT_EQ(ctx.state().pc(), 0x100cu);
+
+    // Re-execute: same result as before.
+    for (int i = 0; i < 2; ++i)
+        EXPECT_EQ(sim->execute(di), RunStatus::Ok);
+    EXPECT_EQ(ctx.mem().read(0x2000, 8, f), 0x22u);
+}
+
+TEST_F(SmokeTest, IllegalInstructionFaults)
+{
+    auto prog = makeProgram({0x00000000u}); // op==0: no instruction
+    SimContext ctx(*spec_);
+    ctx.load(prog);
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    DynInst di;
+    EXPECT_EQ(sim->execute(di), RunStatus::Fault);
+    EXPECT_EQ(di.fault, FaultKind::IllegalInstr);
+    // pc must not advance past the faulting instruction.
+    EXPECT_EQ(ctx.state().pc(), 0x1000u);
+}
+
+} // namespace
+} // namespace onespec::test

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the timing substrates (cache, branch predictor) and the four
+ * decoupled-organization timing simulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "runtime/context.hpp"
+#include "timing/bpred.hpp"
+#include "timing/cache.hpp"
+#include "timing/functional_first.hpp"
+#include "timing/sampling.hpp"
+#include "timing/spec_ff.hpp"
+#include "timing/timing_directed.hpp"
+#include "timing/timing_first.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache model
+// ---------------------------------------------------------------------
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    Cache c({1024, 64, 2, 1});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103f)); // same line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheModel, LruReplacementWithinSet)
+{
+    // 2-way, 8 sets of 64B lines: addresses 64*8 apart collide.
+    Cache c({1024, 64, 2, 1});
+    uint64_t a = 0x0000, b = 0x0200, d = 0x0400; // same set
+    EXPECT_FALSE(c.access(a));
+    EXPECT_FALSE(c.access(b));
+    EXPECT_TRUE(c.access(a));  // a is MRU now
+    EXPECT_FALSE(c.access(d)); // evicts b (LRU)
+    EXPECT_TRUE(c.access(a));
+    EXPECT_FALSE(c.access(b)); // b was evicted
+}
+
+TEST(CacheModel, WorkingSetSmallerThanCacheHasNoCapacityMisses)
+{
+    Cache c({32 * 1024, 64, 4, 1});
+    for (int round = 0; round < 4; ++round)
+        for (uint64_t a = 0; a < 16 * 1024; a += 64)
+            c.access(a);
+    EXPECT_EQ(c.misses(), 16u * 1024 / 64); // cold misses only
+}
+
+TEST(CacheModel, HierarchyLatencies)
+{
+    CacheHierarchy h({1024, 64, 2, 1}, {1024, 64, 2, 2},
+                     {16 * 1024, 64, 4, 10}, 100);
+    EXPECT_EQ(h.data(0x5000), 2u + 10 + 100); // cold: all levels miss
+    EXPECT_EQ(h.data(0x5000), 2u);            // L1 hit
+    // Evict from L1 but not from L2: touch colliding lines.
+    for (uint64_t a = 0x10000; a < 0x12000; a += 64)
+        h.data(a);
+    EXPECT_EQ(h.data(0x5000), 2u + 10); // L1 miss, L2 hit
+}
+
+TEST(CacheModel, ResetClearsState)
+{
+    Cache c({1024, 64, 2, 1});
+    c.access(0x0);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.access(0x0));
+}
+
+// ---------------------------------------------------------------------
+// Branch predictor
+// ---------------------------------------------------------------------
+
+TEST(Bpred, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 100; ++i)
+        bp.update(0x1000, true, 0x2000);
+    EXPECT_TRUE(bp.predictTaken(0x1000));
+    EXPECT_EQ(bp.predictTarget(0x1000), 0x2000u);
+    // Steady state: very few mispredicts after warm-up.
+    uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 100; ++i)
+        bp.update(0x1000, true, 0x2000);
+    EXPECT_LE(bp.mispredicts() - before, 1u);
+}
+
+TEST(Bpred, LearnsAlternatingPatternThroughHistory)
+{
+    BranchPredictor bp;
+    // T N T N ... is perfectly predictable with global history.
+    for (int i = 0; i < 2000; ++i)
+        bp.update(0x4000, i % 2 == 0, 0x5000);
+    uint64_t before = bp.mispredicts();
+    for (int i = 0; i < 200; ++i)
+        bp.update(0x4000, i % 2 == 0, 0x5000);
+    EXPECT_LE(bp.mispredicts() - before, 4u);
+}
+
+TEST(Bpred, CountsBranchesAndMispredicts)
+{
+    BranchPredictor bp;
+    bp.update(0x1000, true, 0x9000); // cold: BTB miss counts
+    EXPECT_EQ(bp.branches(), 1u);
+    EXPECT_EQ(bp.mispredicts(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Organizations
+// ---------------------------------------------------------------------
+
+class TimingOrgTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        spec_ = loadIsa("alpha64").release();
+        auto b = makeBuilder(*spec_);
+        prog_ = new Program(buildKernel(*b, "sieve", 2000));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete prog_;
+        delete spec_;
+    }
+
+    static Spec *spec_;
+    static Program *prog_;
+};
+
+Spec *TimingOrgTest::spec_ = nullptr;
+Program *TimingOrgTest::prog_ = nullptr;
+
+TEST_F(TimingOrgTest, FunctionalFirstProducesPlausibleTiming)
+{
+    SimContext ctx(*spec_);
+    ctx.load(*prog_);
+    auto sim = SimRegistry::instance().create(ctx, "BlockDecNo");
+    FunctionalFirstModel model(*spec_);
+    TimingStats st = model.run(*sim, 100000);
+    EXPECT_GT(st.instrs, 10000u);
+    EXPECT_GE(st.cycles, st.instrs); // CPI >= 1 for this model
+    EXPECT_GT(st.branches, 0u);
+    EXPECT_LT(st.ipc(), 1.01);
+    EXPECT_GT(st.ipc(), 0.1);
+}
+
+TEST_F(TimingOrgTest, FunctionalFirstWorksThroughOneDetailToo)
+{
+    SimContext ctx(*spec_);
+    ctx.load(*prog_);
+    auto sim = SimRegistry::instance().create(ctx, "OneDecNo");
+    FunctionalFirstModel model(*spec_);
+    TimingStats st = model.run(*sim, 50000);
+    EXPECT_GT(st.instrs, 10000u);
+}
+
+TEST_F(TimingOrgTest, TimingDirectedPipelineStallsOnHazards)
+{
+    SimContext ctx(*spec_);
+    ctx.load(*prog_);
+    auto sim = SimRegistry::instance().create(ctx, "StepAllNo");
+    TimingDirectedPipeline pipe(*spec_);
+    TimingStats st = pipe.run(*sim, 100000);
+    EXPECT_GT(st.instrs, 10000u);
+    // A 5-stage scalar pipeline with stalls: CPI in a sane band.
+    EXPECT_GT(st.cycles, st.instrs);
+    EXPECT_LT(st.cycles, st.instrs * 20);
+}
+
+TEST_F(TimingOrgTest, TimingDirectedLargerCacheIsFasterOrEqual)
+{
+    auto run_with = [&](unsigned dcache_bytes) {
+        SimContext ctx(*spec_);
+        ctx.load(*prog_);
+        auto sim = SimRegistry::instance().create(ctx, "StepAllNo");
+        TimingDirectedConfig cfg;
+        cfg.l1d.sizeBytes = dcache_bytes;
+        TimingDirectedPipeline pipe(*spec_, cfg);
+        return pipe.run(*sim, 100000);
+    };
+    TimingStats small = run_with(1024);
+    TimingStats big = run_with(64 * 1024);
+    EXPECT_EQ(small.instrs, big.instrs);
+    EXPECT_GE(small.dcacheMisses, big.dcacheMisses);
+    EXPECT_GE(small.cycles, big.cycles);
+}
+
+TEST_F(TimingOrgTest, TimingFirstDetectsEveryInjectedBug)
+{
+    SimContext tctx(*spec_), cctx(*spec_);
+    tctx.load(*prog_);
+    cctx.load(*prog_);
+    auto timing = SimRegistry::instance().create(tctx, "OneMinNo");
+    auto checker = SimRegistry::instance().create(cctx, "OneMinNo");
+    TimingFirstConfig cfg;
+    cfg.injectBugEvery = 1000;
+    TimingFirstModel model(cfg);
+    TimingStats st = model.run(*timing, *checker, 20000);
+    EXPECT_EQ(st.instrs, 20000u);
+    // Every injected corruption is caught (some injections may coincide
+    // with a value the instruction was about to produce anyway, so allow
+    // a small shortfall but no overcount).
+    EXPECT_LE(st.mismatches, 20u);
+    EXPECT_GE(st.mismatches, 18u);
+}
+
+TEST_F(TimingOrgTest, TimingFirstCleanRunHasNoMismatches)
+{
+    SimContext tctx(*spec_), cctx(*spec_);
+    tctx.load(*prog_);
+    cctx.load(*prog_);
+    auto timing = SimRegistry::instance().create(tctx, "OneMinNo");
+    auto checker = SimRegistry::instance().create(cctx, "OneMinNo");
+    TimingFirstModel model{TimingFirstConfig{}};
+    TimingStats st = model.run(*timing, *checker, 20000);
+    EXPECT_EQ(st.mismatches, 0u);
+}
+
+TEST_F(TimingOrgTest, SpecFFRollsBackAndStillComputesCorrectly)
+{
+    SimContext ctx(*spec_);
+    ctx.load(*prog_);
+    auto sim = SimRegistry::instance().create(ctx, "BlockDecYes");
+    SpecFFConfig cfg;
+    cfg.violationEvery = 500;
+    cfg.squashDepth = 16;
+    SpecFunctionalFirstModel model(cfg);
+    TimingStats st = model.run(*sim, 100'000'000);
+    EXPECT_GT(st.rollbacks, 10u);
+    EXPECT_EQ(st.rolledBackInstrs, st.rollbacks * 16);
+    // Despite all the rollbacks, the program completed correctly.
+    EXPECT_EQ(ctx.os().output(), goldenOutput("sieve", 2000));
+}
+
+TEST_F(TimingOrgTest, SamplingEstimatesCpiNearReference)
+{
+    SimContext ref(*spec_);
+    ref.load(*prog_);
+    auto det_ref = SimRegistry::instance().create(ref, "StepAllNo");
+    TimingDirectedPipeline pipe(*spec_);
+    TimingStats full = pipe.run(*det_ref, 200000);
+    double full_cpi =
+        static_cast<double>(full.cycles) / static_cast<double>(full.instrs);
+
+    SimContext ctx(*spec_);
+    ctx.load(*prog_);
+    auto det = SimRegistry::instance().create(ctx, "StepAllNo");
+    auto fast = SimRegistry::instance().create(ctx, "BlockMinNo");
+    SamplingConfig cfg;
+    cfg.windowInstrs = 2000;
+    cfg.periodInstrs = 10000;
+    SamplingStats st = runSampled(*spec_, *det, *fast, cfg, 200000);
+    EXPECT_GE(st.windows, 3u);
+    EXPECT_GT(st.fastForwarded, st.detailed.instrs);
+    EXPECT_NEAR(st.estimatedCpi(), full_cpi, full_cpi * 0.35);
+}
+
+} // namespace
+} // namespace onespec

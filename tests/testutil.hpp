@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared test helpers: an inline mini-ISA used by front-end and
+ * interpreter unit tests, and small convenience wrappers.
+ */
+
+#ifndef ONESPEC_TESTS_TESTUTIL_HPP
+#define ONESPEC_TESTS_TESTUTIL_HPP
+
+#include <memory>
+#include <string>
+
+#include "adl/parser.hpp"
+#include "adl/sema.hpp"
+#include "adl/spec.hpp"
+#include "support/diag.hpp"
+#include "support/logging.hpp"
+
+namespace onespec::test {
+
+/**
+ * A deliberately small but feature-complete ISA: register file with a zero
+ * register, immediate/register formats, loads/stores, a conditional
+ * branch, OS entry, and intermediate-value fields at both informational
+ * categories.
+ */
+inline const char *kMiniIsa = R"(
+isa mini { bits 64; instr_bytes 4; endian little; }
+
+state {
+    regfile R[8] : u64 zero 7;
+}
+
+abi {
+    syscall_num R[0];
+    arg R[1], R[2], R[3];
+    ret R[0];
+    stack R[6];
+}
+
+field effective_addr : u64 decode;
+field branch_taken   : u8 decode;
+field branch_target  : u64 decode;
+field alu_result     : u64;
+
+format RR { op[31:26] ra[25:21] rb[20:16] rc[15:11] }
+format RI { op[31:26] ra[25:21] rb[20:16] imm[15:0] }
+
+opclass alu : RR {
+    src a = R[ra];
+    src b = R[rb];
+    dst c = R[rc];
+}
+
+instr add : alu match op == 1 {
+    action execute { alu_result = a + b; c = alu_result; }
+}
+
+instr sub : alu match op == 2 {
+    action execute { alu_result = a - b; c = alu_result; }
+}
+
+instr mul : alu match op == 3 {
+    action execute { alu_result = a * b; c = alu_result; }
+}
+
+instr li : RI match op == 8 {
+    dst a = R[ra];
+    action execute { a = sext16(imm); }
+}
+
+instr ldq : RI match op == 9 {
+    src base = R[rb];
+    dst a = R[ra];
+    action execute { effective_addr = base + sext16(imm); }
+    action memory  { a = load_u64(effective_addr); }
+}
+
+instr stq : RI match op == 10 {
+    src base = R[rb];
+    src val = R[ra];
+    action execute { effective_addr = base + sext16(imm); }
+    action memory  { store_u64(effective_addr, val); }
+}
+
+instr beq : RI match op == 11 {
+    src a2 = R[ra];
+    action execute {
+        branch_target = pc + 4 + (sext16(imm) << 2);
+        branch_taken = a2 == 0;
+        if (branch_taken) branch(branch_target);
+    }
+}
+
+instr br : RI match op == 12 {
+    action execute {
+        branch_target = pc + 4 + (sext16(imm) << 2);
+        branch_taken = 1;
+        branch(branch_target);
+    }
+}
+
+instr sys : RI match op == 62 {
+    action memory { syscall_emu(); }
+}
+
+instr hlt : RI match op == 63 {
+    action execute { halt(); }
+}
+
+buildset OneAllNo    { semantic one; info all; speculation off; }
+buildset OneMinNo    { semantic one; info min; speculation off; }
+buildset OneDecNo    { semantic one; info decode; speculation off; }
+buildset OneAllYes   { semantic one; info all; speculation on; }
+buildset BlockAllNo  { semantic block; info all; speculation off; }
+buildset BlockMinNo  { semantic block; info min; speculation off; }
+buildset StepAllNo   { semantic step; info all; speculation off; }
+buildset StepAllYes  { semantic step; info all; speculation on; }
+)";
+
+/** Parse + analyze a description string; EXPECTs no diagnostics. */
+inline std::unique_ptr<Spec>
+makeSpec(const std::string &text)
+{
+    DiagnosticEngine diags;
+    Description d = parseString(text, diags);
+    if (diags.hasErrors())
+        ONESPEC_FATAL("test description failed to parse:\n", diags.str());
+    auto spec = analyze(std::move(d), diags);
+    if (diags.hasErrors())
+        ONESPEC_FATAL("test description failed sema:\n", diags.str());
+    return spec;
+}
+
+inline std::unique_ptr<Spec>
+makeMiniSpec()
+{
+    return makeSpec(kMiniIsa);
+}
+
+} // namespace onespec::test
+
+#endif // ONESPEC_TESTS_TESTUTIL_HPP

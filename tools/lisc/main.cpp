@@ -1,0 +1,128 @@
+/**
+ * @file
+ * lisc: the LIS description compiler.
+ *
+ * Usage:
+ *   lisc --check <files...>                 validate a description
+ *   lisc --dump <files...>                  print a summary of the Spec
+ *   lisc --emit <out.cpp> <files...>        synthesize C++ simulators for
+ *                                           every buildset in the files
+ *   lisc --emit <out.cpp> --buildset NAME <files...>
+ *                                           synthesize one buildset only
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adl/load.hpp"
+#include "adl/spec.hpp"
+#include "codegen/cppgen.hpp"
+#include "support/logging.hpp"
+
+namespace {
+
+using namespace onespec;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: lisc --check <files...>\n"
+                 "       lisc --dump <files...>\n"
+                 "       lisc --emit <out.cpp> [--buildset NAME] "
+                 "<files...>\n");
+    return 2;
+}
+
+void
+dumpSpec(const Spec &spec)
+{
+    std::printf("isa %s: %u-bit, %u-byte instructions, %s-endian\n",
+                spec.props.name.c_str(), spec.props.wordBits,
+                spec.props.instrBytes,
+                spec.props.littleEndian ? "little" : "big");
+    std::printf("  state: %zu regfiles, %zu scalar regs, %u words\n",
+                spec.state.files.size(), spec.state.scalars.size(),
+                spec.state.totalWords);
+    std::printf("  slots: %zu\n", spec.slots.size());
+    std::printf("  instructions: %zu\n", spec.instrs.size());
+    std::printf("  buildsets: %zu\n", spec.buildsets.size());
+    for (const auto &bs : spec.buildsets) {
+        const char *sem =
+            bs.semantic == SemanticLevel::Block  ? "block"
+            : bs.semantic == SemanticLevel::One  ? "one"
+            : bs.semantic == SemanticLevel::Step ? "step"
+                                                 : "custom";
+        std::printf("    %-14s semantic=%-6s entrypoints=%zu "
+                    "visible=%2d/%zu spec=%s\n",
+                    bs.name.c_str(), sem, bs.entrypoints.size(),
+                    __builtin_popcountll(bs.visibleSlots),
+                    spec.slots.size(), bs.speculation ? "on" : "off");
+    }
+    std::printf("  fingerprint: %016llx\n",
+                static_cast<unsigned long long>(spec.fingerprint));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+
+    std::string mode = argv[1];
+    std::vector<std::string> files;
+    std::string out_path;
+    std::string buildset;
+
+    int i = 2;
+    if (mode == "--emit") {
+        out_path = argv[i++];
+    }
+    for (; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--buildset") == 0 && i + 1 < argc) {
+            buildset = argv[++i];
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.empty())
+        return usage();
+
+    DiagnosticEngine diags;
+    auto spec = loadSpec(files, diags);
+    // Print warnings even on success.
+    if (!diags.all().empty())
+        std::fprintf(stderr, "%s", diags.str().c_str());
+    if (!spec) {
+        std::fprintf(stderr, "lisc: description has errors\n");
+        return 1;
+    }
+
+    if (mode == "--check") {
+        std::printf("ok: %s (%zu instructions, %zu buildsets)\n",
+                    spec->props.name.c_str(), spec->instrs.size(),
+                    spec->buildsets.size());
+        return 0;
+    }
+    if (mode == "--dump") {
+        dumpSpec(*spec);
+        return 0;
+    }
+    if (mode == "--emit") {
+        std::string code = generateSimulators(*spec, buildset);
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "lisc: cannot write '%s'\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << code;
+        return 0;
+    }
+    return usage();
+}
