@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blockcache.dir/bench_ablation_blockcache.cpp.o"
+  "CMakeFiles/bench_ablation_blockcache.dir/bench_ablation_blockcache.cpp.o.d"
+  "bench_ablation_blockcache"
+  "bench_ablation_blockcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blockcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

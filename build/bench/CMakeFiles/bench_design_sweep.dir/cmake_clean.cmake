@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_sweep.dir/bench_design_sweep.cpp.o"
+  "CMakeFiles/bench_design_sweep.dir/bench_design_sweep.cpp.o.d"
+  "bench_design_sweep"
+  "bench_design_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interp_vs_generated.dir/bench_interp_vs_generated.cpp.o"
+  "CMakeFiles/bench_interp_vs_generated.dir/bench_interp_vs_generated.cpp.o.d"
+  "bench_interp_vs_generated"
+  "bench_interp_vs_generated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interp_vs_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

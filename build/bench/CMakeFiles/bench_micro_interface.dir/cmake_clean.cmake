@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_interface.dir/bench_micro_interface.cpp.o"
+  "CMakeFiles/bench_micro_interface.dir/bench_micro_interface.cpp.o.d"
+  "bench_micro_interface"
+  "bench_micro_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

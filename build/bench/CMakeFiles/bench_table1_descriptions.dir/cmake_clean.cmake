@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_descriptions.dir/bench_table1_descriptions.cpp.o"
+  "CMakeFiles/bench_table1_descriptions.dir/bench_table1_descriptions.cpp.o.d"
+  "bench_table1_descriptions"
+  "bench_table1_descriptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_descriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_speed.cpp" "bench/CMakeFiles/bench_table2_speed.dir/bench_table2_speed.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_speed.dir/bench_table2_speed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/onespec_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/onespec_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/onespec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/onespec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/onespec_perf.dir/DependInfo.cmake"
+  "/root/repo/build/gen/CMakeFiles/onespec_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/iface/CMakeFiles/onespec_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/onespec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/onespec_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/onespec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_speed.dir/bench_table2_speed.cpp.o"
+  "CMakeFiles/bench_table2_speed.dir/bench_table2_speed.cpp.o.d"
+  "bench_table2_speed"
+  "bench_table2_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

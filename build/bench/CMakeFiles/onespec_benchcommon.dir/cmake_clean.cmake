@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_benchcommon.dir/benchcommon.cpp.o"
+  "CMakeFiles/onespec_benchcommon.dir/benchcommon.cpp.o.d"
+  "libonespec_benchcommon.a"
+  "libonespec_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

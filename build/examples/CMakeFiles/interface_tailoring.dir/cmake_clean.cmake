@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_tailoring.dir/interface_tailoring.cpp.o"
+  "CMakeFiles/interface_tailoring.dir/interface_tailoring.cpp.o.d"
+  "interface_tailoring"
+  "interface_tailoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_tailoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/organizations_tour.dir/organizations_tour.cpp.o"
+  "CMakeFiles/organizations_tour.dir/organizations_tour.cpp.o.d"
+  "organizations_tour"
+  "organizations_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/organizations_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

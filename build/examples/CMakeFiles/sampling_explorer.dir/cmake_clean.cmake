@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_explorer.dir/sampling_explorer.cpp.o"
+  "CMakeFiles/sampling_explorer.dir/sampling_explorer.cpp.o.d"
+  "sampling_explorer"
+  "sampling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "../generated/gen_alpha64.cpp"
+  "../generated/gen_arm32.cpp"
+  "../generated/gen_ppc32.cpp"
+  "CMakeFiles/onespec_gen.dir/__/generated/gen_alpha64.cpp.o"
+  "CMakeFiles/onespec_gen.dir/__/generated/gen_alpha64.cpp.o.d"
+  "CMakeFiles/onespec_gen.dir/__/generated/gen_arm32.cpp.o"
+  "CMakeFiles/onespec_gen.dir/__/generated/gen_arm32.cpp.o.d"
+  "CMakeFiles/onespec_gen.dir/__/generated/gen_ppc32.cpp.o"
+  "CMakeFiles/onespec_gen.dir/__/generated/gen_ppc32.cpp.o.d"
+  "libonespec_gen.a"
+  "libonespec_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libonespec_gen.a"
+)

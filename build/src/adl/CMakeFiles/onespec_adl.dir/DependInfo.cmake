@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/ast.cpp" "src/adl/CMakeFiles/onespec_adl.dir/ast.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/ast.cpp.o.d"
+  "/root/repo/src/adl/builtins.cpp" "src/adl/CMakeFiles/onespec_adl.dir/builtins.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/builtins.cpp.o.d"
+  "/root/repo/src/adl/encode.cpp" "src/adl/CMakeFiles/onespec_adl.dir/encode.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/encode.cpp.o.d"
+  "/root/repo/src/adl/lexer.cpp" "src/adl/CMakeFiles/onespec_adl.dir/lexer.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/lexer.cpp.o.d"
+  "/root/repo/src/adl/load.cpp" "src/adl/CMakeFiles/onespec_adl.dir/load.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/load.cpp.o.d"
+  "/root/repo/src/adl/parser.cpp" "src/adl/CMakeFiles/onespec_adl.dir/parser.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/parser.cpp.o.d"
+  "/root/repo/src/adl/sema.cpp" "src/adl/CMakeFiles/onespec_adl.dir/sema.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/sema.cpp.o.d"
+  "/root/repo/src/adl/spec.cpp" "src/adl/CMakeFiles/onespec_adl.dir/spec.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/spec.cpp.o.d"
+  "/root/repo/src/adl/types.cpp" "src/adl/CMakeFiles/onespec_adl.dir/types.cpp.o" "gcc" "src/adl/CMakeFiles/onespec_adl.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/onespec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

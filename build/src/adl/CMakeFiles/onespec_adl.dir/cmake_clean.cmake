@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_adl.dir/ast.cpp.o"
+  "CMakeFiles/onespec_adl.dir/ast.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/builtins.cpp.o"
+  "CMakeFiles/onespec_adl.dir/builtins.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/encode.cpp.o"
+  "CMakeFiles/onespec_adl.dir/encode.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/lexer.cpp.o"
+  "CMakeFiles/onespec_adl.dir/lexer.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/load.cpp.o"
+  "CMakeFiles/onespec_adl.dir/load.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/parser.cpp.o"
+  "CMakeFiles/onespec_adl.dir/parser.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/sema.cpp.o"
+  "CMakeFiles/onespec_adl.dir/sema.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/spec.cpp.o"
+  "CMakeFiles/onespec_adl.dir/spec.cpp.o.d"
+  "CMakeFiles/onespec_adl.dir/types.cpp.o"
+  "CMakeFiles/onespec_adl.dir/types.cpp.o.d"
+  "libonespec_adl.a"
+  "libonespec_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

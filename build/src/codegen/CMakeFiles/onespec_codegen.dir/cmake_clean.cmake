@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_codegen.dir/cppgen.cpp.o"
+  "CMakeFiles/onespec_codegen.dir/cppgen.cpp.o.d"
+  "libonespec_codegen.a"
+  "libonespec_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_iface.dir/functional_simulator.cpp.o"
+  "CMakeFiles/onespec_iface.dir/functional_simulator.cpp.o.d"
+  "CMakeFiles/onespec_iface.dir/registry.cpp.o"
+  "CMakeFiles/onespec_iface.dir/registry.cpp.o.d"
+  "libonespec_iface.a"
+  "libonespec_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

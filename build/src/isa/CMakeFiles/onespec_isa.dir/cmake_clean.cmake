@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_isa.dir/isa.cpp.o"
+  "CMakeFiles/onespec_isa.dir/isa.cpp.o.d"
+  "libonespec_isa.a"
+  "libonespec_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

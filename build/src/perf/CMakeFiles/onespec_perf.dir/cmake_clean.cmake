@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_perf.dir/hostcount.cpp.o"
+  "CMakeFiles/onespec_perf.dir/hostcount.cpp.o.d"
+  "libonespec_perf.a"
+  "libonespec_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

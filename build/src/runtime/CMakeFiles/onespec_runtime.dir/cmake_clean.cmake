@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_runtime.dir/os.cpp.o"
+  "CMakeFiles/onespec_runtime.dir/os.cpp.o.d"
+  "CMakeFiles/onespec_runtime.dir/program.cpp.o"
+  "CMakeFiles/onespec_runtime.dir/program.cpp.o.d"
+  "libonespec_runtime.a"
+  "libonespec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

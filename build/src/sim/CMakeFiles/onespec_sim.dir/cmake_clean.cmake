@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_sim.dir/interp.cpp.o"
+  "CMakeFiles/onespec_sim.dir/interp.cpp.o.d"
+  "libonespec_sim.a"
+  "libonespec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

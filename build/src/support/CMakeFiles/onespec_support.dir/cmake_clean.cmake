@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_support.dir/diag.cpp.o"
+  "CMakeFiles/onespec_support.dir/diag.cpp.o.d"
+  "CMakeFiles/onespec_support.dir/logging.cpp.o"
+  "CMakeFiles/onespec_support.dir/logging.cpp.o.d"
+  "CMakeFiles/onespec_support.dir/panic_exception.cpp.o"
+  "CMakeFiles/onespec_support.dir/panic_exception.cpp.o.d"
+  "libonespec_support.a"
+  "libonespec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/functional_first.cpp" "src/timing/CMakeFiles/onespec_timing.dir/functional_first.cpp.o" "gcc" "src/timing/CMakeFiles/onespec_timing.dir/functional_first.cpp.o.d"
+  "/root/repo/src/timing/sampling.cpp" "src/timing/CMakeFiles/onespec_timing.dir/sampling.cpp.o" "gcc" "src/timing/CMakeFiles/onespec_timing.dir/sampling.cpp.o.d"
+  "/root/repo/src/timing/spec_ff.cpp" "src/timing/CMakeFiles/onespec_timing.dir/spec_ff.cpp.o" "gcc" "src/timing/CMakeFiles/onespec_timing.dir/spec_ff.cpp.o.d"
+  "/root/repo/src/timing/timing_directed.cpp" "src/timing/CMakeFiles/onespec_timing.dir/timing_directed.cpp.o" "gcc" "src/timing/CMakeFiles/onespec_timing.dir/timing_directed.cpp.o.d"
+  "/root/repo/src/timing/timing_first.cpp" "src/timing/CMakeFiles/onespec_timing.dir/timing_first.cpp.o" "gcc" "src/timing/CMakeFiles/onespec_timing.dir/timing_first.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iface/CMakeFiles/onespec_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/onespec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/onespec_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/onespec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

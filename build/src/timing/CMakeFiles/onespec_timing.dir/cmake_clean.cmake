@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_timing.dir/functional_first.cpp.o"
+  "CMakeFiles/onespec_timing.dir/functional_first.cpp.o.d"
+  "CMakeFiles/onespec_timing.dir/sampling.cpp.o"
+  "CMakeFiles/onespec_timing.dir/sampling.cpp.o.d"
+  "CMakeFiles/onespec_timing.dir/spec_ff.cpp.o"
+  "CMakeFiles/onespec_timing.dir/spec_ff.cpp.o.d"
+  "CMakeFiles/onespec_timing.dir/timing_directed.cpp.o"
+  "CMakeFiles/onespec_timing.dir/timing_directed.cpp.o.d"
+  "CMakeFiles/onespec_timing.dir/timing_first.cpp.o"
+  "CMakeFiles/onespec_timing.dir/timing_first.cpp.o.d"
+  "libonespec_timing.a"
+  "libonespec_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

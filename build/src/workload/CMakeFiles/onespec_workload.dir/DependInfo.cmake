@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/assembler.cpp" "src/workload/CMakeFiles/onespec_workload.dir/assembler.cpp.o" "gcc" "src/workload/CMakeFiles/onespec_workload.dir/assembler.cpp.o.d"
+  "/root/repo/src/workload/builder.cpp" "src/workload/CMakeFiles/onespec_workload.dir/builder.cpp.o" "gcc" "src/workload/CMakeFiles/onespec_workload.dir/builder.cpp.o.d"
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/onespec_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/onespec_workload.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/onespec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/onespec_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/onespec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onespec_workload.dir/assembler.cpp.o"
+  "CMakeFiles/onespec_workload.dir/assembler.cpp.o.d"
+  "CMakeFiles/onespec_workload.dir/builder.cpp.o"
+  "CMakeFiles/onespec_workload.dir/builder.cpp.o.d"
+  "CMakeFiles/onespec_workload.dir/kernels.cpp.o"
+  "CMakeFiles/onespec_workload.dir/kernels.cpp.o.d"
+  "libonespec_workload.a"
+  "libonespec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onespec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

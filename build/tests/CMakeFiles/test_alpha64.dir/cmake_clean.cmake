@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alpha64.dir/test_alpha64.cpp.o"
+  "CMakeFiles/test_alpha64.dir/test_alpha64.cpp.o.d"
+  "test_alpha64"
+  "test_alpha64.pdb"
+  "test_alpha64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alpha64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

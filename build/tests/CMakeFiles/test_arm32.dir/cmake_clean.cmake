@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arm32.dir/test_arm32.cpp.o"
+  "CMakeFiles/test_arm32.dir/test_arm32.cpp.o.d"
+  "test_arm32"
+  "test_arm32.pdb"
+  "test_arm32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arm32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generated.dir/test_generated.cpp.o"
+  "CMakeFiles/test_generated.dir/test_generated.cpp.o.d"
+  "test_generated"
+  "test_generated.pdb"
+  "test_generated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interfaces.dir/test_interfaces.cpp.o"
+  "CMakeFiles/test_interfaces.dir/test_interfaces.cpp.o.d"
+  "test_interfaces"
+  "test_interfaces.pdb"
+  "test_interfaces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/onespec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/onespec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/onespec_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/onespec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/iface/CMakeFiles/onespec_iface.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppc32.dir/test_ppc32.cpp.o"
+  "CMakeFiles/test_ppc32.dir/test_ppc32.cpp.o.d"
+  "test_ppc32"
+  "test_ppc32.pdb"
+  "test_ppc32[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppc32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

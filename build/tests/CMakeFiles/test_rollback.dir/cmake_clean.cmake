@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rollback.dir/test_rollback.cpp.o"
+  "CMakeFiles/test_rollback.dir/test_rollback.cpp.o.d"
+  "test_rollback"
+  "test_rollback.pdb"
+  "test_rollback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

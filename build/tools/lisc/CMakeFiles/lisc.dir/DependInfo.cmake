@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/lisc/main.cpp" "tools/lisc/CMakeFiles/lisc.dir/main.cpp.o" "gcc" "tools/lisc/CMakeFiles/lisc.dir/main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/onespec_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/onespec_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/onespec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

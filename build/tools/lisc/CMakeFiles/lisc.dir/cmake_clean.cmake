@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisc.dir/main.cpp.o"
+  "CMakeFiles/lisc.dir/main.cpp.o.d"
+  "lisc"
+  "lisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
