@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "benchcommon.hpp"
+#include "benchreport.hpp"
 #include "codegen/genruntime.hpp"
 
 using namespace onespec;
@@ -21,10 +22,21 @@ int
 main(int argc, char **argv)
 {
     uint64_t min_instrs = 2'000'000;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
             min_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            min_instrs = 120'000;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
     }
+
+    BenchReport report("ablation_blockcache");
+    report.setParam("min_instrs", stats::Json(min_instrs));
+    static const char *const kComboNames[] = {"both", "no_blockcache",
+                                              "no_decodecache", "neither"};
 
     std::printf("ABLATION: BLOCK/DECODE CACHES (Block/Min/No, MIPS)\n\n");
     std::printf("%-10s %12s %12s %12s %12s\n", "ISA", "both",
@@ -33,6 +45,7 @@ main(int argc, char **argv)
     for (const auto &isa : shippedIsas()) {
         IsaWorkloads &w = workloadsFor(isa);
         std::printf("%-10s", isa.c_str());
+        stats::Json isa_rows = stats::Json::object();
         for (int combo = 0; combo < 4; ++combo) {
             bool bc = !(combo & 1);
             bool dc = !(combo & 2);
@@ -49,10 +62,14 @@ main(int argc, char **argv)
                 Measurement m = runTimed(ctx, *sim, prog, min_instrs / 2);
                 mips.push_back(m.mips());
             }
-            std::printf(" %12.2f", geomean(mips));
+            double g = geomean(mips);
+            isa_rows.set(kComboNames[combo], stats::Json(g));
+            std::printf(" %12.2f", g);
             std::fflush(stdout);
         }
+        report.addResult(isa, std::move(isa_rows));
         std::printf("\n");
     }
+    report.write(json_path);
     return 0;
 }

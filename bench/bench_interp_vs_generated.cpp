@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "benchcommon.hpp"
+#include "benchreport.hpp"
 
 using namespace onespec;
 using namespace onespec::bench;
@@ -19,10 +20,19 @@ int
 main(int argc, char **argv)
 {
     uint64_t min_instrs = 1'000'000;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
             min_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            min_instrs = 80'000;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
     }
+
+    BenchReport report("interp_vs_generated");
+    report.setParam("min_instrs", stats::Json(min_instrs));
 
     std::printf("INTERPRETED vs SYNTHESIZED EXECUTION (One/Min/No)\n");
     std::printf("(paper footnote 5: interpreted 205.5 vs translated "
@@ -51,8 +61,14 @@ main(int argc, char **argv)
             }
         }
         double gi = geomean(im), gg = geomean(gm);
+        stats::Json row = stats::Json::object();
+        row.set("interp_mips", stats::Json(gi));
+        row.set("generated_mips", stats::Json(gg));
+        row.set("ratio", stats::Json(gi > 0 ? gg / gi : 0.0));
+        report.addResult(isa, std::move(row));
         std::printf("%-10s %14.2f %14.2f %7.1fx\n", isa.c_str(), gi, gg,
                     gi > 0 ? gg / gi : 0.0);
     }
+    report.write(json_path);
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "benchcommon.hpp"
+#include "benchreport.hpp"
 
 using namespace onespec;
 using namespace onespec::bench;
@@ -51,12 +52,29 @@ int
 main(int argc, char **argv)
 {
     uint64_t min_instrs = 2'000'000;
+    int repeats = 2;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
             min_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            // Fast mode for CI: enough instructions that the semantic
+            // and informational orderings still show, small enough to
+            // finish the full grid in seconds.
+            min_instrs = 60'000;
+            repeats = 1;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
     }
 
     const auto &isas = shippedIsas();
+
+    BenchReport report("table2");
+    report.setParam("min_instrs", stats::Json(min_instrs));
+    report.setParam("repeats", stats::Json(static_cast<int64_t>(repeats)));
+    report.setParam("kernels",
+                    stats::Json(static_cast<uint64_t>(kernelNames().size())));
 
     std::printf("TABLE II: SIMULATION SPEED (MIPS)\n");
     std::printf("(geometric mean over %zu kernels, >=%llu simulated "
@@ -73,9 +91,11 @@ main(int argc, char **argv)
         std::printf("%-9s %-13s %-6s", kRows[r].semantic, kRows[r].info,
                     kRows[r].spec);
         for (const auto &isa : isas) {
-            double mips = measureCell(isa, kRows[r].buildset, min_instrs);
-            table[r].push_back(mips);
-            std::printf(" %10.2f", mips);
+            CellResult cell = measureCellFull(isa, kRows[r].buildset,
+                                              min_instrs, repeats);
+            report.addCell(isa, kRows[r].buildset, cell);
+            table[r].push_back(cell.mips);
+            std::printf(" %10.2f", cell.mips);
             std::fflush(stdout);
         }
         std::printf("\n");
@@ -84,11 +104,15 @@ main(int argc, char **argv)
     std::printf("\nLowest/highest-detail speed ratio "
                 "(Block/Min/No vs Step/All/Yes; paper reports up to "
                 "14.4x):\n");
+    stats::Json ratios = stats::Json::object();
     for (size_t i = 0; i < isas.size(); ++i) {
         double lo = table[0][i];                      // BlockMinNo
         double hi = table[std::size(kRows) - 1][i];   // StepAllYes
-        std::printf("  %-8s %.1fx\n", isas[i].c_str(),
-                    hi > 0 ? lo / hi : 0.0);
+        double ratio = hi > 0 ? lo / hi : 0.0;
+        ratios.set(isas[i], stats::Json(ratio));
+        std::printf("  %-8s %.1fx\n", isas[i].c_str(), ratio);
     }
+    report.addResult("detail_ratio", std::move(ratios));
+    report.write(json_path);
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "benchcommon.hpp"
+#include "benchreport.hpp"
 
 using namespace onespec;
 using namespace onespec::bench;
@@ -20,9 +21,17 @@ int
 main(int argc, char **argv)
 {
     uint64_t min_instrs = 2'000'000;
+    int repeats = 3;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc)
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
             min_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            min_instrs = 60'000;
+            repeats = 1;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
     }
 
     bool hw = hostCounterAvailable();
@@ -38,10 +47,15 @@ main(int argc, char **argv)
 
     const auto &isas = shippedIsas();
 
+    BenchReport report("table3");
+    report.setParam("min_instrs", stats::Json(min_instrs));
+    report.setParam("unit", stats::Json(std::string(unit)));
+
     auto cost = [&](const std::string &isa, const char *bs) {
-        double host = 0, ns = 0;
-        measureCell(isa, bs, min_instrs, &host, &ns, 3);
-        return hw ? host : ns;
+        CellResult c =
+            measureCellFull(isa, bs, min_instrs, repeats, hw);
+        report.addCell(isa, bs, c);
+        return hw ? c.hostPerSim : c.nsPerSim;
     };
 
     std::printf("%-38s", "");
@@ -63,8 +77,12 @@ main(int argc, char **argv)
 
     auto row = [&](const char *label, auto fn) {
         std::printf("%-38s", label);
-        for (size_t i = 0; i < isas.size(); ++i)
+        stats::Json vals = stats::Json::object();
+        for (size_t i = 0; i < isas.size(); ++i) {
             std::printf(" %10.2f", fn(i));
+            vals.set(isas[i], stats::Json(fn(i)));
+        }
+        report.addResult(label, std::move(vals));
         std::printf("\n");
     };
 
@@ -89,5 +107,6 @@ main(int argc, char **argv)
                 "speculation +14.75/+32.66/+27.32.  Expected shape: "
                 "block-call is negative (a saving), multiple calls are\n"
                 "the most expensive detail, speculation the least.\n");
+    report.write(json_path);
     return 0;
 }

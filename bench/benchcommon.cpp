@@ -89,14 +89,26 @@ geomean(const std::vector<double> &xs)
     return n ? std::exp(acc / n) : 0.0;
 }
 
-double
-measureCell(const std::string &isa, const std::string &buildset,
-            uint64_t min_instrs, double *out_host_per_sim,
-            double *out_ns_per_sim, int repeats)
+std::string
+cellGroupPath(const std::string &isa, const std::string &buildset)
+{
+    return "iface." + isa + "." + buildset;
+}
+
+CellResult
+measureCellFull(const std::string &isa, const std::string &buildset,
+                uint64_t min_instrs, int repeats, bool count_host)
 {
     IsaWorkloads &w = workloadsFor(isa);
+    CellResult res;
+    res.isa = isa;
+    res.buildset = buildset;
+    stats::StatGroup &cell =
+        stats::StatsRegistry::global().group(cellGroupPath(isa, buildset));
     std::vector<double> mips, host, nsps;
+    uint64_t host_total = 0;
     for (const auto &[kname, prog] : w.programs) {
+        (void)kname;
         SimContext ctx(w.spec.operator*());
         ctx.load(prog);
         auto sim = SimRegistry::instance().create(ctx, buildset);
@@ -105,22 +117,46 @@ measureCell(const std::string &isa, const std::string &buildset,
         // Best-of-N: wall-clock noise only ever slows a run down.
         Measurement best;
         for (int r = 0; r < repeats; ++r) {
-            Measurement m = runTimed(ctx, *sim, prog, min_instrs,
-                                     out_host_per_sim != nullptr);
+            Measurement m =
+                runTimed(ctx, *sim, prog, min_instrs, count_host);
             if (r == 0 || m.nsPerSim() < best.nsPerSim())
                 best = m;
         }
         Measurement m = best;
         mips.push_back(m.mips());
         nsps.push_back(m.nsPerSim());
-        if (m.hostInstrs)
+        if (m.hostInstrs) {
             host.push_back(m.hostPerSim());
+            host_total += m.hostInstrs;
+        }
+        // Counters cover warm-up plus every repeat; the crossing *ratios*
+        // (instrs per crossing, step calls per instr) are what the report
+        // cares about and those are repeat-invariant.
+        res.counters += sim->ifaceCounters();
+        res.instrs += sim->ifaceCounters().instrs;
+        sim->publishStats(cell);
     }
+    res.mips = geomean(mips);
+    res.nsPerSim = geomean(nsps);
+    res.hostPerSim = geomean(host);
+    res.hostCounted = !host.empty();
+    if (host_total)
+        publishHostCost(cell.group("host"), host_total, res.instrs);
+    return res;
+}
+
+double
+measureCell(const std::string &isa, const std::string &buildset,
+            uint64_t min_instrs, double *out_host_per_sim,
+            double *out_ns_per_sim, int repeats)
+{
+    CellResult r = measureCellFull(isa, buildset, min_instrs, repeats,
+                                   out_host_per_sim != nullptr);
     if (out_host_per_sim)
-        *out_host_per_sim = geomean(host);
+        *out_host_per_sim = r.hostPerSim;
     if (out_ns_per_sim)
-        *out_ns_per_sim = geomean(nsps);
-    return geomean(mips);
+        *out_ns_per_sim = r.nsPerSim;
+    return r.mips;
 }
 
 bool

@@ -82,9 +82,42 @@ Measurement runTimed(SimContext &ctx, FunctionalSimulator &sim,
 double geomean(const std::vector<double> &xs);
 
 /**
+ * Full result of one (ISA x buildset) table cell: geomeans over the
+ * kernel suite plus the interface-crossing counters accumulated across
+ * every run of the cell.  measureCellFull() also publishes the counters
+ * into StatsRegistry::global() under cellGroupPath(), which is where
+ * BenchReport reads them back from.
+ */
+struct CellResult
+{
+    std::string isa;
+    std::string buildset;
+    double mips = 0.0;        ///< geomean MIPS over kernels
+    double nsPerSim = 0.0;    ///< geomean wall-ns per simulated instr
+    double hostPerSim = 0.0;  ///< geomean host instrs per sim instr
+    bool hostCounted = false; ///< hostPerSim came from the HW counter
+    uint64_t instrs = 0;      ///< total simulated instrs (all kernels)
+    IfaceCounters counters;   ///< summed interface-crossing counters
+};
+
+/** Registry path a cell publishes under: "iface.<isa>.<buildset>". */
+std::string cellGroupPath(const std::string &isa,
+                          const std::string &buildset);
+
+/**
+ * Measure one (isa, buildset) cell with generated simulators: geomean
+ * over the kernel suite, best-of-@p repeats per kernel, accumulating
+ * interface counters and publishing them into the global stats registry.
+ */
+CellResult measureCellFull(const std::string &isa,
+                           const std::string &buildset,
+                           uint64_t min_instrs, int repeats = 2,
+                           bool count_host = false);
+
+/**
  * Measure geomean-over-kernels for one (isa, buildset) cell using
  * generated simulators.  @p out_host receives the geomean host (or ns)
- * cost per simulated instruction.
+ * cost per simulated instruction.  Thin wrapper over measureCellFull().
  */
 double measureCell(const std::string &isa, const std::string &buildset,
                    uint64_t min_instrs, double *out_host_per_sim = nullptr,

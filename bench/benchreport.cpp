@@ -1,0 +1,185 @@
+#include "benchreport.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <map>
+
+#include "benchcommon.hpp"
+#include "stats/stats.hpp"
+
+#ifndef ONESPEC_GIT_SHA
+#define ONESPEC_GIT_SHA "unknown"
+#endif
+#ifndef ONESPEC_BUILD_TYPE
+#define ONESPEC_BUILD_TYPE "unknown"
+#endif
+
+namespace onespec::bench {
+
+namespace {
+
+const char *
+semanticName(SemanticLevel s)
+{
+    switch (s) {
+    case SemanticLevel::Block: return "Block";
+    case SemanticLevel::One: return "One";
+    case SemanticLevel::Step: return "Step";
+    case SemanticLevel::Custom: return "Custom";
+    }
+    return "?";
+}
+
+const char *
+infoName(InfoLevel i)
+{
+    switch (i) {
+    case InfoLevel::Min: return "Min";
+    case InfoLevel::Decode: return "Decode";
+    case InfoLevel::All: return "All";
+    case InfoLevel::Custom: return "Custom";
+    }
+    return "?";
+}
+
+/** Look up a registry counter under @p path; 0 if absent. */
+uint64_t
+registryCounter(const std::string &path)
+{
+    auto *st = stats::StatsRegistry::global().resolve(path);
+    if (st && st->kind() == stats::StatKind::Counter)
+        return static_cast<const stats::Counter *>(st)->value();
+    return 0;
+}
+
+} // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name))
+{
+    meta_.set("git_sha", stats::Json(std::string(ONESPEC_GIT_SHA)));
+    meta_.set("compiler", stats::Json(std::string(__VERSION__)));
+    meta_.set("build_type", stats::Json(std::string(ONESPEC_BUILD_TYPE)));
+    meta_.set("host_counter",
+              stats::Json(hostCounterAvailable()));
+    std::time_t now = std::time(nullptr);
+    char buf[32];
+    if (std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ",
+                      std::gmtime(&now)))
+        meta_.set("timestamp_utc", stats::Json(std::string(buf)));
+}
+
+void
+BenchReport::setParam(const std::string &key, stats::Json value)
+{
+    meta_.set(key, std::move(value));
+}
+
+void
+BenchReport::addCell(const std::string &isa, const std::string &buildset,
+                     const CellResult &r)
+{
+    stats::Json cell = stats::Json::object();
+    cell.set("isa", stats::Json(isa));
+    cell.set("buildset", stats::Json(buildset));
+    if (const BuildsetInfo *bs = workloadsFor(isa).spec->findBuildset(buildset)) {
+        cell.set("semantic",
+                 stats::Json(std::string(semanticName(bs->semantic))));
+        cell.set("info", stats::Json(std::string(infoName(bs->info))));
+        cell.set("speculation", stats::Json(bs->speculation));
+    }
+    cell.set("mips", stats::Json(r.mips));
+    cell.set("ns_per_sim", stats::Json(r.nsPerSim));
+    if (r.hostCounted)
+        cell.set("host_per_sim", stats::Json(r.hostPerSim));
+    cell.set("instrs", stats::Json(r.instrs));
+
+    // Interface counters come from the registry group this cell's
+    // simulators published into -- the JSON is a projection of the same
+    // stats tree the text dump prints, not a second bookkeeping path.
+    const std::string base = cellGroupPath(isa, buildset) + ".";
+    stats::Json iface = stats::Json::object();
+    static const char *const kCounters[] = {
+        "execute_calls", "execute_block_calls", "step_calls",
+        "custom_calls",  "fast_forward_calls",  "undo_calls",
+        "crossings",     "instrs",              "undone_instrs",
+    };
+    for (const char *c : kCounters)
+        iface.set(c, stats::Json(registryCounter(base + c)));
+    uint64_t crossings = registryCounter(base + "crossings");
+    uint64_t instrs = registryCounter(base + "instrs");
+    iface.set("instrs_per_crossing",
+              stats::Json(crossings ? static_cast<double>(instrs) /
+                                          static_cast<double>(crossings)
+                                    : 0.0));
+    cell.set("iface", std::move(iface));
+    cells_.push_back(std::move(cell));
+}
+
+void
+BenchReport::addResult(const std::string &key, stats::Json value)
+{
+    results_.set(key, std::move(value));
+}
+
+stats::Json
+BenchReport::toJson() const
+{
+    stats::Json root = stats::Json::object();
+    root.set("schema_version", stats::Json(static_cast<uint64_t>(1)));
+    root.set("bench", stats::Json(name_));
+    root.set("meta", meta_);
+
+    stats::Json cells = stats::Json::array();
+    for (const auto &c : cells_)
+        cells.push(c);
+    root.set("cells", std::move(cells));
+
+    // Geomean MIPS per buildset across ISAs (the per-row summary the
+    // paper's prose quotes).
+    std::map<std::string, std::vector<double>> byBuildset;
+    for (const auto &c : cells_) {
+        const stats::Json *bsv = c.find("buildset");
+        const stats::Json *mv = c.find("mips");
+        if (bsv && mv && mv->asDouble() > 0)
+            byBuildset[bsv->asString()].push_back(mv->asDouble());
+    }
+    stats::Json geo = stats::Json::object();
+    for (const auto &[bs, xs] : byBuildset)
+        geo.set(bs, stats::Json(geomean(xs)));
+    root.set("geomean_mips", std::move(geo));
+
+    if (!results_.members().empty())
+        root.set("results", results_);
+
+    root.set("stats", stats::StatsRegistry::global().toJson());
+    return root;
+}
+
+std::string
+BenchReport::write(const std::string &path) const
+{
+    std::string out = path;
+    if (out.empty()) {
+        const char *dir = std::getenv("ONESPEC_BENCH_JSON_DIR");
+        out = dir && *dir ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                          : "BENCH_" + name_ + ".json";
+    }
+    std::ofstream f(out);
+    if (!f) {
+        std::fprintf(stderr, "benchreport: cannot write %s\n",
+                     out.c_str());
+        return "";
+    }
+    f << toJson().dump(2) << "\n";
+    if (!f.good()) {
+        std::fprintf(stderr, "benchreport: write to %s failed\n",
+                     out.c_str());
+        return "";
+    }
+    std::fprintf(stderr, "[bench json: %s]\n", out.c_str());
+    return out;
+}
+
+} // namespace onespec::bench

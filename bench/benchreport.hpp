@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Machine-readable benchmark reports.  Each bench binary builds a
+ * BenchReport and writes `BENCH_<name>.json` next to its text table, so
+ * Tables I-III and the ablations become diffable artifacts across PRs.
+ * The schema is documented in docs/OBSERVABILITY.md and enforced by
+ * tools/check_bench_json.py (wired into ctest as a smoke run).
+ *
+ * Cell counters are *sourced from the stats registry*: measureCellFull()
+ * publishes every simulator's interface-crossing and cache counters into
+ * StatsRegistry::global() under "iface.<isa>.<buildset>", and addCell()
+ * reads them back from there, so the JSON is a view of the same tree
+ * `dumpStats()` prints.
+ */
+
+#ifndef ONESPEC_BENCH_BENCHREPORT_HPP
+#define ONESPEC_BENCH_BENCHREPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "stats/json.hpp"
+
+namespace onespec::bench {
+
+struct CellResult;
+
+/** Accumulates one bench run's results and writes BENCH_<name>.json. */
+class BenchReport
+{
+  public:
+    /** @p name is the table key: "table2" -> BENCH_table2.json. */
+    explicit BenchReport(std::string name);
+
+    /** Record a bench parameter under "meta" (instrs, repeats, ...). */
+    void setParam(const std::string &key, stats::Json value);
+
+    /** Record one (isa, buildset) measurement; pulls that cell's
+     *  interface counters out of the global stats registry. */
+    void addCell(const std::string &isa, const std::string &buildset,
+                 const CellResult &r);
+
+    /** Add a free-form named value (ratios, ablation results, ...). */
+    void addResult(const std::string &key, stats::Json value);
+
+    /** Full report as JSON (cells, geomeans, registry dump, metadata). */
+    stats::Json toJson() const;
+
+    /**
+     * Write to @p path, or to the default location when empty:
+     * $ONESPEC_BENCH_JSON_DIR/BENCH_<name>.json if the env var is set,
+     * else ./BENCH_<name>.json.  Returns the path written, or empty on
+     * I/O failure (reported to stderr, never fatal -- a bench's text
+     * output must survive an unwritable directory).
+     */
+    std::string write(const std::string &path = "") const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    stats::Json meta_ = stats::Json::object();
+    stats::Json results_ = stats::Json::object();
+    std::vector<stats::Json> cells_;
+};
+
+} // namespace onespec::bench
+
+#endif // ONESPEC_BENCH_BENCHREPORT_HPP

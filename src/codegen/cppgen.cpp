@@ -1001,7 +1001,7 @@ CppGen::emitBuildsetClass(const BuildsetInfo &bs)
       case SemanticLevel::One: {
         std::string fn = groupFn(p, kFullMask, false);
         line(0, "    RunStatus");
-        line(0, "    execute(DynInst &di) override");
+        line(0, "    doExecute(DynInst &di) override");
         line(0, "    {");
         line(0, "        return " + fn + "(di);");
         line(0, "    }");
@@ -1010,15 +1010,15 @@ CppGen::emitBuildsetClass(const BuildsetInfo &bs)
 
       case SemanticLevel::Block: {
         line(0, "    unsigned");
-        line(0, "    executeBlock(DynInst *out, unsigned cap, RunStatus "
-                "&st) override");
+        line(0, "    doExecuteBlock(DynInst *out, unsigned cap, "
+                "RunStatus &st) override");
         line(0, "    {");
         line(0, "        return blockExec_p" + std::to_string(p) +
                     "(out, cap, st);");
         line(0, "    }");
         line(0, "");
         line(0, "    uint64_t");
-        line(0, "    fastForward(uint64_t max_instrs, RunStatus &st) "
+        line(0, "    doFastForward(uint64_t max_instrs, RunStatus &st) "
                 "override");
         line(0, "    {");
         line(0, "        DynInst scratch[kMaxBlockLen];");
@@ -1039,7 +1039,7 @@ CppGen::emitBuildsetClass(const BuildsetInfo &bs)
 
       case SemanticLevel::Step: {
         line(0, "    RunStatus");
-        line(0, "    step(Step s, DynInst &di) override");
+        line(0, "    doStep(Step s, DynInst &di) override");
         line(0, "    {");
         line(0, "        switch (s) {");
         for (unsigned s = 0; s < kNumSteps; ++s) {
@@ -1063,7 +1063,7 @@ CppGen::emitBuildsetClass(const BuildsetInfo &bs)
 
       case SemanticLevel::Custom: {
         line(0, "    RunStatus");
-        line(0, "    call(unsigned index, DynInst &di) override");
+        line(0, "    doCall(unsigned index, DynInst &di) override");
         line(0, "    {");
         line(0, "        switch (index) {");
         for (size_t e = 0; e < bs.entrypoints.size(); ++e) {

@@ -21,6 +21,7 @@
 #include "iface/dyninst.hpp"
 #include "iface/functional_simulator.hpp"
 #include "iface/registry.hpp"
+#include "stats/trace.hpp"
 #include "support/logging.hpp"
 
 namespace onespec {
@@ -41,16 +42,6 @@ class GenSimBase : public FunctionalSimulator
 
     const BuildsetInfo &buildset() const override { return *bs_; }
 
-    void
-    undo(uint64_t n) override
-    {
-        if (!bs_->speculation)
-            FunctionalSimulator::undo(n); // panics with a clear message
-        auto mark = ctx_.journal().undo(static_cast<size_t>(n),
-                                        ctx_.state(), ctx_.mem());
-        ctx_.os().restore(mark.osOutputLen, mark.osBrk, mark.osInputPos);
-    }
-
     /** Ablation knobs (used by the block-cache ablation bench). */
     void setDecodeCacheEnabled(bool on) { dcEnabled_ = on; }
     void setBlockCacheEnabled(bool on) { bcEnabled_ = on; }
@@ -69,6 +60,39 @@ class GenSimBase : public FunctionalSimulator
     uint64_t blockCacheMisses() const { return bcMisses_; }
 
   protected:
+    void
+    doUndo(uint64_t n) override
+    {
+        if (!bs_->speculation)
+            FunctionalSimulator::doUndo(n); // panics with a clear message
+        size_t depth = ctx_.journal().depth();
+        maxJournalDepth_ = std::max<uint64_t>(maxJournalDepth_, depth);
+        ONESPEC_TRACE("spec", "undo", n, depth);
+        auto mark = ctx_.journal().undo(static_cast<size_t>(n),
+                                        ctx_.state(), ctx_.mem());
+        ctx_.os().restore(mark.osOutputLen, mark.osBrk, mark.osInputPos);
+    }
+
+    /** Block-cache behavior plus rollback-log observations. */
+    void
+    publishDerivedStats(stats::StatGroup &g) const override
+    {
+        g.counter("block_cache_hits", "decoded-block cache hits")
+            .add(bcHits_ - bcHitsPublished_);
+        g.counter("block_cache_misses", "decoded-block cache misses")
+            .add(bcMisses_ - bcMissesPublished_);
+        bcHitsPublished_ = bcHits_;
+        bcMissesPublished_ = bcMisses_;
+        if (bs_->speculation) {
+            stats::Counter &depth = g.counter(
+                "rollback_log_peak_depth",
+                "max journal depth observed at undo() (high water)");
+            if (maxJournalDepth_ > depth.value())
+                depth.add(maxJournalDepth_ - depth.value());
+            // Squash behavior itself (undo_calls / undone_instrs) is
+            // published by the base-class interface counters.
+        }
+    }
     static constexpr unsigned kDecodeCacheBits = 14;
     static constexpr unsigned kDecodeCacheSize = 1u << kDecodeCacheBits;
     static constexpr unsigned kMaxBlockLen = 64;
@@ -184,6 +208,9 @@ class GenSimBase : public FunctionalSimulator
     bool bcEnabled_ = true;
     uint64_t bcHits_ = 0;
     uint64_t bcMisses_ = 0;
+    mutable uint64_t bcHitsPublished_ = 0;
+    mutable uint64_t bcMissesPublished_ = 0;
+    uint64_t maxJournalDepth_ = 0;
 };
 
 /** fault() builtin support. */

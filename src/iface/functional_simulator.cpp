@@ -16,34 +16,36 @@ FunctionalSimulator::unsupported(const char *what) const
 }
 
 RunStatus
-FunctionalSimulator::execute(DynInst &)
+FunctionalSimulator::doExecute(DynInst &)
 {
     unsupported("execute()");
 }
 
 unsigned
-FunctionalSimulator::executeBlock(DynInst *, unsigned, RunStatus &)
+FunctionalSimulator::doExecuteBlock(DynInst *, unsigned, RunStatus &)
 {
     unsupported("executeBlock()");
 }
 
 RunStatus
-FunctionalSimulator::step(Step, DynInst &)
+FunctionalSimulator::doStep(Step, DynInst &)
 {
     unsupported("step()");
 }
 
 RunStatus
-FunctionalSimulator::call(unsigned index, DynInst &di)
+FunctionalSimulator::doCall(unsigned index, DynInst &di)
 {
     const BuildsetInfo &bs = buildset();
     ONESPEC_ASSERT(index < bs.entrypoints.size(), "bad entrypoint index");
+    // Dispatch to the underlying virtuals, not the public wrappers: the
+    // call() crossing has already been counted.
     switch (bs.semantic) {
       case SemanticLevel::One:
       case SemanticLevel::Block:
-        return execute(di);
+        return doExecute(di);
       case SemanticLevel::Step:
-        return step(bs.entrypoints[index].steps[0], di);
+        return doStep(bs.entrypoints[index].steps[0], di);
       case SemanticLevel::Custom:
         break;
     }
@@ -51,15 +53,70 @@ FunctionalSimulator::call(unsigned index, DynInst &di)
 }
 
 uint64_t
-FunctionalSimulator::fastForward(uint64_t, RunStatus &)
+FunctionalSimulator::doFastForward(uint64_t, RunStatus &)
 {
     unsupported("fastForward()");
 }
 
 void
-FunctionalSimulator::undo(uint64_t)
+FunctionalSimulator::doUndo(uint64_t)
 {
     unsupported("undo()");
+}
+
+void
+FunctionalSimulator::publishDerivedStats(stats::StatGroup &) const
+{}
+
+void
+FunctionalSimulator::publishStats(stats::StatGroup &g) const
+{
+    // Add only the delta since this instance's last publish, so both
+    // repeated publishes of one simulator and publishes of many
+    // simulators into the same group accumulate correctly.
+    auto pub = [&g](const char *name, const char *desc, uint64_t v) {
+        g.counter(name, desc).add(v);
+    };
+    const IfaceCounters &c = counters_;
+    IfaceCounters d = c;
+    d.executeCalls -= published_.executeCalls;
+    d.executeBlockCalls -= published_.executeBlockCalls;
+    d.stepCalls -= published_.stepCalls;
+    d.customCalls -= published_.customCalls;
+    d.fastForwardCalls -= published_.fastForwardCalls;
+    d.undoCalls -= published_.undoCalls;
+    d.instrs -= published_.instrs;
+    d.undoneInstrs -= published_.undoneInstrs;
+    published_ = c;
+
+    pub("execute_calls", "execute() interface crossings", d.executeCalls);
+    pub("execute_block_calls", "executeBlock() interface crossings",
+        d.executeBlockCalls);
+    pub("step_calls", "step() interface crossings", d.stepCalls);
+    pub("custom_calls", "call() interface crossings", d.customCalls);
+    pub("fast_forward_calls", "fastForward() interface crossings",
+        d.fastForwardCalls);
+    pub("undo_calls", "undo() interface crossings", d.undoCalls);
+    pub("crossings", "total functional-to-timing interface crossings",
+        d.executeCalls + d.executeBlockCalls + d.stepCalls +
+            d.customCalls + d.fastForwardCalls + d.undoCalls);
+    pub("instrs", "instructions delivered across the interface",
+        d.instrs);
+    pub("undone_instrs", "instructions squashed by undo()",
+        d.undoneInstrs);
+
+    stats::Counter &instrs = g.counter("instrs", "");
+    stats::Counter &crossings = g.counter("crossings", "");
+    g.formula("instrs_per_crossing",
+              "instructions delivered per interface crossing",
+              [&instrs, &crossings] {
+                  uint64_t x = crossings.value();
+                  return x ? static_cast<double>(instrs.value()) /
+                                 static_cast<double>(x)
+                           : 0.0;
+              });
+
+    publishDerivedStats(g);
 }
 
 RunResult

@@ -14,6 +14,14 @@
  *   custom : call(entrypointIndex, di)
  *
  * Speculation (when the buildset enables it): undo(n).
+ *
+ * Every public entrypoint is a non-virtual wrapper that counts the
+ * interface crossing and dispatches to a protected virtual (doExecute,
+ * doExecuteBlock, ...).  The paper's whole argument is about what each
+ * crossing of this boundary costs; the wrappers make those crossings
+ * observable for free at every call site.  Counters live as plain
+ * members (hot path stays pointer-chase free) and are folded into the
+ * hierarchical stats registry on demand via publishStats().
  */
 
 #ifndef ONESPEC_IFACE_FUNCTIONAL_SIMULATOR_HPP
@@ -24,6 +32,7 @@
 #include "adl/spec.hpp"
 #include "iface/dyninst.hpp"
 #include "runtime/context.hpp"
+#include "stats/stats.hpp"
 
 namespace onespec {
 
@@ -42,6 +51,54 @@ struct RunResult
     uint64_t instrs = 0;
 };
 
+/**
+ * Interface-crossing counters for one simulator instance.  A "crossing"
+ * is one call through the functional-to-timing interface; instrs counts
+ * what those crossings delivered, so instrs/crossings() is the
+ * amortization the Block semantic level buys.
+ */
+struct IfaceCounters
+{
+    uint64_t executeCalls = 0;
+    uint64_t executeBlockCalls = 0;
+    uint64_t stepCalls = 0;
+    uint64_t customCalls = 0;
+    uint64_t fastForwardCalls = 0;
+    uint64_t undoCalls = 0;
+    uint64_t instrs = 0;        ///< instructions delivered across the iface
+    uint64_t undoneInstrs = 0;  ///< instructions squashed by undo()
+
+    uint64_t
+    crossings() const
+    {
+        return executeCalls + executeBlockCalls + stepCalls +
+               customCalls + fastForwardCalls + undoCalls;
+    }
+
+    double
+    instrsPerCrossing() const
+    {
+        uint64_t c = crossings();
+        return c ? static_cast<double>(instrs) / static_cast<double>(c)
+                 : 0.0;
+    }
+
+    /** Field-wise accumulation (bench cells sum over kernels). */
+    IfaceCounters &
+    operator+=(const IfaceCounters &o)
+    {
+        executeCalls += o.executeCalls;
+        executeBlockCalls += o.executeBlockCalls;
+        stepCalls += o.stepCalls;
+        customCalls += o.customCalls;
+        fastForwardCalls += o.fastForwardCalls;
+        undoCalls += o.undoCalls;
+        instrs += o.instrs;
+        undoneInstrs += o.undoneInstrs;
+        return *this;
+    }
+};
+
 /** Abstract functional simulator over a SimContext. */
 class FunctionalSimulator
 {
@@ -56,33 +113,84 @@ class FunctionalSimulator
     virtual const BuildsetInfo &buildset() const = 0;
 
     /** One-detail entrypoint: execute a single instruction. */
-    virtual RunStatus execute(DynInst &di);
+    RunStatus
+    execute(DynInst &di)
+    {
+        ++counters_.executeCalls;
+        RunStatus st = doExecute(di);
+        ++counters_.instrs;
+        return st;
+    }
 
     /**
      * Block-detail entrypoint: execute up to @p cap instructions, stopping
      * after the first control-flow instruction (end of basic block), a
      * fault, or program exit.  Fills @p out[0..n) and returns n.
      */
-    virtual unsigned executeBlock(DynInst *out, unsigned cap,
-                                  RunStatus &status);
+    unsigned
+    executeBlock(DynInst *out, unsigned cap, RunStatus &status)
+    {
+        ++counters_.executeBlockCalls;
+        unsigned n = doExecuteBlock(out, cap, status);
+        counters_.instrs += n;
+        return n;
+    }
 
     /** Step-detail entrypoint: run one semantic step of an instruction. */
-    virtual RunStatus step(Step s, DynInst &di);
+    RunStatus
+    step(Step s, DynInst &di)
+    {
+        ++counters_.stepCalls;
+        RunStatus st = doStep(s, di);
+        if (s == Step::Exception)
+            ++counters_.instrs;
+        return st;
+    }
 
     /**
      * Custom entrypoints: invoke entrypoint @p index of the buildset on
-     * @p di.  Default maps standard groupings onto execute()/step().
+     * @p di.  Default maps standard groupings onto the One/Step paths.
      */
-    virtual RunStatus call(unsigned index, DynInst &di);
+    RunStatus
+    call(unsigned index, DynInst &di)
+    {
+        ++counters_.customCalls;
+        RunStatus st = doCall(index, di);
+        // An entrypoint that carries the retire (Exception) step is the
+        // one that completes an instruction.
+        const BuildsetInfo &bs = buildset();
+        if (index < bs.entrypoints.size()) {
+            for (Step s : bs.entrypoints[index].steps) {
+                if (s == Step::Exception) {
+                    ++counters_.instrs;
+                    break;
+                }
+            }
+        }
+        return st;
+    }
 
     /**
      * Fast-forward: execute up to @p max_instrs with no per-instruction
      * information (the sampling use case).  Returns instructions retired.
      */
-    virtual uint64_t fastForward(uint64_t max_instrs, RunStatus &status);
+    uint64_t
+    fastForward(uint64_t max_instrs, RunStatus &status)
+    {
+        ++counters_.fastForwardCalls;
+        uint64_t n = doFastForward(max_instrs, status);
+        counters_.instrs += n;
+        return n;
+    }
 
     /** Undo the last @p n instructions (requires speculation support). */
-    virtual void undo(uint64_t n);
+    void
+    undo(uint64_t n)
+    {
+        ++counters_.undoCalls;
+        counters_.undoneInstrs += n;
+        doUndo(n);
+    }
 
     /** True if the buildset journals for rollback. */
     bool supportsUndo() const { return buildset().speculation; }
@@ -93,6 +201,19 @@ class FunctionalSimulator
     SimContext &ctx() { return ctx_; }
     const SimContext &ctx() const { return ctx_; }
 
+    /** Interface-crossing counters accumulated since construction. */
+    const IfaceCounters &ifaceCounters() const { return counters_; }
+    void resetIfaceCounters() { counters_ = IfaceCounters{}; }
+
+    /**
+     * Fold this simulator's counters into @p g as registry counters
+     * (entrypoint calls, crossings, instructions delivered), then let the
+     * concrete back end add its own (decode/block caches, ...) via
+     * publishDerivedStats().  Safe to call repeatedly; values accumulate
+     * into the registry, which is what per-cell bench reporting wants.
+     */
+    void publishStats(stats::StatGroup &g) const;
+
     /**
      * Run to completion (or @p max_instrs) through the buildset's natural
      * entrypoints.  Convenience for validation and speed measurement.
@@ -100,9 +221,25 @@ class FunctionalSimulator
     RunResult run(uint64_t max_instrs);
 
   protected:
+    virtual RunStatus doExecute(DynInst &di);
+    virtual unsigned doExecuteBlock(DynInst *out, unsigned cap,
+                                    RunStatus &status);
+    virtual RunStatus doStep(Step s, DynInst &di);
+    virtual RunStatus doCall(unsigned index, DynInst &di);
+    virtual uint64_t doFastForward(uint64_t max_instrs,
+                                   RunStatus &status);
+    virtual void doUndo(uint64_t n);
+
+    /** Back-end-specific stats (caches, journals); default none. */
+    virtual void publishDerivedStats(stats::StatGroup &g) const;
+
     [[noreturn]] void unsupported(const char *what) const;
 
     SimContext &ctx_;
+    IfaceCounters counters_;
+    /** Snapshot at the last publishStats(), so repeated publishes into
+     *  the same registry group add only the delta. */
+    mutable IfaceCounters published_;
 };
 
 } // namespace onespec

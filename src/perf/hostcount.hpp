@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "stats/stats.hpp"
+
 namespace onespec {
 
 /** Counts retired host instructions for the calling thread. */
@@ -35,6 +37,31 @@ class HostInstrCounter
   private:
     int fd_ = -1;
 };
+
+/**
+ * Record one host-cost measurement into registry group @p g: retired
+ * host instructions, the simulated instructions they paid for, and a
+ * host-instrs-per-sim-instr formula (the paper's Table III unit).
+ */
+inline void
+publishHostCost(stats::StatGroup &g, uint64_t host_instrs,
+                uint64_t sim_instrs)
+{
+    stats::Counter &host =
+        g.counter("host_instrs", "host instructions retired");
+    stats::Counter &sim =
+        g.counter("sim_instrs", "simulated instructions measured");
+    host.add(host_instrs);
+    sim.add(sim_instrs);
+    g.formula("host_per_sim",
+              "host instructions per simulated instruction",
+              [&host, &sim] {
+                  uint64_t s = sim.value();
+                  return s ? static_cast<double>(host.value()) /
+                                 static_cast<double>(s)
+                           : 0.0;
+              });
+}
 
 /** Simple steady-clock stopwatch. */
 class Stopwatch

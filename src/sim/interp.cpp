@@ -4,6 +4,7 @@
 
 #include "adl/encexpr.hpp"
 #include "adl/eval.hpp"
+#include "stats/trace.hpp"
 #include "support/logging.hpp"
 
 namespace onespec {
@@ -453,7 +454,7 @@ InterpSimulator::runSteps(DynInst &di, const Step *steps, unsigned count)
 }
 
 RunStatus
-InterpSimulator::execute(DynInst &di)
+InterpSimulator::doExecute(DynInst &di)
 {
     static constexpr Step all[kNumSteps] = {
         Step::Fetch, Step::Decode, Step::ReadOperands, Step::Execute,
@@ -465,13 +466,14 @@ InterpSimulator::execute(DynInst &di)
 }
 
 unsigned
-InterpSimulator::executeBlock(DynInst *out, unsigned cap, RunStatus &status)
+InterpSimulator::doExecuteBlock(DynInst *out, unsigned cap,
+                              RunStatus &status)
 {
     unsigned n = 0;
     status = RunStatus::Ok;
     while (n < cap) {
         DynInst &di = out[n];
-        status = execute(di);
+        status = doExecute(di);
         ++n;
         if (status != RunStatus::Ok)
             return n;
@@ -482,7 +484,7 @@ InterpSimulator::executeBlock(DynInst *out, unsigned cap, RunStatus &status)
 }
 
 RunStatus
-InterpSimulator::step(Step s, DynInst &di)
+InterpSimulator::doStep(Step s, DynInst &di)
 {
     // Each call is its own scope: hidden values do not survive between
     // calls (this is precisely what makes Step+min/decode lossy).
@@ -492,7 +494,7 @@ InterpSimulator::step(Step s, DynInst &di)
 }
 
 RunStatus
-InterpSimulator::call(unsigned index, DynInst &di)
+InterpSimulator::doCall(unsigned index, DynInst &di)
 {
     ONESPEC_ASSERT(index < bs_->entrypoints.size(),
                    "bad entrypoint index");
@@ -503,7 +505,7 @@ InterpSimulator::call(unsigned index, DynInst &di)
 }
 
 uint64_t
-InterpSimulator::fastForward(uint64_t max_instrs, RunStatus &status)
+InterpSimulator::doFastForward(uint64_t max_instrs, RunStatus &status)
 {
     if (bs_->semantic != SemanticLevel::Block)
         unsupported("fastForward()");
@@ -511,7 +513,7 @@ InterpSimulator::fastForward(uint64_t max_instrs, RunStatus &status)
     uint64_t n = 0;
     status = RunStatus::Ok;
     while (n < max_instrs) {
-        status = execute(di);
+        status = doExecute(di);
         ++n;
         if (status != RunStatus::Ok)
             break;
@@ -520,13 +522,25 @@ InterpSimulator::fastForward(uint64_t max_instrs, RunStatus &status)
 }
 
 void
-InterpSimulator::undo(uint64_t n)
+InterpSimulator::doUndo(uint64_t n)
 {
     if (!bs_->speculation)
         unsupported("undo()");
+    ONESPEC_TRACE("spec", "undo", n, ctx_.journal().depth());
     auto mark = ctx_.journal().undo(static_cast<size_t>(n), ctx_.state(),
                                     ctx_.mem());
     ctx_.os().restore(mark.osOutputLen, mark.osBrk, mark.osInputPos);
+}
+
+void
+InterpSimulator::publishDerivedStats(stats::StatGroup &g) const
+{
+    g.counter("decode_cache_hits", "interpreter decode-cache hits")
+        .add(dcHits_ - dcHitsPublished_);
+    g.counter("decode_cache_misses", "interpreter decode-cache misses")
+        .add(dcMisses_ - dcMissesPublished_);
+    dcHitsPublished_ = dcHits_;
+    dcMissesPublished_ = dcMisses_;
 }
 
 std::unique_ptr<InterpSimulator>

@@ -38,14 +38,6 @@ class InterpSimulator : public FunctionalSimulator
 
     const BuildsetInfo &buildset() const override { return *bs_; }
 
-    RunStatus execute(DynInst &di) override;
-    unsigned executeBlock(DynInst *out, unsigned cap,
-                          RunStatus &status) override;
-    RunStatus step(Step s, DynInst &di) override;
-    RunStatus call(unsigned index, DynInst &di) override;
-    uint64_t fastForward(uint64_t max_instrs, RunStatus &status) override;
-    void undo(uint64_t n) override;
-
     /** Decode-cache statistics (for the ablation bench). */
     uint64_t decodeCacheHits() const { return dcHits_; }
     uint64_t decodeCacheMisses() const { return dcMisses_; }
@@ -57,6 +49,19 @@ class InterpSimulator : public FunctionalSimulator
     {
         std::fill(dcache_.begin(), dcache_.end(), DecodeEntry{});
     }
+
+  protected:
+    RunStatus doExecute(DynInst &di) override;
+    unsigned doExecuteBlock(DynInst *out, unsigned cap,
+                            RunStatus &status) override;
+    RunStatus doStep(Step s, DynInst &di) override;
+    RunStatus doCall(unsigned index, DynInst &di) override;
+    uint64_t doFastForward(uint64_t max_instrs,
+                           RunStatus &status) override;
+    void doUndo(uint64_t n) override;
+
+    /** Adds decode-cache hit/miss counters and instrs executed. */
+    void publishDerivedStats(stats::StatGroup &g) const override;
 
   private:
     struct DecodeEntry
@@ -79,6 +84,8 @@ class InterpSimulator : public FunctionalSimulator
     bool dcEnabled_ = true;
     uint64_t dcHits_ = 0;
     uint64_t dcMisses_ = 0;
+    mutable uint64_t dcHitsPublished_ = 0;
+    mutable uint64_t dcMissesPublished_ = 0;
 
     /** Scratch for hidden slots (zeroed per entrypoint invocation). */
     uint64_t scratch_[kMaxSlots];

@@ -1,0 +1,481 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace onespec::stats {
+
+int64_t
+Json::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return i_;
+      case Kind::Uint:
+        return static_cast<int64_t>(u_);
+      case Kind::Double:
+        return static_cast<int64_t>(d_);
+      default:
+        return 0;
+    }
+}
+
+uint64_t
+Json::asUint() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return i_ < 0 ? 0 : static_cast<uint64_t>(i_);
+      case Kind::Uint:
+        return u_;
+      case Kind::Double:
+        return d_ < 0 ? 0 : static_cast<uint64_t>(d_);
+      default:
+        return 0;
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return static_cast<double>(i_);
+      case Kind::Uint:
+        return static_cast<double>(u_);
+      case Kind::Double:
+        return d_;
+      default:
+        return 0.0;
+    }
+}
+
+void
+Json::push(Json v)
+{
+    ONESPEC_ASSERT(kind_ == Kind::Array, "push() on a non-array Json");
+    arr_.push_back(std::move(v));
+}
+
+size_t
+Json::size() const
+{
+    return kind_ == Kind::Array ? arr_.size() : obj_.size();
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    ONESPEC_ASSERT(kind_ == Kind::Array && i < arr_.size(),
+                   "Json::at out of range");
+    return arr_[i];
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    ONESPEC_ASSERT(kind_ == Kind::Object, "set() on a non-object Json");
+    for (auto &[k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[40];
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        return;
+      case Kind::Bool:
+        out += b_ ? "true" : "false";
+        return;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(i_));
+        out += buf;
+        return;
+      case Kind::Uint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(u_));
+        out += buf;
+        return;
+      case Kind::Double:
+        if (std::isnan(d_) || std::isinf(d_)) {
+            out += "null"; // JSON has no NaN/Inf
+            return;
+        }
+        std::snprintf(buf, sizeof(buf), "%.17g", d_);
+        out += buf;
+        return;
+      case Kind::String:
+        escapeString(out, s_);
+        return;
+      case Kind::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        return;
+      }
+      case Kind::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            escapeString(out, obj_[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        return;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out = Json(true);
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out = Json(false);
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out = Json(nullptr);
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        bool integral = true;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            return fail("invalid number");
+        const char *b = text.data() + start;
+        const char *e = text.data() + pos;
+        if (integral) {
+            if (*b != '-') {
+                uint64_t u = 0;
+                if (std::from_chars(b, e, u).ec == std::errc{}) {
+                    out = Json(u);
+                    return true;
+                }
+            } else {
+                int64_t i = 0;
+                if (std::from_chars(b, e, i).ec == std::errc{}) {
+                    out = Json(i);
+                    return true;
+                }
+            }
+        }
+        double d = 0;
+        if (std::from_chars(b, e, d).ec != std::errc{})
+            return fail("invalid number");
+        out = Json(d);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("bad escape");
+                char esc = text[pos++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("bad \\u escape");
+                    unsigned v = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        char h = text[pos++];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // Encode as UTF-8 (surrogate pairs unsupported; the
+                    // stats layer only emits ASCII names).
+                    if (v < 0x80) {
+                        out += static_cast<char>(v);
+                    } else if (v < 0x800) {
+                        out += static_cast<char>(0xc0 | (v >> 6));
+                        out += static_cast<char>(0x80 | (v & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (v >> 12));
+                        out += static_cast<char>(0x80 | ((v >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (v & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(Json &out)
+    {
+        consume('[');
+        out = Json::array();
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            Json v;
+            if (!parseValue(v))
+                return false;
+            out.push(std::move(v));
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(Json &out)
+    {
+        consume('{');
+        out = Json::object();
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return fail("expected ':'");
+            Json v;
+            if (!parseValue(v))
+                return false;
+            out.set(key, std::move(v));
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *error)
+{
+    Parser p{text};
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing characters at offset " +
+                     std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace onespec::stats

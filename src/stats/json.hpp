@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A minimal JSON value type for the observability layer: statistics
+ * dumps, BENCH_*.json reports, and their round-trip tests.  Supports the
+ * full JSON data model with one extension relevant to simulators: 64-bit
+ * integers are kept exact (not squashed through double), so counter
+ * values survive serialize/parse unchanged.
+ *
+ * This is deliberately not a general-purpose JSON library -- no SAX
+ * interface, no comments, no streaming -- just what the stats registry
+ * and bench reports need.
+ */
+
+#ifndef ONESPEC_STATS_JSON_HPP
+#define ONESPEC_STATS_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace onespec::stats {
+
+/** One JSON value (null, bool, integer, double, string, array, object). */
+class Json
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Int,    ///< exact 64-bit signed integer
+        Uint,   ///< exact 64-bit unsigned integer (counters)
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : kind_(Kind::Bool), b_(b) {}
+    Json(int v) : kind_(Kind::Int), i_(v) {}
+    Json(int64_t v) : kind_(Kind::Int), i_(v) {}
+    Json(uint64_t v) : kind_(Kind::Uint), u_(v) {}
+    Json(double v) : kind_(Kind::Double), d_(v) {}
+    Json(const char *s) : kind_(Kind::String), s_(s) {}
+    Json(std::string s) : kind_(Kind::String), s_(std::move(s)) {}
+
+    static Json array() { Json j; j.kind_ = Kind::Array; return j; }
+    static Json object() { Json j; j.kind_ = Kind::Object; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint ||
+               kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return b_; }
+    int64_t asInt() const;
+    uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const { return s_; }
+
+    /** Array access. */
+    void push(Json v);
+    size_t size() const;
+    const Json &at(size_t i) const;
+
+    /** Object access: set inserts or replaces; get returns null if absent. */
+    void set(const std::string &key, Json v);
+    const Json *find(const std::string &key) const;
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return obj_;
+    }
+
+    /** Serialize; @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text.  On success returns true and fills @p out; on
+     * failure returns false and, if given, sets @p error to a
+     * position-annotated message.
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool b_ = false;
+    int64_t i_ = 0;
+    uint64_t u_ = 0;
+    double d_ = 0.0;
+    std::string s_;
+    std::vector<Json> arr_;
+    // Insertion-ordered, like the registry's groups; keys are unique.
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace onespec::stats
+
+#endif // ONESPEC_STATS_JSON_HPP

@@ -1,0 +1,318 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <ostream>
+
+#include "support/logging.hpp"
+
+namespace onespec::stats {
+
+// ---------------------------------------------------------------------
+// Distribution
+// ---------------------------------------------------------------------
+
+Distribution::Distribution(std::string name, std::string desc, double lo,
+                           double hi, unsigned buckets)
+    : Stat(std::move(name), std::move(desc)), lo_(lo), hi_(hi),
+      buckets_(buckets ? buckets : 1, 0)
+{
+    ONESPEC_ASSERT(hi > lo, "distribution '", this->name(),
+                   "' needs hi > lo");
+    bucketWidth_ = (hi_ - lo_) / static_cast<double>(buckets_.size());
+}
+
+void
+Distribution::sample(double x, uint64_t n)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    count_ += n;
+    sum_ += x * static_cast<double>(n);
+    if (x < lo_) {
+        underflow_ += n;
+    } else if (x >= hi_) {
+        overflow_ += n;
+    } else {
+        auto b = static_cast<size_t>((x - lo_) / bucketWidth_);
+        buckets_[std::min(b, buckets_.size() - 1)] += n;
+    }
+}
+
+double
+Distribution::quantile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    double target = p * static_cast<double>(count_);
+    uint64_t seen = underflow_;
+    if (static_cast<double>(seen) >= target && underflow_)
+        return min_;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+        uint64_t in_bucket = buckets_[b];
+        if (static_cast<double>(seen + in_bucket) >= target &&
+            in_bucket > 0) {
+            // Linear interpolation within the bucket.
+            double frac =
+                (target - static_cast<double>(seen)) /
+                static_cast<double>(in_bucket);
+            double left = lo_ + bucketWidth_ * static_cast<double>(b);
+            return left + frac * bucketWidth_;
+        }
+        seen += in_bucket;
+    }
+    return max_;
+}
+
+Json
+Distribution::toJson() const
+{
+    Json j = Json::object();
+    j.set("count", Json(count_));
+    j.set("mean", Json(mean()));
+    j.set("min", Json(minSeen()));
+    j.set("max", Json(maxSeen()));
+    j.set("p50", Json(quantile(0.5)));
+    j.set("p90", Json(quantile(0.9)));
+    j.set("p99", Json(quantile(0.99)));
+    Json bk = Json::array();
+    for (uint64_t b : buckets_)
+        bk.push(Json(b));
+    j.set("underflow", Json(underflow_));
+    j.set("overflow", Json(overflow_));
+    j.set("buckets", std::move(bk));
+    j.set("lo", Json(lo_));
+    j.set("hi", Json(hi_));
+    return j;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+// ---------------------------------------------------------------------
+// StatGroup
+// ---------------------------------------------------------------------
+
+static bool
+validSegment(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '-'))
+            return false;
+    }
+    return true;
+}
+
+StatGroup &
+StatGroup::group(const std::string &name)
+{
+    ONESPEC_ASSERT(validSegment(name), "bad group name '", name, "'");
+    for (auto &g : groups_) {
+        if (g->name() == name)
+            return *g;
+    }
+    ONESPEC_ASSERT(find(name) == nullptr, "name '", name,
+                   "' already used by a stat in this group");
+    groups_.push_back(std::make_unique<StatGroup>(name));
+    return *groups_.back();
+}
+
+Stat &
+StatGroup::addOrGet(const std::string &name, StatKind kind,
+                    const std::function<std::unique_ptr<Stat>()> &make)
+{
+    ONESPEC_ASSERT(validSegment(name), "bad stat name '", name, "'");
+    for (auto &s : stats_) {
+        if (s->name() == name) {
+            ONESPEC_ASSERT(s->kind() == kind, "stat '", name,
+                           "' re-registered with a different kind");
+            return *s;
+        }
+    }
+    ONESPEC_ASSERT(findGroup(name) == nullptr, "name '", name,
+                   "' already used by a group here");
+    stats_.push_back(make());
+    return *stats_.back();
+}
+
+Counter &
+StatGroup::counter(const std::string &name, const std::string &desc)
+{
+    return static_cast<Counter &>(
+        addOrGet(name, StatKind::Counter, [&] {
+            return std::make_unique<Counter>(name, desc);
+        }));
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name, const std::string &desc)
+{
+    return static_cast<Scalar &>(addOrGet(name, StatKind::Scalar, [&] {
+        return std::make_unique<Scalar>(name, desc);
+    }));
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name, const std::string &desc,
+                        double lo, double hi, unsigned buckets)
+{
+    return static_cast<Distribution &>(
+        addOrGet(name, StatKind::Distribution, [&] {
+            return std::make_unique<Distribution>(name, desc, lo, hi,
+                                                  buckets);
+        }));
+}
+
+Formula &
+StatGroup::formula(const std::string &name, const std::string &desc,
+                   Formula::Fn fn)
+{
+    return static_cast<Formula &>(
+        addOrGet(name, StatKind::Formula, [&] {
+            return std::make_unique<Formula>(name, desc, std::move(fn));
+        }));
+}
+
+Stat *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto &s : stats_) {
+        if (s->name() == name)
+            return s.get();
+    }
+    return nullptr;
+}
+
+StatGroup *
+StatGroup::findGroup(const std::string &name) const
+{
+    for (const auto &g : groups_) {
+        if (g->name() == name)
+            return g.get();
+    }
+    return nullptr;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &s : stats_)
+        s->reset();
+    for (auto &g : groups_)
+        g->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string here =
+        name_.empty() ? prefix
+                      : (prefix.empty() ? name_ : prefix + "." + name_);
+    for (const auto &s : stats_) {
+        std::string full = here.empty() ? s->name() : here + "." + s->name();
+        os << full;
+        if (full.size() < 48)
+            os << std::string(48 - full.size(), ' ');
+        os << ' ';
+        switch (s->kind()) {
+          case StatKind::Counter:
+            os << static_cast<const Counter &>(*s).value();
+            break;
+          case StatKind::Scalar:
+            os << static_cast<const Scalar &>(*s).value();
+            break;
+          case StatKind::Formula:
+            os << static_cast<const Formula &>(*s).value();
+            break;
+          case StatKind::Distribution: {
+            const auto &d = static_cast<const Distribution &>(*s);
+            os << "n=" << d.count() << " mean=" << d.mean()
+               << " p50=" << d.quantile(0.5)
+               << " p99=" << d.quantile(0.99);
+            break;
+          }
+        }
+        if (!s->description().empty())
+            os << "  # " << s->description();
+        os << '\n';
+    }
+    for (const auto &g : groups_)
+        g->dump(os, here);
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json j = Json::object();
+    for (const auto &s : stats_)
+        j.set(s->name(), s->toJson());
+    for (const auto &g : groups_)
+        j.set(g->name(), g->toJson());
+    return j;
+}
+
+// ---------------------------------------------------------------------
+// StatsRegistry
+// ---------------------------------------------------------------------
+
+StatsRegistry &
+StatsRegistry::global()
+{
+    static StatsRegistry reg;
+    return reg;
+}
+
+StatGroup &
+StatsRegistry::group(const std::string &path)
+{
+    StatGroup *g = &root_;
+    size_t start = 0;
+    while (start <= path.size()) {
+        size_t dot = path.find('.', start);
+        std::string seg = path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        if (!seg.empty())
+            g = &g->group(seg);
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return *g;
+}
+
+Stat *
+StatsRegistry::resolve(const std::string &path) const
+{
+    const StatGroup *g = &root_;
+    size_t start = 0;
+    while (true) {
+        size_t dot = path.find('.', start);
+        std::string seg = path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        if (dot == std::string::npos)
+            return g->find(seg);
+        const StatGroup *next = g->findGroup(seg);
+        if (!next)
+            return nullptr;
+        g = next;
+        start = dot + 1;
+    }
+}
+
+} // namespace onespec::stats

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The hierarchical statistics registry (gem5-style).  Every measurable
+ * quantity in the system -- interface crossings, decode-cache behavior,
+ * timing-model miss counts, host-instruction costs -- is a named node in
+ * one tree, so a whole run can be dumped as text or JSON and diffed
+ * across commits.
+ *
+ * Node kinds:
+ *   Counter       monotonically-increasing uint64 (events, calls, hits)
+ *   Scalar        a double set by the producer (MIPS, ratios, seconds)
+ *   Distribution  bucketed samples with mean/min/max and quantiles
+ *   Formula       a derived value computed at dump time from a callable
+ *
+ * Naming convention: groups and stats use lower_snake_case segments
+ * joined by '.', e.g. "iface.alpha64.BlockMinNo.execute_block_calls"
+ * (buildset names keep their canonical CamelCase).  Requesting an
+ * existing node of the same kind returns it (producers accumulate);
+ * requesting an existing name with a different kind is fatal.
+ *
+ * Ownership: the registry owns every node.  Producers hold references to
+ * registry-owned nodes; those stay valid for the registry's lifetime, so
+ * a Formula may safely capture references to sibling Counters.
+ */
+
+#ifndef ONESPEC_STATS_STATS_HPP
+#define ONESPEC_STATS_STATS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/json.hpp"
+
+namespace onespec::stats {
+
+/** Discriminator for registry nodes. */
+enum class StatKind : uint8_t
+{
+    Counter,
+    Scalar,
+    Distribution,
+    Formula,
+};
+
+/** Base of all leaf statistics. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+    virtual StatKind kind() const = 0;
+    /** Current value as JSON (number for simple stats, object for
+     *  distributions). */
+    virtual Json toJson() const = 0;
+    /** Zero the accumulated value (no-op for formulas). */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic event counter. */
+class Counter final : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    StatKind kind() const override { return StatKind::Counter; }
+    Json toJson() const override { return Json(v_); }
+    void reset() override { v_ = 0; }
+
+    uint64_t value() const { return v_; }
+    void add(uint64_t n) { v_ += n; }
+    Counter &operator+=(uint64_t n) { v_ += n; return *this; }
+    Counter &operator++() { ++v_; return *this; }
+
+  private:
+    uint64_t v_ = 0;
+};
+
+/** Producer-set floating-point value. */
+class Scalar final : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    StatKind kind() const override { return StatKind::Scalar; }
+    Json toJson() const override { return Json(v_); }
+    void reset() override { v_ = 0.0; }
+
+    double value() const { return v_; }
+    void set(double v) { v_ = v; }
+    Scalar &operator=(double v) { v_ = v; return *this; }
+
+  private:
+    double v_ = 0.0;
+};
+
+/**
+ * Linear-bucketed sample distribution over [lo, hi).  Samples outside
+ * the range land in underflow/overflow buckets.  Quantiles are estimated
+ * by linear interpolation within the containing bucket, which is exact
+ * enough for the "how deep do rollbacks go" class of question.
+ */
+class Distribution final : public Stat
+{
+  public:
+    Distribution(std::string name, std::string desc, double lo, double hi,
+                 unsigned buckets);
+
+    StatKind kind() const override { return StatKind::Distribution; }
+    Json toJson() const override;
+    void reset() override;
+
+    void sample(double x, uint64_t n = 1);
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minSeen() const { return count_ ? min_ : 0.0; }
+    double maxSeen() const { return count_ ? max_ : 0.0; }
+    /** Estimated value at quantile @p p in [0, 1]. */
+    double quantile(double p) const;
+
+  private:
+    double lo_, hi_, bucketWidth_;
+    std::vector<uint64_t> buckets_;
+    uint64_t underflow_ = 0, overflow_ = 0;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0, max_ = 0.0;
+};
+
+/** Value derived at dump time (ratios, rates, geomeans over counters). */
+class Formula final : public Stat
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula(std::string name, std::string desc, Fn fn)
+        : Stat(std::move(name), std::move(desc)), fn_(std::move(fn))
+    {}
+
+    StatKind kind() const override { return StatKind::Formula; }
+    Json toJson() const override { return Json(value()); }
+    void reset() override {}
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+  private:
+    Fn fn_;
+};
+
+/** An interior node: named stats plus named child groups, both in
+ *  insertion order. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Child group, created on first request. */
+    StatGroup &group(const std::string &name);
+
+    Counter &counter(const std::string &name, const std::string &desc);
+    Scalar &scalar(const std::string &name, const std::string &desc);
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc, double lo,
+                               double hi, unsigned buckets);
+    Formula &formula(const std::string &name, const std::string &desc,
+                     Formula::Fn fn);
+
+    /** Leaf stat by name in this group; nullptr if absent. */
+    Stat *find(const std::string &name) const;
+    /** Child group by name; nullptr if absent. */
+    StatGroup *findGroup(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<Stat>> &statList() const
+    {
+        return stats_;
+    }
+    const std::vector<std::unique_ptr<StatGroup>> &groupList() const
+    {
+        return groups_;
+    }
+
+    /** Recursively zero every stat beneath this group. */
+    void reset();
+
+    /** gem5-style flat text dump ("path.to.stat  value  # desc"). */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Nested-object JSON: {"stat": value, "child": {...}}. */
+    Json toJson() const;
+
+  private:
+    Stat &addOrGet(const std::string &name, StatKind kind,
+                   const std::function<std::unique_ptr<Stat>()> &make);
+
+    std::string name_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+    std::vector<std::unique_ptr<StatGroup>> groups_;
+};
+
+/**
+ * The registry: a root group plus dotted-path helpers.  Components grab
+ * groups by path ("iface.alpha64.BlockMinNo") and register their stats
+ * there; reporting code dumps the whole tree.
+ */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() : root_("") {}
+
+    /** The process-wide registry used by simulators and benches. */
+    static StatsRegistry &global();
+
+    StatGroup &root() { return root_; }
+
+    /** Group at dotted @p path from the root, created as needed. */
+    StatGroup &group(const std::string &path);
+
+    /** Leaf stat at dotted @p path ("a.b.stat"); nullptr if absent. */
+    Stat *resolve(const std::string &path) const;
+
+    void reset() { root_.reset(); }
+    void dump(std::ostream &os) const { root_.dump(os); }
+    Json toJson() const { return root_.toJson(); }
+
+  private:
+    StatGroup root_;
+};
+
+} // namespace onespec::stats
+
+#endif // ONESPEC_STATS_STATS_HPP

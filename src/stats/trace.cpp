@@ -1,0 +1,45 @@
+#include "trace.hpp"
+
+#include <cstring>
+
+namespace onespec::stats {
+
+TraceBus &
+TraceBus::instance()
+{
+    static TraceBus bus;
+    return bus;
+}
+
+int
+TraceBus::addHook(Hook hook, std::string category)
+{
+    int id = nextId_++;
+    hooks_.push_back({id, std::move(category), std::move(hook)});
+    ++nactive_;
+    return id;
+}
+
+void
+TraceBus::removeHook(int id)
+{
+    for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+        if (it->id == id) {
+            hooks_.erase(it);
+            --nactive_;
+            return;
+        }
+    }
+}
+
+void
+TraceBus::emit(const TraceEvent &ev)
+{
+    for (const auto &h : hooks_) {
+        if (h.category.empty() ||
+            std::strcmp(h.category.c_str(), ev.category) == 0)
+            h.hook(ev);
+    }
+}
+
+} // namespace onespec::stats

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lightweight event/trace hooks.  Producers fire named events at
+ * interesting moments (a rollback, a declared misspeculation, a sampling
+ * phase switch); consumers -- debuggers, log scrapers, tests -- register
+ * callbacks.  With no hooks registered the cost of a trace point is one
+ * predictable branch, so trace points may sit on warm (not hot) paths.
+ *
+ * Use the ONESPEC_TRACE macro rather than calling emit() directly:
+ *
+ *     ONESPEC_TRACE("spec", "undo", depth, journal_len);
+ */
+
+#ifndef ONESPEC_STATS_TRACE_HPP
+#define ONESPEC_STATS_TRACE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace onespec::stats {
+
+/** One trace event.  The category/name pointers are string literals at
+ *  every existing trace point; hooks that outlive the call must copy. */
+struct TraceEvent
+{
+    const char *category; ///< coarse filter key ("spec", "bench", ...)
+    const char *name;     ///< event name within the category
+    uint64_t arg0 = 0;
+    uint64_t arg1 = 0;
+};
+
+/** Process-wide trace hook bus. */
+class TraceBus
+{
+  public:
+    using Hook = std::function<void(const TraceEvent &)>;
+
+    static TraceBus &instance();
+
+    /**
+     * Register @p hook; events whose category matches @p category (or
+     * all events if @p category is empty) are delivered.  Returns an id
+     * for removeHook().
+     */
+    int addHook(Hook hook, std::string category = "");
+    void removeHook(int id);
+
+    /** True if any hook is registered (the trace-point fast path). */
+    bool active() const { return nactive_ != 0; }
+
+    void emit(const TraceEvent &ev);
+
+  private:
+    struct Entry
+    {
+        int id;
+        std::string category;
+        Hook hook;
+    };
+
+    std::vector<Entry> hooks_;
+    int nextId_ = 1;
+    unsigned nactive_ = 0;
+};
+
+} // namespace onespec::stats
+
+/** Fire a trace event; near-free when no hook is registered. */
+#define ONESPEC_TRACE(cat, name, a0, a1)                                   \
+    do {                                                                   \
+        if (::onespec::stats::TraceBus::instance().active()) {             \
+            ::onespec::stats::TraceBus::instance().emit(                   \
+                {(cat), (name), static_cast<uint64_t>(a0),                 \
+                 static_cast<uint64_t>(a1)});                              \
+        }                                                                  \
+    } while (0)
+
+#endif // ONESPEC_STATS_TRACE_HPP

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/stats.hpp"
+
 namespace onespec {
 
 /** gshare + BTB. */
@@ -64,6 +66,34 @@ class BranchPredictor
     uint64_t branches() const { return branches_; }
     uint64_t mispredicts() const { return mispredicts_; }
 
+    /** Direction+target accuracy over everything trained so far. */
+    double
+    accuracy() const
+    {
+        return branches_ ? 1.0 - static_cast<double>(mispredicts_) /
+                                     static_cast<double>(branches_)
+                         : 0.0;
+    }
+
+    /** Fold branches/mispredicts (+ an accuracy formula) into @p g. */
+    void
+    publishStats(stats::StatGroup &g) const
+    {
+        stats::Counter &br = g.counter("branches", "branches trained");
+        stats::Counter &mp =
+            g.counter("mispredicts", "direction or target mispredicted");
+        br.add(branches_ - branchesPublished_);
+        mp.add(mispredicts_ - mispredictsPublished_);
+        branchesPublished_ = branches_;
+        mispredictsPublished_ = mispredicts_;
+        g.formula("accuracy", "1 - mispredicts/branches", [&br, &mp] {
+            uint64_t b = br.value();
+            return b ? 1.0 - static_cast<double>(mp.value()) /
+                                 static_cast<double>(b)
+                     : 0.0;
+        });
+    }
+
     void
     reset()
     {
@@ -71,6 +101,7 @@ class BranchPredictor
         std::fill(btbTags_.begin(), btbTags_.end(), ~uint64_t{0});
         history_ = 0;
         branches_ = mispredicts_ = 0;
+        branchesPublished_ = mispredictsPublished_ = 0;
     }
 
   private:
@@ -96,6 +127,8 @@ class BranchPredictor
     uint64_t history_ = 0;
     uint64_t branches_ = 0;
     uint64_t mispredicts_ = 0;
+    mutable uint64_t branchesPublished_ = 0;
+    mutable uint64_t mispredictsPublished_ = 0;
 };
 
 } // namespace onespec

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/stats.hpp"
 #include "support/bitutil.hpp"
 #include "support/logging.hpp"
 
@@ -76,12 +77,31 @@ class Cache
     uint64_t misses() const { return misses_; }
     unsigned hitLatency() const { return cfg_.hitLatency; }
 
+    /** Fold accesses/misses (+ a miss-rate formula) into @p g. */
+    void
+    publishStats(stats::StatGroup &g) const
+    {
+        stats::Counter &acc = g.counter("accesses", "cache accesses");
+        stats::Counter &mis = g.counter("misses", "cache misses");
+        acc.add(accesses_ - accessesPublished_);
+        mis.add(misses_ - missesPublished_);
+        accessesPublished_ = accesses_;
+        missesPublished_ = misses_;
+        g.formula("miss_rate", "misses / accesses", [&acc, &mis] {
+            uint64_t a = acc.value();
+            return a ? static_cast<double>(mis.value()) /
+                           static_cast<double>(a)
+                     : 0.0;
+        });
+    }
+
     void
     reset()
     {
         std::fill(tags_.begin(), tags_.end(), kInvalid);
         std::fill(lru_.begin(), lru_.end(), 0);
         accesses_ = misses_ = 0;
+        accessesPublished_ = missesPublished_ = 0;
         clock_ = 0;
     }
 
@@ -101,6 +121,8 @@ class Cache
     uint64_t clock_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;
+    mutable uint64_t accessesPublished_ = 0;
+    mutable uint64_t missesPublished_ = 0;
 };
 
 /** A two-level hierarchy: split L1 I/D over a unified L2. */
@@ -137,6 +159,15 @@ class CacheHierarchy
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }
+
+    /** Publish all three levels as child groups of @p g. */
+    void
+    publishStats(stats::StatGroup &g) const
+    {
+        l1i_.publishStats(g.group("l1i"));
+        l1d_.publishStats(g.group("l1d"));
+        l2_.publishStats(g.group("l2"));
+    }
 
     void
     reset()

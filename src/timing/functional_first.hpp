@@ -45,6 +45,14 @@ class FunctionalFirstModel
      */
     TimingStats run(FunctionalSimulator &sim, uint64_t max_instrs);
 
+    /** Publish cache-hierarchy and branch-predictor state into @p g. */
+    void
+    publishStats(stats::StatGroup &g) const
+    {
+        caches_.publishStats(g.group("caches"));
+        bpred_.publishStats(g.group("bpred"));
+    }
+
   private:
     void account(const DynInst &di, TimingStats &st);
 

@@ -1,5 +1,6 @@
 #include "spec_ff.hpp"
 
+#include "stats/trace.hpp"
 #include "support/logging.hpp"
 
 namespace onespec {
@@ -33,6 +34,7 @@ SpecFunctionalFirstModel::run(FunctionalSimulator &sim,
                 std::min<uint64_t>(cfg_.squashDepth,
                                    sim.ctx().journal().depth());
             if (depth > 0) {
+                ONESPEC_TRACE("spec", "violation", depth, st.instrs);
                 sim.undo(depth);
                 ++st.rollbacks;
                 st.rolledBackInstrs += depth;

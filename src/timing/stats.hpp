@@ -1,12 +1,17 @@
 /**
  * @file
- * Statistics shared by the timing-simulator organizations.
+ * Statistics shared by the timing-simulator organizations.  The struct
+ * is the cheap in-run accumulator; publishStats() folds a finished run
+ * into the hierarchical registry so timing results live in the same
+ * dumpable tree as the functional-interface counters.
  */
 
 #ifndef ONESPEC_TIMING_STATS_HPP
 #define ONESPEC_TIMING_STATS_HPP
 
 #include <cstdint>
+
+#include "stats/stats.hpp"
 
 namespace onespec {
 
@@ -33,6 +38,43 @@ struct TimingStats
         return cycles ? static_cast<double>(instrs) /
                             static_cast<double>(cycles)
                       : 0.0;
+    }
+
+    /** Fold this run's results into registry group @p g (accumulates). */
+    void
+    publishStats(stats::StatGroup &g) const
+    {
+        stats::Counter &cyc = g.counter("cycles", "simulated cycles");
+        stats::Counter &ins =
+            g.counter("instrs", "instructions timed");
+        cyc.add(cycles);
+        ins.add(instrs);
+        g.counter("icache_misses", "L1I misses").add(icacheMisses);
+        g.counter("dcache_misses", "L1D misses").add(dcacheMisses);
+        stats::Counter &br = g.counter("branches", "branches resolved");
+        stats::Counter &mp =
+            g.counter("mispredicts", "branch mispredictions");
+        br.add(branches);
+        mp.add(mispredicts);
+        g.counter("mismatches", "timing-first checker mismatches")
+            .add(mismatches);
+        g.counter("rollbacks", "speculative-FF rollback commands")
+            .add(rollbacks);
+        g.counter("rolled_back_instrs", "instructions squashed")
+            .add(rolledBackInstrs);
+        g.formula("ipc", "instructions per cycle", [&ins, &cyc] {
+            uint64_t c = cyc.value();
+            return c ? static_cast<double>(ins.value()) /
+                           static_cast<double>(c)
+                     : 0.0;
+        });
+        g.formula("bpred_accuracy", "1 - mispredicts/branches",
+                  [&br, &mp] {
+                      uint64_t b = br.value();
+                      return b ? 1.0 - static_cast<double>(mp.value()) /
+                                           static_cast<double>(b)
+                               : 0.0;
+                  });
     }
 };
 

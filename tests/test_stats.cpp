@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Observability-layer tests: registry registration and lookup, group
+ * nesting, formula stats over registry-owned counters, distribution
+ * quantiles, JSON round-trips (exact 64-bit integers), trace hooks, and
+ * a schema regression test for the BENCH_*.json reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "stats/json.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
+#include "support/panic_exception.hpp"
+#include "timing/bpred.hpp"
+#include "timing/cache.hpp"
+#include "timing/stats.hpp"
+
+namespace onespec {
+namespace {
+
+using stats::Json;
+using stats::StatGroup;
+using stats::StatKind;
+using stats::StatsRegistry;
+
+// ---------------------------------------------------------------------
+// Registry basics
+// ---------------------------------------------------------------------
+
+TEST(Stats, CounterRegistrationAndLookup)
+{
+    StatsRegistry reg;
+    stats::Counter &c = reg.root().counter("events", "total events");
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+
+    stats::Stat *found = reg.resolve("events");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->kind(), StatKind::Counter);
+    EXPECT_EQ(static_cast<stats::Counter *>(found)->value(), 42u);
+    EXPECT_EQ(found->description(), "total events");
+
+    // Re-requesting the same name returns the same node (accumulation).
+    stats::Counter &again = reg.root().counter("events", "ignored");
+    EXPECT_EQ(&again, &c);
+
+    EXPECT_EQ(reg.resolve("nosuch"), nullptr);
+    EXPECT_EQ(reg.resolve("nosuch.group.stat"), nullptr);
+}
+
+TEST(Stats, KindMismatchPanics)
+{
+    ScopedThrowOnPanic guard;
+    StatsRegistry reg;
+    reg.root().counter("x", "a counter");
+    EXPECT_THROW(reg.root().scalar("x", "now a scalar"), PanicException);
+}
+
+TEST(Stats, InvalidNamePanics)
+{
+    ScopedThrowOnPanic guard;
+    StatsRegistry reg;
+    EXPECT_THROW(reg.root().counter("has space", ""), PanicException);
+    EXPECT_THROW(reg.root().counter("", ""), PanicException);
+}
+
+TEST(Stats, GroupNestingAndDottedPaths)
+{
+    StatsRegistry reg;
+    StatGroup &g = reg.group("iface.alpha64.BlockMinNo");
+    g.counter("execute_block_calls", "block entrypoint calls").add(7);
+
+    // The same dotted path resolves to the same group.
+    EXPECT_EQ(&reg.group("iface.alpha64.BlockMinNo"), &g);
+
+    stats::Stat *s =
+        reg.resolve("iface.alpha64.BlockMinNo.execute_block_calls");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(static_cast<stats::Counter *>(s)->value(), 7u);
+
+    // Structure is navigable group by group too.
+    StatGroup *iface = reg.root().findGroup("iface");
+    ASSERT_NE(iface, nullptr);
+    ASSERT_NE(iface->findGroup("alpha64"), nullptr);
+    EXPECT_EQ(iface->findGroup("BlockMinNo"), nullptr);
+}
+
+TEST(Stats, ResetZeroesRecursively)
+{
+    StatsRegistry reg;
+    reg.group("a.b").counter("n", "").add(5);
+    reg.root().scalar("v", "").set(2.5);
+    reg.reset();
+    EXPECT_EQ(static_cast<stats::Counter *>(reg.resolve("a.b.n"))->value(),
+              0u);
+    EXPECT_EQ(static_cast<stats::Scalar *>(reg.resolve("v"))->value(), 0.0);
+}
+
+TEST(Stats, FormulaOverRegistryCounters)
+{
+    StatsRegistry reg;
+    StatGroup &g = reg.root();
+    stats::Counter &instrs = g.counter("instrs", "");
+    stats::Counter &crossings = g.counter("crossings", "");
+    stats::Formula &f =
+        g.formula("instrs_per_crossing", "amortization", [&] {
+            return crossings.value()
+                       ? static_cast<double>(instrs.value()) /
+                             static_cast<double>(crossings.value())
+                       : 0.0;
+        });
+    EXPECT_EQ(f.value(), 0.0);
+    instrs.add(100);
+    crossings.add(4);
+    EXPECT_DOUBLE_EQ(f.value(), 25.0);
+    // Formulas track the live counters at read time.
+    crossings.add(46);
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Stats, DistributionMomentsAndQuantiles)
+{
+    stats::Distribution d("lat", "latency", 0.0, 100.0, 10);
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i - 0.5);
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.0);
+    EXPECT_DOUBLE_EQ(d.minSeen(), 0.5);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 99.5);
+    // Uniform samples: quantiles fall near p * range.
+    EXPECT_NEAR(d.quantile(0.5), 50.0, 10.0);
+    EXPECT_NEAR(d.quantile(0.9), 90.0, 10.0);
+    EXPECT_LE(d.quantile(0.1), d.quantile(0.9));
+
+    d.sample(-5.0);
+    d.sample(500.0, 2);
+    Json j = d.toJson();
+    EXPECT_EQ(j.find("underflow")->asUint(), 1u);
+    EXPECT_EQ(j.find("overflow")->asUint(), 2u);
+    EXPECT_EQ(j.find("count")->asUint(), 103u);
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Stats, TextDumpContainsPathsValuesAndDescriptions)
+{
+    StatsRegistry reg;
+    reg.group("sim.decode").counter("hits", "decode cache hits").add(9);
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("sim.decode.hits"), std::string::npos);
+    EXPECT_NE(out.find("9"), std::string::npos);
+    EXPECT_NE(out.find("decode cache hits"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+TEST(StatsJson, RoundTripPreservesExactIntegers)
+{
+    Json obj = Json::object();
+    obj.set("u", Json(static_cast<uint64_t>(18446744073709551615ull)));
+    obj.set("i", Json(static_cast<int64_t>(-9223372036854775807ll)));
+    obj.set("d", Json(0.25));
+    obj.set("s", Json(std::string("a \"quoted\"\nline\t\\")));
+    obj.set("b", Json(true));
+    obj.set("n", Json(nullptr));
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json(std::string("two")));
+    obj.set("a", std::move(arr));
+
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(obj.dump(2), back, &err)) << err;
+    EXPECT_EQ(back.find("u")->asUint(), 18446744073709551615ull);
+    EXPECT_EQ(back.find("i")->asInt(), -9223372036854775807ll);
+    EXPECT_DOUBLE_EQ(back.find("d")->asDouble(), 0.25);
+    EXPECT_EQ(back.find("s")->asString(), "a \"quoted\"\nline\t\\");
+    EXPECT_TRUE(back.find("b")->asBool());
+    EXPECT_TRUE(back.find("n")->isNull());
+    ASSERT_EQ(back.find("a")->size(), 2u);
+    EXPECT_EQ(back.find("a")->at(0).asInt(), 1);
+    EXPECT_EQ(back.find("a")->at(1).asString(), "two");
+}
+
+TEST(StatsJson, ObjectsKeepInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zebra", Json(1));
+    obj.set("apple", Json(2));
+    EXPECT_EQ(obj.members()[0].first, "zebra");
+    EXPECT_EQ(obj.members()[1].first, "apple");
+    // set() on an existing key replaces in place.
+    obj.set("zebra", Json(3));
+    EXPECT_EQ(obj.members().size(), 2u);
+    EXPECT_EQ(obj.find("zebra")->asInt(), 3);
+}
+
+TEST(StatsJson, ParseRejectsMalformedInput)
+{
+    Json out;
+    EXPECT_FALSE(Json::parse("{", out));
+    EXPECT_FALSE(Json::parse("[1, 2,]", out));
+    EXPECT_FALSE(Json::parse("\"unterminated", out));
+    EXPECT_FALSE(Json::parse("{} trailing", out));
+    std::string err;
+    EXPECT_FALSE(Json::parse("{\"a\": nul}", out, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(StatsJson, RegistryToJsonNestsGroups)
+{
+    StatsRegistry reg;
+    reg.group("iface.alpha64").counter("crossings", "").add(3);
+    Json j = reg.toJson();
+    const Json *iface = j.find("iface");
+    ASSERT_NE(iface, nullptr);
+    const Json *isa = iface->find("alpha64");
+    ASSERT_NE(isa, nullptr);
+    EXPECT_EQ(isa->find("crossings")->asUint(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Trace hooks
+// ---------------------------------------------------------------------
+
+TEST(StatsTrace, HooksReceiveEventsAndFilterByCategory)
+{
+    auto &bus = stats::TraceBus::instance();
+    ASSERT_FALSE(bus.active());
+
+    std::vector<std::string> seen;
+    int all = bus.addHook(
+        [&](const stats::TraceEvent &e) { seen.push_back(e.name); });
+    int spec_only = bus.addHook(
+        [&](const stats::TraceEvent &e) {
+            seen.push_back(std::string("spec:") + e.name);
+        },
+        "spec");
+    EXPECT_TRUE(bus.active());
+
+    ONESPEC_TRACE("spec", "undo", 4, 2);
+    ONESPEC_TRACE("cache", "miss", 1, 0);
+
+    bus.removeHook(all);
+    bus.removeHook(spec_only);
+    EXPECT_FALSE(bus.active());
+    ONESPEC_TRACE("spec", "undo", 1, 1); // no hooks: must be a no-op
+
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], "undo");
+    EXPECT_EQ(seen[1], "spec:undo");
+    EXPECT_EQ(seen[2], "miss");
+}
+
+// ---------------------------------------------------------------------
+// Timing-side publishers
+// ---------------------------------------------------------------------
+
+TEST(StatsTiming, CachePublishesDeltasAndMissRate)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.lineBytes = 64;
+    cfg.ways = 2;
+    Cache cache(cfg);
+    for (uint64_t a = 0; a < 64 * 64; a += 64)
+        cache.access(a); // 64 cold misses
+    for (uint64_t a = 0; a < 4 * 64; a += 64)
+        cache.access(a); // some hits/misses depending on capacity
+
+    StatsRegistry reg;
+    StatGroup &g = reg.group("l1d");
+    cache.publishStats(g);
+    auto *acc = static_cast<stats::Counter *>(reg.resolve("l1d.accesses"));
+    auto *mis = static_cast<stats::Counter *>(reg.resolve("l1d.misses"));
+    ASSERT_NE(acc, nullptr);
+    ASSERT_NE(mis, nullptr);
+    EXPECT_EQ(acc->value(), cache.accesses());
+    EXPECT_EQ(mis->value(), cache.misses());
+
+    // Delta publishing: a second publish with no new accesses adds 0.
+    uint64_t before = acc->value();
+    cache.publishStats(g);
+    EXPECT_EQ(acc->value(), before);
+    // ...and new accesses add only the delta.
+    cache.access(0);
+    cache.publishStats(g);
+    EXPECT_EQ(acc->value(), before + 1);
+
+    auto *rate = static_cast<stats::Formula *>(reg.resolve("l1d.miss_rate"));
+    ASSERT_NE(rate, nullptr);
+    EXPECT_GT(rate->value(), 0.0);
+    EXPECT_LE(rate->value(), 1.0);
+}
+
+TEST(StatsTiming, BranchPredictorPublishesAccuracy)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 100; ++i)
+        bp.update(0x1000, true, 0x2000); // trains to always-taken
+    StatsRegistry reg;
+    bp.publishStats(reg.group("bpred"));
+    auto *br =
+        static_cast<stats::Counter *>(reg.resolve("bpred.branches"));
+    ASSERT_NE(br, nullptr);
+    EXPECT_EQ(br->value(), 100u);
+    auto *acc =
+        static_cast<stats::Formula *>(reg.resolve("bpred.accuracy"));
+    ASSERT_NE(acc, nullptr);
+    EXPECT_GT(acc->value(), 0.5); // converges fast on a monotone branch
+    EXPECT_DOUBLE_EQ(acc->value(), bp.accuracy());
+}
+
+TEST(StatsTiming, TimingStatsPublishesCountersAndIpc)
+{
+    TimingStats ts;
+    ts.cycles = 200;
+    ts.instrs = 100;
+    ts.branches = 10;
+    ts.mispredicts = 2;
+    StatsRegistry reg;
+    ts.publishStats(reg.group("timing"));
+    EXPECT_EQ(static_cast<stats::Counter *>(reg.resolve("timing.cycles"))
+                  ->value(),
+              200u);
+    auto *ipc = static_cast<stats::Formula *>(reg.resolve("timing.ipc"));
+    ASSERT_NE(ipc, nullptr);
+    EXPECT_DOUBLE_EQ(ipc->value(), 0.5);
+    auto *ba =
+        static_cast<stats::Formula *>(reg.resolve("timing.bpred_accuracy"));
+    ASSERT_NE(ba, nullptr);
+    EXPECT_DOUBLE_EQ(ba->value(), 0.8);
+}
+
+// ---------------------------------------------------------------------
+// Bench report schema regression
+// ---------------------------------------------------------------------
+
+TEST(BenchReport, SchemaAndRegistrySourcedCounters)
+{
+    // Tiny real measurement: one Block cell, enough instructions to make
+    // the crossing amortization visible, small enough for a unit test.
+    bench::CellResult cell =
+        bench::measureCellFull("alpha64", "BlockMinNo", 5'000, 1);
+    EXPECT_GT(cell.mips, 0.0);
+    EXPECT_GT(cell.instrs, 0u);
+    EXPECT_GT(cell.counters.executeBlockCalls, 0u);
+    // Block detail amortizes: many instructions per crossing.
+    EXPECT_GT(cell.counters.instrsPerCrossing(), 1.0);
+
+    bench::BenchReport report("unittest");
+    report.setParam("min_instrs", Json(static_cast<uint64_t>(5'000)));
+    report.addCell("alpha64", "BlockMinNo", cell);
+    Json j = report.toJson();
+
+    // Top-level schema.
+    ASSERT_TRUE(j.isObject());
+    EXPECT_EQ(j.find("schema_version")->asUint(), 1u);
+    EXPECT_EQ(j.find("bench")->asString(), "unittest");
+    const Json *meta = j.find("meta");
+    ASSERT_NE(meta, nullptr);
+    EXPECT_TRUE(meta->find("git_sha")->isString());
+    EXPECT_TRUE(meta->find("compiler")->isString());
+    EXPECT_TRUE(meta->find("build_type")->isString());
+
+    // Cell schema.
+    const Json *cells = j.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->size(), 1u);
+    const Json &c0 = cells->at(0);
+    EXPECT_EQ(c0.find("isa")->asString(), "alpha64");
+    EXPECT_EQ(c0.find("buildset")->asString(), "BlockMinNo");
+    EXPECT_EQ(c0.find("semantic")->asString(), "Block");
+    EXPECT_EQ(c0.find("info")->asString(), "Min");
+    EXPECT_FALSE(c0.find("speculation")->asBool());
+    EXPECT_GT(c0.find("mips")->asDouble(), 0.0);
+
+    // The iface counters in the JSON must equal what the registry holds
+    // (the report reads them back; it does not keep its own books).
+    const Json *iface = c0.find("iface");
+    ASSERT_NE(iface, nullptr);
+    auto regval = [](const std::string &path) {
+        stats::Stat *s = StatsRegistry::global().resolve(path);
+        return s ? static_cast<stats::Counter *>(s)->value() : ~0ull;
+    };
+    const std::string base =
+        bench::cellGroupPath("alpha64", "BlockMinNo") + ".";
+    for (const char *name :
+         {"execute_block_calls", "crossings", "instrs"}) {
+        ASSERT_NE(iface->find(name), nullptr) << name;
+        EXPECT_EQ(iface->find(name)->asUint(), regval(base + name))
+            << name;
+        EXPECT_GT(iface->find(name)->asUint(), 0u) << name;
+    }
+    EXPECT_GT(iface->find("instrs_per_crossing")->asDouble(), 1.0);
+
+    // Full registry dump rides along, and the report round-trips.
+    ASSERT_NE(j.find("stats"), nullptr);
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(j.dump(2), back, &err)) << err;
+    EXPECT_EQ(back.find("cells")->at(0).find("iface")->find("crossings")
+                  ->asUint(),
+              iface->find("crossings")->asUint());
+}
+
+TEST(BenchReport, GeomeansPerBuildset)
+{
+    bench::BenchReport report("geo");
+    bench::CellResult a;
+    a.mips = 100.0;
+    bench::CellResult b;
+    b.mips = 400.0;
+    report.addCell("alpha64", "OneMinNo", a);
+    report.addCell("arm32", "OneMinNo", b);
+    Json j = report.toJson();
+    const Json *geo = j.find("geomean_mips");
+    ASSERT_NE(geo, nullptr);
+    ASSERT_NE(geo->find("OneMinNo"), nullptr);
+    EXPECT_NEAR(geo->find("OneMinNo")->asDouble(), 200.0, 1e-9);
+}
+
+} // namespace
+} // namespace onespec

@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Schema and shape-invariant checker for BENCH_*.json reports.
+
+Usage: check_bench_json.py [--smoke] [--quiet] FILE...
+
+Validates two things about each report:
+
+1. Schema: the fields docs/OBSERVABILITY.md documents are present and
+   well-typed (schema_version, bench, meta, cells with per-cell iface
+   counters sourced from the stats registry, geomean_mips, stats dump).
+
+2. Shape invariants from the paper, where the report contains the cells
+   needed to evaluate them (currently the table2 12-buildset grid):
+     - semantic detail dominates: Block > One > Step (per ISA, at equal
+       informational detail);
+     - informational detail costs: Min > Decode > All (per ISA, at equal
+       semantic detail);
+     - the lowest-detail interface is several times faster than the
+       highest-detail one (paper: 14.4x; we require a conservative floor);
+     - interface-crossing amortization: Block cells deliver many
+       instructions per crossing, One/Step cells about one call (or
+       several step calls) per instruction.
+
+With --smoke the speed comparisons use generous tolerance factors:
+smoke runs are short and wall-clock noise can locally reorder
+neighboring cells without the overall shape being wrong.
+
+Exit status: 0 if every file passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SEMANTIC_ORDER = ["Block", "One", "Step"]   # fastest -> slowest
+INFO_ORDER = ["Min", "Decode", "All"]       # fastest -> slowest
+
+IFACE_COUNTERS = [
+    "execute_calls", "execute_block_calls", "step_calls", "custom_calls",
+    "fast_forward_calls", "undo_calls", "crossings", "instrs",
+    "undone_instrs",
+]
+
+
+class CheckFailure(Exception):
+    pass
+
+
+class Checker:
+    def __init__(self, path, smoke=False, quiet=False):
+        self.path = path
+        self.smoke = smoke
+        self.quiet = quiet
+        self.errors = []
+        # Smoke runs tolerate local reordering between adjacent detail
+        # levels; full runs should show the clean ordering.  A pair
+        # (faster, slower) fails when slower > faster / tolerance.
+        self.tolerance = 0.75 if smoke else 0.95
+        self.min_detail_ratio = 1.2 if smoke else 3.0
+
+    def fail(self, msg):
+        self.errors.append(msg)
+
+    def note(self, msg):
+        if not self.quiet:
+            print(f"  {msg}")
+
+    # -- schema ---------------------------------------------------------
+
+    def expect(self, obj, key, types, where):
+        if key not in obj:
+            self.fail(f"{where}: missing '{key}'")
+            return None
+        if not isinstance(obj[key], types):
+            self.fail(f"{where}: '{key}' has type "
+                      f"{type(obj[key]).__name__}, expected "
+                      f"{'/'.join(t.__name__ for t in types)}")
+            return None
+        return obj[key]
+
+    def check_schema(self, doc):
+        num = (int, float)
+        if self.expect(doc, "schema_version", (int,), "top") != 1:
+            self.fail("top: schema_version must be 1")
+        self.expect(doc, "bench", (str,), "top")
+
+        meta = self.expect(doc, "meta", (dict,), "top")
+        if meta is not None:
+            for key in ("git_sha", "compiler", "build_type"):
+                self.expect(meta, key, (str,), "meta")
+            self.expect(meta, "host_counter", (bool,), "meta")
+
+        cells = self.expect(doc, "cells", (list,), "top")
+        if cells is not None:
+            for i, cell in enumerate(cells):
+                where = f"cells[{i}]"
+                if not isinstance(cell, dict):
+                    self.fail(f"{where}: not an object")
+                    continue
+                self.expect(cell, "isa", (str,), where)
+                self.expect(cell, "buildset", (str,), where)
+                mips = self.expect(cell, "mips", num, where)
+                if mips is not None and mips <= 0:
+                    self.fail(f"{where}: mips must be positive, got {mips}")
+                self.expect(cell, "ns_per_sim", num, where)
+                instrs = self.expect(cell, "instrs", (int,), where)
+                if instrs is not None and instrs <= 0:
+                    self.fail(f"{where}: instrs must be positive")
+                iface = self.expect(cell, "iface", (dict,), where)
+                if iface is None:
+                    continue
+                for c in IFACE_COUNTERS:
+                    v = self.expect(iface, c, (int,), f"{where}.iface")
+                    if v is not None and v < 0:
+                        self.fail(f"{where}.iface.{c}: negative")
+                self.expect(iface, "instrs_per_crossing", num,
+                            f"{where}.iface")
+                self.check_cell_counters(cell, where)
+
+        self.expect(doc, "geomean_mips", (dict,), "top")
+        self.expect(doc, "stats", (dict,), "top")
+
+    def check_cell_counters(self, cell, where):
+        """Per-cell counter consistency and crossing amortization."""
+        iface = cell["iface"]
+        if any(c not in iface for c in IFACE_COUNTERS):
+            return
+        total = sum(iface[c] for c in
+                    ("execute_calls", "execute_block_calls", "step_calls",
+                     "custom_calls", "fast_forward_calls", "undo_calls"))
+        if iface["crossings"] != total:
+            self.fail(f"{where}: crossings={iface['crossings']} but "
+                      f"entrypoint calls sum to {total}")
+        if iface["crossings"] == 0:
+            self.fail(f"{where}: no interface crossings recorded")
+            return
+
+        semantic = cell.get("semantic")
+        ipc = iface["instrs"] / iface["crossings"]
+        if semantic == "Block":
+            if ipc <= 1.0:
+                self.fail(f"{where}: Block cell amortizes only "
+                          f"{ipc:.2f} instrs/crossing (expected > 1)")
+            if iface["execute_block_calls"] == 0:
+                self.fail(f"{where}: Block cell made no executeBlock calls")
+        elif semantic == "One":
+            if not 0.5 <= ipc <= 1.5:
+                self.fail(f"{where}: One cell should cross about once per "
+                          f"instr, got {ipc:.2f}")
+        elif semantic == "Step":
+            if ipc > 1.0:
+                self.fail(f"{where}: Step cell should cross multiple "
+                          f"times per instr, got {ipc:.2f}")
+            if iface["step_calls"] == 0 and iface["custom_calls"] == 0:
+                self.fail(f"{where}: Step cell made no step/custom calls")
+
+    # -- shape invariants ----------------------------------------------
+
+    def cell_index(self, doc):
+        idx = {}
+        for cell in doc.get("cells", []):
+            if not isinstance(cell, dict):
+                continue
+            key = (cell.get("isa"), cell.get("semantic"),
+                   cell.get("info"), bool(cell.get("speculation")))
+            if all(k is not None for k in key[:3]):
+                idx[key] = cell
+        return idx
+
+    def check_shapes(self, doc):
+        idx = self.cell_index(doc)
+        if not idx:
+            self.note("no semantic/info-tagged cells; skipping shape checks")
+            return
+        isas = sorted({k[0] for k in idx})
+
+        def mips(isa, sem, info, spec=False):
+            c = idx.get((isa, sem, info, spec))
+            return c["mips"] if c else None
+
+        checked = 0
+        for isa in isas:
+            # Semantic ordering at fixed info level, no speculation.
+            for info in INFO_ORDER:
+                row = [(s, mips(isa, s, info)) for s in SEMANTIC_ORDER]
+                row = [(s, m) for s, m in row if m]
+                for (s1, m1), (s2, m2) in zip(row, row[1:]):
+                    checked += 1
+                    if m2 * self.tolerance > m1:
+                        self.fail(
+                            f"{isa}: semantic ordering violated at "
+                            f"info={info}: {s1}={m1:.2f} !> {s2}={m2:.2f}")
+            # Informational ordering at fixed semantic level.
+            for sem in SEMANTIC_ORDER:
+                row = [(i, mips(isa, sem, i)) for i in INFO_ORDER]
+                row = [(i, m) for i, m in row if m]
+                for (i1, m1), (i2, m2) in zip(row, row[1:]):
+                    checked += 1
+                    if m2 * self.tolerance > m1:
+                        self.fail(
+                            f"{isa}: info ordering violated at "
+                            f"semantic={sem}: {i1}={m1:.2f} !> {i2}={m2:.2f}")
+            # Lowest vs highest detail.
+            lo = mips(isa, "Block", "Min", False)
+            hi = mips(isa, "Step", "All", True)
+            if lo and hi:
+                checked += 1
+                ratio = lo / hi
+                self.note(f"{isa}: detail ratio {ratio:.1f}x "
+                          f"(paper: up to 14.4x)")
+                if ratio < self.min_detail_ratio:
+                    self.fail(
+                        f"{isa}: Block/Min/No is only {ratio:.1f}x faster "
+                        f"than Step/All/Yes (floor "
+                        f"{self.min_detail_ratio}x)")
+        self.note(f"shape comparisons evaluated: {checked}")
+
+    def check_geomeans(self, doc):
+        """geomean_mips must equal the geomean of its buildset's cells."""
+        cells = doc.get("cells", [])
+        geo = doc.get("geomean_mips", {})
+        if not isinstance(geo, dict):
+            return
+        by_bs = {}
+        for c in cells:
+            if isinstance(c, dict) and c.get("mips", 0) > 0:
+                by_bs.setdefault(c["buildset"], []).append(c["mips"])
+        for bs, xs in by_bs.items():
+            if bs not in geo:
+                self.fail(f"geomean_mips missing buildset {bs}")
+                continue
+            want = math.exp(sum(math.log(x) for x in xs) / len(xs))
+            got = geo[bs]
+            if not math.isclose(want, got, rel_tol=1e-6):
+                self.fail(f"geomean_mips[{bs}]={got} != computed {want}")
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self):
+        try:
+            with open(self.path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            self.errors.append(f"cannot load: {e}")
+            return False
+        self.check_schema(doc)
+        self.check_geomeans(doc)
+        self.check_shapes(doc)
+        return not self.errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", metavar="FILE")
+    ap.add_argument("--smoke", action="store_true",
+                    help="relax speed-ordering tolerances for short runs")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    ok = True
+    for path in args.files:
+        print(f"check {path}")
+        c = Checker(path, smoke=args.smoke, quiet=args.quiet)
+        if c.run():
+            print("  OK")
+        else:
+            ok = False
+            for e in c.errors:
+                print(f"  FAIL: {e}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
