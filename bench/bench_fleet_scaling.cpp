@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fleet throughput scaling: aggregate MIPS of a fixed batch of kernel
+ * jobs (all three ISAs x the kernel suite) as the SimFleet thread count
+ * sweeps 1..hw_concurrency.  The jobs are embarrassingly parallel, so
+ * aggregate throughput should rise close to linearly until the physical
+ * cores run out; the JSON records the curve and check_bench_json.py
+ * enforces its shape (thread counts present, MIPS monotone up to a
+ * tolerance, top-thread-count speedup floor).
+ *
+ * The bench also cross-checks determinism on every sweep point: each
+ * job's architectural state hash must equal the 1-thread run's.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "parallel/fleet.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+using onespec::parallel::FleetJob;
+using onespec::parallel::FleetReport;
+using onespec::parallel::SimFleet;
+
+namespace {
+
+/** The full cross-ISA batch: every kernel on every shipped ISA. */
+std::vector<FleetJob>
+makeJobs(const std::string &buildset, uint64_t max_instrs)
+{
+    std::vector<FleetJob> jobs;
+    for (const auto &isa : shippedIsas()) {
+        IsaWorkloads &w = workloadsFor(isa);
+        for (const auto &[kname, prog] : w.programs) {
+            FleetJob j;
+            j.spec = w.spec.get();
+            j.program = &prog;
+            j.buildset = buildset;
+            j.maxInstrs = max_instrs;
+            j.name = isa + "/" + kname;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t max_instrs = 2'000'000;
+    std::string buildset = "BlockMinNo";
+    std::string json_path;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
+            max_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--buildset") == 0 && i + 1 < argc) {
+            buildset = argv[++i];
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            // CI-sized: enough work per job that pool overhead is noise,
+            // small enough that the whole sweep finishes in seconds.
+            smoke = true;
+            max_instrs = 250'000;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    unsigned hw = parallel::hardwareThreads();
+    // Sweep at least to t=2 even on a single-core host: no speedup is
+    // expected there, but the t>1 determinism cross-check must still
+    // run.  check_bench_json.py only enforces the speedup floor when
+    // hw_concurrency is wide enough for it to be physical.
+    unsigned sweep_max = std::max(hw, 2u);
+    std::vector<FleetJob> jobs = makeJobs(buildset, max_instrs);
+
+    BenchReport report("fleet_scaling");
+    report.setParam("buildset", stats::Json(buildset));
+    report.setParam("max_instrs_per_job", stats::Json(max_instrs));
+    report.setParam("jobs", stats::Json(static_cast<uint64_t>(jobs.size())));
+    report.setParam("hw_concurrency", stats::Json(static_cast<uint64_t>(hw)));
+    report.setParam("smoke", stats::Json(smoke));
+
+    std::printf("FLEET SCALING: aggregate MIPS vs thread count\n");
+    std::printf("(%zu jobs: %zu ISAs x %zu kernels, buildset %s, "
+                "<=%llu instrs/job, host has %u hardware threads)\n\n",
+                jobs.size(), shippedIsas().size(), kernelNames().size(),
+                buildset.c_str(),
+                static_cast<unsigned long long>(max_instrs), hw);
+    std::printf("%8s %12s %12s %10s\n", "threads", "wall_ms",
+                "agg_MIPS", "speedup");
+
+    std::vector<uint64_t> baselineHashes;
+    double mips1 = 0.0;
+    stats::Json curve = stats::Json::array();
+    for (unsigned t = 1; t <= sweep_max; ++t) {
+        SimFleet fleet(t);
+        FleetReport r = fleet.run(jobs);
+
+        for (size_t j = 0; j < r.results.size(); ++j) {
+            const auto &res = r.results[j];
+            if (!res.error.empty() ||
+                res.run.status == RunStatus::Fault) {
+                std::fprintf(stderr, "job %s failed: %s\n",
+                             jobs[j].name.c_str(), res.error.c_str());
+                return 1;
+            }
+        }
+        if (t == 1) {
+            for (const auto &res : r.results)
+                baselineHashes.push_back(res.stateHash);
+            mips1 = r.aggregateMips();
+        } else {
+            for (size_t j = 0; j < r.results.size(); ++j) {
+                if (r.results[j].stateHash != baselineHashes[j]) {
+                    std::fprintf(stderr,
+                                 "DETERMINISM VIOLATION: job %s hash "
+                                 "differs at %u threads\n",
+                                 jobs[j].name.c_str(), t);
+                    return 1;
+                }
+            }
+        }
+
+        double mips = r.aggregateMips();
+        std::printf("%8u %12.2f %12.2f %9.2fx\n", t,
+                    static_cast<double>(r.wallNs) / 1e6, mips,
+                    mips1 > 0 ? mips / mips1 : 0.0);
+        std::fflush(stdout);
+
+        stats::Json point = stats::Json::object();
+        point.set("threads", stats::Json(static_cast<uint64_t>(t)));
+        point.set("wall_ns", stats::Json(r.wallNs));
+        point.set("instrs", stats::Json(r.totalInstrs()));
+        point.set("mips", stats::Json(mips));
+        point.set("speedup", stats::Json(mips1 > 0 ? mips / mips1 : 0.0));
+        curve.push(std::move(point));
+    }
+
+    report.addResult("fleet_scaling", std::move(curve));
+    report.addResult("determinism_checked", stats::Json(true));
+    report.write(json_path);
+    return 0;
+}

@@ -15,6 +15,13 @@ void
 SimRegistry::add(const std::string &isa, const std::string &buildset,
                  uint64_t fingerprint, SimFactory factory)
 {
+    if (frozen_.load(std::memory_order_acquire)) {
+        ONESPEC_PANIC(
+            "simulator for ", isa, "/", buildset,
+            " registered after the registry was first read; registration "
+            "must finish during static initialization (see registry.hpp "
+            "threading contract)");
+    }
     for (const auto &e : entries_) {
         if (e.isa == isa && e.buildset == buildset) {
             ONESPEC_PANIC("simulator for ", isa, "/", buildset,
@@ -27,6 +34,7 @@ SimRegistry::add(const std::string &isa, const std::string &buildset,
 std::unique_ptr<FunctionalSimulator>
 SimRegistry::create(SimContext &ctx, const std::string &buildset) const
 {
+    frozen_.store(true, std::memory_order_release);
     const std::string &isa = ctx.spec().props.name;
     for (const auto &e : entries_) {
         if (e.isa == isa && e.buildset == buildset) {
@@ -45,6 +53,7 @@ SimRegistry::create(SimContext &ctx, const std::string &buildset) const
 std::vector<std::string>
 SimRegistry::buildsetsFor(const std::string &isa) const
 {
+    frozen_.store(true, std::memory_order_release);
     std::vector<std::string> out;
     for (const auto &e : entries_)
         if (e.isa == isa)

@@ -6,11 +6,20 @@
  * simulator against a context whose loaded Spec has a different
  * fingerprint is refused -- the generated code would disagree with the
  * description it claims to implement.
+ *
+ * Threading contract: registration happens exclusively during static
+ * initialization (every SimRegistrar is a namespace-scope object in a
+ * generated translation unit), which the C++ runtime serializes before
+ * main().  The registry is read-only from then on, so create() and
+ * buildsetsFor() are safe to call concurrently from fleet workers with
+ * no locking.  The first lookup freezes the registry; a late add() --
+ * which would race readers -- panics instead of corrupting the table.
  */
 
 #ifndef ONESPEC_IFACE_REGISTRY_HPP
 #define ONESPEC_IFACE_REGISTRY_HPP
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +62,8 @@ class SimRegistry
     };
 
     std::vector<Entry> entries_;
+    /** Set by the first lookup; add() afterwards is a usage error. */
+    mutable std::atomic<bool> frozen_{false};
 };
 
 /** Static-initialization helper used by generated code. */

@@ -1,0 +1,135 @@
+#include "fleet.hpp"
+
+#include <exception>
+
+#include "iface/registry.hpp"
+#include "perf/hostcount.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "support/logging.hpp"
+
+namespace onespec::parallel {
+
+uint64_t
+contextStateHash(const SimContext &ctx, const std::string &output)
+{
+    constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t h = kOffset;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= kPrime;
+        }
+    };
+    const ArchState &st = ctx.state();
+    mix(st.pc());
+    for (unsigned w = 0; w < st.numWords(); ++w)
+        mix(st.rawWord(w));
+    for (unsigned char c : output) {
+        h ^= c;
+        h *= kPrime;
+    }
+    return h;
+}
+
+std::string
+fleetGroupPath(const std::string &isa, const std::string &buildset)
+{
+    return "fleet." + isa + "." + buildset;
+}
+
+uint64_t
+FleetReport::totalInstrs() const
+{
+    uint64_t n = 0;
+    for (const auto &r : results)
+        n += r.run.instrs;
+    return n;
+}
+
+double
+FleetReport::aggregateMips() const
+{
+    return wallNs ? static_cast<double>(totalInstrs()) * 1000.0 /
+                        static_cast<double>(wallNs)
+                  : 0.0;
+}
+
+SimFleet::SimFleet(unsigned threads) : pool_(threads) {}
+
+SimFleet::~SimFleet() = default;
+
+unsigned
+SimFleet::threads() const
+{
+    return pool_.size();
+}
+
+namespace {
+
+/** Run one job against its own context/simulator/registry. */
+void
+runJob(const FleetJob &job, FleetResult &out, stats::StatsRegistry &reg)
+{
+    ONESPEC_ASSERT(job.spec && job.program,
+                   "fleet job '", job.name, "' missing spec or program");
+    SimContext ctx(*job.spec);
+    ctx.load(*job.program);
+    std::unique_ptr<FunctionalSimulator> sim;
+    if (job.useInterp) {
+        sim = makeInterpSimulator(ctx, job.buildset);
+    } else {
+        sim = SimRegistry::instance().create(ctx, job.buildset);
+        ONESPEC_ASSERT(sim, "no generated simulator for ",
+                       job.spec->props.name, "/", job.buildset);
+    }
+    Stopwatch sw;
+    sw.start();
+    out.run = sim->run(job.maxInstrs);
+    out.ns = sw.elapsedNs();
+    out.output = ctx.os().output();
+    out.stateHash = contextStateHash(ctx, out.output);
+    out.counters = sim->ifaceCounters();
+    sim->publishStats(reg.group(
+        fleetGroupPath(job.spec->props.name, job.buildset)));
+}
+
+} // namespace
+
+FleetReport
+SimFleet::run(const std::vector<FleetJob> &jobs)
+{
+    FleetReport report;
+    report.threads = pool_.size();
+    report.results.resize(jobs.size());
+    report.merged = std::make_unique<stats::StatsRegistry>();
+
+    // One registry per job, owned here, written only by the worker that
+    // runs the job -- no locking anywhere near the simulation loop.
+    std::vector<stats::StatsRegistry> jobStats(jobs.size());
+
+    Stopwatch sw;
+    sw.start();
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        pool_.submit([&jobs, &report, &jobStats, j] {
+            try {
+                runJob(jobs[j], report.results[j], jobStats[j]);
+            } catch (const std::exception &e) {
+                report.results[j].error = e.what();
+                report.results[j].run.status = RunStatus::Fault;
+            }
+        });
+    }
+    pool_.wait();
+    report.wallNs = sw.elapsedNs();
+
+    // Deterministic merge: job-index order, independent of which worker
+    // ran what when.  Counter addition is commutative, so the *values*
+    // equal a serial run; fixing the order fixes the dump order too.
+    for (const auto &reg : jobStats)
+        stats::mergeInto(*report.merged, reg);
+    return report;
+}
+
+} // namespace onespec::parallel

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SimFleet: run many independent (Spec, buildset, Program) simulation
+ * jobs concurrently on a work-stealing thread pool.
+ *
+ * The buildset-specialized simulators are embarrassingly parallel across
+ * workloads: a job's entire mutable world -- SimContext (memory,
+ * registers, OS emulation, journal), the FunctionalSimulator instance
+ * and its IfaceCounters, and a per-job stats registry -- is constructed
+ * inside the worker task and owned by it exclusively.  The only shared
+ * inputs are const: the Spec, the Program image, and the frozen
+ * SimRegistry (see iface/registry.hpp for its read-only-after-init
+ * contract).  The process-wide TraceBus is the one shared mutable
+ * service and is internally synchronized.
+ *
+ * Determinism guarantee: per-job results (status, instruction count,
+ * architectural state hash, OS output, interface counters) are pure
+ * functions of the job, so they are bit-identical for any thread count,
+ * including 1.  Merged stats are accumulated per job and folded in
+ * job-index order after the pool drains, so the merged tree -- values
+ * AND dump order -- is also thread-count invariant.  Only wall-clock
+ * fields (ns, MIPS) vary between runs.
+ */
+
+#ifndef ONESPEC_PARALLEL_FLEET_HPP
+#define ONESPEC_PARALLEL_FLEET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iface/functional_simulator.hpp"
+#include "parallel/threadpool.hpp"
+#include "stats/sharded.hpp"
+#include "stats/stats.hpp"
+
+namespace onespec::parallel {
+
+/** One unit of fleet work.  The Spec and Program must outlive run()
+ *  and are shared read-only across jobs. */
+struct FleetJob
+{
+    const Spec *spec = nullptr;
+    const Program *program = nullptr;
+    std::string buildset;      ///< generated simulator to instantiate
+    uint64_t maxInstrs = ~uint64_t{0}; ///< run-to-halt cap
+    std::string name;          ///< label for reports ("alpha64/fib")
+    bool useInterp = false;    ///< interpreter back end instead
+};
+
+/** Outcome of one job. */
+struct FleetResult
+{
+    RunResult run;             ///< status + instructions retired
+    uint64_t stateHash = 0;    ///< FNV-1a over pc, registers, OS output
+    std::string output;        ///< bytes the job wrote to stdout
+    IfaceCounters counters;    ///< interface crossings of this job
+    uint64_t ns = 0;           ///< wall time of this job alone
+    std::string error;         ///< non-empty if the job threw
+};
+
+/** A whole batch: per-job results plus the deterministic stat merge. */
+struct FleetReport
+{
+    std::vector<FleetResult> results;  ///< indexed like the job list
+    /** Per-job registries merged in job-index order.  Jobs publish under
+     *  "fleet.<isa>.<buildset>", so same-cell jobs accumulate. */
+    std::unique_ptr<stats::StatsRegistry> merged;
+    uint64_t wallNs = 0;       ///< batch wall time across the pool
+    unsigned threads = 0;      ///< pool width that produced this report
+
+    uint64_t totalInstrs() const;
+    /** Aggregate simulated MIPS: total instructions / batch wall time. */
+    double aggregateMips() const;
+};
+
+/** FNV-1a digest of a context's architectural state plus OS output;
+ *  the fleet's cheap bit-identical-result witness. */
+uint64_t contextStateHash(const SimContext &ctx, const std::string &output);
+
+/** Registry path a job publishes under: "fleet.<isa>.<buildset>". */
+std::string fleetGroupPath(const std::string &isa,
+                           const std::string &buildset);
+
+/** Owns a thread pool and runs job batches over it. */
+class SimFleet
+{
+  public:
+    /** @p threads workers; 0 means one per hardware thread. */
+    explicit SimFleet(unsigned threads = 0);
+    ~SimFleet();
+
+    SimFleet(const SimFleet &) = delete;
+    SimFleet &operator=(const SimFleet &) = delete;
+
+    unsigned threads() const;
+
+    /** Run every job to completion; results land at the job's index. */
+    FleetReport run(const std::vector<FleetJob> &jobs);
+
+  private:
+    ThreadPool pool_;
+};
+
+} // namespace onespec::parallel
+
+#endif // ONESPEC_PARALLEL_FLEET_HPP

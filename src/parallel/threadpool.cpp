@@ -1,0 +1,118 @@
+#include "threadpool.hpp"
+
+#include <algorithm>
+
+namespace onespec::parallel {
+
+unsigned
+hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned nthreads)
+{
+    unsigned n = nthreads ? nthreads : hardwareThreads();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(sleepM_);
+        stop_.store(true, std::memory_order_release);
+    }
+    sleepCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    unsigned i = static_cast<unsigned>(
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size());
+    inFlight_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> lock(workers_[i]->m);
+        workers_[i]->q.push_back(std::move(task));
+    }
+    // Publish queued_ and notify while holding the sleep mutex: a worker
+    // between its predicate check and the actual wait cannot miss this.
+    {
+        std::lock_guard<std::mutex> lock(sleepM_);
+        queued_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    sleepCv_.notify_one();
+}
+
+bool
+ThreadPool::tryRun(unsigned self)
+{
+    Task task;
+    // Own queue first (front: submission order) ...
+    {
+        Worker &w = *workers_[self];
+        std::lock_guard<std::mutex> lock(w.m);
+        if (!w.q.empty()) {
+            task = std::move(w.q.front());
+            w.q.pop_front();
+        }
+    }
+    // ... then steal from the back of the others, nearest first.
+    if (!task) {
+        for (size_t k = 1; k < workers_.size() && !task; ++k) {
+            Worker &v = *workers_[(self + k) % workers_.size()];
+            std::lock_guard<std::mutex> lock(v.m);
+            if (!v.q.empty()) {
+                task = std::move(v.q.back());
+                v.q.pop_back();
+            }
+        }
+    }
+    if (!task)
+        return false;
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    if (inFlight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task of the batch: wake wait()ers.
+        std::lock_guard<std::mutex> lock(sleepM_);
+        doneCv_.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        if (tryRun(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepM_);
+        sleepCv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   queued_.load(std::memory_order_acquire) != 0;
+        });
+        if (stop_.load(std::memory_order_acquire))
+            return;
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(sleepM_);
+    doneCv_.wait(lock, [this] {
+        return inFlight_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+} // namespace onespec::parallel

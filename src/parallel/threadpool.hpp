@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the simulation fleet.  Tasks are
+ * distributed round-robin across per-worker deques; an idle worker pops
+ * from the front of its own deque and steals from the back of a
+ * neighbor's when empty, so a long job (a slow ISA's kernel) never
+ * strands short jobs queued behind it on the same worker.
+ *
+ * Scope: this is a *batch* pool -- submit a set of tasks, wait() for all
+ * of them, repeat.  Tasks may not submit tasks.  That is exactly the
+ * fleet's shape and keeps the synchronization story small enough to
+ * audit: one mutex per worker deque, one atomic in-flight count, one
+ * condition variable for sleeping workers and one for wait().
+ */
+
+#ifndef ONESPEC_PARALLEL_THREADPOOL_HPP
+#define ONESPEC_PARALLEL_THREADPOOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace onespec::parallel {
+
+/** Number of useful worker threads on this host (>= 1). */
+unsigned hardwareThreads();
+
+/** Fixed-size work-stealing pool. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @p nthreads workers; 0 means hardwareThreads(). */
+    explicit ThreadPool(unsigned nthreads = 0);
+    ~ThreadPool(); ///< waits for queued tasks, then joins
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue @p task (round-robin placement, stealable). */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+  private:
+    struct Worker
+    {
+        std::mutex m;
+        std::deque<Task> q;
+    };
+
+    void workerLoop(unsigned self);
+    bool tryRun(unsigned self);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex sleepM_;
+    std::condition_variable sleepCv_; ///< workers wait here when idle
+    std::condition_variable doneCv_;  ///< wait() waits here
+    std::atomic<uint64_t> inFlight_{0}; ///< submitted but not finished
+    std::atomic<uint64_t> queued_{0};   ///< submitted but not yet dequeued
+    std::atomic<uint64_t> nextQueue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace onespec::parallel
+
+#endif // ONESPEC_PARALLEL_THREADPOOL_HPP

@@ -1,0 +1,110 @@
+#include "sharded.hpp"
+
+#include <atomic>
+
+#include "support/logging.hpp"
+
+namespace onespec::stats {
+
+// ---------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------
+
+void
+mergeInto(StatGroup &dst, const StatGroup &src)
+{
+    for (const auto &s : src.statList()) {
+        switch (s->kind()) {
+          case StatKind::Counter: {
+            const auto &c = static_cast<const Counter &>(*s);
+            dst.counter(c.name(), c.description()).add(c.value());
+            break;
+          }
+          case StatKind::Scalar: {
+            const auto &v = static_cast<const Scalar &>(*s);
+            dst.scalar(v.name(), v.description()).set(v.value());
+            break;
+          }
+          case StatKind::Distribution: {
+            const auto &d = static_cast<const Distribution &>(*s);
+            dst.distribution(d.name(), d.description(), d.lo(), d.hi(),
+                             d.numBuckets())
+                .mergeFrom(d);
+            break;
+          }
+          case StatKind::Formula:
+            // A formula closes over counters of its own registry;
+            // moving it across would leave dangling references once the
+            // shard dies.  Producers re-register on the aggregate.
+            break;
+        }
+    }
+    for (const auto &g : src.groupList())
+        mergeInto(dst.group(g->name()), *g);
+}
+
+void
+mergeInto(StatsRegistry &dst, const StatsRegistry &src)
+{
+    mergeInto(dst.root(), src.root());
+}
+
+// ---------------------------------------------------------------------
+// ShardedStats
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** One-slot thread-local cache: (instance id, epoch) -> shard.  A thread
+ *  alternating between two ShardedStats instances re-registers a shard
+ *  on each switch, which is correct, just not cached. */
+struct TlsCache
+{
+    uint64_t id = 0;
+    uint64_t epoch = 0;
+    StatsRegistry *reg = nullptr;
+};
+
+thread_local TlsCache tls_cache;
+
+std::atomic<uint64_t> next_instance_id{1};
+
+} // namespace
+
+ShardedStats::ShardedStats() : id_(next_instance_id.fetch_add(1)) {}
+
+StatsRegistry &
+ShardedStats::local()
+{
+    if (tls_cache.id == id_ && tls_cache.epoch == epoch_)
+        return *tls_cache.reg;
+    std::lock_guard<std::mutex> lock(m_);
+    shards_.push_back(std::make_unique<StatsRegistry>());
+    tls_cache = {id_, epoch_, shards_.back().get()};
+    return *tls_cache.reg;
+}
+
+void
+ShardedStats::aggregate(StatsRegistry &into) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &shard : shards_)
+        mergeInto(into, *shard);
+}
+
+void
+ShardedStats::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    shards_.clear();
+    ++epoch_;
+}
+
+size_t
+ShardedStats::shardCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return shards_.size();
+}
+
+} // namespace onespec::stats

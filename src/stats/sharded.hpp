@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sharded (thread-local) publication path for the stats registry.
+ *
+ * The StatsRegistry itself is deliberately unsynchronized: it is either
+ * used single-threaded (benches, tests) or read-only (dump/JSON).  When
+ * many threads produce stats concurrently -- the SimFleet case -- each
+ * thread publishes into its *own* shard registry with zero locking on
+ * the hot path, and an explicit aggregate() merges every shard into a
+ * destination registry afterwards.
+ *
+ * Merge semantics (shared with SimFleet's per-job merge):
+ *   Counter        values add.
+ *   Scalar         the source value overwrites the destination.
+ *   Distribution   bucket-wise sum (shapes must match).
+ *   Formula        skipped: a formula captures references to counters in
+ *                  its *own* registry; transplanting it would dangle.
+ *                  Producers re-register formulas on the aggregate.
+ *
+ * Counter and distribution merges are commutative, so aggregate totals
+ * are independent of shard order; only the insertion (dump) order of
+ * groups first created by different shards follows shard creation order.
+ * Code that needs a fully deterministic merged tree (SimFleet) keeps one
+ * registry per job and merges them in job-index order via mergeInto().
+ */
+
+#ifndef ONESPEC_STATS_SHARDED_HPP
+#define ONESPEC_STATS_SHARDED_HPP
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "stats/stats.hpp"
+
+namespace onespec::stats {
+
+/**
+ * Merge every stat and child group of @p src into @p dst per the
+ * semantics above.  Panics (via the registry's own kind checks) if a
+ * path exists in both trees with different stat kinds.
+ */
+void mergeInto(StatGroup &dst, const StatGroup &src);
+
+/** Convenience: merge the whole tree of @p src into @p dst. */
+void mergeInto(StatsRegistry &dst, const StatsRegistry &src);
+
+/** A set of per-thread shard registries with a post-hoc merge. */
+class ShardedStats
+{
+  public:
+    ShardedStats();
+
+    ShardedStats(const ShardedStats &) = delete;
+    ShardedStats &operator=(const ShardedStats &) = delete;
+
+    /**
+     * The calling thread's shard, created on first use (one lock
+     * acquisition per thread lifetime; subsequent calls are a
+     * thread-local pointer load).  The reference stays valid until
+     * clear() or destruction.
+     */
+    StatsRegistry &local();
+
+    /** Merge every shard into @p into (shard creation order). */
+    void aggregate(StatsRegistry &into) const;
+
+    /**
+     * Drop all shards.  Must not race local() or aggregate(); callers
+     * quiesce producer threads first (the fleet joins its pool).
+     */
+    void clear();
+
+    /** Number of shards created so far. */
+    size_t shardCount() const;
+
+  private:
+    mutable std::mutex m_;
+    std::vector<std::unique_ptr<StatsRegistry>> shards_;
+    uint64_t id_; ///< distinguishes instances in the TLS cache
+    /** Bumped by clear() to invalidate TLS caches; atomic because the
+     *  local() fast path reads it without the mutex. */
+    std::atomic<uint64_t> epoch_{0};
+};
+
+} // namespace onespec::stats
+
+#endif // ONESPEC_STATS_SHARDED_HPP

@@ -70,6 +70,30 @@ Distribution::quantile(double p) const
     return max_;
 }
 
+void
+Distribution::mergeFrom(const Distribution &o)
+{
+    ONESPEC_ASSERT(lo_ == o.lo_ && hi_ == o.hi_ &&
+                       buckets_.size() == o.buckets_.size(),
+                   "merging distribution '", name(),
+                   "' with a different bucket shape");
+    if (o.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    for (size_t b = 0; b < buckets_.size(); ++b)
+        buckets_[b] += o.buckets_[b];
+}
+
 Json
 Distribution::toJson() const
 {

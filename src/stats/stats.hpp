@@ -21,6 +21,13 @@
  * Ownership: the registry owns every node.  Producers hold references to
  * registry-owned nodes; those stay valid for the registry's lifetime, so
  * a Formula may safely capture references to sibling Counters.
+ *
+ * Threading: a registry is NOT internally synchronized.  Use one of two
+ * disciplines: (a) confine a registry to one thread (each SimFleet job
+ * owns its own and the fleet merges them afterwards), or (b) publish
+ * through stats/sharded.hpp, which gives every thread a lock-free local
+ * shard and an explicit aggregate() merge.  Concurrent unsynchronized
+ * mutation of one registry is a bug.
  */
 
 #ifndef ONESPEC_STATS_STATS_HPP
@@ -135,6 +142,17 @@ class Distribution final : public Stat
     /** Estimated value at quantile @p p in [0, 1]. */
     double quantile(double p) const;
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+
+    /** Bucket-wise accumulate @p o into this distribution (the sharded
+     *  stats merge path).  Both must have the same lo/hi/bucket shape. */
+    void mergeFrom(const Distribution &o);
+
   private:
     double lo_, hi_, bucketWidth_;
     std::vector<uint64_t> buckets_;
@@ -233,6 +251,7 @@ class StatsRegistry
     static StatsRegistry &global();
 
     StatGroup &root() { return root_; }
+    const StatGroup &root() const { return root_; }
 
     /** Group at dotted @p path from the root, created as needed. */
     StatGroup &group(const std::string &path);

@@ -14,27 +14,36 @@ TraceBus::instance()
 int
 TraceBus::addHook(Hook hook, std::string category)
 {
+    std::lock_guard<std::mutex> lock(m_);
     int id = nextId_++;
     hooks_.push_back({id, std::move(category), std::move(hook)});
-    ++nactive_;
+    nactive_.store(static_cast<unsigned>(hooks_.size()),
+                   std::memory_order_relaxed);
     return id;
 }
 
 void
 TraceBus::removeHook(int id)
 {
+    std::lock_guard<std::mutex> lock(m_);
     for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
         if (it->id == id) {
             hooks_.erase(it);
-            --nactive_;
-            return;
+            break;
         }
     }
+    nactive_.store(static_cast<unsigned>(hooks_.size()),
+                   std::memory_order_relaxed);
 }
 
 void
 TraceBus::emit(const TraceEvent &ev)
 {
+    // Delivery holds the mutex: a hook registered mid-emission either
+    // sees this event or the next one, never a half-written Entry.
+    // Trace points are warm-path by contract (see file comment), so the
+    // serialization cost is acceptable; the hot-path gate is active().
+    std::lock_guard<std::mutex> lock(m_);
     for (const auto &h : hooks_) {
         if (h.category.empty() ||
             std::strcmp(h.category.c_str(), ev.category) == 0)

@@ -9,13 +9,23 @@
  * Use the ONESPEC_TRACE macro rather than calling emit() directly:
  *
  *     ONESPEC_TRACE("spec", "undo", depth, journal_len);
+ *
+ * Threading: the bus is process-wide and shared by every fleet worker.
+ * active() is a single relaxed atomic load, so the no-hook fast path
+ * stays lock-free on hot simulation threads; addHook()/removeHook()/
+ * emit() serialize on an internal mutex, so registration racing with
+ * emission never tears the hook list.  Hooks may be invoked concurrently
+ * from any thread and must synchronize their own state; a hook must not
+ * register or remove hooks (that would self-deadlock).
  */
 
 #ifndef ONESPEC_STATS_TRACE_HPP
 #define ONESPEC_STATS_TRACE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,7 +58,10 @@ class TraceBus
     void removeHook(int id);
 
     /** True if any hook is registered (the trace-point fast path). */
-    bool active() const { return nactive_ != 0; }
+    bool active() const
+    {
+        return nactive_.load(std::memory_order_relaxed) != 0;
+    }
 
     void emit(const TraceEvent &ev);
 
@@ -60,9 +73,10 @@ class TraceBus
         Hook hook;
     };
 
+    std::mutex m_; ///< guards hooks_/nextId_; held across delivery
     std::vector<Entry> hooks_;
     int nextId_ = 1;
-    unsigned nactive_ = 0;
+    std::atomic<unsigned> nactive_{0};
 };
 
 } // namespace onespec::stats

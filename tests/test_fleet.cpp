@@ -1,0 +1,243 @@
+/**
+ * @file
+ * SimFleet tests: determinism under parallelism (the N-thread run must
+ * be bit-identical to the 1-thread run, per job and in the merged
+ * stats), work-stealing pool behavior, and a ThreadSanitizer-friendly
+ * stress case of many short jobs.  Run these under TSan via
+ * `-DONESPEC_SANITIZE=thread` + `ctest -L tsan` (docs/BENCHMARKING.md).
+ */
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "parallel/fleet.hpp"
+#include "parallel/threadpool.hpp"
+#include "workload/builder.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec {
+namespace {
+
+using parallel::FleetJob;
+using parallel::FleetReport;
+using parallel::SimFleet;
+using parallel::ThreadPool;
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 500;
+    std::vector<std::atomic<int>> ran(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&ran, i] { ran[i].fetch_add(1); });
+    pool.wait();
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, WorkStealingSpreadsLoadAcrossWorkers)
+{
+    // Round-robin placement puts every 4th task on worker 0's deque; if
+    // nobody stole, a batch would serialize behind one long task.  With
+    // stealing, the batch of sleeps finishes near the ideal wall time.
+    ThreadPool pool(4);
+    std::set<std::thread::id> seen;
+    std::mutex m;
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            std::lock_guard<std::mutex> lock(m);
+            seen.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_GE(seen.size(), 2u) << "tasks never ran on a second worker";
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> n{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&n] { n.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(n.load(), (batch + 1) * 10);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SimFleet determinism
+// ---------------------------------------------------------------------
+
+/** Shared fixture state: specs and programs are expensive to build, so
+ *  construct once and share read-only (exactly how fleet callers do). */
+class FleetTest : public ::testing::Test
+{
+  protected:
+    struct IsaBatch
+    {
+        std::unique_ptr<Spec> spec;
+        std::vector<std::pair<std::string, Program>> programs;
+    };
+
+    static void
+    SetUpTestSuite()
+    {
+        batches_ = new std::vector<IsaBatch>();
+        for (const auto &isa : shippedIsas()) {
+            IsaBatch b;
+            b.spec = loadIsa(isa);
+            for (const char *k : {"fib", "crc32", "listsum"}) {
+                auto builder = makeBuilder(*b.spec);
+                // Small scales: whole suite must be TSan-viable.
+                b.programs.emplace_back(k, buildKernel(*builder, k, 500));
+            }
+            batches_->push_back(std::move(b));
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete batches_;
+        batches_ = nullptr;
+    }
+
+    static std::vector<FleetJob>
+    makeJobs(const std::string &buildset, int copies = 1,
+             uint64_t max_instrs = ~uint64_t{0})
+    {
+        std::vector<FleetJob> jobs;
+        for (int c = 0; c < copies; ++c) {
+            for (const auto &b : *batches_) {
+                for (const auto &[kname, prog] : b.programs) {
+                    FleetJob j;
+                    j.spec = b.spec.get();
+                    j.program = &prog;
+                    j.buildset = buildset;
+                    j.maxInstrs = max_instrs;
+                    j.name = b.spec->props.name + "/" + kname;
+                    jobs.push_back(std::move(j));
+                }
+            }
+        }
+        return jobs;
+    }
+
+    static std::vector<IsaBatch> *batches_;
+};
+
+std::vector<FleetTest::IsaBatch> *FleetTest::batches_ = nullptr;
+
+TEST_F(FleetTest, ParallelRunBitIdenticalToSerialRun)
+{
+    std::vector<FleetJob> jobs = makeJobs("BlockAllNo");
+
+    SimFleet serial(1);
+    FleetReport ref = serial.run(jobs);
+    ASSERT_EQ(ref.results.size(), jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        ASSERT_TRUE(ref.results[j].error.empty()) << ref.results[j].error;
+        EXPECT_EQ(static_cast<int>(ref.results[j].run.status),
+                  static_cast<int>(RunStatus::Halted))
+            << jobs[j].name;
+        EXPECT_FALSE(ref.results[j].output.empty()) << jobs[j].name;
+    }
+
+    unsigned n = std::max(4u, parallel::hardwareThreads());
+    SimFleet wide(n);
+    FleetReport par = wide.run(jobs);
+    ASSERT_EQ(par.results.size(), ref.results.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const auto &a = ref.results[j];
+        const auto &b = par.results[j];
+        EXPECT_EQ(static_cast<int>(a.run.status),
+                  static_cast<int>(b.run.status)) << jobs[j].name;
+        EXPECT_EQ(a.run.instrs, b.run.instrs) << jobs[j].name;
+        EXPECT_EQ(a.stateHash, b.stateHash) << jobs[j].name;
+        EXPECT_EQ(a.output, b.output) << jobs[j].name;
+        EXPECT_EQ(a.counters.crossings(), b.counters.crossings())
+            << jobs[j].name;
+        EXPECT_EQ(a.counters.instrs, b.counters.instrs) << jobs[j].name;
+    }
+
+    // Merged stats: same values AND same dump order (job-index merge),
+    // so the serialized trees are byte-identical.
+    EXPECT_EQ(ref.merged->toJson().dump(2), par.merged->toJson().dump(2));
+}
+
+TEST_F(FleetTest, MergedStatsEqualSerialSumOfJobCounters)
+{
+    std::vector<FleetJob> jobs = makeJobs("OneAllNo");
+    SimFleet fleet(3);
+    FleetReport r = fleet.run(jobs);
+
+    // Sum each job's own counters per (isa, buildset) cell...
+    uint64_t want_instrs = 0, want_crossings = 0;
+    for (const auto &res : r.results) {
+        want_instrs += res.counters.instrs;
+        want_crossings += res.counters.crossings();
+    }
+    // ...and compare against the merged registry across all cells.
+    uint64_t got_instrs = 0, got_crossings = 0;
+    for (const auto &b : *batches_) {
+        const std::string base =
+            parallel::fleetGroupPath(b.spec->props.name, "OneAllNo");
+        auto *si = r.merged->resolve(base + ".instrs");
+        auto *sc = r.merged->resolve(base + ".crossings");
+        ASSERT_NE(si, nullptr) << base;
+        ASSERT_NE(sc, nullptr) << base;
+        got_instrs += static_cast<stats::Counter *>(si)->value();
+        got_crossings += static_cast<stats::Counter *>(sc)->value();
+    }
+    EXPECT_EQ(got_instrs, want_instrs);
+    EXPECT_EQ(got_crossings, want_crossings);
+}
+
+TEST_F(FleetTest, InterpreterJobsRunInFleetToo)
+{
+    std::vector<FleetJob> jobs = makeJobs("OneAllNo");
+    for (auto &j : jobs)
+        j.useInterp = true;
+    SimFleet fleet(2);
+    FleetReport r = fleet.run(jobs);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        ASSERT_TRUE(r.results[j].error.empty()) << r.results[j].error;
+        EXPECT_EQ(static_cast<int>(r.results[j].run.status),
+                  static_cast<int>(RunStatus::Halted)) << jobs[j].name;
+    }
+}
+
+/** TSan stress: many short jobs hammering submission, stealing, result
+ *  slots, and the per-job registries from every worker at once. */
+TEST_F(FleetTest, StressManyShortJobs)
+{
+    std::vector<FleetJob> jobs = makeJobs("BlockMinNo", /*copies=*/6,
+                                          /*max_instrs=*/2'000);
+    SimFleet serial(1);
+    FleetReport ref = serial.run(jobs);
+
+    for (int round = 0; round < 3; ++round) {
+        SimFleet fleet(parallel::hardwareThreads());
+        FleetReport r = fleet.run(jobs);
+        ASSERT_EQ(r.results.size(), jobs.size());
+        for (size_t j = 0; j < jobs.size(); ++j) {
+            ASSERT_TRUE(r.results[j].error.empty()) << r.results[j].error;
+            EXPECT_EQ(r.results[j].stateHash, ref.results[j].stateHash)
+                << jobs[j].name << " round " << round;
+        }
+        EXPECT_EQ(r.merged->toJson().dump(0), ref.merged->toJson().dump(0));
+    }
+}
+
+} // namespace
+} // namespace onespec

@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <thread>
 
 #include "benchcommon.hpp"
 #include "benchreport.hpp"
 #include "stats/json.hpp"
+#include "stats/sharded.hpp"
 #include "stats/stats.hpp"
 #include "stats/trace.hpp"
 #include "support/panic_exception.hpp"
@@ -262,6 +265,131 @@ TEST(StatsTrace, HooksReceiveEventsAndFilterByCategory)
     EXPECT_EQ(seen[0], "undo");
     EXPECT_EQ(seen[1], "spec:undo");
     EXPECT_EQ(seen[2], "miss");
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: sharded publication and the trace bus under contention.
+// These carry the `tsan` ctest label; rerun them under
+// -DONESPEC_SANITIZE=thread to let ThreadSanitizer check the claims.
+// ---------------------------------------------------------------------
+
+TEST(StatsSharded, MergePreservesCountersScalarsDistributions)
+{
+    StatsRegistry a, b;
+    a.group("sim").counter("instrs", "retired").add(100);
+    a.group("sim").scalar("mips", "").set(1.0);
+    b.group("sim").counter("instrs", "").add(25);
+    b.group("sim").scalar("mips", "").set(2.5);
+    stats::Distribution &da =
+        a.group("sim").distribution("lat", "", 0.0, 10.0, 5);
+    stats::Distribution &db =
+        b.group("sim").distribution("lat", "", 0.0, 10.0, 5);
+    da.sample(1.0);
+    db.sample(9.0, 3);
+    b.group("sim").formula("ignored", "", [] { return 42.0; });
+
+    stats::mergeInto(a, b);
+    EXPECT_EQ(static_cast<stats::Counter *>(a.resolve("sim.instrs"))
+                  ->value(),
+              125u);
+    // Scalar: source overwrites.
+    EXPECT_DOUBLE_EQ(
+        static_cast<stats::Scalar *>(a.resolve("sim.mips"))->value(), 2.5);
+    EXPECT_EQ(da.count(), 4u);
+    EXPECT_DOUBLE_EQ(da.maxSeen(), 9.0);
+    // Formulas are not transplanted (they would dangle).
+    EXPECT_EQ(a.resolve("sim.ignored"), nullptr);
+}
+
+TEST(StatsSharded, ConcurrentPublishersAggregateToSerialSum)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kIncrements = 10'000;
+
+    stats::ShardedStats sharded;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&sharded, t] {
+            // Hot loop: lock-free after the first local() call.
+            StatsRegistry &reg = sharded.local();
+            stats::Counter &c =
+                reg.group("work").counter("items", "items processed");
+            stats::Distribution &d =
+                reg.group("work").distribution("size", "", 0.0, 64.0, 8);
+            for (unsigned i = 0; i < kIncrements; ++i) {
+                ++c;
+                d.sample(static_cast<double>((t + i) % 64));
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_LE(sharded.shardCount(), kThreads);
+    StatsRegistry total;
+    sharded.aggregate(total);
+    auto *items = static_cast<stats::Counter *>(total.resolve("work.items"));
+    ASSERT_NE(items, nullptr);
+    EXPECT_EQ(items->value(), uint64_t{kThreads} * kIncrements);
+    auto *size = total.resolve("work.size");
+    ASSERT_NE(size, nullptr);
+    EXPECT_EQ(static_cast<stats::Distribution *>(size)->count(),
+              uint64_t{kThreads} * kIncrements);
+
+    // clear() invalidates the TLS cache: this thread gets a fresh shard.
+    sharded.clear();
+    EXPECT_EQ(sharded.shardCount(), 0u);
+    StatsRegistry &fresh = sharded.local();
+    EXPECT_EQ(fresh.resolve("work.items"), nullptr);
+    EXPECT_EQ(sharded.shardCount(), 1u);
+}
+
+TEST(StatsSharded, DistinctInstancesGetDistinctShards)
+{
+    // The TLS fast path is keyed by instance id: two live instances on
+    // one thread must not alias each other's shards.
+    stats::ShardedStats a, b;
+    a.local().root().counter("n", "").add(1);
+    b.local().root().counter("n", "").add(2);
+    StatsRegistry ra, rb;
+    a.aggregate(ra);
+    b.aggregate(rb);
+    EXPECT_EQ(static_cast<stats::Counter *>(ra.resolve("n"))->value(), 1u);
+    EXPECT_EQ(static_cast<stats::Counter *>(rb.resolve("n"))->value(), 2u);
+}
+
+TEST(StatsTrace, HookRegistrationRacingEmissionDoesNotTear)
+{
+    auto &bus = stats::TraceBus::instance();
+    ASSERT_FALSE(bus.active());
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> emitted{0};
+    std::thread producer([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            ONESPEC_TRACE("fuzzcat", "tick", emitted.load(), 0);
+            emitted.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    // Churn hooks while the producer fires: every delivered event must
+    // arrive through a fully-formed hook (the counter is the canary; the
+    // real assertion is TSan/no-crash).
+    std::atomic<uint64_t> delivered{0};
+    for (int round = 0; round < 200; ++round) {
+        int id = bus.addHook(
+            [&](const stats::TraceEvent &e) {
+                EXPECT_STREQ(e.category, "fuzzcat");
+                delivered.fetch_add(1, std::memory_order_relaxed);
+            },
+            "fuzzcat");
+        std::this_thread::yield();
+        bus.removeHook(id);
+    }
+    stop.store(true);
+    producer.join();
+    EXPECT_FALSE(bus.active());
+    EXPECT_GT(emitted.load(), 0u);
 }
 
 // ---------------------------------------------------------------------

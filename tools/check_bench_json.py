@@ -21,6 +21,14 @@ Validates two things about each report:
        instructions per crossing, One/Step cells about one call (or
        several step calls) per instruction.
 
+3. Fleet scaling curves (results.fleet_scaling, written by
+   bench_fleet_scaling): every thread count 1..max(hw_concurrency, 2)
+   must be present, aggregate MIPS must be monotone non-decreasing up
+   to a tolerance over the physical-core range, the determinism
+   cross-check must have run, and on hosts wide enough for it to be
+   physical (>= 4 hardware threads) the top-thread-count speedup must
+   clear a 2x floor.
+
 With --smoke the speed comparisons use generous tolerance factors:
 smoke runs are short and wall-clock noise can locally reorder
 neighboring cells without the overall shape being wrong.
@@ -58,6 +66,9 @@ class Checker:
         # (faster, slower) fails when slower > faster / tolerance.
         self.tolerance = 0.75 if smoke else 0.95
         self.min_detail_ratio = 1.2 if smoke else 3.0
+        # Fleet curve: short smoke points are noisier than full runs.
+        self.fleet_tolerance = 0.70 if smoke else 0.85
+        self.fleet_speedup_floor = 2.0
 
     def fail(self, msg):
         self.errors.append(msg)
@@ -235,6 +246,78 @@ class Checker:
             if not math.isclose(want, got, rel_tol=1e-6):
                 self.fail(f"geomean_mips[{bs}]={got} != computed {want}")
 
+    # -- fleet scaling --------------------------------------------------
+
+    def check_fleet(self, doc):
+        results = doc.get("results")
+        if not isinstance(results, dict) or "fleet_scaling" not in results:
+            return
+        curve = results["fleet_scaling"]
+        if not isinstance(curve, list) or not curve:
+            self.fail("results.fleet_scaling: empty or not a list")
+            return
+        if results.get("determinism_checked") is not True:
+            self.fail("results.determinism_checked is not true")
+
+        num = (int, float)
+        points = {}
+        for i, pt in enumerate(curve):
+            where = f"fleet_scaling[{i}]"
+            if not isinstance(pt, dict):
+                self.fail(f"{where}: not an object")
+                continue
+            t = self.expect(pt, "threads", (int,), where)
+            for key in ("mips", "speedup"):
+                v = self.expect(pt, key, num, where)
+                if v is not None and v <= 0:
+                    self.fail(f"{where}: {key} must be positive, got {v}")
+            for key in ("wall_ns", "instrs"):
+                v = self.expect(pt, key, (int,), where)
+                if v is not None and v <= 0:
+                    self.fail(f"{where}: {key} must be positive, got {v}")
+            if t is not None:
+                if t in points:
+                    self.fail(f"{where}: duplicate thread count {t}")
+                points[t] = pt
+        if self.errors:
+            return
+
+        hw = doc.get("meta", {}).get("hw_concurrency", 0)
+        if not isinstance(hw, int) or hw < 1:
+            self.fail("meta.hw_concurrency missing or invalid")
+            return
+        # The bench sweeps to at least 2 threads even on a 1-core host
+        # so the t>1 determinism cross-check always runs.
+        sweep_max = max(hw, 2)
+        missing = [t for t in range(1, sweep_max + 1) if t not in points]
+        if missing:
+            self.fail(f"fleet_scaling: missing thread counts {missing} "
+                      f"(hw_concurrency={hw})")
+            return
+
+        # Monotone non-decreasing MIPS vs the running max, up to
+        # tolerance, over the physical-core range only: past
+        # hw_concurrency the extra threads just oversubscribe.
+        best = 0.0
+        for t in range(1, hw + 1):
+            m = points[t]["mips"]
+            if m < best * self.fleet_tolerance:
+                self.fail(f"fleet_scaling: MIPS dropped at {t} threads "
+                          f"({m:.2f} < running max {best:.2f} within "
+                          f"tolerance {self.fleet_tolerance})")
+            best = max(best, m)
+
+        top = points[hw]["speedup"]
+        self.note(f"fleet: {top:.2f}x aggregate speedup at "
+                  f"{hw} threads")
+        if hw >= 4 and top < self.fleet_speedup_floor:
+            self.fail(f"fleet_scaling: speedup at {hw} threads is only "
+                      f"{top:.2f}x (floor {self.fleet_speedup_floor}x)")
+        elif hw < 4:
+            self.note(f"fleet: host too narrow ({hw} hardware threads) "
+                      f"for the {self.fleet_speedup_floor}x floor; "
+                      f"determinism and curve shape still checked")
+
     # -- driver ---------------------------------------------------------
 
     def run(self):
@@ -247,6 +330,7 @@ class Checker:
         self.check_schema(doc)
         self.check_geomeans(doc)
         self.check_shapes(doc)
+        self.check_fleet(doc)
         return not self.errors
 
 

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * onespec-fleet: batch driver for the parallel simulation fleet.  Runs a
+ * batch of kernel workloads (all three ISAs by default) concurrently on
+ * a SimFleet and prints per-job results plus the deterministically
+ * merged stats.  This is the throughput-serving face of the
+ * reproduction: hand it work, it saturates the cores.
+ *
+ *   onespec-fleet                         # all ISAs x all kernels
+ *   onespec-fleet --threads 4 --instrs 5000000
+ *   onespec-fleet --isa alpha64 --buildset OneAllNo --stats
+ *   onespec-fleet --repeat 3 --kernel fib --kernel crc32
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "parallel/fleet.hpp"
+#include "workload/builder.hpp"
+#include "workload/kernels.hpp"
+
+using namespace onespec;
+using parallel::FleetJob;
+using parallel::FleetReport;
+using parallel::SimFleet;
+
+namespace {
+
+/** Kernel scale giving ~1-5M dynamic instructions each (the bench
+ *  sizes, kept local so tools/ does not depend on bench/). */
+uint64_t
+kernelParam(const std::string &kernel)
+{
+    static const std::map<std::string, uint64_t> scale = {
+        {"fib", 250'000},   {"sieve", 120'000},  {"matmul", 56},
+        {"shellsort", 24'000}, {"strhash", 36'000}, {"crc32", 40'000},
+        {"listsum", 48'000},
+    };
+    auto it = scale.find(kernel);
+    return it != scale.end() ? it->second : 1000;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: onespec-fleet [options]\n"
+        "  --threads N     pool width (default: hardware threads)\n"
+        "  --buildset B    interface buildset (default BlockMinNo)\n"
+        "  --instrs N      per-job instruction cap (default: to halt)\n"
+        "  --isa NAME      restrict to one ISA (repeatable)\n"
+        "  --kernel NAME   restrict to one kernel (repeatable)\n"
+        "  --repeat N      queue the batch N times (default 1)\n"
+        "  --interp        interpreter back end instead of generated\n"
+        "  --stats         dump the merged stats registry\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned threads = 0;
+    std::string buildset = "BlockMinNo";
+    uint64_t max_instrs = ~uint64_t{0};
+    std::vector<std::string> isas, kernels;
+    int repeat = 1;
+    bool interp = false, dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--buildset") == 0 && i + 1 < argc) {
+            buildset = argv[++i];
+        } else if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
+            max_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--isa") == 0 && i + 1 < argc) {
+            isas.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+            kernels.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--interp") == 0) {
+            interp = true;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            dump_stats = true;
+        } else {
+            return usage();
+        }
+    }
+    if (isas.empty())
+        isas = shippedIsas();
+    if (kernels.empty())
+        kernels = kernelNames();
+
+    // Load each ISA once and build its programs; jobs share these
+    // read-only.
+    struct IsaBatch
+    {
+        std::unique_ptr<Spec> spec;
+        std::vector<std::pair<std::string, Program>> programs;
+    };
+    std::vector<IsaBatch> batches;
+    for (const auto &isa : isas) {
+        IsaBatch b;
+        b.spec = loadIsa(isa);
+        for (const auto &k : kernels) {
+            auto builder = makeBuilder(*b.spec);
+            b.programs.emplace_back(
+                k, buildKernel(*builder, k, kernelParam(k)));
+        }
+        batches.push_back(std::move(b));
+    }
+
+    std::vector<FleetJob> jobs;
+    for (int r = 0; r < repeat; ++r) {
+        for (const auto &b : batches) {
+            for (const auto &[kname, prog] : b.programs) {
+                FleetJob j;
+                j.spec = b.spec.get();
+                j.program = &prog;
+                j.buildset = buildset;
+                j.maxInstrs = max_instrs;
+                j.name = b.spec->props.name + "/" + kname;
+                j.useInterp = interp;
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+
+    SimFleet fleet(threads);
+    std::printf("onespec-fleet: %zu jobs on %u threads (buildset %s, %s "
+                "back end)\n\n",
+                jobs.size(), fleet.threads(), buildset.c_str(),
+                interp ? "interpreter" : "generated");
+
+    FleetReport report = fleet.run(jobs);
+
+    std::printf("%-20s %-8s %12s %10s %18s\n", "job", "status", "instrs",
+                "MIPS", "state_hash");
+    int failures = 0;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const auto &res = report.results[j];
+        const char *status =
+            !res.error.empty()                     ? "ERROR"
+            : res.run.status == RunStatus::Halted  ? "halted"
+            : res.run.status == RunStatus::Fault   ? "fault"
+                                                   : "ok";
+        double mips = res.ns ? static_cast<double>(res.run.instrs) *
+                                   1000.0 / static_cast<double>(res.ns)
+                             : 0.0;
+        std::printf("%-20s %-8s %12llu %10.2f %18llx\n",
+                    jobs[j].name.c_str(), status,
+                    static_cast<unsigned long long>(res.run.instrs), mips,
+                    static_cast<unsigned long long>(res.stateHash));
+        if (!res.error.empty()) {
+            std::printf("    %s\n", res.error.c_str());
+            ++failures;
+        }
+    }
+    std::printf("\naggregate: %llu instrs in %.2f ms on %u threads = "
+                "%.2f MIPS\n",
+                static_cast<unsigned long long>(report.totalInstrs()),
+                static_cast<double>(report.wallNs) / 1e6, report.threads,
+                report.aggregateMips());
+
+    if (dump_stats) {
+        std::printf("\nmerged stats (job-index order, "
+                    "thread-count invariant):\n");
+        report.merged->dump(std::cout);
+    }
+    return failures ? 1 : 0;
+}
