@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Checkpoint-parallel sampling vs serial sampling: the wall-clock payoff
+ * of src/ckpt/ plus the determinism proof that makes it admissible.
+ *
+ * For each workload the bench runs (a) the serial sampling driver with
+ * independent windows (the schedule the parallel driver reproduces) and
+ * (b) checkpoint-parallel sampling on a SimFleet at full host width,
+ * then asserts the merged stats registry dumps are byte-identical --
+ * also re-checking identity at 1 and 2 threads.  The JSON records wall
+ * clocks, window counts, and full-vs-delta checkpoint container sizes;
+ * check_bench_json.py enforces delta <= full always and the
+ * parallel-beats-serial floor on hosts with >= 4 hardware threads.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "parallel/ckpt_sampling.hpp"
+#include "timing/sampling.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+using parallel::CkptSamplingConfig;
+using parallel::CkptSamplingResult;
+using parallel::SimFleet;
+
+namespace {
+
+constexpr const char *kDetailed = "StepAllNo";
+constexpr const char *kFast = "BlockMinNo";
+
+/** Registry dump of a SamplingStats under a fixed group: the
+ *  byte-comparable witness both schedules must agree on. */
+std::string
+statsDump(const SamplingStats &s, const std::string &group)
+{
+    stats::StatsRegistry reg;
+    s.publish(reg.group(group));
+    std::ostringstream os;
+    reg.dump(os);
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t max_instrs = 1'500'000;
+    SamplingConfig scfg;
+    scfg.windowInstrs = 1'000;
+    scfg.periodInstrs = 10'000;
+    scfg.independentWindows = true;
+    std::string json_path;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
+            max_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+            scfg.windowInstrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--period") == 0 && i + 1 < argc) {
+            scfg.periodInstrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            // CI-sized: ~20 windows per workload, seconds end to end.
+            smoke = true;
+            max_instrs = 200'000;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    unsigned hw = parallel::hardwareThreads();
+    // One kernel per ISA keeps the bench minutes-not-hours while still
+    // covering every ISA's state layout through the checkpoint path.
+    const std::vector<std::pair<std::string, std::string>> picks = {
+        {"alpha64", "fib"}, {"arm32", "crc32"}, {"ppc32", "sieve"}};
+
+    BenchReport report("ckpt_sampling");
+    report.setParam("max_instrs", stats::Json(max_instrs));
+    report.setParam("window_instrs", stats::Json(scfg.windowInstrs));
+    report.setParam("period_instrs", stats::Json(scfg.periodInstrs));
+    report.setParam("hw_concurrency",
+                    stats::Json(static_cast<uint64_t>(hw)));
+    report.setParam("smoke", stats::Json(smoke));
+
+    std::printf("CHECKPOINT-PARALLEL SAMPLING vs serial sampling\n");
+    std::printf("(window %llu / period %llu, <=%llu instrs, detailed %s, "
+                "fast %s, %u hardware threads)\n\n",
+                static_cast<unsigned long long>(scfg.windowInstrs),
+                static_cast<unsigned long long>(scfg.periodInstrs),
+                static_cast<unsigned long long>(max_instrs), kDetailed,
+                kFast, hw);
+    std::printf("%-16s %8s %12s %12s %8s %12s %12s\n", "workload",
+                "windows", "serial_ms", "parallel_ms", "speedup",
+                "full_bytes", "delta_avg");
+
+    uint64_t serialTotalNs = 0, parallelTotalNs = 0;
+    uint64_t fullBytesTotal = 0, deltaBytesTotal = 0, deltaCount = 0;
+    stats::Json rows = stats::Json::array();
+
+    for (const auto &[isa, kernel] : picks) {
+        IsaWorkloads &w = workloadsFor(isa);
+        const Program *prog = nullptr;
+        for (const auto &[kname, p] : w.programs)
+            if (kname == kernel)
+                prog = &p;
+        if (!prog) {
+            std::fprintf(stderr, "no kernel %s for %s\n", kernel.c_str(),
+                         isa.c_str());
+            return 1;
+        }
+
+        // Serial reference: one context, two interfaces, cold pipeline
+        // per window (the schedule phase 2 is forced into).
+        SimContext ctx(*w.spec);
+        ctx.load(*prog);
+        auto det = SimRegistry::instance().create(ctx, kDetailed);
+        auto fast = SimRegistry::instance().create(ctx, kFast);
+        if (!det || !fast) {
+            std::fprintf(stderr, "missing buildsets for %s\n",
+                         isa.c_str());
+            return 1;
+        }
+        Stopwatch sw;
+        sw.start();
+        SamplingStats serial =
+            runSampled(*w.spec, *det, *fast, scfg, max_instrs);
+        uint64_t serialNs = sw.elapsedNs();
+
+        CkptSamplingConfig ccfg;
+        ccfg.sampling = scfg;
+        ccfg.maxInstrs = max_instrs;
+        ccfg.detailedBuildset = kDetailed;
+        ccfg.fastBuildset = kFast;
+        SimFleet fleet(hw);
+        CkptSamplingResult par =
+            parallel::runSampledCheckpointParallel(*w.spec, *prog, ccfg,
+                                                   fleet);
+        uint64_t parallelNs = par.ffNs + par.measureNs;
+        for (size_t i = 0; i < par.jobErrors.size(); ++i) {
+            if (!par.jobErrors[i].empty()) {
+                std::fprintf(stderr, "%s window %zu failed: %s\n",
+                             isa.c_str(), i, par.jobErrors[i].c_str());
+                return 1;
+            }
+        }
+
+        // Determinism: merged dump must be byte-identical to serial, at
+        // every thread count we can exercise.
+        const std::string group = "sampling." + isa + "." + kernel;
+        std::string serialDump = statsDump(serial, group);
+        std::vector<unsigned> widths = {1, 2};
+        if (hw > 2)
+            widths.push_back(hw);
+        for (unsigned t : widths) {
+            SimFleet f2(t);
+            CkptSamplingResult p2 =
+                parallel::runSampledCheckpointParallel(*w.spec, *prog,
+                                                       ccfg, f2);
+            if (statsDump(p2.stats, group) != serialDump) {
+                std::fprintf(stderr,
+                             "DETERMINISM VIOLATION: %s merged dump "
+                             "differs from serial at %u threads\n",
+                             isa.c_str(), t);
+                return 1;
+            }
+        }
+
+        // Container sizes: encode every checkpoint as it would hit disk.
+        uint64_t fullBytes = 0, deltaBytes = 0, nDelta = 0;
+        for (const auto &ck : par.checkpoints) {
+            uint64_t sz = ckpt::encode(ck).size();
+            if (ck.delta) {
+                deltaBytes += sz;
+                ++nDelta;
+            } else {
+                fullBytes += sz;
+            }
+        }
+        double deltaAvg =
+            nDelta ? static_cast<double>(deltaBytes) /
+                         static_cast<double>(nDelta)
+                   : 0.0;
+        double speedup =
+            parallelNs ? static_cast<double>(serialNs) /
+                             static_cast<double>(parallelNs)
+                       : 0.0;
+        std::printf("%-16s %8llu %12.2f %12.2f %7.2fx %12llu %12.0f\n",
+                    (isa + "/" + kernel).c_str(),
+                    static_cast<unsigned long long>(serial.windows),
+                    static_cast<double>(serialNs) / 1e6,
+                    static_cast<double>(parallelNs) / 1e6, speedup,
+                    static_cast<unsigned long long>(fullBytes), deltaAvg);
+        std::fflush(stdout);
+
+        serialTotalNs += serialNs;
+        parallelTotalNs += parallelNs;
+        fullBytesTotal += fullBytes;
+        deltaBytesTotal += deltaBytes;
+        deltaCount += nDelta;
+
+        stats::Json row = stats::Json::object();
+        row.set("workload", stats::Json(isa + "/" + kernel));
+        row.set("windows", stats::Json(serial.windows));
+        row.set("serial_wall_ns", stats::Json(serialNs));
+        row.set("parallel_wall_ns", stats::Json(parallelNs));
+        row.set("ff_ns", stats::Json(par.ffNs));
+        row.set("measure_ns", stats::Json(par.measureNs));
+        row.set("speedup", stats::Json(speedup));
+        row.set("full_bytes", stats::Json(fullBytes));
+        row.set("delta_bytes_avg", stats::Json(deltaAvg));
+        row.set("delta_count", stats::Json(nDelta));
+        row.set("identical_to_serial", stats::Json(true));
+        rows.push(std::move(row));
+    }
+
+    double speedup =
+        parallelTotalNs ? static_cast<double>(serialTotalNs) /
+                              static_cast<double>(parallelTotalNs)
+                        : 0.0;
+    std::printf("\ntotal: serial %.2f ms, checkpoint-parallel %.2f ms "
+                "(%.2fx) on %u threads\n",
+                static_cast<double>(serialTotalNs) / 1e6,
+                static_cast<double>(parallelTotalNs) / 1e6, speedup, hw);
+
+    report.addResult("ckpt_sampling", std::move(rows));
+    report.addResult("serial_total_ns", stats::Json(serialTotalNs));
+    report.addResult("parallel_total_ns", stats::Json(parallelTotalNs));
+    report.addResult("speedup", stats::Json(speedup));
+    report.addResult("full_bytes_total", stats::Json(fullBytesTotal));
+    report.addResult("delta_bytes_total", stats::Json(deltaBytesTotal));
+    report.addResult("delta_checkpoints", stats::Json(deltaCount));
+    report.addResult("determinism_checked", stats::Json(true));
+    report.write(json_path);
+    return 0;
+}

@@ -1,0 +1,637 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "support/crc32.hpp"
+#include "support/logging.hpp"
+
+namespace onespec {
+namespace ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'S', 'P', 'C', 'K', 'P', 'T', '1'};
+
+/** Section tags, readable in a hex dump. */
+constexpr uint32_t
+fourcc(char a, char b, char c, char d)
+{
+    return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
+           static_cast<uint32_t>(static_cast<uint8_t>(b)) << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(c)) << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(d)) << 24;
+}
+
+constexpr uint32_t kTagArch = fourcc('A', 'R', 'C', 'H');
+constexpr uint32_t kTagOs = fourcc('O', 'S', ' ', ' ');
+constexpr uint32_t kTagMem = fourcc('M', 'E', 'M', ' ');
+
+std::string
+tagName(uint32_t tag)
+{
+    std::string s(4, '?');
+    for (int i = 0; i < 4; ++i) {
+        char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+        s[i] = (c >= 0x20 && c < 0x7F) ? c : '.';
+    }
+    return s;
+}
+
+/** Little-endian byte-at-a-time writer: host endianness never leaks. */
+class Writer
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(v); }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const uint8_t *b = static_cast<const uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    size_t size() const { return buf_.size(); }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+    const std::vector<uint8_t> &data() const { return buf_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian reader over a container image. */
+class Reader
+{
+  public:
+    Reader(const uint8_t *p, size_t len, const char *what)
+        : p_(p), len_(len), what_(what)
+    {}
+
+    size_t pos() const { return pos_; }
+
+    void
+    need(size_t n) const
+    {
+        if (len_ - pos_ < n)
+            throw CkptError(std::string("truncated checkpoint: ") +
+                            what_ + " needs " + std::to_string(n) +
+                            " bytes at offset " + std::to_string(pos_) +
+                            ", only " + std::to_string(len_ - pos_) +
+                            " remain");
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return p_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(p_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(p_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    void
+    bytes(void *dst, size_t n)
+    {
+        need(n);
+        std::memcpy(dst, p_ + pos_, n);
+        pos_ += n;
+    }
+
+  private:
+    const uint8_t *p_;
+    size_t len_;
+    size_t pos_ = 0;
+    const char *what_;
+};
+
+uint64_t
+nanosSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/** FNV-1a 64 over raw bytes and fixed-width values. */
+struct Fnv
+{
+    uint64_t h = 14695981039346656037ull;
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const uint8_t *b = static_cast<const uint8_t *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        // Hash the little-endian byte image so the id is host-independent.
+        uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<uint8_t>(v >> (8 * i));
+        bytes(b, 8);
+    }
+};
+
+void
+fillCommon(Checkpoint &ck, SimContext &ctx)
+{
+    ck.specFingerprint = ctx.spec().fingerprint;
+    ck.specName = ctx.spec().props.name;
+    ck.instrsRetired = ctx.instrsRetired();
+    ck.pc = ctx.state().pc();
+    const ArchState &st = ctx.state();
+    ck.words.resize(st.numWords());
+    for (unsigned i = 0; i < st.numWords(); ++i)
+        ck.words[i] = st.rawWord(i);
+    ck.os = ctx.os().snapshot();
+}
+
+/** Install one checkpoint's ARCH/OS/retired view into the context. */
+void
+applyScalarState(SimContext &ctx, const Checkpoint &ck)
+{
+    ArchState &st = ctx.state();
+    if (ck.words.size() != st.numWords())
+        throw CkptError(
+            "checkpoint register state has " +
+            std::to_string(ck.words.size()) + " words but spec '" +
+            ctx.spec().props.name + "' declares " +
+            std::to_string(st.numWords()));
+    for (unsigned i = 0; i < st.numWords(); ++i)
+        st.setRawWord(i, ck.words[i]);
+    st.setPc(ck.pc);
+    ctx.os().restoreSnapshot(ck.os);
+    ctx.setRetired(ck.instrsRetired);
+}
+
+void
+checkSpec(const SimContext &ctx, const Checkpoint &ck, const char *op)
+{
+    if (ck.specFingerprint != ctx.spec().fingerprint)
+        throw CkptError(
+            std::string("cannot ") + op + ": checkpoint was captured "
+            "for spec '" + ck.specName + "' (fingerprint " +
+            std::to_string(ck.specFingerprint) +
+            "), context runs spec '" + ctx.spec().props.name +
+            "' (fingerprint " +
+            std::to_string(ctx.spec().fingerprint) + ")");
+}
+
+void
+installPages(SimContext &ctx, const Checkpoint &ck)
+{
+    for (const CkptPage &pg : ck.pages) {
+        ONESPEC_ASSERT(pg.bytes.size() == Memory::kPageSize,
+                       "malformed in-memory checkpoint page");
+        ctx.mem().installPage(pg.idx, pg.bytes.data());
+    }
+}
+
+} // namespace
+
+CkptCounters &
+CkptCounters::operator+=(const CkptCounters &o)
+{
+    fullCaptures += o.fullCaptures;
+    deltaCaptures += o.deltaCaptures;
+    restores += o.restores;
+    pagesCaptured += o.pagesCaptured;
+    pagesRestored += o.pagesRestored;
+    bytesEncoded += o.bytesEncoded;
+    bytesDecoded += o.bytesDecoded;
+    captureNanos += o.captureNanos;
+    restoreNanos += o.restoreNanos;
+    return *this;
+}
+
+void
+CkptCounters::publish(stats::StatGroup &g) const
+{
+    g.counter("full_captures", "full checkpoints captured")
+        .add(fullCaptures);
+    g.counter("delta_captures", "delta checkpoints captured")
+        .add(deltaCaptures);
+    g.counter("restores", "checkpoints applied to a context")
+        .add(restores);
+    g.counter("pages_captured", "memory pages serialized into checkpoints")
+        .add(pagesCaptured);
+    g.counter("pages_restored", "memory pages installed from checkpoints")
+        .add(pagesRestored);
+    g.counter("bytes_encoded", "container bytes produced by encode()")
+        .add(bytesEncoded);
+    g.counter("bytes_decoded", "container bytes consumed by decode()")
+        .add(bytesDecoded);
+    g.counter("capture_nanos", "wall nanoseconds spent capturing")
+        .add(captureNanos);
+    g.counter("restore_nanos", "wall nanoseconds spent restoring")
+        .add(restoreNanos);
+}
+
+uint64_t
+contentHash(const Checkpoint &ck)
+{
+    // Identity covers the machine state and lineage, not host-side
+    // bookkeeping: epochMark is deliberately excluded so the same state
+    // reached by different capture schedules hashes the same.
+    Fnv f;
+    f.u64(ck.specFingerprint);
+    f.u64(ck.delta ? 1 : 0);
+    f.u64(ck.parentId);
+    f.u64(ck.instrsRetired);
+    f.u64(ck.pc);
+    f.u64(ck.words.size());
+    for (uint64_t w : ck.words)
+        f.u64(w);
+    f.u64(ck.os.exited ? 1 : 0);
+    f.u64(static_cast<uint64_t>(static_cast<int64_t>(ck.os.exitCode)));
+    f.u64(ck.os.output.size());
+    f.bytes(ck.os.output.data(), ck.os.output.size());
+    f.u64(ck.os.inputPos);
+    f.u64(ck.os.brk);
+    f.u64(ck.os.timeMs);
+    f.u64(ck.os.syscallCount);
+    f.u64(ck.pages.size());
+    for (const CkptPage &pg : ck.pages) {
+        f.u64(pg.idx);
+        f.bytes(pg.bytes.data(), pg.bytes.size());
+    }
+    return f.h;
+}
+
+bool
+verifyId(const Checkpoint &ck)
+{
+    return contentHash(ck) == ck.id;
+}
+
+Checkpoint
+capture(SimContext &ctx, CkptCounters *c)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Checkpoint ck;
+    fillCommon(ck, ctx);
+    ctx.mem().forEachPage([&](uint64_t idx, const uint8_t *data, uint64_t) {
+        CkptPage pg;
+        pg.idx = idx;
+        pg.bytes.assign(data, data + Memory::kPageSize);
+        ck.pages.push_back(std::move(pg));
+    });
+    std::sort(ck.pages.begin(), ck.pages.end(),
+              [](const CkptPage &a, const CkptPage &b) {
+                  return a.idx < b.idx;
+              });
+    ck.epochMark = ctx.mem().newEpoch();
+    ck.id = contentHash(ck);
+    if (c) {
+        ++c->fullCaptures;
+        c->pagesCaptured += ck.pages.size();
+        c->captureNanos += nanosSince(t0);
+    }
+    return ck;
+}
+
+Checkpoint
+captureDelta(SimContext &ctx, const Checkpoint &parent, CkptCounters *c)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    checkSpec(ctx, parent, "capture a delta");
+    Checkpoint ck;
+    ck.delta = true;
+    ck.parentId = parent.id;
+    fillCommon(ck, ctx);
+    ctx.mem().forEachPage(
+        [&](uint64_t idx, const uint8_t *data, uint64_t epoch) {
+            if (epoch < parent.epochMark)
+                return;
+            CkptPage pg;
+            pg.idx = idx;
+            pg.bytes.assign(data, data + Memory::kPageSize);
+            ck.pages.push_back(std::move(pg));
+        });
+    std::sort(ck.pages.begin(), ck.pages.end(),
+              [](const CkptPage &a, const CkptPage &b) {
+                  return a.idx < b.idx;
+              });
+    ck.epochMark = ctx.mem().newEpoch();
+    ck.id = contentHash(ck);
+    if (c) {
+        ++c->deltaCaptures;
+        c->pagesCaptured += ck.pages.size();
+        c->captureNanos += nanosSince(t0);
+    }
+    return ck;
+}
+
+void
+restore(SimContext &ctx, const Checkpoint &ck, CkptCounters *c)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    if (ck.delta)
+        throw CkptError(
+            "cannot restore a delta checkpoint directly; restore its "
+            "chain starting from the full parent (restoreChain)");
+    checkSpec(ctx, ck, "restore");
+    ctx.mem().clear();
+    installPages(ctx, ck);
+    applyScalarState(ctx, ck);
+    // Journaled undo entries describe the pre-restore execution.
+    ctx.journal().clear();
+    if (c) {
+        ++c->restores;
+        c->pagesRestored += ck.pages.size();
+        c->restoreNanos += nanosSince(t0);
+    }
+}
+
+void
+restoreChain(SimContext &ctx,
+             const std::vector<const Checkpoint *> &chain, CkptCounters *c)
+{
+    if (chain.empty())
+        throw CkptError("cannot restore an empty checkpoint chain");
+    restore(ctx, *chain[0], c);
+    for (size_t i = 1; i < chain.size(); ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        const Checkpoint &d = *chain[i];
+        if (!d.delta)
+            throw CkptError(
+                "checkpoint chain link " + std::to_string(i) +
+                " is a full checkpoint; only the chain root may be");
+        if (d.parentId != chain[i - 1]->id)
+            throw CkptError(
+                "checkpoint chain broken at link " + std::to_string(i) +
+                ": parent id " + std::to_string(d.parentId) +
+                " does not match preceding checkpoint id " +
+                std::to_string(chain[i - 1]->id));
+        checkSpec(ctx, d, "restore");
+        installPages(ctx, d);
+        applyScalarState(ctx, d);
+        if (c) {
+            ++c->restores;
+            c->pagesRestored += d.pages.size();
+            c->restoreNanos += nanosSince(t0);
+        }
+    }
+}
+
+std::vector<uint8_t>
+encode(const Checkpoint &ck, CkptCounters *c)
+{
+    // Build section payloads first; the header's section table needs
+    // their sizes and CRCs.
+    Writer arch;
+    arch.u64(ck.pc);
+    arch.u32(static_cast<uint32_t>(ck.words.size()));
+    for (uint64_t w : ck.words)
+        arch.u64(w);
+
+    Writer os;
+    os.u8(ck.os.exited ? 1 : 0);
+    os.u32(static_cast<uint32_t>(ck.os.exitCode));
+    os.u64(ck.os.brk);
+    os.u64(ck.os.timeMs);
+    os.u64(ck.os.syscallCount);
+    os.u64(ck.os.inputPos);
+    os.u64(ck.os.output.size());
+    os.bytes(ck.os.output.data(), ck.os.output.size());
+
+    Writer mem;
+    mem.u64(Memory::kPageSize);
+    mem.u64(ck.pages.size());
+    for (const CkptPage &pg : ck.pages) {
+        ONESPEC_ASSERT(pg.bytes.size() == Memory::kPageSize,
+                       "malformed in-memory checkpoint page");
+        mem.u64(pg.idx);
+        mem.bytes(pg.bytes.data(), pg.bytes.size());
+    }
+
+    struct Section
+    {
+        uint32_t tag;
+        const Writer *payload;
+    };
+    const Section sections[] = {
+        {kTagArch, &arch}, {kTagOs, &os}, {kTagMem, &mem}};
+    constexpr size_t kNumSections = 3;
+    constexpr size_t kTableEntry = 4 + 8 + 8 + 4; // tag, offset, len, crc
+
+    const size_t headerLen = 8                       // magic
+                             + 4 + 4                 // version, flags
+                             + 8 * 5                 // fp, id, parent,
+                                                     // retired, epoch
+                             + 4 + ck.specName.size()
+                             + 4                     // section count
+                             + kNumSections * kTableEntry
+                             + 4;                    // header CRC
+
+    Writer out;
+    out.bytes(kMagic, sizeof(kMagic));
+    out.u32(kFormatVersion);
+    out.u32(ck.delta ? 1u : 0u);
+    out.u64(ck.specFingerprint);
+    out.u64(ck.id);
+    out.u64(ck.parentId);
+    out.u64(ck.instrsRetired);
+    out.u64(ck.epochMark);
+    out.u32(static_cast<uint32_t>(ck.specName.size()));
+    out.bytes(ck.specName.data(), ck.specName.size());
+    out.u32(kNumSections);
+    uint64_t offset = headerLen;
+    for (const Section &s : sections) {
+        out.u32(s.tag);
+        out.u64(offset);
+        out.u64(s.payload->size());
+        out.u32(crc32(0, s.payload->data().data(), s.payload->size()));
+        offset += s.payload->size();
+    }
+    out.u32(crc32(0, out.data().data(), out.size()));
+    ONESPEC_ASSERT(out.size() == headerLen, "checkpoint header size drift");
+    for (const Section &s : sections)
+        out.bytes(s.payload->data().data(), s.payload->size());
+    if (c)
+        c->bytesEncoded += out.size();
+    return out.take();
+}
+
+Checkpoint
+decode(const std::vector<uint8_t> &bytes, CkptCounters *c)
+{
+    Reader hdr(bytes.data(), bytes.size(), "header");
+    char magic[8];
+    hdr.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw CkptError("not a OneSpec checkpoint (bad magic)");
+    uint32_t version = hdr.u32();
+    if (version != kFormatVersion)
+        throw CkptError("unsupported checkpoint format version " +
+                        std::to_string(version) + " (this build reads " +
+                        std::to_string(kFormatVersion) + ")");
+    Checkpoint ck;
+    uint32_t flags = hdr.u32();
+    ck.delta = (flags & 1u) != 0;
+    ck.specFingerprint = hdr.u64();
+    ck.id = hdr.u64();
+    ck.parentId = hdr.u64();
+    ck.instrsRetired = hdr.u64();
+    ck.epochMark = hdr.u64();
+    uint32_t nameLen = hdr.u32();
+    hdr.need(nameLen);
+    ck.specName.resize(nameLen);
+    hdr.bytes(ck.specName.data(), nameLen);
+    uint32_t nsec = hdr.u32();
+
+    struct Entry
+    {
+        uint32_t tag;
+        uint64_t offset;
+        uint64_t length;
+        uint32_t crc;
+    };
+    std::vector<Entry> table(nsec);
+    for (Entry &e : table) {
+        e.tag = hdr.u32();
+        e.offset = hdr.u64();
+        e.length = hdr.u64();
+        e.crc = hdr.u32();
+    }
+    size_t crcPos = hdr.pos();
+    uint32_t storedHeaderCrc = hdr.u32();
+    uint32_t computedHeaderCrc = crc32(0, bytes.data(), crcPos);
+    if (storedHeaderCrc != computedHeaderCrc)
+        throw CkptError("checkpoint header CRC mismatch (file corrupt)");
+
+    bool sawArch = false, sawOs = false, sawMem = false;
+    for (const Entry &e : table) {
+        if (e.offset > bytes.size() || e.length > bytes.size() - e.offset)
+            throw CkptError("checkpoint section '" + tagName(e.tag) +
+                            "' extends past end of file (truncated?)");
+        const uint8_t *payload = bytes.data() + e.offset;
+        uint32_t crc = crc32(0, payload, e.length);
+        if (crc != e.crc)
+            throw CkptError("checkpoint section '" + tagName(e.tag) +
+                            "' CRC mismatch (file corrupt)");
+        Reader r(payload, static_cast<size_t>(e.length),
+                 tagName(e.tag).c_str());
+        if (e.tag == kTagArch) {
+            sawArch = true;
+            ck.pc = r.u64();
+            uint32_t n = r.u32();
+            ck.words.resize(n);
+            for (uint32_t i = 0; i < n; ++i)
+                ck.words[i] = r.u64();
+        } else if (e.tag == kTagOs) {
+            sawOs = true;
+            ck.os.exited = r.u8() != 0;
+            ck.os.exitCode = static_cast<int>(
+                static_cast<int32_t>(r.u32()));
+            ck.os.brk = r.u64();
+            ck.os.timeMs = r.u64();
+            ck.os.syscallCount = r.u64();
+            ck.os.inputPos = static_cast<size_t>(r.u64());
+            uint64_t outLen = r.u64();
+            r.need(static_cast<size_t>(outLen));
+            ck.os.output.resize(static_cast<size_t>(outLen));
+            r.bytes(ck.os.output.data(), static_cast<size_t>(outLen));
+        } else if (e.tag == kTagMem) {
+            sawMem = true;
+            uint64_t pageSize = r.u64();
+            if (pageSize != Memory::kPageSize)
+                throw CkptError(
+                    "checkpoint page size " + std::to_string(pageSize) +
+                    " does not match this build's " +
+                    std::to_string(Memory::kPageSize));
+            uint64_t npages = r.u64();
+            ck.pages.resize(static_cast<size_t>(npages));
+            for (CkptPage &pg : ck.pages) {
+                pg.idx = r.u64();
+                pg.bytes.resize(Memory::kPageSize);
+                r.bytes(pg.bytes.data(), Memory::kPageSize);
+            }
+        }
+        // Unknown tags within a known version are tolerated (a hedge for
+        // same-version extensions); their CRC was still enforced above.
+    }
+    if (!sawArch || !sawOs || !sawMem)
+        throw CkptError(std::string("checkpoint is missing a required "
+                                    "section: ") +
+                        (!sawArch ? "ARCH" : !sawOs ? "OS" : "MEM"));
+    if (c)
+        c->bytesDecoded += bytes.size();
+    return ck;
+}
+
+void
+saveFile(const std::string &path, const Checkpoint &ck, CkptCounters *c)
+{
+    std::vector<uint8_t> bytes = encode(ck, c);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw CkptError("cannot open checkpoint file for writing: " +
+                        path);
+    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = n == bytes.size() && std::fclose(f) == 0;
+    if (!ok)
+        throw CkptError("short write to checkpoint file: " + path);
+}
+
+Checkpoint
+loadFile(const std::string &path, CkptCounters *c)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw CkptError("cannot open checkpoint file: " + path);
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError)
+        throw CkptError("error reading checkpoint file: " + path);
+    return decode(bytes, c);
+}
+
+} // namespace ckpt
+} // namespace onespec

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Checkpoint/restore of complete simulated-machine state.
+ *
+ * A Checkpoint captures everything a SimContext owns that execution can
+ * mutate: the ArchState word array and PC, the sparse paged Memory
+ * (page-granular), the OsEmulator snapshot (brk, deterministic time,
+ * stdin cursor, captured output, exit state), and the retired-instruction
+ * count.  Restoring one into a context that has loaded the same Program
+ * and then continuing execution is bit-identical to never having stopped
+ * -- the determinism property checkpoint-parallel sampling rests on.
+ *
+ * Two capture flavors:
+ *   - capture():       full image, every allocated page.
+ *   - captureDelta():  only pages written since the parent checkpoint
+ *                      was captured (Memory's write-epoch tracking), plus
+ *                      the always-small ARCH/OS sections.  Restoring a
+ *                      delta means restoring its chain root first and
+ *                      applying each delta's pages in order.
+ *
+ * The serialized container ("OSPCKPT1") is versioned and
+ * endianness-stable: every multi-byte field is written little-endian
+ * byte-by-byte, so a checkpoint written on any host loads on any other.
+ * The header (magic, version, spec identity, id/parent link) and each
+ * section (ARCH/OS/MEM) carry CRC-32 checksums; any mismatch, truncation,
+ * unknown version, or spec-fingerprint mismatch throws CkptError -- a
+ * damaged checkpoint is never silently loaded.  See docs/CHECKPOINT.md.
+ *
+ * Restoring mutates context state behind the simulator's back; callers
+ * holding a FunctionalSimulator must call onStateRestored() on it
+ * afterwards so cached decodes/blocks are invalidated.
+ */
+
+#ifndef ONESPEC_CKPT_CHECKPOINT_HPP
+#define ONESPEC_CKPT_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "stats/stats.hpp"
+
+namespace onespec {
+namespace ckpt {
+
+/** Raised for any invalid, damaged, or mismatched checkpoint. */
+class CkptError : public std::runtime_error
+{
+  public:
+    explicit CkptError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Container format version this build reads and writes. */
+constexpr uint32_t kFormatVersion = 1;
+
+/** One page image: (page index, kPageSize bytes). */
+struct CkptPage
+{
+    uint64_t idx = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** In-memory checkpoint: the decoded/captured machine state. */
+struct Checkpoint
+{
+    /** Content hash of the captured state (FNV-1a); the identity that
+     *  parentId links against. */
+    uint64_t id = 0;
+    /** id of the parent checkpoint; 0 for a full (root) checkpoint. */
+    uint64_t parentId = 0;
+    /** True if pages holds only the dirty set relative to the parent. */
+    bool delta = false;
+
+    /** Spec identity the state belongs to; validated on restore. */
+    uint64_t specFingerprint = 0;
+    std::string specName;
+
+    uint64_t instrsRetired = 0;
+    /** Memory write-epoch at capture; pages written from this epoch on
+     *  are dirty relative to this checkpoint (delta-capture input). */
+    uint64_t epochMark = 0;
+
+    // ARCH section.
+    uint64_t pc = 0;
+    std::vector<uint64_t> words;
+
+    // OS section.
+    OsEmulator::OsState os;
+
+    // MEM section, sorted by page index.
+    std::vector<CkptPage> pages;
+};
+
+/** Checkpoint-operation counters, publishable into the stats registry. */
+struct CkptCounters
+{
+    uint64_t fullCaptures = 0;
+    uint64_t deltaCaptures = 0;
+    uint64_t restores = 0;      ///< checkpoints applied (chain links count)
+    uint64_t pagesCaptured = 0;
+    uint64_t pagesRestored = 0;
+    uint64_t bytesEncoded = 0;
+    uint64_t bytesDecoded = 0;
+    uint64_t captureNanos = 0;
+    uint64_t restoreNanos = 0;
+
+    CkptCounters &operator+=(const CkptCounters &o);
+    /** Add these values into counters under @p g (group "ckpt"). */
+    void publish(stats::StatGroup &g) const;
+};
+
+/** Capture the full state of @p ctx. */
+Checkpoint capture(SimContext &ctx, CkptCounters *c = nullptr);
+
+/**
+ * Capture only what changed since @p parent was captured (its pages are
+ * the write-epoch dirty set; ARCH/OS travel in full).  @p parent must
+ * describe the same spec and must have been captured from this same
+ * execution (its epoch mark is meaningful for this context's memory).
+ */
+Checkpoint captureDelta(SimContext &ctx, const Checkpoint &parent,
+                        CkptCounters *c = nullptr);
+
+/**
+ * Restore a full checkpoint into @p ctx, replacing memory, register
+ * state, OS state, and the retired count.  Throws CkptError if @p ck is
+ * a delta (use restoreChain) or was captured for a different spec.
+ */
+void restore(SimContext &ctx, const Checkpoint &ck,
+             CkptCounters *c = nullptr);
+
+/**
+ * Restore a chain: chain[0] must be a full checkpoint and every
+ * chain[i].parentId must equal chain[i-1].id.  The context ends in the
+ * state of chain.back().
+ */
+void restoreChain(SimContext &ctx,
+                  const std::vector<const Checkpoint *> &chain,
+                  CkptCounters *c = nullptr);
+
+/** Serialize to the versioned container format. */
+std::vector<uint8_t> encode(const Checkpoint &ck,
+                            CkptCounters *c = nullptr);
+
+/**
+ * Parse and validate a container image.  Throws CkptError on bad magic,
+ * unsupported version, truncation, or any CRC mismatch.
+ */
+Checkpoint decode(const std::vector<uint8_t> &bytes,
+                  CkptCounters *c = nullptr);
+
+/** encode() to a file / decode() from a file.  Throws CkptError on IO. */
+void saveFile(const std::string &path, const Checkpoint &ck,
+              CkptCounters *c = nullptr);
+Checkpoint loadFile(const std::string &path, CkptCounters *c = nullptr);
+
+/**
+ * Recompute the content hash of @p ck and compare with ck.id.  decode()
+ * already guarantees the bytes match what was written (CRC); this
+ * additionally proves the header's identity field matches the content.
+ */
+bool verifyId(const Checkpoint &ck);
+
+/** Content hash over the captured state (what Checkpoint::id holds). */
+uint64_t contentHash(const Checkpoint &ck);
+
+} // namespace ckpt
+} // namespace onespec
+
+#endif // ONESPEC_CKPT_CHECKPOINT_HPP

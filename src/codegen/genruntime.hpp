@@ -60,6 +60,9 @@ class GenSimBase : public FunctionalSimulator
     uint64_t blockCacheMisses() const { return bcMisses_; }
 
   protected:
+    /** Decoded instructions and block images may describe stale memory. */
+    void doOnStateRestored() override { flushCaches(); }
+
     void
     doUndo(uint64_t n) override
     {

@@ -198,6 +198,16 @@ class FunctionalSimulator
     /** Redirect the next fetch (timing simulators use this on flushes). */
     void redirect(uint64_t pc) { ctx_.state().setPc(pc); }
 
+    /**
+     * Notify the simulator that the context's state was mutated behind
+     * its back (checkpoint restore, program reload).  Back ends drop any
+     * cached view of that state -- decode caches, translated-block
+     * caches -- through their doOnStateRestored() override; there is one
+     * invalidation point, not one per cache.  Not an interface crossing:
+     * it is a host-side control action, so it is not counted.
+     */
+    void onStateRestored() { doOnStateRestored(); }
+
     SimContext &ctx() { return ctx_; }
     const SimContext &ctx() const { return ctx_; }
 
@@ -229,6 +239,9 @@ class FunctionalSimulator
     virtual uint64_t doFastForward(uint64_t max_instrs,
                                    RunStatus &status);
     virtual void doUndo(uint64_t n);
+
+    /** Invalidate cached views of context state; default has none. */
+    virtual void doOnStateRestored() {}
 
     /** Back-end-specific stats (caches, journals); default none. */
     virtual void publishDerivedStats(stats::StatGroup &g) const;

@@ -1,0 +1,124 @@
+#include "ckpt_sampling.hpp"
+
+#include <algorithm>
+
+#include "iface/registry.hpp"
+#include "perf/hostcount.hpp"
+#include "sim/interp.hpp"
+#include "support/logging.hpp"
+#include "timing/timing_directed.hpp"
+
+namespace onespec::parallel {
+
+namespace {
+
+std::unique_ptr<FunctionalSimulator>
+makeSim(SimContext &ctx, const std::string &buildset, bool use_interp)
+{
+    if (use_interp)
+        return makeInterpSimulator(ctx, buildset);
+    auto sim = SimRegistry::instance().create(ctx, buildset);
+    ONESPEC_ASSERT(sim, "no generated simulator for ",
+                   ctx.spec().props.name, "/", buildset);
+    return sim;
+}
+
+} // namespace
+
+CkptSamplingResult
+runSampledCheckpointParallel(const Spec &spec, const Program &prog,
+                             const CkptSamplingConfig &cfg, SimFleet &fleet)
+{
+    CkptSamplingResult res;
+    const SamplingConfig &s = cfg.sampling;
+
+    // ---- Phase 1: one functional pass, checkpointing window starts.
+    //
+    // The loop below is the serial runSampled() schedule with the
+    // detailed pipeline replaced by fastForward over the same region:
+    // the architectural path is interface-invariant, so instruction
+    // counts -- and therefore window boundaries -- match exactly.
+    SimContext ctx(spec);
+    ctx.load(prog);
+    auto fast = makeSim(ctx, cfg.fastBuildset, cfg.useInterp);
+
+    Stopwatch sw;
+    sw.start();
+    uint64_t total = 0;
+    RunStatus gapStatus = RunStatus::Ok;
+    while (total < cfg.maxInstrs && gapStatus == RunStatus::Ok) {
+        uint64_t cap = std::min(s.windowInstrs, cfg.maxInstrs - total);
+        if (cfg.deltaCheckpoints && !res.checkpoints.empty())
+            res.checkpoints.push_back(ckpt::captureDelta(
+                ctx, res.checkpoints.back(), &res.ckpt));
+        else
+            res.checkpoints.push_back(ckpt::capture(ctx, &res.ckpt));
+        res.windowCaps.push_back(cap);
+
+        // Advance through the window region itself (measured in phase 2;
+        // not counted as fastForwarded, mirroring the serial driver).
+        RunStatus winStatus = RunStatus::Ok;
+        uint64_t done = fast->fastForward(cap, winStatus);
+        total += done;
+        if (done < s.windowInstrs)
+            break; // program ended inside the window (serial breaks too)
+
+        uint64_t ff = s.periodInstrs > s.windowInstrs
+                          ? s.periodInstrs - s.windowInstrs
+                          : 0;
+        ff = std::min(ff, cfg.maxInstrs - total);
+        if (ff) {
+            uint64_t done2 = fast->fastForward(ff, gapStatus);
+            res.stats.fastForwarded += done2;
+            total += done2;
+            if (done2 < ff)
+                break;
+        }
+    }
+    res.ffNs = sw.elapsedNs();
+
+    // ---- Phase 2: one fleet job per window, each restoring its chain
+    // and timing its window on a fresh pipeline.
+    const size_t n = res.checkpoints.size();
+    std::vector<TimingStats> winStats(n);
+    std::vector<FleetJob> jobs(n);
+    for (size_t i = 0; i < n; ++i) {
+        FleetJob &job = jobs[i];
+        job.spec = &spec;
+        job.program = &prog;
+        job.buildset = cfg.detailedBuildset;
+        job.useInterp = cfg.useInterp;
+        job.name = spec.props.name + "/window" + std::to_string(i);
+        if (cfg.deltaCheckpoints) {
+            for (size_t j = 0; j <= i; ++j)
+                job.restore.push_back(&res.checkpoints[j]);
+        } else {
+            job.restore.push_back(&res.checkpoints[i]);
+        }
+        const uint64_t cap = res.windowCaps[i];
+        job.body = [&spec, &cfg, &winStats, i, cap](
+                       SimContext &, FunctionalSimulator &sim,
+                       FleetResult &out, stats::StatsRegistry &) {
+            TimingDirectedPipeline pipe(spec, cfg.sampling.pipeline);
+            TimingStats w = pipe.run(sim, cap);
+            winStats[i] = w; // slot owned exclusively by this job
+            out.run.instrs = w.instrs;
+            out.run.status =
+                w.instrs < cap ? RunStatus::Halted : RunStatus::Ok;
+        };
+    }
+    FleetReport rep = fleet.run(jobs);
+    res.measureNs = rep.wallNs;
+
+    // Merge in window order: values and order independent of the thread
+    // count phase 2 happened to run at.
+    res.jobErrors.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        res.stats.accumulateWindow(winStats[i]);
+        res.ckpt += rep.results[i].ckptCounters;
+        res.jobErrors[i] = rep.results[i].error;
+    }
+    return res;
+}
+
+} // namespace onespec::parallel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Checkpoint-parallel sampling: the fleet-scale payoff of src/ckpt/.
+ *
+ * Serial sampled simulation (timing/sampling.hpp) alternates detailed
+ * windows and functional fast-forward on one context; wall clock is the
+ * sum of both.  This driver splits the two:
+ *
+ *   Phase 1 (serial): one functional pass over the program on the
+ *   Block-detail interface, capturing a checkpoint at the start of every
+ *   would-be window -- a full checkpoint first, cheap write-epoch deltas
+ *   after.  The pass advances through window regions and gaps with the
+ *   exact schedule of the serial driver, so window boundaries land on
+ *   the same instruction counts.
+ *
+ *   Phase 2 (parallel): each window becomes a SimFleet job that restores
+ *   its checkpoint chain into a fresh context, notifies the simulator
+ *   (onStateRestored), and runs the detailed Step-interface pipeline for
+ *   that window alone.  Jobs are independent, so they scale across
+ *   worker threads.
+ *
+ * Window results are merged in window order, making the combined
+ * SamplingStats -- and any registry dump derived from it -- bit-identical
+ * to a serial run with SamplingConfig::independentWindows set, at every
+ * thread count.  (Identity holds because the architectural path is
+ * interface-invariant -- the repo's core validation property -- and the
+ * timing pipeline is a deterministic function of starting state and
+ * window cap.)
+ */
+
+#ifndef ONESPEC_PARALLEL_CKPT_SAMPLING_HPP
+#define ONESPEC_PARALLEL_CKPT_SAMPLING_HPP
+
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "parallel/fleet.hpp"
+#include "timing/sampling.hpp"
+
+namespace onespec::parallel {
+
+/** Configuration for a checkpoint-parallel sampled run. */
+struct CkptSamplingConfig
+{
+    SamplingConfig sampling;    ///< window/period/pipeline parameters
+    uint64_t maxInstrs = ~uint64_t{0};
+    std::string detailedBuildset;  ///< Step-detail iface for windows
+    std::string fastBuildset;      ///< fastForward iface for phase 1
+    bool useInterp = false;        ///< interpreter back end for both
+    /** Capture write-epoch deltas after the first checkpoint (chains get
+     *  longer to restore but far smaller to hold/store). */
+    bool deltaCheckpoints = true;
+};
+
+/** Everything a checkpoint-parallel run produced. */
+struct CkptSamplingResult
+{
+    SamplingStats stats;        ///< merged, serial-bit-identical
+    ckpt::CkptCounters ckpt;    ///< capture/restore work done
+    /** One checkpoint per window, index-aligned with windowCaps;
+     *  checkpoints[0] is full, the rest are deltas when enabled. */
+    std::vector<ckpt::Checkpoint> checkpoints;
+    std::vector<uint64_t> windowCaps;  ///< per-window instruction caps
+    uint64_t ffNs = 0;          ///< phase 1 wall time
+    uint64_t measureNs = 0;     ///< phase 2 wall time (fleet batch)
+    /** Per-job errors from phase 2, if any (empty strings when clean). */
+    std::vector<std::string> jobErrors;
+};
+
+/**
+ * Run @p prog sampled, measuring windows concurrently on @p fleet.
+ * The Spec and Program must outlive the call.
+ */
+CkptSamplingResult runSampledCheckpointParallel(const Spec &spec,
+                                                const Program &prog,
+                                                const CkptSamplingConfig &cfg,
+                                                SimFleet &fleet);
+
+} // namespace onespec::parallel
+
+#endif // ONESPEC_PARALLEL_CKPT_SAMPLING_HPP

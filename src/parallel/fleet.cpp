@@ -84,9 +84,17 @@ runJob(const FleetJob &job, FleetResult &out, stats::StatsRegistry &reg)
         ONESPEC_ASSERT(sim, "no generated simulator for ",
                        job.spec->props.name, "/", job.buildset);
     }
+    if (!job.restore.empty()) {
+        ckpt::restoreChain(ctx, job.restore, &out.ckptCounters);
+        // The context changed under the simulator; drop cached decodes.
+        sim->onStateRestored();
+    }
     Stopwatch sw;
     sw.start();
-    out.run = sim->run(job.maxInstrs);
+    if (job.body)
+        job.body(ctx, *sim, out, reg);
+    else
+        out.run = sim->run(job.maxInstrs);
     out.ns = sw.elapsedNs();
     out.output = ctx.os().output();
     out.stateHash = contextStateHash(ctx, out.output);

@@ -26,16 +26,20 @@
 #define ONESPEC_PARALLEL_FLEET_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "iface/functional_simulator.hpp"
 #include "parallel/threadpool.hpp"
 #include "stats/sharded.hpp"
 #include "stats/stats.hpp"
 
 namespace onespec::parallel {
+
+struct FleetResult;
 
 /** One unit of fleet work.  The Spec and Program must outlive run()
  *  and are shared read-only across jobs. */
@@ -47,6 +51,25 @@ struct FleetJob
     uint64_t maxInstrs = ~uint64_t{0}; ///< run-to-halt cap
     std::string name;          ///< label for reports ("alpha64/fib")
     bool useInterp = false;    ///< interpreter back end instead
+
+    /**
+     * Checkpoint chain to restore after load and before running (root
+     * first, then deltas).  The worker restores it into the fresh
+     * context and calls onStateRestored() on the simulator, so the job
+     * resumes mid-program instead of cold-starting.  The pointed-to
+     * checkpoints are shared read-only and must outlive run().
+     */
+    std::vector<const ckpt::Checkpoint *> restore;
+
+    /**
+     * Custom job body.  When set, the worker calls it (after any restore)
+     * instead of sim->run(maxInstrs); the body fills @p out.run itself
+     * and may publish extra stats into the job's registry.  This is how
+     * checkpoint-parallel sampling runs a timing-measurement phase per
+     * job rather than plain functional execution.
+     */
+    std::function<void(SimContext &, FunctionalSimulator &,
+                       FleetResult &, stats::StatsRegistry &)> body;
 };
 
 /** Outcome of one job. */
@@ -56,6 +79,7 @@ struct FleetResult
     uint64_t stateHash = 0;    ///< FNV-1a over pc, registers, OS output
     std::string output;        ///< bytes the job wrote to stdout
     IfaceCounters counters;    ///< interface crossings of this job
+    ckpt::CkptCounters ckptCounters; ///< restore work, if job restored
     uint64_t ns = 0;           ///< wall time of this job alone
     std::string error;         ///< non-empty if the job threw
 };

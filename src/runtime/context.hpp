@@ -59,6 +59,8 @@ class SimContext
 
     uint64_t instrsRetired() const { return instrsRetired_; }
     void addRetired(uint64_t n) { instrsRetired_ += n; }
+    /** Overwrite the retired count (checkpoint restore). */
+    void setRetired(uint64_t n) { instrsRetired_ = n; }
 
   private:
     const Spec *spec_;

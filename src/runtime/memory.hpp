@@ -8,6 +8,15 @@
  *
  * The hot single-page path is inline; generated simulators call these
  * functions directly.
+ *
+ * Dirty-page tracking: every page remembers the write epoch of its most
+ * recent mutation.  newEpoch() advances the clock (the checkpoint layer
+ * calls it when it captures a snapshot), so "pages written since
+ * checkpoint C" is simply "pages whose epoch >= C's epoch mark" -- the
+ * basis of cheap delta checkpoints in src/ckpt/.  Reads never dirty.
+ * The write fast path stays a single compare: a separate one-entry
+ * write cache holds the page that is already marked for the current
+ * epoch, and newEpoch() invalidates it.
  */
 
 #ifndef ONESPEC_RUNTIME_MEMORY_HPP
@@ -145,17 +154,91 @@ class Memory
     /** Number of allocated pages (for tests and statistics). */
     size_t pageCount() const { return pages_.size(); }
 
-    /** Drop all contents. */
+    /** Drop all contents.  The epoch clock keeps running: checkpoint
+     *  epoch marks taken before a clear stay meaningful afterwards. */
     void
     clear()
     {
         pages_.clear();
-        cachedPage_ = nullptr;
         cachedIdx_ = ~uint64_t{0};
+        cachedPage_ = nullptr;
+        cachedWIdx_ = ~uint64_t{0};
+        cachedWPage_ = nullptr;
+    }
+
+    // ----- dirty-page tracking (the checkpoint layer's view) -----
+
+    /** The current write epoch; pages written now carry this value. */
+    uint64_t currentEpoch() const { return epoch_; }
+
+    /**
+     * Advance the write epoch and return the new value E.  Pages written
+     * from now on satisfy pageEpoch() >= E; pages untouched since the
+     * call do not.  Capturing a checkpoint calls this and stores E as
+     * its epoch mark.
+     */
+    uint64_t
+    newEpoch()
+    {
+        // The write cache holds a page already marked for the old epoch;
+        // its next write must take the slow path to be re-marked.
+        cachedWIdx_ = ~uint64_t{0};
+        cachedWPage_ = nullptr;
+        return ++epoch_;
+    }
+
+    /** Write epoch of page @p idx; 0 if the page is not allocated. */
+    uint64_t
+    pageEpoch(uint64_t idx) const
+    {
+        auto it = pages_.find(idx);
+        return it == pages_.end() ? 0 : it->second.epoch;
+    }
+
+    /** Pages written at or after epoch @p since (delta-size preview). */
+    size_t
+    dirtyPageCount(uint64_t since) const
+    {
+        size_t n = 0;
+        for (const auto &[idx, rec] : pages_)
+            n += rec.epoch >= since;
+        return n;
+    }
+
+    /**
+     * Visit every allocated page as (index, data, epoch).  Iteration
+     * order is the hash map's -- callers that serialize must sort by
+     * index themselves for a stable byte stream.
+     */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const auto &[idx, rec] : pages_)
+            fn(idx, rec.data->data(), rec.epoch);
+    }
+
+    /**
+     * Install a full page image at page index @p idx (allocating or
+     * overwriting), marking it written at the current epoch.  The
+     * checkpoint-restore path: a full restore clears then installs, a
+     * delta restore installs over the parent's pages.
+     */
+    void
+    installPage(uint64_t idx, const uint8_t *bytes)
+    {
+        uint8_t *p = pageFor(idx << kPageBits, true);
+        std::memcpy(p, bytes, kPageSize);
     }
 
   private:
     using Page = std::array<uint8_t, kPageSize>;
+
+    struct PageRec
+    {
+        std::unique_ptr<Page> data;
+        uint64_t epoch = 0;     ///< epoch of the most recent write
+    };
 
     static uint64_t
     swapBytes(uint64_t v, unsigned len)
@@ -172,24 +255,43 @@ class Memory
     pageFor(uint64_t addr, bool alloc)
     {
         uint64_t idx = addr >> kPageBits;
+        if (alloc) {
+            // Write path: the cached page is already marked for the
+            // current epoch (newEpoch() invalidates this cache).
+            if (idx == cachedWIdx_) [[likely]]
+                return cachedWPage_;
+            auto it = pages_.find(idx);
+            if (it == pages_.end()) {
+                it = pages_.emplace(idx, PageRec{}).first;
+                it->second.data = std::make_unique<Page>();
+                std::memset(it->second.data->data(), 0, kPageSize);
+            }
+            it->second.epoch = epoch_;
+            cachedWIdx_ = idx;
+            cachedWPage_ = it->second.data->data();
+            // Keep the read cache coherent with the classic behavior of
+            // a single shared cache (write then read of one page).
+            cachedIdx_ = idx;
+            cachedPage_ = cachedWPage_;
+            return cachedWPage_;
+        }
         if (idx == cachedIdx_) [[likely]]
             return cachedPage_;
         auto it = pages_.find(idx);
-        if (it == pages_.end()) {
-            if (!alloc)
-                return nullptr;
-            it = pages_.emplace(idx, std::make_unique<Page>()).first;
-            std::memset(it->second->data(), 0, kPageSize);
-        }
+        if (it == pages_.end())
+            return nullptr;
         cachedIdx_ = idx;
-        cachedPage_ = it->second->data();
+        cachedPage_ = it->second.data->data();
         return cachedPage_;
     }
 
     bool bigEndian_;
-    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    std::unordered_map<uint64_t, PageRec> pages_;
+    uint64_t epoch_ = 1;
     uint64_t cachedIdx_ = ~uint64_t{0};
     uint8_t *cachedPage_ = nullptr;
+    uint64_t cachedWIdx_ = ~uint64_t{0};
+    uint8_t *cachedWPage_ = nullptr;
 };
 
 } // namespace onespec

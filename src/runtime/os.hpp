@@ -60,6 +60,7 @@ class OsEmulator
     uint64_t brk() const { return brk_; }
     void setBrk(uint64_t b) { brk_ = b; }
     size_t inputPos() const { return inputPos_; }
+    uint64_t timeMs() const { return timeMs_; }
 
     /** Restore undoable OS state (used by rollback). */
     void
@@ -87,6 +88,41 @@ class OsEmulator
     }
 
     uint64_t syscallCount() const { return syscallCount_; }
+
+    /**
+     * Complete serializable OS state.  stdin *contents* are not part of
+     * it -- they come from the Program, which the restorer reloads --
+     * only the cursor into them is.
+     */
+    struct OsState
+    {
+        bool exited = false;
+        int exitCode = 0;
+        std::string output;
+        size_t inputPos = 0;
+        uint64_t brk = 0;
+        uint64_t timeMs = 0;
+        uint64_t syscallCount = 0;
+    };
+
+    OsState
+    snapshot() const
+    {
+        return {exited_, exitCode_, output_, inputPos_,
+                brk_, timeMs_, syscallCount_};
+    }
+
+    void
+    restoreSnapshot(const OsState &s)
+    {
+        exited_ = s.exited;
+        exitCode_ = s.exitCode;
+        output_ = s.output;
+        inputPos_ = s.inputPos;
+        brk_ = s.brk;
+        timeMs_ = s.timeMs;
+        syscallCount_ = s.syscallCount;
+    }
 
   private:
     const ResolvedAbi *abi_;

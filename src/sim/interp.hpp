@@ -63,6 +63,9 @@ class InterpSimulator : public FunctionalSimulator
     /** Adds decode-cache hit/miss counters and instrs executed. */
     void publishDerivedStats(stats::StatGroup &g) const override;
 
+    /** Cached decodes are keyed by (pc, bytes); both may have changed. */
+    void doOnStateRestored() override { flushDecodeCache(); }
+
   private:
     struct DecodeEntry
     {

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) for
+ * integrity checking of serialized artifacts -- most importantly the
+ * per-section checksums of the checkpoint container (src/ckpt/).  The
+ * checksum must be stable across hosts and compilers, so the
+ * implementation is a plain table-driven byte loop with no
+ * endianness-dependent tricks.
+ */
+
+#ifndef ONESPEC_SUPPORT_CRC32_HPP
+#define ONESPEC_SUPPORT_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace onespec {
+
+/**
+ * Incrementally extend @p crc (pass 0 to start) with @p len bytes.
+ * crc32(crc32(0, a), b) == crc32(0, ab).
+ */
+uint32_t crc32(uint32_t crc, const void *data, size_t len);
+
+} // namespace onespec
+
+#endif // ONESPEC_SUPPORT_CRC32_HPP

@@ -17,18 +17,18 @@ runSampled(const Spec &spec, FunctionalSimulator &detailed,
     RunStatus status = RunStatus::Ok;
 
     while (total < max_instrs && status == RunStatus::Ok) {
-        // Detailed window.
-        TimingStats w = pipe.run(detailed,
-                                 std::min(cfg.windowInstrs,
-                                          max_instrs - total));
-        out.detailed.cycles += w.cycles;
-        out.detailed.instrs += w.instrs;
-        out.detailed.icacheMisses += w.icacheMisses;
-        out.detailed.dcacheMisses += w.dcacheMisses;
-        out.detailed.branches += w.branches;
-        out.detailed.mispredicts += w.mispredicts;
+        // Detailed window.  Optionally on a cold pipeline, to match the
+        // schedule checkpoint-parallel sampling is forced into.
+        uint64_t cap = std::min(cfg.windowInstrs, max_instrs - total);
+        TimingStats w;
+        if (cfg.independentWindows) {
+            TimingDirectedPipeline fresh(spec, cfg.pipeline);
+            w = fresh.run(detailed, cap);
+        } else {
+            w = pipe.run(detailed, cap);
+        }
+        out.accumulateWindow(w);
         total += w.instrs;
-        ++out.windows;
         if (w.instrs < cfg.windowInstrs)
             break; // program ended inside the window
 

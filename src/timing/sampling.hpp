@@ -21,6 +21,16 @@ struct SamplingConfig
     uint64_t windowInstrs = 1000;   ///< detailed window length
     uint64_t periodInstrs = 100000; ///< window start-to-start distance
     TimingDirectedConfig pipeline;
+
+    /**
+     * Give every window a freshly constructed pipeline instead of one
+     * pipeline kept warm across windows.  Checkpoint-parallel sampling
+     * necessarily starts each window cold (windows run in different
+     * jobs), so its serial reference must too -- with this flag the two
+     * schedules are bit-identical.  Default off: the classic
+     * warm-pipeline driver is unchanged.
+     */
+    bool independentWindows = false;
 };
 
 /** Result of a sampled simulation. */
@@ -38,6 +48,34 @@ struct SamplingStats
                    ? static_cast<double>(detailed.cycles) /
                          static_cast<double>(detailed.instrs)
                    : 0.0;
+    }
+
+    /** Fold one window's timing results in (field-wise sum). */
+    void
+    accumulateWindow(const TimingStats &w)
+    {
+        detailed.cycles += w.cycles;
+        detailed.instrs += w.instrs;
+        detailed.icacheMisses += w.icacheMisses;
+        detailed.dcacheMisses += w.dcacheMisses;
+        detailed.branches += w.branches;
+        detailed.mispredicts += w.mispredicts;
+        detailed.mismatches += w.mismatches;
+        detailed.rollbacks += w.rollbacks;
+        detailed.rolledBackInstrs += w.rolledBackInstrs;
+        ++windows;
+    }
+
+    /** Fold into registry group @p g: window timing plus sampling's own
+     *  counters, so serial and checkpoint-parallel runs dump through the
+     *  same path (their dumps can be diffed byte-for-byte). */
+    void
+    publish(stats::StatGroup &g) const
+    {
+        detailed.publishStats(g);
+        g.counter("fast_forwarded", "instructions skipped functionally")
+            .add(fastForwarded);
+        g.counter("windows", "detailed windows measured").add(windows);
     }
 };
 

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Checkpoint/restore subsystem tests: container round trips, hard
+ * rejection of damaged/mismatched containers, delta-chain semantics,
+ * resume-equals-uninterrupted determinism, and parallel restore on the
+ * fleet (bit-identity at every thread count).  The fleet cases carry the
+ * `tsan` ctest label; re-run them under -DONESPEC_SANITIZE=thread.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "parallel/ckpt_sampling.hpp"
+#include "parallel/fleet.hpp"
+#include "stats/stats.hpp"
+#include "timing/sampling.hpp"
+#include "workload/builder.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec {
+namespace {
+
+using parallel::CkptSamplingConfig;
+using parallel::CkptSamplingResult;
+using parallel::FleetJob;
+using parallel::FleetReport;
+using parallel::SimFleet;
+
+constexpr const char *kBuildset = "BlockMinNo";
+
+/** Shared expensive state: one spec + kernel per ISA under test. */
+class CkptTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        spec_ = loadIsa("alpha64").release();
+        auto b = makeBuilder(*spec_);
+        prog_ = new Program(buildKernel(*b, "fib", 25'000));
+        auto b2 = makeBuilder(*spec_);
+        other_ = new Program(buildKernel(*b2, "crc32", 500));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete prog_;
+        delete other_;
+        delete spec_;
+        prog_ = other_ = nullptr;
+        spec_ = nullptr;
+    }
+
+    /** Fresh context + simulator, advanced @p instrs into the kernel. */
+    static std::unique_ptr<FunctionalSimulator>
+    runTo(SimContext &ctx, uint64_t instrs, const Program &prog = *prog_)
+    {
+        ctx.load(prog);
+        auto sim = SimRegistry::instance().create(ctx, kBuildset);
+        if (!sim)
+            return nullptr;
+        if (instrs) {
+            RunResult r = sim->run(instrs);
+            EXPECT_EQ(static_cast<int>(r.status),
+                      static_cast<int>(RunStatus::Ok))
+                << "kernel ended before the checkpoint point";
+        }
+        return sim;
+    }
+
+    static Spec *spec_;
+    static Program *prog_;
+    static Program *other_;
+};
+
+Spec *CkptTest::spec_ = nullptr;
+Program *CkptTest::prog_ = nullptr;
+Program *CkptTest::other_ = nullptr;
+
+// ---------------------------------------------------------------------
+// Container round trips and rejection of damaged containers
+// ---------------------------------------------------------------------
+
+TEST_F(CkptTest, EncodeDecodeRoundTripIsLossless)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 20'000);
+    ASSERT_NE(sim, nullptr);
+
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+    std::vector<uint8_t> bytes = ckpt::encode(ck);
+    ckpt::Checkpoint rt = ckpt::decode(bytes);
+
+    EXPECT_EQ(rt.id, ck.id);
+    EXPECT_EQ(rt.parentId, 0u);
+    EXPECT_FALSE(rt.delta);
+    EXPECT_EQ(rt.specFingerprint, ck.specFingerprint);
+    EXPECT_EQ(rt.specName, "alpha64");
+    EXPECT_EQ(rt.instrsRetired, 20'000u);
+    EXPECT_EQ(rt.epochMark, ck.epochMark);
+    EXPECT_EQ(rt.pc, ck.pc);
+    EXPECT_EQ(rt.words, ck.words);
+    EXPECT_EQ(rt.os.brk, ck.os.brk);
+    EXPECT_EQ(rt.os.timeMs, ck.os.timeMs);
+    EXPECT_EQ(rt.os.inputPos, ck.os.inputPos);
+    EXPECT_EQ(rt.os.output, ck.os.output);
+    EXPECT_EQ(rt.os.syscallCount, ck.os.syscallCount);
+    ASSERT_EQ(rt.pages.size(), ck.pages.size());
+    for (size_t i = 0; i < ck.pages.size(); ++i) {
+        EXPECT_EQ(rt.pages[i].idx, ck.pages[i].idx);
+        EXPECT_EQ(rt.pages[i].bytes, ck.pages[i].bytes);
+    }
+    EXPECT_TRUE(ckpt::verifyId(rt));
+}
+
+TEST_F(CkptTest, CorruptedPayloadByteIsRejected)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    std::vector<uint8_t> bytes = ckpt::encode(ckpt::capture(ctx));
+
+    // Flip one byte deep in the last section's payload: only the
+    // per-section CRC can catch this.
+    bytes[bytes.size() - 100] ^= 0x40;
+    try {
+        (void)ckpt::decode(bytes);
+        FAIL() << "corrupted container decoded without error";
+    } catch (const ckpt::CkptError &e) {
+        EXPECT_NE(std::string(e.what()).find("CRC mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(CkptTest, TruncatedContainerIsRejected)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    std::vector<uint8_t> bytes = ckpt::encode(ckpt::capture(ctx));
+
+    // Every truncation length must throw, never crash or succeed.
+    for (size_t keep : {size_t{0}, size_t{4}, size_t{7}, size_t{64},
+                        bytes.size() / 2, bytes.size() - 1})
+        EXPECT_THROW((void)ckpt::decode(std::vector<uint8_t>(
+                         bytes.begin(), bytes.begin() + keep)),
+                     ckpt::CkptError)
+            << "kept " << keep << " bytes";
+}
+
+TEST_F(CkptTest, UnknownFormatVersionIsRejected)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 5'000);
+    ASSERT_NE(sim, nullptr);
+    std::vector<uint8_t> bytes = ckpt::encode(ckpt::capture(ctx));
+
+    // Version field sits right after the 8-byte magic (little-endian).
+    bytes[8] = 0x7f;
+    try {
+        (void)ckpt::decode(bytes);
+        FAIL() << "future-version container decoded without error";
+    } catch (const ckpt::CkptError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "unsupported checkpoint format version"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(CkptTest, BadMagicIsRejected)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 5'000);
+    ASSERT_NE(sim, nullptr);
+    std::vector<uint8_t> bytes = ckpt::encode(ckpt::capture(ctx));
+    bytes[0] ^= 0xff;
+    EXPECT_THROW((void)ckpt::decode(bytes), ckpt::CkptError);
+}
+
+TEST_F(CkptTest, VerifyIdDetectsHeaderContentMismatch)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 5'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+    EXPECT_TRUE(ckpt::verifyId(ck));
+    ck.words[0] ^= 1; // state no longer matches the recorded identity
+    EXPECT_FALSE(ckpt::verifyId(ck));
+}
+
+// ---------------------------------------------------------------------
+// Restore semantics
+// ---------------------------------------------------------------------
+
+TEST_F(CkptTest, SpecMismatchIsRejectedNotLoaded)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 5'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+
+    auto arm = loadIsa("arm32");
+    SimContext actx(*arm);
+    try {
+        ckpt::restore(actx, ck);
+        FAIL() << "alpha64 checkpoint restored into an arm32 context";
+    } catch (const ckpt::CkptError &e) {
+        // Diagnostic names both specs so the operator can see the clash.
+        EXPECT_NE(std::string(e.what()).find("alpha64"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("arm32"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(CkptTest, DeltaRequiresChainRestore)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 5'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint full = ckpt::capture(ctx);
+    ASSERT_EQ(sim->run(5'000).status, RunStatus::Ok);
+    ckpt::Checkpoint delta = ckpt::captureDelta(ctx, full);
+    EXPECT_TRUE(delta.delta);
+    EXPECT_EQ(delta.parentId, full.id);
+
+    SimContext fresh(*spec_);
+    fresh.load(*prog_);
+    EXPECT_THROW(ckpt::restore(fresh, delta), ckpt::CkptError);
+    // A chain not rooted in a full checkpoint is equally invalid.
+    EXPECT_THROW(ckpt::restoreChain(fresh, {&delta}), ckpt::CkptError);
+}
+
+TEST_F(CkptTest, BrokenChainLinkIsRejected)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 5'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint full = ckpt::capture(ctx);
+    ASSERT_EQ(sim->run(5'000).status, RunStatus::Ok);
+    ckpt::Checkpoint delta = ckpt::captureDelta(ctx, full);
+
+    // A different full checkpoint: same spec, different state/identity.
+    SimContext ctx2(*spec_);
+    auto sim2 = runTo(ctx2, 7'000);
+    ASSERT_NE(sim2, nullptr);
+    ckpt::Checkpoint wrongRoot = ckpt::capture(ctx2);
+    ASSERT_NE(wrongRoot.id, full.id);
+
+    SimContext fresh(*spec_);
+    fresh.load(*prog_);
+    EXPECT_THROW(ckpt::restoreChain(fresh, {&wrongRoot, &delta}),
+                 ckpt::CkptError);
+}
+
+TEST_F(CkptTest, ResumeAfterRestoreMatchesUninterruptedRun)
+{
+    // Reference: one uninterrupted run to completion.
+    SimContext ref(*spec_);
+    auto rsim = runTo(ref, 0);
+    ASSERT_NE(rsim, nullptr);
+    RunResult rr = rsim->run(~uint64_t{0});
+    ASSERT_EQ(rr.status, RunStatus::Halted);
+
+    // Checkpoint mid-run, restore into a fresh context, resume.
+    SimContext mid(*spec_);
+    auto msim = runTo(mid, 40'000);
+    ASSERT_NE(msim, nullptr);
+    ckpt::Checkpoint ck = ckpt::decode(ckpt::encode(ckpt::capture(mid)));
+
+    SimContext fresh(*spec_);
+    fresh.load(*prog_);
+    auto fsim = SimRegistry::instance().create(fresh, kBuildset);
+    ASSERT_NE(fsim, nullptr);
+    ckpt::restore(fresh, ck);
+    fsim->onStateRestored();
+    RunResult fr = fsim->run(~uint64_t{0});
+
+    EXPECT_EQ(static_cast<int>(fr.status), static_cast<int>(rr.status));
+    EXPECT_EQ(40'000u + fr.instrs, rr.instrs);
+    EXPECT_EQ(fresh.instrsRetired(), ref.instrsRetired());
+    EXPECT_EQ(fresh.os().output(), ref.os().output());
+    EXPECT_EQ(fresh.os().output(), goldenOutput("fib", 25'000));
+    EXPECT_TRUE(fresh.state() == ref.state())
+        << "architectural state diverged after restore+resume";
+}
+
+TEST_F(CkptTest, DeltaChainRestoreMatchesUninterruptedRun)
+{
+    SimContext ref(*spec_);
+    auto rsim = runTo(ref, 0);
+    ASSERT_NE(rsim, nullptr);
+    RunResult rr = rsim->run(~uint64_t{0});
+    ASSERT_EQ(rr.status, RunStatus::Halted);
+
+    // full@10k -> delta@20k -> delta@30k on one execution.
+    SimContext mid(*spec_);
+    auto msim = runTo(mid, 10'000);
+    ASSERT_NE(msim, nullptr);
+    ckpt::Checkpoint c0 = ckpt::capture(mid);
+    ASSERT_EQ(msim->run(10'000).status, RunStatus::Ok);
+    ckpt::Checkpoint c1 = ckpt::captureDelta(mid, c0);
+    ASSERT_EQ(msim->run(10'000).status, RunStatus::Ok);
+    ckpt::Checkpoint c2 = ckpt::captureDelta(mid, c1);
+
+    // Deltas must be a strict subset of the full page set.
+    EXPECT_GT(c0.pages.size(), 0u);
+    EXPECT_LE(c1.pages.size(), c0.pages.size());
+    EXPECT_LE(c2.pages.size(), c0.pages.size());
+
+    SimContext fresh(*spec_);
+    fresh.load(*prog_);
+    auto fsim = SimRegistry::instance().create(fresh, kBuildset);
+    ASSERT_NE(fsim, nullptr);
+    ckpt::restoreChain(fresh, {&c0, &c1, &c2});
+    fsim->onStateRestored();
+    EXPECT_EQ(fresh.instrsRetired(), 30'000u);
+    RunResult fr = fsim->run(~uint64_t{0});
+
+    EXPECT_EQ(static_cast<int>(fr.status), static_cast<int>(rr.status));
+    EXPECT_EQ(30'000u + fr.instrs, rr.instrs);
+    EXPECT_EQ(fresh.os().output(), ref.os().output());
+    EXPECT_TRUE(fresh.state() == ref.state())
+        << "architectural state diverged after chain restore";
+}
+
+TEST_F(CkptTest, RestoreIntoDirtyContextReplacesAllState)
+{
+    SimContext mid(*spec_);
+    auto msim = runTo(mid, 30'000);
+    ASSERT_NE(msim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(mid);
+
+    // Victim context: a *different* kernel run to completion, leaving
+    // its own pages, OS output, and retired count behind.
+    SimContext dirty(*spec_);
+    auto dsim = runTo(dirty, 0, *other_);
+    ASSERT_NE(dsim, nullptr);
+    ASSERT_EQ(dsim->run(~uint64_t{0}).status, RunStatus::Halted);
+    ASSERT_FALSE(dirty.os().output().empty());
+
+    // Restore the fib checkpoint over it and resume with a simulator
+    // that had cached state from the crc32 run.
+    dirty.load(*prog_);
+    ckpt::restore(dirty, ck);
+    dsim->onStateRestored();
+    RunResult r = dsim->run(~uint64_t{0});
+    EXPECT_EQ(static_cast<int>(r.status),
+              static_cast<int>(RunStatus::Halted));
+    EXPECT_EQ(dirty.os().output(), goldenOutput("fib", 25'000));
+}
+
+TEST_F(CkptTest, CountersTrackCaptureAndRestoreWork)
+{
+    ckpt::CkptCounters c;
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint full = ckpt::capture(ctx, &c);
+    ASSERT_EQ(sim->run(10'000).status, RunStatus::Ok);
+    ckpt::Checkpoint delta = ckpt::captureDelta(ctx, full, &c);
+    std::vector<uint8_t> bytes = ckpt::encode(full, &c);
+
+    SimContext fresh(*spec_);
+    fresh.load(*prog_);
+    ckpt::restoreChain(fresh, {&full, &delta}, &c);
+
+    EXPECT_EQ(c.fullCaptures, 1u);
+    EXPECT_EQ(c.deltaCaptures, 1u);
+    EXPECT_EQ(c.restores, 2u); // both chain links applied
+    EXPECT_GE(c.pagesCaptured, full.pages.size());
+    EXPECT_EQ(c.pagesRestored, full.pages.size() + delta.pages.size());
+    EXPECT_EQ(c.bytesEncoded, bytes.size());
+
+    // publish() lands everything under one registry group.
+    stats::StatsRegistry reg;
+    c.publish(reg.group("ckpt"));
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("full_captures"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Parallel restore on the fleet (tsan-labeled via CMake)
+// ---------------------------------------------------------------------
+
+TEST_F(CkptTest, FleetJobsRestoreChainsBitIdenticallyAtAnyWidth)
+{
+    SimContext mid(*spec_);
+    auto msim = runTo(mid, 10'000);
+    ASSERT_NE(msim, nullptr);
+    ckpt::Checkpoint full = ckpt::capture(mid);
+    ASSERT_EQ(msim->run(10'000).status, RunStatus::Ok);
+    ckpt::Checkpoint delta = ckpt::captureDelta(mid, full);
+
+    // Many identical jobs, each restoring the chain and running a fixed
+    // slice: every result must agree, at every thread count.
+    std::vector<FleetJob> jobs;
+    for (int i = 0; i < 12; ++i) {
+        FleetJob j;
+        j.spec = spec_;
+        j.program = prog_;
+        j.buildset = kBuildset;
+        j.maxInstrs = 5'000;
+        j.name = "restore#" + std::to_string(i);
+        j.restore = {&full, &delta};
+        jobs.push_back(std::move(j));
+    }
+
+    SimFleet serial(1);
+    FleetReport ref = serial.run(jobs);
+    ASSERT_EQ(ref.results.size(), jobs.size());
+    for (const auto &res : ref.results) {
+        ASSERT_TRUE(res.error.empty()) << res.error;
+        EXPECT_EQ(res.run.instrs, 5'000u);
+        EXPECT_EQ(res.ckptCounters.restores, 2u);
+        EXPECT_EQ(res.stateHash, ref.results[0].stateHash);
+    }
+
+    for (unsigned width : {2u, 4u}) {
+        SimFleet fleet(width);
+        FleetReport par = fleet.run(jobs);
+        ASSERT_EQ(par.results.size(), ref.results.size());
+        for (size_t j = 0; j < jobs.size(); ++j) {
+            ASSERT_TRUE(par.results[j].error.empty())
+                << par.results[j].error;
+            EXPECT_EQ(par.results[j].stateHash, ref.results[j].stateHash)
+                << jobs[j].name << " at " << width << " threads";
+            EXPECT_EQ(par.results[j].run.instrs,
+                      ref.results[j].run.instrs);
+        }
+        EXPECT_EQ(par.merged->toJson().dump(0),
+                  ref.merged->toJson().dump(0));
+    }
+}
+
+TEST_F(CkptTest, CkptParallelSamplingBitIdenticalToSerialSampling)
+{
+    // Serial reference: the independent-windows schedule the parallel
+    // driver reproduces (cold pipeline per window).
+    SamplingConfig scfg;
+    scfg.windowInstrs = 500;
+    scfg.periodInstrs = 5'000;
+    scfg.independentWindows = true;
+    const uint64_t maxInstrs = 60'000;
+
+    SimContext ctx(*spec_);
+    ctx.load(*prog_);
+    auto det = SimRegistry::instance().create(ctx, "StepAllNo");
+    auto fast = SimRegistry::instance().create(ctx, kBuildset);
+    ASSERT_NE(det, nullptr);
+    ASSERT_NE(fast, nullptr);
+    SamplingStats serial =
+        runSampled(*spec_, *det, *fast, scfg, maxInstrs);
+    ASSERT_GT(serial.windows, 4u);
+
+    auto dump = [](const SamplingStats &s) {
+        stats::StatsRegistry reg;
+        s.publish(reg.group("sampling"));
+        std::ostringstream os;
+        reg.dump(os);
+        return os.str();
+    };
+    const std::string want = dump(serial);
+
+    CkptSamplingConfig ccfg;
+    ccfg.sampling = scfg;
+    ccfg.maxInstrs = maxInstrs;
+    ccfg.detailedBuildset = "StepAllNo";
+    ccfg.fastBuildset = kBuildset;
+    for (unsigned width : {1u, 2u, 4u}) {
+        SimFleet fleet(width);
+        CkptSamplingResult par = parallel::runSampledCheckpointParallel(
+            *spec_, *prog_, ccfg, fleet);
+        for (const auto &err : par.jobErrors)
+            ASSERT_TRUE(err.empty()) << err;
+        EXPECT_EQ(par.stats.windows, serial.windows)
+            << width << " threads";
+        EXPECT_EQ(dump(par.stats), want)
+            << "merged stats dump differs from serial at " << width
+            << " threads";
+        // One checkpoint per window: a full root, deltas after.
+        ASSERT_EQ(par.checkpoints.size(), par.stats.windows);
+        EXPECT_FALSE(par.checkpoints.front().delta);
+        for (size_t i = 1; i < par.checkpoints.size(); ++i)
+            EXPECT_TRUE(par.checkpoints[i].delta) << "window " << i;
+    }
+}
+
+} // namespace
+} // namespace onespec

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "adl/encexpr.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "iface/registry.hpp"
 #include "isa/isa.hpp"
 #include "runtime/context.hpp"
@@ -311,6 +312,103 @@ TEST_P(FuzzLoopTest, BackendsAgreeOnRandomControlFlow)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIsas, FuzzLoopTest,
+                         ::testing::ValuesIn(fuzzCases()),
+                         [](const auto &info) {
+                             return info.param.isa + "_s" +
+                                    std::to_string(info.param.seed);
+                         });
+
+/**
+ * Checkpoint round-trip family: run a random control-flow program to a
+ * random midpoint, capture, push the checkpoint through the binary
+ * container (encode+decode), restore into a *fresh* context, resume --
+ * and require the resumed run to be indistinguishable from never having
+ * stopped, on every back end.  Since both the program and the cut point
+ * are random, this sweeps checkpoint coverage across decode caches,
+ * block caches, speculation journals, and every ISA's state layout.
+ */
+class FuzzCkptTest : public ::testing::TestWithParam<FuzzCfg>
+{
+};
+
+TEST_P(FuzzCkptTest, MidRunCheckpointResumesBitIdentically)
+{
+    const FuzzCfg &cfg = GetParam();
+    auto spec = loadIsa(cfg.isa);
+    std::mt19937 rng(cfg.seed ^ 0xc4e97000u);
+
+    // The twelve standard interface definitions, plus the interpreter
+    // (back end index -1).
+    const std::vector<const char *> buildsets = {
+        "BlockMinNo", "BlockDecNo", "BlockDecYes", "BlockAllNo",
+        "BlockAllYes", "OneMinNo",  "OneDecNo",    "OneDecYes",
+        "OneAllNo",   "OneAllYes",  "StepAllNo",   "StepAllYes"};
+
+    for (int round = 0; round < 3; ++round) {
+        uint32_t pseed = rng();
+        std::mt19937 prng(pseed);
+        Program prog = randomLoopProgram(*spec, prng);
+
+        for (int b = -1; b < static_cast<int>(buildsets.size()); ++b) {
+            auto make = [&](SimContext &c) {
+                return b < 0 ? makeInterpSimulator(c, "OneAllNo")
+                             : SimRegistry::instance().create(
+                                   c, buildsets[b]);
+            };
+            const char *name = b < 0 ? "interp" : buildsets[b];
+
+            // Reference: uninterrupted run on this back end.
+            SimContext ref(*spec);
+            ref.load(prog);
+            auto rsim = make(ref);
+            ASSERT_NE(rsim, nullptr) << cfg.isa << "/" << name;
+            RunResult rr = rsim->run(100'000);
+            ASSERT_EQ(static_cast<int>(rr.status),
+                      static_cast<int>(RunStatus::Halted))
+                << cfg.isa << "/" << name << " seed=" << pseed;
+            ASSERT_GT(rr.instrs, 1u);
+
+            // Cut the same execution at a random midpoint.
+            uint64_t mid = 1 + prng() % (rr.instrs - 1);
+            SimContext a(*spec);
+            a.load(prog);
+            auto asim = make(a);
+            RunResult r1 = asim->run(mid);
+            ASSERT_EQ(static_cast<int>(r1.status),
+                      static_cast<int>(RunStatus::Ok))
+                << cfg.isa << "/" << name << " seed=" << pseed
+                << " mid=" << mid;
+            ckpt::Checkpoint ck =
+                ckpt::decode(ckpt::encode(ckpt::capture(a)));
+
+            // Restore into a fresh context and resume to completion.
+            SimContext res(*spec);
+            res.load(prog);
+            auto bsim = make(res);
+            ckpt::restore(res, ck);
+            bsim->onStateRestored();
+            RunResult r2 = bsim->run(100'000);
+
+            EXPECT_EQ(static_cast<int>(r2.status),
+                      static_cast<int>(rr.status))
+                << cfg.isa << "/" << name << " seed=" << pseed
+                << " mid=" << mid;
+            EXPECT_EQ(mid + r2.instrs, rr.instrs)
+                << cfg.isa << "/" << name << " seed=" << pseed
+                << " mid=" << mid;
+            EXPECT_EQ(res.os().exitCode(), ref.os().exitCode())
+                << cfg.isa << "/" << name << " seed=" << pseed;
+            EXPECT_EQ(res.os().output(), ref.os().output())
+                << cfg.isa << "/" << name << " seed=" << pseed;
+            EXPECT_TRUE(res.state() == ref.state())
+                << cfg.isa << "/" << name << " seed=" << pseed
+                << " mid=" << mid
+                << ": state diverged after checkpoint resume";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, FuzzCkptTest,
                          ::testing::ValuesIn(fuzzCases()),
                          [](const auto &info) {
                              return info.param.isa + "_s" +

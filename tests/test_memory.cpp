@@ -3,6 +3,8 @@
  * Unit tests for the sparse paged memory.
  */
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "runtime/memory.hpp"
@@ -127,6 +129,146 @@ TEST(Memory, PageCacheSurvivesInterleavedPages)
         EXPECT_EQ(m.read(Memory::kPageSize * 3 + i, 1, f),
                   static_cast<uint64_t>(i + 1) & 0xff);
     }
+}
+
+// ---------------------------------------------------------------------
+// Dirty-page tracking (what the checkpoint layer's deltas rest on)
+// ---------------------------------------------------------------------
+
+TEST(MemoryDirty, EpochAdvancesAndMarksSubsequentWrites)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    EXPECT_EQ(m.currentEpoch(), 1u);
+    m.write(0x1000, 1, 8, f);
+    EXPECT_EQ(m.pageEpoch(0), 1u);
+
+    uint64_t mark = m.newEpoch();
+    EXPECT_EQ(mark, 2u);
+    EXPECT_EQ(m.dirtyPageCount(mark), 0u); // nothing written since
+
+    m.write(0x2000, 2, 8, f); // same page, re-dirtied
+    EXPECT_EQ(m.pageEpoch(0), mark);
+    EXPECT_EQ(m.dirtyPageCount(mark), 1u);
+    EXPECT_EQ(m.pageEpoch(99), 0u); // unallocated pages have epoch 0
+}
+
+TEST(MemoryDirty, CrossPageWriteDirtiesBothPages)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    // Pre-allocate both pages in an old epoch, then straddle the
+    // boundary: the single write must re-mark *both* sides.
+    m.write(Memory::kPageSize - 8, 0, 8, f);
+    m.write(Memory::kPageSize, 0, 8, f);
+    uint64_t mark = m.newEpoch();
+    m.write(Memory::kPageSize - 4, 0x1122334455667788ull, 8, f);
+    EXPECT_EQ(m.pageEpoch(0), mark);
+    EXPECT_EQ(m.pageEpoch(1), mark);
+    EXPECT_EQ(m.dirtyPageCount(mark), 2u);
+}
+
+TEST(MemoryDirty, WriteCacheCannotSkipReMarkingAfterNewEpoch)
+{
+    // Regression guard for the write fast path: a page sitting in the
+    // one-entry write cache is already marked for the current epoch; a
+    // checkpoint (newEpoch) must force its next write back through the
+    // slow path so the page is re-marked in the new epoch.
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x100, 1, 8, f); // page 0 now cached for epoch 1
+    uint64_t mark = m.newEpoch();
+    EXPECT_EQ(m.dirtyPageCount(mark), 0u);
+    m.write(0x108, 2, 8, f); // hits the same page immediately
+    EXPECT_EQ(m.pageEpoch(0), mark)
+        << "write cache let a post-checkpoint write keep the old epoch";
+    EXPECT_EQ(m.dirtyPageCount(mark), 1u);
+}
+
+TEST(MemoryDirty, ReadsNeverDirty)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x1000, 42, 8, f);
+    uint64_t mark = m.newEpoch();
+    (void)m.read(0x1000, 8, f);
+    (void)m.readByte(0x1001);
+    uint8_t buf[256];
+    m.readBlock(0x1000, buf, sizeof(buf));
+    EXPECT_EQ(m.dirtyPageCount(mark), 0u);
+    EXPECT_EQ(m.pageEpoch(0), 1u);
+}
+
+TEST(MemoryDirty, BulkWritesDirtyEveryTouchedPage)
+{
+    Memory m;
+    uint64_t mark = m.newEpoch();
+    std::vector<uint8_t> blob(3 * Memory::kPageSize);
+    m.writeBlock(Memory::kPageSize / 2, blob.data(), blob.size());
+    // Half page + 3 full pages of span -> 4 pages touched.
+    EXPECT_EQ(m.dirtyPageCount(mark), 4u);
+}
+
+TEST(MemoryDirty, InstallPageOverwritesPreexistingContents)
+{
+    // The delta-restore path: install a page image over a context that
+    // already holds pages (the parent checkpoint's memory).
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x0, 0xaaaaaaaaaaaaaaaaull, 8, f);
+    m.write(Memory::kPageSize, 0xbbbbbbbbbbbbbbbbull, 8, f);
+    uint64_t mark = m.newEpoch();
+
+    std::vector<uint8_t> img(Memory::kPageSize, 0xcd);
+    m.installPage(0, img.data());
+    EXPECT_EQ(m.read(0x0, 8, f), 0xcdcdcdcdcdcdcdcdull);
+    // The untouched neighbor keeps both contents and old epoch.
+    EXPECT_EQ(m.read(Memory::kPageSize, 8, f), 0xbbbbbbbbbbbbbbbbull);
+    EXPECT_EQ(m.pageEpoch(0), mark);
+    EXPECT_EQ(m.pageEpoch(1), 1u);
+
+    // Installing at a fresh index allocates.
+    m.installPage(7, img.data());
+    EXPECT_EQ(m.read(7 * Memory::kPageSize, 8, f),
+              0xcdcdcdcdcdcdcdcdull);
+    EXPECT_EQ(m.pageCount(), 3u);
+}
+
+TEST(MemoryDirty, ForEachPageReportsEpochs)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x0, 1, 8, f);
+    uint64_t mark = m.newEpoch();
+    m.write(Memory::kPageSize * 5, 2, 8, f);
+
+    size_t seen = 0, dirty = 0;
+    m.forEachPage([&](uint64_t idx, const uint8_t *data, uint64_t e) {
+        ASSERT_NE(data, nullptr);
+        ++seen;
+        if (e >= mark) {
+            ++dirty;
+            EXPECT_EQ(idx, 5u);
+        }
+    });
+    EXPECT_EQ(seen, 2u);
+    EXPECT_EQ(dirty, 1u);
+}
+
+TEST(MemoryDirty, ClearKeepsEpochClockRunning)
+{
+    // A checkpoint's epoch mark must stay meaningful across a clear
+    // (full restore does clear-then-install): pages written afterwards
+    // still compare >= the old mark.
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x0, 1, 8, f);
+    uint64_t mark = m.newEpoch();
+    m.clear();
+    EXPECT_EQ(m.currentEpoch(), mark);
+    m.write(0x0, 2, 8, f);
+    EXPECT_EQ(m.pageEpoch(0), mark);
+    EXPECT_EQ(m.dirtyPageCount(mark), 1u);
 }
 
 } // namespace

@@ -29,6 +29,14 @@ Validates two things about each report:
    physical (>= 4 hardware threads) the top-thread-count speedup must
    clear a 2x floor.
 
+4. Checkpoint-parallel sampling (results.ckpt_sampling, written by
+   bench_ckpt_sampling): per-workload rows with serial/parallel wall
+   clocks and checkpoint container sizes, the serial-bit-identity
+   cross-check must have run for every row, average delta container
+   size must not exceed the full container size, and on hosts with
+   >= 4 hardware threads checkpoint-parallel must beat serial wall
+   clock (with tolerance).
+
 With --smoke the speed comparisons use generous tolerance factors:
 smoke runs are short and wall-clock noise can locally reorder
 neighboring cells without the overall shape being wrong.
@@ -69,6 +77,10 @@ class Checker:
         # Fleet curve: short smoke points are noisier than full runs.
         self.fleet_tolerance = 0.70 if smoke else 0.85
         self.fleet_speedup_floor = 2.0
+        # Checkpoint-parallel vs serial: phase-1 checkpointing overhead
+        # eats into the win, so the floor is just "not slower" with
+        # smoke-noise headroom; wider hosts should comfortably clear it.
+        self.ckpt_speedup_floor = 0.9 if smoke else 1.0
 
     def fail(self, msg):
         self.errors.append(msg)
@@ -318,6 +330,75 @@ class Checker:
                       f"for the {self.fleet_speedup_floor}x floor; "
                       f"determinism and curve shape still checked")
 
+    # -- checkpoint-parallel sampling -----------------------------------
+
+    def check_ckpt_sampling(self, doc):
+        results = doc.get("results")
+        if not isinstance(results, dict) or "ckpt_sampling" not in results:
+            return
+        rows = results["ckpt_sampling"]
+        if not isinstance(rows, list) or not rows:
+            self.fail("results.ckpt_sampling: empty or not a list")
+            return
+        if results.get("determinism_checked") is not True:
+            self.fail("results.determinism_checked is not true")
+
+        num = (int, float)
+        for key in ("serial_total_ns", "parallel_total_ns",
+                    "full_bytes_total", "delta_bytes_total",
+                    "delta_checkpoints"):
+            v = self.expect(results, key, (int,), "results")
+            if v is not None and v < 0:
+                self.fail(f"results.{key}: negative")
+        self.expect(results, "speedup", num, "results")
+
+        for i, row in enumerate(rows):
+            where = f"ckpt_sampling[{i}]"
+            if not isinstance(row, dict):
+                self.fail(f"{where}: not an object")
+                continue
+            self.expect(row, "workload", (str,), where)
+            for key in ("windows", "serial_wall_ns", "parallel_wall_ns",
+                        "ff_ns", "measure_ns", "full_bytes",
+                        "delta_count"):
+                v = self.expect(row, key, (int,), where)
+                if v is not None and v < 0:
+                    self.fail(f"{where}: {key} negative")
+            for key in ("windows", "serial_wall_ns", "parallel_wall_ns",
+                        "full_bytes"):
+                if isinstance(row.get(key), int) and row[key] == 0:
+                    self.fail(f"{where}: {key} must be positive")
+            self.expect(row, "speedup", num, where)
+            delta_avg = self.expect(row, "delta_bytes_avg", num, where)
+            if row.get("identical_to_serial") is not True:
+                self.fail(f"{where}: identical_to_serial is not true")
+            # Delta containers must never exceed the full container they
+            # are a delta of: equal page counts would already mean the
+            # dirty-page tracking failed.
+            full = row.get("full_bytes")
+            if (isinstance(full, int) and isinstance(delta_avg, num) and
+                    row.get("delta_count", 0) > 0 and delta_avg > full):
+                self.fail(f"{where}: avg delta container {delta_avg:.0f}B "
+                          f"exceeds full container {full}B")
+        if self.errors:
+            return
+
+        hw = doc.get("meta", {}).get("hw_concurrency", 0)
+        if not isinstance(hw, int) or hw < 1:
+            self.fail("meta.hw_concurrency missing or invalid")
+            return
+        speedup = results.get("speedup", 0.0)
+        self.note(f"ckpt: {speedup:.2f}x vs serial sampling at "
+                  f"{hw} threads")
+        if hw >= 4 and speedup < self.ckpt_speedup_floor:
+            self.fail(f"ckpt_sampling: checkpoint-parallel is "
+                      f"{speedup:.2f}x vs serial at {hw} threads "
+                      f"(floor {self.ckpt_speedup_floor}x)")
+        elif hw < 4:
+            self.note(f"ckpt: host too narrow ({hw} hardware threads) "
+                      f"for the speedup floor; determinism, schema, and "
+                      f"delta<=full still checked")
+
     # -- driver ---------------------------------------------------------
 
     def run(self):
@@ -331,6 +412,7 @@ class Checker:
         self.check_geomeans(doc)
         self.check_shapes(doc)
         self.check_fleet(doc)
+        self.check_ckpt_sampling(doc)
         return not self.errors
 
 
