@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Fault containment, measured rather than asserted:
+ *
+ *  1. Overhead.  The Memory/OsEmulator fault hooks cost one never-taken
+ *     branch when detached; this phase runs the same fleet batch with
+ *     injection fully off (null hooks, the production path) and with an
+ *     armed-but-never-firing plan (hooks installed, worst honest case)
+ *     and reports the throughput delta.  Best-of-N fleet runs per
+ *     configuration keep scheduler noise out of the ratio.
+ *
+ *  2. Detection.  Seeded plans drawn from the *guaranteed-detectable*
+ *     menu (undecodable-instruction corruption, address-limit PC flips,
+ *     checkpoint bit-flips/truncation) are injected across every ISA on
+ *     both back ends, through the full SimFleet containment path.  A
+ *     fault counts as detected if the job faults (RunStatus::Fault) or
+ *     is quarantined (CkptError etc.); the rate must be 1.0 -- the
+ *     detection machinery, not luck, catches every one.
+ *
+ * Emits BENCH_fault_containment.json; tools/check_bench_json.py
+ * enforces the overhead ceiling and the detection-rate floor.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "fault/fault.hpp"
+#include "parallel/fleet.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+using onespec::fault::FaultOp;
+using onespec::fault::FaultPlan;
+using onespec::parallel::FleetJob;
+using onespec::parallel::FleetReport;
+using onespec::parallel::SimFleet;
+
+namespace {
+
+std::vector<FleetJob>
+makeJobs(const std::string &buildset, uint64_t max_instrs,
+         const FaultPlan *plan)
+{
+    std::vector<FleetJob> jobs;
+    for (const auto &isa : shippedIsas()) {
+        IsaWorkloads &w = workloadsFor(isa);
+        for (const auto &[kname, prog] : w.programs) {
+            FleetJob j;
+            j.spec = w.spec.get();
+            j.program = &prog;
+            j.buildset = buildset;
+            j.maxInstrs = max_instrs;
+            j.name = isa + "/" + kname;
+            j.faultPlan = plan;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+/** Best aggregate MIPS over @p repeats fleet runs of @p jobs. */
+double
+bestMips(SimFleet &fleet, const std::vector<FleetJob> &jobs, int repeats)
+{
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+        FleetReport rep = fleet.run(jobs);
+        for (const auto &res : rep.results) {
+            if (res.quarantined || res.run.status == RunStatus::Fault) {
+                std::fprintf(stderr, "overhead job failed: %s\n",
+                             res.error.c_str());
+                std::exit(1);
+            }
+        }
+        best = std::max(best, rep.aggregateMips());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t max_instrs = 2'000'000;
+    unsigned seeds_per_case = 4;
+    int repeats = 3;
+    std::string buildset = "BlockMinNo";
+    std::string json_path;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
+            max_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--buildset") == 0 && i + 1 < argc) {
+            buildset = argv[++i];
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            max_instrs = 250'000;
+            seeds_per_case = 2;
+            repeats = 2;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    BenchReport report("fault_containment");
+    report.setParam("buildset", stats::Json(buildset));
+    report.setParam("max_instrs_per_job", stats::Json(max_instrs));
+    report.setParam("smoke", stats::Json(smoke));
+
+    // ---- Phase 1: overhead of the containment layer -------------------
+    std::printf("FAULT CONTAINMENT: hook overhead + detection rate\n\n");
+
+    std::vector<FleetJob> off_jobs = makeJobs(buildset, max_instrs, nullptr);
+
+    // Armed: hooks installed, one event that can never fire (trigger far
+    // past any access count this workload reaches).
+    FaultPlan armed;
+    armed.events.push_back({FaultOp::MemReadBitFlip,
+                            ~uint64_t{0} >> 1, 0, 0, false});
+    std::vector<FleetJob> armed_jobs =
+        makeJobs(buildset, max_instrs, &armed);
+
+    SimFleet fleet(0);
+    double mips_off = bestMips(fleet, off_jobs, repeats);
+    double mips_armed = bestMips(fleet, armed_jobs, repeats);
+    double overhead_pct =
+        mips_armed > 0 ? (mips_off / mips_armed - 1.0) * 100.0 : 0.0;
+    std::printf("injection off:   %10.2f MIPS\n", mips_off);
+    std::printf("injection armed: %10.2f MIPS  (overhead %.2f%%)\n\n",
+                mips_armed, overhead_pct);
+
+    // ---- Phase 2: detection rate --------------------------------------
+    // Healthy reference hash per (isa, backend), then seeded plans from
+    // the guaranteed-detectable menu against the same job.
+    const std::vector<FaultOp> state_menu = {FaultOp::CorruptInstr,
+                                             FaultOp::PcBitFlip};
+    uint64_t injected = 0, detected = 0;
+    uint64_t state_faults = 0, container_faults = 0;
+
+    std::printf("%-10s %-10s %8s %10s\n", "isa", "backend", "injected",
+                "detected");
+    for (const auto &isa : shippedIsas()) {
+        IsaWorkloads &w = workloadsFor(isa);
+        const Program &prog = w.programs.front().second;
+        for (bool interp : {true, false}) {
+            uint64_t inj_here = 0, det_here = 0;
+
+            // State-class faults through the fleet's chunked run path.
+            std::vector<FaultPlan> plans;
+            std::vector<FleetJob> jobs;
+            for (unsigned s = 0; s < seeds_per_case; ++s) {
+                plans.push_back(FaultPlan::random(
+                    0x9000 + s, std::max<uint64_t>(max_instrs / 2, 2),
+                    state_menu, 1));
+            }
+            for (unsigned s = 0; s < seeds_per_case; ++s) {
+                FleetJob j;
+                j.spec = w.spec.get();
+                j.program = &prog;
+                j.buildset = buildset;
+                j.maxInstrs = max_instrs;
+                j.name = isa + "/seed" + std::to_string(s);
+                j.useInterp = interp;
+                j.faultPlan = &plans[s];
+                jobs.push_back(std::move(j));
+            }
+            FleetReport rep = fleet.run(jobs);
+            for (const auto &res : rep.results) {
+                ++inj_here;
+                ++state_faults;
+                det_here += res.quarantined ||
+                            res.run.status == RunStatus::Fault;
+            }
+
+            // Container-class faults: a checkpoint captured mid-run,
+            // then restored from a corrupted serialization.
+            SimContext cctx(*w.spec);
+            cctx.load(prog);
+            auto csim = interp
+                ? std::unique_ptr<FunctionalSimulator>(
+                      makeInterpSimulator(cctx, buildset))
+                : SimRegistry::instance().create(cctx, buildset);
+            csim->run(max_instrs / 2);
+            std::vector<uint8_t> image = ckpt::encode(ckpt::capture(cctx));
+            std::vector<FaultPlan> cplans;
+            for (unsigned s = 0; s < seeds_per_case; ++s) {
+                cplans.push_back(FaultPlan::random(
+                    0x5000 + s, image.size(),
+                    {FaultOp::CkptBitFlip, FaultOp::CkptTruncate}, 1));
+            }
+            std::vector<FleetJob> cjobs;
+            for (unsigned s = 0; s < seeds_per_case; ++s) {
+                FleetJob j;
+                j.spec = w.spec.get();
+                j.program = &prog;
+                j.buildset = buildset;
+                j.maxInstrs = max_instrs;
+                j.name = isa + "/ckpt" + std::to_string(s);
+                j.useInterp = interp;
+                j.restoreImages.push_back(&image);
+                j.faultPlan = &cplans[s];
+                cjobs.push_back(std::move(j));
+            }
+            FleetReport crep = fleet.run(cjobs);
+            for (const auto &res : crep.results) {
+                ++inj_here;
+                ++container_faults;
+                det_here += res.quarantined ||
+                            res.run.status == RunStatus::Fault;
+            }
+
+            injected += inj_here;
+            detected += det_here;
+            std::printf("%-10s %-10s %8llu %10llu\n", isa.c_str(),
+                        interp ? "interp" : "generated",
+                        static_cast<unsigned long long>(inj_here),
+                        static_cast<unsigned long long>(det_here));
+        }
+    }
+
+    double detection_rate =
+        injected ? static_cast<double>(detected) /
+                       static_cast<double>(injected)
+                 : 0.0;
+    std::printf("\ndetection: %llu/%llu = %.3f\n",
+                static_cast<unsigned long long>(detected),
+                static_cast<unsigned long long>(injected), detection_rate);
+
+    stats::Json fc = stats::Json::object();
+    fc.set("mips_off", stats::Json(mips_off));
+    fc.set("mips_armed", stats::Json(mips_armed));
+    fc.set("overhead_pct", stats::Json(overhead_pct));
+    fc.set("injected", stats::Json(injected));
+    fc.set("detected", stats::Json(detected));
+    fc.set("state_faults", stats::Json(state_faults));
+    fc.set("container_faults", stats::Json(container_faults));
+    fc.set("detection_rate", stats::Json(detection_rate));
+    report.addResult("fault_containment", std::move(fc));
+    report.write(json_path);
+    return detection_rate == 1.0 ? 0 : 1;
+}

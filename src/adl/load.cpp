@@ -6,6 +6,7 @@
 #include "adl/parser.hpp"
 #include "adl/sema.hpp"
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -14,7 +15,7 @@ readFileOrFatal(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        ONESPEC_FATAL("cannot read '", path, "'");
+        throw ResourceError("loader", "cannot read '" + path + "'");
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
@@ -41,7 +42,7 @@ loadSpecOrFatal(const std::vector<std::string> &paths)
     DiagnosticEngine diags;
     auto spec = loadSpec(paths, diags);
     if (!spec)
-        ONESPEC_FATAL("description errors:\n", diags.str());
+        throw SpecError("adl", "description errors:\n" + diags.str());
     return spec;
 }
 

@@ -16,7 +16,7 @@
 
 namespace onespec {
 
-/** Read one file; fatal() if it cannot be read. */
+/** Read one file; throws ResourceError if it cannot be read. */
 std::string readFileOrFatal(const std::string &path);
 
 /**
@@ -26,7 +26,9 @@ std::string readFileOrFatal(const std::string &path);
 std::unique_ptr<Spec> loadSpec(const std::vector<std::string> &paths,
                                DiagnosticEngine &diags);
 
-/** Like loadSpec but fatal()s with the diagnostics on any error. */
+/** Like loadSpec but throws SpecError carrying the diagnostics.  The
+ *  "OrFatal" names are kept for the many call sites; tool mains catch
+ *  SimError and exit 1, preserving the old CLI behavior. */
 std::unique_ptr<Spec> loadSpecOrFatal(const std::vector<std::string> &paths);
 
 } // namespace onespec

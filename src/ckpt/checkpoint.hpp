@@ -46,13 +46,13 @@
 namespace onespec {
 namespace ckpt {
 
-/** Raised for any invalid, damaged, or mismatched checkpoint. */
-class CkptError : public std::runtime_error
+/** Raised for any invalid, damaged, or mismatched checkpoint.  A
+ *  checkpoint is serialized guest state, so this is a GuestError: the
+ *  fleet quarantines the job that supplied it and never retries. */
+class CkptError : public GuestError
 {
   public:
-    explicit CkptError(const std::string &what)
-        : std::runtime_error(what)
-    {}
+    explicit CkptError(const std::string &what) : GuestError("ckpt", what) {}
 };
 
 /** Container format version this build reads and writes. */

@@ -8,6 +8,7 @@
 #include "iface/dyninst.hpp"
 #include "support/bitutil.hpp"
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -77,6 +78,7 @@ class CppGen
         SlotMask vis = 0;
         int faultLabel = 0;
         bool sawMayFault = false;
+        int loopLabel = 0;
     };
 
     std::string emitExpr(const Expr &e, ECtx &ctx);
@@ -214,8 +216,10 @@ CppGen::planBuildsets()
         }
     }
     if (selected_.empty())
-        ONESPEC_FATAL("no buildset selected for code generation",
-                      only_.empty() ? "" : (" (wanted '" + only_ + "')"));
+        throw SpecError("codegen",
+                        "no buildset selected for code generation" +
+                            (only_.empty() ? std::string()
+                                           : " (wanted '" + only_ + "')"));
 }
 
 // ---------------------------------------------------------------------
@@ -521,14 +525,25 @@ CppGen::emitStmt(const Stmt &s, ECtx &ctx, int ind)
       }
 
       case Stmt::Kind::While: {
-        line(ind, "while ((" + emitExpr(*s.cond, ctx) + ") != 0)");
+        // Guarded like the interpreter (same kActionLoopGuard constant),
+        // so a divergent action loop faults the job instead of hanging
+        // the process, and both back ends fault at the same iteration.
+        std::string lg = "lg_" + std::to_string(ctx.loopLabel++);
         line(ind, "{");
-        emitStmt(*s.thenStmt, ctx, ind + 1);
+        line(ind + 1, "uint64_t " + lg + " = 0;");
+        line(ind + 1, "while ((" + emitExpr(*s.cond, ctx) + ") != 0)");
+        line(ind + 1, "{");
+        emitStmt(*s.thenStmt, ctx, ind + 2);
         if (stmtMayFault(*s.thenStmt)) {
-            line(ind + 1,
+            line(ind + 2,
                  "if (di.fault != ::onespec::FaultKind::None) goto "
                  "act_end_" + std::to_string(ctx.faultLabel) + ";");
         }
+        line(ind + 2,
+             "if (++" + lg + " > ::onespec::kActionLoopGuard) "
+             "::onespec::throwRunawayLoop(\"" +
+             (ctx.instr ? ctx.instr->name : std::string("?")) + "\");");
+        line(ind + 1, "}");
         line(ind, "}");
         return;
       }

@@ -23,6 +23,7 @@
 #include "iface/registry.hpp"
 #include "stats/trace.hpp"
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -36,7 +37,9 @@ class GenSimBase : public FunctionalSimulator
           dcache_(kDecodeCacheSize), bcache_(kBlockCacheSize)
     {
         if (!bs_)
-            ONESPEC_FATAL("context spec has no buildset '", bs_name, "'");
+            throw SpecError("gensim", std::string("context spec has no "
+                                                  "buildset '") +
+                                          bs_name + "'");
         stateWords_ = ctx.state().rawData();
     }
 

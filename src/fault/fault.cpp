@@ -1,0 +1,244 @@
+#include "fault/fault.hpp"
+
+namespace onespec {
+namespace fault {
+
+const char *
+faultOpName(FaultOp op)
+{
+    switch (op) {
+      case FaultOp::MemReadBitFlip:  return "mem_read_bitflip";
+      case FaultOp::MemWriteBitFlip: return "mem_write_bitflip";
+      case FaultOp::MemAccessFault:  return "mem_access_fault";
+      case FaultOp::SyscallFail:     return "syscall_fail";
+      case FaultOp::CorruptInstr:    return "corrupt_instr";
+      case FaultOp::PcBitFlip:       return "pc_bitflip";
+      case FaultOp::RegBitFlip:      return "reg_bitflip";
+      case FaultOp::CkptBitFlip:     return "ckpt_bitflip";
+      case FaultOp::CkptTruncate:    return "ckpt_truncate";
+    }
+    return "?";
+}
+
+bool
+isStateFault(FaultOp op)
+{
+    return op == FaultOp::CorruptInstr || op == FaultOp::PcBitFlip ||
+           op == FaultOp::RegBitFlip;
+}
+
+namespace {
+
+/** splitmix64: the one-integer seeded generator used everywhere a plan
+ *  needs a derived value, so plans replay across platforms. */
+uint64_t
+mix(uint64_t &s)
+{
+    s += 0x9e3779b97f4a7c15ull;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::random(uint64_t seed, uint64_t max_trigger,
+                  const std::vector<FaultOp> &menu, unsigned count)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    if (menu.empty() || max_trigger == 0)
+        return plan;
+    uint64_t s = seed;
+    for (unsigned i = 0; i < count; ++i) {
+        FaultEvent e;
+        e.op = menu[mix(s) % menu.size()];
+        e.trigger = 1 + mix(s) % max_trigger;
+        e.target = mix(s);
+        e.bit = static_cast<unsigned>(mix(s) % 64);
+        plan.events.push_back(e);
+    }
+    return plan;
+}
+
+void
+FaultInjector::attach(SimContext &ctx)
+{
+    detach();
+    ctx_ = &ctx;
+    reads_ = writes_ = syscalls_ = 0;
+    ctx.mem().setFaultHook(this);
+    ctx.os().setSyscallHook(this);
+}
+
+void
+FaultInjector::detach()
+{
+    if (!ctx_)
+        return;
+    ctx_->mem().setFaultHook(nullptr);
+    ctx_->os().setSyscallHook(nullptr);
+    ctx_ = nullptr;
+}
+
+void
+FaultInjector::onRead(uint64_t, unsigned len, uint64_t &value,
+                      FaultKind &fault)
+{
+    ++reads_;
+    for (auto &e : plan_.events) {
+        if (e.fired)
+            continue;
+        if (e.op == FaultOp::MemReadBitFlip && e.trigger == reads_) {
+            value ^= uint64_t{1} << (e.bit % (8 * len));
+            e.fired = true;
+        } else if (e.op == FaultOp::MemAccessFault &&
+                   e.trigger == reads_ + writes_) {
+            fault = FaultKind::BadMemory;
+            e.fired = true;
+        }
+    }
+}
+
+void
+FaultInjector::onWrite(uint64_t, unsigned len, uint64_t &value,
+                       FaultKind &fault)
+{
+    ++writes_;
+    for (auto &e : plan_.events) {
+        if (e.fired)
+            continue;
+        if (e.op == FaultOp::MemWriteBitFlip && e.trigger == writes_) {
+            value ^= uint64_t{1} << (e.bit % (8 * len));
+            e.fired = true;
+        } else if (e.op == FaultOp::MemAccessFault &&
+                   e.trigger == reads_ + writes_) {
+            fault = FaultKind::BadMemory;
+            e.fired = true;
+        }
+    }
+}
+
+bool
+FaultInjector::onSyscall(uint64_t)
+{
+    ++syscalls_;
+    bool fail = false;
+    for (auto &e : plan_.events) {
+        if (!e.fired && e.op == FaultOp::SyscallFail &&
+            e.trigger == syscalls_) {
+            e.fired = true;
+            fail = true;
+        }
+    }
+    return fail;
+}
+
+uint64_t
+FaultInjector::nextStateTrigger() const
+{
+    uint64_t next = ~uint64_t{0};
+    for (const auto &e : plan_.events)
+        if (!e.fired && isStateFault(e.op) && e.trigger < next)
+            next = e.trigger;
+    return next;
+}
+
+bool
+FaultInjector::applyStateFaults(SimContext &ctx)
+{
+    bool any = false;
+    for (auto &e : plan_.events) {
+        if (e.fired || !isStateFault(e.op) ||
+            ctx.instrsRetired() < e.trigger)
+            continue;
+        switch (e.op) {
+          case FaultOp::CorruptInstr: {
+            // Flip a bit of the word at pc such that it no longer
+            // decodes (tries all 32 flips starting from the planned
+            // bit); if every flip still decodes, degrade to an
+            // address-limit PC fault so detection stays guaranteed.
+            uint64_t pc = ctx.state().pc();
+            uint32_t w = 0;
+            for (unsigned i = 0; i < 4; ++i)
+                w |= static_cast<uint32_t>(ctx.mem().readByte(pc + i))
+                     << (8 * i);
+            if (ctx.mem().bigEndian())
+                w = __builtin_bswap32(w);
+            bool done = false;
+            for (unsigned i = 0; i < 32 && !done; ++i) {
+                uint32_t c = w ^ (uint32_t{1} << ((e.bit + i) % 32));
+                if (ctx.spec().decode(c) < 0) {
+                    uint32_t stored =
+                        ctx.mem().bigEndian() ? __builtin_bswap32(c) : c;
+                    for (unsigned j = 0; j < 4; ++j)
+                        ctx.mem().writeByte(
+                            pc + j, static_cast<uint8_t>(stored >> (8 * j)));
+                    done = true;
+                }
+            }
+            if (!done)
+                ctx.state().setPc(pc ^ (uint64_t{1} << (48 + e.bit % 15)));
+            break;
+          }
+
+          case FaultOp::PcBitFlip:
+            // Bits [48, 62] put the PC past Memory::kAddrLimit, so the
+            // next fetch raises BadMemory deterministically.
+            ctx.state().setPc(ctx.state().pc() ^
+                              (uint64_t{1} << (48 + e.bit % 15)));
+            break;
+
+          case FaultOp::RegBitFlip: {
+            unsigned n = ctx.state().numWords();
+            if (n > 0) {
+                unsigned off = static_cast<unsigned>(e.target % n);
+                ctx.state().setRawWord(off, ctx.state().rawWord(off) ^
+                                                (uint64_t{1} << (e.bit % 64)));
+            }
+            break;
+          }
+
+          default:
+            break;
+        }
+        e.fired = true;
+        any = true;
+    }
+    return any;
+}
+
+bool
+FaultInjector::corruptContainer(std::vector<uint8_t> &bytes)
+{
+    bool any = false;
+    for (auto &e : plan_.events) {
+        if (e.fired || bytes.empty())
+            continue;
+        if (e.op == FaultOp::CkptBitFlip) {
+            bytes[e.trigger % bytes.size()] ^=
+                static_cast<uint8_t>(1u << (e.bit % 8));
+            e.fired = true;
+            any = true;
+        } else if (e.op == FaultOp::CkptTruncate) {
+            bytes.resize(e.trigger % bytes.size());
+            e.fired = true;
+            any = true;
+        }
+    }
+    return any;
+}
+
+unsigned
+FaultInjector::firedCount() const
+{
+    unsigned n = 0;
+    for (const auto &e : plan_.events)
+        n += e.fired;
+    return n;
+}
+
+} // namespace fault
+} // namespace onespec

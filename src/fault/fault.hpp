@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic fault injection: seeded plans of discrete fault events
+ * driven through the hooks in Memory, OsEmulator, and (for serialized
+ * checkpoints) plain byte-level corruption, so the detection machinery
+ * -- FaultKind, CRC rejection, RunStatus::Fault, the SimError taxonomy
+ * -- is exercised end to end instead of trusted by inspection.
+ *
+ * Everything is derived from the plan's seed: the same plan against the
+ * same workload injects the same faults at the same points, so a fuzz
+ * failure replays from two integers.
+ *
+ * Event classes and who applies them:
+ *
+ *   access faults   (MemReadBitFlip, MemWriteBitFlip, MemAccessFault,
+ *                   SyscallFail) fire inside the Memory/OsEmulator hooks
+ *                   when the running access/syscall count reaches the
+ *                   event's trigger.
+ *   state faults    (CorruptInstr, PcBitFlip, RegBitFlip) are applied by
+ *                   the *driver* between run chunks once the retired-
+ *                   instruction count reaches the trigger -- simulators
+ *                   cache decoded instructions, so perturbing state from
+ *                   a read hook would be invisible; the driver must call
+ *                   FunctionalSimulator::onStateRestored() afterwards to
+ *                   flush those caches.
+ *   container faults (CkptBitFlip, CkptTruncate) corrupt a serialized
+ *                   checkpoint image via corruptContainer().
+ *
+ * With no injector attached the hot-path cost is one never-taken branch
+ * per access (see Memory::read); bench_fault_containment measures it.
+ */
+
+#ifndef ONESPEC_FAULT_FAULT_HPP
+#define ONESPEC_FAULT_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.hpp"
+
+namespace onespec {
+namespace fault {
+
+enum class FaultOp : uint8_t
+{
+    MemReadBitFlip,  ///< flip one bit in the value of the Nth memory read
+    MemWriteBitFlip, ///< flip one bit in the value of the Nth memory write
+    MemAccessFault,  ///< raise BadMemory on the Nth memory access
+    SyscallFail,     ///< force the Nth OS call to fail with -1/error
+    CorruptInstr,    ///< make the instruction at pc undecodable at retired>=N
+    PcBitFlip,       ///< flip a high PC bit (address-limit fault) at retired>=N
+    RegBitFlip,      ///< flip one register bit at retired>=N
+    CkptBitFlip,     ///< flip one bit of a serialized checkpoint image
+    CkptTruncate,    ///< truncate a serialized checkpoint image
+};
+
+const char *faultOpName(FaultOp op);
+
+/** Whether @p op is applied between run chunks by the driver (as opposed
+ *  to firing inside an access hook or against a serialized container). */
+bool isStateFault(FaultOp op);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultOp op = FaultOp::MemReadBitFlip;
+    /** Access-class: the 1-based access/syscall ordinal to perturb.
+     *  State-class: the retired-instruction threshold.
+     *  Container-class: a byte-position selector (reduced mod size). */
+    uint64_t trigger = 0;
+    uint64_t target = 0; ///< RegBitFlip: state-word selector; else unused
+    unsigned bit = 0;    ///< bit to flip (reduced mod width at the site)
+    bool fired = false;  ///< set once the fault was actually injected
+};
+
+/** A seeded, replayable schedule of fault events. */
+struct FaultPlan
+{
+    uint64_t seed = 0;
+    std::vector<FaultEvent> events;
+
+    /** True when no event could ever fire (empty plan). */
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Derive a plan of @p count events from @p seed, ops drawn uniformly
+     * from @p menu, triggers in [1, max_trigger].  Deterministic.
+     */
+    static FaultPlan random(uint64_t seed, uint64_t max_trigger,
+                            const std::vector<FaultOp> &menu,
+                            unsigned count = 1);
+};
+
+/**
+ * Applies a FaultPlan to one SimContext.  Implements the Memory and
+ * OsEmulator hook interfaces for access-class events and exposes driver
+ * entry points for state- and container-class events.  One injector
+ * serves one context; the fleet creates one per faulted job.
+ */
+class FaultInjector final : public Memory::FaultHook,
+                            public OsEmulator::SyscallHook
+{
+  public:
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+    ~FaultInjector() override { detach(); }
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install the hooks on @p ctx (detaching from any previous one). */
+    void attach(SimContext &ctx);
+    void detach();
+
+    // Memory::FaultHook
+    void onRead(uint64_t addr, unsigned len, uint64_t &value,
+                FaultKind &fault) override;
+    void onWrite(uint64_t addr, unsigned len, uint64_t &value,
+                 FaultKind &fault) override;
+
+    // OsEmulator::SyscallHook
+    bool onSyscall(uint64_t num) override;
+
+    /** Smallest unfired state-class trigger, or UINT64_MAX if none --
+     *  the driver chunks its run so it stops at this retired count. */
+    uint64_t nextStateTrigger() const;
+
+    /**
+     * Apply every unfired state-class event whose trigger has been
+     * reached (ctx.instrsRetired() >= trigger).  Returns true if any
+     * state was perturbed; the caller must then invalidate simulator
+     * caches via FunctionalSimulator::onStateRestored().
+     */
+    bool applyStateFaults(SimContext &ctx);
+
+    /** Apply container-class events to a serialized checkpoint image.
+     *  Returns true if @p bytes was modified. */
+    bool corruptContainer(std::vector<uint8_t> &bytes);
+
+    /** Number of events that have actually been injected so far. */
+    unsigned firedCount() const;
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    FaultPlan plan_;
+    SimContext *ctx_ = nullptr;
+    uint64_t reads_ = 0;
+    uint64_t writes_ = 0;
+    uint64_t syscalls_ = 0;
+};
+
+} // namespace fault
+} // namespace onespec
+
+#endif // ONESPEC_FAULT_FAULT_HPP

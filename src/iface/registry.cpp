@@ -1,6 +1,7 @@
 #include "registry.hpp"
 
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -39,10 +40,11 @@ SimRegistry::create(SimContext &ctx, const std::string &buildset) const
     for (const auto &e : entries_) {
         if (e.isa == isa && e.buildset == buildset) {
             if (e.fingerprint != ctx.spec().fingerprint) {
-                ONESPEC_FATAL(
-                    "generated simulator ", isa, "/", buildset,
-                    " was synthesized from a different description than "
-                    "the one loaded (fingerprint mismatch); re-run lisc");
+                throw SpecError(
+                    "registry",
+                    "generated simulator " + isa + "/" + buildset +
+                        " was synthesized from a different description than "
+                        "the one loaded (fingerprint mismatch); re-run lisc");
             }
             return e.factory(ctx);
         }

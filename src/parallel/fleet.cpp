@@ -1,6 +1,10 @@
 #include "fleet.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
+#include <thread>
 
 #include "iface/registry.hpp"
 #include "perf/hostcount.hpp"
@@ -56,6 +60,15 @@ FleetReport::aggregateMips() const
                   : 0.0;
 }
 
+unsigned
+FleetReport::quarantinedCount() const
+{
+    unsigned n = 0;
+    for (const auto &r : results)
+        n += r.quarantined;
+    return n;
+}
+
 SimFleet::SimFleet(unsigned threads) : pool_(threads) {}
 
 SimFleet::~SimFleet() = default;
@@ -68,9 +81,61 @@ SimFleet::threads() const
 
 namespace {
 
+[[noreturn]] void
+throwDeadline(const FleetJob &job, uint64_t elapsed_ns, uint64_t deadline_ns)
+{
+    throw DeadlineError("job '" + job.name + "' exceeded its " +
+                            std::to_string(deadline_ns / 1000000) +
+                            " ms deadline",
+                        elapsed_ns);
+}
+
+/**
+ * Chunked run loop: used only when a watchdog deadline is set or the
+ * job's fault plan schedules state-class events, so the default path
+ * stays the single sim->run(maxInstrs) call (chunk boundaries can shift
+ * block-level crossing counts, never architectural results).
+ */
+RunResult
+runChunked(const FleetJob &job, const FleetPolicy &pol,
+           FunctionalSimulator &sim, SimContext &ctx,
+           fault::FaultInjector *inj, const Stopwatch &sw)
+{
+    RunResult acc;
+    uint64_t remaining = job.maxInstrs;
+    while (true) {
+        // State-class faults due at this retired count are applied from
+        // *outside* the simulator; caches holding stale decodes must go.
+        if (inj && inj->applyStateFaults(ctx))
+            sim.onStateRestored();
+        if (remaining == 0) {
+            acc.status = RunStatus::Ok;
+            return acc;
+        }
+        uint64_t chunk = std::min(remaining, std::max<uint64_t>(
+                                                 pol.watchdogChunk, 1));
+        if (inj) {
+            // Stop exactly at the next trigger so the fault lands at
+            // instruction N, not somewhere inside the chunk after it.
+            uint64_t next = inj->nextStateTrigger();
+            if (next != ~uint64_t{0} && next > ctx.instrsRetired())
+                chunk = std::min(chunk, next - ctx.instrsRetired());
+        }
+        RunResult r = sim.run(chunk);
+        acc.instrs += r.instrs;
+        acc.status = r.status;
+        if (r.status != RunStatus::Ok)
+            return acc;
+        remaining -= std::min<uint64_t>(r.instrs, remaining);
+        if (pol.deadlineNs != 0 && sw.elapsedNs() > pol.deadlineNs)
+            throwDeadline(job, sw.elapsedNs(), pol.deadlineNs);
+    }
+}
+
 /** Run one job against its own context/simulator/registry. */
 void
-runJob(const FleetJob &job, FleetResult &out, stats::StatsRegistry &reg)
+runJob(const FleetJob &job, const FleetPolicy &pol, FleetResult &out,
+       stats::StatsRegistry &reg)
 {
     ONESPEC_ASSERT(job.spec && job.program,
                    "fleet job '", job.name, "' missing spec or program");
@@ -81,32 +146,123 @@ runJob(const FleetJob &job, FleetResult &out, stats::StatsRegistry &reg)
         sim = makeInterpSimulator(ctx, job.buildset);
     } else {
         sim = SimRegistry::instance().create(ctx, job.buildset);
-        ONESPEC_ASSERT(sim, "no generated simulator for ",
-                       job.spec->props.name, "/", job.buildset);
+        if (!sim) {
+            throw SpecError("fleet", "no generated simulator for " +
+                                         job.spec->props.name + "/" +
+                                         job.buildset);
+        }
     }
+    if (job.strictSyscalls)
+        ctx.os().setStrictUnknownSyscalls(true);
+
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (job.faultPlan && !job.faultPlan->empty()) {
+        inj = std::make_unique<fault::FaultInjector>(*job.faultPlan);
+        inj->attach(ctx);
+    }
+
     if (!job.restore.empty()) {
         ckpt::restoreChain(ctx, job.restore, &out.ckptCounters);
         // The context changed under the simulator; drop cached decodes.
         sim->onStateRestored();
     }
+    if (!job.restoreImages.empty()) {
+        // Decode in-job so a damaged container quarantines this job.
+        std::vector<ckpt::Checkpoint> owned;
+        owned.reserve(job.restoreImages.size());
+        for (const auto *img : job.restoreImages) {
+            std::vector<uint8_t> bytes = *img;
+            if (inj)
+                inj->corruptContainer(bytes);
+            owned.push_back(ckpt::decode(bytes, &out.ckptCounters));
+        }
+        std::vector<const ckpt::Checkpoint *> chain;
+        chain.reserve(owned.size());
+        for (const auto &c : owned)
+            chain.push_back(&c);
+        ckpt::restoreChain(ctx, chain, &out.ckptCounters);
+        sim->onStateRestored();
+    }
+
     Stopwatch sw;
     sw.start();
-    if (job.body)
+    if (job.body) {
         job.body(ctx, *sim, out, reg);
-    else
+        if (pol.deadlineNs != 0 && sw.elapsedNs() > pol.deadlineNs)
+            throwDeadline(job, sw.elapsedNs(), pol.deadlineNs);
+    } else if (pol.deadlineNs == 0 &&
+               (!inj || inj->nextStateTrigger() == ~uint64_t{0})) {
         out.run = sim->run(job.maxInstrs);
+    } else {
+        out.run = runChunked(job, pol, *sim, ctx, inj.get(), sw);
+    }
     out.ns = sw.elapsedNs();
     out.output = ctx.os().output();
     out.stateHash = contextStateHash(ctx, out.output);
     out.counters = sim->ifaceCounters();
+    if (inj)
+        out.faultsInjected = inj->firedCount();
     sim->publishStats(reg.group(
         fleetGroupPath(job.spec->props.name, job.buildset)));
+}
+
+/** Attempt loop around runJob: retries (ResourceError only) with
+ *  exponential backoff, then quarantine. */
+void
+runJobWithPolicy(const FleetJob &job, const FleetPolicy &pol,
+                 FleetResult &out,
+                 std::unique_ptr<stats::StatsRegistry> &reg,
+                 std::atomic<bool> &aborted)
+{
+    unsigned max_attempts = std::max(pol.maxAttempts, 1u);
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        out = FleetResult{};
+        out.attempts = attempt;
+        reg = std::make_unique<stats::StatsRegistry>();
+        std::string msg;
+        ErrorKind kind;
+        try {
+            runJob(job, pol, out, *reg);
+            return;
+        } catch (const DeadlineError &e) {
+            out.deadlineHit = true;
+            kind = e.kind();
+            msg = e.what();
+        } catch (const SimError &e) {
+            kind = e.kind();
+            msg = e.what();
+        } catch (const std::exception &e) {
+            kind = ErrorKind::Internal;
+            msg = e.what();
+        }
+        if (kind == ErrorKind::Resource && attempt < max_attempts) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                pol.backoffBaseNs << (attempt - 1)));
+            continue;
+        }
+        // Quarantine: structured record, no stats contribution (keeps
+        // the merged dump a function of job outcomes alone).
+        out.quarantined = true;
+        out.error = msg;
+        out.errorKind = kind;
+        out.run.status = RunStatus::Fault;
+        reg = std::make_unique<stats::StatsRegistry>();
+        if (!pol.keepGoing)
+            aborted.store(true, std::memory_order_relaxed);
+        return;
+    }
 }
 
 } // namespace
 
 FleetReport
 SimFleet::run(const std::vector<FleetJob> &jobs)
+{
+    return run(jobs, FleetPolicy{});
+}
+
+FleetReport
+SimFleet::run(const std::vector<FleetJob> &jobs, const FleetPolicy &policy)
 {
     FleetReport report;
     report.threads = pool_.size();
@@ -115,17 +271,33 @@ SimFleet::run(const std::vector<FleetJob> &jobs)
 
     // One registry per job, owned here, written only by the worker that
     // runs the job -- no locking anywhere near the simulation loop.
-    std::vector<stats::StatsRegistry> jobStats(jobs.size());
+    // unique_ptr so a retry can start from a genuinely fresh registry.
+    std::vector<std::unique_ptr<stats::StatsRegistry>> jobStats(jobs.size());
+    for (auto &p : jobStats)
+        p = std::make_unique<stats::StatsRegistry>();
+
+    std::atomic<bool> aborted{false};
 
     Stopwatch sw;
     sw.start();
     for (size_t j = 0; j < jobs.size(); ++j) {
-        pool_.submit([&jobs, &report, &jobStats, j] {
+        pool_.submit([&jobs, &report, &jobStats, &policy, &aborted, j] {
+            FleetResult &out = report.results[j];
+            if (aborted.load(std::memory_order_relaxed)) {
+                out.skipped = true;
+                return;
+            }
             try {
-                runJob(jobs[j], report.results[j], jobStats[j]);
+                runJobWithPolicy(jobs[j], policy, out, jobStats[j],
+                                 aborted);
             } catch (const std::exception &e) {
-                report.results[j].error = e.what();
-                report.results[j].run.status = RunStatus::Fault;
+                // runJobWithPolicy contains all expected failures; this
+                // is the last-resort belt so one job can never take the
+                // pool down.
+                out.quarantined = true;
+                out.error = e.what();
+                out.errorKind = ErrorKind::Internal;
+                out.run.status = RunStatus::Fault;
             }
         });
     }
@@ -136,7 +308,40 @@ SimFleet::run(const std::vector<FleetJob> &jobs)
     // ran what when.  Counter addition is commutative, so the *values*
     // equal a serial run; fixing the order fixes the dump order too.
     for (const auto &reg : jobStats)
-        stats::mergeInto(*report.merged, reg);
+        stats::mergeInto(*report.merged, *reg);
+
+    // Batch health, computed from the results array (job-index order,
+    // so the dump stays thread-count invariant).
+    uint64_t quarantined = 0, retries = 0, deadline = 0, skipped = 0;
+    uint64_t injected = 0;
+    uint64_t byKind[5] = {};
+    for (const auto &r : report.results) {
+        quarantined += r.quarantined;
+        retries += r.attempts > 1 ? r.attempts - 1 : 0;
+        deadline += r.deadlineHit;
+        skipped += r.skipped;
+        injected += r.faultsInjected;
+        byKind[static_cast<unsigned>(r.errorKind)] += r.quarantined;
+    }
+    auto &g = report.merged->group("fleet.health");
+    g.counter("jobs", "jobs submitted to the batch").add(jobs.size());
+    g.counter("quarantined", "jobs that failed every permitted attempt")
+        .add(quarantined);
+    g.counter("retries", "extra attempts consumed by ResourceError retries")
+        .add(retries);
+    g.counter("deadline_exceeded", "jobs that hit the watchdog deadline")
+        .add(deadline);
+    g.counter("skipped", "jobs never started (batch aborted)").add(skipped);
+    g.counter("faults_injected", "fault-plan events fired across the batch")
+        .add(injected);
+    g.counter("errors_guest", "quarantines classed GuestError")
+        .add(byKind[static_cast<unsigned>(ErrorKind::Guest)]);
+    g.counter("errors_spec", "quarantines classed SpecError")
+        .add(byKind[static_cast<unsigned>(ErrorKind::Spec)]);
+    g.counter("errors_resource", "quarantines classed ResourceError")
+        .add(byKind[static_cast<unsigned>(ErrorKind::Resource)]);
+    g.counter("errors_internal", "quarantines from non-SimError exceptions")
+        .add(byKind[static_cast<unsigned>(ErrorKind::Internal)]);
     return report;
 }
 

@@ -20,6 +20,18 @@
  * job-index order after the pool drains, so the merged tree -- values
  * AND dump order -- is also thread-count invariant.  Only wall-clock
  * fields (ns, MIPS) vary between runs.
+ *
+ * Failure containment: a job that throws SimError (malformed image,
+ * runaway action loop, damaged checkpoint, bad configuration; see
+ * support/sim_error.hpp) is *quarantined* -- its FleetResult records
+ * kind, message, attempts, and elapsed time -- while every other job
+ * completes.  FleetPolicy adds a per-job wall-clock watchdog deadline
+ * and a retry-with-exponential-backoff policy that applies only to
+ * ResourceError-class failures (Guest/Spec failures are deterministic,
+ * so retrying them only burns cycles).  Quarantined jobs contribute no
+ * stats, which keeps the merged dump bit-identical across thread counts
+ * whenever job outcomes are deterministic (always, under the default
+ * keepGoing policy with no deadline).
  */
 
 #ifndef ONESPEC_PARALLEL_FLEET_HPP
@@ -32,10 +44,12 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "fault/fault.hpp"
 #include "iface/functional_simulator.hpp"
 #include "parallel/threadpool.hpp"
 #include "stats/sharded.hpp"
 #include "stats/stats.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec::parallel {
 
@@ -70,6 +84,53 @@ struct FleetJob
      */
     std::function<void(SimContext &, FunctionalSimulator &,
                        FleetResult &, stats::StatsRegistry &)> body;
+
+    /**
+     * Serialized checkpoint containers to decode *inside the job* and
+     * restore as a chain (after any direct `restore` pointers).  A
+     * damaged container then raises CkptError in the worker and
+     * quarantines this one job -- decoding up front in the driver would
+     * fault the whole batch.  Shared read-only; must outlive run().
+     */
+    std::vector<const std::vector<uint8_t> *> restoreImages;
+
+    /**
+     * Fault plan to inject into this job (nullptr: no injection and no
+     * hook overhead beyond one predictable branch).  The worker owns a
+     * per-attempt FaultInjector built from a copy of the plan, so the
+     * same plan can be shared across jobs.  Shared read-only.
+     */
+    const fault::FaultPlan *faultPlan = nullptr;
+
+    /** Treat unknown OS calls as GuestError instead of warn-and--1. */
+    bool strictSyscalls = false;
+};
+
+/** Batch-wide hardening knobs for SimFleet::run. */
+struct FleetPolicy
+{
+    /** Per-job wall-clock watchdog; 0 disables.  A job past its deadline
+     *  raises DeadlineError (checked between run chunks, so granularity
+     *  is one chunk).  Custom `body` jobs are not chunked and only get
+     *  a post-hoc check. */
+    uint64_t deadlineNs = 0;
+
+    /** Total tries per job, including the first (1 = no retries).  Only
+     *  ResourceError-class failures are retried. */
+    unsigned maxAttempts = 1;
+
+    /** Backoff before retry k is backoffBaseNs << (k-1). */
+    uint64_t backoffBaseNs = 1'000'000;
+
+    /** true (default): quarantine failures and run every job to the end.
+     *  false: first quarantine aborts the batch; jobs not yet started
+     *  are marked skipped (fail-fast trades the thread-count-invariant
+     *  skip set for early exit). */
+    bool keepGoing = true;
+
+    /** Instructions per run chunk when the watchdog or state-class fault
+     *  injection forces chunked execution; plain jobs run uncut. */
+    uint64_t watchdogChunk = uint64_t{1} << 20;
 };
 
 /** Outcome of one job. */
@@ -82,6 +143,12 @@ struct FleetResult
     ckpt::CkptCounters ckptCounters; ///< restore work, if job restored
     uint64_t ns = 0;           ///< wall time of this job alone
     std::string error;         ///< non-empty if the job threw
+    ErrorKind errorKind = ErrorKind::None; ///< taxonomy class of `error`
+    bool quarantined = false;  ///< job failed every permitted attempt
+    bool skipped = false;      ///< batch aborted before this job started
+    bool deadlineHit = false;  ///< a watchdog deadline expired (any attempt)
+    unsigned attempts = 0;     ///< tries consumed (1 = clean first run)
+    unsigned faultsInjected = 0; ///< events the job's FaultPlan fired
 };
 
 /** A whole batch: per-job results plus the deterministic stat merge. */
@@ -97,6 +164,8 @@ struct FleetReport
     uint64_t totalInstrs() const;
     /** Aggregate simulated MIPS: total instructions / batch wall time. */
     double aggregateMips() const;
+    /** Number of quarantined jobs (the CLI's exit code source). */
+    unsigned quarantinedCount() const;
 };
 
 /** FNV-1a digest of a context's architectural state plus OS output;
@@ -122,6 +191,12 @@ class SimFleet
 
     /** Run every job to completion; results land at the job's index. */
     FleetReport run(const std::vector<FleetJob> &jobs);
+
+    /** Same, with watchdog/retry/degradation policy applied.  Besides
+     *  the per-job groups, the merge publishes batch health counters
+     *  under "fleet.health" (jobs, quarantined, retries, ...). */
+    FleetReport run(const std::vector<FleetJob> &jobs,
+                    const FleetPolicy &policy);
 
   private:
     ThreadPool pool_;

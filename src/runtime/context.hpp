@@ -19,6 +19,7 @@
 #include "runtime/os.hpp"
 #include "runtime/program.hpp"
 #include "runtime/rollback.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -38,10 +39,16 @@ class SimContext
     OsEmulator &os() { return os_; }
     RollbackLog &journal() { return journal_; }
 
-    /** Load @p prog: clear everything, map segments, set pc and sp. */
+    /**
+     * Load @p prog: clear everything, map segments, set pc and sp.
+     * Throws GuestError if the image is malformed (addresses past the
+     * memory sanity limit) -- a bad binary faults the job, not the
+     * process.
+     */
     void
     load(const Program &prog)
     {
+        validate(prog);
         mem_.clear();
         state_.reset();
         journal_.clear();
@@ -63,6 +70,26 @@ class SimContext
     void setRetired(uint64_t n) { instrsRetired_ = n; }
 
   private:
+    static void
+    validate(const Program &prog)
+    {
+        auto bad = [&](const std::string &what) {
+            throw GuestError("loader", "malformed image '" + prog.name +
+                                           "': " + what);
+        };
+        if (prog.entry >= Memory::kAddrLimit)
+            bad("entry point past the address limit");
+        if (prog.stackTop > Memory::kAddrLimit)
+            bad("stack top past the address limit");
+        if (prog.initialBrk >= Memory::kAddrLimit)
+            bad("initial break past the address limit");
+        for (const auto &seg : prog.segments) {
+            if (seg.base >= Memory::kAddrLimit ||
+                seg.bytes.size() > Memory::kAddrLimit - seg.base)
+                bad("segment extends past the address limit");
+        }
+    }
+
     const Spec *spec_;
     Memory mem_;
     ArchState state_;

@@ -44,9 +44,27 @@ class Memory
     /** Addresses at or above this limit fault. */
     static constexpr uint64_t kAddrLimit = uint64_t{1} << 48;
 
+    /**
+     * Fault-injection hook (src/fault/).  When installed, every
+     * architectural read/write offers the access for perturbation:
+     * the hook may rewrite @p value or raise @p fault.  Detached (the
+     * default) costs exactly one never-taken branch per access.
+     */
+    struct FaultHook
+    {
+        virtual ~FaultHook() = default;
+        virtual void onRead(uint64_t addr, unsigned len, uint64_t &value,
+                            FaultKind &fault) = 0;
+        virtual void onWrite(uint64_t addr, unsigned len, uint64_t &value,
+                             FaultKind &fault) = 0;
+    };
+
     explicit Memory(bool big_endian = false) : bigEndian_(big_endian) {}
 
     bool bigEndian() const { return bigEndian_; }
+
+    void setFaultHook(FaultHook *hook) { hook_ = hook; }
+    FaultHook *faultHook() const { return hook_; }
 
     /**
      * Read @p len (1/2/4/8) bytes at @p addr.  Returns the zero-extended
@@ -55,7 +73,9 @@ class Memory
     uint64_t
     read(uint64_t addr, unsigned len, FaultKind &fault)
     {
-        if (addr + len > kAddrLimit) [[unlikely]] {
+        // Overflow-safe form: addr + len can wrap for addresses near
+        // 2^64 and would then slip past a naive `addr + len > limit`.
+        if (addr >= kAddrLimit || len > kAddrLimit - addr) [[unlikely]] {
             fault = FaultKind::BadMemory;
             return 0;
         }
@@ -75,6 +95,8 @@ class Memory
         }
         if (bigEndian_)
             v = swapBytes(v, len);
+        if (hook_) [[unlikely]]
+            hook_->onRead(addr, len, v, fault);
         return v;
     }
 
@@ -82,9 +104,14 @@ class Memory
     void
     write(uint64_t addr, uint64_t value, unsigned len, FaultKind &fault)
     {
-        if (addr + len > kAddrLimit) [[unlikely]] {
+        if (addr >= kAddrLimit || len > kAddrLimit - addr) [[unlikely]] {
             fault = FaultKind::BadMemory;
             return;
+        }
+        if (hook_) [[unlikely]] {
+            hook_->onWrite(addr, len, value, fault);
+            if (fault != FaultKind::None)
+                return;
         }
         if (bigEndian_)
             value = swapBytes(value, len);
@@ -292,6 +319,7 @@ class Memory
     uint8_t *cachedPage_ = nullptr;
     uint64_t cachedWIdx_ = ~uint64_t{0};
     uint8_t *cachedWPage_ = nullptr;
+    FaultHook *hook_ = nullptr;
 };
 
 } // namespace onespec

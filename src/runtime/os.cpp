@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -21,6 +22,13 @@ OsEmulator::doSyscall()
         if (abi_->error.valid)
             state_->writeRef(abi_->error, err ? 1 : 0);
     };
+
+    if (hook_) [[unlikely]] {
+        if (hook_->onSyscall(num)) {
+            setResult(static_cast<uint64_t>(-1), true);
+            return;
+        }
+    }
 
     switch (num) {
       case kSysExit:
@@ -83,6 +91,10 @@ OsEmulator::doSyscall()
         return;
 
       default:
+        if (strict_) {
+            throw GuestError("os", "unknown OS call " + std::to_string(num) +
+                                       " (strict mode)");
+        }
         ONESPEC_WARN("unknown OS call ", num, "; returning -1");
         setResult(static_cast<uint64_t>(-1), true);
         return;

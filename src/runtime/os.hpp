@@ -38,12 +38,33 @@ enum OsCall : uint64_t
 class OsEmulator
 {
   public:
+    /**
+     * Fault-injection hook (src/fault/).  Consulted before each OS call
+     * is emulated; returning true makes the call fail with -1/error as
+     * if the OS had rejected it.  Detached by default (one branch).
+     */
+    struct SyscallHook
+    {
+        virtual ~SyscallHook() = default;
+        virtual bool onSyscall(uint64_t num) = 0;
+    };
+
     OsEmulator(const ResolvedAbi &abi, Memory &mem, ArchState &state)
         : abi_(&abi), mem_(&mem), state_(&state)
     {}
 
     /** Handle one OS call per the ABI registers.  */
     void doSyscall();
+
+    void setSyscallHook(SyscallHook *hook) { hook_ = hook; }
+
+    /**
+     * In strict mode an unknown OS-call number throws GuestError (the
+     * fleet quarantines the job).  The lenient default warns and returns
+     * -1 to the guest, matching classic user-mode-simulator behavior.
+     */
+    void setStrictUnknownSyscalls(bool strict) { strict_ = strict; }
+    bool strictUnknownSyscalls() const { return strict_; }
 
     bool exited() const { return exited_; }
     int exitCode() const { return exitCode_; }
@@ -128,6 +149,8 @@ class OsEmulator
     const ResolvedAbi *abi_;
     Memory *mem_;
     ArchState *state_;
+    SyscallHook *hook_ = nullptr;
+    bool strict_ = false;
 
     bool exited_ = false;
     int exitCode_ = 0;

@@ -6,6 +6,7 @@
 #include "adl/eval.hpp"
 #include "stats/trace.hpp"
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -254,10 +255,8 @@ InterpSimulator::Runner::execStmt(const Stmt &s)
             execStmt(*s.thenStmt);
             if (di_.fault != FaultKind::None)
                 return;
-            if (++guard > kLoopGuard) {
-                ONESPEC_PANIC("runaway while-loop in action code of '",
-                              ii_.name, "'");
-            }
+            if (++guard > kActionLoopGuard)
+                throwRunawayLoop(ii_.name);
         }
         return;
       }
@@ -548,7 +547,7 @@ makeInterpSimulator(SimContext &ctx, const std::string &buildset_name)
 {
     const BuildsetInfo *bs = ctx.spec().findBuildset(buildset_name);
     if (!bs)
-        ONESPEC_FATAL("no buildset named '", buildset_name, "'");
+        throw SpecError("interp", "no buildset named '" + buildset_name + "'");
     return std::make_unique<InterpSimulator>(ctx, *bs);
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "iface/functional_simulator.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -30,8 +31,9 @@ class InterpSimulator : public FunctionalSimulator
   public:
     /** Maximum locals per action (checked against the Spec). */
     static constexpr unsigned kMaxLocals = 64;
-    /** Iteration guard for while-loops in action code. */
-    static constexpr uint64_t kLoopGuard = 1u << 24;
+    /** Iteration guard for while-loops in action code (shared with the
+     *  synthesized back ends; see support/sim_error.hpp). */
+    static constexpr uint64_t kLoopGuard = kActionLoopGuard;
 
     InterpSimulator(SimContext &ctx, const BuildsetInfo &bs);
     ~InterpSimulator() override;

@@ -6,6 +6,10 @@
  *             what the user does.  Aborts (core-dumpable).
  * fatal()  -- a user error (bad description, bad arguments): the simulation
  *             cannot continue but OneSpec itself is fine.  Exits with code 1.
+ *             Reserved for tool-level argument/usage errors; anything a
+ *             *job input* can cause (guest image, action loop, checkpoint,
+ *             description file) throws the SimError taxonomy from
+ *             support/sim_error.hpp instead, so fleets can contain it.
  * warn()   -- something is probably not modeled as well as it could be.
  * inform() -- normal operating status.
  */

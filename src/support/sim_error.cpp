@@ -1,0 +1,32 @@
+#include "support/sim_error.hpp"
+
+namespace onespec {
+
+const char *
+errorKindName(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::None:     return "none";
+      case ErrorKind::Guest:    return "guest";
+      case ErrorKind::Spec:     return "spec";
+      case ErrorKind::Resource: return "resource";
+      case ErrorKind::Internal: return "internal";
+    }
+    return "?";
+}
+
+SimError::SimError(ErrorKind kind, std::string context, const std::string &msg)
+    : std::runtime_error("[" + context + "] " + msg),
+      kind_(kind), context_(std::move(context))
+{}
+
+void
+throwRunawayLoop(const std::string &instr_name)
+{
+    throw GuestError("action",
+                     "runaway while-loop in action code of '" + instr_name +
+                     "' (exceeded " + std::to_string(kActionLoopGuard) +
+                     " iterations)");
+}
+
+} // namespace onespec

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The containment error taxonomy.
+ *
+ * panic() (support/logging.hpp) remains the contract for OneSpec bugs:
+ * conditions no input should be able to produce abort the process so the
+ * bug cannot propagate.  Everything an *input* can cause -- a malformed
+ * guest image, a divergent action loop, a damaged checkpoint, a missing
+ * description file -- must instead fault the one job that supplied the
+ * input.  Those paths throw SimError subclasses:
+ *
+ *   GuestError     the guest program or its serialized state is bad
+ *                  (malformed image, runaway action loop, unknown OS
+ *                  call under strict mode, damaged checkpoint).  Never
+ *                  retryable: the same input fails the same way.
+ *   SpecError      the simulation was *configured* wrong (unknown
+ *                  kernel/buildset/ISA, description errors, stale
+ *                  generated code).  Never retryable.
+ *   ResourceError  the host failed us (unreadable file, watchdog
+ *                  deadline).  Possibly transient, so the fleet's retry
+ *                  policy applies to this class only.
+ *
+ * SimFleet (src/parallel/fleet.hpp) catches SimError per job and turns
+ * it into a structured quarantine record; single-simulator drivers catch
+ * it in main().  docs/ROBUSTNESS.md states the full contract.
+ */
+
+#ifndef ONESPEC_SUPPORT_SIM_ERROR_HPP
+#define ONESPEC_SUPPORT_SIM_ERROR_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace onespec {
+
+/** Containment class of a SimError (see file comment). */
+enum class ErrorKind : uint8_t
+{
+    None = 0,     ///< no error (FleetResult default)
+    Guest = 1,    ///< bad guest input; deterministic, not retryable
+    Spec = 2,     ///< bad simulation configuration; not retryable
+    Resource = 3, ///< host-side failure; retry may succeed
+    Internal = 4, ///< non-SimError exception escaped a job (a bug)
+};
+
+const char *errorKindName(ErrorKind k);
+
+/** Base of every contained (job-scoped) failure. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, std::string context, const std::string &msg);
+
+    ErrorKind kind() const { return kind_; }
+    /** Component that raised the error ("interp", "os", "ckpt", ...). */
+    const std::string &context() const { return context_; }
+
+  private:
+    ErrorKind kind_;
+    std::string context_;
+};
+
+/** The guest program (or its serialized state) is at fault. */
+class GuestError : public SimError
+{
+  public:
+    GuestError(std::string context, const std::string &msg)
+        : SimError(ErrorKind::Guest, std::move(context), msg)
+    {}
+};
+
+/** The simulation configuration is at fault. */
+class SpecError : public SimError
+{
+  public:
+    SpecError(std::string context, const std::string &msg)
+        : SimError(ErrorKind::Spec, std::move(context), msg)
+    {}
+};
+
+/** The host is at fault; the fleet may retry these. */
+class ResourceError : public SimError
+{
+  public:
+    ResourceError(std::string context, const std::string &msg)
+        : SimError(ErrorKind::Resource, std::move(context), msg)
+    {}
+};
+
+/** A fleet job exceeded its wall-clock watchdog deadline.  Modeled as a
+ *  ResourceError because the commonest cause on a loaded host is CPU
+ *  contention, which a retry (with backoff) can genuinely outlive. */
+class DeadlineError : public ResourceError
+{
+  public:
+    DeadlineError(const std::string &msg, uint64_t elapsed_ns)
+        : ResourceError("watchdog", msg), elapsedNs_(elapsed_ns)
+    {}
+
+    uint64_t elapsedNs() const { return elapsedNs_; }
+
+  private:
+    uint64_t elapsedNs_;
+};
+
+/**
+ * Ceiling on iterations of one `while` loop in action code, shared by
+ * the interpreter and the synthesized simulators so both back ends fault
+ * a divergent guest at exactly the same point.  Exceeding it raises
+ * GuestError through throwRunawayLoop().
+ */
+constexpr uint64_t kActionLoopGuard = uint64_t{1} << 24;
+
+/** Raise the contained runaway-action-loop GuestError (both back ends
+ *  funnel through here so the message and type can never diverge). */
+[[noreturn]] void throwRunawayLoop(const std::string &instr_name);
+
+} // namespace onespec
+
+#endif // ONESPEC_SUPPORT_SIM_ERROR_HPP

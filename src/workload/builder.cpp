@@ -1,6 +1,7 @@
 #include "builder.hpp"
 
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -818,7 +819,7 @@ makeBuilder(const Spec &spec, uint64_t code_base, uint64_t data_base)
         return std::make_unique<ArmBuilder>(spec, code_base, data_base);
     if (isa == "ppc32")
         return std::make_unique<PpcBuilder>(spec, code_base, data_base);
-    ONESPEC_FATAL("no kernel builder for ISA '", isa, "'");
+    throw SpecError("workload", "no kernel builder for ISA '" + isa + "'");
 }
 
 } // namespace onespec

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace onespec {
 
@@ -687,7 +688,7 @@ buildKernel(KernelBuilder &b, const std::string &name, uint64_t param)
         return buildCrc32(b, param);
     if (name == "listsum")
         return buildListsum(b, param, param * 8);
-    ONESPEC_FATAL("unknown kernel '", name, "'");
+    throw SpecError("workload", "unknown kernel '" + name + "'");
 }
 
 uint32_t
@@ -707,7 +708,7 @@ goldenResult(const std::string &name, uint64_t param)
         return goldenCrc32(param);
     if (name == "listsum")
         return goldenListsum(param, param * 8);
-    ONESPEC_FATAL("unknown kernel '", name, "'");
+    throw SpecError("workload", "unknown kernel '" + name + "'");
 }
 
 std::string

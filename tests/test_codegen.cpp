@@ -152,5 +152,40 @@ TEST_F(CodegenTest, GeneratedCodeMentionsEveryInstruction)
     }
 }
 
+TEST_F(CodegenTest, WhileLoopsEmitRunawayGuard)
+{
+    // Every emitted while loop must carry the shared iteration guard so
+    // a divergent action faults the job identically on both back ends
+    // (see support/sim_error.hpp).  Splice a while-bearing instruction
+    // into the mini ISA and inspect the synthesized loop.
+    std::string text = test::kMiniIsa;
+    const std::string wloop = R"(instr wsum : RI match op == 20 {
+    dst a = R[ra];
+    action execute {
+        u64 i = 0;
+        u64 acc = 0;
+        while (i < 4) { acc = acc + i; i = i + 1; }
+        a = acc;
+    }
+}
+
+)";
+    size_t pos = text.find("instr hlt");
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos, wloop);
+
+    auto spec = test::makeSpec(text);
+    std::string code = generateSimulators(*spec, "OneAllNo");
+    EXPECT_NE(code.find("uint64_t lg_0 = 0;"), std::string::npos);
+    EXPECT_NE(code.find("::onespec::kActionLoopGuard"), std::string::npos);
+    EXPECT_NE(code.find("::onespec::throwRunawayLoop(\"wsum\")"),
+              std::string::npos);
+    // The mini ISA itself has no while loops: no guard counters appear
+    // without one.
+    std::string plain = generateSimulators(*spec_, "OneAllNo");
+    EXPECT_EQ(plain.find("lg_0"), std::string::npos);
+    EXPECT_EQ(plain.find("throwRunawayLoop"), std::string::npos);
+}
+
 } // namespace
 } // namespace onespec

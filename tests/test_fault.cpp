@@ -1,0 +1,621 @@
+/**
+ * @file
+ * Failure containment and fault injection: the SimError taxonomy, the
+ * runaway-action-loop guard, guest-image validation, the deterministic
+ * FaultInjector, and SimFleet's quarantine/watchdog/retry policy.  The
+ * central claim under test is the containment contract of
+ * docs/ROBUSTNESS.md: bad *input* faults exactly the job that supplied
+ * it, never a sibling job and never the process.  Fleet cases carry the
+ * `tsan` label via tests/CMakeLists.txt.
+ */
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "fault/fault.hpp"
+#include "parallel/fleet.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "support/sim_error.hpp"
+#include "testutil.hpp"
+
+namespace onespec {
+namespace {
+
+using fault::FaultEvent;
+using fault::FaultInjector;
+using fault::FaultOp;
+using fault::FaultPlan;
+using parallel::FleetJob;
+using parallel::FleetPolicy;
+using parallel::FleetReport;
+using parallel::SimFleet;
+
+// ---------------------------------------------------------------------
+// Taxonomy
+// ---------------------------------------------------------------------
+
+TEST(SimErrorTaxonomy, KindsContextAndMessageFormat)
+{
+    GuestError g("loader", "bad image");
+    EXPECT_EQ(g.kind(), ErrorKind::Guest);
+    EXPECT_EQ(g.context(), "loader");
+    EXPECT_STREQ(g.what(), "[loader] bad image");
+
+    SpecError s("adl", "no such buildset");
+    EXPECT_EQ(s.kind(), ErrorKind::Spec);
+
+    ResourceError r("loader", "cannot open");
+    EXPECT_EQ(r.kind(), ErrorKind::Resource);
+}
+
+TEST(SimErrorTaxonomy, DeadlineErrorIsRetryableResourceClass)
+{
+    DeadlineError d("job ran past its deadline", 123);
+    EXPECT_EQ(d.kind(), ErrorKind::Resource);
+    EXPECT_EQ(d.context(), "watchdog");
+    EXPECT_EQ(d.elapsedNs(), 123u);
+    // The fleet's retry filter catches by class, so the subclass
+    // relationship is load-bearing.
+    try {
+        throw DeadlineError("x", 1);
+    } catch (const ResourceError &) {
+    } catch (...) {
+        FAIL() << "DeadlineError must be catchable as ResourceError";
+    }
+}
+
+TEST(SimErrorTaxonomy, CkptErrorIsGuestClass)
+{
+    try {
+        throw ckpt::CkptError("section CRC mismatch");
+    } catch (const GuestError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Guest);
+        EXPECT_EQ(e.context(), "ckpt");
+    } catch (...) {
+        FAIL() << "CkptError must be catchable as GuestError";
+    }
+}
+
+TEST(SimErrorTaxonomy, KindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::None), "none");
+    EXPECT_STREQ(errorKindName(ErrorKind::Guest), "guest");
+    EXPECT_STREQ(errorKindName(ErrorKind::Spec), "spec");
+    EXPECT_STREQ(errorKindName(ErrorKind::Resource), "resource");
+    EXPECT_STREQ(errorKindName(ErrorKind::Internal), "internal");
+}
+
+// ---------------------------------------------------------------------
+// Mini-ISA scaffolding
+// ---------------------------------------------------------------------
+
+/** kMiniIsa plus one deliberately divergent instruction: `spin`'s while
+ *  loop never advances, so only the action loop guard can stop it. */
+std::string
+spinIsaText()
+{
+    std::string text = test::kMiniIsa;
+    const std::string anchor = "instr hlt";
+    const std::string spin = R"(instr spin : RI match op == 20 {
+    action execute {
+        u64 i = 1;
+        while (i != 0) { i = i | 1; }
+    }
+}
+
+)";
+    size_t pos = text.find(anchor);
+    EXPECT_NE(pos, std::string::npos);
+    text.insert(pos, spin);
+    return text;
+}
+
+/** Assemble raw mini-ISA words at base 0x1000 (little endian). */
+Program
+miniProgram(const std::vector<uint32_t> &words, const char *name = "t")
+{
+    Program p;
+    p.name = name;
+    p.entry = 0x1000;
+    Segment seg;
+    seg.base = 0x1000;
+    for (uint32_t w : words)
+        for (int i = 0; i < 4; ++i)
+            seg.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    p.segments.push_back(std::move(seg));
+    return p;
+}
+
+uint32_t
+li(unsigned ra, uint16_t imm)
+{
+    return (8u << 26) | (ra << 21) | imm;
+}
+
+uint32_t
+add(unsigned ra, unsigned rb, unsigned rc)
+{
+    return (1u << 26) | (ra << 21) | (rb << 16) | (rc << 11);
+}
+
+uint32_t
+br(int16_t imm)
+{
+    return (12u << 26) | static_cast<uint16_t>(imm);
+}
+
+constexpr uint32_t kSysWord = 62u << 26;
+constexpr uint32_t kHltWord = 63u << 26;
+constexpr uint32_t kSpinWord = 20u << 26;
+
+/** A short healthy program: some arithmetic, then halt. */
+Program
+healthyProgram(const char *name = "healthy")
+{
+    return miniProgram({li(0, 7), li(1, 35), add(0, 1, 2), add(2, 2, 3),
+                        add(3, 3, 4), kHltWord},
+                       name);
+}
+
+// ---------------------------------------------------------------------
+// Containment at the simulator level
+// ---------------------------------------------------------------------
+
+TEST(Containment, RunawayActionLoopRaisesGuestErrorNotAbort)
+{
+    auto spec = test::makeSpec(spinIsaText());
+    SimContext ctx(*spec);
+    ctx.load(miniProgram({kSpinWord, kHltWord}, "spin"));
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    try {
+        sim->run(10);
+        FAIL() << "divergent while loop was not contained";
+    } catch (const GuestError &e) {
+        EXPECT_EQ(e.context(), "action");
+        EXPECT_NE(std::string(e.what()).find("spin"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("runaway"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Containment, MalformedImageIsRejectedAtLoad)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    Program p = healthyProgram("bad-entry");
+    p.entry = uint64_t{1} << 60; // far past Memory::kAddrLimit
+    EXPECT_THROW(ctx.load(p), GuestError);
+
+    SimContext ctx2(*spec);
+    Program q = healthyProgram("bad-segment");
+    q.segments[0].base = Memory::kAddrLimit - 2;
+    EXPECT_THROW(ctx2.load(q), GuestError);
+}
+
+TEST(Containment, UnknownBuildsetIsSpecError)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.load(healthyProgram());
+    EXPECT_THROW(makeInterpSimulator(ctx, "NoSuchBuildset"), SpecError);
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan / FaultInjector
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, RandomIsDeterministicInSeed)
+{
+    const std::vector<FaultOp> menu = {FaultOp::MemReadBitFlip,
+                                       FaultOp::SyscallFail,
+                                       FaultOp::PcBitFlip};
+    FaultPlan a = FaultPlan::random(42, 1000, menu, 8);
+    FaultPlan b = FaultPlan::random(42, 1000, menu, 8);
+    ASSERT_EQ(a.events.size(), 8u);
+    for (size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].op, b.events[i].op);
+        EXPECT_EQ(a.events[i].trigger, b.events[i].trigger);
+        EXPECT_EQ(a.events[i].target, b.events[i].target);
+        EXPECT_EQ(a.events[i].bit, b.events[i].bit);
+        EXPECT_GE(a.events[i].trigger, 1u);
+        EXPECT_LE(a.events[i].trigger, 1000u);
+    }
+    // A different seed must produce a different schedule (overwhelmingly
+    // likely over 8 events; a collision would mean mix() is broken).
+    FaultPlan c = FaultPlan::random(43, 1000, menu, 8);
+    bool differs = false;
+    for (size_t i = 0; i < a.events.size(); ++i)
+        differs |= a.events[i].trigger != c.events[i].trigger;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, ReadBitFlipFiresAtExactOrdinal)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.load(healthyProgram());
+
+    FaultPlan plan;
+    plan.events.push_back({FaultOp::MemReadBitFlip, /*trigger=*/2,
+                           /*target=*/0, /*bit=*/5, false});
+    FaultInjector inj(plan);
+    inj.attach(ctx);
+
+    FaultKind f = FaultKind::None;
+    EXPECT_EQ(ctx.mem().read(0x9000, 8, f), 0u);          // read #1: clean
+    EXPECT_EQ(ctx.mem().read(0x9000, 8, f), uint64_t{1} << 5); // #2: flipped
+    EXPECT_EQ(ctx.mem().read(0x9000, 8, f), 0u);          // #3: clean again
+    EXPECT_EQ(f, FaultKind::None);
+    EXPECT_EQ(inj.firedCount(), 1u);
+}
+
+TEST(FaultInjectorTest, AccessFaultRaisesBadMemory)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.load(healthyProgram());
+
+    FaultPlan plan;
+    plan.events.push_back({FaultOp::MemAccessFault, 1, 0, 0, false});
+    FaultInjector inj(plan);
+    inj.attach(ctx);
+
+    FaultKind f = FaultKind::None;
+    (void)ctx.mem().read(0x9000, 8, f);
+    EXPECT_EQ(f, FaultKind::BadMemory);
+    EXPECT_EQ(inj.firedCount(), 1u);
+}
+
+TEST(FaultInjectorTest, SyscallFailForcesErrorReturn)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.load(healthyProgram());
+
+    FaultPlan plan;
+    plan.events.push_back({FaultOp::SyscallFail, 1, 0, 0, false});
+    FaultInjector inj(plan);
+    inj.attach(ctx);
+
+    ctx.state().writeReg(0, 0, kSysTimeMs);
+    ctx.os().doSyscall();
+    EXPECT_EQ(ctx.state().readReg(0, 0), static_cast<uint64_t>(-1));
+    EXPECT_EQ(inj.firedCount(), 1u);
+
+    // The next syscall is past the plan and behaves normally.
+    ctx.state().writeReg(0, 0, kSysTimeMs);
+    ctx.os().doSyscall();
+    EXPECT_EQ(ctx.state().readReg(0, 0), 0u);
+}
+
+TEST(FaultInjectorTest, DetachRestoresCleanHooks)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.load(healthyProgram());
+    {
+        FaultPlan plan;
+        plan.events.push_back({FaultOp::MemReadBitFlip, 1, 0, 0, false});
+        FaultInjector inj(plan);
+        inj.attach(ctx);
+    } // destructor detaches
+    EXPECT_EQ(ctx.mem().faultHook(), nullptr);
+    FaultKind f = FaultKind::None;
+    EXPECT_EQ(ctx.mem().read(0x9000, 8, f), 0u);
+}
+
+TEST(FaultInjectorTest, PcBitFlipMakesNextFetchFault)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.load(healthyProgram());
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    ASSERT_EQ(sim->run(2).status, RunStatus::Ok);
+
+    FaultPlan plan;
+    plan.events.push_back({FaultOp::PcBitFlip, /*trigger=*/1, 0, 3, false});
+    FaultInjector inj(plan);
+    inj.attach(ctx);
+    EXPECT_EQ(inj.nextStateTrigger(), 1u);
+    ASSERT_TRUE(inj.applyStateFaults(ctx));
+    EXPECT_GE(ctx.state().pc(), Memory::kAddrLimit);
+    sim->onStateRestored();
+    EXPECT_EQ(sim->run(10).status, RunStatus::Fault);
+}
+
+TEST(FaultInjectorTest, ContainerCorruptionIsAlwaysCaughtByDecode)
+{
+    auto spec = test::makeMiniSpec();
+    SimContext ctx(*spec);
+    ctx.load(healthyProgram());
+    auto sim = makeInterpSimulator(ctx, "OneAllNo");
+    ASSERT_EQ(sim->run(3).status, RunStatus::Ok);
+    const std::vector<uint8_t> image = ckpt::encode(ckpt::capture(ctx));
+    ASSERT_EQ(ckpt::decode(image).instrsRetired, 3u); // sanity: intact
+
+    for (unsigned seed = 0; seed < 16; ++seed) {
+        FaultPlan plan = FaultPlan::random(
+            seed, image.size(),
+            {FaultOp::CkptBitFlip, FaultOp::CkptTruncate}, 1);
+        FaultInjector inj(plan);
+        std::vector<uint8_t> damaged = image;
+        ASSERT_TRUE(inj.corruptContainer(damaged)) << "seed " << seed;
+        EXPECT_THROW(ckpt::decode(damaged), ckpt::CkptError)
+            << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// SimFleet: quarantine, determinism, watchdog, retry
+// ---------------------------------------------------------------------
+
+/** The ISSUE acceptance scenario: healthy jobs plus one malformed
+ *  image, one divergent action loop, and one bit-flipped checkpoint
+ *  restore, in a single batch. */
+class FleetContainmentTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        spec_ = test::makeMiniSpec();
+        spinSpec_ = test::makeSpec(spinIsaText());
+        healthy_ = healthyProgram();
+        badEntry_ = healthyProgram("malformed");
+        badEntry_.entry = uint64_t{1} << 60;
+        spinProg_ = miniProgram({kSpinWord, kHltWord}, "divergent");
+
+        // A valid checkpoint image, then one with a flipped bit.
+        SimContext ctx(*spec_);
+        ctx.load(healthy_);
+        auto sim = makeInterpSimulator(ctx, "OneAllNo");
+        EXPECT_EQ(sim->run(3).status, RunStatus::Ok);
+        image_ = ckpt::encode(ckpt::capture(ctx));
+        damaged_ = image_;
+        damaged_[damaged_.size() / 2] ^= 0x10;
+    }
+
+    FleetJob
+    interpJob(const Spec &spec, const Program &prog, const char *name)
+    {
+        FleetJob j;
+        j.spec = &spec;
+        j.program = &prog;
+        j.buildset = "OneAllNo";
+        j.useInterp = true;
+        j.name = name;
+        return j;
+    }
+
+    std::vector<FleetJob>
+    acceptanceJobs()
+    {
+        std::vector<FleetJob> jobs;
+        jobs.push_back(interpJob(*spec_, healthy_, "healthy0"));
+        jobs.push_back(interpJob(*spec_, badEntry_, "malformed"));
+        jobs.push_back(interpJob(*spec_, healthy_, "healthy1"));
+        jobs.push_back(interpJob(*spinSpec_, spinProg_, "divergent"));
+        FleetJob ck = interpJob(*spec_, healthy_, "bad-ckpt");
+        ck.restoreImages.push_back(&damaged_);
+        jobs.push_back(std::move(ck));
+        jobs.push_back(interpJob(*spec_, healthy_, "healthy2"));
+        return jobs;
+    }
+
+    std::unique_ptr<Spec> spec_, spinSpec_;
+    Program healthy_, badEntry_, spinProg_;
+    std::vector<uint8_t> image_, damaged_;
+};
+
+TEST_F(FleetContainmentTest, BadJobsQuarantineHealthyJobsComplete)
+{
+    std::vector<FleetJob> jobs = acceptanceJobs();
+    SimFleet fleet(4);
+    FleetReport r = fleet.run(jobs);
+    ASSERT_EQ(r.results.size(), jobs.size());
+
+    EXPECT_EQ(r.quarantinedCount(), 3u);
+    for (size_t i : {size_t{0}, size_t{2}, size_t{5}}) {
+        EXPECT_FALSE(r.results[i].quarantined) << r.results[i].error;
+        EXPECT_EQ(r.results[i].run.status, RunStatus::Halted)
+            << jobs[i].name;
+        EXPECT_EQ(r.results[i].attempts, 1u);
+    }
+    for (size_t i : {size_t{1}, size_t{3}, size_t{4}}) {
+        EXPECT_TRUE(r.results[i].quarantined) << jobs[i].name;
+        EXPECT_EQ(r.results[i].errorKind, ErrorKind::Guest)
+            << jobs[i].name;
+        EXPECT_FALSE(r.results[i].error.empty()) << jobs[i].name;
+    }
+    // Each record names its failing component.
+    EXPECT_NE(r.results[1].error.find("[loader]"), std::string::npos)
+        << r.results[1].error;
+    EXPECT_NE(r.results[3].error.find("[action]"), std::string::npos)
+        << r.results[3].error;
+    EXPECT_NE(r.results[4].error.find("[ckpt]"), std::string::npos)
+        << r.results[4].error;
+
+    // Batch health counters land in the merged registry.
+    auto counter = [&](const char *name) {
+        auto *s = r.merged->resolve(std::string("fleet.health.") + name);
+        EXPECT_NE(s, nullptr) << name;
+        return s ? static_cast<stats::Counter *>(s)->value() : 0;
+    };
+    EXPECT_EQ(counter("jobs"), jobs.size());
+    EXPECT_EQ(counter("quarantined"), 3u);
+    EXPECT_EQ(counter("errors_guest"), 3u);
+    EXPECT_EQ(counter("errors_spec"), 0u);
+    EXPECT_EQ(counter("skipped"), 0u);
+}
+
+TEST_F(FleetContainmentTest, MergedStatsBitIdenticalAcrossThreadCounts)
+{
+    std::vector<FleetJob> jobs = acceptanceJobs();
+    std::string refDump;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        SimFleet fleet(threads);
+        FleetReport r = fleet.run(jobs);
+        EXPECT_EQ(r.quarantinedCount(), 3u) << threads << " threads";
+        std::string dump = r.merged->toJson().dump(2);
+        if (refDump.empty())
+            refDump = dump;
+        else
+            EXPECT_EQ(dump, refDump) << threads << " threads";
+    }
+}
+
+TEST_F(FleetContainmentTest, ValidCheckpointImageRestoresInJob)
+{
+    // Control for the bad-ckpt case: the same image undamaged restores
+    // and the job resumes to a clean halt.
+    FleetJob j = interpJob(*spec_, healthy_, "good-ckpt");
+    j.restoreImages.push_back(&image_);
+    SimFleet fleet(1);
+    FleetReport r = fleet.run({j});
+    ASSERT_FALSE(r.results[0].quarantined) << r.results[0].error;
+    EXPECT_EQ(r.results[0].run.status, RunStatus::Halted);
+}
+
+TEST_F(FleetContainmentTest, WatchdogDeadlineQuarantinesRunawayGuest)
+{
+    // `br -1` branches to itself: legal guest code that never halts and
+    // never trips the action-loop guard, so only the watchdog can end it.
+    Program loop = miniProgram({br(-1)}, "infinite");
+    std::vector<FleetJob> jobs;
+    jobs.push_back(interpJob(*spec_, healthy_, "healthy"));
+    jobs.push_back(interpJob(*spec_, loop, "infinite"));
+
+    FleetPolicy pol;
+    pol.deadlineNs = 20'000'000;        // 20 ms
+    pol.watchdogChunk = uint64_t{1} << 14;
+    SimFleet fleet(2);
+    FleetReport r = fleet.run(jobs, pol);
+
+    EXPECT_FALSE(r.results[0].quarantined) << r.results[0].error;
+    EXPECT_EQ(r.results[0].run.status, RunStatus::Halted);
+
+    EXPECT_TRUE(r.results[1].quarantined);
+    EXPECT_TRUE(r.results[1].deadlineHit);
+    EXPECT_EQ(r.results[1].errorKind, ErrorKind::Resource);
+    EXPECT_NE(r.results[1].error.find("[watchdog]"), std::string::npos)
+        << r.results[1].error;
+
+    auto *s = r.merged->resolve("fleet.health.deadline_exceeded");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(static_cast<stats::Counter *>(s)->value(), 1u);
+}
+
+TEST_F(FleetContainmentTest, ResourceErrorsRetryWithBackoff)
+{
+    std::atomic<int> calls{0};
+    FleetJob j = interpJob(*spec_, healthy_, "flaky");
+    j.body = [&](SimContext &, FunctionalSimulator &sim,
+                 parallel::FleetResult &out, stats::StatsRegistry &) {
+        if (calls.fetch_add(1) == 0)
+            throw ResourceError("test", "transient host hiccup");
+        out.run = sim.run(~uint64_t{0});
+    };
+
+    FleetPolicy pol;
+    pol.maxAttempts = 3;
+    pol.backoffBaseNs = 1000; // keep the test fast
+    SimFleet fleet(1);
+    FleetReport r = fleet.run({j}, pol);
+
+    EXPECT_FALSE(r.results[0].quarantined) << r.results[0].error;
+    EXPECT_EQ(r.results[0].attempts, 2u);
+    EXPECT_EQ(r.results[0].run.status, RunStatus::Halted);
+    EXPECT_EQ(calls.load(), 2);
+
+    auto *s = r.merged->resolve("fleet.health.retries");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(static_cast<stats::Counter *>(s)->value(), 1u);
+}
+
+TEST_F(FleetContainmentTest, GuestErrorsAreNeverRetried)
+{
+    std::atomic<int> calls{0};
+    FleetJob j = interpJob(*spec_, healthy_, "deterministic-failure");
+    j.body = [&](SimContext &, FunctionalSimulator &,
+                 parallel::FleetResult &, stats::StatsRegistry &) {
+        calls.fetch_add(1);
+        throw GuestError("test", "same input, same failure");
+    };
+
+    FleetPolicy pol;
+    pol.maxAttempts = 3;
+    pol.backoffBaseNs = 1000;
+    SimFleet fleet(1);
+    FleetReport r = fleet.run({j}, pol);
+
+    EXPECT_TRUE(r.results[0].quarantined);
+    EXPECT_EQ(r.results[0].attempts, 1u);
+    EXPECT_EQ(r.results[0].errorKind, ErrorKind::Guest);
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(FleetContainmentTest, FailFastSkipsJobsAfterFirstQuarantine)
+{
+    std::vector<FleetJob> jobs;
+    jobs.push_back(interpJob(*spec_, badEntry_, "malformed"));
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(interpJob(*spec_, healthy_, "healthy"));
+
+    FleetPolicy pol;
+    pol.keepGoing = false;
+    SimFleet fleet(1); // single worker: the skip set is deterministic
+    FleetReport r = fleet.run(jobs, pol);
+
+    EXPECT_TRUE(r.results[0].quarantined);
+    for (size_t i = 1; i < jobs.size(); ++i)
+        EXPECT_TRUE(r.results[i].skipped) << "job " << i;
+    auto *s = r.merged->resolve("fleet.health.skipped");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(static_cast<stats::Counter *>(s)->value(), 4u);
+}
+
+TEST_F(FleetContainmentTest, StrictSyscallModeIsPerJob)
+{
+    // li R0, 999; sys; hlt -- unknown OS call.  Lenient jobs get -1 and
+    // halt; strict jobs quarantine with a GuestError from the OS layer.
+    Program p = miniProgram({li(0, 999), kSysWord, kHltWord}, "unknown-sys");
+    FleetJob lenient = interpJob(*spec_, p, "lenient");
+    FleetJob strict = interpJob(*spec_, p, "strict");
+    strict.strictSyscalls = true;
+
+    SimFleet fleet(2);
+    FleetReport r = fleet.run({lenient, strict});
+    EXPECT_FALSE(r.results[0].quarantined) << r.results[0].error;
+    EXPECT_EQ(r.results[0].run.status, RunStatus::Halted);
+    EXPECT_TRUE(r.results[1].quarantined);
+    EXPECT_EQ(r.results[1].errorKind, ErrorKind::Guest);
+    EXPECT_NE(r.results[1].error.find("[os]"), std::string::npos)
+        << r.results[1].error;
+}
+
+TEST_F(FleetContainmentTest, InjectedStateFaultIsDetectedAndCounted)
+{
+    FaultPlan plan;
+    plan.events.push_back({FaultOp::PcBitFlip, /*trigger=*/2, 0, 1, false});
+    FleetJob j = interpJob(*spec_, healthy_, "pc-flip");
+    j.faultPlan = &plan;
+
+    SimFleet fleet(1);
+    FleetReport r = fleet.run({j});
+    // The flip lands the PC past the address limit: detected as an
+    // architectural fault, not silently absorbed.
+    EXPECT_EQ(r.results[0].run.status, RunStatus::Fault);
+    EXPECT_EQ(r.results[0].faultsInjected, 1u);
+    auto *s = r.merged->resolve("fleet.health.faults_injected");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(static_cast<stats::Counter *>(s)->value(), 1u);
+}
+
+} // namespace
+} // namespace onespec

@@ -13,7 +13,9 @@
 
 #include "adl/encexpr.hpp"
 #include "ckpt/checkpoint.hpp"
+#include "fault/fault.hpp"
 #include "iface/registry.hpp"
+#include "parallel/fleet.hpp"
 #include "isa/isa.hpp"
 #include "runtime/context.hpp"
 #include "sim/interp.hpp"
@@ -409,6 +411,119 @@ TEST_P(FuzzCkptTest, MidRunCheckpointResumesBitIdentically)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIsas, FuzzCkptTest,
+                         ::testing::ValuesIn(fuzzCases()),
+                         [](const auto &info) {
+                             return info.param.isa + "_s" +
+                                    std::to_string(info.param.seed);
+                         });
+
+/**
+ * Fault-plan family: seeded plans drawn from the guaranteed-detectable
+ * menu (undecodable-instruction corruption and address-limit PC flips
+ * for live state; bit-flips and truncation for serialized checkpoints)
+ * are injected through the SimFleet containment path against random
+ * control-flow programs, on the interpreter and a generated buildset.
+ * Every injected corruption must surface as RunStatus::Fault or a
+ * quarantine -- a single silent absorption fails the family.
+ */
+class FuzzFaultTest : public ::testing::TestWithParam<FuzzCfg>
+{
+};
+
+TEST_P(FuzzFaultTest, InjectedCorruptionIsNeverSilentlyAbsorbed)
+{
+    const FuzzCfg &cfg = GetParam();
+    auto spec = loadIsa(cfg.isa);
+    std::mt19937 rng(cfg.seed ^ 0xfa017000u);
+    parallel::SimFleet fleet(2);
+
+    for (int round = 0; round < 2; ++round) {
+        uint32_t pseed = rng();
+        std::mt19937 prng(pseed);
+        Program prog = randomLoopProgram(*spec, prng);
+
+        for (bool interp : {true, false}) {
+            // Reference length of the unfaulted run bounds the triggers.
+            SimContext ref(*spec);
+            ref.load(prog);
+            auto rsim = interp
+                ? makeInterpSimulator(ref, "OneAllNo")
+                : SimRegistry::instance().create(ref, "BlockAllNo");
+            ASSERT_NE(rsim, nullptr);
+            RunResult rr = rsim->run(100'000);
+            ASSERT_EQ(static_cast<int>(rr.status),
+                      static_cast<int>(RunStatus::Halted));
+            ASSERT_GT(rr.instrs, 2u);
+
+            // State-class plans: corrupt live state mid-run.
+            std::vector<fault::FaultPlan> plans;
+            std::vector<parallel::FleetJob> jobs;
+            for (unsigned s = 0; s < 3; ++s) {
+                plans.push_back(fault::FaultPlan::random(
+                    pseed + s, rr.instrs - 1,
+                    {fault::FaultOp::CorruptInstr, fault::FaultOp::PcBitFlip},
+                    1));
+            }
+            for (unsigned s = 0; s < 3; ++s) {
+                parallel::FleetJob j;
+                j.spec = spec.get();
+                j.program = &prog;
+                j.buildset = "BlockAllNo";
+                j.useInterp = interp;
+                j.maxInstrs = 100'000;
+                j.name = cfg.isa + "/state" + std::to_string(s);
+                j.faultPlan = &plans[s];
+                jobs.push_back(std::move(j));
+            }
+
+            // Container-class plans: corrupt a serialized checkpoint and
+            // restore it inside the job.
+            SimContext cctx(*spec);
+            cctx.load(prog);
+            auto csim = interp
+                ? makeInterpSimulator(cctx, "OneAllNo")
+                : SimRegistry::instance().create(cctx, "BlockAllNo");
+            ASSERT_EQ(static_cast<int>(csim->run(rr.instrs / 2).status),
+                      static_cast<int>(RunStatus::Ok));
+            std::vector<uint8_t> image =
+                ckpt::encode(ckpt::capture(cctx));
+            std::vector<fault::FaultPlan> cplans;
+            for (unsigned s = 0; s < 3; ++s) {
+                cplans.push_back(fault::FaultPlan::random(
+                    pseed + 0x40 + s, image.size(),
+                    {fault::FaultOp::CkptBitFlip,
+                     fault::FaultOp::CkptTruncate},
+                    1));
+            }
+            for (unsigned s = 0; s < 3; ++s) {
+                parallel::FleetJob j;
+                j.spec = spec.get();
+                j.program = &prog;
+                j.buildset = "BlockAllNo";
+                j.useInterp = interp;
+                j.maxInstrs = 100'000;
+                j.name = cfg.isa + "/ckpt" + std::to_string(s);
+                j.restoreImages.push_back(&image);
+                j.faultPlan = &cplans[s];
+                jobs.push_back(std::move(j));
+            }
+
+            parallel::FleetReport rep = fleet.run(jobs);
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                const auto &res = rep.results[i];
+                EXPECT_TRUE(res.quarantined ||
+                            res.run.status == RunStatus::Fault)
+                    << cfg.isa << (interp ? "/interp " : "/generated ")
+                    << jobs[i].name << " seed=" << pseed
+                    << ": corruption was silently absorbed"
+                    << " (status=" << static_cast<int>(res.run.status)
+                    << ", instrs=" << res.run.instrs << ")";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, FuzzFaultTest,
                          ::testing::ValuesIn(fuzzCases()),
                          [](const auto &info) {
                              return info.param.isa + "_s" +

@@ -81,6 +81,87 @@ TEST(Memory, AddressLimitFaults)
     EXPECT_EQ(f, FaultKind::None);
 }
 
+TEST(Memory, AddressLimitCheckSurvivesWraparound)
+{
+    // addr + len overflows uint64_t here; a naive `addr + len > limit`
+    // wraps to a small value and lets the access through.
+    Memory m;
+    FaultKind f = FaultKind::None;
+    (void)m.read(~uint64_t{0} - 3, 8, f);
+    EXPECT_EQ(f, FaultKind::BadMemory);
+    f = FaultKind::None;
+    m.write(~uint64_t{0} - 3, 0x55, 8, f);
+    EXPECT_EQ(f, FaultKind::BadMemory);
+    EXPECT_EQ(m.pageCount(), 0u); // the faulting write allocated nothing
+}
+
+TEST(Memory, FaultHookDefaultsToDetached)
+{
+    Memory m;
+    EXPECT_EQ(m.faultHook(), nullptr);
+}
+
+/** Scripted hook: flips a value bit on the Nth read, or raises a fault
+ *  on writes, mimicking the narrow contract src/fault/ relies on. */
+struct ScriptedHook final : Memory::FaultHook
+{
+    unsigned reads = 0;
+    unsigned flipOnRead = 0;     ///< 1-based ordinal; 0 = never
+    bool faultWrites = false;
+
+    void
+    onRead(uint64_t, unsigned len, uint64_t &value, FaultKind &) override
+    {
+        if (++reads == flipOnRead)
+            value ^= uint64_t{1} << (8 * len - 1);
+    }
+
+    void
+    onWrite(uint64_t, unsigned, uint64_t &, FaultKind &fault) override
+    {
+        if (faultWrites)
+            fault = FaultKind::BadMemory;
+    }
+};
+
+TEST(Memory, FaultHookObservesAndPerturbsReads)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x100, 0x11, 8, f);
+
+    ScriptedHook hook;
+    hook.flipOnRead = 2;
+    m.setFaultHook(&hook);
+    EXPECT_EQ(m.read(0x100, 8, f), 0x11u);                     // read #1
+    EXPECT_EQ(m.read(0x100, 8, f), 0x11u ^ (uint64_t{1} << 63)); // read #2
+    EXPECT_EQ(m.read(0x100, 8, f), 0x11u);                     // read #3
+    EXPECT_EQ(f, FaultKind::None);
+    EXPECT_EQ(hook.reads, 3u);
+
+    // Detaching restores clean reads unconditionally.
+    m.setFaultHook(nullptr);
+    EXPECT_EQ(m.read(0x100, 8, f), 0x11u);
+    EXPECT_EQ(hook.reads, 3u);
+}
+
+TEST(Memory, FaultHookRaisedWriteFaultSuppressesTheStore)
+{
+    Memory m;
+    FaultKind f = FaultKind::None;
+    m.write(0x200, 0xaa, 1, f);
+
+    ScriptedHook hook;
+    hook.faultWrites = true;
+    m.setFaultHook(&hook);
+    f = FaultKind::None;
+    m.write(0x200, 0xbb, 1, f);
+    EXPECT_EQ(f, FaultKind::BadMemory);
+    m.setFaultHook(nullptr);
+    f = FaultKind::None;
+    EXPECT_EQ(m.read(0x200, 1, f), 0xaau) << "faulted store leaked";
+}
+
 TEST(Memory, BlockCopy)
 {
     Memory m;

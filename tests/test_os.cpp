@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/context.hpp"
+#include "support/sim_error.hpp"
 #include "testutil.hpp"
 
 namespace onespec {
@@ -104,6 +105,54 @@ TEST_F(OsTest, GetPidIsStable)
 TEST_F(OsTest, UnknownSyscallReturnsError)
 {
     EXPECT_EQ(sys(999), static_cast<uint64_t>(-1));
+}
+
+TEST_F(OsTest, UnknownSyscallUnderStrictModeIsGuestError)
+{
+    ctx_->os().setStrictUnknownSyscalls(true);
+    EXPECT_TRUE(ctx_->os().strictUnknownSyscalls());
+    try {
+        sys(999);
+        FAIL() << "strict mode let an unknown OS call through";
+    } catch (const GuestError &e) {
+        EXPECT_EQ(e.context(), "os");
+        EXPECT_NE(std::string(e.what()).find("999"), std::string::npos)
+            << e.what();
+    }
+    // Known calls are unaffected by strict mode.
+    EXPECT_EQ(sys(kSysTimeMs), 0u);
+    ctx_->os().setStrictUnknownSyscalls(false);
+    EXPECT_EQ(sys(999), static_cast<uint64_t>(-1));
+}
+
+TEST_F(OsTest, SyscallHookCanForceFailure)
+{
+    struct Hook final : OsEmulator::SyscallHook
+    {
+        bool fail = false;
+        uint64_t lastNum = 0;
+        unsigned calls = 0;
+        bool
+        onSyscall(uint64_t num) override
+        {
+            ++calls;
+            lastNum = num;
+            return fail;
+        }
+    } hook;
+
+    ctx_->os().setSyscallHook(&hook);
+    hook.fail = true;
+    EXPECT_EQ(sys(kSysTimeMs), static_cast<uint64_t>(-1));
+    EXPECT_EQ(hook.lastNum, static_cast<uint64_t>(kSysTimeMs));
+    // The forced failure pre-empted the handler: the deterministic time
+    // counter did not advance.
+    hook.fail = false;
+    EXPECT_EQ(sys(kSysTimeMs), 0u);
+    EXPECT_EQ(hook.calls, 2u);
+
+    ctx_->os().setSyscallHook(nullptr);
+    EXPECT_EQ(sys(kSysTimeMs), 1u);
 }
 
 TEST_F(OsTest, RestoreTruncatesOutputAndClearsExit)

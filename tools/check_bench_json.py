@@ -37,6 +37,13 @@ Validates two things about each report:
    >= 4 hardware threads checkpoint-parallel must beat serial wall
    clock (with tolerance).
 
+5. Fault containment (results.fault_containment, written by
+   bench_fault_containment): the armed-vs-off hook overhead must stay
+   under a ceiling (injection disabled is one untaken branch; even armed
+   hooks should cost a few percent at most), at least one fault must
+   have been injected, and the detection rate must be exactly 1.0 --
+   a single silently absorbed corruption fails the report.
+
 With --smoke the speed comparisons use generous tolerance factors:
 smoke runs are short and wall-clock noise can locally reorder
 neighboring cells without the overall shape being wrong.
@@ -81,6 +88,9 @@ class Checker:
         # eats into the win, so the floor is just "not slower" with
         # smoke-noise headroom; wider hosts should comfortably clear it.
         self.ckpt_speedup_floor = 0.9 if smoke else 1.0
+        # Armed-hook overhead ceiling (percent).  Short smoke batches
+        # jitter more; full runs should sit near zero.
+        self.fault_overhead_ceiling = 10.0 if smoke else 5.0
 
     def fail(self, msg):
         self.errors.append(msg)
@@ -399,6 +409,49 @@ class Checker:
                       f"for the speedup floor; determinism, schema, and "
                       f"delta<=full still checked")
 
+    # -- fault containment ----------------------------------------------
+
+    def check_fault_containment(self, doc):
+        results = doc.get("results")
+        if (not isinstance(results, dict) or
+                "fault_containment" not in results):
+            return
+        fc = results["fault_containment"]
+        if not isinstance(fc, dict):
+            self.fail("results.fault_containment: not an object")
+            return
+
+        num = (int, float)
+        where = "fault_containment"
+        for key in ("mips_off", "mips_armed"):
+            v = self.expect(fc, key, num, where)
+            if v is not None and v <= 0:
+                self.fail(f"{where}: {key} must be positive, got {v}")
+        overhead = self.expect(fc, "overhead_pct", num, where)
+        for key in ("injected", "detected", "state_faults",
+                    "container_faults"):
+            v = self.expect(fc, key, (int,), where)
+            if v is not None and v < 0:
+                self.fail(f"{where}: {key} negative")
+        rate = self.expect(fc, "detection_rate", num, where)
+        if self.errors:
+            return
+
+        self.note(f"fault: armed-hook overhead {overhead:.2f}%, "
+                  f"{fc['detected']}/{fc['injected']} detected")
+        if overhead > self.fault_overhead_ceiling:
+            self.fail(f"{where}: armed-hook overhead {overhead:.2f}% "
+                      f"exceeds ceiling {self.fault_overhead_ceiling}%")
+        if fc["injected"] < 1:
+            self.fail(f"{where}: no faults were injected")
+        if fc["state_faults"] < 1 or fc["container_faults"] < 1:
+            self.fail(f"{where}: both state-class and container-class "
+                      f"faults must be exercised")
+        if fc["detected"] != fc["injected"] or rate != 1.0:
+            self.fail(f"{where}: detection rate {rate} != 1.0 "
+                      f"({fc['injected'] - fc['detected']} injected "
+                      f"corruptions were silently absorbed)")
+
     # -- driver ---------------------------------------------------------
 
     def run(self):
@@ -413,6 +466,7 @@ class Checker:
         self.check_shapes(doc)
         self.check_fleet(doc)
         self.check_ckpt_sampling(doc)
+        self.check_fault_containment(doc)
         return not self.errors
 
 

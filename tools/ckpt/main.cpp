@@ -318,7 +318,9 @@ main(int argc, char **argv)
             return cmdRestore(files, opt);
         }
         return usage();
-    } catch (const ckpt::CkptError &e) {
+    } catch (const SimError &e) {
+        // CkptError and every other contained failure (bad description,
+        // unknown kernel) land here; CLI contract stays "exit 1".
         std::fprintf(stderr, "onespec-ckpt: %s\n", e.what());
         return 1;
     }

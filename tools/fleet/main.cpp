@@ -10,8 +10,14 @@
  *   onespec-fleet --threads 4 --instrs 5000000
  *   onespec-fleet --isa alpha64 --buildset OneAllNo --stats
  *   onespec-fleet --repeat 3 --kernel fib --kernel crc32
+ *   onespec-fleet --deadline-ms 2000 --retries 1
+ *
+ * Failed jobs are quarantined (structured error records), healthy jobs
+ * complete, and the exit code is the quarantined-job count (capped at
+ * 100; 101+ reserved for usage errors).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -59,14 +65,19 @@ usage()
         "  --kernel NAME   restrict to one kernel (repeatable)\n"
         "  --repeat N      queue the batch N times (default 1)\n"
         "  --interp        interpreter back end instead of generated\n"
-        "  --stats         dump the merged stats registry\n");
-    return 2;
+        "  --stats         dump the merged stats registry\n"
+        "  --deadline-ms N per-job watchdog deadline (default: none)\n"
+        "  --retries N     extra attempts for resource failures "
+        "(default 0)\n"
+        "  --keep-going    run all jobs even after a quarantine "
+        "(default: abort the batch on first failure)\n");
+    return 101;
 }
 
 } // namespace
 
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
     unsigned threads = 0;
     std::string buildset = "BlockMinNo";
@@ -74,6 +85,8 @@ main(int argc, char **argv)
     std::vector<std::string> isas, kernels;
     int repeat = 1;
     bool interp = false, dump_stats = false;
+    parallel::FleetPolicy policy;
+    policy.keepGoing = false; // CLI default: fail fast; see --keep-going
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -93,6 +106,15 @@ main(int argc, char **argv)
             interp = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             dump_stats = true;
+        } else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
+                   i + 1 < argc) {
+            policy.deadlineNs =
+                std::strtoull(argv[++i], nullptr, 0) * 1'000'000ull;
+        } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+            policy.maxAttempts = 1 + static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+            policy.keepGoing = true;
         } else {
             return usage();
         }
@@ -143,30 +165,37 @@ main(int argc, char **argv)
                 jobs.size(), fleet.threads(), buildset.c_str(),
                 interp ? "interpreter" : "generated");
 
-    FleetReport report = fleet.run(jobs);
+    FleetReport report = fleet.run(jobs, policy);
 
-    std::printf("%-20s %-8s %12s %10s %18s\n", "job", "status", "instrs",
+    std::printf("%-20s %-12s %12s %10s %18s\n", "job", "status", "instrs",
                 "MIPS", "state_hash");
-    int failures = 0;
     for (size_t j = 0; j < jobs.size(); ++j) {
         const auto &res = report.results[j];
         const char *status =
-            !res.error.empty()                     ? "ERROR"
+            res.skipped                            ? "skipped"
+            : res.quarantined                      ? "QUARANTINED"
             : res.run.status == RunStatus::Halted  ? "halted"
             : res.run.status == RunStatus::Fault   ? "fault"
                                                    : "ok";
         double mips = res.ns ? static_cast<double>(res.run.instrs) *
                                    1000.0 / static_cast<double>(res.ns)
                              : 0.0;
-        std::printf("%-20s %-8s %12llu %10.2f %18llx\n",
+        std::printf("%-20s %-12s %12llu %10.2f %18llx\n",
                     jobs[j].name.c_str(), status,
                     static_cast<unsigned long long>(res.run.instrs), mips,
                     static_cast<unsigned long long>(res.stateHash));
-        if (!res.error.empty()) {
-            std::printf("    %s\n", res.error.c_str());
-            ++failures;
+        if (res.quarantined) {
+            std::printf("    [%s, %u attempt%s, %.2f ms] %s\n",
+                        errorKindName(res.errorKind), res.attempts,
+                        res.attempts == 1 ? "" : "s",
+                        static_cast<double>(res.ns) / 1e6,
+                        res.error.c_str());
         }
     }
+    unsigned quarantined = report.quarantinedCount();
+    if (quarantined)
+        std::printf("\n%u job%s quarantined\n", quarantined,
+                    quarantined == 1 ? "" : "s");
     std::printf("\naggregate: %llu instrs in %.2f ms on %u threads = "
                 "%.2f MIPS\n",
                 static_cast<unsigned long long>(report.totalInstrs()),
@@ -178,5 +207,22 @@ main(int argc, char **argv)
                     "thread-count invariant):\n");
         report.merged->dump(std::cout);
     }
-    return failures ? 1 : 0;
+    // Exit code = quarantined-job count so scripts can count failures
+    // without parsing; 101+ is reserved for usage errors.
+    return static_cast<int>(std::min(quarantined, 100u));
+}
+
+int
+main(int argc, char **argv)
+{
+    // Contained failures reaching main() mean the whole batch was
+    // unbuildable (bad description file, unknown kernel): report and
+    // exit like the old fatal() did.
+    try {
+        return realMain(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "onespec-fleet: fatal (%s): %s\n",
+                     errorKindName(e.kind()), e.what());
+        return 102;
+    }
 }

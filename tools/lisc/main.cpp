@@ -21,6 +21,7 @@
 #include "adl/spec.hpp"
 #include "codegen/cppgen.hpp"
 #include "support/logging.hpp"
+#include "support/sim_error.hpp"
 
 namespace {
 
@@ -69,7 +70,7 @@ dumpSpec(const Spec &spec)
 } // namespace
 
 int
-main(int argc, char **argv)
+realMain(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
@@ -125,4 +126,17 @@ main(int argc, char **argv)
         return 0;
     }
     return usage();
+}
+
+int
+main(int argc, char **argv)
+{
+    // Loader/codegen failures throw the SimError taxonomy now; the CLI
+    // contract stays "exit 1 with the message on stderr".
+    try {
+        return realMain(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "lisc: %s\n", e.what());
+        return 1;
+    }
 }
