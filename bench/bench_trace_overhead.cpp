@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Observability must be free when off.  This bench measures, rather
+ * than asserts, the cost of the flight recorder and hot-PC profiler:
+ *
+ *  1. Baseline.  A fleet batch with the recorder compiled in but never
+ *     armed -- the production path: one relaxed load and a predictable
+ *     untaken branch per instrumentation site.
+ *
+ *  2. Disarmed.  The same batch after an arm/disarm cycle, the worst
+ *     honest disarmed state (per-thread rings registered and readable,
+ *     armed flag false).  The checker enforces a tight ceiling on the
+ *     baseline-vs-disarmed delta; this is the "near-zero cost disarmed"
+ *     claim in numbers.
+ *
+ *  3. Armed.  The batch with the recorder armed and recording into the
+ *     per-thread rings.  Reported, not gated: armed tracing is a debug
+ *     posture and its cost is an honest disclosure, not a regression.
+ *
+ *  4. Profiler.  The same kernel on the interpreter and a generated
+ *     simulator, both with a fixed-stride PcProfiler attached.  Both
+ *     back ends drive the sample hook from their retire point, so the
+ *     two PC-bucket histograms must be *identical* -- the
+ *     single-specification principle checked through the profiling
+ *     lens.  Armed profiler throughput is reported next to a
+ *     no-profiler run of the same configuration.
+ *
+ * Emits BENCH_trace_overhead.json; tools/check_bench_json.py enforces
+ * the disarmed ceiling, bucket-sum consistency, and the
+ * interp-vs-generated histogram identity flag.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/pc_profile.hpp"
+#include "parallel/fleet.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+using onespec::parallel::FleetJob;
+using onespec::parallel::FleetReport;
+using onespec::parallel::SimFleet;
+
+namespace {
+
+std::vector<FleetJob>
+makeJobs(const std::string &buildset, uint64_t max_instrs)
+{
+    std::vector<FleetJob> jobs;
+    for (const auto &isa : shippedIsas()) {
+        IsaWorkloads &w = workloadsFor(isa);
+        for (const auto &[kname, prog] : w.programs) {
+            FleetJob j;
+            j.spec = w.spec.get();
+            j.program = &prog;
+            j.buildset = buildset;
+            j.maxInstrs = max_instrs;
+            j.name = isa + "/" + kname;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+/** Best aggregate MIPS over @p repeats fleet runs of @p jobs. */
+double
+bestMips(SimFleet &fleet, const std::vector<FleetJob> &jobs, int repeats)
+{
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+        FleetReport rep = fleet.run(jobs);
+        for (const auto &res : rep.results) {
+            if (res.quarantined) {
+                std::fprintf(stderr, "overhead job failed: %s\n",
+                             res.error.c_str());
+                std::exit(1);
+            }
+        }
+        best = std::max(best, rep.aggregateMips());
+    }
+    return best;
+}
+
+double
+overheadPct(double base, double other)
+{
+    return other > 0 ? (base / other - 1.0) * 100.0 : 0.0;
+}
+
+/** One profiled run of @p prog; returns the profiler for inspection
+ *  and publishes its histogram under "profile.<label>" in the global
+ *  registry.  @p mips_out gets the run's throughput. */
+std::unique_ptr<obs::PcProfiler>
+profiledRun(const Spec &spec, const Program &prog,
+            const std::string &buildset, bool interp, uint64_t instrs,
+            uint64_t stride, const std::string &label, double *mips_out)
+{
+    SimContext ctx(spec);
+    ctx.load(prog);
+    auto sim = interp ? std::unique_ptr<FunctionalSimulator>(
+                            makeInterpSimulator(ctx, buildset))
+                      : SimRegistry::instance().create(ctx, buildset);
+    obs::PcProfiler::Config cfg;
+    cfg.strideInstrs = stride;
+    auto prof = std::make_unique<obs::PcProfiler>(spec, cfg);
+    sim->setProfiler(prof.get());
+    Measurement m = runTimed(ctx, *sim, prog, instrs);
+    if (mips_out)
+        *mips_out = m.mips();
+    prof->publish(
+        stats::StatsRegistry::global().group("profile." + label));
+    return prof;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t max_instrs = 2'000'000;
+    int repeats = 3;
+    std::string buildset = "BlockMinNo";
+    std::string json_path;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
+            max_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--buildset") == 0 && i + 1 < argc) {
+            buildset = argv[++i];
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            max_instrs = 250'000;
+            repeats = 2;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    BenchReport report("trace_overhead");
+    report.setParam("buildset", stats::Json(buildset));
+    report.setParam("max_instrs_per_job", stats::Json(max_instrs));
+    report.setParam("smoke", stats::Json(smoke));
+
+    std::printf("TRACE OVERHEAD: flight recorder + hot-PC profiler\n\n");
+
+    auto &fc = obs::FlightControl::instance();
+    std::vector<FleetJob> jobs = makeJobs(buildset, max_instrs);
+    SimFleet fleet(0);
+
+    // ---- Phases 1-3: recorder off / disarmed / armed -------------------
+    double mips_baseline = bestMips(fleet, jobs, repeats);
+
+    fc.arm();
+    fc.disarm();
+    double mips_disarmed = bestMips(fleet, jobs, repeats);
+
+    // Generous ring so the armed number is not flattered by overwrite:
+    // every recorded event pays its full cost either way, but dropped
+    // counts would muddy the disclosure.
+    fc.arm(1 << 16);
+    double mips_armed = bestMips(fleet, jobs, repeats);
+    uint64_t events_recorded = fc.totalEvents();
+    uint64_t events_dropped = fc.totalDropped();
+    fc.disarm();
+
+    double disarmed_pct = overheadPct(mips_baseline, mips_disarmed);
+    double armed_pct = overheadPct(mips_baseline, mips_armed);
+    std::printf("recorder never armed: %10.2f MIPS\n", mips_baseline);
+    std::printf("recorder disarmed:    %10.2f MIPS  (overhead %.2f%%)\n",
+                mips_disarmed, disarmed_pct);
+    std::printf("recorder armed:       %10.2f MIPS  (overhead %.2f%%, "
+                "%llu events, %llu dropped)\n\n",
+                mips_armed, armed_pct,
+                static_cast<unsigned long long>(events_recorded),
+                static_cast<unsigned long long>(events_dropped));
+
+    // ---- Phase 4: profiler identity across back ends -------------------
+    const std::string isa = shippedIsas().front();
+    IsaWorkloads &w = workloadsFor(isa);
+    const auto &[kname, prog] = w.programs.front();
+    const uint64_t stride = 64;
+
+    double mips_noprof = 0.0, mips_interp = 0.0, mips_gen = 0.0;
+    {
+        SimContext ctx(*w.spec);
+        ctx.load(prog);
+        auto sim = SimRegistry::instance().create(ctx, buildset);
+        mips_noprof = runTimed(ctx, *sim, prog, max_instrs).mips();
+    }
+    auto prof_i = profiledRun(*w.spec, prog, buildset, true, max_instrs,
+                              stride, "interp", &mips_interp);
+    auto prof_g = profiledRun(*w.spec, prog, buildset, false, max_instrs,
+                              stride, "generated", &mips_gen);
+
+    bool buckets_match = prof_i->buckets() == prof_g->buckets() &&
+                         prof_i->opCounts() == prof_g->opCounts() &&
+                         prof_i->samples() == prof_g->samples();
+    uint64_t bucket_sum = 0;
+    for (const auto &[pc, n] : prof_g->buckets())
+        bucket_sum += n;
+
+    std::printf("profiler on %s/%s, stride %llu:\n", isa.c_str(),
+                kname.c_str(), static_cast<unsigned long long>(stride));
+    std::printf("  no profiler (%s): %10.2f MIPS\n", buildset.c_str(),
+                mips_noprof);
+    std::printf("  generated armed:     %10.2f MIPS  (overhead %.2f%%)\n",
+                mips_gen, overheadPct(mips_noprof, mips_gen));
+    std::printf("  interp armed:        %10.2f MIPS\n", mips_interp);
+    std::printf("  %llu samples, %zu PC buckets, histograms %s\n\n",
+                static_cast<unsigned long long>(prof_g->samples()),
+                prof_g->buckets().size(),
+                buckets_match ? "IDENTICAL across back ends"
+                              : "DIVERGED across back ends");
+
+    stats::Json to = stats::Json::object();
+    to.set("mips_baseline", stats::Json(mips_baseline));
+    to.set("mips_disarmed", stats::Json(mips_disarmed));
+    to.set("mips_armed", stats::Json(mips_armed));
+    to.set("overhead_disarmed_pct", stats::Json(disarmed_pct));
+    to.set("overhead_armed_pct", stats::Json(armed_pct));
+    to.set("events_recorded", stats::Json(events_recorded));
+    to.set("events_dropped", stats::Json(events_dropped));
+    stats::Json pj = stats::Json::object();
+    pj.set("isa", stats::Json(isa));
+    pj.set("kernel", stats::Json(kname));
+    pj.set("stride", stats::Json(stride));
+    pj.set("samples", stats::Json(prof_g->samples()));
+    pj.set("bucket_sum", stats::Json(bucket_sum));
+    pj.set("pc_buckets", stats::Json(
+        static_cast<uint64_t>(prof_g->buckets().size())));
+    pj.set("buckets_match", stats::Json(buckets_match));
+    pj.set("mips_no_profiler", stats::Json(mips_noprof));
+    pj.set("mips_generated", stats::Json(mips_gen));
+    pj.set("mips_interp", stats::Json(mips_interp));
+    to.set("profile", std::move(pj));
+    report.addResult("trace_overhead", std::move(to));
+    report.write(json_path);
+
+    // The bench itself gates only correctness (histogram identity and
+    // bucket accounting); throughput ceilings live in the checker where
+    // smoke/full tolerances belong.
+    bool ok = buckets_match && bucket_sum == prof_g->samples() &&
+              prof_g->samples() > 0 && events_recorded > 0;
+    return ok ? 0 : 1;
+}

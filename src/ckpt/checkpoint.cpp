@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
+#include "stats/trace.hpp"
 #include "support/crc32.hpp"
 #include "support/logging.hpp"
 
@@ -309,6 +311,7 @@ Checkpoint
 capture(SimContext &ctx, CkptCounters *c)
 {
     auto t0 = std::chrono::steady_clock::now();
+    obs::FrSpan span(obs::EvType::CkptCapture, 0);
     Checkpoint ck;
     fillCommon(ck, ctx);
     ctx.mem().forEachPage([&](uint64_t idx, const uint8_t *data, uint64_t) {
@@ -323,6 +326,8 @@ capture(SimContext &ctx, CkptCounters *c)
               });
     ck.epochMark = ctx.mem().newEpoch();
     ck.id = contentHash(ck);
+    span.setArgs(ck.pages.size(), 0);
+    ONESPEC_TRACE("ckpt", "capture", ck.pages.size(), ck.instrsRetired);
     if (c) {
         ++c->fullCaptures;
         c->pagesCaptured += ck.pages.size();
@@ -335,6 +340,7 @@ Checkpoint
 captureDelta(SimContext &ctx, const Checkpoint &parent, CkptCounters *c)
 {
     auto t0 = std::chrono::steady_clock::now();
+    obs::FrSpan span(obs::EvType::CkptCapture, 0, 0, 1);
     checkSpec(ctx, parent, "capture a delta");
     Checkpoint ck;
     ck.delta = true;
@@ -355,6 +361,9 @@ captureDelta(SimContext &ctx, const Checkpoint &parent, CkptCounters *c)
               });
     ck.epochMark = ctx.mem().newEpoch();
     ck.id = contentHash(ck);
+    span.setArgs(ck.pages.size(), 1);
+    ONESPEC_TRACE("ckpt", "capture_delta", ck.pages.size(),
+                  ck.instrsRetired);
     if (c) {
         ++c->deltaCaptures;
         c->pagesCaptured += ck.pages.size();
@@ -367,6 +376,7 @@ void
 restore(SimContext &ctx, const Checkpoint &ck, CkptCounters *c)
 {
     auto t0 = std::chrono::steady_clock::now();
+    obs::FrSpan span(obs::EvType::CkptRestore, 0, ck.pages.size(), 0);
     if (ck.delta)
         throw CkptError(
             "cannot restore a delta checkpoint directly; restore its "
@@ -377,6 +387,7 @@ restore(SimContext &ctx, const Checkpoint &ck, CkptCounters *c)
     applyScalarState(ctx, ck);
     // Journaled undo entries describe the pre-restore execution.
     ctx.journal().clear();
+    ONESPEC_TRACE("ckpt", "restore", ck.pages.size(), ck.instrsRetired);
     if (c) {
         ++c->restores;
         c->pagesRestored += ck.pages.size();
@@ -394,6 +405,7 @@ restoreChain(SimContext &ctx,
     for (size_t i = 1; i < chain.size(); ++i) {
         auto t0 = std::chrono::steady_clock::now();
         const Checkpoint &d = *chain[i];
+        obs::FrSpan span(obs::EvType::CkptRestore, 0, d.pages.size(), i);
         if (!d.delta)
             throw CkptError(
                 "checkpoint chain link " + std::to_string(i) +
@@ -407,6 +419,7 @@ restoreChain(SimContext &ctx,
         checkSpec(ctx, d, "restore");
         installPages(ctx, d);
         applyScalarState(ctx, d);
+        ONESPEC_TRACE("ckpt", "restore", d.pages.size(), d.instrsRetired);
         if (c) {
             ++c->restores;
             c->pagesRestored += d.pages.size();
@@ -494,8 +507,10 @@ encode(const Checkpoint &ck, CkptCounters *c)
     return out.take();
 }
 
+namespace {
+
 Checkpoint
-decode(const std::vector<uint8_t> &bytes, CkptCounters *c)
+decodeImpl(const std::vector<uint8_t> &bytes, CkptCounters *c)
 {
     Reader hdr(bytes.data(), bytes.size(), "header");
     char magic[8];
@@ -599,6 +614,21 @@ decode(const std::vector<uint8_t> &bytes, CkptCounters *c)
     if (c)
         c->bytesDecoded += bytes.size();
     return ck;
+}
+
+} // namespace
+
+Checkpoint
+decode(const std::vector<uint8_t> &bytes, CkptCounters *c)
+{
+    try {
+        return decodeImpl(bytes, c);
+    } catch (const CkptError &) {
+        // Every rejection path (magic, version, CRC, truncation) funnels
+        // through here so observers can count damaged containers.
+        ONESPEC_TRACE("ckpt", "reject", bytes.size(), 0);
+        throw;
+    }
 }
 
 void

@@ -888,10 +888,16 @@ CppGen::emitGroup(const Group &g)
 
     line(1, "if (di.fault != ::onespec::FaultKind::None) return "
             "RunStatus::Fault;");
-    if (has_exc)
+    if (has_exc) {
+        // Hot-PC profiler sample hook at the generated retire point,
+        // mirroring the interpreter's hook in runSteps.  Disarmed cost:
+        // one predictable null-pointer branch per retired instruction.
+        line(1, "if (this->prof_) [[unlikely]] "
+                "this->prof_->tick(di.pc, di.opId);");
         line(1, "return this->retire(di);");
-    else
+    } else {
         line(1, "return RunStatus::Ok;");
+    }
     line(0, "}");
     line(0, "");
 }

@@ -21,6 +21,7 @@
 #include "iface/dyninst.hpp"
 #include "iface/functional_simulator.hpp"
 #include "iface/registry.hpp"
+#include "obs/pc_profile.hpp" // full type for the cppgen-emitted prof_ hook
 #include "stats/trace.hpp"
 #include "support/logging.hpp"
 #include "support/sim_error.hpp"

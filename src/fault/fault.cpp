@@ -1,5 +1,8 @@
 #include "fault/fault.hpp"
 
+#include "obs/flight_recorder.hpp"
+#include "stats/trace.hpp"
+
 namespace onespec {
 namespace fault {
 
@@ -39,6 +42,19 @@ mix(uint64_t &s)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
+}
+
+/** Every e.fired=true site funnels through here: observers (TraceBus,
+ *  flight recorder) see each injected fault exactly once, with its op
+ *  and trigger ordinal.  Cold by construction -- a plan event fires at
+ *  most once. */
+void
+noteFired(const FaultEvent &e)
+{
+    ONESPEC_TRACE("fault", "inject", static_cast<unsigned>(e.op),
+                  e.trigger);
+    ONESPEC_FR_INSTANT(obs::EvType::Fault, 0,
+                       static_cast<unsigned>(e.op), e.trigger);
 }
 
 } // namespace
@@ -94,10 +110,12 @@ FaultInjector::onRead(uint64_t, unsigned len, uint64_t &value,
         if (e.op == FaultOp::MemReadBitFlip && e.trigger == reads_) {
             value ^= uint64_t{1} << (e.bit % (8 * len));
             e.fired = true;
+            noteFired(e);
         } else if (e.op == FaultOp::MemAccessFault &&
                    e.trigger == reads_ + writes_) {
             fault = FaultKind::BadMemory;
             e.fired = true;
+            noteFired(e);
         }
     }
 }
@@ -113,10 +131,12 @@ FaultInjector::onWrite(uint64_t, unsigned len, uint64_t &value,
         if (e.op == FaultOp::MemWriteBitFlip && e.trigger == writes_) {
             value ^= uint64_t{1} << (e.bit % (8 * len));
             e.fired = true;
+            noteFired(e);
         } else if (e.op == FaultOp::MemAccessFault &&
                    e.trigger == reads_ + writes_) {
             fault = FaultKind::BadMemory;
             e.fired = true;
+            noteFired(e);
         }
     }
 }
@@ -131,6 +151,7 @@ FaultInjector::onSyscall(uint64_t)
             e.trigger == syscalls_) {
             e.fired = true;
             fail = true;
+            noteFired(e);
         }
     }
     return fail;
@@ -206,6 +227,7 @@ FaultInjector::applyStateFaults(SimContext &ctx)
         }
         e.fired = true;
         any = true;
+        noteFired(e);
     }
     return any;
 }
@@ -222,10 +244,12 @@ FaultInjector::corruptContainer(std::vector<uint8_t> &bytes)
                 static_cast<uint8_t>(1u << (e.bit % 8));
             e.fired = true;
             any = true;
+            noteFired(e);
         } else if (e.op == FaultOp::CkptTruncate) {
             bytes.resize(e.trigger % bytes.size());
             e.fired = true;
             any = true;
+            noteFired(e);
         }
     }
     return any;

@@ -36,6 +36,10 @@
 
 namespace onespec {
 
+namespace obs {
+class PcProfiler;
+}
+
 /** Outcome of advancing the functional simulation. */
 enum class RunStatus : uint8_t
 {
@@ -216,6 +220,17 @@ class FunctionalSimulator
     void resetIfaceCounters() { counters_ = IfaceCounters{}; }
 
     /**
+     * Attach (or detach with nullptr) a guest hot-PC profiler.  Both
+     * back ends call prof_->tick(pc, opId) at their retire point -- the
+     * interpreter from runSteps, synthesized simulators from a hook
+     * cppgen emits ahead of retire(di).  Detached cost: one predictable
+     * null-pointer branch per retired instruction.  The profiler is not
+     * owned and must outlive the runs it observes.
+     */
+    void setProfiler(obs::PcProfiler *p) { prof_ = p; }
+    obs::PcProfiler *profiler() const { return prof_; }
+
+    /**
      * Fold this simulator's counters into @p g as registry counters
      * (entrypoint calls, crossings, instructions delivered), then let the
      * concrete back end add its own (decode/block caches, ...) via
@@ -250,6 +265,8 @@ class FunctionalSimulator
 
     SimContext &ctx_;
     IfaceCounters counters_;
+    /** Hot-PC sampling hook; nullptr (disarmed) by default. */
+    obs::PcProfiler *prof_ = nullptr;
     /** Snapshot at the last publishStats(), so repeated publishes into
      *  the same registry group add only the delta. */
     mutable IfaceCounters published_;

@@ -1,0 +1,143 @@
+#include "obs/flight_recorder.hpp"
+
+namespace onespec::obs {
+
+const char *
+evTypeName(EvType t)
+{
+    switch (t) {
+      case EvType::Job: return "job";
+      case EvType::Backoff: return "backoff";
+      case EvType::CkptCapture: return "ckpt_capture";
+      case EvType::CkptRestore: return "ckpt_restore";
+      case EvType::Retry: return "retry";
+      case EvType::Quarantine: return "quarantine";
+      case EvType::Deadline: return "deadline";
+      case EvType::Syscall: return "syscall";
+      case EvType::Fault: return "fault";
+      case EvType::CrossBatch: return "cross_batch";
+    }
+    return "?";
+}
+
+const char *
+evCategory(EvType t)
+{
+    switch (t) {
+      case EvType::Job:
+      case EvType::Backoff:
+      case EvType::Retry:
+      case EvType::Quarantine:
+      case EvType::Deadline:
+        return "fleet";
+      case EvType::CkptCapture:
+      case EvType::CkptRestore:
+        return "ckpt";
+      case EvType::Syscall:
+        return "os";
+      case EvType::Fault:
+        return "fault";
+      case EvType::CrossBatch:
+        return "iface";
+    }
+    return "?";
+}
+
+std::vector<FrEvent>
+FlightRecorder::snapshot() const
+{
+    uint64_t h = head_.load(std::memory_order_acquire);
+    size_t cap = buf_.size();
+    size_t n = h < cap ? static_cast<size_t>(h) : cap;
+    std::vector<FrEvent> out;
+    out.reserve(n);
+    uint64_t first = h - n;
+    for (uint64_t i = first; i < h; ++i)
+        out.push_back(buf_[i % cap]);
+    return out;
+}
+
+std::vector<FrEvent>
+FlightRecorder::tail(size_t n) const
+{
+    std::vector<FrEvent> all = snapshot();
+    if (all.size() > n)
+        all.erase(all.begin(), all.end() - static_cast<ptrdiff_t>(n));
+    return all;
+}
+
+FlightControl &
+FlightControl::instance()
+{
+    static FlightControl fc;
+    return fc;
+}
+
+void
+FlightControl::arm(size_t events_per_thread)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    recorders_.clear();
+    capacity_ = events_per_thread ? events_per_thread : 1;
+    gen_.fetch_add(1, std::memory_order_release);
+    epochNs_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+FlightControl::disarm()
+{
+    armed_.store(false, std::memory_order_release);
+}
+
+FlightRecorder &
+FlightControl::local()
+{
+    struct Tls
+    {
+        FlightRecorder *rec = nullptr;
+        uint64_t gen = 0;
+    };
+    thread_local Tls tls;
+    uint64_t g = gen_.load(std::memory_order_acquire);
+    if (tls.rec && tls.gen == g)
+        return *tls.rec;
+    std::lock_guard<std::mutex> lock(m_);
+    auto rec = std::make_shared<FlightRecorder>(
+        static_cast<unsigned>(recorders_.size()), capacity_);
+    recorders_.push_back(rec);
+    tls.rec = rec.get();
+    tls.gen = g;
+    return *tls.rec;
+}
+
+std::vector<std::shared_ptr<FlightRecorder>>
+FlightControl::recorders() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return recorders_;
+}
+
+uint64_t
+FlightControl::totalEvents() const
+{
+    uint64_t n = 0;
+    for (const auto &r : recorders())
+        n += r->totalRecorded();
+    return n;
+}
+
+uint64_t
+FlightControl::totalDropped() const
+{
+    uint64_t n = 0;
+    for (const auto &r : recorders())
+        n += r->dropped();
+    return n;
+}
+
+} // namespace onespec::obs

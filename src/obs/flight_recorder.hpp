@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Flight recorder: per-thread, fixed-capacity ring buffers of typed
+ * span/instant events (job start/finish, interface-crossing batches,
+ * checkpoint save/restore, retry/backoff, syscalls, injected faults).
+ *
+ * Contract, mirroring ONESPEC_TRACE: when the recorder is *disarmed*
+ * (the default), a recording site costs exactly one predictable branch
+ * on a relaxed atomic load and allocates nothing.  When *armed*, each
+ * thread that records gets its own fixed-capacity ring (32 bytes per
+ * event), so memory is bounded at capacity x threads and old events are
+ * overwritten, never grown -- a flight recorder keeps the recent past,
+ * not the whole flight.
+ *
+ * Recording is lock-free: a thread only ever appends to its own ring.
+ * The one mutex in the subsystem guards recorder *registration* (first
+ * event per thread per arm generation) and enumeration.  Reading a ring
+ * is safe from the owning thread at any time (quarantine postmortems)
+ * and from other threads once the producers have quiesced -- e.g. after
+ * SimFleet's pool wait, which is where the timeline exporter runs.
+ *
+ * Use the macros:
+ *
+ *     ONESPEC_FR_BEGIN(EvType::Job, jobIndex, attempt, 0);
+ *     ONESPEC_FR_END(EvType::Job, jobIndex, attempt, instrs);
+ *     ONESPEC_FR_INSTANT(EvType::Syscall, 0, sysNum, sysCount);
+ */
+
+#ifndef ONESPEC_OBS_FLIGHT_RECORDER_HPP
+#define ONESPEC_OBS_FLIGHT_RECORDER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace onespec::obs {
+
+/** Event taxonomy (documented in docs/OBSERVABILITY.md). */
+enum class EvType : uint8_t
+{
+    Job,         ///< span: one attempt of one fleet job (a0=attempt, a1=instrs at end)
+    Backoff,     ///< span: retry backoff sleep (a0=attempt, a1=backoff ns)
+    CkptCapture, ///< span: checkpoint capture (a0=pages, a1=1 if delta)
+    CkptRestore, ///< span: checkpoint restore (a0=pages, a1=chain link)
+    Retry,       ///< instant: attempt failed, will retry (a0=attempt, a1=kind)
+    Quarantine,  ///< instant: job quarantined (a0=attempt, a1=kind)
+    Deadline,    ///< instant: watchdog deadline expired (a0=attempt, a1=deadline ns)
+    Syscall,     ///< instant: guest OS call (a0=number, a1=running count)
+    Fault,       ///< instant: injected fault fired (a0=FaultOp, a1=trigger)
+    CrossBatch,  ///< instant: crossing batch mark (a0=instrs, a1=crossings)
+};
+
+enum class EvPhase : uint8_t
+{
+    Begin,
+    End,
+    Instant,
+};
+
+/** Human-readable event-type name ("job", "ckpt_capture", ...). */
+const char *evTypeName(EvType t);
+/** Coarse category for timeline grouping ("fleet", "ckpt", ...). */
+const char *evCategory(EvType t);
+
+/** One recorded event: 32 bytes, fixed layout. */
+struct FrEvent
+{
+    uint64_t tsNs = 0; ///< nanoseconds since the arm() epoch
+    uint64_t a0 = 0;
+    uint64_t a1 = 0;
+    uint32_t id = 0;   ///< correlation id (fleet job index; 0 otherwise)
+    EvType type = EvType::Job;
+    EvPhase phase = EvPhase::Instant;
+    uint16_t pad = 0;
+};
+
+static_assert(sizeof(FrEvent) == 32, "FrEvent layout drifted");
+
+/** One thread's fixed-capacity ring.  Appended to only by its owner. */
+class FlightRecorder
+{
+  public:
+    FlightRecorder(unsigned tid, size_t capacity)
+        : buf_(capacity ? capacity : 1), tid_(tid)
+    {}
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Append one event (owner thread only); overwrites the oldest when
+     *  full.  Never allocates. */
+    void
+    record(EvType t, EvPhase p, uint32_t id, uint64_t a0, uint64_t a1,
+           uint64_t ts_ns)
+    {
+        uint64_t h = head_.load(std::memory_order_relaxed);
+        FrEvent &ev = buf_[h % buf_.size()];
+        ev.tsNs = ts_ns;
+        ev.a0 = a0;
+        ev.a1 = a1;
+        ev.id = id;
+        ev.type = t;
+        ev.phase = p;
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    unsigned tid() const { return tid_; }
+    size_t capacity() const { return buf_.size(); }
+
+    /** Events recorded over the recorder's lifetime (incl. overwritten). */
+    uint64_t
+    totalRecorded() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /** Events overwritten because the ring was full. */
+    uint64_t
+    dropped() const
+    {
+        uint64_t n = totalRecorded();
+        return n > buf_.size() ? n - buf_.size() : 0;
+    }
+
+    /** Events currently held, oldest first. */
+    std::vector<FrEvent> snapshot() const;
+
+    /** The last @p n events (fewer if fewer are held), oldest first. */
+    std::vector<FrEvent> tail(size_t n) const;
+
+  private:
+    std::vector<FrEvent> buf_;
+    std::atomic<uint64_t> head_{0};
+    unsigned tid_;
+};
+
+/** Process-wide arm/disarm switch plus the per-thread recorder registry. */
+class FlightControl
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 4096; ///< 128 KiB / thread
+
+    static FlightControl &instance();
+
+    /**
+     * Arm recording: set the epoch, drop recorders from any previous
+     * generation, and have every thread lazily create a ring of
+     * @p events_per_thread on its first event.
+     */
+    void arm(size_t events_per_thread = kDefaultCapacity);
+
+    /** Stop recording.  Recorders stay readable for export until the
+     *  next arm(). */
+    void disarm();
+
+    /** The recording fast-path gate: one relaxed atomic load. */
+    bool
+    armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Nanoseconds since the arm() epoch (steady clock). */
+    uint64_t
+    nowNs() const
+    {
+        int64_t now =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        int64_t e = epochNs_.load(std::memory_order_relaxed);
+        return now > e ? static_cast<uint64_t>(now - e) : 0;
+    }
+
+    /** The calling thread's recorder for the current arm generation,
+     *  created and registered on first use.  Only meaningful while
+     *  armed (the macros gate on armed() first). */
+    FlightRecorder &local();
+
+    /** All recorders of the current generation, in tid order.  Safe to
+     *  read once the producing threads have quiesced. */
+    std::vector<std::shared_ptr<FlightRecorder>> recorders() const;
+
+    /** Sum of totalRecorded() / dropped() across recorders. */
+    uint64_t totalEvents() const;
+    uint64_t totalDropped() const;
+
+  private:
+    FlightControl() = default;
+
+    std::atomic<bool> armed_{false};
+    std::atomic<uint64_t> gen_{0};
+    std::atomic<int64_t> epochNs_{0};
+    mutable std::mutex m_; ///< guards recorders_/capacity_, not recording
+    std::vector<std::shared_ptr<FlightRecorder>> recorders_;
+    size_t capacity_ = kDefaultCapacity;
+};
+
+/**
+ * RAII span: records Begin at construction and End at destruction (also
+ * on exception unwind, so a throwing checkpoint restore still closes its
+ * window).  Arms-at-construction is cached, so a span never records a
+ * dangling End after a mid-span disarm.
+ */
+class FrSpan
+{
+  public:
+    FrSpan(EvType t, uint32_t id, uint64_t a0 = 0, uint64_t a1 = 0)
+        : type_(t), id_(id), a0_(a0), a1_(a1)
+    {
+        FlightControl &fc = FlightControl::instance();
+        armed_ = fc.armed();
+        if (armed_)
+            fc.local().record(type_, EvPhase::Begin, id_, a0_, a1_,
+                              fc.nowNs());
+    }
+
+    FrSpan(const FrSpan &) = delete;
+    FrSpan &operator=(const FrSpan &) = delete;
+
+    /** Update the args the End event will carry. */
+    void
+    setArgs(uint64_t a0, uint64_t a1)
+    {
+        a0_ = a0;
+        a1_ = a1;
+    }
+
+    ~FrSpan()
+    {
+        if (armed_) {
+            FlightControl &fc = FlightControl::instance();
+            fc.local().record(type_, EvPhase::End, id_, a0_, a1_,
+                              fc.nowNs());
+        }
+    }
+
+  private:
+    EvType type_;
+    uint32_t id_;
+    uint64_t a0_, a1_;
+    bool armed_;
+};
+
+} // namespace onespec::obs
+
+/** Record one flight-recorder event; one predictable branch when
+ *  disarmed (same contract as ONESPEC_TRACE). */
+#define ONESPEC_FR(type, phase, id, a0, a1)                                 \
+    do {                                                                    \
+        ::onespec::obs::FlightControl &fr_fc_ =                             \
+            ::onespec::obs::FlightControl::instance();                      \
+        if (fr_fc_.armed()) [[unlikely]] {                                  \
+            fr_fc_.local().record(                                          \
+                (type), (phase), static_cast<uint32_t>(id),                 \
+                static_cast<uint64_t>(a0), static_cast<uint64_t>(a1),       \
+                fr_fc_.nowNs());                                            \
+        }                                                                   \
+    } while (0)
+
+#define ONESPEC_FR_BEGIN(type, id, a0, a1)                                  \
+    ONESPEC_FR(type, ::onespec::obs::EvPhase::Begin, id, a0, a1)
+#define ONESPEC_FR_END(type, id, a0, a1)                                    \
+    ONESPEC_FR(type, ::onespec::obs::EvPhase::End, id, a0, a1)
+#define ONESPEC_FR_INSTANT(type, id, a0, a1)                                \
+    ONESPEC_FR(type, ::onespec::obs::EvPhase::Instant, id, a0, a1)
+
+#endif // ONESPEC_OBS_FLIGHT_RECORDER_HPP

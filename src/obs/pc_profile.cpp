@@ -1,0 +1,122 @@
+#include "obs/pc_profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "adl/spec.hpp"
+#include "stats/stats.hpp"
+
+namespace onespec::obs {
+
+namespace {
+
+/** Registry segment names allow [A-Za-z0-9_-]; mnemonics may carry
+ *  dots ("b.cond" styles), so squash anything else to '_'. */
+std::string
+sanitizeSegment(const std::string &s)
+{
+    std::string out = s.empty() ? std::string("unknown") : s;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+std::string
+hexBucketName(uint64_t base)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "pc_%llx",
+                  static_cast<unsigned long long>(base));
+    return buf;
+}
+
+int64_t
+hostNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+PcProfiler::PcProfiler(const Spec &spec, Config cfg)
+    : spec_(&spec), cfg_(cfg),
+      stride_(cfg.strideInstrs ? cfg.strideInstrs : 1),
+      countdown_(stride_), opCounts_(spec.instrs.size() + 1, 0)
+{
+    if (cfg_.hostBudgetHz)
+        lastSampleNs_ = hostNowNs();
+}
+
+void
+PcProfiler::takeSample(uint64_t pc, uint16_t op_id)
+{
+    ++samples_;
+    uint64_t base = (pc >> cfg_.bucketShift) << cfg_.bucketShift;
+    ++buckets_[base];
+    size_t slot = op_id == 0xffff ? opCounts_.size() - 1
+                                  : std::min<size_t>(op_id,
+                                                     opCounts_.size() - 1);
+    ++opCounts_[slot];
+
+    if (cfg_.hostBudgetHz) {
+        // Self-adjust toward hostBudgetHz samples per host second: halve
+        // the stride when samples arrive too slowly, double it when they
+        // arrive too fast.  Bounded geometric steps keep it stable.
+        int64_t now = hostNowNs();
+        int64_t dt = now - lastSampleNs_;
+        lastSampleNs_ = now;
+        int64_t target =
+            static_cast<int64_t>(1'000'000'000ull / cfg_.hostBudgetHz);
+        if (dt < target / 2 && stride_ < (1ull << 40))
+            stride_ *= 2;
+        else if (dt > target * 2 && stride_ > 1)
+            stride_ /= 2;
+    }
+    countdown_ = stride_;
+}
+
+void
+PcProfiler::publish(stats::StatGroup &g) const
+{
+    g.counter("samples", "PC samples taken").add(samples_);
+    g.scalar("stride", "sampling stride at end of run (retired instrs)")
+        .set(static_cast<double>(stride_));
+    g.scalar("bucket_bytes", "PC bucket granularity in bytes")
+        .set(static_cast<double>(1ull << cfg_.bucketShift));
+
+    stats::StatGroup &pc = g.group("pc");
+    for (const auto &[base, n] : buckets_)
+        pc.counter(hexBucketName(base), "samples in this PC bucket").add(n);
+
+    stats::StatGroup &act = g.group("action");
+    for (size_t i = 0; i < opCounts_.size(); ++i) {
+        if (!opCounts_[i])
+            continue;
+        std::string name = i + 1 == opCounts_.size()
+                               ? std::string("illegal")
+                               : sanitizeSegment(spec_->instrs[i].name);
+        act.counter(name, "samples attributed to this instruction")
+            .add(opCounts_[i]);
+    }
+}
+
+void
+PcProfiler::reset()
+{
+    samples_ = 0;
+    buckets_.clear();
+    opCounts_.assign(opCounts_.size(), 0);
+    stride_ = cfg_.strideInstrs ? cfg_.strideInstrs : 1;
+    countdown_ = stride_;
+    if (cfg_.hostBudgetHz)
+        lastSampleNs_ = hostNowNs();
+}
+
+} // namespace onespec::obs

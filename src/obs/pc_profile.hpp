@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Guest hot-PC profiler: samples the executing guest PC every N retired
+ * instructions and attributes the samples to PC buckets and decoded
+ * actions (instruction mnemonics).  Both back ends drive the same hook
+ * -- the interpreter from its retire point in `runSteps`, the
+ * synthesized simulators from a sample call `cppgen` emits ahead of
+ * `retire(di)` -- so with the same stride the two produce *identical*
+ * sample streams on the same kernel.  That is the single-specification
+ * principle applied to profiling: one sampling spec, two back ends, one
+ * answer.
+ *
+ * Disarmed cost: a simulator with no profiler attached pays one
+ * predictable null-pointer branch per retired instruction (same
+ * contract as `ONESPEC_TRACE` / the flight recorder).  Armed cost: a
+ * countdown decrement per retire, plus a bucket update every `stride`
+ * retires.
+ *
+ * Two sampling modes:
+ *  - **fixed stride** (default, deterministic): sample every
+ *    `strideInstrs` retires.  Used by tests, the fleet, and anything
+ *    that must keep merged stats bit-identical across thread counts.
+ *  - **host-budget** (`hostBudgetHz > 0`): the stride self-adjusts
+ *    toward a target samples/second of host wall-clock, so profiling a
+ *    fast generated simulator does not cost more than the budget.
+ *    Non-deterministic by design; not for determinism-checked runs.
+ */
+
+#ifndef ONESPEC_OBS_PC_PROFILE_HPP
+#define ONESPEC_OBS_PC_PROFILE_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace onespec {
+struct Spec;
+namespace stats {
+class StatGroup;
+}
+} // namespace onespec
+
+namespace onespec::obs {
+
+/** One profiler instance per simulator; not thread-safe (each fleet job
+ *  owns its own, matching the one-registry-per-job discipline). */
+class PcProfiler
+{
+  public:
+    struct Config
+    {
+        /** Sample every this many retired instructions. */
+        uint64_t strideInstrs = 64;
+        /** If > 0, adapt the stride toward this many samples per host
+         *  second (non-deterministic; see file comment). */
+        uint64_t hostBudgetHz = 0;
+        /** PC bucket granularity: bucket = pc >> bucketShift. */
+        unsigned bucketShift = 6;
+    };
+
+    explicit PcProfiler(const Spec &spec) : PcProfiler(spec, Config()) {}
+    PcProfiler(const Spec &spec, Config cfg);
+
+    /** The per-retire hook.  Call with the retired instruction's PC and
+     *  opId; samples when the countdown expires. */
+    void
+    tick(uint64_t pc, uint16_t op_id)
+    {
+        if (--countdown_ != 0) [[likely]]
+            return;
+        takeSample(pc, op_id);
+    }
+
+    uint64_t samples() const { return samples_; }
+    uint64_t strideCurrent() const { return stride_; }
+    unsigned bucketShift() const { return cfg_.bucketShift; }
+
+    /** Sample counts keyed by PC-bucket base address (pc with the low
+     *  bucketShift bits cleared), deterministic iteration order. */
+    const std::map<uint64_t, uint64_t> &buckets() const { return buckets_; }
+
+    /** Sample counts per opId (index into Spec::instrs). */
+    const std::vector<uint64_t> &opCounts() const { return opCounts_; }
+
+    /**
+     * Publish into @p g: a `samples` counter, `stride` / `bucket_bytes`
+     * scalars, a `pc` child group with one counter per hot bucket
+     * (`pc_<hex base>`), and an `action` child group with one counter
+     * per sampled mnemonic.  Publish once per profiler (fleet jobs and
+     * benches build a fresh profiler per run).
+     */
+    void publish(stats::StatGroup &g) const;
+
+    /** Forget all samples and restart the countdown. */
+    void reset();
+
+  private:
+    void takeSample(uint64_t pc, uint16_t op_id);
+
+    const Spec *spec_;
+    Config cfg_;
+    uint64_t stride_;
+    uint64_t countdown_;
+    uint64_t samples_ = 0;
+    std::map<uint64_t, uint64_t> buckets_;
+    std::vector<uint64_t> opCounts_;
+    int64_t lastSampleNs_ = 0; ///< host-budget mode bookkeeping
+};
+
+} // namespace onespec::obs
+
+#endif // ONESPEC_OBS_PC_PROFILE_HPP

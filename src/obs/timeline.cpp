@@ -1,0 +1,175 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+
+namespace onespec::obs {
+
+namespace {
+
+/** Event name shown on the timeline: type name plus the correlation id
+ *  (job name when the labels carry one). */
+std::string
+eventName(const FrEvent &ev, const TimelineLabels &labels)
+{
+    std::string name = evTypeName(ev.type);
+    bool job_scoped = ev.type == EvType::Job || ev.type == EvType::Backoff ||
+                      ev.type == EvType::Retry ||
+                      ev.type == EvType::Quarantine ||
+                      ev.type == EvType::Deadline;
+    if (job_scoped) {
+        if (ev.id < labels.jobNames.size())
+            name += " " + labels.jobNames[ev.id];
+        else
+            name += " #" + std::to_string(ev.id);
+    }
+    return name;
+}
+
+stats::Json
+eventArgs(const FrEvent &ev)
+{
+    stats::Json args = stats::Json::object();
+    args.set("a0", stats::Json(ev.a0));
+    args.set("a1", stats::Json(ev.a1));
+    args.set("id", stats::Json(static_cast<uint64_t>(ev.id)));
+    return args;
+}
+
+stats::Json
+makeEvent(const char *ph, const std::string &name, const FrEvent &ev,
+          unsigned tid, double ts_us)
+{
+    stats::Json e = stats::Json::object();
+    e.set("name", stats::Json(name));
+    e.set("cat", stats::Json(evCategory(ev.type)));
+    e.set("ph", stats::Json(ph));
+    e.set("ts", stats::Json(ts_us));
+    e.set("pid", stats::Json(static_cast<int64_t>(1)));
+    e.set("tid", stats::Json(static_cast<int64_t>(tid)));
+    if (ph[0] == 'i')
+        e.set("s", stats::Json("t")); // thread-scoped instant
+    e.set("args", eventArgs(ev));
+    return e;
+}
+
+stats::Json
+metadataEvent(const char *name, const std::string &value, unsigned tid)
+{
+    stats::Json e = stats::Json::object();
+    e.set("name", stats::Json(name));
+    e.set("ph", stats::Json("M"));
+    e.set("ts", stats::Json(0.0));
+    e.set("pid", stats::Json(static_cast<int64_t>(1)));
+    e.set("tid", stats::Json(static_cast<int64_t>(tid)));
+    stats::Json args = stats::Json::object();
+    args.set("name", stats::Json(value));
+    e.set("args", std::move(args));
+    return e;
+}
+
+} // namespace
+
+stats::Json
+buildChromeTrace(const TimelineLabels &labels)
+{
+    stats::Json events = stats::Json::array();
+
+    // One process-name record for the single pid we emit.
+    {
+        stats::Json e = stats::Json::object();
+        e.set("name", stats::Json("process_name"));
+        e.set("ph", stats::Json("M"));
+        e.set("ts", stats::Json(0.0));
+        e.set("pid", stats::Json(static_cast<int64_t>(1)));
+        e.set("tid", stats::Json(static_cast<int64_t>(0)));
+        stats::Json args = stats::Json::object();
+        args.set("name", stats::Json(labels.processName));
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+    }
+
+    for (const auto &rec : FlightControl::instance().recorders()) {
+        unsigned tid = rec->tid();
+        std::vector<FrEvent> evs = rec->snapshot();
+        events.push(metadataEvent(
+            "thread_name", "worker-" + std::to_string(tid), tid));
+
+        // Per-track span stack for B/E pairing repair: a ring overwrite
+        // can leave an End without its Begin (drop it) or a Begin
+        // without its End (close it at the track's last timestamp).
+        struct Open
+        {
+            FrEvent ev;
+            std::string name;
+        };
+        std::vector<Open> open;
+        uint64_t last_ts = 0;
+
+        for (const FrEvent &ev : evs) {
+            last_ts = ev.tsNs;
+            double ts_us = static_cast<double>(ev.tsNs) / 1000.0;
+            switch (ev.phase) {
+              case EvPhase::Begin: {
+                std::string name = eventName(ev, labels);
+                events.push(makeEvent("B", name, ev, tid, ts_us));
+                open.push_back(Open{ev, std::move(name)});
+                break;
+              }
+              case EvPhase::End: {
+                if (open.empty() || open.back().ev.type != ev.type)
+                    break; // orphan End from ring overwrite
+                events.push(makeEvent("E", open.back().name, ev, tid, ts_us));
+                open.pop_back();
+                break;
+              }
+              case EvPhase::Instant:
+                events.push(
+                    makeEvent("i", eventName(ev, labels), ev, tid, ts_us));
+                break;
+            }
+        }
+
+        // Close spans the snapshot ended inside (quarantine-aborted jobs,
+        // tail truncation) at the last timestamp seen on this track.
+        double close_us = static_cast<double>(last_ts) / 1000.0;
+        while (!open.empty()) {
+            events.push(
+                makeEvent("E", open.back().name, open.back().ev, tid,
+                          close_us));
+            open.pop_back();
+        }
+    }
+
+    stats::Json doc = stats::Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", stats::Json("ms"));
+    stats::Json other = stats::Json::object();
+    other.set("source", stats::Json("onespec flight recorder"));
+    other.set("dropped_events",
+              stats::Json(FlightControl::instance().totalDropped()));
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+bool
+exportChromeTrace(const std::string &path, const TimelineLabels &labels,
+                  std::string *error)
+{
+    std::string text = buildChromeTrace(labels).dump(2);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool closed = std::fclose(f) == 0;
+    if (n != text.size() || !closed) {
+        if (error)
+            *error = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+} // namespace onespec::obs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Timeline exporter: serializes the flight recorder's per-thread rings
+ * into Chrome trace-event JSON (the format chrome://tracing, Perfetto's
+ * legacy importer, and speedscope all read).  One track per worker
+ * thread; `B`/`E` span pairs for jobs, backoff windows, and checkpoint
+ * capture/restore; `i` instants for retries, quarantines, deadlines,
+ * syscalls, and faults; `M` metadata naming each track.
+ *
+ * Because a ring overwrites its oldest events, a snapshot can start with
+ * an orphan `E` or end inside an open span.  The builder repairs both:
+ * orphan Ends are dropped, and spans still open at the end of a track
+ * are closed at the track's last timestamp, so the output always has
+ * matched B/E pairs per thread (what `tools/check_trace_json.py`
+ * enforces).
+ */
+
+#ifndef ONESPEC_OBS_TIMELINE_HPP
+#define ONESPEC_OBS_TIMELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "stats/json.hpp"
+
+namespace onespec::obs {
+
+/** Optional labels attached to trace events. */
+struct TimelineLabels
+{
+    /** jobNames[i] names Job-span events whose id == i. */
+    std::vector<std::string> jobNames;
+    /** Process label for the one pid in the trace. */
+    std::string processName = "onespec-fleet";
+};
+
+/**
+ * Build the Chrome trace-event document from every recorder of the
+ * current arm generation.  Call after the producing threads have
+ * quiesced (e.g. after a fleet run returns).
+ */
+stats::Json buildChromeTrace(const TimelineLabels &labels = {});
+
+/**
+ * Build and write the trace to @p path.  Returns false and sets
+ * @p error if the file cannot be written.
+ */
+bool exportChromeTrace(const std::string &path,
+                       const TimelineLabels &labels = {},
+                       std::string *error = nullptr);
+
+} // namespace onespec::obs
+
+#endif // ONESPEC_OBS_TIMELINE_HPP

@@ -7,9 +7,12 @@
 #include <thread>
 
 #include "iface/registry.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/pc_profile.hpp"
 #include "perf/hostcount.hpp"
 #include "runtime/context.hpp"
 #include "sim/interp.hpp"
+#include "stats/trace.hpp"
 #include "support/logging.hpp"
 
 namespace onespec::parallel {
@@ -97,7 +100,7 @@ throwDeadline(const FleetJob &job, uint64_t elapsed_ns, uint64_t deadline_ns)
  * block-level crossing counts, never architectural results).
  */
 RunResult
-runChunked(const FleetJob &job, const FleetPolicy &pol,
+runChunked(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
            FunctionalSimulator &sim, SimContext &ctx,
            fault::FaultInjector *inj, const Stopwatch &sw)
 {
@@ -124,6 +127,10 @@ runChunked(const FleetJob &job, const FleetPolicy &pol,
         RunResult r = sim.run(chunk);
         acc.instrs += r.instrs;
         acc.status = r.status;
+        // Cumulative progress mark per chunk: instructions delivered and
+        // interface crossings so far on this attempt's timeline.
+        ONESPEC_FR_INSTANT(obs::EvType::CrossBatch, job_index, acc.instrs,
+                           sim.ifaceCounters().crossings());
         if (r.status != RunStatus::Ok)
             return acc;
         remaining -= std::min<uint64_t>(r.instrs, remaining);
@@ -134,8 +141,8 @@ runChunked(const FleetJob &job, const FleetPolicy &pol,
 
 /** Run one job against its own context/simulator/registry. */
 void
-runJob(const FleetJob &job, const FleetPolicy &pol, FleetResult &out,
-       stats::StatsRegistry &reg)
+runJob(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
+       FleetResult &out, stats::StatsRegistry &reg)
 {
     ONESPEC_ASSERT(job.spec && job.program,
                    "fleet job '", job.name, "' missing spec or program");
@@ -154,6 +161,16 @@ runJob(const FleetJob &job, const FleetPolicy &pol, FleetResult &out,
     }
     if (job.strictSyscalls)
         ctx.os().setStrictUnknownSyscalls(true);
+
+    // Deterministic fixed-stride profiling only (see FleetJob): the
+    // published profile group must be a pure function of the job.
+    std::unique_ptr<obs::PcProfiler> prof;
+    if (job.profileStride) {
+        obs::PcProfiler::Config pc;
+        pc.strideInstrs = job.profileStride;
+        prof = std::make_unique<obs::PcProfiler>(*job.spec, pc);
+        sim->setProfiler(prof.get());
+    }
 
     std::unique_ptr<fault::FaultInjector> inj;
     if (job.faultPlan && !job.faultPlan->empty()) {
@@ -194,7 +211,8 @@ runJob(const FleetJob &job, const FleetPolicy &pol, FleetResult &out,
                (!inj || inj->nextStateTrigger() == ~uint64_t{0})) {
         out.run = sim->run(job.maxInstrs);
     } else {
-        out.run = runChunked(job, pol, *sim, ctx, inj.get(), sw);
+        out.run = runChunked(job, job_index, pol, *sim, ctx, inj.get(),
+                             sw);
     }
     out.ns = sw.elapsedNs();
     out.output = ctx.os().output();
@@ -202,15 +220,21 @@ runJob(const FleetJob &job, const FleetPolicy &pol, FleetResult &out,
     out.counters = sim->ifaceCounters();
     if (inj)
         out.faultsInjected = inj->firedCount();
-    sim->publishStats(reg.group(
-        fleetGroupPath(job.spec->props.name, job.buildset)));
+    // Final crossing-batch mark: what the attempt delivered in total.
+    ONESPEC_FR_INSTANT(obs::EvType::CrossBatch, job_index, out.run.instrs,
+                       out.counters.crossings());
+    stats::StatGroup &g = reg.group(
+        fleetGroupPath(job.spec->props.name, job.buildset));
+    sim->publishStats(g);
+    if (prof)
+        prof->publish(g.group("profile"));
 }
 
 /** Attempt loop around runJob: retries (ResourceError only) with
  *  exponential backoff, then quarantine. */
 void
-runJobWithPolicy(const FleetJob &job, const FleetPolicy &pol,
-                 FleetResult &out,
+runJobWithPolicy(const FleetJob &job, uint32_t job_index,
+                 const FleetPolicy &pol, FleetResult &out,
                  std::unique_ptr<stats::StatsRegistry> &reg,
                  std::atomic<bool> &aborted)
 {
@@ -221,23 +245,40 @@ runJobWithPolicy(const FleetJob &job, const FleetPolicy &pol,
         reg = std::make_unique<stats::StatsRegistry>();
         std::string msg;
         ErrorKind kind;
-        try {
-            runJob(job, pol, out, *reg);
-            return;
-        } catch (const DeadlineError &e) {
-            out.deadlineHit = true;
-            kind = e.kind();
-            msg = e.what();
-        } catch (const SimError &e) {
-            kind = e.kind();
-            msg = e.what();
-        } catch (const std::exception &e) {
-            kind = ErrorKind::Internal;
-            msg = e.what();
+        {
+            // One timeline span per attempt; the FrSpan closes it even
+            // when runJob throws, carrying the instructions delivered.
+            obs::FrSpan span(obs::EvType::Job, job_index, attempt, 0);
+            try {
+                runJob(job, job_index, pol, out, *reg);
+                span.setArgs(attempt, out.run.instrs);
+                return;
+            } catch (const DeadlineError &e) {
+                out.deadlineHit = true;
+                kind = e.kind();
+                msg = e.what();
+                ONESPEC_FR_INSTANT(obs::EvType::Deadline, job_index,
+                                   attempt, pol.deadlineNs);
+            } catch (const SimError &e) {
+                kind = e.kind();
+                msg = e.what();
+            } catch (const std::exception &e) {
+                kind = ErrorKind::Internal;
+                msg = e.what();
+            }
+            span.setArgs(attempt, out.run.instrs);
         }
         if (kind == ErrorKind::Resource && attempt < max_attempts) {
-            std::this_thread::sleep_for(std::chrono::nanoseconds(
-                pol.backoffBaseNs << (attempt - 1)));
+            ONESPEC_TRACE("fleet", "retry", job_index, attempt);
+            ONESPEC_FR_INSTANT(obs::EvType::Retry, job_index, attempt,
+                               static_cast<unsigned>(kind));
+            uint64_t backoff_ns = pol.backoffBaseNs << (attempt - 1);
+            ONESPEC_FR_BEGIN(obs::EvType::Backoff, job_index, attempt,
+                             backoff_ns);
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(backoff_ns));
+            ONESPEC_FR_END(obs::EvType::Backoff, job_index, attempt,
+                           backoff_ns);
             continue;
         }
         // Quarantine: structured record, no stats contribution (keeps
@@ -247,6 +288,16 @@ runJobWithPolicy(const FleetJob &job, const FleetPolicy &pol,
         out.errorKind = kind;
         out.run.status = RunStatus::Fault;
         reg = std::make_unique<stats::StatsRegistry>();
+        ONESPEC_TRACE("fleet", "quarantine", job_index,
+                      static_cast<unsigned>(kind));
+        ONESPEC_FR_INSTANT(obs::EvType::Quarantine, job_index, attempt,
+                           static_cast<unsigned>(kind));
+        // Postmortem: attach this worker's recorder tail -- the last
+        // pol.frTailEvents things the job was doing, including the
+        // quarantine instant just recorded.
+        obs::FlightControl &fc = obs::FlightControl::instance();
+        if (fc.armed())
+            out.frTail = fc.local().tail(pol.frTailEvents);
         if (!pol.keepGoing)
             aborted.store(true, std::memory_order_relaxed);
         return;
@@ -288,8 +339,8 @@ SimFleet::run(const std::vector<FleetJob> &jobs, const FleetPolicy &policy)
                 return;
             }
             try {
-                runJobWithPolicy(jobs[j], policy, out, jobStats[j],
-                                 aborted);
+                runJobWithPolicy(jobs[j], static_cast<uint32_t>(j),
+                                 policy, out, jobStats[j], aborted);
             } catch (const std::exception &e) {
                 // runJobWithPolicy contains all expected failures; this
                 // is the last-resort belt so one job can never take the

@@ -46,6 +46,7 @@
 #include "ckpt/checkpoint.hpp"
 #include "fault/fault.hpp"
 #include "iface/functional_simulator.hpp"
+#include "obs/flight_recorder.hpp"
 #include "parallel/threadpool.hpp"
 #include "stats/sharded.hpp"
 #include "stats/stats.hpp"
@@ -104,6 +105,15 @@ struct FleetJob
 
     /** Treat unknown OS calls as GuestError instead of warn-and--1. */
     bool strictSyscalls = false;
+
+    /**
+     * Hot-PC profiling stride in retired instructions; 0 (default)
+     * leaves the profiler detached.  Fleet jobs use the deterministic
+     * fixed-stride mode only, so the published `profile` group under the
+     * job's fleet path is a pure function of the job -- merged stats
+     * stay bit-identical across thread counts.
+     */
+    uint64_t profileStride = 0;
 };
 
 /** Batch-wide hardening knobs for SimFleet::run. */
@@ -131,6 +141,10 @@ struct FleetPolicy
     /** Instructions per run chunk when the watchdog or state-class fault
      *  injection forces chunked execution; plain jobs run uncut. */
     uint64_t watchdogChunk = uint64_t{1} << 20;
+
+    /** Flight-recorder events to attach to a quarantine record
+     *  (FleetResult::frTail) when the recorder is armed. */
+    size_t frTailEvents = 32;
 };
 
 /** Outcome of one job. */
@@ -149,6 +163,15 @@ struct FleetResult
     bool deadlineHit = false;  ///< a watchdog deadline expired (any attempt)
     unsigned attempts = 0;     ///< tries consumed (1 = clean first run)
     unsigned faultsInjected = 0; ///< events the job's FaultPlan fired
+
+    /**
+     * Postmortem: the worker thread's flight-recorder tail (last
+     * FleetPolicy::frTailEvents events, oldest first) captured at the
+     * moment of quarantine.  Empty unless the recorder was armed --
+     * "what the job was doing when it failed", attached to the record
+     * PR 4 introduced.
+     */
+    std::vector<obs::FrEvent> frTail;
 };
 
 /** A whole batch: per-job results plus the deterministic stat merge. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "support/logging.hpp"
 #include "support/sim_error.hpp"
 
@@ -12,6 +13,9 @@ OsEmulator::doSyscall()
 {
     ++syscallCount_;
     uint64_t num = state_->readRef(abi_->syscallNum);
+    // Flight-recorder only (no TraceBus event): guest OS calls can be a
+    // firehose, and the ring absorbs those; a hook bus should not.
+    ONESPEC_FR_INSTANT(obs::EvType::Syscall, 0, num, syscallCount_);
     auto arg = [&](size_t i) -> uint64_t {
         if (i >= abi_->args.size())
             return 0;

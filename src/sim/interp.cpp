@@ -4,6 +4,7 @@
 
 #include "adl/encexpr.hpp"
 #include "adl/eval.hpp"
+#include "obs/pc_profile.hpp"
 #include "stats/trace.hpp"
 #include "support/logging.hpp"
 #include "support/sim_error.hpp"
@@ -439,9 +440,14 @@ InterpSimulator::runSteps(DynInst &di, const Step *steps, unsigned count)
             if (!r.runStep(s))
                 return RunStatus::Fault;
             if (s == Step::Exception) {
-                // Retire: advance pc, count, and surface halts.
+                // Retire: advance pc, count, and surface halts.  The
+                // hot-PC profiler samples here -- the interpreter's
+                // retire point, mirroring the hook cppgen emits ahead
+                // of GenSimBase::retire().
                 ctx_.state().setPc(di.npc);
                 ctx_.addRetired(1);
+                if (prof_) [[unlikely]]
+                    prof_->tick(di.pc, di.opId);
                 if ((di.flags & kFlagHalted) || ctx_.os().exited())
                     return RunStatus::Halted;
             }

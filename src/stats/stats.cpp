@@ -266,6 +266,7 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
             const auto &d = static_cast<const Distribution &>(*s);
             os << "n=" << d.count() << " mean=" << d.mean()
                << " p50=" << d.quantile(0.5)
+               << " p90=" << d.quantile(0.9)
                << " p99=" << d.quantile(0.99);
             break;
           }

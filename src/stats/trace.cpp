@@ -16,9 +16,12 @@ TraceBus::addHook(Hook hook, std::string category)
 {
     std::lock_guard<std::mutex> lock(m_);
     int id = nextId_++;
-    hooks_.push_back({id, std::move(category), std::move(hook)});
-    nactive_.store(static_cast<unsigned>(hooks_.size()),
+    auto next = hooks_ ? std::make_shared<HookList>(*hooks_)
+                       : std::make_shared<HookList>();
+    next->push_back({id, std::move(category), std::move(hook)});
+    nactive_.store(static_cast<unsigned>(next->size()),
                    std::memory_order_relaxed);
+    hooks_ = std::move(next);
     return id;
 }
 
@@ -26,25 +29,36 @@ void
 TraceBus::removeHook(int id)
 {
     std::lock_guard<std::mutex> lock(m_);
-    for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (!hooks_)
+        return;
+    auto next = std::make_shared<HookList>(*hooks_);
+    for (auto it = next->begin(); it != next->end(); ++it) {
         if (it->id == id) {
-            hooks_.erase(it);
+            next->erase(it);
             break;
         }
     }
-    nactive_.store(static_cast<unsigned>(hooks_.size()),
+    nactive_.store(static_cast<unsigned>(next->size()),
                    std::memory_order_relaxed);
+    hooks_ = std::move(next);
 }
 
 void
 TraceBus::emit(const TraceEvent &ev)
 {
-    // Delivery holds the mutex: a hook registered mid-emission either
-    // sees this event or the next one, never a half-written Entry.
-    // Trace points are warm-path by contract (see file comment), so the
-    // serialization cost is acceptable; the hot-path gate is active().
-    std::lock_guard<std::mutex> lock(m_);
-    for (const auto &h : hooks_) {
+    // Copy-on-write delivery: grab the current immutable hook list under
+    // the mutex, then deliver unlocked.  A hook registered mid-emission
+    // sees the next event; a hook removed mid-emission may still see this
+    // one (the snapshot keeps its callable alive).  Crucially, a hook may
+    // itself call addHook()/removeHook() without deadlocking.
+    std::shared_ptr<const HookList> snap;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        snap = hooks_;
+    }
+    if (!snap)
+        return;
+    for (const auto &h : *snap) {
         if (h.category.empty() ||
             std::strcmp(h.category.c_str(), ev.category) == 0)
             h.hook(ev);

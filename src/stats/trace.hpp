@@ -12,11 +12,17 @@
  *
  * Threading: the bus is process-wide and shared by every fleet worker.
  * active() is a single relaxed atomic load, so the no-hook fast path
- * stays lock-free on hot simulation threads; addHook()/removeHook()/
- * emit() serialize on an internal mutex, so registration racing with
- * emission never tears the hook list.  Hooks may be invoked concurrently
- * from any thread and must synchronize their own state; a hook must not
- * register or remove hooks (that would self-deadlock).
+ * stays lock-free on hot simulation threads.  The hook list is
+ * copy-on-write: addHook()/removeHook() swap in a fresh immutable list
+ * under a mutex, while emit() grabs a snapshot under the same mutex and
+ * delivers *unlocked*.  Consequences hooks may rely on:
+ *  - a hook MAY register or remove hooks (including itself) from inside
+ *    a delivery -- the change applies from the next emit();
+ *  - a removed hook can still receive at most the deliveries already in
+ *    flight when removeHook() returned (the snapshot keeps the callable
+ *    alive, so this is safe, just late);
+ *  - hooks may be invoked concurrently from any thread and must
+ *    synchronize their own state.
  */
 
 #ifndef ONESPEC_STATS_TRACE_HPP
@@ -25,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -52,9 +59,13 @@ class TraceBus
     /**
      * Register @p hook; events whose category matches @p category (or
      * all events if @p category is empty) are delivered.  Returns an id
-     * for removeHook().
+     * for removeHook().  Safe to call from inside a hook delivery.
      */
     int addHook(Hook hook, std::string category = "");
+
+    /** Deregister.  Safe to call from inside a hook delivery (even for
+     *  the executing hook); deliveries already snapshotted may still
+     *  reach the hook once (see file comment). */
     void removeHook(int id);
 
     /** True if any hook is registered (the trace-point fast path). */
@@ -73,8 +84,10 @@ class TraceBus
         Hook hook;
     };
 
-    std::mutex m_; ///< guards hooks_/nextId_; held across delivery
-    std::vector<Entry> hooks_;
+    using HookList = std::vector<Entry>;
+
+    std::mutex m_; ///< guards hooks_/nextId_; NOT held across delivery
+    std::shared_ptr<const HookList> hooks_;
     int nextId_ = 1;
     std::atomic<unsigned> nactive_{0};
 };

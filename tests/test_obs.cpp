@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Observability tests: flight-recorder ring semantics, the
+ * zero-allocation disarmed fast path, fleet stats invariance with the
+ * recorder compiled in (disarmed AND armed, 1 and N threads), the
+ * interp-vs-generated hot-PC profiler identity, quarantine postmortem
+ * tails, and timeline-export JSON sanity.  The concurrency-facing cases
+ * carry the `tsan` label (docs/BENCHMARKING.md).
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/pc_profile.hpp"
+#include "obs/timeline.hpp"
+#include "parallel/fleet.hpp"
+#include "sim/interp.hpp"
+#include "workload/builder.hpp"
+#include "workload/kernels.hpp"
+
+// ---------------------------------------------------------------------
+// Global allocation counter.  Every allocation in the process funnels
+// through these overrides, so "the disarmed macro allocates nothing"
+// is checked against the real allocator, not a proxy.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    size_t a = static_cast<size_t>(al);
+    void *p = nullptr;
+    if (posix_memalign(&p, a < sizeof(void *) ? sizeof(void *) : a,
+                       n ? n : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return ::operator new(n, al);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace onespec {
+namespace {
+
+using obs::EvPhase;
+using obs::EvType;
+using obs::FlightControl;
+using obs::FlightRecorder;
+using obs::FrEvent;
+using parallel::FleetJob;
+using parallel::FleetReport;
+using parallel::SimFleet;
+
+// ---------------------------------------------------------------------
+// Ring semantics
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorderRing, BoundedOverwriteKeepsNewestInOrder)
+{
+    FlightRecorder rec(0, 8);
+    for (uint64_t i = 0; i < 20; ++i)
+        rec.record(EvType::Syscall, EvPhase::Instant, 7, i, i * 2, 100 + i);
+
+    EXPECT_EQ(rec.capacity(), 8u);
+    EXPECT_EQ(rec.totalRecorded(), 20u);
+    EXPECT_EQ(rec.dropped(), 12u);
+
+    std::vector<FrEvent> snap = rec.snapshot();
+    ASSERT_EQ(snap.size(), 8u);
+    for (size_t k = 0; k < snap.size(); ++k) {
+        EXPECT_EQ(snap[k].a0, 12 + k) << "oldest-first order broke at " << k;
+        EXPECT_EQ(snap[k].tsNs, 100 + 12 + k);
+        EXPECT_EQ(snap[k].id, 7u);
+    }
+
+    std::vector<FrEvent> t = rec.tail(3);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0].a0, 17u);
+    EXPECT_EQ(t[2].a0, 19u);
+
+    // Asking for more than is held returns everything held.
+    EXPECT_EQ(rec.tail(100).size(), 8u);
+}
+
+TEST(FlightRecorderRing, PartialFillSnapshotsOnlyWhatWasRecorded)
+{
+    FlightRecorder rec(0, 16);
+    rec.record(EvType::Job, EvPhase::Begin, 3, 1, 0, 5);
+    rec.record(EvType::Job, EvPhase::End, 3, 1, 42, 9);
+    EXPECT_EQ(rec.dropped(), 0u);
+    std::vector<FrEvent> snap = rec.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].phase, EvPhase::Begin);
+    EXPECT_EQ(snap[1].phase, EvPhase::End);
+    EXPECT_EQ(snap[1].a1, 42u);
+}
+
+TEST(FlightRecorderRing, EventTypeNamesAndCategoriesCovered)
+{
+    for (EvType t : {EvType::Job, EvType::Backoff, EvType::CkptCapture,
+                     EvType::CkptRestore, EvType::Retry, EvType::Quarantine,
+                     EvType::Deadline, EvType::Syscall, EvType::Fault,
+                     EvType::CrossBatch}) {
+        EXPECT_STRNE(obs::evTypeName(t), "?");
+        EXPECT_STRNE(obs::evCategory(t), "?");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disarmed fast path
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorderFastPath, DisarmedMacroNeverAllocates)
+{
+    FlightControl &fc = FlightControl::instance();
+    fc.disarm();
+
+    uint64_t before = g_allocCount.load();
+    for (uint64_t i = 0; i < 1'000'000; ++i)
+        ONESPEC_FR_INSTANT(EvType::Syscall, 0, i, i);
+    uint64_t after = g_allocCount.load();
+    EXPECT_EQ(after - before, 0u)
+        << "disarmed recording site allocated memory";
+}
+
+TEST(FlightRecorderFastPath, ArmedSteadyStateNeverAllocates)
+{
+    FlightControl &fc = FlightControl::instance();
+    fc.arm(1024);
+    // First event registers this thread's ring (allocates, once).
+    ONESPEC_FR_INSTANT(EvType::Syscall, 0, 0, 0);
+
+    uint64_t before = g_allocCount.load();
+    for (uint64_t i = 0; i < 100'000; ++i)
+        ONESPEC_FR_INSTANT(EvType::Syscall, 0, i, i);
+    uint64_t after = g_allocCount.load();
+    EXPECT_EQ(after - before, 0u)
+        << "armed steady-state recording allocated memory";
+    EXPECT_EQ(fc.local().dropped(),
+              fc.local().totalRecorded() - fc.local().capacity());
+    fc.disarm();
+}
+
+TEST(FlightRecorderFastPath, SpanClosesOnExceptionUnwind)
+{
+    FlightControl &fc = FlightControl::instance();
+    fc.arm(64);
+    try {
+        obs::FrSpan span(EvType::CkptRestore, 9, 5, 0);
+        throw std::runtime_error("mid-span");
+    } catch (const std::runtime_error &) {
+    }
+    std::vector<FrEvent> snap = fc.local().snapshot();
+    fc.disarm();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].phase, EvPhase::Begin);
+    EXPECT_EQ(snap[1].phase, EvPhase::End);
+    EXPECT_EQ(snap[1].id, 9u);
+    EXPECT_LE(snap[0].tsNs, snap[1].tsNs);
+}
+
+// ---------------------------------------------------------------------
+// Fleet-facing behavior
+// ---------------------------------------------------------------------
+
+class ObsFleetTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        spec_ = loadIsa("alpha64").release();
+        programs_ = new std::vector<std::pair<std::string, Program>>();
+        for (const char *k : {"fib", "crc32"}) {
+            auto builder = makeBuilder(*spec_);
+            programs_->emplace_back(k, buildKernel(*builder, k, 500));
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete programs_;
+        programs_ = nullptr;
+        delete spec_;
+        spec_ = nullptr;
+    }
+
+    static std::vector<FleetJob>
+    makeJobs(int copies = 1)
+    {
+        std::vector<FleetJob> jobs;
+        for (int c = 0; c < copies; ++c) {
+            for (const auto &[kname, prog] : *programs_) {
+                FleetJob j;
+                j.spec = spec_;
+                j.program = &prog;
+                j.buildset = "BlockMinNo";
+                j.name = std::string("alpha64/") + kname;
+                jobs.push_back(std::move(j));
+            }
+        }
+        return jobs;
+    }
+
+    static std::string
+    mergedDump(const FleetReport &rep)
+    {
+        std::ostringstream os;
+        rep.merged->dump(os);
+        return os.str();
+    }
+
+    static Spec *spec_;
+    static std::vector<std::pair<std::string, Program>> *programs_;
+};
+
+Spec *ObsFleetTest::spec_ = nullptr;
+std::vector<std::pair<std::string, Program>> *ObsFleetTest::programs_ =
+    nullptr;
+
+TEST_F(ObsFleetTest, MergedStatsIdenticalAcrossThreadsAndArming)
+{
+    std::vector<FleetJob> jobs = makeJobs(3);
+    FlightControl &fc = FlightControl::instance();
+
+    fc.disarm();
+    SimFleet one(1);
+    std::string ref = mergedDump(one.run(jobs));
+
+    SimFleet four(4);
+    EXPECT_EQ(mergedDump(four.run(jobs)), ref)
+        << "disarmed recorder changed N-thread merged stats";
+
+    fc.arm(256);
+    EXPECT_EQ(mergedDump(four.run(jobs)), ref)
+        << "armed recorder leaked into the merged stats";
+    fc.disarm();
+}
+
+TEST_F(ObsFleetTest, QuarantinedJobCarriesFlightRecorderTail)
+{
+    std::vector<FleetJob> jobs = makeJobs();
+    jobs[0].buildset = "__no_such_buildset__";
+    parallel::FleetPolicy pol;
+    pol.keepGoing = true;
+
+    FlightControl &fc = FlightControl::instance();
+    fc.arm(256);
+    SimFleet fleet(2);
+    FleetReport rep = fleet.run(jobs, pol);
+    fc.disarm();
+
+    ASSERT_TRUE(rep.results[0].quarantined);
+    ASSERT_FALSE(rep.results[0].frTail.empty())
+        << "quarantine postmortem tail is empty";
+    bool saw_quarantine = false;
+    for (const FrEvent &ev : rep.results[0].frTail)
+        saw_quarantine |= ev.type == EvType::Quarantine;
+    EXPECT_TRUE(saw_quarantine)
+        << "tail does not include the quarantine instant";
+
+    // Healthy jobs never pay for the postmortem.
+    for (size_t j = 1; j < jobs.size(); ++j)
+        EXPECT_TRUE(rep.results[j].frTail.empty()) << jobs[j].name;
+}
+
+TEST_F(ObsFleetTest, DisarmedRunLeavesTailEmpty)
+{
+    std::vector<FleetJob> jobs = makeJobs();
+    jobs[0].buildset = "__no_such_buildset__";
+    parallel::FleetPolicy pol;
+    pol.keepGoing = true;
+
+    FlightControl::instance().disarm();
+    SimFleet fleet(2);
+    FleetReport rep = fleet.run(jobs, pol);
+    ASSERT_TRUE(rep.results[0].quarantined);
+    EXPECT_TRUE(rep.results[0].frTail.empty());
+}
+
+TEST_F(ObsFleetTest, TimelineExportIsWellFormedChromeTrace)
+{
+    std::vector<FleetJob> jobs = makeJobs();
+    FlightControl &fc = FlightControl::instance();
+    fc.arm(1024);
+    SimFleet fleet(2);
+    fleet.run(jobs);
+    fc.disarm();
+
+    obs::TimelineLabels labels;
+    for (const auto &j : jobs)
+        labels.jobNames.push_back(j.name);
+    stats::Json doc = obs::buildChromeTrace(labels);
+
+    ASSERT_TRUE(doc.isObject());
+    const stats::Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_GT(events->size(), 0u);
+
+    size_t begins = 0, ends = 0, metas = 0;
+    for (size_t i = 0; i < events->size(); ++i) {
+        const stats::Json &ev = events->at(i);
+        ASSERT_TRUE(ev.isObject());
+        ASSERT_TRUE(ev.has("name"));
+        ASSERT_TRUE(ev.has("ph"));
+        ASSERT_TRUE(ev.has("ts"));
+        const std::string &ph = ev.find("ph")->asString();
+        begins += ph == "B";
+        ends += ph == "E";
+        metas += ph == "M";
+    }
+    EXPECT_EQ(begins, ends) << "unmatched span pair survived export";
+    EXPECT_GT(begins, 0u) << "no job spans in the timeline";
+    EXPECT_GT(metas, 0u) << "no track-name metadata in the timeline";
+
+    // The document must survive a serialize/parse round trip.
+    stats::Json back;
+    std::string err;
+    ASSERT_TRUE(stats::Json::parse(doc.dump(2), back, &err)) << err;
+    EXPECT_TRUE(back.isObject());
+}
+
+// ---------------------------------------------------------------------
+// Hot-PC profiler
+// ---------------------------------------------------------------------
+
+TEST_F(ObsFleetTest, ProfilerIdenticalAcrossBackEnds)
+{
+    const Program &prog = (*programs_)[0].second;
+    obs::PcProfiler::Config cfg;
+    cfg.strideInstrs = 16;
+
+    auto run = [&](bool interp) {
+        SimContext ctx(*spec_);
+        ctx.load(prog);
+        auto sim = interp ? std::unique_ptr<FunctionalSimulator>(
+                                makeInterpSimulator(ctx, "BlockMinNo"))
+                          : SimRegistry::instance().create(ctx, "BlockMinNo");
+        auto prof = std::make_unique<obs::PcProfiler>(*spec_, cfg);
+        sim->setProfiler(prof.get());
+        EXPECT_EQ(static_cast<int>(sim->run(~uint64_t{0}).status),
+                  static_cast<int>(RunStatus::Halted));
+        return prof;
+    };
+
+    auto pi = run(true);
+    auto pg = run(false);
+
+    EXPECT_GT(pg->samples(), 0u);
+    EXPECT_EQ(pi->samples(), pg->samples());
+    EXPECT_EQ(pi->buckets(), pg->buckets())
+        << "PC histograms diverged between back ends";
+    EXPECT_EQ(pi->opCounts(), pg->opCounts())
+        << "action histograms diverged between back ends";
+
+    uint64_t sum = 0;
+    for (const auto &[pc, n] : pg->buckets())
+        sum += n;
+    EXPECT_EQ(sum, pg->samples()) << "bucket counts do not sum to samples";
+
+    stats::StatsRegistry reg;
+    pg->publish(reg.group("profile"));
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("profile.samples"), std::string::npos);
+    EXPECT_NE(os.str().find("profile.pc.pc_"), std::string::npos);
+}
+
+TEST_F(ObsFleetTest, FleetJobProfileLandsInMergedStats)
+{
+    std::vector<FleetJob> jobs = makeJobs();
+    for (auto &j : jobs)
+        j.profileStride = 32;
+
+    SimFleet one(1);
+    std::string ref = mergedDump(one.run(jobs));
+    EXPECT_NE(ref.find("profile.samples"), std::string::npos)
+        << "fleet profile section missing from merged stats";
+
+    SimFleet four(4);
+    EXPECT_EQ(mergedDump(four.run(jobs)), ref)
+        << "profiled merged stats depend on thread count";
+}
+
+TEST(PcProfiler, ResetForgetsEverything)
+{
+    auto spec = loadIsa("alpha64");
+    obs::PcProfiler::Config cfg;
+    cfg.strideInstrs = 2;
+    obs::PcProfiler prof(*spec, cfg);
+    for (int i = 0; i < 10; ++i)
+        prof.tick(0x1000 + 4 * i, 0);
+    EXPECT_GT(prof.samples(), 0u);
+    prof.reset();
+    EXPECT_EQ(prof.samples(), 0u);
+    EXPECT_TRUE(prof.buckets().empty());
+}
+
+} // namespace
+} // namespace onespec

@@ -267,6 +267,63 @@ TEST(StatsTrace, HooksReceiveEventsAndFilterByCategory)
     EXPECT_EQ(seen[2], "miss");
 }
 
+TEST(StatsTrace, HookMayRemoveItselfDuringDelivery)
+{
+    // A hook that deregisters itself (or a sibling) from inside its own
+    // delivery must not invalidate the iteration: emit() walks a
+    // copy-on-write snapshot, so removal takes effect from the *next*
+    // emit, never mid-walk.
+    auto &bus = stats::TraceBus::instance();
+    ASSERT_FALSE(bus.active());
+
+    int fired_self = 0, fired_other = 0;
+    int self_id = 0, other_id = 0;
+    self_id = bus.addHook([&](const stats::TraceEvent &) {
+        ++fired_self;
+        bus.removeHook(self_id); // remove *while being delivered to*
+    });
+    other_id = bus.addHook([&](const stats::TraceEvent &) {
+        ++fired_other;
+    });
+
+    ONESPEC_TRACE("selfrm", "first", 1, 0);
+    // The self-removing hook saw the event once; its sibling on the
+    // same snapshot was still delivered to.
+    EXPECT_EQ(fired_self, 1);
+    EXPECT_EQ(fired_other, 1);
+    EXPECT_TRUE(bus.active());
+
+    ONESPEC_TRACE("selfrm", "second", 2, 0);
+    EXPECT_EQ(fired_self, 1) << "removed hook fired on a later emit";
+    EXPECT_EQ(fired_other, 2);
+
+    bus.removeHook(other_id);
+    EXPECT_FALSE(bus.active());
+}
+
+TEST(StatsTrace, HookMayAddHooksDuringDelivery)
+{
+    auto &bus = stats::TraceBus::instance();
+    ASSERT_FALSE(bus.active());
+
+    int late_fired = 0;
+    std::vector<int> added;
+    int adder = bus.addHook([&](const stats::TraceEvent &) {
+        added.push_back(bus.addHook(
+            [&](const stats::TraceEvent &) { ++late_fired; }));
+    });
+
+    ONESPEC_TRACE("addrm", "first", 1, 0);
+    EXPECT_EQ(late_fired, 0) << "hook added mid-delivery saw that event";
+    ONESPEC_TRACE("addrm", "second", 2, 0);
+    EXPECT_EQ(late_fired, 1);
+
+    bus.removeHook(adder);
+    for (int id : added)
+        bus.removeHook(id);
+    EXPECT_FALSE(bus.active());
+}
+
 // ---------------------------------------------------------------------
 // Concurrency: sharded publication and the trace bus under contention.
 // These carry the `tsan` ctest label; rerun them under

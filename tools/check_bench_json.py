@@ -44,6 +44,20 @@ Validates two things about each report:
    have been injected, and the detection rate must be exactly 1.0 --
    a single silently absorbed corruption fails the report.
 
+6. Trace overhead (results.trace_overhead, written by
+   bench_trace_overhead): the disarmed flight recorder must cost at
+   most a small percentage vs the never-armed baseline (armed cost is
+   reported, not gated), at least one event must have been recorded
+   while armed, the hot-PC profiler histograms must be flagged
+   identical between the interpreter and the generated back end, PC
+   bucket counts must sum to the sample total, and the stats dump must
+   carry profile groups for both back ends whose per-bucket counters
+   sum to their sample counters.
+
+7. Distribution shape (any report): every distribution node in the
+   stats dump (an object with count/buckets/p50/p90/p99) must satisfy
+   p50 <= p90 <= p99 and count == sum(buckets) + underflow + overflow.
+
 With --smoke the speed comparisons use generous tolerance factors:
 smoke runs are short and wall-clock noise can locally reorder
 neighboring cells without the overall shape being wrong.
@@ -91,6 +105,9 @@ class Checker:
         # Armed-hook overhead ceiling (percent).  Short smoke batches
         # jitter more; full runs should sit near zero.
         self.fault_overhead_ceiling = 10.0 if smoke else 5.0
+        # Disarmed flight-recorder ceiling (percent): one relaxed load
+        # and an untaken branch per site should be noise-level.
+        self.trace_disarmed_ceiling = 5.0 if smoke else 2.0
 
     def fail(self, msg):
         self.errors.append(msg)
@@ -452,6 +469,121 @@ class Checker:
                       f"({fc['injected'] - fc['detected']} injected "
                       f"corruptions were silently absorbed)")
 
+    # -- trace overhead --------------------------------------------------
+
+    def check_trace_overhead(self, doc):
+        results = doc.get("results")
+        if not isinstance(results, dict) or "trace_overhead" not in results:
+            return
+        to = results["trace_overhead"]
+        if not isinstance(to, dict):
+            self.fail("results.trace_overhead: not an object")
+            return
+
+        num = (int, float)
+        where = "trace_overhead"
+        for key in ("mips_baseline", "mips_disarmed", "mips_armed"):
+            v = self.expect(to, key, num, where)
+            if v is not None and v <= 0:
+                self.fail(f"{where}: {key} must be positive, got {v}")
+        disarmed = self.expect(to, "overhead_disarmed_pct", num, where)
+        armed = self.expect(to, "overhead_armed_pct", num, where)
+        recorded = self.expect(to, "events_recorded", (int,), where)
+        self.expect(to, "events_dropped", (int,), where)
+        prof = self.expect(to, "profile", (dict,), where)
+        if self.errors:
+            return
+
+        self.note(f"trace: disarmed {disarmed:.2f}%, armed {armed:.2f}% "
+                  f"overhead, {recorded} events")
+        if disarmed > self.trace_disarmed_ceiling:
+            self.fail(f"{where}: disarmed recorder overhead "
+                      f"{disarmed:.2f}% exceeds ceiling "
+                      f"{self.trace_disarmed_ceiling}%")
+        if recorded < 1:
+            self.fail(f"{where}: armed run recorded no events")
+
+        pwhere = f"{where}.profile"
+        samples = self.expect(prof, "samples", (int,), pwhere)
+        bucket_sum = self.expect(prof, "bucket_sum", (int,), pwhere)
+        stride = self.expect(prof, "stride", (int,), pwhere)
+        if prof.get("buckets_match") is not True:
+            self.fail(f"{pwhere}: interp and generated profiler "
+                      f"histograms are not identical")
+        if isinstance(samples, int):
+            if samples < 1:
+                self.fail(f"{pwhere}: no PC samples taken")
+            if bucket_sum != samples:
+                self.fail(f"{pwhere}: PC bucket counts sum to "
+                          f"{bucket_sum}, expected samples={samples}")
+        if isinstance(stride, int) and stride < 1:
+            self.fail(f"{pwhere}: stride must be positive")
+
+        # The profiler must also have published into the stats dump:
+        # one group per back end, per-bucket counters summing to the
+        # group's samples counter.
+        stats = doc.get("stats")
+        pgroups = stats.get("profile") if isinstance(stats, dict) else None
+        if not isinstance(pgroups, dict):
+            self.fail("stats.profile: missing profile groups in stats dump")
+            return
+        for backend in ("interp", "generated"):
+            g = pgroups.get(backend)
+            gwhere = f"stats.profile.{backend}"
+            if not isinstance(g, dict):
+                self.fail(f"{gwhere}: missing")
+                continue
+            gs = g.get("samples")
+            pcs = g.get("pc")
+            if not isinstance(gs, int) or gs < 1:
+                self.fail(f"{gwhere}.samples: missing or non-positive")
+                continue
+            if not isinstance(pcs, dict) or not pcs:
+                self.fail(f"{gwhere}.pc: missing bucket counters")
+                continue
+            total = sum(v for v in pcs.values() if isinstance(v, int))
+            if total != gs:
+                self.fail(f"{gwhere}: pc buckets sum to {total}, "
+                          f"samples={gs}")
+
+    # -- distribution shape ----------------------------------------------
+
+    def check_distributions(self, doc):
+        """Recursively validate every distribution node in the stats
+        dump: quantile ordering and bucket accounting."""
+        checked = 0
+
+        def is_dist(node):
+            return (isinstance(node, dict) and
+                    all(k in node for k in
+                        ("count", "buckets", "p50", "p90", "p99",
+                         "underflow", "overflow")))
+
+        def walk(node, path):
+            nonlocal checked
+            if is_dist(node):
+                checked += 1
+                if not (node["p50"] <= node["p90"] <= node["p99"]):
+                    self.fail(f"{path}: quantiles out of order "
+                              f"(p50={node['p50']} p90={node['p90']} "
+                              f"p99={node['p99']})")
+                if isinstance(node["buckets"], list):
+                    total = (sum(node["buckets"]) + node["underflow"] +
+                             node["overflow"])
+                    if total != node["count"]:
+                        self.fail(f"{path}: count={node['count']} but "
+                                  f"buckets+under+overflow={total}")
+                return
+            if isinstance(node, dict):
+                for k, v in node.items():
+                    walk(v, f"{path}.{k}")
+
+        stats = doc.get("stats")
+        if isinstance(stats, dict):
+            walk(stats, "stats")
+        if checked:
+            self.note(f"distributions validated: {checked}")
+
     # -- driver ---------------------------------------------------------
 
     def run(self):
@@ -467,6 +599,8 @@ class Checker:
         self.check_fleet(doc)
         self.check_ckpt_sampling(doc)
         self.check_fault_containment(doc)
+        self.check_trace_overhead(doc)
+        self.check_distributions(doc)
         return not self.errors
 
 

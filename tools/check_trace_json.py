@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Schema and invariant checker for flight-recorder timeline exports.
+
+Usage: check_trace_json.py [--quiet] [--expect-quarantine] FILE...
+
+Validates that a file written by `onespec-fleet --trace-out` (or
+`obs::exportChromeTrace`) is a well-formed Chrome trace-event /
+Perfetto-loadable JSON document:
+
+1. Structure: top-level `traceEvents` array (non-empty beyond metadata)
+   plus `displayTimeUnit` and `otherData`; every event carries name/ph/
+   ts/pid/tid with sane types; `ph` is one of B E i I M X.
+
+2. Track metadata: a `process_name` metadata event, and one
+   `thread_name` metadata event per tid that carries real events.
+
+3. Timestamps: per-tid, non-metadata events appear in non-decreasing
+   `ts` order in file order (the exporter walks each ring oldest to
+   newest, so a violation means ring corruption or a clock bug).
+
+4. Span discipline: per-tid, B/E events nest like a stack and each E
+   matches the name of the open B (the exporter repairs orphans from
+   ring overwrite, so any survivor is a real pairing bug).
+
+5. Content floor: at least one complete B/E span pair and at least one
+   instant event overall -- an armed fleet run always records job spans
+   and cross-batch instants.  With --expect-quarantine, additionally
+   require a `quarantine` instant (used by the poisoned ctest fixture).
+
+Exit status: 0 if every file passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PH = {"B", "E", "i", "I", "M", "X"}
+
+
+class Checker:
+    def __init__(self, path, quiet=False, expect_quarantine=False):
+        self.path = path
+        self.quiet = quiet
+        self.expect_quarantine = expect_quarantine
+        self.errors = []
+
+    def fail(self, msg):
+        self.errors.append(msg)
+
+    def note(self, msg):
+        if not self.quiet:
+            print(f"  {msg}")
+
+    def run(self):
+        try:
+            with open(self.path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            self.fail(f"cannot load: {e}")
+            return False
+
+        if not isinstance(doc, dict):
+            self.fail("top level is not an object")
+            return False
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            self.fail("missing or non-array 'traceEvents'")
+            return False
+        if doc.get("displayTimeUnit") not in ("ms", "ns"):
+            self.fail("displayTimeUnit must be 'ms' or 'ns'")
+        other = doc.get("otherData")
+        if not isinstance(other, dict):
+            self.fail("missing 'otherData' object")
+
+        num = (int, float)
+        per_tid = {}          # tid -> list of non-metadata events
+        thread_names = set()  # tids with a thread_name metadata event
+        have_process_name = False
+        for i, ev in enumerate(events):
+            where = f"traceEvents[{i}]"
+            if not isinstance(ev, dict):
+                self.fail(f"{where}: not an object")
+                continue
+            ph = ev.get("ph")
+            if ph not in VALID_PH:
+                self.fail(f"{where}: bad ph {ph!r}")
+                continue
+            if not isinstance(ev.get("name"), str) or not ev["name"]:
+                self.fail(f"{where}: missing/empty name")
+                continue
+            if not isinstance(ev.get("ts"), num) or ev["ts"] < 0:
+                self.fail(f"{where}: bad ts {ev.get('ts')!r}")
+                continue
+            if not isinstance(ev.get("pid"), int) or \
+               not isinstance(ev.get("tid"), int):
+                self.fail(f"{where}: missing integer pid/tid")
+                continue
+            if ph == "M":
+                if ev["name"] == "process_name":
+                    have_process_name = True
+                elif ev["name"] == "thread_name":
+                    thread_names.add(ev["tid"])
+                continue
+            if ph in ("i", "I") and ev.get("s") not in (None, "t", "p", "g"):
+                self.fail(f"{where}: bad instant scope {ev.get('s')!r}")
+            per_tid.setdefault(ev["tid"], []).append((i, ev))
+
+        if not have_process_name:
+            self.fail("no process_name metadata event")
+        if not per_tid:
+            self.fail("no non-metadata events (was the recorder armed?)")
+        for tid in per_tid:
+            if tid not in thread_names:
+                self.fail(f"tid {tid} has events but no thread_name "
+                          f"metadata")
+
+        spans = 0
+        instants = 0
+        quarantines = 0
+        for tid, evs in sorted(per_tid.items()):
+            last_ts = -1.0
+            stack = []
+            for i, ev in evs:
+                where = f"traceEvents[{i}] (tid {tid})"
+                if ev["ts"] < last_ts:
+                    self.fail(f"{where}: ts {ev['ts']} decreases from "
+                              f"{last_ts}")
+                last_ts = ev["ts"]
+                ph = ev["ph"]
+                if ph == "B":
+                    stack.append(ev["name"])
+                elif ph == "E":
+                    if not stack:
+                        self.fail(f"{where}: E with no open B")
+                    elif stack[-1] != ev["name"]:
+                        self.fail(f"{where}: E '{ev['name']}' closes "
+                                  f"B '{stack[-1]}'")
+                    else:
+                        stack.pop()
+                        spans += 1
+                elif ph in ("i", "I"):
+                    instants += 1
+                    if ev["name"].startswith("quarantine"):
+                        quarantines += 1
+                elif ph == "X":
+                    spans += 1
+            if stack:
+                self.fail(f"tid {tid}: {len(stack)} unclosed B span(s): "
+                          f"{stack}")
+
+        self.note(f"{len(per_tid)} thread track(s), {spans} span(s), "
+                  f"{instants} instant(s)")
+        if spans < 1:
+            self.fail("no complete B/E span pair in the whole trace")
+        if instants < 1:
+            self.fail("no instant events in the whole trace")
+        if self.expect_quarantine and quarantines < 1:
+            self.fail("--expect-quarantine: no quarantine instant found")
+        return not self.errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", metavar="FILE")
+    ap.add_argument("--quiet", action="store_true")
+    ap.add_argument("--expect-quarantine", action="store_true",
+                    help="require a quarantine instant (poisoned fixture)")
+    args = ap.parse_args()
+
+    ok = True
+    for path in args.files:
+        print(f"check {path}")
+        c = Checker(path, quiet=args.quiet,
+                    expect_quarantine=args.expect_quarantine)
+        if c.run():
+            print("  OK")
+        else:
+            ok = False
+            for e in c.errors:
+                print(f"  FAIL: {e}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

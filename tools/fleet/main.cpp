@@ -11,6 +11,13 @@
  *   onespec-fleet --isa alpha64 --buildset OneAllNo --stats
  *   onespec-fleet --repeat 3 --kernel fib --kernel crc32
  *   onespec-fleet --deadline-ms 2000 --retries 1
+ *   onespec-fleet --trace-out trace.json --profile --stats
+ *
+ * With --trace-out the flight recorder is armed for the batch and the
+ * run is exported as Chrome trace-event JSON (load it in Perfetto or
+ * chrome://tracing; docs/OBSERVABILITY.md walks through it).  With
+ * --profile each job carries a deterministic hot-PC profiler whose
+ * buckets land under fleet.<isa>.<buildset>.profile in --stats output.
  *
  * Failed jobs are quarantined (structured error records), healthy jobs
  * complete, and the exit code is the quarantined-job count (capped at
@@ -27,6 +34,8 @@
 #include <vector>
 
 #include "isa/isa.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 #include "parallel/fleet.hpp"
 #include "workload/builder.hpp"
 #include "workload/kernels.hpp"
@@ -70,8 +79,33 @@ usage()
         "  --retries N     extra attempts for resource failures "
         "(default 0)\n"
         "  --keep-going    run all jobs even after a quarantine "
-        "(default: abort the batch on first failure)\n");
+        "(default: abort the batch on first failure)\n"
+        "  --trace-out F   arm the flight recorder and write a Chrome\n"
+        "                  trace-event timeline of the batch to F\n"
+        "  --fr-capacity N flight-recorder events per thread "
+        "(default 4096)\n"
+        "  --profile       attach a deterministic hot-PC profiler to\n"
+        "                  every job (see --stats / --profile-stride)\n"
+        "  --profile-stride N  sample every N retired instructions "
+        "(default 64)\n"
+        "  --poison IDX    give job IDX a nonexistent buildset "
+        "(quarantine demo/testing aid)\n");
     return 101;
+}
+
+/** Fixed-width postmortem print of one flight-recorder tail event. */
+void
+printTailEvent(size_t k, const obs::FrEvent &ev)
+{
+    const char *phase = ev.phase == obs::EvPhase::Begin    ? "B"
+                        : ev.phase == obs::EvPhase::End    ? "E"
+                                                           : "i";
+    std::printf("      tail[%zu] +%11.3f us  %s %-12s id=%u a0=%llu "
+                "a1=%llu\n",
+                k, static_cast<double>(ev.tsNs) / 1000.0, phase,
+                obs::evTypeName(ev.type), ev.id,
+                static_cast<unsigned long long>(ev.a0),
+                static_cast<unsigned long long>(ev.a1));
 }
 
 } // namespace
@@ -85,6 +119,10 @@ realMain(int argc, char **argv)
     std::vector<std::string> isas, kernels;
     int repeat = 1;
     bool interp = false, dump_stats = false;
+    std::string trace_out;
+    size_t fr_capacity = obs::FlightControl::kDefaultCapacity;
+    uint64_t profile_stride = 0;
+    long poison = -1;
     parallel::FleetPolicy policy;
     policy.keepGoing = false; // CLI default: fail fast; see --keep-going
 
@@ -115,6 +153,20 @@ realMain(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 0));
         } else if (std::strcmp(argv[i], "--keep-going") == 0) {
             policy.keepGoing = true;
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--fr-capacity") == 0 &&
+                   i + 1 < argc) {
+            fr_capacity = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            if (!profile_stride)
+                profile_stride = 64;
+        } else if (std::strcmp(argv[i], "--profile-stride") == 0 &&
+                   i + 1 < argc) {
+            profile_stride = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--poison") == 0 && i + 1 < argc) {
+            poison = std::strtol(argv[++i], nullptr, 0);
         } else {
             return usage();
         }
@@ -154,10 +206,25 @@ realMain(int argc, char **argv)
                 j.maxInstrs = max_instrs;
                 j.name = b.spec->props.name + "/" + kname;
                 j.useInterp = interp;
+                j.profileStride = profile_stride;
                 jobs.push_back(std::move(j));
             }
         }
     }
+    if (poison >= 0) {
+        if (static_cast<size_t>(poison) >= jobs.size()) {
+            std::fprintf(stderr, "onespec-fleet: --poison %ld out of "
+                         "range (%zu jobs)\n", poison, jobs.size());
+            return usage();
+        }
+        // A buildset that cannot exist -> SpecError in the worker ->
+        // quarantine, deterministically.  Demo/testing aid for the
+        // postmortem path.
+        jobs[static_cast<size_t>(poison)].buildset = "__poisoned__";
+    }
+
+    if (!trace_out.empty())
+        obs::FlightControl::instance().arm(fr_capacity);
 
     SimFleet fleet(threads);
     std::printf("onespec-fleet: %zu jobs on %u threads (buildset %s, %s "
@@ -190,6 +257,13 @@ realMain(int argc, char **argv)
                         res.attempts == 1 ? "" : "s",
                         static_cast<double>(res.ns) / 1e6,
                         res.error.c_str());
+            if (!res.frTail.empty()) {
+                std::printf("    postmortem flight-recorder tail "
+                            "(%zu events):\n",
+                            res.frTail.size());
+                for (size_t k = 0; k < res.frTail.size(); ++k)
+                    printTailEvent(k, res.frTail[k]);
+            }
         }
     }
     unsigned quarantined = report.quarantinedCount();
@@ -201,6 +275,25 @@ realMain(int argc, char **argv)
                 static_cast<unsigned long long>(report.totalInstrs()),
                 static_cast<double>(report.wallNs) / 1e6, report.threads,
                 report.aggregateMips());
+
+    if (!trace_out.empty()) {
+        auto &fc = obs::FlightControl::instance();
+        fc.disarm(); // keep the rings readable for export
+        obs::TimelineLabels labels;
+        for (const auto &j : jobs)
+            labels.jobNames.push_back(j.name);
+        std::string err;
+        if (!obs::exportChromeTrace(trace_out, labels, &err)) {
+            std::fprintf(stderr, "onespec-fleet: trace export failed: "
+                         "%s\n", err.c_str());
+            return 102;
+        }
+        std::printf("\nwrote trace %s (%llu events recorded, %llu "
+                    "dropped)\n",
+                    trace_out.c_str(),
+                    static_cast<unsigned long long>(fc.totalEvents()),
+                    static_cast<unsigned long long>(fc.totalDropped()));
+    }
 
     if (dump_stats) {
         std::printf("\nmerged stats (job-index order, "
