@@ -1,0 +1,278 @@
+#include "ckpt/blockcodec.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace onespec {
+namespace ckpt {
+namespace codec {
+
+namespace {
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+/** Minimal bounds-checked cursor over an encoded stream. */
+struct Cur
+{
+    const uint8_t *p;
+    size_t len;
+    size_t pos = 0;
+
+    void
+    need(size_t n) const
+    {
+        if (len - pos < n)
+            throw CkptError(
+                "corrupt compressed block: stream truncated (need " +
+                std::to_string(n) + " bytes at offset " +
+                std::to_string(pos) + ", " + std::to_string(len - pos) +
+                " remain)");
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return p[pos++];
+    }
+
+    uint16_t
+    u16()
+    {
+        need(2);
+        uint16_t v = static_cast<uint16_t>(
+            p[pos] | (static_cast<uint16_t>(p[pos + 1]) << 8));
+        pos += 2;
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(p[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+};
+
+/** Encode one block of @p n bytes, picking the cheapest representation. */
+void
+encodeBlock(std::vector<uint8_t> &out, const uint8_t *b, size_t n,
+            CodecStats *st)
+{
+    bool zero = true, fillable = true;
+    const uint8_t first = b[0];
+    for (size_t i = 0; i < n; ++i) {
+        if (b[i] != 0)
+            zero = false;
+        if (b[i] != first)
+            fillable = false;
+        if (!zero && !fillable)
+            break;
+    }
+    if (zero) {
+        out.push_back(static_cast<uint8_t>(Tag::Zero));
+        if (st)
+            ++st->zero;
+        return;
+    }
+    if (fillable) {
+        out.push_back(static_cast<uint8_t>(Tag::Fill));
+        out.push_back(first);
+        if (st)
+            ++st->fill;
+        return;
+    }
+
+    // Byte-level runs; bail to RAW as soon as RLE cannot win.
+    std::vector<std::pair<uint16_t, uint8_t>> runs;
+    const size_t rawCost = 1 + n;
+    size_t i = 0;
+    bool viable = true;
+    while (i < n) {
+        size_t j = i + 1;
+        while (j < n && b[j] == b[i])
+            ++j;
+        runs.emplace_back(static_cast<uint16_t>(j - i), b[i]);
+        if (1 + 2 + runs.size() * 3 >= rawCost) {
+            viable = false;
+            break;
+        }
+        i = j;
+    }
+    if (viable) {
+        out.push_back(static_cast<uint8_t>(Tag::Rle));
+        putU16(out, static_cast<uint16_t>(runs.size()));
+        for (const auto &[len, val] : runs) {
+            putU16(out, len);
+            out.push_back(val);
+        }
+        if (st)
+            ++st->rle;
+        return;
+    }
+    out.push_back(static_cast<uint8_t>(Tag::Raw));
+    out.insert(out.end(), b, b + n);
+    if (st)
+        ++st->raw;
+}
+
+/**
+ * Shared stream walker: validates every block and either copies the
+ * payload into @p dst (decode) or only accounts it (scan, dst null).
+ * Returns the stream's advertised rawLen.
+ */
+size_t
+walkStream(const uint8_t *p, size_t avail, size_t &consumed, uint8_t *dst,
+           size_t expectLen, bool haveExpect, CodecStats *st)
+{
+    Cur c{p, avail};
+    const size_t rawLen = c.u32();
+    const size_t encLen = c.u32();
+    if (haveExpect && rawLen != expectLen)
+        throw CkptError("corrupt compressed block: stream advertises " +
+                        std::to_string(rawLen) + " decoded bytes, " +
+                        std::to_string(expectLen) + " expected");
+    c.need(encLen);
+    const size_t end = c.pos + encLen;
+
+    size_t produced = 0;
+    while (produced < rawLen) {
+        const size_t blockLen = std::min(kBlockSize, rawLen - produced);
+        if (c.pos >= end)
+            throw CkptError("corrupt compressed block: stream ended "
+                            "after " + std::to_string(produced) + " of " +
+                            std::to_string(rawLen) + " bytes");
+        const uint8_t tag = c.u8();
+        switch (static_cast<Tag>(tag)) {
+          case Tag::Raw:
+            c.need(blockLen);
+            if (dst)
+                std::memcpy(dst + produced, c.p + c.pos, blockLen);
+            c.pos += blockLen;
+            if (st)
+                ++st->raw;
+            break;
+          case Tag::Zero:
+            if (dst)
+                std::memset(dst + produced, 0, blockLen);
+            if (st)
+                ++st->zero;
+            break;
+          case Tag::Fill: {
+            const uint8_t v = c.u8();
+            if (dst)
+                std::memset(dst + produced, v, blockLen);
+            if (st)
+                ++st->fill;
+            break;
+          }
+          case Tag::Rle: {
+            const uint16_t nRuns = c.u16();
+            size_t blockFill = 0;
+            for (uint16_t r = 0; r < nRuns; ++r) {
+                const uint16_t runLen = c.u16();
+                const uint8_t v = c.u8();
+                if (runLen == 0 || blockFill + runLen > blockLen)
+                    throw CkptError(
+                        "corrupt compressed block: RLE run table does "
+                        "not fit its block (run " + std::to_string(r) +
+                        " of " + std::to_string(nRuns) + ")");
+                if (dst)
+                    std::memset(dst + produced + blockFill, v, runLen);
+                blockFill += runLen;
+            }
+            if (blockFill != blockLen)
+                throw CkptError(
+                    "corrupt compressed block: RLE runs cover " +
+                    std::to_string(blockFill) + " of " +
+                    std::to_string(blockLen) + " block bytes");
+            if (st)
+                ++st->rle;
+            break;
+          }
+          default:
+            throw CkptError("corrupt compressed block: unknown encoding "
+                            "tag " + std::to_string(tag));
+        }
+        produced += blockLen;
+    }
+    if (c.pos != end)
+        throw CkptError("corrupt compressed block: stream length field "
+                        "says " + std::to_string(encLen) +
+                        " encoded bytes, blocks consumed " +
+                        std::to_string(c.pos - 8));
+    if (st) {
+        st->bytesRaw += rawLen;
+        st->bytesEncoded += c.pos;
+    }
+    consumed += c.pos;
+    return rawLen;
+}
+
+} // namespace
+
+CodecStats &
+CodecStats::operator+=(const CodecStats &o)
+{
+    raw += o.raw;
+    zero += o.zero;
+    fill += o.fill;
+    rle += o.rle;
+    bytesRaw += o.bytesRaw;
+    bytesEncoded += o.bytesEncoded;
+    return *this;
+}
+
+void
+encodeStream(std::vector<uint8_t> &out, const uint8_t *data, size_t len,
+             CodecStats *st)
+{
+    const size_t start = out.size();
+    putU32(out, static_cast<uint32_t>(len));
+    putU32(out, 0); // encodedLen backpatched below
+    for (size_t off = 0; off < len; off += kBlockSize)
+        encodeBlock(out, data + off, std::min(kBlockSize, len - off), st);
+    const uint32_t encLen = static_cast<uint32_t>(out.size() - start - 8);
+    for (int i = 0; i < 4; ++i)
+        out[start + 4 + i] = static_cast<uint8_t>(encLen >> (8 * i));
+    if (st) {
+        st->bytesRaw += len;
+        st->bytesEncoded += 8 + encLen;
+    }
+}
+
+void
+decodeStream(const uint8_t *p, size_t avail, size_t &consumed,
+             uint8_t *dst, size_t expectLen, CodecStats *st)
+{
+    walkStream(p, avail, consumed, dst, expectLen, true, st);
+}
+
+size_t
+scanStream(const uint8_t *p, size_t avail, size_t &consumed,
+           CodecStats *st)
+{
+    return walkStream(p, avail, consumed, nullptr, 0, false, st);
+}
+
+} // namespace codec
+} // namespace ckpt
+} // namespace onespec

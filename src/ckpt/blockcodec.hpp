@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-block encoding selection for checkpoint payloads (the `OSPCKPT2`
+ * container, docs/CKPT_FORMAT.md).
+ *
+ * A byte stream is cut into fixed 4 KiB blocks and each block is
+ * serialized under the cheapest of four encodings, chosen independently
+ * per block (the BitMagic `bmserial.h` idea applied to page images and
+ * bit-packed dirty maps):
+ *
+ *   RAW   the block's bytes verbatim -- the fallback that can never lose
+ *   ZERO  the block is all zero; no payload at all
+ *   FILL  the block is one repeated non-zero byte; payload is that byte
+ *   RLE   byte-level run-length pairs; chosen only when the run table is
+ *         strictly smaller than RAW
+ *
+ * Every stream is framed with its decoded and encoded lengths, so a
+ * reader always knows how many bytes a well-formed stream must produce
+ * and consume.  The decoder validates *structure*, not just checksums:
+ * an unknown tag, a run table that does not sum to the block, or a
+ * stream that produces the wrong number of bytes throws CkptError even
+ * when the surrounding container CRCs pass -- a corrupt compressed
+ * block is never silently expanded.  Framing fields are little-endian
+ * byte-by-byte like the rest of the container.
+ */
+
+#ifndef ONESPEC_CKPT_BLOCKCODEC_HPP
+#define ONESPEC_CKPT_BLOCKCODEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace onespec {
+namespace ckpt {
+namespace codec {
+
+/** Encoding unit: streams are cut into blocks of this many bytes (the
+ *  final block may be shorter). */
+constexpr size_t kBlockSize = 4096;
+
+/** Block encoding tags as they appear on disk. */
+enum class Tag : uint8_t {
+    Raw = 0,   ///< blockLen verbatim bytes
+    Zero = 1,  ///< all-zero block, no payload
+    Fill = 2,  ///< one repeated byte, payload u8 value
+    Rle = 3,   ///< u16 runs, then runs x (u16 len, u8 value)
+};
+
+/** Per-tag block counts plus byte totals; accumulated by both the
+ *  encoder and the decoder (the `onespec-ckpt info` histogram). */
+struct CodecStats
+{
+    uint64_t raw = 0;
+    uint64_t zero = 0;
+    uint64_t fill = 0;
+    uint64_t rle = 0;
+    uint64_t bytesRaw = 0;      ///< decoded payload bytes
+    uint64_t bytesEncoded = 0;  ///< stream bytes incl. framing
+
+    uint64_t blocks() const { return raw + zero + fill + rle; }
+    CodecStats &operator+=(const CodecStats &o);
+};
+
+/**
+ * Append the block-coded stream for [data, data+len) to @p out:
+ * u32 rawLen, u32 encodedLen, then one tagged block per kBlockSize
+ * chunk.  len == 0 produces a valid empty stream (framing only).
+ */
+void encodeStream(std::vector<uint8_t> &out, const uint8_t *data,
+                  size_t len, CodecStats *st = nullptr);
+
+/**
+ * Decode one stream starting at @p p (with @p avail bytes readable)
+ * into @p dst, which must already be sized to the caller's *expected*
+ * decoded length -- a stream advertising any other rawLen is rejected.
+ * Advances @p consumed past the stream.  Throws CkptError (with
+ * "compressed block" in the message) on any structural damage:
+ * truncation, unknown tag, run-table mismatch, or length drift.
+ */
+void decodeStream(const uint8_t *p, size_t avail, size_t &consumed,
+                  uint8_t *dst, size_t expectLen, CodecStats *st = nullptr);
+
+/**
+ * Walk a stream without materializing the payload: validates structure
+ * exactly like decodeStream and accumulates the tag histogram.  Used by
+ * container inspection (`onespec-ckpt info`).  Returns the stream's
+ * rawLen.  Throws CkptError on damage.
+ */
+size_t scanStream(const uint8_t *p, size_t avail, size_t &consumed,
+                  CodecStats *st = nullptr);
+
+} // namespace codec
+} // namespace ckpt
+} // namespace onespec
+
+#endif // ONESPEC_CKPT_BLOCKCODEC_HPP

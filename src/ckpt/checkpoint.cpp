@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "ckpt/store.hpp"
 #include "obs/flight_recorder.hpp"
 #include "stats/trace.hpp"
 #include "support/crc32.hpp"
@@ -15,7 +16,17 @@ namespace ckpt {
 
 namespace {
 
-constexpr char kMagic[8] = {'O', 'S', 'P', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV1[8] = {'O', 'S', 'P', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'O', 'S', 'P', 'C', 'K', 'P', 'T', '2'};
+
+/** Largest page-index span the v2 MEM section represents as a bitmap;
+ *  sparser sets fall back to an explicit index list (both forms are
+ *  block-coded).  1M pages of bitmap is 128 KiB before coding. */
+constexpr uint64_t kMaxBitmapSpan = uint64_t{1} << 20;
+
+/** v2 MEM page-set representations (docs/CKPT_FORMAT.md). */
+constexpr uint8_t kMapBitmap = 0;
+constexpr uint8_t kMapIndexList = 1;
 
 /** Section tags, readable in a hex dump. */
 constexpr uint32_t
@@ -86,6 +97,10 @@ class Reader
     {}
 
     size_t pos() const { return pos_; }
+    /** Raw cursor access for embedded block-coded streams. */
+    const uint8_t *cur() const { return p_ + pos_; }
+    size_t avail() const { return len_ - pos_; }
+    void skip(size_t n) { need(n); pos_ += n; }
 
     void
     need(size_t n) const
@@ -230,7 +245,178 @@ installPages(SimContext &ctx, const Checkpoint &ck)
     }
 }
 
+/** Raw (pre-codec) byte image of the v2 page-index map. */
+std::vector<uint8_t>
+buildPageMap(const Checkpoint &ck, uint64_t base, uint64_t span,
+             uint8_t mapKind)
+{
+    std::vector<uint8_t> raw;
+    if (mapKind == kMapBitmap) {
+        raw.resize(static_cast<size_t>((span + 7) / 8), 0);
+        for (const CkptPage &pg : ck.pages) {
+            const uint64_t bit = pg.idx - base;
+            raw[static_cast<size_t>(bit >> 3)] |=
+                static_cast<uint8_t>(1u << (bit & 7));
+        }
+    } else {
+        raw.reserve(ck.pages.size() * 8);
+        for (const CkptPage &pg : ck.pages)
+            for (int i = 0; i < 8; ++i)
+                raw.push_back(static_cast<uint8_t>(pg.idx >> (8 * i)));
+    }
+    return raw;
+}
+
+/** Recover ascending page indices from a decoded v2 page map. */
+std::vector<uint64_t>
+parsePageMap(const std::vector<uint8_t> &raw, uint64_t base, uint64_t span,
+             uint64_t npages, uint8_t mapKind)
+{
+    std::vector<uint64_t> idx;
+    idx.reserve(static_cast<size_t>(npages));
+    if (mapKind == kMapBitmap) {
+        for (uint64_t bit = 0; bit < span; ++bit)
+            if (raw[static_cast<size_t>(bit >> 3)] & (1u << (bit & 7)))
+                idx.push_back(base + bit);
+    } else {
+        for (uint64_t i = 0; i < npages; ++i) {
+            uint64_t v = 0;
+            for (int b = 0; b < 8; ++b)
+                v |= static_cast<uint64_t>(raw[static_cast<size_t>(
+                         i * 8 + b)])
+                     << (8 * b);
+            idx.push_back(v);
+        }
+    }
+    if (idx.size() != npages)
+        throw CkptError("checkpoint page map lists " +
+                        std::to_string(idx.size()) + " pages, header "
+                        "says " + std::to_string(npages));
+    for (size_t i = 0; i < idx.size(); ++i) {
+        const uint64_t v = idx[i];
+        if (v < base || v - base >= span)
+            throw CkptError("checkpoint page map entry " +
+                            std::to_string(v) + " falls outside the "
+                            "declared span");
+        if (i > 0 && idx[i - 1] >= v)
+            throw CkptError("checkpoint page map is not strictly "
+                            "ascending");
+    }
+    return idx;
+}
+
+/**
+ * Serialize the v2 MEM section: page-count header, block-coded page
+ * map, then per-page payloads -- inline block-coded images, or u64
+ * store references when @p store is set.
+ */
+void
+writeMemV2(Writer &mem, const Checkpoint &ck, CkptStore *store,
+           CkptCounters *c)
+{
+    codec::CodecStats *st = c ? &c->codecEncode : nullptr;
+    mem.u64(Memory::kPageSize);
+    mem.u64(ck.pages.size());
+    mem.u8(store ? 1 : 0);
+    if (ck.pages.empty())
+        return;
+    const uint64_t base = ck.pages.front().idx;
+    const uint64_t span = ck.pages.back().idx - base + 1;
+    const uint8_t mapKind =
+        span <= kMaxBitmapSpan ? kMapBitmap : kMapIndexList;
+    mem.u64(base);
+    mem.u64(span);
+    mem.u8(mapKind);
+    const std::vector<uint8_t> mapRaw =
+        buildPageMap(ck, base, span, mapKind);
+    std::vector<uint8_t> stream;
+    codec::encodeStream(stream, mapRaw.data(), mapRaw.size(), st);
+    mem.bytes(stream.data(), stream.size());
+    for (const CkptPage &pg : ck.pages) {
+        ONESPEC_ASSERT(pg.bytes.size() == Memory::kPageSize,
+                       "malformed in-memory checkpoint page");
+        if (store) {
+            mem.u64(store->putPage(pg.bytes.data(), c));
+        } else {
+            stream.clear();
+            codec::encodeStream(stream, pg.bytes.data(), pg.bytes.size(),
+                                st);
+            mem.bytes(stream.data(), stream.size());
+        }
+    }
+}
+
+/** Parse the v2 MEM section into @p ck, resolving store references
+ *  through @p store (throws if references appear and store is null). */
+void
+readMemV2(Reader &r, Checkpoint &ck, CkptStore *store, CkptCounters *c)
+{
+    codec::CodecStats *st = c ? &c->codecDecode : nullptr;
+    const uint64_t pageSize = r.u64();
+    if (pageSize != Memory::kPageSize)
+        throw CkptError(
+            "checkpoint page size " + std::to_string(pageSize) +
+            " does not match this build's " +
+            std::to_string(Memory::kPageSize));
+    const uint64_t npages = r.u64();
+    const bool byRef = r.u8() != 0;
+    if (npages == 0)
+        return;
+    const uint64_t base = r.u64();
+    const uint64_t span = r.u64();
+    if (span == 0 || span < npages)
+        throw CkptError("checkpoint page map span " +
+                        std::to_string(span) + " cannot hold " +
+                        std::to_string(npages) + " pages");
+    const uint8_t mapKind = r.u8();
+    if (mapKind != kMapBitmap && mapKind != kMapIndexList)
+        throw CkptError("checkpoint page map kind " +
+                        std::to_string(mapKind) + " is not recognized");
+    if (mapKind == kMapBitmap && span > kMaxBitmapSpan)
+        throw CkptError("checkpoint page bitmap spans " +
+                        std::to_string(span) + " pages, limit is " +
+                        std::to_string(kMaxBitmapSpan));
+    const size_t mapRawLen = mapKind == kMapBitmap
+                                 ? static_cast<size_t>((span + 7) / 8)
+                                 : static_cast<size_t>(npages) * 8;
+    std::vector<uint8_t> mapRaw(mapRawLen);
+    size_t consumed = 0;
+    codec::decodeStream(r.cur(), r.avail(), consumed, mapRaw.data(),
+                        mapRawLen, st);
+    r.skip(consumed);
+    const std::vector<uint64_t> indices =
+        parsePageMap(mapRaw, base, span, npages, mapKind);
+
+    ck.pages.resize(static_cast<size_t>(npages));
+    for (size_t i = 0; i < indices.size(); ++i) {
+        CkptPage &pg = ck.pages[i];
+        pg.idx = indices[i];
+        pg.bytes.resize(Memory::kPageSize);
+        if (byRef) {
+            const uint64_t hash = r.u64();
+            if (!store)
+                throw CkptError(
+                    "checkpoint carries store references but no store "
+                    "was provided (pass --store / a CkptStore)");
+            store->getPage(hash, pg.bytes.data(), c);
+        } else {
+            consumed = 0;
+            codec::decodeStream(r.cur(), r.avail(), consumed,
+                                pg.bytes.data(), Memory::kPageSize, st);
+            r.skip(consumed);
+        }
+    }
+}
+
 } // namespace
+
+uint64_t
+fnv1a(const void *data, size_t len)
+{
+    Fnv f;
+    f.bytes(data, len);
+    return f.h;
+}
 
 CkptCounters &
 CkptCounters::operator+=(const CkptCounters &o)
@@ -244,6 +430,12 @@ CkptCounters::operator+=(const CkptCounters &o)
     bytesDecoded += o.bytesDecoded;
     captureNanos += o.captureNanos;
     restoreNanos += o.restoreNanos;
+    codecEncode += o.codecEncode;
+    codecDecode += o.codecDecode;
+    storePagePuts += o.storePagePuts;
+    storePageDedupHits += o.storePageDedupHits;
+    storeBytesWritten += o.storeBytesWritten;
+    storeBytesRead += o.storeBytesRead;
     return *this;
 }
 
@@ -268,6 +460,26 @@ CkptCounters::publish(stats::StatGroup &g) const
         .add(captureNanos);
     g.counter("restore_nanos", "wall nanoseconds spent restoring")
         .add(restoreNanos);
+    g.counter("blocks_raw", "v2 blocks encoded verbatim")
+        .add(codecEncode.raw);
+    g.counter("blocks_zero", "v2 blocks encoded as all-zero")
+        .add(codecEncode.zero);
+    g.counter("blocks_fill", "v2 blocks encoded as one repeated byte")
+        .add(codecEncode.fill);
+    g.counter("blocks_rle", "v2 blocks encoded as byte runs")
+        .add(codecEncode.rle);
+    g.counter("codec_bytes_raw", "payload bytes offered to the block codec")
+        .add(codecEncode.bytesRaw);
+    g.counter("codec_bytes_encoded", "stream bytes the block codec emitted")
+        .add(codecEncode.bytesEncoded);
+    g.counter("store_page_puts", "pages offered to a content store")
+        .add(storePagePuts);
+    g.counter("store_dedup_hits", "page puts satisfied by existing blobs")
+        .add(storePageDedupHits);
+    g.counter("store_bytes_written", "page-blob bytes written to a store")
+        .add(storeBytesWritten);
+    g.counter("store_bytes_read", "page-blob bytes read from a store")
+        .add(storeBytesRead);
 }
 
 uint64_t
@@ -314,16 +526,13 @@ capture(SimContext &ctx, CkptCounters *c)
     obs::FrSpan span(obs::EvType::CkptCapture, 0);
     Checkpoint ck;
     fillCommon(ck, ctx);
-    ctx.mem().forEachPage([&](uint64_t idx, const uint8_t *data, uint64_t) {
-        CkptPage pg;
-        pg.idx = idx;
-        pg.bytes.assign(data, data + Memory::kPageSize);
-        ck.pages.push_back(std::move(pg));
-    });
-    std::sort(ck.pages.begin(), ck.pages.end(),
-              [](const CkptPage &a, const CkptPage &b) {
-                  return a.idx < b.idx;
-              });
+    ctx.mem().forEachPageSorted(
+        [&](uint64_t idx, const uint8_t *data, uint64_t) {
+            CkptPage pg;
+            pg.idx = idx;
+            pg.bytes.assign(data, data + Memory::kPageSize);
+            ck.pages.push_back(std::move(pg));
+        });
     ck.epochMark = ctx.mem().newEpoch();
     ck.id = contentHash(ck);
     span.setArgs(ck.pages.size(), 0);
@@ -346,7 +555,7 @@ captureDelta(SimContext &ctx, const Checkpoint &parent, CkptCounters *c)
     ck.delta = true;
     ck.parentId = parent.id;
     fillCommon(ck, ctx);
-    ctx.mem().forEachPage(
+    ctx.mem().forEachPageSorted(
         [&](uint64_t idx, const uint8_t *data, uint64_t epoch) {
             if (epoch < parent.epochMark)
                 return;
@@ -355,10 +564,6 @@ captureDelta(SimContext &ctx, const Checkpoint &parent, CkptCounters *c)
             pg.bytes.assign(data, data + Memory::kPageSize);
             ck.pages.push_back(std::move(pg));
         });
-    std::sort(ck.pages.begin(), ck.pages.end(),
-              [](const CkptPage &a, const CkptPage &b) {
-                  return a.idx < b.idx;
-              });
     ck.epochMark = ctx.mem().newEpoch();
     ck.id = contentHash(ck);
     span.setArgs(ck.pages.size(), 1);
@@ -429,8 +634,17 @@ restoreChain(SimContext &ctx,
 }
 
 std::vector<uint8_t>
-encode(const Checkpoint &ck, CkptCounters *c)
+encode(const Checkpoint &ck, const EncodeOptions &opt, CkptCounters *c)
 {
+    if (opt.version != kFormatVersion && opt.version != kFormatVersionV1)
+        throw CkptError("cannot encode checkpoint format version " +
+                        std::to_string(opt.version) + " (this build "
+                        "writes versions 1 and 2)");
+    if (opt.store && opt.version != kFormatVersion)
+        throw CkptError("store-backed encoding requires container "
+                        "format version 2");
+    const bool v2 = opt.version == kFormatVersion;
+
     // Build section payloads first; the header's section table needs
     // their sizes and CRCs.
     Writer arch;
@@ -450,13 +664,17 @@ encode(const Checkpoint &ck, CkptCounters *c)
     os.bytes(ck.os.output.data(), ck.os.output.size());
 
     Writer mem;
-    mem.u64(Memory::kPageSize);
-    mem.u64(ck.pages.size());
-    for (const CkptPage &pg : ck.pages) {
-        ONESPEC_ASSERT(pg.bytes.size() == Memory::kPageSize,
-                       "malformed in-memory checkpoint page");
-        mem.u64(pg.idx);
-        mem.bytes(pg.bytes.data(), pg.bytes.size());
+    if (v2) {
+        writeMemV2(mem, ck, opt.store, c);
+    } else {
+        mem.u64(Memory::kPageSize);
+        mem.u64(ck.pages.size());
+        for (const CkptPage &pg : ck.pages) {
+            ONESPEC_ASSERT(pg.bytes.size() == Memory::kPageSize,
+                           "malformed in-memory checkpoint page");
+            mem.u64(pg.idx);
+            mem.bytes(pg.bytes.data(), pg.bytes.size());
+        }
     }
 
     struct Section
@@ -479,8 +697,8 @@ encode(const Checkpoint &ck, CkptCounters *c)
                              + 4;                    // header CRC
 
     Writer out;
-    out.bytes(kMagic, sizeof(kMagic));
-    out.u32(kFormatVersion);
+    out.bytes(v2 ? kMagicV2 : kMagicV1, 8);
+    out.u32(opt.version);
     out.u32(ck.delta ? 1u : 0u);
     out.u64(ck.specFingerprint);
     out.u64(ck.id);
@@ -507,22 +725,45 @@ encode(const Checkpoint &ck, CkptCounters *c)
     return out.take();
 }
 
+std::vector<uint8_t>
+encode(const Checkpoint &ck, CkptCounters *c)
+{
+    return encode(ck, EncodeOptions{}, c);
+}
+
 namespace {
 
-Checkpoint
-decodeImpl(const std::vector<uint8_t> &bytes, CkptCounters *c)
+/** Parsed header + validated section table, shared by decode and
+ *  inspect. */
+struct Parsed
 {
+    uint32_t version = 0;
+    Checkpoint ck;
+    std::vector<SectionInfo> table;
+};
+
+Parsed
+parseHeader(const std::vector<uint8_t> &bytes)
+{
+    Parsed ps;
     Reader hdr(bytes.data(), bytes.size(), "header");
     char magic[8];
     hdr.bytes(magic, sizeof(magic));
-    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    uint32_t expectVersion;
+    if (std::memcmp(magic, kMagicV1, 8) == 0)
+        expectVersion = kFormatVersionV1;
+    else if (std::memcmp(magic, kMagicV2, 8) == 0)
+        expectVersion = kFormatVersion;
+    else
         throw CkptError("not a OneSpec checkpoint (bad magic)");
     uint32_t version = hdr.u32();
-    if (version != kFormatVersion)
+    if (version != expectVersion)
         throw CkptError("unsupported checkpoint format version " +
                         std::to_string(version) + " (this build reads " +
+                        std::to_string(kFormatVersionV1) + " and " +
                         std::to_string(kFormatVersion) + ")");
-    Checkpoint ck;
+    ps.version = version;
+    Checkpoint &ck = ps.ck;
     uint32_t flags = hdr.u32();
     ck.delta = (flags & 1u) != 0;
     ck.specFingerprint = hdr.u64();
@@ -536,19 +777,13 @@ decodeImpl(const std::vector<uint8_t> &bytes, CkptCounters *c)
     hdr.bytes(ck.specName.data(), nameLen);
     uint32_t nsec = hdr.u32();
 
-    struct Entry
-    {
-        uint32_t tag;
-        uint64_t offset;
-        uint64_t length;
-        uint32_t crc;
-    };
-    std::vector<Entry> table(nsec);
-    for (Entry &e : table) {
+    ps.table.resize(nsec);
+    for (SectionInfo &e : ps.table) {
         e.tag = hdr.u32();
         e.offset = hdr.u64();
         e.length = hdr.u64();
         e.crc = hdr.u32();
+        e.name = tagName(e.tag);
     }
     size_t crcPos = hdr.pos();
     uint32_t storedHeaderCrc = hdr.u32();
@@ -556,18 +791,28 @@ decodeImpl(const std::vector<uint8_t> &bytes, CkptCounters *c)
     if (storedHeaderCrc != computedHeaderCrc)
         throw CkptError("checkpoint header CRC mismatch (file corrupt)");
 
-    bool sawArch = false, sawOs = false, sawMem = false;
-    for (const Entry &e : table) {
+    for (const SectionInfo &e : ps.table) {
         if (e.offset > bytes.size() || e.length > bytes.size() - e.offset)
-            throw CkptError("checkpoint section '" + tagName(e.tag) +
+            throw CkptError("checkpoint section '" + e.name +
                             "' extends past end of file (truncated?)");
-        const uint8_t *payload = bytes.data() + e.offset;
-        uint32_t crc = crc32(0, payload, e.length);
+        uint32_t crc = crc32(0, bytes.data() + e.offset, e.length);
         if (crc != e.crc)
-            throw CkptError("checkpoint section '" + tagName(e.tag) +
+            throw CkptError("checkpoint section '" + e.name +
                             "' CRC mismatch (file corrupt)");
-        Reader r(payload, static_cast<size_t>(e.length),
-                 tagName(e.tag).c_str());
+    }
+    return ps;
+}
+
+Checkpoint
+decodeImpl(const std::vector<uint8_t> &bytes, CkptStore *store,
+           CkptCounters *c)
+{
+    Parsed ps = parseHeader(bytes);
+    Checkpoint &ck = ps.ck;
+    bool sawArch = false, sawOs = false, sawMem = false;
+    for (const SectionInfo &e : ps.table) {
+        const uint8_t *payload = bytes.data() + e.offset;
+        Reader r(payload, static_cast<size_t>(e.length), e.name.c_str());
         if (e.tag == kTagArch) {
             sawArch = true;
             ck.pc = r.u64();
@@ -590,18 +835,23 @@ decodeImpl(const std::vector<uint8_t> &bytes, CkptCounters *c)
             r.bytes(ck.os.output.data(), static_cast<size_t>(outLen));
         } else if (e.tag == kTagMem) {
             sawMem = true;
-            uint64_t pageSize = r.u64();
-            if (pageSize != Memory::kPageSize)
-                throw CkptError(
-                    "checkpoint page size " + std::to_string(pageSize) +
-                    " does not match this build's " +
-                    std::to_string(Memory::kPageSize));
-            uint64_t npages = r.u64();
-            ck.pages.resize(static_cast<size_t>(npages));
-            for (CkptPage &pg : ck.pages) {
-                pg.idx = r.u64();
-                pg.bytes.resize(Memory::kPageSize);
-                r.bytes(pg.bytes.data(), Memory::kPageSize);
+            if (ps.version == kFormatVersionV1) {
+                uint64_t pageSize = r.u64();
+                if (pageSize != Memory::kPageSize)
+                    throw CkptError(
+                        "checkpoint page size " +
+                        std::to_string(pageSize) +
+                        " does not match this build's " +
+                        std::to_string(Memory::kPageSize));
+                uint64_t npages = r.u64();
+                ck.pages.resize(static_cast<size_t>(npages));
+                for (CkptPage &pg : ck.pages) {
+                    pg.idx = r.u64();
+                    pg.bytes.resize(Memory::kPageSize);
+                    r.bytes(pg.bytes.data(), Memory::kPageSize);
+                }
+            } else {
+                readMemV2(r, ck, store, c);
             }
         }
         // Unknown tags within a known version are tolerated (a hedge for
@@ -616,25 +866,95 @@ decodeImpl(const std::vector<uint8_t> &bytes, CkptCounters *c)
     return ck;
 }
 
-} // namespace
-
 Checkpoint
-decode(const std::vector<uint8_t> &bytes, CkptCounters *c)
+decodeFunnel(const std::vector<uint8_t> &bytes, CkptStore *store,
+             CkptCounters *c)
 {
     try {
-        return decodeImpl(bytes, c);
+        return decodeImpl(bytes, store, c);
     } catch (const CkptError &) {
-        // Every rejection path (magic, version, CRC, truncation) funnels
-        // through here so observers can count damaged containers.
+        // Every rejection path (magic, version, CRC, truncation, corrupt
+        // block, dangling reference) funnels through here so observers
+        // can count damaged containers.
         ONESPEC_TRACE("ckpt", "reject", bytes.size(), 0);
         throw;
     }
 }
 
-void
-saveFile(const std::string &path, const Checkpoint &ck, CkptCounters *c)
+} // namespace
+
+Checkpoint
+decode(const std::vector<uint8_t> &bytes, CkptCounters *c)
 {
-    std::vector<uint8_t> bytes = encode(ck, c);
+    return decodeFunnel(bytes, nullptr, c);
+}
+
+Checkpoint
+decode(const std::vector<uint8_t> &bytes, CkptStore *store, CkptCounters *c)
+{
+    return decodeFunnel(bytes, store, c);
+}
+
+ContainerInfo
+inspect(const std::vector<uint8_t> &bytes)
+{
+    Parsed ps = parseHeader(bytes);
+    ContainerInfo info;
+    info.version = ps.version;
+    info.delta = ps.ck.delta;
+    info.specFingerprint = ps.ck.specFingerprint;
+    info.specName = ps.ck.specName;
+    info.id = ps.ck.id;
+    info.parentId = ps.ck.parentId;
+    info.instrsRetired = ps.ck.instrsRetired;
+    info.epochMark = ps.ck.epochMark;
+    info.fileLen = bytes.size();
+    info.sections = ps.table;
+    uint64_t headerLen = bytes.size();
+    for (const SectionInfo &e : ps.table)
+        headerLen = std::min(headerLen, e.offset);
+    info.headerLen = headerLen;
+
+    for (const SectionInfo &e : ps.table) {
+        if (e.tag != kTagMem)
+            continue;
+        const uint8_t *payload = bytes.data() + e.offset;
+        Reader r(payload, static_cast<size_t>(e.length), "MEM ");
+        if (ps.version == kFormatVersionV1) {
+            r.u64(); // page size
+            info.pageCount = r.u64();
+            continue;
+        }
+        r.u64(); // page size
+        info.pageCount = r.u64();
+        info.pagesByRef = r.u8() != 0;
+        if (info.pageCount == 0)
+            continue;
+        r.u64(); // base
+        r.u64(); // span
+        r.u8();  // map kind
+        size_t consumed = 0;
+        codec::scanStream(r.cur(), r.avail(), consumed, &info.codec);
+        r.skip(consumed);
+        for (uint64_t i = 0; i < info.pageCount; ++i) {
+            if (info.pagesByRef) {
+                info.pageRefs.push_back(r.u64());
+            } else {
+                consumed = 0;
+                codec::scanStream(r.cur(), r.avail(), consumed,
+                                  &info.codec);
+                r.skip(consumed);
+            }
+        }
+    }
+    return info;
+}
+
+void
+saveFile(const std::string &path, const Checkpoint &ck,
+         const EncodeOptions &opt, CkptCounters *c)
+{
+    std::vector<uint8_t> bytes = encode(ck, opt, c);
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         throw CkptError("cannot open checkpoint file for writing: " +
@@ -645,8 +965,16 @@ saveFile(const std::string &path, const Checkpoint &ck, CkptCounters *c)
         throw CkptError("short write to checkpoint file: " + path);
 }
 
-Checkpoint
-loadFile(const std::string &path, CkptCounters *c)
+void
+saveFile(const std::string &path, const Checkpoint &ck, CkptCounters *c)
+{
+    saveFile(path, ck, EncodeOptions{}, c);
+}
+
+namespace {
+
+std::vector<uint8_t>
+readCkptFile(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
@@ -660,7 +988,21 @@ loadFile(const std::string &path, CkptCounters *c)
     std::fclose(f);
     if (readError)
         throw CkptError("error reading checkpoint file: " + path);
-    return decode(bytes, c);
+    return bytes;
+}
+
+} // namespace
+
+Checkpoint
+loadFile(const std::string &path, CkptCounters *c)
+{
+    return decode(readCkptFile(path), c);
+}
+
+Checkpoint
+loadFile(const std::string &path, CkptStore *store, CkptCounters *c)
+{
+    return decode(readCkptFile(path), store, c);
 }
 
 } // namespace ckpt

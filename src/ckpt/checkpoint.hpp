@@ -18,13 +18,24 @@
  *                      delta means restoring its chain root first and
  *                      applying each delta's pages in order.
  *
- * The serialized container ("OSPCKPT1") is versioned and
- * endianness-stable: every multi-byte field is written little-endian
- * byte-by-byte, so a checkpoint written on any host loads on any other.
- * The header (magic, version, spec identity, id/parent link) and each
- * section (ARCH/OS/MEM) carry CRC-32 checksums; any mismatch, truncation,
- * unknown version, or spec-fingerprint mismatch throws CkptError -- a
- * damaged checkpoint is never silently loaded.  See docs/CHECKPOINT.md.
+ * Two container generations, both read by this build (the byte-level
+ * normative spec is docs/CKPT_FORMAT.md):
+ *   - "OSPCKPT1": the original raw container; page images verbatim.
+ *   - "OSPCKPT2": the default writer.  Page images and the bit-packed
+ *     page-index map go through per-block encoding selection
+ *     (src/ckpt/blockcodec.hpp), and pages may be stored by reference
+ *     into a content-addressed CkptStore (src/ckpt/store.hpp) keyed on
+ *     the FNV-1a page hash, so identical pages dedup across
+ *     checkpoints, chains, and fleet jobs.
+ *
+ * Both containers are versioned and endianness-stable: every multi-byte
+ * field is written little-endian byte-by-byte, so a checkpoint written
+ * on any host loads on any other.  The header (magic, version, spec
+ * identity, id/parent link) and each section (ARCH/OS/MEM) carry CRC-32
+ * checksums; any mismatch, truncation, unknown version, spec-fingerprint
+ * mismatch, structurally corrupt compressed block, or dangling store
+ * reference throws CkptError -- a damaged checkpoint is never silently
+ * loaded.
  *
  * Restoring mutates context state behind the simulator's back; callers
  * holding a FunctionalSimulator must call onStateRestored() on it
@@ -40,11 +51,14 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/blockcodec.hpp"
 #include "runtime/context.hpp"
 #include "stats/stats.hpp"
 
 namespace onespec {
 namespace ckpt {
+
+class CkptStore;
 
 /** Raised for any invalid, damaged, or mismatched checkpoint.  A
  *  checkpoint is serialized guest state, so this is a GuestError: the
@@ -55,8 +69,10 @@ class CkptError : public GuestError
     explicit CkptError(const std::string &what) : GuestError("ckpt", what) {}
 };
 
-/** Container format version this build reads and writes. */
-constexpr uint32_t kFormatVersion = 1;
+/** Container format version this build writes by default. */
+constexpr uint32_t kFormatVersion = 2;
+/** The legacy raw container; still read, writable via EncodeOptions. */
+constexpr uint32_t kFormatVersionV1 = 1;
 
 /** One page image: (page index, kPageSize bytes). */
 struct CkptPage
@@ -108,10 +124,31 @@ struct CkptCounters
     uint64_t bytesDecoded = 0;
     uint64_t captureNanos = 0;
     uint64_t restoreNanos = 0;
+    /** Block-encoding histogram over every v2 payload encoded. */
+    codec::CodecStats codecEncode;
+    /** Same histogram over every v2 payload decoded. */
+    codec::CodecStats codecDecode;
+    // Content-addressed store traffic (src/ckpt/store.hpp).
+    uint64_t storePagePuts = 0;      ///< pages offered to a store
+    uint64_t storePageDedupHits = 0; ///< puts satisfied by existing blobs
+    uint64_t storeBytesWritten = 0;  ///< blob bytes actually written
+    uint64_t storeBytesRead = 0;     ///< blob bytes read back
 
     CkptCounters &operator+=(const CkptCounters &o);
     /** Add these values into counters under @p g (group "ckpt"). */
     void publish(stats::StatGroup &g) const;
+};
+
+/** Serialization policy for encode()/saveFile(). */
+struct EncodeOptions
+{
+    /** kFormatVersion (compressed v2) or kFormatVersionV1 (legacy raw,
+     *  byte-identical to what version-1 builds wrote). */
+    uint32_t version = kFormatVersion;
+    /** When set (v2 only), page payloads are written into this
+     *  content-addressed store and the container carries u64 page-hash
+     *  references instead of inline page bytes. */
+    CkptStore *store = nullptr;
 };
 
 /** Capture the full state of @p ctx. */
@@ -143,21 +180,78 @@ void restoreChain(SimContext &ctx,
                   const std::vector<const Checkpoint *> &chain,
                   CkptCounters *c = nullptr);
 
-/** Serialize to the versioned container format. */
+/** Serialize to the default (v2 compressed, inline-page) container. */
 std::vector<uint8_t> encode(const Checkpoint &ck,
                             CkptCounters *c = nullptr);
 
+/** Serialize under an explicit version/store policy. */
+std::vector<uint8_t> encode(const Checkpoint &ck, const EncodeOptions &opt,
+                            CkptCounters *c = nullptr);
+
 /**
- * Parse and validate a container image.  Throws CkptError on bad magic,
- * unsupported version, truncation, or any CRC mismatch.
+ * Parse and validate a container image (either generation).  Throws
+ * CkptError on bad magic, unsupported version, truncation, any CRC
+ * mismatch, a corrupt compressed block, or a store reference (pass the
+ * owning store to the overload below to resolve references).
  */
 Checkpoint decode(const std::vector<uint8_t> &bytes,
+                  CkptCounters *c = nullptr);
+
+/** decode() resolving store references through @p store; a reference
+ *  whose page blob is missing or damaged throws CkptError. */
+Checkpoint decode(const std::vector<uint8_t> &bytes, CkptStore *store,
                   CkptCounters *c = nullptr);
 
 /** encode() to a file / decode() from a file.  Throws CkptError on IO. */
 void saveFile(const std::string &path, const Checkpoint &ck,
               CkptCounters *c = nullptr);
+void saveFile(const std::string &path, const Checkpoint &ck,
+              const EncodeOptions &opt, CkptCounters *c = nullptr);
 Checkpoint loadFile(const std::string &path, CkptCounters *c = nullptr);
+Checkpoint loadFile(const std::string &path, CkptStore *store,
+                    CkptCounters *c = nullptr);
+
+/** One section-table row as stored in the container header. */
+struct SectionInfo
+{
+    uint32_t tag = 0;
+    std::string name;    ///< printable FourCC
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+};
+
+/**
+ * Everything `onespec-ckpt info` prints about a container without
+ * needing the store its pages may live in: the parsed header, the
+ * section table, and (v2) the block-encoding histogram and page
+ * layout.  All CRCs and compressed-block structure are validated; the
+ * page *contents* of a store-backed container are not resolved.
+ */
+struct ContainerInfo
+{
+    uint32_t version = 0;
+    bool delta = false;
+    uint64_t specFingerprint = 0;
+    std::string specName;
+    uint64_t id = 0;
+    uint64_t parentId = 0;
+    uint64_t instrsRetired = 0;
+    uint64_t epochMark = 0;
+    uint64_t headerLen = 0;
+    uint64_t fileLen = 0;
+    std::vector<SectionInfo> sections;
+    uint64_t pageCount = 0;
+    bool pagesByRef = false;     ///< v2: pages are store references
+    /** v2: tag histogram over the page-index map and inline pages. */
+    codec::CodecStats codec;
+    /** v2: store-page hashes, ascending page-index order (byRef only). */
+    std::vector<uint64_t> pageRefs;
+};
+
+/** Parse and CRC/structure-check a container without decoding page
+ *  contents.  Throws CkptError exactly where decode() would. */
+ContainerInfo inspect(const std::vector<uint8_t> &bytes);
 
 /**
  * Recompute the content hash of @p ck and compare with ck.id.  decode()
@@ -168,6 +262,10 @@ bool verifyId(const Checkpoint &ck);
 
 /** Content hash over the captured state (what Checkpoint::id holds). */
 uint64_t contentHash(const Checkpoint &ck);
+
+/** FNV-1a 64 over raw bytes: the page-content key of the
+ *  content-addressed store, and the hash family of contentHash(). */
+uint64_t fnv1a(const void *data, size_t len);
 
 } // namespace ckpt
 } // namespace onespec

@@ -1,0 +1,282 @@
+#include "ckpt/store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "ckpt/blockcodec.hpp"
+#include "runtime/memory.hpp"
+#include "support/crc32.hpp"
+
+namespace onespec {
+namespace ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Page blob magic (docs/CKPT_FORMAT.md, "Page blob format"). */
+constexpr char kPageMagic[8] = {'O', 'S', 'P', 'P', 'A', 'G', 'E', '1'};
+
+std::string
+hexHash(uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf, 16);
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::vector<uint8_t>
+readWholeFile(const std::string &path, const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw CkptError(std::string("cannot open ") + what + ": " + path);
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError)
+        throw CkptError(std::string("error reading ") + what + ": " + path);
+    return bytes;
+}
+
+/** Write via temp + rename: a valid blob name never holds a partial
+ *  file, even if the writer dies mid-write. */
+void
+writeFileAtomic(const std::string &path, const std::vector<uint8_t> &bytes,
+                const char *what)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw CkptError(std::string("cannot open ") + what +
+                        " for writing: " + tmp);
+    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = n == bytes.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw CkptError(std::string("short write to ") + what + ": " + tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        throw CkptError(std::string("cannot rename ") + what + " into "
+                        "place: " + path + " (" + ec.message() + ")");
+    }
+}
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+CkptStore::CkptStore(const std::string &root) : root_(root)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(root_) / "pages", ec);
+    if (!ec)
+        fs::create_directories(fs::path(root_) / "ckpts", ec);
+    if (ec)
+        throw CkptError("cannot create checkpoint store at " + root_ +
+                        " (" + ec.message() + ")");
+}
+
+std::string
+CkptStore::pagePath(uint64_t hash) const
+{
+    const std::string hex = hexHash(hash);
+    // Two-hex-digit fanout keeps any one directory small.
+    return (fs::path(root_) / "pages" / hex.substr(0, 2) / (hex + ".pg"))
+        .string();
+}
+
+std::string
+CkptStore::ckptPath(const std::string &name) const
+{
+    return (fs::path(root_) / "ckpts" / (name + ".ckpt")).string();
+}
+
+bool
+CkptStore::hasPage(uint64_t hash) const
+{
+    std::error_code ec;
+    return fs::exists(pagePath(hash), ec);
+}
+
+uint64_t
+CkptStore::putPage(const uint8_t *bytes, CkptCounters *c)
+{
+    const uint64_t hash = fnv1a(bytes, Memory::kPageSize);
+    if (c)
+        ++c->storePagePuts;
+    if (hasPage(hash)) {
+        if (c)
+            ++c->storePageDedupHits;
+        return hash;
+    }
+
+    std::vector<uint8_t> blob;
+    blob.insert(blob.end(), kPageMagic, kPageMagic + sizeof(kPageMagic));
+    putU64(blob, hash);
+    codec::CodecStats *st = c ? &c->codecEncode : nullptr;
+    std::vector<uint8_t> stream;
+    codec::encodeStream(stream, bytes, Memory::kPageSize, st);
+    putU32(blob, crc32(0, stream.data(), stream.size()));
+    blob.insert(blob.end(), stream.begin(), stream.end());
+
+    const std::string path = pagePath(hash);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        throw CkptError("cannot create page-store directory for " + path +
+                        " (" + ec.message() + ")");
+    writeFileAtomic(path, blob, "page blob");
+    if (c)
+        c->storeBytesWritten += blob.size();
+    return hash;
+}
+
+void
+CkptStore::getPage(uint64_t hash, uint8_t *dst, CkptCounters *c)
+{
+    const std::string path = pagePath(hash);
+    if (!hasPage(hash))
+        throw CkptError("dangling store reference: page " + hexHash(hash) +
+                        " not found in store " + root_);
+    std::vector<uint8_t> blob = readWholeFile(path, "page blob");
+    // Framing: magic8 + u64 hash + u32 crc, then the block stream.
+    constexpr size_t kFrame = 8 + 8 + 4;
+    if (blob.size() < kFrame)
+        throw CkptError("page blob truncated: " + path);
+    if (std::memcmp(blob.data(), kPageMagic, sizeof(kPageMagic)) != 0)
+        throw CkptError("page blob has bad magic: " + path);
+    const uint64_t storedHash = getU64(blob.data() + 8);
+    if (storedHash != hash)
+        throw CkptError("page blob " + path + " claims hash " +
+                        hexHash(storedHash) + ", filed under " +
+                        hexHash(hash));
+    const uint32_t storedCrc = getU32(blob.data() + 16);
+    const uint8_t *stream = blob.data() + kFrame;
+    const size_t streamLen = blob.size() - kFrame;
+    if (crc32(0, stream, streamLen) != storedCrc)
+        throw CkptError("page blob CRC mismatch (file corrupt): " + path);
+    size_t consumed = 0;
+    codec::decodeStream(stream, streamLen, consumed, dst,
+                        Memory::kPageSize,
+                        c ? &c->codecDecode : nullptr);
+    if (consumed != streamLen)
+        throw CkptError("page blob has " +
+                        std::to_string(streamLen - consumed) +
+                        " trailing bytes: " + path);
+    // The name is the contract: decoded content must hash to it.
+    if (fnv1a(dst, Memory::kPageSize) != hash)
+        throw CkptError("page blob content does not match its hash "
+                        "(file corrupt): " + path);
+    if (c)
+        c->storeBytesRead += blob.size();
+}
+
+void
+CkptStore::save(const std::string &name, const Checkpoint &ck,
+                CkptCounters *c)
+{
+    if (!validName(name))
+        throw CkptError("invalid checkpoint store name '" + name +
+                        "' (use [A-Za-z0-9._-]+)");
+    EncodeOptions opt;
+    opt.store = this;
+    std::vector<uint8_t> bytes = encode(ck, opt, c);
+    writeFileAtomic(ckptPath(name), bytes, "checkpoint file");
+}
+
+Checkpoint
+CkptStore::load(const std::string &name, CkptCounters *c)
+{
+    if (!validName(name))
+        throw CkptError("invalid checkpoint store name '" + name +
+                        "' (use [A-Za-z0-9._-]+)");
+    std::vector<uint8_t> bytes =
+        readWholeFile(ckptPath(name), "checkpoint file");
+    return decode(bytes, this, c);
+}
+
+uint64_t
+CkptStore::pageBlobCount() const
+{
+    uint64_t n = 0;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(fs::path(root_) / "pages", ec);
+    if (ec)
+        return 0;
+    for (const auto &ent : it)
+        n += ent.is_regular_file() && ent.path().extension() == ".pg";
+    return n;
+}
+
+uint64_t
+CkptStore::pageBlobBytes() const
+{
+    uint64_t n = 0;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(fs::path(root_) / "pages", ec);
+    if (ec)
+        return 0;
+    for (const auto &ent : it)
+        if (ent.is_regular_file() && ent.path().extension() == ".pg")
+            n += ent.file_size();
+    return n;
+}
+
+} // namespace ckpt
+} // namespace onespec

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Content-addressed checkpoint store.
+ *
+ * A CkptStore is a directory holding two kinds of objects (layout is
+ * normative in docs/CKPT_FORMAT.md):
+ *
+ *   pages/<ff>/<16-hex-hash>.pg   one block-coded page image, named by
+ *                                 the FNV-1a 64 hash of its raw bytes
+ *   ckpts/<name>.ckpt             an OSPCKPT2 container whose MEM
+ *                                 section carries page *references*
+ *                                 (u64 hashes) instead of page bytes
+ *
+ * Because a page blob's name is its content hash, identical pages are
+ * written once no matter how many checkpoints, delta chains, or fleet
+ * jobs reference them -- the store is the dedup mechanism.  putPage()
+ * on an existing hash is a metadata-only existence check (a dedup hit);
+ * getPage() re-verifies the blob's magic, hash, CRC, and decoded
+ * content hash, so a damaged or misfiled blob surfaces as CkptError,
+ * never as silently wrong guest memory.
+ *
+ * Concurrency contract: one writer.  The serial fast-forward phase of
+ * checkpoint-parallel sampling populates the store; fleet jobs only
+ * read.  Writes go through a temp file + rename so a crashed writer
+ * never leaves a truncated blob under a valid name.
+ */
+
+#ifndef ONESPEC_CKPT_STORE_HPP
+#define ONESPEC_CKPT_STORE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace onespec {
+namespace ckpt {
+
+/** Directory-backed content-addressed page and checkpoint store. */
+class CkptStore
+{
+  public:
+    /** Open (creating if needed) the store rooted at @p root.  Throws
+     *  CkptError if the directory cannot be created. */
+    explicit CkptStore(const std::string &root);
+
+    const std::string &root() const { return root_; }
+
+    /**
+     * Ensure the page image @p bytes (Memory::kPageSize long) is in the
+     * store and return its content hash.  Counts a dedup hit instead of
+     * writing when a blob with that hash already exists.
+     */
+    uint64_t putPage(const uint8_t *bytes, CkptCounters *c = nullptr);
+
+    /** True if a page blob with this content hash exists. */
+    bool hasPage(uint64_t hash) const;
+
+    /**
+     * Load and fully verify the page blob for @p hash into @p dst
+     * (Memory::kPageSize bytes).  Throws CkptError with "dangling store
+     * reference" if no blob exists, or a corruption message if the blob
+     * fails its magic/CRC/hash checks.
+     */
+    void getPage(uint64_t hash, uint8_t *dst, CkptCounters *c = nullptr);
+
+    /**
+     * Serialize @p ck as a store-backed OSPCKPT2 container under
+     * ckpts/<name>.ckpt: pages go into the page store, the container
+     * carries references.  @p name must match [A-Za-z0-9._-]+.
+     */
+    void save(const std::string &name, const Checkpoint &ck,
+              CkptCounters *c = nullptr);
+
+    /** Load ckpts/<name>.ckpt, resolving page references through this
+     *  store. */
+    Checkpoint load(const std::string &name, CkptCounters *c = nullptr);
+
+    /** Path of the container a save(name, ...) writes. */
+    std::string ckptPath(const std::string &name) const;
+
+    /** Path of the page blob for @p hash (whether or not it exists). */
+    std::string pagePath(uint64_t hash) const;
+
+    /** Number of page blobs currently in the store (directory walk;
+     *  for tools and tests, not hot paths). */
+    uint64_t pageBlobCount() const;
+
+    /** Total bytes of all page blobs (directory walk). */
+    uint64_t pageBlobBytes() const;
+
+  private:
+    std::string root_;
+};
+
+} // namespace ckpt
+} // namespace onespec
+
+#endif // ONESPEC_CKPT_STORE_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/store.hpp"
 #include "iface/registry.hpp"
 #include "perf/hostcount.hpp"
 #include "sim/interp.hpp"
@@ -54,6 +55,15 @@ runSampledCheckpointParallel(const Spec &spec, const Program &prog,
         else
             res.checkpoints.push_back(ckpt::capture(ctx, &res.ckpt));
         res.windowCaps.push_back(cap);
+        if (cfg.store) {
+            // Store-backed capture: persist the window checkpoint while
+            // still in the serial phase (single-writer store contract).
+            std::string name =
+                cfg.storePrefix +
+                std::to_string(res.checkpoints.size() - 1);
+            cfg.store->save(name, res.checkpoints.back(), &res.ckpt);
+            res.storedNames.push_back(std::move(name));
+        }
 
         // Advance through the window region itself (measured in phase 2;
         // not counted as fastForwarded, mirroring the serial driver).
@@ -75,6 +85,7 @@ runSampledCheckpointParallel(const Spec &spec, const Program &prog,
                 break;
         }
     }
+    res.totalInstrs = total;
     res.ffNs = sw.elapsedNs();
 
     // ---- Phase 2: one fleet job per window, each restoring its chain

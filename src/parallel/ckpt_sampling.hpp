@@ -51,6 +51,18 @@ struct CkptSamplingConfig
     /** Capture write-epoch deltas after the first checkpoint (chains get
      *  longer to restore but far smaller to hold/store). */
     bool deltaCheckpoints = true;
+    /**
+     * When set, phase 1 also persists every window checkpoint into this
+     * content-addressed store (ckpt/store.hpp) as it is captured --
+     * store-backed capture.  Identical pages across windows, chains, and
+     * earlier runs sharing the store are written once; the dedup hits
+     * show up in CkptSamplingResult::ckpt.storePageDedupHits.  The store
+     * is written only from the serial phase (its single-writer
+     * contract), so phase-2 determinism is untouched.
+     */
+    ckpt::CkptStore *store = nullptr;
+    /** Name prefix for stored window checkpoints: <prefix><index>. */
+    std::string storePrefix = "win";
 };
 
 /** Everything a checkpoint-parallel run produced. */
@@ -62,6 +74,12 @@ struct CkptSamplingResult
      *  checkpoints[0] is full, the rest are deltas when enabled. */
     std::vector<ckpt::Checkpoint> checkpoints;
     std::vector<uint64_t> windowCaps;  ///< per-window instruction caps
+    /** Store names of persisted window checkpoints, index-aligned with
+     *  checkpoints; empty when no store was configured. */
+    std::vector<std::string> storedNames;
+    /** Instructions the phase-1 functional pass executed (windows +
+     *  gaps) -- the denominator of bytes-per-instruction metrics. */
+    uint64_t totalInstrs = 0;
     uint64_t ffNs = 0;          ///< phase 1 wall time
     uint64_t measureNs = 0;     ///< phase 2 wall time (fleet batch)
     /** Per-job errors from phase 2, if any (empty strings when clean). */

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "adl/builtins.hpp"
 #include "support/bitutil.hpp"
@@ -243,6 +244,28 @@ class Memory
     {
         for (const auto &[idx, rec] : pages_)
             fn(idx, rec.data->data(), rec.epoch);
+    }
+
+    /**
+     * Visit every allocated page in ascending page-index order, as
+     * (index, data, epoch).  The serialization-facing variant of
+     * forEachPage(): the checkpoint layer and its block encoders need a
+     * stable byte stream, so the sort lives here instead of in every
+     * caller.  Costs one index collection + sort per call.
+     */
+    template <typename Fn>
+    void
+    forEachPageSorted(Fn &&fn) const
+    {
+        std::vector<uint64_t> order;
+        order.reserve(pages_.size());
+        for (const auto &[idx, rec] : pages_)
+            order.push_back(idx);
+        std::sort(order.begin(), order.end());
+        for (uint64_t idx : order) {
+            const PageRec &rec = pages_.at(idx);
+            fn(idx, rec.data->data(), rec.epoch);
+        }
     }
 
     /**

@@ -7,12 +7,15 @@
  * `tsan` ctest label; re-run them under -DONESPEC_SANITIZE=thread.
  */
 
+#include <filesystem>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/store.hpp"
 #include "iface/registry.hpp"
+#include "support/crc32.hpp"
 #include "isa/isa.hpp"
 #include "parallel/ckpt_sampling.hpp"
 #include "parallel/fleet.hpp"
@@ -193,6 +196,354 @@ TEST_F(CkptTest, VerifyIdDetectsHeaderContentMismatch)
     EXPECT_TRUE(ckpt::verifyId(ck));
     ck.words[0] ^= 1; // state no longer matches the recorded identity
     EXPECT_FALSE(ckpt::verifyId(ck));
+}
+
+// ---------------------------------------------------------------------
+// OSPCKPT2: block codec, v1 compatibility, content-addressed store
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Little-endian u32 read/write over a container image. */
+uint32_t
+rdU32(const std::vector<uint8_t> &b, size_t off)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(b[off + i]) << (8 * i);
+    return v;
+}
+
+void
+wrU32(std::vector<uint8_t> &b, size_t off, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[off + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+rdU64(const std::vector<uint8_t> &b, size_t off)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(b[off + i]) << (8 * i);
+    return v;
+}
+
+/**
+ * Recompute every section CRC and the header CRC of a container after a
+ * deliberate payload edit, re-deriving the layout from the byte offsets
+ * docs/CKPT_FORMAT.md specifies (a drift here means the spec document
+ * rotted).  Leaves only the intended damage for the decoder to find.
+ */
+void
+refreshCrcs(std::vector<uint8_t> &bytes)
+{
+    const uint32_t nameLen = rdU32(bytes, 56);
+    const size_t tableOff = 60 + nameLen + 4;
+    const uint32_t nsec = rdU32(bytes, 60 + nameLen);
+    for (uint32_t i = 0; i < nsec; ++i) {
+        const size_t e = tableOff + i * 24;
+        const uint64_t off = rdU64(bytes, e + 4);
+        const uint64_t len = rdU64(bytes, e + 12);
+        wrU32(bytes, e + 20, crc32(0, bytes.data() + off, len));
+    }
+    const size_t hdrCrcOff = tableOff + nsec * 24;
+    wrU32(bytes, hdrCrcOff, crc32(0, bytes.data(), hdrCrcOff));
+}
+
+/** Temp dir under the system temp root, wiped on construction. */
+std::filesystem::path
+freshDir(const char *name)
+{
+    auto p = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(p);
+    return p;
+}
+
+} // namespace
+
+TEST_F(CkptTest, V1ContainerRoundTripAndRestore)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 20'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+
+    ckpt::EncodeOptions v1;
+    v1.version = ckpt::kFormatVersionV1;
+    std::vector<uint8_t> bytes = ckpt::encode(ck, v1);
+    // The legacy container as the seed code wrote it: OSPCKPT1 magic,
+    // version field 1, raw page images (pages dominate the size).
+    ASSERT_GE(bytes.size(), 12u);
+    EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 8), "OSPCKPT1");
+    EXPECT_EQ(rdU32(bytes, 8), 1u);
+    EXPECT_GE(bytes.size(), ck.pages.size() * Memory::kPageSize);
+
+    // The v2 reader restores it unchanged.
+    ckpt::Checkpoint rt = ckpt::decode(bytes);
+    EXPECT_EQ(rt.id, ck.id);
+    EXPECT_EQ(rt.pc, ck.pc);
+    EXPECT_EQ(rt.words, ck.words);
+    ASSERT_EQ(rt.pages.size(), ck.pages.size());
+    for (size_t i = 0; i < ck.pages.size(); ++i) {
+        EXPECT_EQ(rt.pages[i].idx, ck.pages[i].idx);
+        EXPECT_EQ(rt.pages[i].bytes, ck.pages[i].bytes);
+    }
+    EXPECT_TRUE(ckpt::verifyId(rt));
+
+    SimContext fresh(*spec_);
+    fresh.load(*prog_);
+    auto fsim = SimRegistry::instance().create(fresh, kBuildset);
+    ASSERT_NE(fsim, nullptr);
+    ckpt::restore(fresh, rt);
+    fsim->onStateRestored();
+    RunResult fr = fsim->run(~uint64_t{0});
+    EXPECT_EQ(static_cast<int>(fr.status),
+              static_cast<int>(RunStatus::Halted));
+    EXPECT_EQ(fresh.os().output(), goldenOutput("fib", 25'000));
+}
+
+TEST_F(CkptTest, V2ContainerIsSmallerThanV1)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 20'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+    ckpt::EncodeOptions v1;
+    v1.version = ckpt::kFormatVersionV1;
+    const size_t v1Size = ckpt::encode(ck, v1).size();
+    const size_t v2Size = ckpt::encode(ck).size();
+    // Guest pages are mostly sparse; block coding must win clearly.
+    EXPECT_LT(v2Size, v1Size);
+}
+
+TEST_F(CkptTest, BlockCodecRoundTripsEveryEncoding)
+{
+    using namespace ckpt::codec;
+    // One buffer exercising all four tags: zero blocks, a fill block, an
+    // RLE-friendly block of long runs, and an incompressible block.
+    std::vector<uint8_t> raw(4 * kBlockSize + 123, 0);
+    std::fill_n(raw.begin() + kBlockSize, kBlockSize, uint8_t{0xAB});
+    for (size_t i = 0; i < kBlockSize; ++i)
+        raw[2 * kBlockSize + i] = static_cast<uint8_t>((i / 300) * 17);
+    uint32_t lcg = 0xC0FFEE;
+    for (size_t i = 0; i < kBlockSize; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        raw[3 * kBlockSize + i] = static_cast<uint8_t>(lcg >> 24);
+    }
+    // Final short block (123 bytes) stays zero.
+
+    CodecStats enc;
+    std::vector<uint8_t> stream;
+    encodeStream(stream, raw.data(), raw.size(), &enc);
+    EXPECT_GE(enc.zero, 2u);
+    EXPECT_EQ(enc.fill, 1u);
+    EXPECT_EQ(enc.rle, 1u);
+    EXPECT_EQ(enc.raw, 1u);
+    EXPECT_EQ(enc.blocks(), 5u);
+    EXPECT_LT(stream.size(), raw.size());
+
+    CodecStats dec;
+    std::vector<uint8_t> back(raw.size(), 0xFF);
+    size_t consumed = 0;
+    decodeStream(stream.data(), stream.size(), consumed, back.data(),
+                 raw.size(), &dec);
+    EXPECT_EQ(consumed, stream.size());
+    EXPECT_EQ(back, raw);
+    EXPECT_EQ(dec.blocks(), enc.blocks());
+
+    // scanStream validates and accounts without materializing.
+    CodecStats scan;
+    consumed = 0;
+    EXPECT_EQ(scanStream(stream.data(), stream.size(), consumed, &scan),
+              raw.size());
+    EXPECT_EQ(scan.raw, enc.raw);
+    EXPECT_EQ(scan.rle, enc.rle);
+}
+
+TEST_F(CkptTest, CorruptCompressedBlockIsRejected)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    std::vector<uint8_t> bytes = ckpt::encode(ckpt::capture(ctx));
+    ckpt::ContainerInfo info = ckpt::inspect(bytes);
+    uint64_t memOff = 0;
+    for (const auto &s : info.sections)
+        if (s.name == "MEM ")
+            memOff = s.offset;
+    ASSERT_GT(memOff, 0u);
+
+    // Damage the page map's stream framing (its decoded-length field at
+    // MEM+34 per docs/CKPT_FORMAT.md), then *repair every CRC* so only
+    // the structural block validation can catch it.
+    bytes[memOff + 34] ^= 0x01;
+    refreshCrcs(bytes);
+    try {
+        (void)ckpt::decode(bytes);
+        FAIL() << "corrupt compressed block decoded without error";
+    } catch (const ckpt::CkptError &e) {
+        EXPECT_NE(std::string(e.what()).find("corrupt compressed block"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // An unknown block tag inside the stream is equally fatal.  The map
+    // stream's first tag byte sits at MEM+42 (after the two framing
+    // words).
+    std::vector<uint8_t> bytes2 = ckpt::encode(ckpt::capture(ctx));
+    bytes2[memOff + 42] = 0x7E;
+    refreshCrcs(bytes2);
+    try {
+        (void)ckpt::decode(bytes2);
+        FAIL() << "unknown block tag decoded without error";
+    } catch (const ckpt::CkptError &e) {
+        EXPECT_NE(std::string(e.what()).find("corrupt compressed block"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(CkptTest, StoreRoundTripAndDedupAccounting)
+{
+    auto dir = freshDir("onespec_test_store");
+    ckpt::CkptStore store(dir.string());
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+
+    ckpt::CkptCounters c;
+    store.save("first", ck, &c);
+    EXPECT_EQ(c.storePagePuts, ck.pages.size());
+    const uint64_t blobsAfterFirst = store.pageBlobCount();
+    EXPECT_EQ(blobsAfterFirst + c.storePageDedupHits, c.storePagePuts);
+
+    // Identical content saved again: zero new blobs, all puts are hits.
+    store.save("second", ck, &c);
+    EXPECT_EQ(c.storePagePuts, 2 * ck.pages.size());
+    EXPECT_EQ(store.pageBlobCount(), blobsAfterFirst);
+    EXPECT_GE(c.storePageDedupHits, ck.pages.size());
+
+    // Loading resolves every reference back to the exact pages.
+    ckpt::Checkpoint rt = store.load("first", &c);
+    EXPECT_EQ(rt.id, ck.id);
+    ASSERT_EQ(rt.pages.size(), ck.pages.size());
+    for (size_t i = 0; i < ck.pages.size(); ++i)
+        EXPECT_EQ(rt.pages[i].bytes, ck.pages[i].bytes);
+    EXPECT_TRUE(ckpt::verifyId(rt));
+    EXPECT_GT(c.storeBytesRead, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(CkptTest, DanglingStoreReferenceIsRejected)
+{
+    auto dirA = freshDir("onespec_test_store_a");
+    auto dirB = freshDir("onespec_test_store_b");
+    ckpt::CkptStore storeA(dirA.string());
+    ckpt::CkptStore storeB(dirB.string());
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+    storeA.save("ck", ck);
+
+    // Same container bytes, wrong (empty) store: every reference
+    // dangles and the load must fail loudly.
+    std::vector<uint8_t> bytes;
+    {
+        ckpt::EncodeOptions opt;
+        opt.store = &storeA;
+        bytes = ckpt::encode(ck, opt);
+    }
+    try {
+        (void)ckpt::decode(bytes, &storeB);
+        FAIL() << "dangling store reference resolved without error";
+    } catch (const ckpt::CkptError &e) {
+        EXPECT_NE(std::string(e.what()).find("dangling store reference"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // No store at all is a distinct, equally hard error.
+    EXPECT_THROW((void)ckpt::decode(bytes), ckpt::CkptError);
+    std::filesystem::remove_all(dirA);
+    std::filesystem::remove_all(dirB);
+}
+
+TEST_F(CkptTest, InspectReportsSectionsAndEncodings)
+{
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+
+    ckpt::ContainerInfo v2 = ckpt::inspect(ckpt::encode(ck));
+    EXPECT_EQ(v2.version, 2u);
+    EXPECT_FALSE(v2.delta);
+    EXPECT_EQ(v2.specName, "alpha64");
+    EXPECT_EQ(v2.id, ck.id);
+    EXPECT_EQ(v2.pageCount, ck.pages.size());
+    EXPECT_FALSE(v2.pagesByRef);
+    ASSERT_EQ(v2.sections.size(), 3u);
+    EXPECT_EQ(v2.sections[0].name, "ARCH");
+    EXPECT_EQ(v2.sections[1].name, "OS  ");
+    EXPECT_EQ(v2.sections[2].name, "MEM ");
+    // Page map + one stream per page, and compression must be real.
+    EXPECT_GT(v2.codec.blocks(), ck.pages.size());
+    EXPECT_LT(v2.codec.bytesEncoded, v2.codec.bytesRaw);
+
+    ckpt::EncodeOptions v1opt;
+    v1opt.version = ckpt::kFormatVersionV1;
+    ckpt::ContainerInfo v1 = ckpt::inspect(ckpt::encode(ck, v1opt));
+    EXPECT_EQ(v1.version, 1u);
+    EXPECT_EQ(v1.pageCount, ck.pages.size());
+    EXPECT_EQ(v1.codec.blocks(), 0u);
+
+    // A store-backed container inspects without the store present.
+    auto dir = freshDir("onespec_test_store_inspect");
+    ckpt::CkptStore store(dir.string());
+    ckpt::EncodeOptions refOpt;
+    refOpt.store = &store;
+    ckpt::ContainerInfo byref = ckpt::inspect(ckpt::encode(ck, refOpt));
+    EXPECT_TRUE(byref.pagesByRef);
+    EXPECT_EQ(byref.pageRefs.size(), ck.pages.size());
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(CkptTest, StoreBackedSamplingPersistsEveryWindow)
+{
+    auto dir = freshDir("onespec_test_store_sampling");
+    ckpt::CkptStore store(dir.string());
+
+    CkptSamplingConfig ccfg;
+    ccfg.sampling.windowInstrs = 500;
+    ccfg.sampling.periodInstrs = 5'000;
+    ccfg.sampling.independentWindows = true;
+    ccfg.maxInstrs = 30'000;
+    ccfg.detailedBuildset = "StepAllNo";
+    ccfg.fastBuildset = kBuildset;
+    ccfg.store = &store;
+    ccfg.storePrefix = "w";
+    SimFleet fleet(2);
+    CkptSamplingResult par = parallel::runSampledCheckpointParallel(
+        *spec_, *prog_, ccfg, fleet);
+    for (const auto &err : par.jobErrors)
+        ASSERT_TRUE(err.empty()) << err;
+    ASSERT_GT(par.totalInstrs, 0u);
+    ASSERT_EQ(par.storedNames.size(), par.checkpoints.size());
+
+    // Every persisted window loads back as the exact checkpoint the run
+    // kept in memory -- the store round trip preserves identity.
+    for (size_t i = 0; i < par.storedNames.size(); ++i) {
+        ckpt::Checkpoint rt = store.load(par.storedNames[i]);
+        EXPECT_EQ(rt.id, par.checkpoints[i].id) << par.storedNames[i];
+        EXPECT_TRUE(ckpt::verifyId(rt));
+    }
+    EXPECT_EQ(par.ckpt.storePagePuts,
+              par.ckpt.storePageDedupHits + store.pageBlobCount());
+    std::filesystem::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------

@@ -380,8 +380,21 @@ TEST_P(FuzzCkptTest, MidRunCheckpointResumesBitIdentically)
                       static_cast<int>(RunStatus::Ok))
                 << cfg.isa << "/" << name << " seed=" << pseed
                 << " mid=" << mid;
-            ckpt::Checkpoint ck =
-                ckpt::decode(ckpt::encode(ckpt::capture(a)));
+            // Both container generations must reproduce the capture:
+            // the v2 (block-coded) image feeds the restore below; the
+            // legacy v1 image must decode to the identical state.
+            ckpt::Checkpoint cap = ckpt::capture(a);
+            ckpt::Checkpoint ck = ckpt::decode(ckpt::encode(cap));
+            ckpt::EncodeOptions v1opt;
+            v1opt.version = ckpt::kFormatVersionV1;
+            ckpt::Checkpoint v1ck =
+                ckpt::decode(ckpt::encode(cap, v1opt));
+            ASSERT_EQ(v1ck.id, ck.id)
+                << cfg.isa << "/" << name << " seed=" << pseed
+                << ": v1/v2 containers decode to different state";
+            ASSERT_EQ(v1ck.pc, ck.pc);
+            ASSERT_EQ(v1ck.words, ck.words);
+            ASSERT_EQ(v1ck.pages.size(), ck.pages.size());
 
             // Restore into a fresh context and resume to completion.
             SimContext res(*spec);

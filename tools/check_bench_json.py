@@ -33,9 +33,16 @@ Validates two things about each report:
    bench_ckpt_sampling): per-workload rows with serial/parallel wall
    clocks and checkpoint container sizes, the serial-bit-identity
    cross-check must have run for every row, average delta container
-   size must not exceed the full container size, and on hosts with
+   size must not exceed the full container size (both measured as raw
+   v1 bytes: the delta's page set is a subset of the full's, an
+   invariant compression does not preserve), and on hosts with
    >= 4 hardware threads checkpoint-parallel must beat serial wall
-   clock (with tolerance).
+   clock (with tolerance).  Compression contract (the OSPCKPT2
+   container, docs/CKPT_FORMAT.md): bytes_per_instr must be strictly
+   below raw_bytes_per_instr (the recorded raw-container baseline) per
+   row and in the totals, dedup_ratio must lie in [0, 1] and be > 0 in
+   the totals (the store-backed re-runs recapture identical pages), and
+   restore_mips must be positive.
 
 5. Fault containment (results.fault_containment, written by
    bench_fault_containment): the armed-vs-off hook overhead must stay
@@ -373,11 +380,32 @@ class Checker:
         num = (int, float)
         for key in ("serial_total_ns", "parallel_total_ns",
                     "full_bytes_total", "delta_bytes_total",
-                    "delta_checkpoints"):
+                    "delta_checkpoints", "raw_bytes_total",
+                    "compressed_bytes_total"):
             v = self.expect(results, key, (int,), "results")
             if v is not None and v < 0:
                 self.fail(f"results.{key}: negative")
         self.expect(results, "speedup", num, "results")
+
+        # Compression/dedup/restore totals (OSPCKPT2 contract).
+        bpi = self.expect(results, "bytes_per_instr", num, "results")
+        raw_bpi = self.expect(results, "raw_bytes_per_instr", num,
+                              "results")
+        if isinstance(bpi, num) and isinstance(raw_bpi, num):
+            if not bpi < raw_bpi:
+                self.fail(f"results.bytes_per_instr {bpi:.4f} is not "
+                          f"strictly below the raw baseline "
+                          f"{raw_bpi:.4f}")
+        dedup = self.expect(results, "dedup_ratio", num, "results")
+        if isinstance(dedup, num):
+            if not 0.0 <= dedup <= 1.0:
+                self.fail(f"results.dedup_ratio {dedup} outside [0, 1]")
+            elif dedup == 0.0:
+                self.fail("results.dedup_ratio is 0: the store-backed "
+                          "re-runs produced no dedup hits")
+        rmips = self.expect(results, "restore_mips", num, "results")
+        if isinstance(rmips, num) and rmips <= 0:
+            self.fail(f"results.restore_mips {rmips} is not positive")
 
         for i, row in enumerate(rows):
             where = f"ckpt_sampling[{i}]"
@@ -407,6 +435,26 @@ class Checker:
                     row.get("delta_count", 0) > 0 and delta_avg > full):
                 self.fail(f"{where}: avg delta container {delta_avg:.0f}B "
                           f"exceeds full container {full}B")
+            for key in ("raw_bytes", "compressed_bytes"):
+                v = self.expect(row, key, (int,), where)
+                if v is not None and v <= 0:
+                    self.fail(f"{where}: {key} must be positive")
+            r_bpi = self.expect(row, "bytes_per_instr", num, where)
+            r_raw_bpi = self.expect(row, "raw_bytes_per_instr", num,
+                                    where)
+            if isinstance(r_bpi, num) and isinstance(r_raw_bpi, num):
+                if not r_bpi < r_raw_bpi:
+                    self.fail(f"{where}: bytes_per_instr {r_bpi:.4f} is "
+                              f"not strictly below the raw baseline "
+                              f"{r_raw_bpi:.4f}")
+            r_dedup = self.expect(row, "dedup_ratio", num, where)
+            if isinstance(r_dedup, num) and not 0.0 <= r_dedup <= 1.0:
+                self.fail(f"{where}: dedup_ratio {r_dedup} outside "
+                          f"[0, 1]")
+            r_rmips = self.expect(row, "restore_mips", num, where)
+            if isinstance(r_rmips, num) and r_rmips <= 0:
+                self.fail(f"{where}: restore_mips {r_rmips} is not "
+                          f"positive")
         if self.errors:
             return
 

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Docs-vs-reality checker: CLI flags named in docs must exist, links must resolve.
+
+Usage: check_docs.py --root REPO_DIR [--tool NAME=PATH ...] [--quiet]
+
+Two classes of silent doc rot, both fatal here:
+
+1. Flag drift: a doc shows `onespec-ckpt save out.ckpt --store DIR` but
+   the tool no longer accepts --store (or never did).  For every line in
+   a docs/*.md or README.md code span/block that names exactly one
+   registered tool, every `--flag` token on that line must appear in the
+   tool's `--help` output (the exit status of that invocation is
+   ignored; --help rather than no-args because onespec-fleet's no-arg
+   invocation runs the default batch).
+
+2. Link drift: `[spec](CKPT_FORMAT.md)` or a bare docs/FOO.md mention
+   pointing at a file that moved or was never written.  Every .md link
+   target (anchors stripped) must resolve relative to the referencing
+   file's directory or to the repo root.
+
+Run under ctest (tools/CMakeLists.txt) with the built tool binaries, so
+the docs are re-validated on every test run.  Exit 0 clean, 1 on any
+finding, 2 on usage error.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# `--flag` tokens; trailing '=' / punctuation excluded by the char class.
+FLAG_RE = re.compile(r"--[a-z0-9][a-z0-9-]*")
+# Markdown inline link targets: [text](target).
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Bare mentions like docs/CKPT_FORMAT.md outside link syntax.
+BARE_MD_RE = re.compile(r"(?<![(\w/])((?:[\w.-]+/)*[\w.-]+\.md)\b")
+
+
+def doc_files(root: Path):
+    files = sorted((root / "docs").glob("*.md"))
+    for name in ("README.md", "EXPERIMENTS.md", "ROADMAP.md"):
+        p = root / name
+        if p.exists():
+            files.append(p)
+    return files
+
+
+def usage_text(tool_path: str) -> str:
+    """A tool's --help invocation prints its usage (exit ignored)."""
+    proc = subprocess.run([tool_path, "--help"], capture_output=True,
+                          text=True, timeout=60)
+    return proc.stdout + proc.stderr
+
+
+def code_lines(text: str):
+    """Yield (lineno, line) for fenced-code-block lines and the contents
+    of inline code spans, the places docs show real invocations."""
+    in_fence = False
+    for i, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield i, line
+        else:
+            for span in re.findall(r"`([^`]+)`", line):
+                yield i, span
+
+
+def check_flags(doc: Path, text: str, tools: dict, usages: dict, errors):
+    for lineno, line in code_lines(text):
+        named = [t for t in tools if t in line]
+        if len(named) != 1:
+            # Zero tools: nothing to check.  Two or more: prose
+            # comparing tools, not an invocation line.
+            continue
+        tool = named[0]
+        for flag in FLAG_RE.findall(line):
+            if flag not in usages[tool]:
+                errors.append(
+                    f"{doc}:{lineno}: flag {flag} not in {tool} usage "
+                    f"output")
+
+
+def check_links(doc: Path, rel: Path, text: str, root: Path, errors):
+    targets = set()
+    for m in MD_LINK_RE.finditer(text):
+        targets.add(m.group(1))
+    for m in BARE_MD_RE.finditer(text):
+        targets.add(m.group(1))
+    for target in sorted(targets):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path or not path.endswith(".md"):
+            continue
+        if (doc.parent / path).exists() or (root / path).exists():
+            continue
+        errors.append(f"{rel}: broken doc link: {target}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    ap.add_argument("--root", required=True, metavar="DIR",
+                    help="repository root holding docs/ and README.md")
+    ap.add_argument("--tool", action="append", default=[],
+                    metavar="NAME=PATH",
+                    help="register a tool binary for flag checking")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    root = Path(args.root).resolve()
+    if not (root / "docs").is_dir():
+        print(f"check_docs: no docs/ under {root}", file=sys.stderr)
+        return 2
+
+    tools, usages = {}, {}
+    for spec in args.tool:
+        if "=" not in spec:
+            print(f"check_docs: bad --tool {spec!r} (want NAME=PATH)",
+                  file=sys.stderr)
+            return 2
+        name, path = spec.split("=", 1)
+        tools[name] = path
+        try:
+            usages[name] = usage_text(path)
+        except OSError as e:
+            print(f"check_docs: cannot run {path}: {e}", file=sys.stderr)
+            return 2
+
+    errors = []
+    checked = 0
+    for doc in doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        rel = doc.relative_to(root)
+        check_flags(rel, text, tools, usages, errors)
+        check_links(doc, rel, text, root, errors)
+        checked += 1
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    if not args.quiet:
+        print(f"check_docs: {checked} docs OK "
+              f"({len(tools)} tools' flags verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

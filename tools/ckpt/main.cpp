@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "ckpt/store.hpp"
 #include "iface/registry.hpp"
 #include "isa/isa.hpp"
 #include "sim/interp.hpp"
@@ -56,7 +57,12 @@ usage()
         "  --delta-at N      save: delta capture point (default 2*--at)\n"
         "  --buildset B      simulator buildset (default BlockMinNo)\n"
         "  --interp          interpreter back end instead of generated\n"
-        "  --stats           dump ckpt counters from the stats registry\n");
+        "  --stats           dump ckpt counters from the stats registry\n"
+        "  --store DIR       content-addressed store: save writes page\n"
+        "                    blobs there (container holds references);\n"
+        "                    info/verify/restore resolve references\n"
+        "  --compress        write the OSPCKPT2 container (the default)\n"
+        "  --v1              write the legacy raw OSPCKPT1 container\n");
     return 2;
 }
 
@@ -72,7 +78,23 @@ struct Options
     std::string buildset = "BlockMinNo";
     bool interp = false;
     bool stats = false;
+    std::string store;          ///< content-addressed store directory
+    bool v1 = false;            ///< write the legacy raw container
 };
+
+/** Encode policy from the flags; opens the store lazily. */
+ckpt::EncodeOptions
+encodeOptions(const Options &opt, std::unique_ptr<ckpt::CkptStore> &store)
+{
+    ckpt::EncodeOptions enc;
+    if (opt.v1)
+        enc.version = ckpt::kFormatVersionV1;
+    if (!opt.store.empty()) {
+        store = std::make_unique<ckpt::CkptStore>(opt.store);
+        enc.store = store.get();
+    }
+    return enc;
+}
 
 std::unique_ptr<FunctionalSimulator>
 makeSim(SimContext &ctx, const Options &opt)
@@ -110,6 +132,8 @@ cmdSave(const Options &opt)
     auto sim = makeSim(ctx, opt);
 
     ckpt::CkptCounters counters;
+    std::unique_ptr<ckpt::CkptStore> store;
+    ckpt::EncodeOptions enc = encodeOptions(opt, store);
     RunResult r = sim->run(opt.at);
     if (r.status != RunStatus::Ok) {
         std::fprintf(stderr,
@@ -121,7 +145,7 @@ cmdSave(const Options &opt)
         return 1;
     }
     ckpt::Checkpoint full = ckpt::capture(ctx, &counters);
-    ckpt::saveFile(opt.out, full, &counters);
+    ckpt::saveFile(opt.out, full, enc, &counters);
     std::printf("wrote %s: full checkpoint at %llu instrs, %zu pages, "
                 "id %016llx\n",
                 opt.out.c_str(),
@@ -146,7 +170,7 @@ cmdSave(const Options &opt)
         }
         ckpt::Checkpoint delta =
             ckpt::captureDelta(ctx, full, &counters);
-        ckpt::saveFile(opt.deltaOut, delta, &counters);
+        ckpt::saveFile(opt.deltaOut, delta, enc, &counters);
         std::printf("wrote %s: delta checkpoint at %llu instrs, %zu/%zu "
                     "pages dirty, parent %016llx\n",
                     opt.deltaOut.c_str(),
@@ -154,38 +178,119 @@ cmdSave(const Options &opt)
                     delta.pages.size(), full.pages.size(),
                     static_cast<unsigned long long>(delta.parentId));
     }
+    if (store)
+        std::printf("store %s: %llu page puts, %llu dedup hits, "
+                    "%llu blobs on disk\n",
+                    opt.store.c_str(),
+                    static_cast<unsigned long long>(counters.storePagePuts),
+                    static_cast<unsigned long long>(
+                        counters.storePageDedupHits),
+                    static_cast<unsigned long long>(
+                        store->pageBlobCount()));
     if (opt.stats)
         dumpCounters(counters);
     return 0;
 }
 
-int
-cmdInfo(const std::string &path)
+/** Read a container image off disk (info needs raw bytes for inspect). */
+std::vector<uint8_t>
+readContainer(const std::string &path)
 {
-    ckpt::CkptCounters counters;
-    ckpt::Checkpoint ck = ckpt::loadFile(path, &counters);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw ckpt::CkptError("cannot open checkpoint file: " + path);
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError)
+        throw ckpt::CkptError("error reading checkpoint file: " + path);
+    return bytes;
+}
+
+int
+cmdInfo(const std::string &path, const Options &opt)
+{
+    // Structure first (header, section table, encoding histogram):
+    // inspect() validates every CRC and compressed block without needing
+    // the store the pages may live in.
+    std::vector<uint8_t> bytes = readContainer(path);
+    ckpt::ContainerInfo info = ckpt::inspect(bytes);
+
     std::printf("%s:\n", path.c_str());
+    std::printf("  format:    OSPCKPT%u (version %u)\n", info.version,
+                info.version);
     std::printf("  spec:      %s (fingerprint %016llx)\n",
-                ck.specName.c_str(),
-                static_cast<unsigned long long>(ck.specFingerprint));
-    if (ck.delta)
+                info.specName.c_str(),
+                static_cast<unsigned long long>(info.specFingerprint));
+    if (info.delta)
         std::printf("  kind:      delta (parent %016llx)\n",
-                    static_cast<unsigned long long>(ck.parentId));
+                    static_cast<unsigned long long>(info.parentId));
     else
         std::printf("  kind:      full\n");
+    std::printf("  instrs:    %llu\n",
+                static_cast<unsigned long long>(info.instrsRetired));
+    std::printf("  pages:     %llu (%llu bytes of memory image%s)\n",
+                static_cast<unsigned long long>(info.pageCount),
+                static_cast<unsigned long long>(info.pageCount *
+                                                Memory::kPageSize),
+                info.pagesByRef ? ", by store reference" : "");
+    std::printf("  container: %llu bytes (header %llu)\n",
+                static_cast<unsigned long long>(info.fileLen),
+                static_cast<unsigned long long>(info.headerLen));
+    // The section table as docs/CKPT_FORMAT.md lays it out.
+    std::printf("  sections:\n");
+    std::printf("    %-6s %10s %12s %10s\n", "tag", "offset", "length",
+                "crc32");
+    for (const ckpt::SectionInfo &s : info.sections)
+        std::printf("    %-6s %10llu %12llu   %08x\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.offset),
+                    static_cast<unsigned long long>(s.length), s.crc);
+    // Block-encoding histogram (v2 page map + inline page streams).
+    if (info.version >= 2 && info.codec.blocks() > 0) {
+        const double pct =
+            info.codec.bytesRaw
+                ? 100.0 * static_cast<double>(info.codec.bytesEncoded) /
+                      static_cast<double>(info.codec.bytesRaw)
+                : 0.0;
+        std::printf("  encodings: raw %llu  zero %llu  fill %llu  "
+                    "rle %llu  (%llu blocks, %llu -> %llu bytes, "
+                    "%.1f%% of raw)\n",
+                    static_cast<unsigned long long>(info.codec.raw),
+                    static_cast<unsigned long long>(info.codec.zero),
+                    static_cast<unsigned long long>(info.codec.fill),
+                    static_cast<unsigned long long>(info.codec.rle),
+                    static_cast<unsigned long long>(info.codec.blocks()),
+                    static_cast<unsigned long long>(info.codec.bytesRaw),
+                    static_cast<unsigned long long>(
+                        info.codec.bytesEncoded),
+                    pct);
+    }
+    if (info.pagesByRef)
+        std::printf("  refs:      %zu store page references\n",
+                    info.pageRefs.size());
+
+    // Content detail needs the pages resolved; a store-backed container
+    // without --store stops at structure.
+    if (info.pagesByRef && opt.store.empty()) {
+        std::printf("  contents:  pages are store references; pass "
+                    "--store DIR to resolve\n");
+        return 0;
+    }
+    std::unique_ptr<ckpt::CkptStore> store;
+    if (!opt.store.empty())
+        store = std::make_unique<ckpt::CkptStore>(opt.store);
+    ckpt::Checkpoint ck = ckpt::decode(bytes, store.get());
     std::printf("  id:        %016llx (%s)\n",
                 static_cast<unsigned long long>(ck.id),
                 ckpt::verifyId(ck) ? "content verified"
                                    : "CONTENT HASH MISMATCH");
-    std::printf("  instrs:    %llu\n",
-                static_cast<unsigned long long>(ck.instrsRetired));
     std::printf("  pc:        %016llx\n",
                 static_cast<unsigned long long>(ck.pc));
     std::printf("  regwords:  %zu\n", ck.words.size());
-    std::printf("  pages:     %zu (%llu bytes of memory image)\n",
-                ck.pages.size(),
-                static_cast<unsigned long long>(ck.pages.size() *
-                                                Memory::kPageSize));
     std::printf("  os:        exited=%d code=%d brk=%llx time_ms=%llu "
                 "stdin_pos=%zu output_bytes=%zu syscalls=%llu\n",
                 ck.os.exited ? 1 : 0, ck.os.exitCode,
@@ -193,17 +298,18 @@ cmdInfo(const std::string &path)
                 static_cast<unsigned long long>(ck.os.timeMs),
                 ck.os.inputPos, ck.os.output.size(),
                 static_cast<unsigned long long>(ck.os.syscallCount));
-    std::printf("  container: %llu bytes\n",
-                static_cast<unsigned long long>(counters.bytesDecoded));
     return 0;
 }
 
 int
-cmdVerify(const std::string &path)
+cmdVerify(const std::string &path, const Options &opt)
 {
     // loadFile already hard-fails on magic/version/CRC problems; what is
     // left to check is that the header's identity matches the content.
-    ckpt::Checkpoint ck = ckpt::loadFile(path);
+    std::unique_ptr<ckpt::CkptStore> store;
+    if (!opt.store.empty())
+        store = std::make_unique<ckpt::CkptStore>(opt.store);
+    ckpt::Checkpoint ck = ckpt::loadFile(path, store.get());
     if (!ckpt::verifyId(ck)) {
         std::fprintf(stderr,
                      "%s: sections pass CRC but content hash does not "
@@ -226,10 +332,13 @@ cmdRestore(const std::vector<std::string> &paths, const Options &opt)
     Program prog = buildKernel(*builder, opt.kernel, opt.param);
 
     ckpt::CkptCounters counters;
+    std::unique_ptr<ckpt::CkptStore> store;
+    if (!opt.store.empty())
+        store = std::make_unique<ckpt::CkptStore>(opt.store);
     std::vector<ckpt::Checkpoint> owned;
     owned.reserve(paths.size());
     for (const auto &p : paths)
-        owned.push_back(ckpt::loadFile(p, &counters));
+        owned.push_back(ckpt::loadFile(p, store.get(), &counters));
     std::vector<const ckpt::Checkpoint *> chain;
     for (const auto &ck : owned)
         chain.push_back(&ck);
@@ -288,6 +397,12 @@ main(int argc, char **argv)
             opt.interp = true;
         } else if (std::strcmp(argv[i], "--stats") == 0) {
             opt.stats = true;
+        } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+            opt.store = argv[++i];
+        } else if (std::strcmp(argv[i], "--compress") == 0) {
+            opt.v1 = false; // v2 is the default; flag kept for scripts
+        } else if (std::strcmp(argv[i], "--v1") == 0) {
+            opt.v1 = true;
         } else if (argv[i][0] == '-') {
             return usage();
         } else {
@@ -305,12 +420,12 @@ main(int argc, char **argv)
         if (cmd == "info") {
             if (files.size() != 1)
                 return usage();
-            return cmdInfo(files[0]);
+            return cmdInfo(files[0], opt);
         }
         if (cmd == "verify") {
             if (files.size() != 1)
                 return usage();
-            return cmdVerify(files[0]);
+            return cmdVerify(files[0], opt);
         }
         if (cmd == "restore") {
             if (files.empty())
