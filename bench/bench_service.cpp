@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Service-daemon benchmark: is fleet-as-a-service still the fleet?
+ *
+ *  1. Identity.  A mixed batch -- every shipped ISA, several kernels,
+ *     some jobs sliced hard enough to be checkpoint-preempted and
+ *     resumed several times -- is pushed through a live daemon over its
+ *     Unix-domain socket, then the same batch runs one-shot on a
+ *     SimFleet.  Every job must match bit-for-bit: run status,
+ *     instruction count, architectural state hash, guest output, all
+ *     eight interface counters, and the full per-job stats dump.
+ *     Sliced jobs are compared against a fleet replay of the documented
+ *     slice semantics (run `slice` instructions, flush cached decodes
+ *     like a restore does); the checkpoint round trip itself must add
+ *     nothing.  This is the service's version of the paper's
+ *     single-specification claim: moving execution behind a daemon,
+ *     admission queue, warm pool, and preemption store changes *where*
+ *     simulation runs, never *what* it computes.
+ *
+ *  2. Throughput.  An open-loop arrival workload (arrivals on a fixed
+ *     schedule at ~1.5x the daemon's calibrated service rate, so the
+ *     bounded queue genuinely overflows) against a small admission
+ *     queue: sustained jobs/sec, p50/p99 job latency
+ *     (submit-to-result, queueing included -- that is what open-loop
+ *     measures), rejection counts, one poisoned job (quarantine path),
+ *     and sliced jobs (preemption under load).
+ *
+ * Emits BENCH_service.json; tools/check_bench_json.py enforces the
+ * identity flag, jobs/sec > 0, p50 <= p99, and the accounting
+ * invariant rejected + completed + quarantined == submitted.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "parallel/fleet.hpp"
+#include "perf/hostcount.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+using onespec::parallel::FleetJob;
+using onespec::parallel::FleetReport;
+using onespec::parallel::SimFleet;
+using onespec::service::ClientEvent;
+using onespec::service::JobPhase;
+using onespec::service::JobResult;
+using onespec::service::JobSpec;
+using onespec::service::ServiceClient;
+using onespec::service::ServiceConfig;
+using onespec::service::ServiceDaemon;
+using onespec::service::SubmitOutcome;
+
+namespace {
+
+/** Shared accounting across both phases (the reported totals). */
+struct Tally
+{
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;   ///< clean results
+    uint64_t quarantined = 0; ///< failed results
+    uint64_t preempted = 0;   ///< Preempted status frames observed
+    uint64_t resumed = 0;     ///< Resumed status frames observed
+};
+
+void
+tallyEvent(Tally &t, const ClientEvent &ev)
+{
+    if (ev.kind == ClientEvent::Kind::Status) {
+        if (ev.status.phase == JobPhase::Preempted)
+            ++t.preempted;
+        if (ev.status.phase == JobPhase::Resumed)
+            ++t.resumed;
+    } else if (ev.kind == ClientEvent::Kind::Result) {
+        if (ev.result.quarantined)
+            ++t.quarantined;
+        else
+            ++t.completed;
+    }
+}
+
+/** The identity batch: every ISA x {fib, crc32, listsum}, fib sliced so
+ *  it preempts several times through the store. */
+std::vector<JobSpec>
+identitySpecs(uint64_t max_instrs)
+{
+    std::vector<JobSpec> specs;
+    for (const auto &isa : shippedIsas()) {
+        for (const char *k : {"fib", "crc32", "listsum"}) {
+            JobSpec s;
+            s.name = isa + "/" + k;
+            s.isa = isa;
+            s.kernel = k;
+            s.param = benchParam(k);
+            s.maxInstrs = max_instrs;
+            s.coldStats = true; // cache counters: pure function of job
+            if (std::strcmp(k, "fib") == 0)
+                s.sliceInstrs = std::max<uint64_t>(1, max_instrs / 7);
+            specs.push_back(std::move(s));
+        }
+    }
+    return specs;
+}
+
+/** Compare one service result against its fleet reference; prints the
+ *  first divergence. */
+bool
+matches(const JobSpec &spec, const JobResult &got,
+        const parallel::FleetResult &ref,
+        const stats::StatsRegistry &refStats)
+{
+    auto miss = [&](const char *what, const std::string &g,
+                    const std::string &r) {
+        std::fprintf(stderr,
+                     "identity MISMATCH %s: %s service=%s fleet=%s\n",
+                     spec.name.c_str(), what, g.c_str(), r.c_str());
+        return false;
+    };
+    if (got.quarantined)
+        return miss("outcome", "quarantined:" + got.error, "ok");
+    if (got.runStatus != ref.run.status)
+        return miss("status", std::to_string(int(got.runStatus)),
+                    std::to_string(int(ref.run.status)));
+    if (got.instrs != ref.run.instrs)
+        return miss("instrs", std::to_string(got.instrs),
+                    std::to_string(ref.run.instrs));
+    if (got.stateHash != ref.stateHash)
+        return miss("state_hash", std::to_string(got.stateHash),
+                    std::to_string(ref.stateHash));
+    if (got.output != ref.output)
+        return miss("output", got.output, ref.output);
+    const IfaceCounters &a = got.counters, &b = ref.counters;
+    if (a.executeCalls != b.executeCalls ||
+        a.executeBlockCalls != b.executeBlockCalls ||
+        a.stepCalls != b.stepCalls || a.customCalls != b.customCalls ||
+        a.fastForwardCalls != b.fastForwardCalls ||
+        a.undoCalls != b.undoCalls || a.instrs != b.instrs ||
+        a.undoneInstrs != b.undoneInstrs)
+        return miss("iface counters",
+                    std::to_string(a.crossings()) + " crossings",
+                    std::to_string(b.crossings()) + " crossings");
+    std::ostringstream rs;
+    refStats.dump(rs);
+    if (got.statsDump != rs.str())
+        return miss("stats dump",
+                    "\n" + got.statsDump, "\n" + rs.str());
+    return true;
+}
+
+/** Phase 1: the daemon-vs-fleet identity gate. */
+bool
+runIdentity(const std::string &base, unsigned workers,
+            uint64_t max_instrs, Tally &tally)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = base + "/ident.sock";
+    cfg.storeDir = base + "/ident_store";
+    cfg.workers = workers;
+    ServiceDaemon daemon(cfg);
+    daemon.start();
+
+    std::vector<JobSpec> specs = identitySpecs(max_instrs);
+    ServiceClient client;
+    client.connect(cfg.socketPath, "identity");
+    std::map<uint64_t, size_t> byJob; // daemon job id -> spec index
+    for (size_t i = 0; i < specs.size(); ++i) {
+        SubmitOutcome o = client.submit(specs[i]);
+        ++tally.submitted;
+        if (!o.accepted) {
+            std::fprintf(stderr, "identity submit rejected: %s\n",
+                         o.reject.reason.c_str());
+            ++tally.rejected;
+            return false;
+        }
+        byJob[o.jobId] = i;
+    }
+    std::vector<JobResult> got(specs.size());
+    size_t have = 0;
+    ClientEvent ev;
+    while (have < specs.size() && client.next(ev)) {
+        tallyEvent(tally, ev);
+        if (ev.kind == ClientEvent::Kind::Result) {
+            got[byJob.at(ev.result.jobId)] = ev.result;
+            ++have;
+        }
+    }
+    daemon.stop();
+    if (have != specs.size())
+        return false;
+
+    // The one-shot reference on a plain SimFleet (sliced jobs replay
+    // the slice semantics; see the file comment).
+    std::vector<FleetJob> jobs;
+    for (const JobSpec &s : specs) {
+        IsaWorkloads &w = workloadsFor(s.isa);
+        const Program *prog = nullptr;
+        for (const auto &[kname, p] : w.programs)
+            if (kname == s.kernel)
+                prog = &p;
+        FleetJob j;
+        j.spec = w.spec.get();
+        j.program = prog;
+        j.buildset = s.buildset;
+        j.maxInstrs = s.maxInstrs;
+        j.name = s.name;
+        if (s.sliceInstrs) {
+            const uint64_t slice = s.sliceInstrs, cap = s.maxInstrs;
+            j.body = [slice, cap](SimContext &, FunctionalSimulator &sim,
+                                  parallel::FleetResult &out,
+                                  stats::StatsRegistry &) {
+                uint64_t done = 0;
+                while (true) {
+                    RunResult r = sim.run(std::min(slice, cap - done));
+                    done += r.instrs;
+                    out.run.status = r.status;
+                    if (r.status != RunStatus::Ok || done >= cap ||
+                        r.instrs == 0)
+                        break;
+                    sim.onStateRestored();
+                }
+                out.run.instrs = done;
+            };
+        }
+        jobs.push_back(std::move(j));
+    }
+    SimFleet fleet(workers);
+    FleetReport rep = fleet.run(jobs);
+
+    bool ok = true;
+    for (size_t i = 0; i < specs.size(); ++i)
+        ok &= matches(specs[i], got[i], rep.results[i],
+                      *rep.jobStats[i]);
+    return ok;
+}
+
+/** Phase 2: open-loop throughput against a small admission queue. */
+struct Throughput
+{
+    double jobsPerSec = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    uint32_t queueDepth = 0;
+};
+
+Throughput
+runThroughput(const std::string &base, unsigned workers, bool smoke,
+              Tally &tally)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = base + "/load.sock";
+    cfg.storeDir = base + "/load_store";
+    cfg.workers = workers;
+    cfg.queueDepth = smoke ? 4 : 8;
+    cfg.tenantQuota = 1u << 20; // pressure comes from the queue bound
+    ServiceDaemon daemon(cfg);
+    daemon.start();
+
+    const uint64_t maxInstrs = smoke ? 40'000 : 400'000;
+    const size_t arrivals = smoke ? 60 : 400;
+    const char *kernels[] = {"fib", "crc32", "sieve", "listsum",
+                             "strhash"};
+    auto mkSpec = [&](size_t i) {
+        JobSpec s;
+        const auto &isas = shippedIsas();
+        s.isa = isas[i % isas.size()];
+        s.kernel = kernels[i % (sizeof(kernels) / sizeof(*kernels))];
+        s.name = s.isa + "/" + s.kernel;
+        s.param = benchParam(s.kernel);
+        s.maxInstrs = maxInstrs;
+        if (i % 5 == 0) // every 5th job preempts twice under load
+            s.sliceInstrs = maxInstrs / 3 + 1;
+        if (i == 7) // one poisoned job: the quarantine path under load
+            s.buildset = "__poisoned__";
+        return s;
+    };
+
+    ServiceClient client;
+    client.connect(cfg.socketPath, "load");
+    Stopwatch clock;
+    clock.start();
+    std::map<uint64_t, uint64_t> submitNs; // job id -> submit time
+    std::vector<double> latencyMs;
+    ClientEvent ev;
+    auto drain = [&](int timeout_ms) {
+        while (client.poll(ev, timeout_ms)) {
+            tallyEvent(tally, ev);
+            if (ev.kind == ClientEvent::Kind::Result) {
+                latencyMs.push_back(
+                    double(clock.elapsedNs() -
+                           submitNs.at(ev.result.jobId)) /
+                    1e6);
+                submitNs.erase(ev.result.jobId);
+            }
+            if (timeout_ms == 0)
+                continue;
+            if (submitNs.empty())
+                break;
+        }
+    };
+
+    // Calibrate the service rate closed-loop, then arrive at 1.5x it.
+    const size_t calJobs = smoke ? 6 : 20;
+    const uint64_t calStart = clock.elapsedNs();
+    for (size_t i = 0; i < calJobs; ++i) {
+        SubmitOutcome o = client.submit(mkSpec(i + 1));
+        ++tally.submitted;
+        if (o.accepted) {
+            submitNs[o.jobId] = clock.elapsedNs();
+            drain(-1); // closed loop: wait for this job's result
+        } else {
+            ++tally.rejected;
+        }
+    }
+    const double calRate = double(calJobs) * 1e9 /
+                           double(clock.elapsedNs() - calStart);
+    const uint64_t gapNs =
+        calRate > 0 ? uint64_t(1e9 / (calRate * 1.5)) : 1'000'000;
+
+    // Open loop: arrivals on the fixed schedule no matter how the
+    // daemon is doing -- that is what makes the p99 honest.
+    const uint64_t loadStart = clock.elapsedNs();
+    uint64_t nextArrival = loadStart;
+    for (size_t i = 0; i < arrivals; ++i) {
+        while (clock.elapsedNs() < nextArrival)
+            drain(0); // keep the event stream moving between arrivals
+        nextArrival += gapNs;
+        SubmitOutcome o = client.submit(mkSpec(i));
+        ++tally.submitted;
+        if (o.accepted)
+            submitNs[o.jobId] = clock.elapsedNs();
+        else
+            ++tally.rejected;
+        drain(0);
+    }
+    while (!submitNs.empty())
+        drain(-1);
+    const uint64_t loadNs = clock.elapsedNs() - loadStart;
+    daemon.stop();
+
+    Throughput t;
+    t.queueDepth = cfg.queueDepth;
+    std::sort(latencyMs.begin(), latencyMs.end());
+    if (!latencyMs.empty()) {
+        t.p50Ms = latencyMs[latencyMs.size() / 2];
+        t.p99Ms = latencyMs[std::min(latencyMs.size() - 1,
+                                     latencyMs.size() * 99 / 100)];
+    }
+    // Sustained rate over the open-loop window (results delivered,
+    // clean or quarantined; rejects are not work done).
+    size_t delivered = latencyMs.size() > calJobs
+                           ? latencyMs.size() - calJobs
+                           : 0;
+    t.jobsPerSec = loadNs ? double(delivered) * 1e9 / double(loadNs)
+                          : 0.0;
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path;
+    unsigned workers = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   i + 1 < argc) {
+            workers = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_service [--smoke] [--workers N] "
+                         "[--json FILE]\n");
+            return 2;
+        }
+    }
+    if (workers == 0)
+        workers = parallel::hardwareThreads();
+
+    auto base = std::filesystem::temp_directory_path() /
+                ("onespec_bench_svc_" +
+                 std::to_string(static_cast<unsigned long>(::getpid())));
+    std::filesystem::remove_all(base);
+    std::filesystem::create_directories(base);
+
+    BenchReport report("service");
+    report.setParam("smoke", stats::Json(smoke));
+    report.setParam("workers", stats::Json(uint64_t{workers}));
+
+    Tally tally;
+    const uint64_t identInstrs = smoke ? 60'000 : 1'000'000;
+    std::printf("identity: mixed batch through the daemon vs one-shot "
+                "fleet (%u workers)...\n", workers);
+    bool identity = runIdentity(base.string(), workers, identInstrs,
+                                tally);
+    std::printf("identity: %s (%llu preemptions observed)\n",
+                identity ? "bit-identical" : "MISMATCH",
+                static_cast<unsigned long long>(tally.preempted));
+
+    std::printf("throughput: open-loop arrivals at 1.5x calibrated "
+                "service rate...\n");
+    Throughput t = runThroughput(base.string(), workers, smoke, tally);
+    std::printf(
+        "throughput: %.1f jobs/sec sustained, p50 %.2f ms, p99 %.2f ms\n"
+        "  %llu submitted / %llu completed / %llu rejected / %llu "
+        "quarantined / %llu preempted\n",
+        t.jobsPerSec, t.p50Ms, t.p99Ms,
+        static_cast<unsigned long long>(tally.submitted),
+        static_cast<unsigned long long>(tally.completed),
+        static_cast<unsigned long long>(tally.rejected),
+        static_cast<unsigned long long>(tally.quarantined),
+        static_cast<unsigned long long>(tally.preempted));
+
+    stats::Json svc = stats::Json::object();
+    svc.set("jobs_per_sec", stats::Json(t.jobsPerSec));
+    svc.set("p50_ms", stats::Json(t.p50Ms));
+    svc.set("p99_ms", stats::Json(t.p99Ms));
+    svc.set("identity", stats::Json(identity));
+    svc.set("submitted", stats::Json(tally.submitted));
+    svc.set("completed", stats::Json(tally.completed));
+    svc.set("rejected", stats::Json(tally.rejected));
+    svc.set("quarantined", stats::Json(tally.quarantined));
+    svc.set("preempted", stats::Json(tally.preempted));
+    svc.set("resumed", stats::Json(tally.resumed));
+    svc.set("workers", stats::Json(uint64_t{workers}));
+    svc.set("queue_depth", stats::Json(uint64_t{t.queueDepth}));
+    report.addResult("service", std::move(svc));
+    report.write(json_path);
+
+    std::filesystem::remove_all(base);
+    return identity ? 0 : 1;
+}

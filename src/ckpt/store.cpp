@@ -1,9 +1,15 @@
 #include "ckpt/store.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
+#include <unordered_set>
 
 #include "ckpt/blockcodec.hpp"
 #include "runtime/memory.hpp"
@@ -78,13 +84,18 @@ readWholeFile(const std::string &path, const char *what)
     return bytes;
 }
 
-/** Write via temp + rename: a valid blob name never holds a partial
- *  file, even if the writer dies mid-write. */
+/** Write via uniquely-named temp + atomic rename: a valid blob name
+ *  never holds a partial file, even if the writer dies mid-write or two
+ *  writers race on the same content-addressed blob (each renames its own
+ *  complete temp file; last one wins with identical bytes). */
 void
 writeFileAtomic(const std::string &path, const std::vector<uint8_t> &bytes,
                 const char *what)
 {
-    const std::string tmp = path + ".tmp";
+    static std::atomic<uint64_t> seq{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid())) +
+        "." + std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         throw CkptError(std::string("cannot open ") + what +
@@ -262,6 +273,87 @@ CkptStore::pageBlobCount() const
     for (const auto &ent : it)
         n += ent.is_regular_file() && ent.path().extension() == ".pg";
     return n;
+}
+
+std::vector<std::string>
+CkptStore::listCheckpoints() const
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    fs::directory_iterator it(fs::path(root_) / "ckpts", ec);
+    if (ec)
+        return names;
+    for (const auto &ent : it) {
+        if (ent.is_regular_file() && ent.path().extension() == ".ckpt")
+            names.push_back(ent.path().stem().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+CkptStore::removeCheckpoint(const std::string &name)
+{
+    if (!validName(name))
+        throw CkptError("invalid checkpoint store name '" + name +
+                        "' (use [A-Za-z0-9._-]+)");
+    std::error_code ec;
+    return fs::remove(ckptPath(name), ec) && !ec;
+}
+
+CkptStore::GcStats
+CkptStore::gc(bool dry_run)
+{
+    GcStats st;
+
+    // Phase 1: gather the referenced-page set.  inspect() CRC/structure-
+    // checks each container; a damaged one throws CkptError here, before
+    // anything is deleted -- its reference list cannot be trusted, so a
+    // sweep over it could orphan live data.
+    std::unordered_set<uint64_t> referenced;
+    for (const std::string &name : listCheckpoints()) {
+        std::vector<uint8_t> bytes =
+            readWholeFile(ckptPath(name), "checkpoint file");
+        ContainerInfo info = inspect(bytes);
+        ++st.containers;
+        st.refs += info.pageRefs.size();
+        referenced.insert(info.pageRefs.begin(), info.pageRefs.end());
+    }
+
+    // Phase 2: count dangling references (named but missing blobs).
+    // Not fatal: loading the container reports the precise page.
+    for (uint64_t h : referenced)
+        st.danglingRefs += !hasPage(h);
+
+    // Phase 3: sweep the blob directory.
+    std::error_code ec;
+    fs::recursive_directory_iterator it(fs::path(root_) / "pages", ec);
+    if (ec)
+        return st;
+    std::vector<fs::path> doomed;
+    for (const auto &ent : it) {
+        if (!ent.is_regular_file() || ent.path().extension() != ".pg")
+            continue;
+        ++st.blobsScanned;
+        const std::string stem = ent.path().stem().string();
+        char *end = nullptr;
+        uint64_t hash = std::strtoull(stem.c_str(), &end, 16);
+        // A blob whose name is not 16 hex digits was never written by
+        // this store; leave it alone.
+        if (stem.size() != 16 || !end || *end != '\0')
+            continue;
+        if (referenced.count(hash))
+            continue;
+        ++st.blobsDeleted;
+        st.bytesReclaimed += ent.file_size();
+        if (!dry_run)
+            doomed.push_back(ent.path());
+    }
+    for (const auto &p : doomed) {
+        std::error_code rmEc;
+        fs::remove(p, rmEc);
+    }
+    return st;
 }
 
 uint64_t

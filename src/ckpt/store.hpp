@@ -19,10 +19,15 @@
  * content hash, so a damaged or misfiled blob surfaces as CkptError,
  * never as silently wrong guest memory.
  *
- * Concurrency contract: one writer.  The serial fast-forward phase of
- * checkpoint-parallel sampling populates the store; fleet jobs only
- * read.  Writes go through a temp file + rename so a crashed writer
- * never leaves a truncated blob under a valid name.
+ * Concurrency contract: concurrent writers are safe as long as they
+ * save under *distinct* container names.  Page blobs are content
+ * addressed, so two writers racing on the same page write the same
+ * bytes; every write goes through a uniquely-named temp file + atomic
+ * rename, so a crashed or racing writer never leaves a truncated blob
+ * under a valid name.  (The service daemon's preemption path has one
+ * writer per in-flight job, each saving under a job-unique name.)
+ * gc() is the exception: run it only while no writer is active, since
+ * it deletes blobs a concurrent save might be about to reference.
  */
 
 #ifndef ONESPEC_CKPT_STORE_HPP
@@ -89,6 +94,40 @@ class CkptStore
 
     /** Total bytes of all page blobs (directory walk). */
     uint64_t pageBlobBytes() const;
+
+    /** Names of every saved container (ckpts/<name>.ckpt), sorted. */
+    std::vector<std::string> listCheckpoints() const;
+
+    /**
+     * Delete ckpts/<name>.ckpt.  Returns false if no such container.
+     * The pages it referenced stay behind as (possibly unreferenced)
+     * blobs -- the preempted-job churn gc() exists to sweep.
+     */
+    bool removeCheckpoint(const std::string &name);
+
+    /** What a gc() sweep found and did. */
+    struct GcStats
+    {
+        uint64_t containers = 0;     ///< named containers inspected
+        uint64_t refs = 0;           ///< page references seen (with dups)
+        uint64_t blobsScanned = 0;   ///< page blobs in the store
+        uint64_t blobsDeleted = 0;   ///< unreferenced blobs removed
+        uint64_t bytesReclaimed = 0; ///< bytes those blobs occupied
+        uint64_t danglingRefs = 0;   ///< refs with no blob (store damage)
+    };
+
+    /**
+     * Sweep the page store: delete every page blob no named container
+     * references (with @p dry_run, only count).  Containers are CRC/
+     * structure-checked by inspect() while their references are
+     * gathered; a damaged container aborts the sweep with CkptError
+     * before anything is deleted, because its references cannot be
+     * trusted.  Dangling references (a container naming a blob that is
+     * already gone) are counted, not fatal -- loading that container
+     * reports them precisely.  Single-process only: see the class
+     * comment's concurrency contract.
+     */
+    GcStats gc(bool dry_run = false);
 
   private:
     std::string root_;

@@ -320,10 +320,14 @@ SimFleet::run(const std::vector<FleetJob> &jobs, const FleetPolicy &policy)
     report.results.resize(jobs.size());
     report.merged = std::make_unique<stats::StatsRegistry>();
 
-    // One registry per job, owned here, written only by the worker that
-    // runs the job -- no locking anywhere near the simulation loop.
-    // unique_ptr so a retry can start from a genuinely fresh registry.
-    std::vector<std::unique_ptr<stats::StatsRegistry>> jobStats(jobs.size());
+    // One registry per job, written only by the worker that runs the
+    // job -- no locking anywhere near the simulation loop.  unique_ptr
+    // so a retry can start from a genuinely fresh registry.  The vector
+    // lives in the report (FleetReport::jobStats) so callers can audit
+    // per-job stats after the merge.
+    std::vector<std::unique_ptr<stats::StatsRegistry>> &jobStats =
+        report.jobStats;
+    jobStats.resize(jobs.size());
     for (auto &p : jobStats)
         p = std::make_unique<stats::StatsRegistry>();
 

@@ -181,6 +181,14 @@ struct FleetReport
     /** Per-job registries merged in job-index order.  Jobs publish under
      *  "fleet.<isa>.<buildset>", so same-cell jobs accumulate. */
     std::unique_ptr<stats::StatsRegistry> merged;
+    /**
+     * The per-job registries the merge was folded from, indexed like the
+     * job list (a quarantined job's registry is empty).  Exposed so a
+     * caller can compare another execution of the same job -- the
+     * service daemon's preempt/resume path -- stat-for-stat against the
+     * one-shot run; see bench/bench_service.cpp.
+     */
+    std::vector<std::unique_ptr<stats::StatsRegistry>> jobStats;
     uint64_t wallNs = 0;       ///< batch wall time across the pool
     unsigned threads = 0;      ///< pool width that produced this report
 

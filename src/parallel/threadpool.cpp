@@ -13,7 +13,18 @@ hardwareThreads()
 
 ThreadPool::ThreadPool(unsigned nthreads)
 {
-    unsigned n = nthreads ? nthreads : hardwareThreads();
+    startWorkers(nthreads ? nthreads : hardwareThreads());
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    stopWorkers();
+}
+
+void
+ThreadPool::startWorkers(unsigned n)
+{
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
         workers_.push_back(std::make_unique<Worker>());
@@ -22,9 +33,9 @@ ThreadPool::ThreadPool(unsigned nthreads)
         threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
-ThreadPool::~ThreadPool()
+void
+ThreadPool::stopWorkers()
 {
-    wait();
     {
         std::lock_guard<std::mutex> lock(sleepM_);
         stop_.store(true, std::memory_order_release);
@@ -32,6 +43,24 @@ ThreadPool::~ThreadPool()
     sleepCv_.notify_all();
     for (auto &t : threads_)
         t.join();
+}
+
+void
+ThreadPool::resize(unsigned nthreads)
+{
+    unsigned n = nthreads ? nthreads : hardwareThreads();
+    if (n == size())
+        return;
+    // Drain, tear the old crew down completely, rebuild.  Every deque is
+    // empty after wait() + join (a worker only exits its loop with no
+    // queued work), so no task can be stranded in a dropped deque.
+    wait();
+    stopWorkers();
+    threads_.clear();
+    workers_.clear();
+    stop_.store(false, std::memory_order_release);
+    nextQueue_.store(0, std::memory_order_relaxed);
+    startWorkers(n);
 }
 
 void

@@ -52,6 +52,17 @@ class ThreadPool
     /** Block until every submitted task has finished. */
     void wait();
 
+    /**
+     * Drain-and-resize: wait() for the current batch, join every worker,
+     * and rebuild the pool @p nthreads wide (0 means hardwareThreads()).
+     * The pool is batch-shaped, so between batches is the only moment a
+     * resize is meaningful -- and the only moment it is legal: the caller
+     * must guarantee no concurrent submit()/wait()/resize() while this
+     * runs (the service daemon does so by pausing its dispatcher).  A
+     * no-op when the pool is already @p nthreads wide.
+     */
+    void resize(unsigned nthreads);
+
   private:
     struct Worker
     {
@@ -61,6 +72,8 @@ class ThreadPool
 
     void workerLoop(unsigned self);
     bool tryRun(unsigned self);
+    void startWorkers(unsigned n);
+    void stopWorkers();
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;

@@ -1,0 +1,194 @@
+#include "service/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/sim_error.hpp"
+
+namespace onespec::service {
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+ServiceClient::connect(const std::string &socket_path,
+                       const std::string &tenant)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ResourceError("service", "socket() failed: " +
+                                           std::string(strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw ResourceError("service",
+                            "socket path too long: " + socket_path);
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int e = errno;
+        ::close(fd);
+        throw ResourceError("service", "cannot connect to " + socket_path +
+                                           ": " + strerror(e));
+    }
+    fd_ = fd;
+
+    Hello h;
+    h.tenant = tenant;
+    writeFrame(fd_, FrameType::Hello, encodeHello(h));
+    Frame f = readOrThrow("HelloAck");
+    if (f.type != FrameType::HelloAck)
+        throw WireError("expected HelloAck, got frame type " +
+                        std::to_string(static_cast<unsigned>(f.type)));
+    hello_ = decodeHelloAck(f.payload);
+    if (hello_.version != kProtocolVersion)
+        throw WireError("server speaks protocol version " +
+                        std::to_string(hello_.version) + ", this client " +
+                        std::to_string(kProtocolVersion));
+}
+
+Frame
+ServiceClient::readOrThrow(const char *waiting_for)
+{
+    Frame f;
+    if (!readFrame(fd_, f))
+        throw WireError(std::string("server closed the connection while "
+                                    "this client was waiting for ") +
+                        waiting_for);
+    return f;
+}
+
+ClientEvent
+ServiceClient::toEvent(Frame &&f)
+{
+    ClientEvent ev;
+    switch (f.type) {
+    case FrameType::Status:
+        ev.kind = ClientEvent::Kind::Status;
+        ev.status = decodeStatus(f.payload);
+        break;
+    case FrameType::Result:
+        ev.kind = ClientEvent::Kind::Result;
+        ev.result = decodeResult(f.payload);
+        break;
+    case FrameType::Statsz:
+        ev.kind = ClientEvent::Kind::Statsz;
+        ev.statszJson = decodeStatsz(f.payload);
+        break;
+    case FrameType::ShutdownAck:
+        ev.kind = ClientEvent::Kind::ShutdownAck;
+        break;
+    default:
+        throw WireError("unexpected frame type " +
+                        std::to_string(static_cast<unsigned>(f.type)) +
+                        " in the server event stream");
+    }
+    return ev;
+}
+
+SubmitOutcome
+ServiceClient::submit(const JobSpec &spec)
+{
+    writeFrame(fd_, FrameType::Submit, encodeSubmit(spec));
+    // The admission verdict is the next Accept/Reject on the wire;
+    // Status/Result frames for other jobs may arrive first and are
+    // queued in order.
+    while (true) {
+        Frame f = readOrThrow("an admission verdict");
+        if (f.type == FrameType::Accept) {
+            SubmitOutcome o;
+            o.accepted = true;
+            o.jobId = decodeAccept(f.payload);
+            return o;
+        }
+        if (f.type == FrameType::Reject) {
+            SubmitOutcome o;
+            o.reject = decodeReject(f.payload);
+            return o;
+        }
+        pending_.push_back(toEvent(std::move(f)));
+    }
+}
+
+bool
+ServiceClient::next(ClientEvent &out)
+{
+    if (!pending_.empty()) {
+        out = std::move(pending_.front());
+        pending_.pop_front();
+        return true;
+    }
+    Frame f;
+    if (!readFrame(fd_, f))
+        return false;
+    out = toEvent(std::move(f));
+    return true;
+}
+
+bool
+ServiceClient::poll(ClientEvent &out, int timeout_ms)
+{
+    if (!pending_.empty()) {
+        out = std::move(pending_.front());
+        pending_.pop_front();
+        return true;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0)
+        throw ResourceError("service", std::string("poll() failed: ") +
+                                           strerror(errno));
+    if (rc == 0)
+        return false;
+    Frame f = readOrThrow("streamed events");
+    out = toEvent(std::move(f));
+    return true;
+}
+
+std::string
+ServiceClient::statsz()
+{
+    writeFrame(fd_, FrameType::StatszReq, {});
+    while (true) {
+        Frame f = readOrThrow("Statsz");
+        if (f.type == FrameType::Statsz)
+            return decodeStatsz(f.payload);
+        pending_.push_back(toEvent(std::move(f)));
+    }
+}
+
+void
+ServiceClient::shutdownServer()
+{
+    writeFrame(fd_, FrameType::Shutdown, {});
+    while (true) {
+        Frame f = readOrThrow("ShutdownAck");
+        if (f.type == FrameType::ShutdownAck)
+            return;
+        pending_.push_back(toEvent(std::move(f)));
+    }
+}
+
+} // namespace onespec::service

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ServiceClient: the client side of the service protocol, used by
+ * `onespec-sub` and bench_service.  One instance owns one connection and
+ * is single-threaded by design: submits and event reads interleave on
+ * the caller's thread, and frames that arrive while a call is waiting
+ * for its specific reply (HelloAck, Accept/Reject, Statsz, ShutdownAck)
+ * are queued and delivered in order through next()/poll().
+ *
+ * The daemon streams Status and Result frames for admitted jobs at its
+ * own pace, so a client that submits N jobs then loops on next() until
+ * it has N Results observes every phase change in between -- that is the
+ * whole interface; there is no polling RPC for job state.
+ */
+
+#ifndef ONESPEC_SERVICE_CLIENT_HPP
+#define ONESPEC_SERVICE_CLIENT_HPP
+
+#include <deque>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace onespec::service {
+
+/** One streamed server-to-client notification. */
+struct ClientEvent
+{
+    enum class Kind : uint8_t
+    {
+        Status,      ///< a job changed phase
+        Result,      ///< a job finished (final; one per admitted job)
+        Statsz,      ///< reply to statsz() when it raced other traffic
+        ShutdownAck, ///< server drained and is exiting
+    };
+
+    Kind kind = Kind::Status;
+    JobStatus status;     ///< valid when kind == Status
+    JobResult result;     ///< valid when kind == Result
+    std::string statszJson; ///< valid when kind == Statsz
+};
+
+/** What a Submit came back with. */
+struct SubmitOutcome
+{
+    bool accepted = false;
+    uint64_t jobId = 0; ///< valid when accepted
+    Reject reject;      ///< valid when !accepted
+};
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient(); ///< closes the socket
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Connect and handshake (Hello/HelloAck).  Throws ResourceError if
+     *  the socket cannot be reached, WireError on a bad handshake. */
+    void connect(const std::string &socket_path,
+                 const std::string &tenant);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** The daemon's HelloAck (limits, server name); valid after
+     *  connect(). */
+    const HelloAck &serverInfo() const { return hello_; }
+
+    /**
+     * Submit one job and wait for its admission verdict.  Status/Result
+     * frames for earlier jobs that arrive first are queued for
+     * next()/poll(), so streaming and submission interleave freely.
+     */
+    SubmitOutcome submit(const JobSpec &spec);
+
+    /** Blocking: deliver the next queued or on-the-wire event.  Returns
+     *  false on clean server EOF. */
+    bool next(ClientEvent &out);
+
+    /**
+     * Like next() but waits at most @p timeout_ms for wire traffic when
+     * nothing is queued (0: don't wait).  Returns false on timeout; a
+     * server EOF raises WireError here, since a caller polling with a
+     * timeout is mid-conversation and silence is not an answer.
+     */
+    bool poll(ClientEvent &out, int timeout_ms);
+
+    /** Request and return the daemon's /statsz JSON dump. */
+    std::string statsz();
+
+    /** Ask the daemon to drain and exit; returns once ShutdownAck
+     *  arrives (all Results stream out first and are queued). */
+    void shutdownServer();
+
+    void close();
+
+  private:
+    Frame readOrThrow(const char *waiting_for);
+    ClientEvent toEvent(Frame &&f);
+
+    int fd_ = -1;
+    HelloAck hello_;
+    std::deque<ClientEvent> pending_;
+};
+
+} // namespace onespec::service
+
+#endif // ONESPEC_SERVICE_CLIENT_HPP

@@ -1,0 +1,1236 @@
+#include "service/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/store.hpp"
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/pc_profile.hpp"
+#include "parallel/fleet.hpp"
+#include "parallel/threadpool.hpp"
+#include "perf/hostcount.hpp"
+#include "runtime/context.hpp"
+#include "service/protocol.hpp"
+#include "sim/interp.hpp"
+#include "stats/json.hpp"
+#include "stats/stats.hpp"
+#include "support/sim_error.hpp"
+#include "workload/builder.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec::service {
+
+using parallel::contextStateHash;
+using parallel::fleetGroupPath;
+
+namespace {
+
+/** Field-wise counter delta (slice accounting: after - before). */
+IfaceCounters
+countersDiff(const IfaceCounters &after, const IfaceCounters &before)
+{
+    IfaceCounters d;
+    d.executeCalls = after.executeCalls - before.executeCalls;
+    d.executeBlockCalls = after.executeBlockCalls - before.executeBlockCalls;
+    d.stepCalls = after.stepCalls - before.stepCalls;
+    d.customCalls = after.customCalls - before.customCalls;
+    d.fastForwardCalls = after.fastForwardCalls - before.fastForwardCalls;
+    d.undoCalls = after.undoCalls - before.undoCalls;
+    d.instrs = after.instrs - before.instrs;
+    d.undoneInstrs = after.undoneInstrs - before.undoneInstrs;
+    return d;
+}
+
+bool
+isShippedIsa(const std::string &isa)
+{
+    const auto &all = shippedIsas();
+    return std::find(all.begin(), all.end(), isa) != all.end();
+}
+
+bool
+isKnownKernel(const std::string &kernel)
+{
+    const auto &all = kernelNames();
+    return std::find(all.begin(), all.end(), kernel) != all.end();
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ Impl
+
+struct ServiceDaemon::Impl
+{
+    // ---- connection to one client -------------------------------------
+    struct Connection
+    {
+        int fd = -1;
+        uint64_t id = 0;
+        std::string tenant = "default";
+        std::thread reader; ///< joins writer before setting done
+        std::thread writer;
+        std::atomic<bool> done{false}; ///< both threads finished
+
+        std::mutex m;
+        std::condition_variable cv;
+        std::deque<Frame> outbox;
+        bool closed = false; ///< no further sends; writer drains and exits
+
+        /** Enqueue a frame for the writer thread.  Sends to a closed
+         *  connection are dropped: a client that went away mid-batch
+         *  must not take its jobs (or the daemon) with it. */
+        void
+        send(FrameType t, std::vector<uint8_t> payload)
+        {
+            std::lock_guard<std::mutex> lk(m);
+            if (closed)
+                return;
+            outbox.push_back(Frame{t, std::move(payload)});
+            cv.notify_all();
+        }
+
+        /** Block until the writer has drained the outbox (or the
+         *  connection died).  Used before acknowledging Shutdown so the
+         *  ack provably reaches the wire before the daemon exits. */
+        void
+        flushOutbox()
+        {
+            std::unique_lock<std::mutex> lk(m);
+            cv.wait(lk, [this] { return closed || outbox.empty(); });
+        }
+
+        void
+        markClosed()
+        {
+            std::lock_guard<std::mutex> lk(m);
+            closed = true;
+            cv.notify_all();
+        }
+    };
+
+    // ---- one admitted job ---------------------------------------------
+    struct JobRecord
+    {
+        uint64_t id = 0;
+        std::string tenant;
+        JobSpec spec;
+        std::shared_ptr<Connection> conn;
+
+        // Resolved lazily on the first slice (worker thread, so a
+        // failure quarantines this job instead of hurting admission).
+        std::shared_ptr<const Spec> isaSpec;
+        std::shared_ptr<const Program> program;
+
+        /** Travelling per-job registry: each slice publishes its stats
+         *  delta here, so the sum over slices equals a one-shot run. */
+        std::unique_ptr<stats::StatsRegistry> reg =
+            std::make_unique<stats::StatsRegistry>();
+        IfaceCounters counters;          ///< accumulated across slices
+        ckpt::CkptCounters ckptCounters; ///< preemption capture/restore work
+        std::unique_ptr<obs::PcProfiler> prof; ///< survives preemption
+
+        uint64_t sliceInstrs = 0; ///< resolved at admission (0 = uncut)
+        uint64_t instrsDone = 0;
+        uint64_t runNs = 0;       ///< active run time across slices
+        uint64_t preemptions = 0;
+        uint32_t attempt = 1;
+        uint64_t sliceSeq = 0;
+        std::string ckptName;     ///< live store container; empty if none
+        RunStatus lastStatus = RunStatus::Ok;
+    };
+
+    // ---- one warm simulator context ------------------------------------
+    struct WarmEntry
+    {
+        std::string key; ///< tenant|isa|buildset|backend
+        std::shared_ptr<const Spec> spec;
+        std::unique_ptr<SimContext> ctx;
+        std::unique_ptr<FunctionalSimulator> sim;
+        /** Program image the entry's sim caches were last valid for;
+         *  nullptr forces a cold start (see docs/SERVICE.md). */
+        const Program *lastProgram = nullptr;
+    };
+
+    struct SvcCounters
+    {
+        uint64_t submitted = 0, accepted = 0;
+        uint64_t rejQueueFull = 0, rejQuota = 0, rejDraining = 0,
+                 rejBadRequest = 0;
+        uint64_t completed = 0, quarantined = 0;
+        uint64_t preempted = 0, resumed = 0, retries = 0;
+        uint64_t warmAcquires = 0, warmCreates = 0, warmReuses = 0,
+                 warmEvictions = 0;
+    };
+
+    explicit Impl(ServiceConfig c) : cfg(std::move(c))
+    {
+        if (!cfg.storeDir.empty())
+            store = std::make_unique<ckpt::CkptStore>(cfg.storeDir);
+    }
+
+    ServiceConfig cfg;
+    // Created in start(), not at construction: a daemonizing caller
+    // constructs the daemon (and bind()s) in the parent and fork()s, and
+    // threads do not survive fork -- any thread spawned before start()
+    // would silently not exist in the serving child.
+    std::unique_ptr<parallel::ThreadPool> pool;
+    std::unique_ptr<ckpt::CkptStore> store;
+
+    int listenFd = -1;
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopped{false};
+    std::thread acceptThread;
+    std::thread dispatchThread;
+
+    std::mutex connM;
+    std::map<uint64_t, std::shared_ptr<Connection>> conns;
+    uint64_t nextConnId = 1;
+
+    // Scheduler state, all under schedM.
+    std::mutex schedM;
+    std::condition_variable schedCv; ///< dispatcher wakeups
+    std::condition_variable drainCv; ///< shutdown-drain wakeups
+    std::deque<uint64_t> runQueue;
+    std::map<uint64_t, std::unique_ptr<JobRecord>> jobs;
+    std::map<std::string, unsigned> tenantInFlight;
+    uint64_t nextJobId = 1;
+    unsigned poolWidth = 0; ///< set in start()/resizeWorkers()
+    unsigned running = 0;   ///< slices currently on the pool
+    bool draining = false;
+    bool stopping = false;
+    bool dispatchPaused = false;
+
+    std::mutex shutM;
+    std::condition_variable shutCv;
+    bool shutdownRequested = false;
+
+    // Warm pool + shared immutable caches.
+    std::mutex warmM;
+    std::map<std::string, std::vector<std::unique_ptr<WarmEntry>>> warm;
+    size_t warmIdle = 0;
+
+    std::mutex specM;
+    std::map<std::string, std::shared_ptr<const Spec>> specs;
+    std::map<std::string, std::shared_ptr<const Program>> programs;
+
+    std::mutex svcM;
+    SvcCounters svc;
+    ckpt::CkptCounters svcCkpt; ///< aggregated at job completion
+
+    // ---------------------------------------------------------- lifecycle
+
+    void
+    bindSocket()
+    {
+        if (listenFd >= 0)
+            return;
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw ResourceError("service", "socket() failed: " +
+                                               std::string(strerror(errno)));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+            ::close(fd);
+            throw ResourceError("service", "socket path too long: " +
+                                               cfg.socketPath);
+        }
+        std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(cfg.socketPath.c_str()); // stale socket from a dead daemon
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            int e = errno;
+            ::close(fd);
+            throw ResourceError("service", "cannot bind " + cfg.socketPath +
+                                               ": " + strerror(e));
+        }
+        if (::listen(fd, 64) != 0) {
+            int e = errno;
+            ::close(fd);
+            throw ResourceError("service", "cannot listen on " +
+                                               cfg.socketPath + ": " +
+                                               strerror(e));
+        }
+        listenFd = fd;
+    }
+
+    void
+    start()
+    {
+        bindSocket();
+        pool = std::make_unique<parallel::ThreadPool>(cfg.workers);
+        {
+            std::lock_guard<std::mutex> lk(schedM);
+            poolWidth = pool->size();
+        }
+        started.store(true);
+        acceptThread = std::thread([this] { acceptLoop(); });
+        dispatchThread = std::thread([this] { dispatchLoop(); });
+    }
+
+    void
+    stop()
+    {
+        if (stopped.exchange(true))
+            return;
+        {
+            std::lock_guard<std::mutex> lk(schedM);
+            stopping = true;
+            schedCv.notify_all();
+            drainCv.notify_all();
+        }
+        if (listenFd >= 0)
+            ::shutdown(listenFd, SHUT_RDWR);
+        if (acceptThread.joinable())
+            acceptThread.join();
+        if (dispatchThread.joinable())
+            dispatchThread.join();
+        if (pool)
+            pool->wait(); // in-flight slices finish at a slice boundary
+        {
+            std::lock_guard<std::mutex> lk(connM);
+            for (auto &[id, conn] : conns) {
+                if (conn->fd >= 0)
+                    ::shutdown(conn->fd, SHUT_RDWR);
+            }
+        }
+        // Readers see EOF and exit (each joins its writer first).
+        std::map<uint64_t, std::shared_ptr<Connection>> doomed;
+        {
+            std::lock_guard<std::mutex> lk(connM);
+            doomed.swap(conns);
+        }
+        for (auto &[id, conn] : doomed) {
+            if (conn->reader.joinable())
+                conn->reader.join();
+            if (conn->fd >= 0)
+                ::close(conn->fd);
+        }
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+            ::unlink(cfg.socketPath.c_str());
+        }
+        {
+            std::lock_guard<std::mutex> lk(shutM);
+            shutCv.notify_all();
+        }
+    }
+
+    void
+    waitShutdown()
+    {
+        std::unique_lock<std::mutex> lk(shutM);
+        shutCv.wait(lk, [this] {
+            return shutdownRequested || stopped.load();
+        });
+    }
+
+    // ------------------------------------------------------ accept/reap
+
+    void
+    acceptLoop()
+    {
+        while (true) {
+            int cfd = ::accept(listenFd, nullptr, nullptr);
+            if (cfd < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // listener shut down by stop()
+            }
+            auto conn = std::make_shared<Connection>();
+            conn->fd = cfd;
+            {
+                std::lock_guard<std::mutex> lk(connM);
+                conn->id = nextConnId++;
+                conns[conn->id] = conn;
+            }
+            conn->writer = std::thread([this, conn] { writerLoop(*conn); });
+            conn->reader = std::thread([this, conn] { readerLoop(conn); });
+            reapDoneConnections();
+        }
+    }
+
+    /** Join and drop connections whose threads have finished, so a
+     *  long-lived daemon does not accumulate one dead thread pair per
+     *  departed client. */
+    void
+    reapDoneConnections()
+    {
+        std::vector<std::shared_ptr<Connection>> doomed;
+        {
+            std::lock_guard<std::mutex> lk(connM);
+            for (auto it = conns.begin(); it != conns.end();) {
+                if (it->second->done.load()) {
+                    doomed.push_back(it->second);
+                    it = conns.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        for (auto &conn : doomed) {
+            if (conn->reader.joinable())
+                conn->reader.join();
+            if (conn->fd >= 0)
+                ::close(conn->fd);
+        }
+    }
+
+    // -------------------------------------------------------- writer side
+
+    void
+    writerLoop(Connection &conn)
+    {
+        while (true) {
+            Frame f;
+            {
+                std::unique_lock<std::mutex> lk(conn.m);
+                conn.cv.wait(lk, [&conn] {
+                    return conn.closed || !conn.outbox.empty();
+                });
+                if (conn.outbox.empty())
+                    return; // closed and drained
+                f = std::move(conn.outbox.front());
+                conn.outbox.pop_front();
+                if (conn.outbox.empty())
+                    conn.cv.notify_all(); // flushOutbox waiters
+            }
+            try {
+                writeFrame(conn.fd, f.type, f.payload);
+            } catch (const WireError &) {
+                // Peer went away; drop everything still queued.
+                std::lock_guard<std::mutex> lk(conn.m);
+                conn.closed = true;
+                conn.outbox.clear();
+                conn.cv.notify_all();
+                return;
+            }
+        }
+    }
+
+    // -------------------------------------------------------- reader side
+
+    void
+    readerLoop(std::shared_ptr<Connection> conn)
+    {
+        try {
+            Frame f;
+            while (readFrame(conn->fd, f))
+                handleFrame(conn, f);
+        } catch (const WireError &) {
+            // Malformed peer: drop the connection, keep the daemon.
+        } catch (const std::exception &) {
+            // Belt: nothing a client sends may take the daemon down.
+        }
+        conn->markClosed();
+        if (conn->writer.joinable())
+            conn->writer.join();
+        conn->done.store(true);
+    }
+
+    void
+    handleFrame(const std::shared_ptr<Connection> &conn, const Frame &f)
+    {
+        switch (f.type) {
+        case FrameType::Hello: {
+            Hello h = decodeHello(f.payload);
+            if (!h.tenant.empty())
+                conn->tenant = h.tenant;
+            HelloAck ack;
+            ack.queueDepth = cfg.queueDepth;
+            ack.tenantQuota = cfg.tenantQuota;
+            ack.serverName = "onespec-served";
+            conn->send(FrameType::HelloAck, encodeHelloAck(ack));
+            break;
+        }
+        case FrameType::Submit:
+            admit(conn, decodeSubmit(f.payload));
+            break;
+        case FrameType::StatszReq:
+            conn->send(FrameType::Statsz, encodeStatsz(statszJson()));
+            break;
+        case FrameType::Shutdown:
+            handleShutdown(conn);
+            break;
+        default:
+            throw WireError("unexpected frame type " +
+                            std::to_string(static_cast<unsigned>(f.type)) +
+                            " from client");
+        }
+    }
+
+    void
+    handleShutdown(const std::shared_ptr<Connection> &conn)
+    {
+        {
+            std::unique_lock<std::mutex> lk(schedM);
+            draining = true;
+            // Drain: every admitted job reaches its Result (or the
+            // daemon is being torn down under us).
+            drainCv.wait(lk, [this] { return jobs.empty() || stopping; });
+        }
+        conn->send(FrameType::ShutdownAck, {});
+        conn->flushOutbox();
+        {
+            std::lock_guard<std::mutex> lk(shutM);
+            shutdownRequested = true;
+            shutCv.notify_all();
+        }
+    }
+
+    // --------------------------------------------------------- admission
+
+    void
+    admit(const std::shared_ptr<Connection> &conn, JobSpec spec)
+    {
+        auto reject = [&](RejectCode code, const std::string &reason,
+                          uint64_t &counter) {
+            {
+                std::lock_guard<std::mutex> lk(svcM);
+                ++svc.submitted;
+                ++counter;
+            }
+            Reject r;
+            r.code = code;
+            r.reason = reason;
+            conn->send(FrameType::Reject, encodeReject(r));
+        };
+
+        // Validate what admission can check without heavy work.  The ISA
+        // check matters doubly: loadIsa() is fatal on an unknown name, so
+        // it must never see one.  An unknown buildset is deliberately NOT
+        // checked here -- resolving it needs a simulator instantiation,
+        // which belongs on a worker where failure quarantines one job.
+        if (!isShippedIsa(spec.isa)) {
+            reject(RejectCode::BadRequest, "unknown ISA '" + spec.isa + "'",
+                   svc.rejBadRequest);
+            return;
+        }
+        if (!isKnownKernel(spec.kernel)) {
+            reject(RejectCode::BadRequest,
+                   "unknown kernel '" + spec.kernel + "'",
+                   svc.rejBadRequest);
+            return;
+        }
+        if (spec.maxAttempts == 0)
+            spec.maxAttempts = 1;
+        if (spec.name.empty())
+            spec.name = spec.isa + "/" + spec.kernel;
+
+        uint64_t id = 0;
+        {
+            std::lock_guard<std::mutex> lk(schedM);
+            if (draining || stopping) {
+                reject(RejectCode::Draining, "daemon is draining",
+                       svc.rejDraining);
+                return;
+            }
+            if (runQueue.size() >= cfg.queueDepth) {
+                reject(RejectCode::QueueFull,
+                       "queue holds " + std::to_string(runQueue.size()) +
+                           " of " + std::to_string(cfg.queueDepth) + " jobs",
+                       svc.rejQueueFull);
+                return;
+            }
+            unsigned &inflight = tenantInFlight[conn->tenant];
+            if (inflight >= cfg.tenantQuota) {
+                reject(RejectCode::TenantQuota,
+                       "tenant '" + conn->tenant + "' already has " +
+                           std::to_string(inflight) + " jobs in flight",
+                       svc.rejQuota);
+                return;
+            }
+            ++inflight;
+            id = nextJobId++;
+            auto rec = std::make_unique<JobRecord>();
+            rec->id = id;
+            rec->tenant = conn->tenant;
+            rec->spec = std::move(spec);
+            rec->sliceInstrs = rec->spec.sliceInstrs
+                                   ? rec->spec.sliceInstrs
+                                   : cfg.defaultSliceInstrs;
+            rec->conn = conn;
+            jobs[id] = std::move(rec);
+            runQueue.push_back(id);
+            schedCv.notify_all();
+        }
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            ++svc.submitted;
+            ++svc.accepted;
+        }
+        conn->send(FrameType::Accept, encodeAccept(id));
+        JobStatus st;
+        st.jobId = id;
+        st.phase = JobPhase::Queued;
+        conn->send(FrameType::Status, encodeStatus(st));
+    }
+
+    // --------------------------------------------------------- dispatcher
+
+    /** The only thread that calls pool.submit() -- the pool's "tasks may
+     *  not submit tasks" contract stays intact even though preempted
+     *  jobs requeue (workers push onto runQueue; this thread resubmits).
+     *  submit() happens under schedM, which is what makes
+     *  resizeWorkers()'s pause a real barrier against concurrent
+     *  submission. */
+    void
+    dispatchLoop()
+    {
+        std::unique_lock<std::mutex> lk(schedM);
+        while (true) {
+            schedCv.wait(lk, [this] {
+                return stopping ||
+                       (!dispatchPaused && !runQueue.empty() &&
+                        running < poolWidth);
+            });
+            if (stopping)
+                return;
+            uint64_t id = runQueue.front();
+            runQueue.pop_front();
+            ++running;
+            pool->submit([this, id] { runSlice(id); });
+        }
+    }
+
+    void
+    setDispatchPaused(bool paused)
+    {
+        std::lock_guard<std::mutex> lk(schedM);
+        dispatchPaused = paused;
+        schedCv.notify_all();
+    }
+
+    void
+    resizeWorkers(unsigned n)
+    {
+        if (!pool) { // not started yet: start() will size the pool
+            cfg.workers = n;
+            return;
+        }
+        setDispatchPaused(true);
+        // Dispatcher is parked and never again submits until unpaused;
+        // running slices finish (a long job stops at its slice), so the
+        // pool reaches quiescence resize() requires.
+        pool->wait();
+        pool->resize(n);
+        {
+            std::lock_guard<std::mutex> lk(schedM);
+            poolWidth = pool->size();
+            dispatchPaused = false;
+            schedCv.notify_all();
+        }
+    }
+
+    // ----------------------------------------------- shared imm. caches
+
+    std::shared_ptr<const Spec>
+    getSpec(const std::string &isa)
+    {
+        std::lock_guard<std::mutex> lk(specM);
+        auto it = specs.find(isa);
+        if (it != specs.end())
+            return it->second;
+        // Admission validated the name, so loadIsa cannot hit its fatal
+        // unknown-ISA path here.
+        std::shared_ptr<const Spec> spec = loadIsa(isa);
+        specs[isa] = spec;
+        return spec;
+    }
+
+    std::shared_ptr<const Program>
+    getProgram(const Spec &spec, const JobSpec &js)
+    {
+        const std::string key =
+            js.isa + "|" + js.kernel + "|" + std::to_string(js.param);
+        std::lock_guard<std::mutex> lk(specM);
+        auto it = programs.find(key);
+        if (it != programs.end())
+            return it->second;
+        auto builder = makeBuilder(spec);
+        auto prog = std::make_shared<const Program>(
+            buildKernel(*builder, js.kernel, js.param));
+        programs[key] = prog;
+        return prog;
+    }
+
+    // ----------------------------------------------------------- warm pool
+
+    static std::string
+    warmKey(const JobRecord &rec)
+    {
+        return rec.tenant + "|" + rec.spec.isa + "|" + rec.spec.buildset +
+               "|" + (rec.spec.useInterp ? "interp" : "gen");
+    }
+
+    /** Take a warm entry for this job's cell, creating one when the pool
+     *  has none idle.  Creation may throw SpecError (unknown buildset):
+     *  the caller quarantines the job. */
+    std::unique_ptr<WarmEntry>
+    acquireWarm(JobRecord &rec)
+    {
+        const std::string key = warmKey(rec);
+        {
+            std::lock_guard<std::mutex> lk(warmM);
+            std::lock_guard<std::mutex> slk(svcM);
+            ++svc.warmAcquires;
+            auto it = warm.find(key);
+            if (it != warm.end() && !it->second.empty()) {
+                auto entry = std::move(it->second.back());
+                it->second.pop_back();
+                --warmIdle;
+                return entry;
+            }
+            ++svc.warmCreates;
+        }
+        auto entry = std::make_unique<WarmEntry>();
+        entry->key = key;
+        entry->spec = rec.isaSpec;
+        entry->ctx = std::make_unique<SimContext>(*entry->spec);
+        if (rec.spec.useInterp) {
+            entry->sim = makeInterpSimulator(*entry->ctx, rec.spec.buildset);
+        } else {
+            entry->sim =
+                SimRegistry::instance().create(*entry->ctx,
+                                               rec.spec.buildset);
+            if (!entry->sim)
+                throw SpecError("service",
+                                "no generated simulator for " +
+                                    rec.spec.isa + "/" + rec.spec.buildset);
+        }
+        return entry;
+    }
+
+    void
+    releaseWarm(std::unique_ptr<WarmEntry> entry)
+    {
+        entry->sim->setProfiler(nullptr);
+        std::lock_guard<std::mutex> lk(warmM);
+        if (warmIdle >= cfg.warmPoolCap) {
+            std::lock_guard<std::mutex> slk(svcM);
+            ++svc.warmEvictions;
+            return; // unique_ptr dies: context and simulator torn down
+        }
+        ++warmIdle;
+        warm[entry->key].push_back(std::move(entry));
+    }
+
+    // ----------------------------------------------------------- job body
+
+    void
+    sendStatus(JobRecord &rec, JobPhase phase)
+    {
+        JobStatus st;
+        st.jobId = rec.id;
+        st.phase = phase;
+        st.attempt = rec.attempt;
+        st.instrsDone = rec.instrsDone;
+        rec.conn->send(FrameType::Status, encodeStatus(st));
+    }
+
+    /** What a slice decided; the worker acts on it only after the warm
+     *  entry is back in the pool and the per-attempt span has closed. */
+    enum class Next
+    {
+        Finish,     ///< Result already sent; finalize and erase
+        Preempt,    ///< checkpointed; requeue
+        Retry,      ///< ResourceError, attempts left; requeue
+        Quarantine, ///< Result (quarantined) already sent; finalize
+    };
+
+    /** Run one slice of job @p id on a pool worker. */
+    void
+    runSlice(uint64_t id)
+    {
+        JobRecord *rec;
+        {
+            std::lock_guard<std::mutex> lk(schedM);
+            rec = jobs.at(id).get(); // stable: erased only by this worker
+        }
+        Next next;
+        {
+            obs::FrSpan span(obs::EvType::Job, static_cast<uint32_t>(id),
+                             rec->attempt, 0);
+            try {
+                next = runSliceBody(*rec) ? Next::Preempt : Next::Finish;
+            } catch (const DeadlineError &e) {
+                // Deadline is a budget over *active* run time, and the
+                // budget is spent: a retry would re-spend it, so the job
+                // quarantines directly (unlike generic ResourceError).
+                ONESPEC_FR_INSTANT(obs::EvType::Deadline,
+                                   static_cast<uint32_t>(id), rec->attempt,
+                                   rec->spec.deadlineNs);
+                next = onJobError(*rec, e.kind(), e.what(),
+                                  /*retryable=*/false);
+            } catch (const SimError &e) {
+                next = onJobError(*rec, e.kind(), e.what(),
+                                  e.kind() == ErrorKind::Resource);
+            } catch (const std::exception &e) {
+                next = onJobError(*rec, ErrorKind::Internal, e.what(),
+                                  /*retryable=*/false);
+            }
+            span.setArgs(rec->attempt, rec->instrsDone);
+        }
+        // rec is only mutated by the worker that owns the slice, so all
+        // writes above are ordered before the requeue's schedM handoff
+        // (the next worker's reads happen after it pops the queue).
+        switch (next) {
+        case Next::Preempt:
+        case Next::Retry:
+            requeue(id);
+            break;
+        case Next::Finish:
+            finalizeJob(*rec, /*quarantined=*/false);
+            break;
+        case Next::Quarantine:
+            finalizeJob(*rec, /*quarantined=*/true);
+            break;
+        }
+    }
+
+    /** Returns true if the job was preempted (checkpointed) and must be
+     *  requeued; false if it finished and its Result was sent. */
+    bool
+    runSliceBody(JobRecord &rec)
+    {
+        const bool resuming = !rec.ckptName.empty();
+        if (resuming) {
+            sendStatus(rec, JobPhase::Resumed);
+            std::lock_guard<std::mutex> lk(svcM);
+            ++svc.resumed;
+        } else {
+            sendStatus(rec, JobPhase::Running);
+        }
+
+        if (!rec.isaSpec)
+            rec.isaSpec = getSpec(rec.spec.isa);
+        if (!rec.program)
+            rec.program = getProgram(*rec.isaSpec, rec.spec);
+        if (rec.sliceInstrs != 0 && !store)
+            throw SpecError("service",
+                            "job '" + rec.spec.name +
+                                "' needs preemption slices but the daemon "
+                                "has no checkpoint store (--store)");
+
+        std::unique_ptr<WarmEntry> entry = acquireWarm(rec);
+        SimContext &ctx = *entry->ctx;
+        FunctionalSimulator &sim = *entry->sim;
+
+        // The run must end with the entry back in the pool (or evicted);
+        // on error the caches are conservatively marked cold.
+        struct Lease
+        {
+            Impl &impl;
+            std::unique_ptr<WarmEntry> &entry;
+            bool ok = false;
+            ~Lease()
+            {
+                if (!ok)
+                    entry->lastProgram = nullptr;
+                impl.releaseWarm(std::move(entry));
+            }
+        } lease{*this, entry};
+
+        ctx.os().setStrictUnknownSyscalls(rec.spec.strictSyscalls);
+        ctx.load(*rec.program);
+
+        if (resuming) {
+            ckpt::Checkpoint ck = store->load(rec.ckptName,
+                                              &rec.ckptCounters);
+            ckpt::restore(ctx, ck, &rec.ckptCounters);
+            // Context changed behind the simulator; one invalidation
+            // point, exactly like the fleet's restore path.
+            sim.onStateRestored();
+            ONESPEC_FR_INSTANT(obs::EvType::CkptRestore,
+                               static_cast<uint32_t>(rec.id), rec.sliceSeq,
+                               rec.instrsDone);
+        } else if (entry->lastProgram == rec.program.get() &&
+                   !rec.spec.coldStats) {
+            // Same program image just reloaded: decode/block caches key
+            // on PC over identical memory, so they are still valid --
+            // this is the warm-pool payoff (docs/SERVICE.md caveats).
+            std::lock_guard<std::mutex> lk(svcM);
+            ++svc.warmReuses;
+        } else {
+            sim.onStateRestored();
+        }
+
+        if (rec.spec.profileStride && !rec.prof) {
+            obs::PcProfiler::Config pc;
+            pc.strideInstrs = rec.spec.profileStride;
+            rec.prof = std::make_unique<obs::PcProfiler>(*rec.isaSpec, pc);
+        }
+        sim.setProfiler(rec.prof.get());
+
+        // Align the publish baselines: whatever this simulator did for
+        // previous jobs is flushed into a scratch registry, so the next
+        // publish into the job's travelling registry carries exactly this
+        // slice's delta.
+        {
+            stats::StatsRegistry scratch;
+            sim.publishStats(scratch.group(
+                fleetGroupPath(rec.spec.isa, rec.spec.buildset)));
+        }
+        const IfaceCounters base = sim.ifaceCounters();
+
+        const uint64_t remaining =
+            rec.spec.maxInstrs == ~uint64_t{0}
+                ? ~uint64_t{0}
+                : rec.spec.maxInstrs - rec.instrsDone;
+        const uint64_t cap = rec.sliceInstrs
+                                 ? std::min(rec.sliceInstrs, remaining)
+                                 : remaining;
+
+        Stopwatch sw;
+        sw.start();
+        RunResult r = sim.run(cap);
+        rec.runNs += sw.elapsedNs();
+        rec.instrsDone += r.instrs;
+        rec.lastStatus = r.status;
+        rec.counters += countersDiff(sim.ifaceCounters(), base);
+        sim.publishStats(rec.reg->group(
+            fleetGroupPath(rec.spec.isa, rec.spec.buildset)));
+
+        // Watchdog over *active* run time: queueing and preemption gaps
+        // do not count against the job.
+        if (rec.spec.deadlineNs != 0 && rec.runNs > rec.spec.deadlineNs)
+            throw DeadlineError("job '" + rec.spec.name + "' exceeded its " +
+                                    std::to_string(rec.spec.deadlineNs /
+                                                   1000000) +
+                                    " ms deadline of active run time",
+                                rec.runNs);
+
+        const bool finished =
+            r.status != RunStatus::Ok ||
+            (rec.spec.maxInstrs != ~uint64_t{0} &&
+             rec.instrsDone >= rec.spec.maxInstrs) ||
+            r.instrs == 0;
+
+        if (!finished) {
+            preempt(rec, ctx);
+            lease.ok = true;
+            entry->lastProgram = rec.program.get();
+            return true;
+        }
+
+        // Finished: profile publishes once, at the end, like the fleet.
+        JobResult res;
+        if (rec.prof)
+            rec.prof->publish(
+                rec.reg->group(fleetGroupPath(rec.spec.isa,
+                                              rec.spec.buildset))
+                    .group("profile"));
+        res.jobId = rec.id;
+        res.name = rec.spec.name;
+        res.runStatus = r.status;
+        res.instrs = rec.instrsDone;
+        res.output = ctx.os().output();
+        res.stateHash = contextStateHash(ctx, res.output);
+        res.ns = rec.runNs;
+        res.attempts = rec.attempt;
+        res.preemptions = rec.preemptions;
+        res.counters = rec.counters;
+        {
+            std::ostringstream os;
+            rec.reg->dump(os);
+            res.statsDump = os.str();
+        }
+        lease.ok = true;
+        entry->lastProgram = rec.program.get();
+        if (!rec.ckptName.empty()) {
+            store->removeCheckpoint(rec.ckptName);
+            rec.ckptName.clear();
+        }
+        // Account before the Result leaves: a client holding a Result
+        // must find it already reflected in /statsz.
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            ++svc.completed;
+        }
+        rec.conn->send(FrameType::Result, encodeResult(res));
+        return false;
+    }
+
+    /** Checkpoint @p rec into the store and stream Preempted.  The
+     *  caller requeues after the warm entry is released. */
+    void
+    preempt(JobRecord &rec, SimContext &ctx)
+    {
+        if (!store)
+            throw SpecError("service", "preemption without a store");
+        ++rec.sliceSeq;
+        ckpt::Checkpoint ck = ckpt::capture(ctx, &rec.ckptCounters);
+        const std::string name = "j" + std::to_string(rec.id) + "-s" +
+                                 std::to_string(rec.sliceSeq);
+        store->save(name, ck, &rec.ckptCounters);
+        ONESPEC_FR_INSTANT(obs::EvType::CkptCapture,
+                           static_cast<uint32_t>(rec.id), rec.sliceSeq,
+                           rec.instrsDone);
+        std::string old;
+        std::swap(old, rec.ckptName);
+        rec.ckptName = name;
+        if (!old.empty())
+            store->removeCheckpoint(old);
+        ++rec.preemptions;
+        sendStatus(rec, JobPhase::Preempted);
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            ++svc.preempted;
+        }
+    }
+
+    void
+    requeue(uint64_t id)
+    {
+        std::lock_guard<std::mutex> lk(schedM);
+        runQueue.push_back(id);
+        --running;
+        schedCv.notify_all();
+    }
+
+    Next
+    onJobError(JobRecord &rec, ErrorKind kind, const std::string &msg,
+               bool retryable)
+    {
+        if (retryable && rec.attempt < rec.spec.maxAttempts) {
+            ONESPEC_FR_INSTANT(obs::EvType::Retry,
+                               static_cast<uint32_t>(rec.id), rec.attempt,
+                               static_cast<unsigned>(kind));
+            const uint64_t backoff_ns = cfg.backoffBaseNs
+                                        << (rec.attempt - 1);
+            ++rec.attempt;
+            {
+                std::lock_guard<std::mutex> lk(svcM);
+                ++svc.retries;
+            }
+            sendStatus(rec, JobPhase::Retrying);
+            ONESPEC_FR_BEGIN(obs::EvType::Backoff,
+                             static_cast<uint32_t>(rec.id), rec.attempt,
+                             backoff_ns);
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(backoff_ns));
+            ONESPEC_FR_END(obs::EvType::Backoff,
+                           static_cast<uint32_t>(rec.id), rec.attempt,
+                           backoff_ns);
+            if (rec.ckptName.empty()) {
+                // No checkpoint to resume from: full restart.  Everything
+                // the failed attempts accumulated is discarded so the
+                // retry's stats are indistinguishable from a clean run.
+                rec.reg = std::make_unique<stats::StatsRegistry>();
+                rec.counters = IfaceCounters{};
+                rec.ckptCounters = ckpt::CkptCounters{};
+                rec.prof.reset();
+                rec.instrsDone = 0;
+                rec.runNs = 0;
+            }
+            // With a checkpoint: completed slices already published their
+            // stats; the failed slice published nothing (it throws before
+            // the publish), so resuming from the checkpoint double-counts
+            // nothing.
+            return Next::Retry;
+        }
+
+        // Quarantine.
+        ONESPEC_FR_INSTANT(obs::EvType::Quarantine,
+                           static_cast<uint32_t>(rec.id), rec.attempt,
+                           static_cast<unsigned>(kind));
+        JobResult res;
+        res.jobId = rec.id;
+        res.name = rec.spec.name;
+        res.quarantined = true;
+        res.runStatus = RunStatus::Fault;
+        res.errorKind = kind;
+        res.error = msg;
+        res.instrs = rec.instrsDone;
+        res.ns = rec.runNs;
+        res.attempts = rec.attempt;
+        res.preemptions = rec.preemptions;
+        // Quarantined jobs ship no stats (fleet contract: a failed job
+        // contributes nothing to any merge) but do ship a postmortem.
+        obs::FlightControl &fc = obs::FlightControl::instance();
+        if (fc.armed())
+            res.frTail = fc.local().tail(cfg.frTailEvents);
+        if (!rec.ckptName.empty() && store) {
+            store->removeCheckpoint(rec.ckptName);
+            rec.ckptName.clear();
+        }
+        // Account before the Result leaves (see the finish path).
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            ++svc.quarantined;
+        }
+        rec.conn->send(FrameType::Result, encodeResult(res));
+        return Next::Quarantine;
+    }
+
+    /** Release the finished (or quarantined) job's scheduling state and
+     *  erase its record.  The Result frame was already sent, and the
+     *  completed/quarantined counter bumped with it; @p rec dies here. */
+    void
+    finalizeJob(JobRecord &rec, bool /*quarantined*/)
+    {
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            svcCkpt += rec.ckptCounters;
+        }
+        std::lock_guard<std::mutex> lk(schedM);
+        auto it = tenantInFlight.find(rec.tenant);
+        if (it != tenantInFlight.end() && --it->second == 0)
+            tenantInFlight.erase(it);
+        jobs.erase(rec.id); // rec dies here
+        --running;
+        schedCv.notify_all();
+        drainCv.notify_all();
+    }
+
+    // ------------------------------------------------------------- statsz
+
+    std::string
+    statszJson()
+    {
+        stats::Json root = stats::Json::object();
+        root.set("server", "onespec-served");
+        root.set("protocol_version", uint64_t{kProtocolVersion});
+
+        stats::Json jobs_ = stats::Json::object();
+        stats::Json warm_ = stats::Json::object();
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            jobs_.set("submitted", svc.submitted);
+            jobs_.set("accepted", svc.accepted);
+            jobs_.set("rejected_queue_full", svc.rejQueueFull);
+            jobs_.set("rejected_tenant_quota", svc.rejQuota);
+            jobs_.set("rejected_draining", svc.rejDraining);
+            jobs_.set("rejected_bad_request", svc.rejBadRequest);
+            jobs_.set("completed", svc.completed);
+            jobs_.set("quarantined", svc.quarantined);
+            jobs_.set("preempted", svc.preempted);
+            jobs_.set("resumed", svc.resumed);
+            jobs_.set("retries", svc.retries);
+            warm_.set("acquires", svc.warmAcquires);
+            warm_.set("creates", svc.warmCreates);
+            warm_.set("cache_reuses", svc.warmReuses);
+            warm_.set("evictions", svc.warmEvictions);
+        }
+        root.set("jobs", std::move(jobs_));
+        root.set("warm", std::move(warm_));
+
+        stats::Json ck = stats::Json::object();
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            ck.set("full_captures", svcCkpt.fullCaptures);
+            ck.set("restores", svcCkpt.restores);
+            ck.set("pages_captured", svcCkpt.pagesCaptured);
+            ck.set("pages_restored", svcCkpt.pagesRestored);
+            ck.set("store_page_puts", svcCkpt.storePagePuts);
+            ck.set("store_page_dedup_hits", svcCkpt.storePageDedupHits);
+            ck.set("store_bytes_written", svcCkpt.storeBytesWritten);
+            ck.set("store_bytes_read", svcCkpt.storeBytesRead);
+        }
+        root.set("ckpt", std::move(ck));
+
+        stats::Json gauges = stats::Json::object();
+        {
+            std::lock_guard<std::mutex> lk(schedM);
+            gauges.set("queued", uint64_t{runQueue.size()});
+            gauges.set("running", uint64_t{running});
+            gauges.set("in_flight_jobs", uint64_t{jobs.size()});
+            gauges.set("workers", uint64_t{poolWidth});
+            gauges.set("tenants", uint64_t{tenantInFlight.size()});
+            gauges.set("draining", draining);
+        }
+        {
+            std::lock_guard<std::mutex> lk(warmM);
+            gauges.set("warm_idle", uint64_t{warmIdle});
+        }
+        root.set("gauges", std::move(gauges));
+        return root.dump(2);
+    }
+};
+
+// ------------------------------------------------------------- public API
+
+ServiceDaemon::ServiceDaemon(ServiceConfig cfg)
+    : impl_(std::make_unique<Impl>(std::move(cfg)))
+{}
+
+ServiceDaemon::~ServiceDaemon()
+{
+    stop();
+}
+
+const ServiceConfig &
+ServiceDaemon::config() const
+{
+    return impl_->cfg;
+}
+
+void
+ServiceDaemon::bind()
+{
+    impl_->bindSocket();
+}
+
+void
+ServiceDaemon::start()
+{
+    impl_->start();
+}
+
+void
+ServiceDaemon::waitShutdown()
+{
+    impl_->waitShutdown();
+}
+
+void
+ServiceDaemon::stop()
+{
+    if (impl_->started.load())
+        impl_->stop();
+    else if (impl_->listenFd >= 0) {
+        ::close(impl_->listenFd);
+        impl_->listenFd = -1;
+        ::unlink(impl_->cfg.socketPath.c_str());
+    }
+}
+
+void
+ServiceDaemon::resizeWorkers(unsigned n)
+{
+    impl_->resizeWorkers(n);
+}
+
+void
+ServiceDaemon::setDispatchPaused(bool paused)
+{
+    impl_->setDispatchPaused(paused);
+}
+
+std::string
+ServiceDaemon::statszJson()
+{
+    return impl_->statszJson();
+}
+
+} // namespace onespec::service

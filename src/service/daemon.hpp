@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ServiceDaemon: the long-lived simulation service behind
+ * `onespec-served`.  One daemon owns
+ *
+ *   - a Unix-domain listener speaking the protocol of
+ *     service/protocol.hpp, one reader + one writer thread per
+ *     connection;
+ *   - a bounded job queue with admission control: a Submit past the
+ *     queue bound, past its tenant's in-flight quota, during a drain, or
+ *     naming an unknown ISA is rejected immediately with a typed reason
+ *     -- backpressure is explicit, never an unbounded queue;
+ *   - a warm pool of (tenant, ISA, buildset, back end) simulator
+ *     contexts: spec load, program build, and context/simulator
+ *     construction are paid once and reused across jobs; decode/block
+ *     caches are additionally kept warm when the next job runs the exact
+ *     same program image (cache entries hit on PC alone, so identical
+ *     memory is the validity condition -- docs/SERVICE.md);
+ *   - checkpoint-backed preemption: a job past its slice is captured
+ *     into a CkptStore (PR 6), requeued at the back, and resumed on any
+ *     worker; per-slice stats deltas accumulate in a travelling per-job
+ *     registry, so the final merged stats are bit-identical to an
+ *     unpreempted run with the same slice schedule (the bench's gate);
+ *   - the fleet's health layer (PR 4/5): SimError quarantine with
+ *     retry-and-backoff for ResourceError, per-job flight-recorder
+ *     spans, postmortem tails shipped over the wire, and a
+ *     /statsz-style JSON dump of service counters on request.
+ *
+ * Determinism note: per-job *results* (status, instrs, state hash,
+ * output, interface counters, stats dump) are pure functions of the
+ * JobSpec -- admission order, worker assignment, and preemption timing
+ * never leak into them, because slices are cut at instruction counts
+ * and checkpoint restore is bit-identical to never having stopped.
+ */
+
+#ifndef ONESPEC_SERVICE_DAEMON_HPP
+#define ONESPEC_SERVICE_DAEMON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace onespec::service {
+
+/** Daemon configuration (CLI flags of onespec-served map 1:1). */
+struct ServiceConfig
+{
+    std::string socketPath;   ///< Unix-domain socket to listen on
+    /** Checkpoint store directory for preemption; created on first use.
+     *  Empty: preemption-requiring jobs quarantine with SpecError. */
+    std::string storeDir;
+    unsigned workers = 0;     ///< pool width; 0 = hardware threads
+    uint32_t queueDepth = 64; ///< max admitted-but-not-running jobs
+    uint32_t tenantQuota = 16; ///< max in-flight jobs per tenant
+    /** Slice for jobs that submit sliceInstrs == 0; 0 = never preempt. */
+    uint64_t defaultSliceInstrs = 0;
+    uint64_t backoffBaseNs = 1'000'000; ///< retry backoff base (<< k-1)
+    size_t frTailEvents = 32; ///< postmortem events per quarantine
+    size_t warmPoolCap = 16;  ///< idle warm contexts kept across all keys
+};
+
+/** The daemon.  Lifecycle: bind() [optional, pre-fork] -> start() ->
+ *  waitShutdown() -> stop().  All methods are called from the owning
+ *  thread; the daemon's own threads never call them. */
+class ServiceDaemon
+{
+  public:
+    explicit ServiceDaemon(ServiceConfig cfg);
+    ~ServiceDaemon(); ///< calls stop()
+
+    ServiceDaemon(const ServiceDaemon &) = delete;
+    ServiceDaemon &operator=(const ServiceDaemon &) = delete;
+
+    const ServiceConfig &config() const;
+
+    /**
+     * Create, bind, and listen on the socket (unlinking a stale one).
+     * Separated from start() so `onespec-served --daemonize` can bind in
+     * the parent -- the socket provably exists when the parent exits --
+     * and run the threads in the child.  Throws ResourceError on bind
+     * failure.
+     */
+    void bind();
+
+    /** Spawn the accept loop, dispatcher, and worker pool (bind()s
+     *  first if bind() was not called). */
+    void start();
+
+    /** Block until a client's Shutdown request has drained the queue
+     *  (every admitted job finished) and been acknowledged. */
+    void waitShutdown();
+
+    /** Tear down: close the listener and every connection, join all
+     *  threads.  In-flight pool tasks finish first; queued jobs that
+     *  never started are dropped.  Idempotent. */
+    void stop();
+
+    /**
+     * Drain-and-resize the worker pool (ThreadPool::resize) between
+     * batches: dispatch pauses, running slices finish, the pool is
+     * rebuilt @p n wide, dispatch resumes.  Queued jobs are preserved.
+     */
+    void resizeWorkers(unsigned n);
+
+    /** Pause/resume dispatch (admission continues).  Test hook: makes
+     *  queue-full and quota rejections deterministic. */
+    void setDispatchPaused(bool paused);
+
+    /** The /statsz payload: service counters plus live gauges as JSON
+     *  text (schema documented in docs/SERVICE.md). */
+    std::string statszJson();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace onespec::service
+
+#endif // ONESPEC_SERVICE_DAEMON_HPP

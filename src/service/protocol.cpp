@@ -1,0 +1,457 @@
+#include "service/protocol.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace onespec::service {
+
+namespace {
+
+/** Frame header: u32 payload_len | u8 type | u8 version | u16 reserved. */
+constexpr size_t kHeaderLen = 8;
+
+/** Read exactly @p n bytes; returns bytes read before EOF (EINTR-safe). */
+size_t
+readFull(int fd, uint8_t *dst, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, dst + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(std::string("read failed: ") +
+                            ::strerror(errno));
+        }
+        if (r == 0)
+            break;
+        got += static_cast<size_t>(r);
+    }
+    return got;
+}
+
+void
+writeFull(int fd, const uint8_t *src, size_t n)
+{
+    size_t put = 0;
+    while (put < n) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-stream must surface
+        // as EPIPE (one dead connection), not SIGPIPE (a dead daemon).
+        ssize_t r = ::send(fd, src + put, n - put, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(std::string("write failed: ") +
+                            ::strerror(errno));
+        }
+        put += static_cast<size_t>(r);
+    }
+}
+
+} // namespace
+
+void
+WireWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+}
+
+uint8_t
+WireReader::u8()
+{
+    if (off + 1 > len)
+        throw WireError("payload truncated (u8)");
+    return p[off++];
+}
+
+uint32_t
+WireReader::u32()
+{
+    if (off + 4 > len)
+        throw WireError("payload truncated (u32)");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[off + i]) << (8 * i);
+    off += 4;
+    return v;
+}
+
+uint64_t
+WireReader::u64()
+{
+    if (off + 8 > len)
+        throw WireError("payload truncated (u64)");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[off + i]) << (8 * i);
+    off += 8;
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    uint32_t n = u32();
+    if (off + n > len)
+        throw WireError("payload truncated (string of " +
+                        std::to_string(n) + " bytes)");
+    std::string s(reinterpret_cast<const char *>(p + off), n);
+    off += n;
+    return s;
+}
+
+void
+WireReader::expectEnd(const char *what) const
+{
+    if (off != len)
+        throw WireError(std::string(what) + " payload has " +
+                        std::to_string(len - off) + " trailing bytes");
+}
+
+bool
+readFrame(int fd, Frame &out)
+{
+    uint8_t hdr[kHeaderLen];
+    size_t got = readFull(fd, hdr, kHeaderLen);
+    if (got == 0)
+        return false; // clean EOF between frames
+    if (got < kHeaderLen)
+        throw WireError("connection closed mid-header");
+    uint32_t plen = 0;
+    for (int i = 0; i < 4; ++i)
+        plen |= static_cast<uint32_t>(hdr[i]) << (8 * i);
+    uint8_t type = hdr[4];
+    uint8_t version = hdr[5];
+    if (version != kProtocolVersion)
+        throw WireError("protocol version " + std::to_string(version) +
+                        " (this build speaks " +
+                        std::to_string(kProtocolVersion) + ")");
+    if (plen > kMaxFrameLen)
+        throw WireError("frame payload of " + std::to_string(plen) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxFrameLen) + " limit");
+    out.type = static_cast<FrameType>(type);
+    out.payload.resize(plen);
+    if (plen && readFull(fd, out.payload.data(), plen) != plen)
+        throw WireError("connection closed mid-payload");
+    return true;
+}
+
+void
+writeFrame(int fd, FrameType type, const std::vector<uint8_t> &payload)
+{
+    uint8_t hdr[kHeaderLen];
+    uint32_t plen = static_cast<uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        hdr[i] = static_cast<uint8_t>(plen >> (8 * i));
+    hdr[4] = static_cast<uint8_t>(type);
+    hdr[5] = static_cast<uint8_t>(kProtocolVersion);
+    hdr[6] = 0;
+    hdr[7] = 0;
+    writeFull(fd, hdr, kHeaderLen);
+    if (!payload.empty())
+        writeFull(fd, payload.data(), payload.size());
+}
+
+const char *
+rejectCodeName(RejectCode c)
+{
+    switch (c) {
+    case RejectCode::QueueFull:
+        return "queue_full";
+    case RejectCode::TenantQuota:
+        return "tenant_quota";
+    case RejectCode::Draining:
+        return "draining";
+    case RejectCode::BadRequest:
+        return "bad_request";
+    }
+    return "unknown";
+}
+
+const char *
+jobPhaseName(JobPhase p)
+{
+    switch (p) {
+    case JobPhase::Queued:
+        return "queued";
+    case JobPhase::Running:
+        return "running";
+    case JobPhase::Preempted:
+        return "preempted";
+    case JobPhase::Resumed:
+        return "resumed";
+    case JobPhase::Retrying:
+        return "retrying";
+    }
+    return "unknown";
+}
+
+std::vector<uint8_t>
+encodeHello(const Hello &m)
+{
+    WireWriter w;
+    w.u32(m.version);
+    w.str(m.tenant);
+    return std::move(w.buf);
+}
+
+Hello
+decodeHello(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    Hello m;
+    m.version = r.u32();
+    m.tenant = r.str();
+    r.expectEnd("Hello");
+    return m;
+}
+
+std::vector<uint8_t>
+encodeHelloAck(const HelloAck &m)
+{
+    WireWriter w;
+    w.u32(m.version);
+    w.u32(m.queueDepth);
+    w.u32(m.tenantQuota);
+    w.str(m.serverName);
+    return std::move(w.buf);
+}
+
+HelloAck
+decodeHelloAck(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    HelloAck m;
+    m.version = r.u32();
+    m.queueDepth = r.u32();
+    m.tenantQuota = r.u32();
+    m.serverName = r.str();
+    r.expectEnd("HelloAck");
+    return m;
+}
+
+std::vector<uint8_t>
+encodeSubmit(const JobSpec &m)
+{
+    WireWriter w;
+    w.str(m.name);
+    w.str(m.isa);
+    w.str(m.kernel);
+    w.u64(m.param);
+    w.str(m.buildset);
+    w.u8(m.useInterp ? 1 : 0);
+    w.u64(m.maxInstrs);
+    w.u64(m.sliceInstrs);
+    w.u8(m.coldStats ? 1 : 0);
+    w.u8(m.strictSyscalls ? 1 : 0);
+    w.u64(m.profileStride);
+    w.u64(m.deadlineNs);
+    w.u32(m.maxAttempts);
+    return std::move(w.buf);
+}
+
+JobSpec
+decodeSubmit(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    JobSpec m;
+    m.name = r.str();
+    m.isa = r.str();
+    m.kernel = r.str();
+    m.param = r.u64();
+    m.buildset = r.str();
+    m.useInterp = r.u8() != 0;
+    m.maxInstrs = r.u64();
+    m.sliceInstrs = r.u64();
+    m.coldStats = r.u8() != 0;
+    m.strictSyscalls = r.u8() != 0;
+    m.profileStride = r.u64();
+    m.deadlineNs = r.u64();
+    m.maxAttempts = r.u32();
+    r.expectEnd("Submit");
+    return m;
+}
+
+std::vector<uint8_t>
+encodeAccept(uint64_t job_id)
+{
+    WireWriter w;
+    w.u64(job_id);
+    return std::move(w.buf);
+}
+
+uint64_t
+decodeAccept(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    uint64_t id = r.u64();
+    r.expectEnd("Accept");
+    return id;
+}
+
+std::vector<uint8_t>
+encodeReject(const Reject &m)
+{
+    WireWriter w;
+    w.u32(static_cast<uint32_t>(m.code));
+    w.str(m.reason);
+    return std::move(w.buf);
+}
+
+Reject
+decodeReject(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    Reject m;
+    m.code = static_cast<RejectCode>(r.u32());
+    m.reason = r.str();
+    r.expectEnd("Reject");
+    return m;
+}
+
+std::vector<uint8_t>
+encodeStatus(const JobStatus &m)
+{
+    WireWriter w;
+    w.u64(m.jobId);
+    w.u8(static_cast<uint8_t>(m.phase));
+    w.u32(m.attempt);
+    w.u64(m.instrsDone);
+    return std::move(w.buf);
+}
+
+JobStatus
+decodeStatus(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    JobStatus m;
+    m.jobId = r.u64();
+    m.phase = static_cast<JobPhase>(r.u8());
+    m.attempt = r.u32();
+    m.instrsDone = r.u64();
+    r.expectEnd("Status");
+    return m;
+}
+
+std::vector<uint8_t>
+encodeResult(const JobResult &m)
+{
+    WireWriter w;
+    w.u64(m.jobId);
+    w.str(m.name);
+    w.u8(m.quarantined ? 1 : 0);
+    w.u8(static_cast<uint8_t>(m.runStatus));
+    w.u64(m.instrs);
+    w.u64(m.stateHash);
+    w.u64(m.ns);
+    w.str(m.output);
+    w.u8(static_cast<uint8_t>(m.errorKind));
+    w.str(m.error);
+    w.u32(m.attempts);
+    w.u64(m.preemptions);
+    // IfaceCounters: the eight fields, fixed order (docs/SERVICE.md).
+    w.u64(m.counters.executeCalls);
+    w.u64(m.counters.executeBlockCalls);
+    w.u64(m.counters.stepCalls);
+    w.u64(m.counters.customCalls);
+    w.u64(m.counters.fastForwardCalls);
+    w.u64(m.counters.undoCalls);
+    w.u64(m.counters.instrs);
+    w.u64(m.counters.undoneInstrs);
+    w.str(m.statsDump);
+    // Flight-recorder tail: count + 32-byte events in FrEvent field
+    // order (tsNs, a0, a1, id, type, phase, pad).
+    w.u32(static_cast<uint32_t>(m.frTail.size()));
+    for (const obs::FrEvent &ev : m.frTail) {
+        w.u64(ev.tsNs);
+        w.u64(ev.a0);
+        w.u64(ev.a1);
+        w.u32(ev.id);
+        w.u8(static_cast<uint8_t>(ev.type));
+        w.u8(static_cast<uint8_t>(ev.phase));
+        w.u8(0);
+        w.u8(0);
+    }
+    return std::move(w.buf);
+}
+
+JobResult
+decodeResult(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    JobResult m;
+    m.jobId = r.u64();
+    m.name = r.str();
+    m.quarantined = r.u8() != 0;
+    m.runStatus = static_cast<RunStatus>(r.u8());
+    m.instrs = r.u64();
+    m.stateHash = r.u64();
+    m.ns = r.u64();
+    m.output = r.str();
+    m.errorKind = static_cast<ErrorKind>(r.u8());
+    m.error = r.str();
+    m.attempts = r.u32();
+    m.preemptions = r.u64();
+    m.counters.executeCalls = r.u64();
+    m.counters.executeBlockCalls = r.u64();
+    m.counters.stepCalls = r.u64();
+    m.counters.customCalls = r.u64();
+    m.counters.fastForwardCalls = r.u64();
+    m.counters.undoCalls = r.u64();
+    m.counters.instrs = r.u64();
+    m.counters.undoneInstrs = r.u64();
+    m.statsDump = r.str();
+    uint32_t tail = r.u32();
+    m.frTail.reserve(tail);
+    for (uint32_t i = 0; i < tail; ++i) {
+        obs::FrEvent ev;
+        ev.tsNs = r.u64();
+        ev.a0 = r.u64();
+        ev.a1 = r.u64();
+        ev.id = r.u32();
+        ev.type = static_cast<obs::EvType>(r.u8());
+        ev.phase = static_cast<obs::EvPhase>(r.u8());
+        r.u8();
+        r.u8();
+        m.frTail.push_back(ev);
+    }
+    r.expectEnd("Result");
+    return m;
+}
+
+std::vector<uint8_t>
+encodeStatsz(const std::string &json)
+{
+    WireWriter w;
+    w.str(json);
+    return std::move(w.buf);
+}
+
+std::string
+decodeStatsz(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    std::string s = r.str();
+    r.expectEnd("Statsz");
+    return s;
+}
+
+} // namespace onespec::service

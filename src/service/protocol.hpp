@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The onespec service wire protocol: a small, versioned, length-prefixed
+ * frame format spoken over a Unix-domain stream socket between
+ * `onespec-sub` (client) and `onespec-served` (daemon).  The byte-level
+ * layout is normative in docs/SERVICE.md; this header is its one
+ * implementation, used by both sides so they can never drift.
+ *
+ * Every frame is
+ *
+ *     u32 payload_len | u8 type | u8 version | u16 reserved | payload
+ *
+ * with all multi-byte fields little-endian, written byte-by-byte exactly
+ * like the checkpoint container code, so the format is host-endianness
+ * independent.  Strings travel as u32 length + raw bytes.  A frame with
+ * a bad version, an unknown type in a context that requires one, or a
+ * payload that under- or over-runs its declared length raises WireError
+ * (a GuestError: the *peer* supplied bad bytes, so the connection is
+ * dropped and the process survives).
+ */
+
+#ifndef ONESPEC_SERVICE_PROTOCOL_HPP
+#define ONESPEC_SERVICE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iface/functional_simulator.hpp"
+#include "obs/flight_recorder.hpp"
+#include "support/sim_error.hpp"
+
+namespace onespec::service {
+
+/** Protocol version this build speaks (checked in Hello/HelloAck). */
+constexpr uint32_t kProtocolVersion = 1;
+
+/** Upper bound on a frame payload; anything larger is a damaged or
+ *  hostile peer, not a real message. */
+constexpr uint32_t kMaxFrameLen = 64u << 20;
+
+/** Malformed bytes from the peer (truncated frame, bad version, string
+ *  overrun).  GuestError class: drop the connection, not the process. */
+class WireError : public GuestError
+{
+  public:
+    explicit WireError(const std::string &msg) : GuestError("wire", msg) {}
+};
+
+/** Frame types (docs/SERVICE.md, "Frame types"). */
+enum class FrameType : uint8_t
+{
+    Hello = 1,       ///< client -> daemon: version + tenant name
+    HelloAck = 2,    ///< daemon -> client: version + limits
+    Submit = 3,      ///< client -> daemon: one JobSpec
+    Accept = 4,      ///< daemon -> client: job admitted, here is its id
+    Reject = 5,      ///< daemon -> client: admission refused + reason
+    Status = 6,      ///< daemon -> client: job phase change (streamed)
+    Result = 7,      ///< daemon -> client: final job outcome (streamed)
+    StatszReq = 8,   ///< client -> daemon: dump service stats
+    Statsz = 9,      ///< daemon -> client: service stats as JSON text
+    Shutdown = 10,   ///< client -> daemon: drain and exit
+    ShutdownAck = 11 ///< daemon -> client: drained; exiting
+};
+
+/** One parsed frame. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::vector<uint8_t> payload;
+};
+
+// ---------------------------------------------------------------- wire IO
+
+/**
+ * Read one frame (blocking).  Returns false on clean EOF before any
+ * header byte; throws WireError on a truncated header/payload, a
+ * version mismatch, or an oversized payload.
+ */
+bool readFrame(int fd, Frame &out);
+
+/** Write one frame (full-write loop, EINTR-safe).  Throws WireError if
+ *  the peer went away mid-write. */
+void writeFrame(int fd, FrameType type,
+                const std::vector<uint8_t> &payload);
+
+// ------------------------------------------------------------- primitives
+
+/** Little-endian payload builder. */
+struct WireWriter
+{
+    std::vector<uint8_t> buf;
+
+    void u8(uint8_t v) { buf.push_back(v); }
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void str(const std::string &s);
+};
+
+/** Little-endian payload parser; every read is bounds-checked. */
+struct WireReader
+{
+    const uint8_t *p;
+    size_t len;
+    size_t off = 0;
+
+    explicit WireReader(const std::vector<uint8_t> &bytes)
+        : p(bytes.data()), len(bytes.size())
+    {}
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    std::string str();
+    bool atEnd() const { return off == len; }
+    /** Throw WireError unless the payload was consumed exactly. */
+    void expectEnd(const char *what) const;
+};
+
+// ---------------------------------------------------------------- messages
+
+struct Hello
+{
+    uint32_t version = kProtocolVersion;
+    std::string tenant;
+};
+
+struct HelloAck
+{
+    uint32_t version = kProtocolVersion;
+    uint32_t queueDepth = 0;   ///< daemon's admission bound
+    uint32_t tenantQuota = 0;  ///< per-tenant in-flight bound
+    std::string serverName;    ///< "onespec-served"
+};
+
+/** One submitted job: what FleetJob carries, by name instead of by
+ *  pointer (the daemon resolves ISA/kernel through its warm caches). */
+struct JobSpec
+{
+    std::string name;       ///< label for reports ("alpha64/fib")
+    std::string isa;        ///< shipped ISA name
+    std::string kernel;     ///< workload kernel name
+    uint64_t param = 1000;  ///< kernel scale parameter
+    std::string buildset = "BlockMinNo";
+    bool useInterp = false; ///< interpreter back end instead of generated
+    uint64_t maxInstrs = ~uint64_t{0};
+    /**
+     * Preemption slice in retired instructions; 0 uses the daemon's
+     * default (which may be "never preempt").  A job past its slice is
+     * checkpointed into the daemon's store, requeued, and resumed on any
+     * worker; final stats are bit-identical to an unpreempted sliced run
+     * (docs/SERVICE.md, "Preemption").
+     */
+    uint64_t sliceInstrs = 0;
+    /**
+     * Force cold simulator caches even when the warm pool holds a
+     * context that last ran this exact program image.  Cold stats make
+     * the per-job decode/block-cache counters a pure function of the
+     * job -- the bench's identity mode; leave false for throughput.
+     */
+    bool coldStats = false;
+    bool strictSyscalls = false;
+    uint64_t profileStride = 0; ///< deterministic hot-PC profiling; 0 off
+    uint64_t deadlineNs = 0;    ///< watchdog over *active* run time; 0 off
+    uint32_t maxAttempts = 1;   ///< tries incl. first (ResourceError only)
+};
+
+/** Why admission refused a Submit. */
+enum class RejectCode : uint32_t
+{
+    QueueFull = 1,   ///< bounded queue at capacity
+    TenantQuota = 2, ///< tenant already has quota jobs in flight
+    Draining = 3,    ///< daemon is shutting down
+    BadRequest = 4,  ///< unknown ISA or malformed spec
+};
+
+const char *rejectCodeName(RejectCode c);
+
+struct Reject
+{
+    RejectCode code = RejectCode::BadRequest;
+    std::string reason;
+};
+
+/** Job lifecycle phases streamed as Status frames. */
+enum class JobPhase : uint8_t
+{
+    Queued = 0,
+    Running = 1,
+    Preempted = 2, ///< checkpointed to the store and requeued
+    Resumed = 3,   ///< restored from the store on a (possibly new) worker
+    Retrying = 4,  ///< ResourceError; will run again after backoff
+};
+
+const char *jobPhaseName(JobPhase p);
+
+struct JobStatus
+{
+    uint64_t jobId = 0;
+    JobPhase phase = JobPhase::Queued;
+    uint32_t attempt = 1;
+    uint64_t instrsDone = 0;
+};
+
+/** Final outcome of one job, streamed as a Result frame. */
+struct JobResult
+{
+    uint64_t jobId = 0;
+    std::string name;
+    bool quarantined = false;
+    RunStatus runStatus = RunStatus::Ok;
+    uint64_t instrs = 0;
+    uint64_t stateHash = 0;
+    uint64_t ns = 0;            ///< active run time (excludes queueing)
+    std::string output;         ///< bytes the job wrote to stdout
+    ErrorKind errorKind = ErrorKind::None;
+    std::string error;
+    uint32_t attempts = 1;
+    uint64_t preemptions = 0;   ///< times checkpointed + requeued
+    IfaceCounters counters;     ///< accumulated across slices
+    /** Deterministic text dump of the job's stats registry -- the
+     *  bit-identity artifact the bench compares against SimFleet. */
+    std::string statsDump;
+    /** Quarantine postmortem: the worker's flight-recorder tail at the
+     *  moment of failure (empty unless the recorder was armed). */
+    std::vector<obs::FrEvent> frTail;
+};
+
+// Encoders build a full payload; decoders validate exact consumption.
+std::vector<uint8_t> encodeHello(const Hello &m);
+Hello decodeHello(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeHelloAck(const HelloAck &m);
+HelloAck decodeHelloAck(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeSubmit(const JobSpec &m);
+JobSpec decodeSubmit(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeAccept(uint64_t job_id);
+uint64_t decodeAccept(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeReject(const Reject &m);
+Reject decodeReject(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeStatus(const JobStatus &m);
+JobStatus decodeStatus(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeResult(const JobResult &m);
+JobResult decodeResult(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeStatsz(const std::string &json);
+std::string decodeStatsz(const std::vector<uint8_t> &payload);
+
+} // namespace onespec::service
+
+#endif // ONESPEC_SERVICE_PROTOCOL_HPP

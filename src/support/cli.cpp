@@ -1,0 +1,30 @@
+#include "support/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/sim_error.hpp"
+
+namespace onespec::cli {
+
+int
+quarantineExitCode(unsigned quarantined)
+{
+    return static_cast<int>(
+        std::min(quarantined, static_cast<unsigned>(kQuarantineExitCap)));
+}
+
+int
+runCliMain(const char *tool, const std::function<int()> &real_main)
+{
+    try {
+        return real_main();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "%s: fatal (%s/%s): %s\n", tool,
+                     errorKindName(e.kind()), e.context().c_str(),
+                     e.what());
+        return kExitFatal;
+    }
+}
+
+} // namespace onespec::cli

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The shared CLI exit-code contract (normative in docs/ROBUSTNESS.md,
+ * "CLI exit codes").  Every OneSpec executable reports contained
+ * failures the same way:
+ *
+ *   0..100   success; fleet-shaped tools return the quarantined-job
+ *            count, capped at kQuarantineExitCap
+ *   101      usage error (bad flags / arguments)
+ *   102      fatal SimError: the run as a whole was unbuildable or the
+ *            command failed (bad description file, damaged checkpoint,
+ *            unreachable daemon, ...)
+ *
+ * runCliMain() is the one place a SimError escaping a tool's real main
+ * is turned into the uniform "tool: fatal (kind/context): message"
+ * stderr line and exit code 102 -- so `onespec-fleet`, `onespec-ckpt`,
+ * `lisc`, `onespec-served`, and `onespec-sub` can never drift apart in
+ * how they report the taxonomy of support/sim_error.hpp.
+ */
+
+#ifndef ONESPEC_SUPPORT_CLI_HPP
+#define ONESPEC_SUPPORT_CLI_HPP
+
+#include <functional>
+
+namespace onespec::cli {
+
+/** Fleet-shaped tools exit with min(quarantined jobs, this cap). */
+constexpr int kQuarantineExitCap = 100;
+/** Bad flags or arguments (the tool printed usage). */
+constexpr int kExitUsage = 101;
+/** A SimError escaped the tool's main: nothing (or not everything)
+ *  was run. */
+constexpr int kExitFatal = 102;
+
+/** Clamp a quarantined-job count into the 0..kQuarantineExitCap band. */
+int quarantineExitCode(unsigned quarantined);
+
+/**
+ * Run @p real_main under the shared contract: a SimError propagating out
+ * is reported to stderr as "<tool>: fatal (<kind>/<context>): <message>"
+ * and becomes kExitFatal.  Anything else (a panic, std::bad_alloc)
+ * stays fatal-by-termination -- those are process bugs, not contained
+ * input failures, and must not be laundered into an exit code.
+ */
+int runCliMain(const char *tool, const std::function<int()> &real_main);
+
+} // namespace onespec::cli
+
+#endif // ONESPEC_SUPPORT_CLI_HPP

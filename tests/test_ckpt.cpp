@@ -8,6 +8,7 @@
  */
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -844,6 +845,121 @@ TEST_F(CkptTest, CkptParallelSamplingBitIdenticalToSerialSampling)
         for (size_t i = 1; i < par.checkpoints.size(); ++i)
             EXPECT_TRUE(par.checkpoints[i].delta) << "window " << i;
     }
+}
+
+// ---------------------------------------------------------------------
+// Store garbage collection (onespec-ckpt gc)
+// ---------------------------------------------------------------------
+
+TEST_F(CkptTest, GcDeletesOnlyUnreferencedBlobs)
+{
+    auto dir = freshDir("onespec_test_store_gc");
+    ckpt::CkptStore store(dir.string());
+
+    // Two checkpoints with mostly-different content: the second is taken
+    // deeper into the run plus from a different program, so removing the
+    // first leaves real orphan blobs behind.
+    SimContext ctxA(*spec_);
+    auto simA = runTo(ctxA, 10'000);
+    ASSERT_NE(simA, nullptr);
+    ckpt::Checkpoint ckA = ckpt::capture(ctxA);
+    SimContext ctxB(*spec_);
+    auto simB = runTo(ctxB, 400, *other_);
+    ASSERT_NE(simB, nullptr);
+    ckpt::Checkpoint ckB = ckpt::capture(ctxB);
+    store.save("keep", ckB);
+    store.save("drop", ckA);
+
+    // Everything referenced: gc is a no-op however often it runs.
+    ckpt::CkptStore::GcStats s0 = store.gc();
+    EXPECT_EQ(s0.containers, 2u);
+    EXPECT_EQ(s0.blobsDeleted, 0u);
+    EXPECT_EQ(s0.bytesReclaimed, 0u);
+    EXPECT_EQ(s0.danglingRefs, 0u);
+
+    ASSERT_TRUE(store.removeCheckpoint("drop"));
+    const uint64_t blobsBefore = store.pageBlobCount();
+    const uint64_t bytesBefore = store.pageBlobBytes();
+
+    // Dry run counts the garbage but deletes nothing.
+    ckpt::CkptStore::GcStats dry = store.gc(/*dry_run=*/true);
+    EXPECT_GT(dry.blobsDeleted, 0u);
+    EXPECT_GT(dry.bytesReclaimed, 0u);
+    EXPECT_EQ(store.pageBlobCount(), blobsBefore);
+    EXPECT_EQ(store.pageBlobBytes(), bytesBefore);
+
+    // The real sweep reclaims exactly what the dry run promised, and
+    // the surviving checkpoint still loads bit-identically.
+    ckpt::CkptStore::GcStats wet = store.gc();
+    EXPECT_EQ(wet.blobsDeleted, dry.blobsDeleted);
+    EXPECT_EQ(wet.bytesReclaimed, dry.bytesReclaimed);
+    EXPECT_EQ(store.pageBlobCount(), blobsBefore - wet.blobsDeleted);
+    EXPECT_EQ(store.pageBlobBytes(), bytesBefore - wet.bytesReclaimed);
+    ckpt::Checkpoint rt = store.load("keep");
+    EXPECT_EQ(rt.id, ckB.id);
+    ASSERT_EQ(rt.pages.size(), ckB.pages.size());
+    for (size_t i = 0; i < ckB.pages.size(); ++i)
+        EXPECT_EQ(rt.pages[i].bytes, ckB.pages[i].bytes);
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(CkptTest, GcCountsDanglingRefsWithoutDeleting)
+{
+    auto dir = freshDir("onespec_test_store_gc_dangle");
+    ckpt::CkptStore store(dir.string());
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+    store.save("ck", ck);
+
+    // Fixture: delete one referenced blob behind the store's back, as a
+    // crashed writer or an over-eager operator might.
+    ASSERT_FALSE(ck.pages.empty());
+    const auto &pg = ck.pages.front().bytes;
+    std::string victim =
+        store.pagePath(ckpt::fnv1a(pg.data(), pg.size()));
+    ASSERT_TRUE(std::filesystem::remove(victim)) << victim;
+    const uint64_t blobsBefore = store.pageBlobCount();
+
+    // The sweep reports the damage precisely and deletes nothing that
+    // is still referenced (there is no unreferenced garbage here).
+    ckpt::CkptStore::GcStats s = store.gc();
+    EXPECT_GE(s.danglingRefs, 1u);
+    EXPECT_EQ(s.blobsDeleted, 0u);
+    EXPECT_EQ(store.pageBlobCount(), blobsBefore);
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(CkptTest, GcAbortsBeforeDeletingWhenAContainerIsDamaged)
+{
+    auto dir = freshDir("onespec_test_store_gc_damaged");
+    ckpt::CkptStore store(dir.string());
+    SimContext ctx(*spec_);
+    auto sim = runTo(ctx, 10'000);
+    ASSERT_NE(sim, nullptr);
+    ckpt::Checkpoint ck = ckpt::capture(ctx);
+    store.save("good", ck);
+    store.save("bad", ck);
+    ASSERT_TRUE(store.removeCheckpoint("good")); // make real garbage
+
+    // Flip one payload byte in the surviving container: its references
+    // can no longer be trusted, so gc must refuse to delete anything.
+    auto path = store.ckptPath("bad");
+    auto bytes = [&] {
+        std::ifstream in(path, std::ios::binary);
+        return std::vector<char>(std::istreambuf_iterator<char>(in), {});
+    }();
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] ^= 0x01;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    const uint64_t blobsBefore = store.pageBlobCount();
+    EXPECT_THROW((void)store.gc(), ckpt::CkptError);
+    EXPECT_EQ(store.pageBlobCount(), blobsBefore);
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -74,6 +74,52 @@ TEST(ThreadPool, WaitIsReusableAcrossBatches)
     }
 }
 
+TEST(ThreadPool, ResizeDrainsThenRebuildsAtEveryWidth)
+{
+    // Drain-and-resize between batches (the service daemon's pattern:
+    // dispatcher paused, pool quiescent).  Every task submitted before a
+    // resize must have fully finished before it, and batches after the
+    // resize run at the new width.  Carries the tsan label via the
+    // test_fleet suite: re-run under -DONESPEC_SANITIZE=thread.
+    ThreadPool pool(1);
+    std::atomic<int> n{0};
+    int expected = 0;
+    auto submitBatch = [&] {
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&n] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                n.fetch_add(1);
+            });
+        expected += 32;
+    };
+    for (unsigned width : {4u, 1u, 2u, 3u}) {
+        submitBatch();
+        pool.resize(width); // implies wait(): the batch is done after
+        EXPECT_EQ(n.load(), expected) << "resize to " << width
+                                      << " lost or duplicated tasks";
+        EXPECT_EQ(pool.size(), width);
+    }
+    // Same-width resize is a documented no-op: it neither drains nor
+    // rebuilds, so the batch is only done after an explicit wait().
+    submitBatch();
+    pool.resize(3);
+    pool.wait();
+    EXPECT_EQ(n.load(), expected);
+    EXPECT_EQ(pool.size(), 3u);
+    // The rebuilt pool still spreads work across its new workers.
+    std::set<std::thread::id> seen;
+    std::mutex m;
+    for (int i = 0; i < 48; ++i)
+        pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            std::lock_guard<std::mutex> lock(m);
+            seen.insert(std::this_thread::get_id());
+        });
+    pool.wait();
+    EXPECT_GE(seen.size(), 2u) << "post-resize pool never used a second "
+                                  "worker";
+}
+
 // ---------------------------------------------------------------------
 // SimFleet determinism
 // ---------------------------------------------------------------------

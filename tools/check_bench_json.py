@@ -594,6 +594,63 @@ class Checker:
                 self.fail(f"{gwhere}: pc buckets sum to {total}, "
                           f"samples={gs}")
 
+    # -- service daemon --------------------------------------------------
+
+    def check_service(self, doc):
+        results = doc.get("results")
+        if not isinstance(results, dict) or "service" not in results:
+            return
+        svc = results["service"]
+        if not isinstance(svc, dict):
+            self.fail("results.service: not an object")
+            return
+
+        num = (int, float)
+        where = "service"
+        jps = self.expect(svc, "jobs_per_sec", num, where)
+        p50 = self.expect(svc, "p50_ms", num, where)
+        p99 = self.expect(svc, "p99_ms", num, where)
+        submitted = self.expect(svc, "submitted", (int,), where)
+        completed = self.expect(svc, "completed", (int,), where)
+        rejected = self.expect(svc, "rejected", (int,), where)
+        quarantined = self.expect(svc, "quarantined", (int,), where)
+        preempted = self.expect(svc, "preempted", (int,), where)
+        resumed = self.expect(svc, "resumed", (int,), where)
+        self.expect(svc, "workers", (int,), where)
+        self.expect(svc, "queue_depth", (int,), where)
+        if self.errors:
+            return
+
+        # The whole point of the service bench: a daemon in the path --
+        # admission queue, warm pool, checkpoint preemption -- must not
+        # change one bit of any job's results or stats.
+        if svc.get("identity") is not True:
+            self.fail(f"{where}: daemon results are not bit-identical "
+                      f"to the one-shot SimFleet run")
+        self.note(f"service: {jps:.1f} jobs/s, p50 {p50:.2f} ms, "
+                  f"p99 {p99:.2f} ms, {submitted} submitted "
+                  f"({rejected} rejected, {quarantined} quarantined, "
+                  f"{preempted} preempted)")
+        if jps <= 0:
+            self.fail(f"{where}: jobs_per_sec must be positive, got {jps}")
+        if p50 < 0 or p99 < 0 or p50 > p99:
+            self.fail(f"{where}: latency quantiles out of order "
+                      f"(p50={p50}, p99={p99})")
+        # Admission accounting: every submitted job is accounted for
+        # exactly once -- rejected at the door, completed, or
+        # quarantined.  (Rejections are host-speed-dependent and may
+        # legitimately be zero; identity-phase jobs never reject.)
+        if completed + rejected + quarantined != submitted:
+            self.fail(f"{where}: completed({completed}) + "
+                      f"rejected({rejected}) + "
+                      f"quarantined({quarantined}) != "
+                      f"submitted({submitted})")
+        # The identity batch slices one job per ISA hard enough to
+        # round-trip the checkpoint store several times.
+        if preempted < 1 or resumed < 1:
+            self.fail(f"{where}: expected preemptions in the identity "
+                      f"batch (preempted={preempted}, resumed={resumed})")
+
     # -- distribution shape ----------------------------------------------
 
     def check_distributions(self, doc):
@@ -648,6 +705,7 @@ class Checker:
         self.check_ckpt_sampling(doc)
         self.check_fault_containment(doc)
         self.check_trace_overhead(doc)
+        self.check_service(doc)
         self.check_distributions(doc)
         return not self.errors
 

@@ -11,8 +11,11 @@
  *   onespec-ckpt restore root.ckpt [delta.ckpt ...] --isa A --kernel K
  *       restore the chain into a fresh context, resume to completion,
  *       and check the kernel's golden output
+ *   onespec-ckpt gc --store DIR        delete unreferenced page blobs
  *
- * Exit status: 0 success, 1 failed validation/run, 2 usage error.
+ * Exit status follows the shared CLI contract (support/cli.hpp,
+ * docs/ROBUSTNESS.md): 0 success, 1 failed validation/run or a gc sweep
+ * that found dangling references, 101 usage error, 102 fatal SimError.
  */
 
 #include <cstdio>
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "support/cli.hpp"
 #include "ckpt/store.hpp"
 #include "iface/registry.hpp"
 #include "isa/isa.hpp"
@@ -48,6 +52,8 @@ usage()
         "  verify <file.ckpt>             validate CRCs and content hash\n"
         "  restore <root> [deltas...]     restore chain, run to halt,\n"
         "                                 check golden output\n"
+        "  gc                             sweep --store: delete page\n"
+        "                                 blobs no container references\n"
         "options:\n"
         "  --isa NAME        ISA description (default alpha64)\n"
         "  --kernel NAME     workload kernel (default fib)\n"
@@ -62,8 +68,10 @@ usage()
         "                    blobs there (container holds references);\n"
         "                    info/verify/restore resolve references\n"
         "  --compress        write the OSPCKPT2 container (the default)\n"
-        "  --v1              write the legacy raw OSPCKPT1 container\n");
-    return 2;
+        "  --v1              write the legacy raw OSPCKPT1 container\n"
+        "  --dry-run         gc: count reclaimable blobs, delete "
+        "nothing\n");
+    return cli::kExitUsage;
 }
 
 struct Options
@@ -80,6 +88,7 @@ struct Options
     bool stats = false;
     std::string store;          ///< content-addressed store directory
     bool v1 = false;            ///< write the legacy raw container
+    bool dryRun = false;        ///< gc: count only
 };
 
 /** Encode policy from the flags; opens the store lazily. */
@@ -103,10 +112,8 @@ makeSim(SimContext &ctx, const Options &opt)
         return makeInterpSimulator(ctx, opt.buildset);
     auto sim = SimRegistry::instance().create(ctx, opt.buildset);
     if (!sim) {
-        std::fprintf(stderr,
-                     "onespec-ckpt: no generated simulator for %s/%s\n",
-                     opt.isa.c_str(), opt.buildset.c_str());
-        std::exit(1);
+        throw SpecError("ckpt", "no generated simulator for " + opt.isa +
+                                    "/" + opt.buildset);
     }
     return sim;
 }
@@ -158,7 +165,7 @@ cmdSave(const Options &opt)
         if (target <= opt.at) {
             std::fprintf(stderr, "onespec-ckpt: --delta-at must be past "
                                  "--at\n");
-            return 2;
+            return cli::kExitUsage;
         }
         RunResult r2 = sim->run(target - opt.at);
         if (r2.status != RunStatus::Ok) {
@@ -364,6 +371,36 @@ cmdRestore(const std::vector<std::string> &paths, const Options &opt)
     return (r.status == RunStatus::Halted && outputOk) ? 0 : 1;
 }
 
+int
+cmdGc(const Options &opt)
+{
+    if (opt.store.empty()) {
+        std::fprintf(stderr, "onespec-ckpt: gc needs --store DIR\n");
+        return usage();
+    }
+    ckpt::CkptStore store(opt.store);
+    ckpt::CkptStore::GcStats st = store.gc(opt.dryRun);
+    std::printf("%s %s: %llu containers holding %llu page refs\n",
+                opt.dryRun ? "gc dry-run of" : "gc of", opt.store.c_str(),
+                static_cast<unsigned long long>(st.containers),
+                static_cast<unsigned long long>(st.refs));
+    std::printf("  scanned %llu blobs, %s %llu unreferenced "
+                "(%llu bytes %s)\n",
+                static_cast<unsigned long long>(st.blobsScanned),
+                opt.dryRun ? "would delete" : "deleted",
+                static_cast<unsigned long long>(st.blobsDeleted),
+                static_cast<unsigned long long>(st.bytesReclaimed),
+                opt.dryRun ? "reclaimable" : "reclaimed");
+    if (st.danglingRefs) {
+        // The sweep cannot repair these; surface them for scripts.
+        std::printf("  WARNING: %llu dangling refs (containers naming "
+                    "blobs that no longer exist)\n",
+                    static_cast<unsigned long long>(st.danglingRefs));
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -403,6 +440,8 @@ main(int argc, char **argv)
             opt.v1 = false; // v2 is the default; flag kept for scripts
         } else if (std::strcmp(argv[i], "--v1") == 0) {
             opt.v1 = true;
+        } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+            opt.dryRun = true;
         } else if (argv[i][0] == '-') {
             return usage();
         } else {
@@ -410,7 +449,10 @@ main(int argc, char **argv)
         }
     }
 
-    try {
+    // CkptError and every other contained failure (bad description,
+    // unknown kernel, damaged container) propagate into the shared
+    // handler: uniform "fatal (kind/context)" report, exit 102.
+    return cli::runCliMain("onespec-ckpt", [&]() -> int {
         if (cmd == "save") {
             if (files.size() != 1)
                 return usage();
@@ -432,11 +474,11 @@ main(int argc, char **argv)
                 return usage();
             return cmdRestore(files, opt);
         }
+        if (cmd == "gc") {
+            if (!files.empty())
+                return usage();
+            return cmdGc(opt);
+        }
         return usage();
-    } catch (const SimError &e) {
-        // CkptError and every other contained failure (bad description,
-        // unknown kernel) land here; CLI contract stays "exit 1".
-        std::fprintf(stderr, "onespec-ckpt: %s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -20,8 +20,9 @@
  * buckets land under fleet.<isa>.<buildset>.profile in --stats output.
  *
  * Failed jobs are quarantined (structured error records), healthy jobs
- * complete, and the exit code is the quarantined-job count (capped at
- * 100; 101+ reserved for usage errors).
+ * complete, and the exit code is the quarantined-job count under the
+ * shared CLI contract (support/cli.hpp, docs/ROBUSTNESS.md): capped at
+ * 100, with 101 for usage errors and 102 for a fatal SimError.
  */
 
 #include <algorithm>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "isa/isa.hpp"
+#include "support/cli.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/timeline.hpp"
 #include "parallel/fleet.hpp"
@@ -90,7 +92,7 @@ usage()
         "(default 64)\n"
         "  --poison IDX    give job IDX a nonexistent buildset "
         "(quarantine demo/testing aid)\n");
-    return 101;
+    return cli::kExitUsage;
 }
 
 /** Fixed-width postmortem print of one flight-recorder tail event. */
@@ -284,9 +286,9 @@ realMain(int argc, char **argv)
             labels.jobNames.push_back(j.name);
         std::string err;
         if (!obs::exportChromeTrace(trace_out, labels, &err)) {
-            std::fprintf(stderr, "onespec-fleet: trace export failed: "
-                         "%s\n", err.c_str());
-            return 102;
+            // Host-side IO failure after the batch ran: ResourceError
+            // class, routed through the shared fatal path.
+            throw ResourceError("fleet", "trace export failed: " + err);
         }
         std::printf("\nwrote trace %s (%llu events recorded, %llu "
                     "dropped)\n",
@@ -301,21 +303,16 @@ realMain(int argc, char **argv)
         report.merged->dump(std::cout);
     }
     // Exit code = quarantined-job count so scripts can count failures
-    // without parsing; 101+ is reserved for usage errors.
-    return static_cast<int>(std::min(quarantined, 100u));
+    // without parsing; 101/102 are the shared usage/fatal codes.
+    return cli::quarantineExitCode(quarantined);
 }
 
 int
 main(int argc, char **argv)
 {
     // Contained failures reaching main() mean the whole batch was
-    // unbuildable (bad description file, unknown kernel): report and
-    // exit like the old fatal() did.
-    try {
-        return realMain(argc, argv);
-    } catch (const SimError &e) {
-        std::fprintf(stderr, "onespec-fleet: fatal (%s): %s\n",
-                     errorKindName(e.kind()), e.what());
-        return 102;
-    }
+    // unbuildable (bad description file, unknown kernel); the shared
+    // handler reports kind+context uniformly and exits 102.
+    return cli::runCliMain("onespec-fleet",
+                           [&] { return realMain(argc, argv); });
 }

@@ -20,6 +20,7 @@
 #include "adl/load.hpp"
 #include "adl/spec.hpp"
 #include "codegen/cppgen.hpp"
+#include "support/cli.hpp"
 #include "support/logging.hpp"
 #include "support/sim_error.hpp"
 
@@ -35,7 +36,7 @@ usage()
                  "       lisc --dump <files...>\n"
                  "       lisc --emit <out.cpp> [--buildset NAME] "
                  "<files...>\n");
-    return 2;
+    return cli::kExitUsage;
 }
 
 void
@@ -99,10 +100,8 @@ realMain(int argc, char **argv)
     // Print warnings even on success.
     if (!diags.all().empty())
         std::fprintf(stderr, "%s", diags.str().c_str());
-    if (!spec) {
-        std::fprintf(stderr, "lisc: description has errors\n");
-        return 1;
-    }
+    if (!spec)
+        throw SpecError("lisc", "description has errors");
 
     if (mode == "--check") {
         std::printf("ok: %s (%zu instructions, %zu buildsets)\n",
@@ -117,11 +116,8 @@ realMain(int argc, char **argv)
     if (mode == "--emit") {
         std::string code = generateSimulators(*spec, buildset);
         std::ofstream out(out_path, std::ios::binary);
-        if (!out) {
-            std::fprintf(stderr, "lisc: cannot write '%s'\n",
-                         out_path.c_str());
-            return 1;
-        }
+        if (!out)
+            throw ResourceError("lisc", "cannot write '" + out_path + "'");
         out << code;
         return 0;
     }
@@ -131,12 +127,7 @@ realMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    // Loader/codegen failures throw the SimError taxonomy now; the CLI
-    // contract stays "exit 1 with the message on stderr".
-    try {
-        return realMain(argc, argv);
-    } catch (const SimError &e) {
-        std::fprintf(stderr, "lisc: %s\n", e.what());
-        return 1;
-    }
+    // Shared CLI contract (support/cli.hpp, docs/ROBUSTNESS.md): loader
+    // and codegen failures exit 102 with the classified message.
+    return cli::runCliMain("lisc", [&] { return realMain(argc, argv); });
 }

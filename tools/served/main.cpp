@@ -1,0 +1,172 @@
+/**
+ * @file
+ * onespec-served: the persistent simulation daemon.  Owns a bounded job
+ * queue with admission control and per-tenant quotas, a warm pool of
+ * simulator contexts, checkpoint-backed preemption, and the fleet's
+ * watchdog/retry/quarantine health layer -- all served over a
+ * Unix-domain socket to onespec-sub clients (protocol and semantics:
+ * docs/SERVICE.md).
+ *
+ *   onespec-served --socket /tmp/onespec.sock --store /tmp/ckpts
+ *   onespec-served --socket s.sock --workers 4 --queue-depth 8 --quota 4
+ *   onespec-served --socket s.sock --daemonize --log served.log
+ *
+ * Foreground by default: serves until a client sends Shutdown, then
+ * drains and exits.  With --daemonize the socket is bound in the parent
+ * -- it provably exists when the parent exits 0 -- and a forked child
+ * serves; the child's stdio goes to --log (default /dev/null).
+ *
+ * The flight recorder is armed for the daemon's lifetime so every
+ * quarantine ships a postmortem tail to the submitting client.
+ *
+ * Exit codes follow the shared CLI contract (support/cli.hpp,
+ * docs/ROBUSTNESS.md): 0 clean shutdown, 101 usage, 102 fatal SimError
+ * (e.g. the socket cannot be bound).
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+#include "service/daemon.hpp"
+#include "support/cli.hpp"
+#include "support/sim_error.hpp"
+
+using namespace onespec;
+using service::ServiceConfig;
+using service::ServiceDaemon;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: onespec-served --socket PATH [options]\n"
+        "  --socket PATH    Unix-domain socket to listen on (required)\n"
+        "  --store DIR      checkpoint store enabling preemption "
+        "(default: preemption unavailable)\n"
+        "  --workers N      worker pool width (default: hardware "
+        "threads)\n"
+        "  --queue-depth N  max queued jobs before QueueFull rejections "
+        "(default 64)\n"
+        "  --quota N        max in-flight jobs per tenant (default 16)\n"
+        "  --slice N        default preemption slice in instructions for\n"
+        "                   jobs that do not set one (default: never "
+        "preempt)\n"
+        "  --warm-cap N     idle warm simulator contexts kept (default "
+        "16)\n"
+        "  --fr-capacity N  flight-recorder events per thread "
+        "(default 4096)\n"
+        "  --daemonize      bind, fork, serve in the child; parent exits "
+        "0 once the socket exists\n"
+        "  --log FILE       daemonized child's stdout/stderr "
+        "(default /dev/null)\n");
+    return cli::kExitUsage;
+}
+
+/** Serve until a client drains us.  Runs in the child when daemonized. */
+int
+serve(ServiceDaemon &daemon)
+{
+    daemon.start();
+    std::printf("onespec-served: listening on %s (%u workers, queue %u, "
+                "quota %u)\n",
+                daemon.config().socketPath.c_str(),
+                daemon.config().workers,
+                daemon.config().queueDepth, daemon.config().tenantQuota);
+    std::fflush(stdout);
+    daemon.waitShutdown();
+    daemon.stop();
+    std::printf("onespec-served: drained and shut down\n");
+    return 0;
+}
+
+int
+realMain(int argc, char **argv)
+{
+    ServiceConfig cfg;
+    bool daemonize = false;
+    std::string log_path;
+    size_t fr_capacity = obs::FlightControl::kDefaultCapacity;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+            cfg.socketPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+            cfg.storeDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+            cfg.workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--queue-depth") == 0 &&
+                   i + 1 < argc) {
+            cfg.queueDepth = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--quota") == 0 && i + 1 < argc) {
+            cfg.tenantQuota = static_cast<uint32_t>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--slice") == 0 && i + 1 < argc) {
+            cfg.defaultSliceInstrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--warm-cap") == 0 &&
+                   i + 1 < argc) {
+            cfg.warmPoolCap = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--fr-capacity") == 0 &&
+                   i + 1 < argc) {
+            fr_capacity = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--daemonize") == 0) {
+            daemonize = true;
+        } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+            log_path = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (cfg.socketPath.empty())
+        return usage();
+
+    obs::FlightControl::instance().arm(fr_capacity);
+    ServiceDaemon daemon(cfg);
+
+    if (!daemonize)
+        return serve(daemon);
+
+    // Bind before forking: when the parent exits 0, a client's connect()
+    // cannot race daemon startup (the listen backlog queues it).
+    daemon.bind();
+    pid_t pid = ::fork();
+    if (pid < 0)
+        throw ResourceError("service", std::string("fork() failed: ") +
+                                           strerror(errno));
+    if (pid > 0) {
+        std::printf("onespec-served: daemonized on %s (pid %ld)\n",
+                    cfg.socketPath.c_str(), static_cast<long>(pid));
+        std::fflush(stdout);
+        // _exit, not return: the child owns the bound socket; the
+        // parent's daemon object must not close-and-unlink it.
+        ::_exit(0);
+    }
+    // Child: own session, stdio to the log so the parent's caller (a
+    // ctest fixture, a shell) sees EOF on the inherited pipes.
+    ::setsid();
+    const char *sink = log_path.empty() ? "/dev/null" : log_path.c_str();
+    if (!std::freopen("/dev/null", "r", stdin) ||
+        !std::freopen(sink, "a", stdout) ||
+        !std::freopen(sink, "a", stderr)) {
+        // Serving blind is worse than dying visibly-by-exit-code.
+        ::_exit(static_cast<int>(cli::kExitFatal));
+    }
+    return serve(daemon);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::runCliMain("onespec-served",
+                           [&] { return realMain(argc, argv); });
+}

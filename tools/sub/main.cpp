@@ -1,0 +1,327 @@
+/**
+ * @file
+ * onespec-sub: submit simulation jobs to a running onespec-served and
+ * stream their lifecycle back.  The client-side face of the service
+ * (protocol and semantics: docs/SERVICE.md).
+ *
+ *   onespec-sub --socket /tmp/onespec.sock                # full batch
+ *   onespec-sub --socket s.sock --isa alpha64 --kernel fib --slice 100000
+ *   onespec-sub --socket s.sock --kernel crc32 --poison 0 --tenant ci
+ *   onespec-sub --socket s.sock --statsz
+ *   onespec-sub --socket s.sock --shutdown
+ *
+ * Every accepted job streams Status frames (queued, running, preempted,
+ * resumed, retrying) as it moves through the daemon, then one Result
+ * frame with the final outcome: instruction count, state hash, interface
+ * counters, the per-job stats dump, and -- for quarantined jobs -- the
+ * error record plus the worker's flight-recorder postmortem tail.
+ *
+ * Exit codes follow the shared CLI contract (support/cli.hpp,
+ * docs/ROBUSTNESS.md): the quarantined-job count (capped at 100), 101
+ * for usage errors, 102 for a fatal SimError (e.g. the daemon is not
+ * running).  Rejected submissions are reported on stdout but do not
+ * change the exit code: rejection is backpressure, not failure.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "support/cli.hpp"
+#include "support/sim_error.hpp"
+
+using namespace onespec;
+using service::ClientEvent;
+using service::JobPhase;
+using service::JobResult;
+using service::JobSpec;
+using service::ServiceClient;
+using service::SubmitOutcome;
+
+namespace {
+
+/** Kernel scale giving ~1-5M dynamic instructions each (mirrors
+ *  onespec-fleet so a service batch is comparable to a fleet batch). */
+uint64_t
+kernelParam(const std::string &kernel)
+{
+    static const std::map<std::string, uint64_t> scale = {
+        {"fib", 250'000},   {"sieve", 120'000},  {"matmul", 56},
+        {"shellsort", 24'000}, {"strhash", 36'000}, {"crc32", 40'000},
+        {"listsum", 48'000},
+    };
+    auto it = scale.find(kernel);
+    return it != scale.end() ? it->second : 1000;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: onespec-sub --socket PATH [options]\n"
+        "  --socket PATH   daemon socket to connect to (required)\n"
+        "  --tenant NAME   tenant for quota accounting (default "
+        "'default')\n"
+        "  --isa NAME      restrict to one ISA (repeatable; default: "
+        "all)\n"
+        "  --kernel NAME   restrict to one kernel (repeatable; default: "
+        "all)\n"
+        "  --param N       kernel scale override (default: per-kernel)\n"
+        "  --buildset B    interface buildset (default BlockMinNo)\n"
+        "  --interp        interpreter back end instead of generated\n"
+        "  --instrs N      per-job instruction cap (default: to halt)\n"
+        "  --slice N       preemption slice in instructions (default: "
+        "daemon's)\n"
+        "  --repeat N      queue the batch N times (default 1)\n"
+        "  --cold          force cold simulator caches (bit-identical "
+        "per-job stats)\n"
+        "  --deadline-ms N watchdog over active run time (default: "
+        "none)\n"
+        "  --retries N     extra attempts for resource failures "
+        "(default 0)\n"
+        "  --profile-stride N  hot-PC profile every N retired "
+        "instructions\n"
+        "  --strict-syscalls   unknown OS calls quarantine the job\n"
+        "  --poison IDX    give job IDX a nonexistent buildset "
+        "(quarantine demo/testing aid)\n"
+        "  --statsz        print the daemon's service stats JSON\n"
+        "  --shutdown      drain the daemon and wait for it to exit\n");
+    return cli::kExitUsage;
+}
+
+const char *
+phaseVerb(JobPhase p)
+{
+    switch (p) {
+    case JobPhase::Queued:    return "queued";
+    case JobPhase::Running:   return "running";
+    case JobPhase::Preempted: return "preempted";
+    case JobPhase::Resumed:   return "resumed";
+    case JobPhase::Retrying:  return "retrying";
+    }
+    return "?";
+}
+
+void
+printResult(const JobResult &res)
+{
+    const char *status =
+        res.quarantined                        ? "QUARANTINED"
+        : res.runStatus == RunStatus::Halted   ? "halted"
+        : res.runStatus == RunStatus::Fault    ? "fault"
+                                               : "ok";
+    double mips = res.ns ? static_cast<double>(res.instrs) * 1000.0 /
+                               static_cast<double>(res.ns)
+                         : 0.0;
+    std::printf("%-20s %-12s %12llu %10.2f %18llx", res.name.c_str(),
+                status, static_cast<unsigned long long>(res.instrs), mips,
+                static_cast<unsigned long long>(res.stateHash));
+    if (res.preemptions)
+        std::printf("  (%llu preemption%s)",
+                    static_cast<unsigned long long>(res.preemptions),
+                    res.preemptions == 1 ? "" : "s");
+    std::printf("\n");
+    if (res.quarantined) {
+        std::printf("    [%s, %u attempt%s, %.2f ms] %s\n",
+                    errorKindName(res.errorKind), res.attempts,
+                    res.attempts == 1 ? "" : "s",
+                    static_cast<double>(res.ns) / 1e6, res.error.c_str());
+        if (!res.frTail.empty()) {
+            std::printf("    postmortem flight-recorder tail "
+                        "(%zu events):\n",
+                        res.frTail.size());
+            for (size_t k = 0; k < res.frTail.size(); ++k) {
+                const obs::FrEvent &ev = res.frTail[k];
+                const char *phase =
+                    ev.phase == obs::EvPhase::Begin ? "B"
+                    : ev.phase == obs::EvPhase::End ? "E"
+                                                    : "i";
+                std::printf("      tail[%zu] +%11.3f us  %s %-12s id=%u "
+                            "a0=%llu a1=%llu\n",
+                            k, static_cast<double>(ev.tsNs) / 1000.0,
+                            phase, obs::evTypeName(ev.type), ev.id,
+                            static_cast<unsigned long long>(ev.a0),
+                            static_cast<unsigned long long>(ev.a1));
+            }
+        }
+    }
+}
+
+int
+realMain(int argc, char **argv)
+{
+    std::string socket_path, tenant = "default", buildset = "BlockMinNo";
+    std::vector<std::string> isas, kernels;
+    uint64_t param = 0, max_instrs = ~uint64_t{0}, slice = 0;
+    uint64_t deadline_ns = 0, profile_stride = 0;
+    int repeat = 1;
+    unsigned retries = 0;
+    bool interp = false, cold = false, strict = false;
+    bool want_statsz = false, want_shutdown = false;
+    long poison = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--tenant") == 0 && i + 1 < argc) {
+            tenant = argv[++i];
+        } else if (std::strcmp(argv[i], "--isa") == 0 && i + 1 < argc) {
+            isas.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+            kernels.push_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--param") == 0 && i + 1 < argc) {
+            param = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--buildset") == 0 && i + 1 < argc) {
+            buildset = argv[++i];
+        } else if (std::strcmp(argv[i], "--interp") == 0) {
+            interp = true;
+        } else if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
+            max_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--slice") == 0 && i + 1 < argc) {
+            slice = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--cold") == 0) {
+            cold = true;
+        } else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
+                   i + 1 < argc) {
+            deadline_ns = std::strtoull(argv[++i], nullptr, 0) *
+                          1'000'000ull;
+        } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+            retries = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--profile-stride") == 0 &&
+                   i + 1 < argc) {
+            profile_stride = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--strict-syscalls") == 0) {
+            strict = true;
+        } else if (std::strcmp(argv[i], "--poison") == 0 && i + 1 < argc) {
+            poison = std::strtol(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--statsz") == 0) {
+            want_statsz = true;
+        } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+            want_shutdown = true;
+        } else {
+            return usage();
+        }
+    }
+    if (socket_path.empty())
+        return usage();
+
+    ServiceClient client;
+    client.connect(socket_path, tenant);
+    // Control-only invocations skip the batch entirely.
+    const bool control_only =
+        (want_statsz || want_shutdown) && isas.empty() && kernels.empty();
+
+    unsigned quarantined = 0;
+    if (!control_only) {
+        if (isas.empty())
+            isas = {"alpha64", "arm32", "ppc32"};
+        if (kernels.empty())
+            kernels = {"fib",      "sieve",  "matmul", "shellsort",
+                       "strhash",  "crc32",  "listsum"};
+
+        std::vector<JobSpec> specs;
+        for (int r = 0; r < repeat; ++r) {
+            for (const auto &isa : isas) {
+                for (const auto &k : kernels) {
+                    JobSpec js;
+                    js.name = isa + "/" + k;
+                    js.isa = isa;
+                    js.kernel = k;
+                    js.param = param ? param : kernelParam(k);
+                    js.buildset = buildset;
+                    js.useInterp = interp;
+                    js.maxInstrs = max_instrs;
+                    js.sliceInstrs = slice;
+                    js.coldStats = cold;
+                    js.strictSyscalls = strict;
+                    js.profileStride = profile_stride;
+                    js.deadlineNs = deadline_ns;
+                    js.maxAttempts = 1 + retries;
+                    specs.push_back(std::move(js));
+                }
+            }
+        }
+        if (poison >= 0) {
+            if (static_cast<size_t>(poison) >= specs.size()) {
+                std::fprintf(stderr, "onespec-sub: --poison %ld out of "
+                             "range (%zu jobs)\n", poison, specs.size());
+                return usage();
+            }
+            specs[static_cast<size_t>(poison)].buildset = "__poisoned__";
+        }
+
+        std::printf("onespec-sub: %zu jobs to %s (tenant %s, server "
+                    "queue %u, quota %u)\n\n",
+                    specs.size(), socket_path.c_str(), tenant.c_str(),
+                    client.serverInfo().queueDepth,
+                    client.serverInfo().tenantQuota);
+
+        size_t accepted = 0, rejected = 0;
+        for (const auto &js : specs) {
+            SubmitOutcome o = client.submit(js);
+            if (o.accepted) {
+                ++accepted;
+            } else {
+                ++rejected;
+                std::printf("%-20s REJECTED (%s): %s\n", js.name.c_str(),
+                            service::rejectCodeName(o.reject.code),
+                            o.reject.reason.c_str());
+            }
+        }
+
+        std::printf("%-20s %-12s %12s %10s %18s\n", "job", "status",
+                    "instrs", "MIPS", "state_hash");
+        size_t results = 0;
+        ClientEvent ev;
+        while (results < accepted && client.next(ev)) {
+            if (ev.kind == ClientEvent::Kind::Status) {
+                if (ev.status.phase != JobPhase::Queued &&
+                    ev.status.phase != JobPhase::Running) {
+                    std::printf("  job %llu %s at %llu instrs "
+                                "(attempt %u)\n",
+                                static_cast<unsigned long long>(
+                                    ev.status.jobId),
+                                phaseVerb(ev.status.phase),
+                                static_cast<unsigned long long>(
+                                    ev.status.instrsDone),
+                                ev.status.attempt);
+                }
+            } else if (ev.kind == ClientEvent::Kind::Result) {
+                ++results;
+                quarantined += ev.result.quarantined;
+                printResult(ev.result);
+            }
+        }
+        if (results < accepted)
+            throw ResourceError("service",
+                                "server closed the connection with " +
+                                    std::to_string(accepted - results) +
+                                    " results outstanding");
+        std::printf("\n%zu accepted, %zu rejected, %u quarantined\n",
+                    accepted, rejected, quarantined);
+    }
+
+    if (want_statsz)
+        std::printf("%s\n", client.statsz().c_str());
+    if (want_shutdown) {
+        client.shutdownServer();
+        std::printf("onespec-sub: server drained and shut down\n");
+    }
+    return cli::quarantineExitCode(quarantined);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::runCliMain("onespec-sub",
+                           [&] { return realMain(argc, argv); });
+}
