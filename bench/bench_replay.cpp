@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Record/replay must be free when off and honest when on.  This bench
+ * measures the cost of the tape recorder (src/replay/) around a fleet
+ * batch and closes the loop by replaying what it recorded:
+ *
+ *  1. Baseline.  The kernel suite through SimFleet with no policy --
+ *     no record-mode branch anywhere near the hot path.
+ *
+ *  2. Disarmed.  The same batch under a FleetPolicy with record mode
+ *     off (empty bundleDir): the production path when replay support is
+ *     compiled in but unused.  The checker gates this delta at 5%.
+ *
+ *  3. Record.  The same batch with bundleDir set and bundleAll on:
+ *     every job records a full tape (program image, OS-call stream,
+ *     expected outcome) and writes a repro bundle.  Reported, not
+ *     gated: record mode is a triage posture, and its cost -- mostly
+ *     the per-job bundle write -- is an honest disclosure.
+ *
+ *  4. Replay identity.  Every bundle from phase 3, plus a small repro
+ *     batch containing a fault-injected job and a quarantined
+ *     (poisoned-buildset) job, is re-executed with replayTape() on the
+ *     interpreter AND the generated back end.  Every replay must be
+ *     bit-identical to its recording -- the single-specification
+ *     principle checked through the record/replay lens.  Bundle size
+ *     per recorded instruction is reported alongside.
+ *
+ * Emits BENCH_replay.json; tools/check_bench_json.py enforces the
+ * disarmed ceiling and the replay-identity flag.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "fault/fault.hpp"
+#include "parallel/fleet.hpp"
+#include "replay/bundle.hpp"
+#include "replay/replayer.hpp"
+#include "workload/builder.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+using onespec::parallel::FleetJob;
+using onespec::parallel::FleetPolicy;
+using onespec::parallel::FleetReport;
+using onespec::parallel::SimFleet;
+
+namespace {
+
+std::vector<FleetJob>
+makeJobs(const std::string &buildset, uint64_t max_instrs)
+{
+    std::vector<FleetJob> jobs;
+    for (const auto &isa : shippedIsas()) {
+        IsaWorkloads &w = workloadsFor(isa);
+        for (const auto &[kname, prog] : w.programs) {
+            FleetJob j;
+            j.spec = w.spec.get();
+            j.program = &prog;
+            j.buildset = buildset;
+            j.maxInstrs = max_instrs;
+            j.name = isa + "/" + kname;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+/** Best aggregate MIPS over @p repeats runs; @p pol may be null for the
+ *  no-policy baseline.  @p last receives the final run's report. */
+double
+bestMips(SimFleet &fleet, const std::vector<FleetJob> &jobs,
+         const FleetPolicy *pol, int repeats, FleetReport *last = nullptr)
+{
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+        FleetReport rep = pol ? fleet.run(jobs, *pol) : fleet.run(jobs);
+        for (const auto &res : rep.results) {
+            if (res.quarantined) {
+                std::fprintf(stderr, "replay bench job failed: %s\n",
+                             res.error.c_str());
+                std::exit(1);
+            }
+        }
+        best = std::max(best, rep.aggregateMips());
+        if (last && r == repeats - 1)
+            *last = std::move(rep);
+    }
+    return best;
+}
+
+double
+overheadPct(double base, double other)
+{
+    return other > 0 ? (base / other - 1.0) * 100.0 : 0.0;
+}
+
+/** Replay one bundle on both back ends; returns the number of
+ *  non-identical replays (0 or up to 2) and counts them in @p total. */
+unsigned
+replayBothBackEnds(const std::string &path, unsigned *total)
+{
+    replay::Bundle b = replay::loadBundleFile(path);
+    unsigned diverged = 0;
+    for (auto be :
+         {replay::ReplayBackend::Interp, replay::ReplayBackend::Generated}) {
+        replay::ReplayOptions opt;
+        opt.backend = be;
+        replay::ReplayReport rep = replay::replayTape(b.tape, opt);
+        ++*total;
+        if (!rep.identical) {
+            ++diverged;
+            std::fprintf(stderr, "DIVERGED: %s on %s\n", path.c_str(),
+                         be == replay::ReplayBackend::Interp ? "interp"
+                                                             : "generated");
+            for (const auto &m : rep.mismatches)
+                std::fprintf(stderr, "  mismatch: %s\n", m.c_str());
+        }
+    }
+    return diverged;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t max_instrs = 2'000'000;
+    int repeats = 3;
+    std::string buildset = "BlockMinNo";
+    std::string json_path;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instrs") == 0 && i + 1 < argc) {
+            max_instrs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--buildset") == 0 && i + 1 < argc) {
+            buildset = argv[++i];
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            max_instrs = 250'000;
+            repeats = 2;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    BenchReport report("replay");
+    report.setParam("buildset", stats::Json(buildset));
+    report.setParam("max_instrs_per_job", stats::Json(max_instrs));
+    report.setParam("smoke", stats::Json(smoke));
+
+    std::printf("RECORD/REPLAY: tape overhead + strict-replay identity\n\n");
+
+    const std::string bundle_dir = "bench_replay_bundles";
+    std::vector<FleetJob> jobs = makeJobs(buildset, max_instrs);
+    SimFleet fleet(0);
+
+    // ---- Phases 1-3: no policy / record off / record on ----------------
+    double mips_baseline = bestMips(fleet, jobs, nullptr, repeats);
+
+    FleetPolicy off;
+    double mips_disarmed = bestMips(fleet, jobs, &off, repeats);
+
+    FleetPolicy rec;
+    rec.bundleDir = bundle_dir;
+    rec.bundleAll = true;
+    FleetReport recorded;
+    double mips_record = bestMips(fleet, jobs, &rec, repeats, &recorded);
+
+    double disarmed_pct = overheadPct(mips_baseline, mips_disarmed);
+    double record_pct = overheadPct(mips_baseline, mips_record);
+    std::printf("record mode absent:   %10.2f MIPS\n", mips_baseline);
+    std::printf("record mode off:      %10.2f MIPS  (overhead %.2f%%)\n",
+                mips_disarmed, disarmed_pct);
+    std::printf("record mode on:       %10.2f MIPS  (overhead %.2f%%)\n\n",
+                mips_record, record_pct);
+
+    // ---- Phase 4: replay identity over everything recorded -------------
+    // A small repro batch adds the harder cases: a fault-injected run
+    // (the forced syscall failure must be recorded as observed) and a
+    // poisoned-buildset quarantine (the bundle must reproduce the
+    // SimError kind, not a finished state).
+    auto spec = loadIsa(shippedIsas().front());
+    auto kb = makeBuilder(*spec);
+    Program small = buildKernel(*kb, "fib", 64);
+    fault::FaultPlan plan;
+    plan.seed = 1;
+    plan.events.push_back({fault::FaultOp::SyscallFail, 1, 0, 0, false});
+
+    std::vector<FleetJob> repro(2);
+    repro[0].spec = spec.get();
+    repro[0].program = &small;
+    repro[0].buildset = buildset;
+    repro[0].name = "repro/faulted";
+    repro[0].faultPlan = &plan;
+    repro[1].spec = spec.get();
+    repro[1].program = &small;
+    repro[1].buildset = "PoisonedBuildset";
+    repro[1].name = "repro/poisoned";
+    FleetReport rrep = fleet.run(repro, rec);
+
+    std::vector<std::string> bundles;
+    uint64_t recorded_instrs = 0, bundle_bytes = 0;
+    unsigned quarantine_bundles = 0;
+    for (const auto &res : recorded.results) {
+        bundles.push_back(res.bundlePath);
+        recorded_instrs += res.run.instrs;
+    }
+    for (const auto &res : rrep.results) {
+        if (res.bundlePath.empty()) {
+            std::fprintf(stderr, "repro job emitted no bundle\n");
+            return 1;
+        }
+        bundles.push_back(res.bundlePath);
+        recorded_instrs += res.run.instrs;
+        if (res.quarantined)
+            ++quarantine_bundles;
+    }
+    for (const auto &p : bundles)
+        bundle_bytes += std::filesystem::file_size(p);
+
+    unsigned replays = 0, diverged = 0;
+    for (const auto &p : bundles)
+        diverged += replayBothBackEnds(p, &replays);
+    bool identical = diverged == 0;
+    double bytes_per_instr =
+        recorded_instrs
+            ? static_cast<double>(bundle_bytes) /
+                  static_cast<double>(recorded_instrs)
+            : 0.0;
+
+    std::printf("replayed %u bundles x 2 back ends: %u replays, "
+                "%u diverged -- %s\n",
+                static_cast<unsigned>(bundles.size()), replays, diverged,
+                identical ? "IDENTICAL" : "DIVERGED");
+    std::printf("bundle cost: %llu bytes over %llu recorded instrs "
+                "(%.4f bytes/instr)\n",
+                static_cast<unsigned long long>(bundle_bytes),
+                static_cast<unsigned long long>(recorded_instrs),
+                bytes_per_instr);
+
+    stats::Json rj = stats::Json::object();
+    rj.set("mips_baseline", stats::Json(mips_baseline));
+    rj.set("mips_disarmed", stats::Json(mips_disarmed));
+    rj.set("mips_record", stats::Json(mips_record));
+    rj.set("record_overhead_pct", stats::Json(disarmed_pct));
+    rj.set("record_mode_overhead_pct", stats::Json(record_pct));
+    rj.set("bundles", stats::Json(static_cast<uint64_t>(bundles.size())));
+    rj.set("quarantine_bundles",
+           stats::Json(static_cast<uint64_t>(quarantine_bundles)));
+    rj.set("bundle_bytes", stats::Json(bundle_bytes));
+    rj.set("recorded_instrs", stats::Json(recorded_instrs));
+    rj.set("bundle_bytes_per_instr", stats::Json(bytes_per_instr));
+    rj.set("replays", stats::Json(static_cast<uint64_t>(replays)));
+    rj.set("replay_identical", stats::Json(identical));
+    report.addResult("replay", std::move(rj));
+    report.write(json_path);
+
+    std::error_code ec;
+    std::filesystem::remove_all(bundle_dir, ec);
+
+    // The bench gates only correctness (every replay identical, both
+    // repro shapes recorded); the disarmed ceiling lives in the checker.
+    bool ok = identical && replays == 2 * bundles.size() &&
+              quarantine_bundles > 0 && !bundles.empty();
+    return ok ? 0 : 1;
+}

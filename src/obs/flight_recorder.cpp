@@ -94,15 +94,23 @@ FlightControl::disarm()
     armed_.store(false, std::memory_order_release);
 }
 
+namespace {
+
+/** Per-thread cache of the current generation's recorder.  File scope
+ *  so both local() (which registers) and tailOrEmpty() (which must
+ *  never register) consult the same slot. */
+struct Tls
+{
+    FlightRecorder *rec = nullptr;
+    uint64_t gen = 0;
+};
+thread_local Tls tls;
+
+} // namespace
+
 FlightRecorder &
 FlightControl::local()
 {
-    struct Tls
-    {
-        FlightRecorder *rec = nullptr;
-        uint64_t gen = 0;
-    };
-    thread_local Tls tls;
     uint64_t g = gen_.load(std::memory_order_acquire);
     if (tls.rec && tls.gen == g)
         return *tls.rec;
@@ -113,6 +121,17 @@ FlightControl::local()
     tls.rec = rec.get();
     tls.gen = g;
     return *tls.rec;
+}
+
+std::vector<FrEvent>
+FlightControl::tailOrEmpty(size_t n)
+{
+    if (!armed())
+        return {};
+    uint64_t g = gen_.load(std::memory_order_acquire);
+    if (!tls.rec || tls.gen != g)
+        return {}; // this thread never recorded; do not register a ring
+    return tls.rec->tail(n);
 }
 
 std::vector<std::shared_ptr<FlightRecorder>>

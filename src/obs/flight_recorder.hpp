@@ -180,6 +180,15 @@ class FlightControl
      *  armed (the macros gate on armed() first). */
     FlightRecorder &local();
 
+    /**
+     * The last @p n events of the calling thread's ring, oldest first,
+     * or an empty vector when recording is disarmed or this thread never
+     * recorded in the current generation.  Unlike local(), this never
+     * creates or registers a ring -- it is the safe way to export a
+     * postmortem tail from a run that may not have been armed at all.
+     */
+    std::vector<FrEvent> tailOrEmpty(size_t n);
+
     /** All recorders of the current generation, in tid order.  Safe to
      *  read once the producing threads have quiesced. */
     std::vector<std::shared_ptr<FlightRecorder>> recorders() const;

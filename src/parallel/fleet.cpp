@@ -4,12 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include "iface/registry.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/pc_profile.hpp"
 #include "perf/hostcount.hpp"
+#include "replay/bundle.hpp"
+#include "replay/recorder.hpp"
 #include "runtime/context.hpp"
 #include "sim/interp.hpp"
 #include "stats/trace.hpp"
@@ -102,7 +105,8 @@ throwDeadline(const FleetJob &job, uint64_t elapsed_ns, uint64_t deadline_ns)
 RunResult
 runChunked(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
            FunctionalSimulator &sim, SimContext &ctx,
-           fault::FaultInjector *inj, const Stopwatch &sw)
+           fault::FaultInjector *inj, replay::TapeRecorder *trec,
+           const Stopwatch &sw)
 {
     RunResult acc;
     uint64_t remaining = job.maxInstrs;
@@ -136,13 +140,18 @@ runChunked(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
         remaining -= std::min<uint64_t>(r.instrs, remaining);
         if (pol.deadlineNs != 0 && sw.elapsedNs() > pol.deadlineNs)
             throwDeadline(job, sw.elapsedNs(), pol.deadlineNs);
+        // A cut marks a boundary another segment actually ran past, so
+        // note it only once the deadline check has let the loop go on.
+        if (trec && remaining > 0)
+            trec->noteCut(acc.instrs, replay::CutKind::Chunk);
     }
 }
 
 /** Run one job against its own context/simulator/registry. */
 void
 runJob(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
-       FleetResult &out, stats::StatsRegistry &reg)
+       FleetResult &out, stats::StatsRegistry &reg,
+       replay::TapeRecorder *trec)
 {
     ONESPEC_ASSERT(job.spec && job.program,
                    "fleet job '", job.name, "' missing spec or program");
@@ -178,10 +187,32 @@ runJob(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
         inj->attach(ctx);
     }
 
+    // Attach the tape recorder *after* the injector so the recorded
+    // stream is what the guest observed (forced failures included).
+    // Declared after inj, so its detach runs first on unwind and the
+    // injector's own detach still finds itself installed.
+    struct RecorderGuard
+    {
+        replay::TapeRecorder *rec = nullptr;
+        ~RecorderGuard()
+        {
+            if (rec)
+                rec->detach();
+        }
+    } recGuard;
+    if (trec) {
+        trec->attach(ctx);
+        recGuard.rec = trec;
+    }
+
     if (!job.restore.empty()) {
         ckpt::restoreChain(ctx, job.restore, &out.ckptCounters);
         // The context changed under the simulator; drop cached decodes.
         sim->onStateRestored();
+        // The tape must be self-contained: embed the post-restore state
+        // so replay needs the bundle alone, not the checkpoint chain.
+        if (trec)
+            trec->captureInit(ctx);
     }
     if (!job.restoreImages.empty()) {
         // Decode in-job so a damaged container quarantines this job.
@@ -212,7 +243,7 @@ runJob(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
         out.run = sim->run(job.maxInstrs);
     } else {
         out.run = runChunked(job, job_index, pol, *sim, ctx, inj.get(),
-                             sw);
+                             trec, sw);
     }
     out.ns = sw.elapsedNs();
     out.output = ctx.os().output();
@@ -230,6 +261,28 @@ runJob(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
         prof->publish(g.group("profile"));
 }
 
+/** Build and write this job's repro bundle; emission failure is warned
+ *  about, never thrown -- a full disk must not turn into a quarantine
+ *  of its own. */
+void
+emitBundle(const FleetJob &job, uint32_t job_index, const FleetPolicy &pol,
+           replay::TapeRecorder &trec, FleetResult &out)
+{
+    try {
+        replay::Bundle b;
+        b.tape = trec.takeTape();
+        // tailOrEmpty: safe even when the flight recorder was never
+        // armed or this worker never recorded (no ring registration).
+        b.frTail =
+            obs::FlightControl::instance().tailOrEmpty(pol.frTailEvents);
+        out.bundlePath =
+            replay::writeBundle(pol.bundleDir, job.name, job_index, b);
+    } catch (const std::exception &e) {
+        ONESPEC_WARN("failed to write repro bundle for job '", job.name,
+                     "': ", e.what());
+    }
+}
+
 /** Attempt loop around runJob: retries (ResourceError only) with
  *  exponential backoff, then quarantine. */
 void
@@ -239,28 +292,57 @@ runJobWithPolicy(const FleetJob &job, uint32_t job_index,
                  std::atomic<bool> &aborted)
 {
     unsigned max_attempts = std::max(pol.maxAttempts, 1u);
+    // Custom-body jobs drive the simulator themselves, so their
+    // nondeterminism surface is unknown: not recordable.
+    bool record = !pol.bundleDir.empty() && !job.body;
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
         out = FleetResult{};
         out.attempts = attempt;
         reg = std::make_unique<stats::StatsRegistry>();
+        // Fresh recorder per attempt: a retried attempt re-executes
+        // from scratch, so its tape must too.
+        std::unique_ptr<replay::TapeRecorder> trec;
+        if (record) {
+            trec = std::make_unique<replay::TapeRecorder>();
+            trec->setJob(job.spec->props.name, job.spec->fingerprint,
+                         job.buildset, job.useInterp, job.name,
+                         job.maxInstrs, job.strictSyscalls,
+                         job.profileStride, pol.watchdogChunk);
+            trec->setProgram(*job.program);
+            if (job.faultPlan && !job.faultPlan->empty())
+                trec->setFaultPlan(*job.faultPlan);
+            for (const auto *img : job.restoreImages)
+                trec->addRestoreImage(*img);
+        }
         std::string msg;
         ErrorKind kind;
+        std::string kindContext;
         {
             // One timeline span per attempt; the FrSpan closes it even
             // when runJob throws, carrying the instructions delivered.
             obs::FrSpan span(obs::EvType::Job, job_index, attempt, 0);
             try {
-                runJob(job, job_index, pol, out, *reg);
+                runJob(job, job_index, pol, out, *reg, trec.get());
                 span.setArgs(attempt, out.run.instrs);
+                if (trec) {
+                    std::ostringstream dump;
+                    reg->dump(dump);
+                    trec->finishOk(out.run.status, out.stateHash,
+                                   out.run.instrs, out.output, dump.str());
+                    if (pol.bundleAll)
+                        emitBundle(job, job_index, pol, *trec, out);
+                }
                 return;
             } catch (const DeadlineError &e) {
                 out.deadlineHit = true;
                 kind = e.kind();
+                kindContext = e.context();
                 msg = e.what();
                 ONESPEC_FR_INSTANT(obs::EvType::Deadline, job_index,
                                    attempt, pol.deadlineNs);
             } catch (const SimError &e) {
                 kind = e.kind();
+                kindContext = e.context();
                 msg = e.what();
             } catch (const std::exception &e) {
                 kind = ErrorKind::Internal;
@@ -294,10 +376,15 @@ runJobWithPolicy(const FleetJob &job, uint32_t job_index,
                            static_cast<unsigned>(kind));
         // Postmortem: attach this worker's recorder tail -- the last
         // pol.frTailEvents things the job was doing, including the
-        // quarantine instant just recorded.
-        obs::FlightControl &fc = obs::FlightControl::instance();
-        if (fc.armed())
-            out.frTail = fc.local().tail(pol.frTailEvents);
+        // quarantine instant just recorded.  tailOrEmpty never touches
+        // (or registers) a ring when recording was disarmed.
+        out.frTail =
+            obs::FlightControl::instance().tailOrEmpty(pol.frTailEvents);
+        // Every quarantine ships a repro bundle: tape + postmortem tail.
+        if (trec) {
+            trec->finishError(kind, kindContext, msg);
+            emitBundle(job, job_index, pol, *trec, out);
+        }
         if (!pol.keepGoing)
             aborted.store(true, std::memory_order_relaxed);
         return;

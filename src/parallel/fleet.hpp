@@ -145,6 +145,19 @@ struct FleetPolicy
     /** Flight-recorder events to attach to a quarantine record
      *  (FleetResult::frTail) when the recorder is armed. */
     size_t frTailEvents = 32;
+
+    /**
+     * Record mode (src/replay/): when non-empty, every job without a
+     * custom body records a replay tape while it runs, and every
+     * quarantined job emits a self-contained repro bundle (tape +
+     * flight-recorder tail + manifest) into this directory.  The bundle
+     * path lands in FleetResult::bundlePath.
+     */
+    std::string bundleDir;
+
+    /** With bundleDir set: also emit a bundle for every *successful*
+     *  job (cross-back-end identity checks and bench_replay). */
+    bool bundleAll = false;
 };
 
 /** Outcome of one job. */
@@ -172,6 +185,10 @@ struct FleetResult
      * PR 4 introduced.
      */
     std::vector<obs::FrEvent> frTail;
+
+    /** Repro bundle written for this job (FleetPolicy::bundleDir);
+     *  empty when record mode was off or emission failed. */
+    std::string bundlePath;
 };
 
 /** A whole batch: per-job results plus the deterministic stat merge. */

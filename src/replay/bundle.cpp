@@ -1,0 +1,211 @@
+#include "replay/bundle.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "replay/framing.hpp"
+#include "support/crc32.hpp"
+
+namespace onespec::replay {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using detail::Reader;
+using detail::Section;
+using detail::Writer;
+using detail::fourcc;
+
+constexpr char kBundleMagic[8] = {'O', 'S', 'P', 'B', 'N', 'D', 'L', '1'};
+
+constexpr uint32_t kTagTape = fourcc('T', 'A', 'P', 'E');
+constexpr uint32_t kTagFrtl = fourcc('F', 'R', 'T', 'L');
+constexpr uint32_t kTagMani = fourcc('M', 'A', 'N', 'I');
+
+std::vector<uint8_t>
+encodeFrTail(const std::vector<obs::FrEvent> &tail)
+{
+    Writer w;
+    w.u32(static_cast<uint32_t>(tail.size()));
+    for (const auto &ev : tail) {
+        w.u64(ev.tsNs);
+        w.u64(ev.a0);
+        w.u64(ev.a1);
+        w.u32(ev.id);
+        w.u8(static_cast<uint8_t>(ev.type));
+        w.u8(static_cast<uint8_t>(ev.phase));
+    }
+    return w.take();
+}
+
+std::vector<obs::FrEvent>
+decodeFrTail(Reader r)
+{
+    uint32_t n = r.u32();
+    std::vector<obs::FrEvent> tail;
+    tail.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        obs::FrEvent ev;
+        ev.tsNs = r.u64();
+        ev.a0 = r.u64();
+        ev.a1 = r.u64();
+        ev.id = r.u32();
+        ev.type = static_cast<obs::EvType>(r.u8());
+        ev.phase = static_cast<obs::EvPhase>(r.u8());
+        tail.push_back(ev);
+    }
+    return tail;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    std::ostringstream ss;
+    ss << std::hex << v;
+    return ss.str();
+}
+
+/** Keep [A-Za-z0-9._-] (the CkptStore name alphabet); map the rest. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    for (char c : label) {
+        bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+        out.push_back(ok ? c : '-');
+    }
+    return out.empty() ? "job" : out;
+}
+
+} // namespace
+
+std::string
+bundleManifest(const Bundle &b)
+{
+    const Tape &t = b.tape;
+    std::ostringstream ss;
+    ss << "spec: " << t.specName << "\n";
+    ss << "spec_fingerprint: " << hex64(t.specFingerprint) << "\n";
+    ss << "buildset: " << t.buildset << "\n";
+    ss << "backend: " << (t.useInterp ? "interp" : "generated") << "\n";
+    ss << "job: " << t.jobName << "\n";
+    ss << "program: " << (t.hasProgram ? t.program.name : "(none)") << "\n";
+    ss << "max_instrs: " << t.maxInstrs << "\n";
+    ss << "strict_syscalls: " << (t.strictSyscalls ? "true" : "false")
+       << "\n";
+    if (t.profileStride)
+        ss << "profile_stride: " << t.profileStride << "\n";
+    if (!t.initImage.empty())
+        ss << "init_image_bytes: " << t.initImage.size() << "\n";
+    if (!t.restoreImages.empty())
+        ss << "restore_images: " << t.restoreImages.size() << "\n";
+    if (!t.faultPlan.empty()) {
+        ss << "fault_seed: " << t.faultPlan.seed << "\n";
+        ss << "fault_events:";
+        for (const auto &ev : t.faultPlan.events)
+            ss << " " << fault::faultOpName(ev.op) << "@" << ev.trigger;
+        ss << "\n";
+    }
+    ss << "cuts: " << t.cuts.size() << "\n";
+    ss << "syscalls: " << t.syscalls.size() << "\n";
+    const TapeExpected &x = t.expected;
+    ss << "expected_error_kind: " << errorKindName(x.errorKind) << "\n";
+    if (!x.errorMessage.empty())
+        ss << "expected_error: " << x.errorMessage << "\n";
+    if (x.finished) {
+        ss << "expected_state_hash: " << hex64(x.stateHash) << "\n";
+        ss << "expected_instrs: " << x.instrs << "\n";
+    }
+    ss << "fr_tail_events: " << b.frTail.size() << "\n";
+    return ss.str();
+}
+
+std::vector<uint8_t>
+encodeBundle(const Bundle &b)
+{
+    std::vector<Section> sections;
+    sections.push_back({kTagTape, encodeTape(b.tape)});
+    if (!b.frTail.empty())
+        sections.push_back({kTagFrtl, encodeFrTail(b.frTail)});
+    std::string mani = b.manifest.empty() ? bundleManifest(b) : b.manifest;
+    sections.push_back(
+        {kTagMani, std::vector<uint8_t>(mani.begin(), mani.end())});
+    return detail::frameSections(kBundleMagic, kBundleVersion, sections);
+}
+
+Bundle
+decodeBundle(const std::vector<uint8_t> &bytes)
+{
+    std::vector<Section> sections = detail::unframeSections(
+        bytes, kBundleMagic, kBundleVersion, "bundle");
+    Bundle b;
+    bool saw_tape = false;
+    for (const auto &s : sections) {
+        if (s.tag == kTagTape) {
+            b.tape = decodeTape(s.payload);
+            saw_tape = true;
+        } else if (s.tag == kTagFrtl) {
+            b.frTail = decodeFrTail(
+                Reader(s.payload.data(), s.payload.size(), "FRTL"));
+        } else if (s.tag == kTagMani) {
+            b.manifest.assign(s.payload.begin(), s.payload.end());
+        }
+    }
+    if (!saw_tape)
+        throw TapeError("bundle is missing its TAPE section");
+    return b;
+}
+
+void
+saveBundleFile(const std::string &path, const Bundle &b)
+{
+    std::vector<uint8_t> bytes = encodeBundle(b);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        throw TapeError("cannot open '" + path + "' for writing");
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f)
+        throw TapeError("short write to '" + path + "'");
+}
+
+Bundle
+loadBundleFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw TapeError("cannot open '" + path + "'");
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                               std::istreambuf_iterator<char>());
+    if (f.bad())
+        throw TapeError("read error on '" + path + "'");
+    return decodeBundle(bytes);
+}
+
+std::string
+writeBundle(const std::string &dir, const std::string &label,
+            uint64_t discriminator, Bundle &b)
+{
+    if (b.manifest.empty())
+        b.manifest = bundleManifest(b);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        throw TapeError("cannot create bundle directory '" + dir +
+                        "': " + ec.message());
+    // Stamp the name with a tape-content CRC so re-runs of the same job
+    // never silently overwrite a different failure's bundle.
+    std::vector<uint8_t> tape_bytes = encodeTape(b.tape);
+    uint32_t stamp = crc32(0, tape_bytes.data(), tape_bytes.size());
+    std::ostringstream name;
+    name << sanitizeLabel(label) << "-j" << discriminator << "-" << std::hex
+         << stamp << ".bundle";
+    std::string path = (fs::path(dir) / name.str()).string();
+    saveBundleFile(path, b);
+    return path;
+}
+
+} // namespace onespec::replay

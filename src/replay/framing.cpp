@@ -1,0 +1,102 @@
+#include "replay/framing.hpp"
+
+#include "support/crc32.hpp"
+
+namespace onespec::replay::detail {
+
+std::vector<uint8_t>
+frameSections(const char magic[8], uint32_t version,
+              const std::vector<Section> &sections)
+{
+    Writer hdr;
+    hdr.bytes(magic, 8);
+    hdr.u32(version);
+    hdr.u32(static_cast<uint32_t>(sections.size()));
+    size_t header_len = hdr.size() + sections.size() * (4 + 8 + 8 + 4) + 4;
+    uint64_t off = header_len;
+    for (const auto &s : sections) {
+        hdr.u32(s.tag);
+        hdr.u64(off);
+        hdr.u64(s.payload.size());
+        hdr.u32(crc32(0, s.payload.data(), s.payload.size()));
+        off += s.payload.size();
+    }
+    hdr.u32(crc32(0, hdr.data(), hdr.size()));
+
+    std::vector<uint8_t> out = hdr.take();
+    out.reserve(static_cast<size_t>(off));
+    for (const auto &s : sections)
+        out.insert(out.end(), s.payload.begin(), s.payload.end());
+    return out;
+}
+
+std::vector<Section>
+unframeSections(const std::vector<uint8_t> &bytes, const char magic[8],
+                uint32_t version, const char *what)
+{
+    Reader hdr(bytes.data(), bytes.size(), what);
+    char m[8];
+    hdr.bytes(m, sizeof(m));
+    if (std::memcmp(m, magic, sizeof(m)) != 0) {
+        throw TapeError(std::string("bad magic: not a OneSpec ") + what +
+                        " container");
+    }
+    uint32_t v = hdr.u32();
+    if (v != version) {
+        throw TapeError(std::string("unsupported ") + what + " version " +
+                        std::to_string(v) + " (this build reads " +
+                        std::to_string(version) + ")");
+    }
+    uint32_t nsec = hdr.u32();
+    // Sanity-bound the table before trusting it for allocation.
+    if (nsec > 1024) {
+        throw TapeError(std::string(what) + ": implausible section count " +
+                        std::to_string(nsec));
+    }
+
+    struct Row
+    {
+        uint32_t tag;
+        uint64_t offset;
+        uint64_t length;
+        uint32_t crc;
+    };
+    std::vector<Row> rows;
+    rows.reserve(nsec);
+    for (uint32_t i = 0; i < nsec; ++i) {
+        Row row;
+        row.tag = hdr.u32();
+        row.offset = hdr.u64();
+        row.length = hdr.u64();
+        row.crc = hdr.u32();
+        rows.push_back(row);
+    }
+    size_t table_end = hdr.pos();
+    uint32_t stored_crc = hdr.u32();
+    if (stored_crc != crc32(0, bytes.data(), table_end)) {
+        throw TapeError(std::string(what) +
+                        " header CRC mismatch: container is damaged");
+    }
+
+    std::vector<Section> out;
+    out.reserve(rows.size());
+    for (const auto &row : rows) {
+        if (row.offset > bytes.size() ||
+            row.length > bytes.size() - row.offset) {
+            throw TapeError(std::string(what) + " section " +
+                            tagName(row.tag) +
+                            " extends past the end of the container");
+        }
+        const uint8_t *p = bytes.data() + row.offset;
+        size_t len = static_cast<size_t>(row.length);
+        if (crc32(0, p, len) != row.crc) {
+            throw TapeError(std::string(what) + " section " +
+                            tagName(row.tag) +
+                            " CRC mismatch: container is damaged");
+        }
+        out.push_back({row.tag, std::vector<uint8_t>(p, p + len)});
+    }
+    return out;
+}
+
+} // namespace onespec::replay::detail

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Internal framing helpers shared by the OSPTAPE1 and OSPBNDL1
+ * containers (src/replay/tape.cpp, src/replay/bundle.cpp): the
+ * little-endian byte-by-byte writer/reader pair and FourCC utilities,
+ * replicating the OSPCKPT2 conventions from src/ckpt/checkpoint.cpp.
+ * Truncation throws TapeError, never UB.  Not installed API.
+ */
+
+#ifndef ONESPEC_REPLAY_FRAMING_HPP
+#define ONESPEC_REPLAY_FRAMING_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "replay/tape.hpp"
+
+namespace onespec::replay::detail {
+
+class Writer
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(v); }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    /** u32 length prefix + raw bytes. */
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    /** u64 length prefix + raw bytes. */
+    void
+    blob(const std::vector<uint8_t> &v)
+    {
+        u64(v.size());
+        bytes(v.data(), v.size());
+    }
+
+    size_t size() const { return buf_.size(); }
+    const uint8_t *data() const { return buf_.data(); }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+class Reader
+{
+  public:
+    Reader(const uint8_t *p, size_t len, const char *what)
+        : p_(p), len_(len), what_(what)
+    {}
+
+    size_t pos() const { return pos_; }
+    size_t avail() const { return len_ - pos_; }
+
+    void
+    need(size_t n) const
+    {
+        if (len_ - pos_ < n) {
+            throw TapeError("truncated container: " + std::string(what_) +
+                            " needs " + std::to_string(n) +
+                            " bytes at offset " + std::to_string(pos_) +
+                            ", only " + std::to_string(len_ - pos_) +
+                            " remain");
+        }
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return p_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(p_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(p_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    void
+    bytes(void *out, size_t n)
+    {
+        need(n);
+        std::memcpy(out, p_ + pos_, n);
+        pos_ += n;
+    }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<uint8_t>
+    blob()
+    {
+        uint64_t n = u64();
+        need(static_cast<size_t>(n));
+        std::vector<uint8_t> v(p_ + pos_, p_ + pos_ + n);
+        pos_ += static_cast<size_t>(n);
+        return v;
+    }
+
+  private:
+    const uint8_t *p_;
+    size_t len_;
+    size_t pos_ = 0;
+    const char *what_;
+};
+
+constexpr uint32_t
+fourcc(char a, char b, char c, char d)
+{
+    return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
+           static_cast<uint32_t>(static_cast<uint8_t>(b)) << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(c)) << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(d)) << 24;
+}
+
+inline std::string
+tagName(uint32_t tag)
+{
+    std::string s;
+    for (int i = 0; i < 4; ++i) {
+        char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+        s.push_back(c >= 0x20 && c < 0x7f ? c : '?');
+    }
+    return s;
+}
+
+/** One section to be framed: FourCC tag + payload. */
+struct Section
+{
+    uint32_t tag;
+    std::vector<uint8_t> payload;
+};
+
+/**
+ * Frame @p sections under the 8-byte @p magic: header (magic, version,
+ * count, table of tag/offset/len/CRC rows, header CRC) followed by the
+ * payloads.
+ */
+std::vector<uint8_t> frameSections(const char magic[8], uint32_t version,
+                                   const std::vector<Section> &sections);
+
+/**
+ * Validate the header/table/section CRCs of @p bytes against @p magic
+ * and @p version (@p what names the container in errors) and return the
+ * sections in table order.  Payloads are copied out so callers may
+ * outlive @p bytes.
+ */
+std::vector<Section> unframeSections(const std::vector<uint8_t> &bytes,
+                                     const char magic[8], uint32_t version,
+                                     const char *what);
+
+} // namespace onespec::replay::detail
+
+#endif // ONESPEC_REPLAY_FRAMING_HPP

@@ -1,0 +1,135 @@
+#include "replay/recorder.hpp"
+
+#include "ckpt/checkpoint.hpp"
+#include "runtime/context.hpp"
+
+namespace onespec::replay {
+
+void
+TapeRecorder::setJob(std::string spec_name, uint64_t spec_fingerprint,
+                     std::string buildset, bool use_interp,
+                     std::string job_name, uint64_t max_instrs,
+                     bool strict_syscalls, uint64_t profile_stride,
+                     uint64_t chunk_hint)
+{
+    tape_.specName = std::move(spec_name);
+    tape_.specFingerprint = spec_fingerprint;
+    tape_.buildset = std::move(buildset);
+    tape_.useInterp = use_interp;
+    tape_.jobName = std::move(job_name);
+    tape_.maxInstrs = max_instrs;
+    tape_.strictSyscalls = strict_syscalls;
+    tape_.profileStride = profile_stride;
+    tape_.chunkHint = chunk_hint;
+}
+
+void
+TapeRecorder::setProgram(const Program &p)
+{
+    tape_.program = p;
+    tape_.hasProgram = true;
+}
+
+void
+TapeRecorder::setFaultPlan(const fault::FaultPlan &plan)
+{
+    tape_.faultPlan = plan;
+    // A shared plan may arrive mid-fuzz with fired flags set; the tape
+    // stores the schedule, so replay starts pristine.
+    for (auto &ev : tape_.faultPlan.events)
+        ev.fired = false;
+}
+
+void
+TapeRecorder::addRestoreImage(const std::vector<uint8_t> &img)
+{
+    tape_.restoreImages.push_back(img);
+}
+
+void
+TapeRecorder::captureInit(SimContext &ctx)
+{
+    tape_.initImage = ckpt::encode(ckpt::capture(ctx));
+}
+
+void
+TapeRecorder::attach(SimContext &ctx)
+{
+    detach();
+    os_ = &ctx.os();
+    prev_ = os_->syscallHook();
+    os_->setSyscallHook(this);
+}
+
+void
+TapeRecorder::detach()
+{
+    if (os_) {
+        os_->setSyscallHook(prev_);
+        os_ = nullptr;
+        prev_ = nullptr;
+    }
+}
+
+bool
+TapeRecorder::onSyscall(uint64_t num)
+{
+    return prev_ ? prev_->onSyscall(num) : false;
+}
+
+void
+TapeRecorder::onSyscallResult(const OsEmulator::SyscallRecord &r)
+{
+    if (prev_)
+        prev_->onSyscallResult(r);
+    tape_.syscalls.push_back(r);
+}
+
+void
+TapeRecorder::noteCut(uint64_t instrs, CutKind kind)
+{
+    tape_.cuts.push_back({instrs, kind});
+}
+
+void
+TapeRecorder::markSlice()
+{
+    sliceSyscallMark_ = tape_.syscalls.size();
+    sliceCutMark_ = tape_.cuts.size();
+}
+
+void
+TapeRecorder::rollbackSlice()
+{
+    tape_.syscalls.resize(sliceSyscallMark_);
+    tape_.cuts.resize(sliceCutMark_);
+}
+
+void
+TapeRecorder::finishOk(RunStatus status, uint64_t state_hash,
+                       uint64_t instrs, std::string output,
+                       std::string stats_dump)
+{
+    tape_.expected.finished = true;
+    tape_.expected.runStatus = status;
+    tape_.expected.stateHash = state_hash;
+    tape_.expected.instrs = instrs;
+    tape_.expected.output = std::move(output);
+    tape_.expected.statsDump = std::move(stats_dump);
+    tape_.expected.errorKind = ErrorKind::None;
+    tape_.expected.errorContext.clear();
+    tape_.expected.errorMessage.clear();
+}
+
+void
+TapeRecorder::finishError(ErrorKind kind, std::string context,
+                          std::string message)
+{
+    tape_.expected.finished = false;
+    tape_.expected.runStatus = RunStatus::Fault;
+    tape_.expected.errorKind = kind;
+    tape_.expected.errorContext = std::move(context);
+    tape_.expected.errorMessage = std::move(message);
+}
+
+} // namespace onespec::replay

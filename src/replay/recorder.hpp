@@ -1,0 +1,116 @@
+/**
+ * @file
+ * TapeRecorder: builds a replay Tape while a job runs.
+ *
+ * The recorder hooks the context's OsEmulator (chaining to whatever
+ * hook -- the fault injector -- is already installed, via the
+ * OsEmulator::syscallHook() accessor) and appends every
+ * SyscallRecord the guest observes.  The driving harness feeds it the
+ * rest: job metadata, the program image, the fault plan, raw restore
+ * images, an embedded checkpoint of post-restore state, and the cut
+ * schedule it actually ran.  One recorder serves one job attempt; the
+ * daemon re-attaches the same recorder across preemption slices and
+ * rolls a failed slice's syscalls back to the last slice mark.
+ */
+
+#ifndef ONESPEC_REPLAY_RECORDER_HPP
+#define ONESPEC_REPLAY_RECORDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "replay/tape.hpp"
+
+namespace onespec {
+class SimContext;
+}
+
+namespace onespec::replay {
+
+class TapeRecorder final : public OsEmulator::SyscallHook
+{
+  public:
+    TapeRecorder() = default;
+    ~TapeRecorder() override { detach(); }
+
+    TapeRecorder(const TapeRecorder &) = delete;
+    TapeRecorder &operator=(const TapeRecorder &) = delete;
+
+    /** Fill the tape's META section. */
+    void setJob(std::string spec_name, uint64_t spec_fingerprint,
+                std::string buildset, bool use_interp, std::string job_name,
+                uint64_t max_instrs, bool strict_syscalls,
+                uint64_t profile_stride, uint64_t chunk_hint);
+
+    /** Copy the program image into the tape. */
+    void setProgram(const Program &p);
+
+    /** Copy the job's fault plan into the tape. */
+    void setFaultPlan(const fault::FaultPlan &plan);
+
+    /** Append one raw serialized checkpoint the job will decode in-job
+     *  (fleet restoreImages); kept pre-corruption so container-fault
+     *  failures replay the decode itself. */
+    void addRestoreImage(const std::vector<uint8_t> &img);
+
+    /**
+     * Embed the context's *current* state as the tape's initial image
+     * (an OSPCKPT2 container).  Call after a direct checkpoint-chain
+     * restore so replay starts from the same state without access to
+     * the original checkpoints.
+     */
+    void captureInit(SimContext &ctx);
+
+    /**
+     * Install this recorder as the context's syscall hook, chaining to
+     * the previously installed hook (so a fault injector keeps seeing
+     * calls, and its forced failures are recorded as the guest saw
+     * them).  detach() restores the previous hook; safe to call twice.
+     */
+    void attach(SimContext &ctx);
+    void detach();
+
+    // OsEmulator::SyscallHook
+    bool onSyscall(uint64_t num) override;
+    void onSyscallResult(const OsEmulator::SyscallRecord &r) override;
+
+    /** Record a cut: the harness ended a sim->run() segment at
+     *  cumulative @p instrs and will start another. */
+    void noteCut(uint64_t instrs, CutKind kind);
+
+    /** Mark a slice boundary (daemon): remembers the current syscall
+     *  and cut counts so a failed slice can be rolled back. */
+    void markSlice();
+
+    /** Drop everything recorded since the last markSlice() -- the
+     *  daemon re-executes those instructions after restoring the
+     *  checkpoint, so keeping them would duplicate the stream. */
+    void rollbackSlice();
+
+    /** Finish the tape for a run that completed (status may still be
+     *  Fault -- e.g. an injected access fault -- but the final state
+     *  below is meaningful). */
+    void finishOk(RunStatus status, uint64_t state_hash, uint64_t instrs,
+                  std::string output, std::string stats_dump);
+
+    /** Finish the tape for a run that died in flight: only the error
+     *  taxonomy is known. */
+    void finishError(ErrorKind kind, std::string context,
+                     std::string message);
+
+    const Tape &tape() const { return tape_; }
+
+    /** Move the tape out (the recorder must be detached/finished). */
+    Tape takeTape() { return std::move(tape_); }
+
+  private:
+    Tape tape_;
+    OsEmulator *os_ = nullptr;
+    SyscallHook *prev_ = nullptr;
+    size_t sliceSyscallMark_ = 0;
+    size_t sliceCutMark_ = 0;
+};
+
+} // namespace onespec::replay
+
+#endif // ONESPEC_REPLAY_RECORDER_HPP

@@ -1,0 +1,370 @@
+#include "replay/replayer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "ckpt/checkpoint.hpp"
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "obs/pc_profile.hpp"
+#include "parallel/fleet.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "stats/stats.hpp"
+
+namespace onespec::replay {
+
+namespace {
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Halted: return "halted";
+      case RunStatus::Fault: return "fault";
+    }
+    return "?";
+}
+
+std::string
+hex64(uint64_t v)
+{
+    std::ostringstream ss;
+    ss << std::hex << v;
+    return ss.str();
+}
+
+/**
+ * The strict-tape hook: compares each OS-call result against the
+ * recorded stream *as it happens*, chaining to the previously installed
+ * hook (the fault injector) so forced failures keep firing exactly as
+ * they did during recording.  A mismatch throws ReplayDivergence out
+ * through the simulator, ending the replay at the first divergent call.
+ */
+class SyscallVerifier final : public OsEmulator::SyscallHook
+{
+  public:
+    SyscallVerifier(const std::vector<OsEmulator::SyscallRecord> &expected,
+                    bool strict, bool allow_overrun)
+        : expected_(expected), strict_(strict), allowOverrun_(allow_overrun)
+    {}
+
+    ~SyscallVerifier() override { detach(); }
+
+    void
+    attach(SimContext &ctx)
+    {
+        os_ = &ctx.os();
+        prev_ = os_->syscallHook();
+        os_->setSyscallHook(this);
+    }
+
+    void
+    detach()
+    {
+        if (os_) {
+            os_->setSyscallHook(prev_);
+            os_ = nullptr;
+            prev_ = nullptr;
+        }
+    }
+
+    bool
+    onSyscall(uint64_t num) override
+    {
+        return prev_ ? prev_->onSyscall(num) : false;
+    }
+
+    void
+    onSyscallResult(const OsEmulator::SyscallRecord &r) override
+    {
+        if (prev_)
+            prev_->onSyscallResult(r);
+        if (!strict_)
+            return;
+        if (idx_ >= expected_.size()) {
+            // Past the end of the recorded stream.  For Resource-kind
+            // tapes the replay may legitimately run a little past the
+            // point where the wall clock killed the recording.
+            if (allowOverrun_)
+                return;
+            throw ReplayDivergence(
+                "OS call " + std::to_string(idx_ + 1) + " (num " +
+                std::to_string(r.num) +
+                ") past the end of the recorded stream of " +
+                std::to_string(expected_.size()) + " calls");
+        }
+        const OsEmulator::SyscallRecord &e = expected_[idx_];
+        if (e.num != r.num || e.a0 != r.a0 || e.a1 != r.a1 ||
+            e.a2 != r.a2 || e.ret != r.ret || e.err != r.err) {
+            throw ReplayDivergence(
+                "OS call " + std::to_string(idx_ + 1) +
+                " diverged from the tape: recorded num=" +
+                std::to_string(e.num) + " args=(" + std::to_string(e.a0) +
+                "," + std::to_string(e.a1) + "," + std::to_string(e.a2) +
+                ") ret=" + std::to_string(e.ret) +
+                " err=" + std::to_string(e.err) + ", replayed num=" +
+                std::to_string(r.num) + " args=(" + std::to_string(r.a0) +
+                "," + std::to_string(r.a1) + "," + std::to_string(r.a2) +
+                ") ret=" + std::to_string(r.ret) +
+                " err=" + std::to_string(r.err));
+        }
+        ++idx_;
+    }
+
+    size_t verified() const { return idx_; }
+
+  private:
+    const std::vector<OsEmulator::SyscallRecord> &expected_;
+    bool strict_;
+    bool allowOverrun_;
+    size_t idx_ = 0;
+    OsEmulator *os_ = nullptr;
+    SyscallHook *prev_ = nullptr;
+};
+
+} // namespace
+
+ReplayReport
+replayTape(const Tape &t, const ReplayOptions &opt)
+{
+    // Tape usability: these are properties of the tape against this
+    // build, not of the replayed execution, so they throw.
+    const std::vector<std::string> &isas = shippedIsas();
+    if (std::find(isas.begin(), isas.end(), t.specName) == isas.end())
+        throw TapeError("tape names unknown spec '" + t.specName + "'");
+    if (!t.hasProgram)
+        throw TapeError("tape carries no program image");
+    std::unique_ptr<Spec> spec = loadIsa(t.specName);
+    if (t.specFingerprint != 0 && spec->fingerprint != t.specFingerprint) {
+        throw TapeError(
+            "spec fingerprint mismatch for '" + t.specName + "': tape " +
+            hex64(t.specFingerprint) + ", this build " +
+            hex64(spec->fingerprint) +
+            " -- the description changed since the recording");
+    }
+
+    ReplayReport rep;
+    bool use_interp = t.useInterp;
+    if (opt.backend == ReplayBackend::Interp)
+        use_interp = true;
+    else if (opt.backend == ReplayBackend::Generated)
+        use_interp = false;
+    rep.usedInterp = use_interp;
+
+    const TapeExpected &x = t.expected;
+    bool resource_tape = x.errorKind == ErrorKind::Resource;
+
+    // Resource-kind failures are wall-clock events; bound the replay to
+    // the recorded schedule plus one harness chunk (the most the
+    // recording can have executed past its last cut).
+    uint64_t max_instrs = t.maxInstrs;
+    if (resource_tape) {
+        uint64_t last_cut = t.cuts.empty() ? 0 : t.cuts.back().instrs;
+        uint64_t grace = t.chunkHint ? t.chunkHint : uint64_t{1} << 20;
+        max_instrs = std::min(max_instrs, last_cut + grace);
+    }
+
+    stats::StatsRegistry reg;
+    ErrorKind kind = ErrorKind::None;
+    std::string emsg;
+    bool diverged = false;
+    SimContext ctx(*spec);
+    SyscallVerifier verifier(t.syscalls, opt.strictTape, resource_tape);
+    try {
+        ctx.load(t.program);
+        std::unique_ptr<FunctionalSimulator> sim;
+        if (use_interp) {
+            sim = makeInterpSimulator(ctx, t.buildset);
+        } else {
+            sim = SimRegistry::instance().create(ctx, t.buildset);
+            if (!sim) {
+                throw SpecError("replay", "no generated simulator for " +
+                                              t.specName + "/" + t.buildset);
+            }
+        }
+        if (t.strictSyscalls)
+            ctx.os().setStrictUnknownSyscalls(true);
+
+        std::unique_ptr<obs::PcProfiler> prof;
+        if (t.profileStride) {
+            obs::PcProfiler::Config pc;
+            pc.strideInstrs = t.profileStride;
+            prof = std::make_unique<obs::PcProfiler>(*spec, pc);
+            sim->setProfiler(prof.get());
+        }
+
+        std::unique_ptr<fault::FaultInjector> inj;
+        if (!t.faultPlan.empty()) {
+            inj = std::make_unique<fault::FaultInjector>(t.faultPlan);
+            inj->attach(ctx);
+        }
+        verifier.attach(ctx);
+
+        if (!t.initImage.empty()) {
+            ckpt::restore(ctx, ckpt::decode(t.initImage));
+            sim->onStateRestored();
+        }
+        if (!t.restoreImages.empty()) {
+            // Decode exactly as the recorded job did -- including the
+            // injector's container corruption, so a container-fault
+            // quarantine replays the decode failure itself.
+            std::vector<ckpt::Checkpoint> owned;
+            owned.reserve(t.restoreImages.size());
+            for (const auto &img : t.restoreImages) {
+                std::vector<uint8_t> bytes = img;
+                if (inj)
+                    inj->corruptContainer(bytes);
+                owned.push_back(ckpt::decode(bytes));
+            }
+            std::vector<const ckpt::Checkpoint *> chain;
+            chain.reserve(owned.size());
+            for (const auto &c : owned)
+                chain.push_back(&c);
+            ckpt::restoreChain(ctx, chain);
+            sim->onStateRestored();
+        }
+
+        // Drive the recorded cut schedule: same segment boundaries as
+        // the recording harness, state faults applied between segments
+        // exactly as the fleet's chunked loop applies them, preempt
+        // cuts invalidating caches the way a restore does.
+        RunResult acc;
+        uint64_t remaining = max_instrs;
+        size_t ci = 0;
+        while (true) {
+            if (inj && inj->applyStateFaults(ctx))
+                sim->onStateRestored();
+            if (remaining == 0) {
+                acc.status = RunStatus::Ok;
+                break;
+            }
+            uint64_t chunk = remaining;
+            if (ci < t.cuts.size()) {
+                if (t.cuts[ci].instrs <= acc.instrs) {
+                    // Defensive: a stale or duplicate cut; skip it.
+                    ++ci;
+                    continue;
+                }
+                chunk = std::min(chunk, t.cuts[ci].instrs - acc.instrs);
+            }
+            RunResult r = sim->run(chunk);
+            acc.instrs += r.instrs;
+            acc.status = r.status;
+            if (r.status != RunStatus::Ok)
+                break;
+            remaining -= std::min<uint64_t>(r.instrs, remaining);
+            if (ci < t.cuts.size() && acc.instrs >= t.cuts[ci].instrs) {
+                if (t.cuts[ci].kind == CutKind::Preempt)
+                    sim->onStateRestored();
+                ++ci;
+            }
+        }
+
+        rep.status = acc.status;
+        rep.instrs = acc.instrs;
+        rep.output = ctx.os().output();
+        rep.stateHash = parallel::contextStateHash(ctx, rep.output);
+        stats::StatGroup &g =
+            reg.group(parallel::fleetGroupPath(t.specName, t.buildset));
+        sim->publishStats(g);
+        if (prof)
+            prof->publish(g.group("profile"));
+        std::ostringstream dump;
+        reg.dump(dump);
+        rep.statsDump = dump.str();
+    } catch (const ReplayDivergence &e) {
+        diverged = true;
+        rep.mismatches.push_back(e.what());
+        rep.errorKind = e.kind();
+        rep.error = e.what();
+    } catch (const SimError &e) {
+        kind = e.kind();
+        emsg = e.what();
+    } catch (const std::exception &e) {
+        kind = ErrorKind::Internal;
+        emsg = e.what();
+    }
+    rep.syscallsVerified = verifier.verified();
+    if (!diverged) {
+        rep.errorKind = kind;
+        rep.error = emsg;
+    }
+
+    // Compare against the recorded outcome.
+    auto mism = [&rep](std::string m) {
+        rep.mismatches.push_back(std::move(m));
+    };
+    if (!diverged) {
+        if (x.errorKind != ErrorKind::None) {
+            if (resource_tape) {
+                // Wall-clock failures cannot re-fire; a clean (or again
+                // Resource-classed) arrival at the recorded schedule's
+                // end counts as matching.
+                if (kind != ErrorKind::None && kind != ErrorKind::Resource) {
+                    mism(std::string("recording died of a resource-class "
+                                     "failure but replay raised ") +
+                         errorKindName(kind) + ": " + emsg);
+                }
+            } else if (kind != x.errorKind) {
+                mism("recording died with " +
+                     std::string(errorKindName(x.errorKind)) + " error (" +
+                     x.errorMessage + ") but replay " +
+                     (kind == ErrorKind::None
+                          ? "completed cleanly"
+                          : std::string("raised ") + errorKindName(kind) +
+                                ": " + emsg));
+            }
+        } else if (kind != ErrorKind::None) {
+            mism(std::string("recording completed but replay raised ") +
+                 errorKindName(kind) + ": " + emsg);
+        }
+
+        if (x.finished && kind == ErrorKind::None) {
+            if (rep.stateHash != x.stateHash) {
+                mism("final state hash diverged: recorded " +
+                     hex64(x.stateHash) + ", replayed " +
+                     hex64(rep.stateHash));
+            }
+            if (rep.output != x.output)
+                mism("guest output diverged from the recording");
+            if (rep.instrs != x.instrs) {
+                mism("instruction count diverged: recorded " +
+                     std::to_string(x.instrs) + ", replayed " +
+                     std::to_string(rep.instrs));
+            }
+            if (rep.status != x.runStatus) {
+                mism(std::string("run status diverged: recorded ") +
+                     runStatusName(x.runStatus) + ", replayed " +
+                     runStatusName(rep.status));
+            }
+            if (opt.strictTape && rep.syscallsVerified < t.syscalls.size()) {
+                mism("replay made " +
+                     std::to_string(rep.syscallsVerified) + " of the " +
+                     std::to_string(t.syscalls.size()) +
+                     " recorded OS calls");
+            }
+            // The stats dump is a pure function of (job, back end):
+            // decode/block-cache counters are how the back end worked,
+            // not what the guest did, so only a same-back-end replay
+            // must reproduce it bit-for-bit.  Cross-back-end replays
+            // are held to architectural identity (hash, output, instrs,
+            // OS-call stream) above -- the single-spec claim itself.
+            if (opt.compareStats && !x.statsDump.empty() &&
+                use_interp == t.useInterp) {
+                rep.statsCompared = true;
+                if (rep.statsDump != x.statsDump)
+                    mism("stats dump diverged from the recording");
+            }
+        }
+    }
+
+    rep.identical = rep.mismatches.empty();
+    if (!rep.identical && opt.throwOnMismatch)
+        throw ReplayDivergence(rep.mismatches.front());
+    return rep;
+}
+
+} // namespace onespec::replay

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Strict-tape replay: re-execute a recorded Tape and verify that the
+ * re-execution is bit-identical to the recording.
+ *
+ * The replayer mirrors the fleet's job harness: fresh context, load the
+ * tape's program, instantiate the recorded (or an explicitly chosen)
+ * back end, attach a fault injector built from the tape's plan, restore
+ * the embedded initial checkpoint and/or decode the raw restore images
+ * exactly as the recorded job did, then drive the simulator through the
+ * recorded cut schedule (a preempt cut additionally invalidates
+ * simulator caches, reproducing the daemon's checkpoint/restore
+ * round-trip).  In strict mode every OS-call result is compared against
+ * the tape as it happens; a mismatch raises ReplayDivergence -- a typed
+ * SimError -- which ends the replay.  Afterwards the final state hash,
+ * output, instruction count, run status, error kind, and (when the
+ * recording carried one) stats dump are compared against the tape's
+ * EXPT section.
+ *
+ * Resource-kind recordings (watchdog deadlines) are wall-clock events
+ * that re-execution cannot re-raise; the replay instead runs the
+ * recorded cut schedule plus at most one chunkHint-sized segment -- an
+ * upper bound on what the recorded run executed -- and a clean arrival
+ * there counts as matching.
+ */
+
+#ifndef ONESPEC_REPLAY_REPLAYER_HPP
+#define ONESPEC_REPLAY_REPLAYER_HPP
+
+#include <string>
+#include <vector>
+
+#include "replay/tape.hpp"
+
+namespace onespec::replay {
+
+/** Raised when a strict replay observes something the tape did not
+ *  record (or vice versa).  Divergence means the recording and this
+ *  build disagree about a deterministic execution -- a genuine bug on
+ *  one side -- so it is its own typed error, distinct from damage
+ *  (TapeError) and from the guest's own failures. */
+class ReplayDivergence : public GuestError
+{
+  public:
+    explicit ReplayDivergence(const std::string &what)
+        : GuestError("replay", what)
+    {}
+};
+
+/** Which back end re-executes the tape. */
+enum class ReplayBackend : uint8_t
+{
+    Recorded,  ///< whatever the tape was recorded on (META.useInterp)
+    Interp,    ///< force the interpreter
+    Generated, ///< force the generated simulator
+};
+
+struct ReplayOptions
+{
+    ReplayBackend backend = ReplayBackend::Recorded;
+
+    /** Verify each OS-call result against the tape as it happens (the
+     *  strict-tape mode); false only replays and compares the end
+     *  state. */
+    bool strictTape = true;
+
+    /** Compare the recorded stats dump (skipped automatically when the
+     *  recording died in flight and carried no dump). */
+    bool compareStats = true;
+
+    /** Re-throw the first mismatch as ReplayDivergence instead of
+     *  returning a non-identical report. */
+    bool throwOnMismatch = false;
+};
+
+/** What one replay produced and how it compared. */
+struct ReplayReport
+{
+    /** True iff the replay matched the tape in every compared respect. */
+    bool identical = false;
+    /** Human-readable description of each mismatch, most basic first. */
+    std::vector<std::string> mismatches;
+
+    // What the replay itself produced.
+    RunStatus status = RunStatus::Ok;
+    uint64_t instrs = 0;
+    uint64_t stateHash = 0;
+    std::string output;
+    std::string statsDump;
+    ErrorKind errorKind = ErrorKind::None; ///< error the replay raised
+    std::string error;                     ///< its what() text
+
+    uint64_t syscallsVerified = 0; ///< records checked against the tape
+    bool statsCompared = false;    ///< stats dump was actually compared
+    bool usedInterp = false;       ///< back end the replay ran on
+};
+
+/**
+ * Re-execute @p t and compare.  Throws TapeError when the tape itself
+ * is unusable here (unknown spec, fingerprint mismatch, no program);
+ * divergence and guest errors are *reported*, not thrown, unless
+ * opt.throwOnMismatch.
+ */
+ReplayReport replayTape(const Tape &t, const ReplayOptions &opt = {});
+
+} // namespace onespec::replay
+
+#endif // ONESPEC_REPLAY_REPLAYER_HPP

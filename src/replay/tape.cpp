@@ -1,0 +1,301 @@
+#include "replay/tape.hpp"
+
+#include <cstring>
+
+#include "replay/framing.hpp"
+
+namespace onespec::replay {
+
+namespace {
+
+using detail::Reader;
+using detail::Section;
+using detail::Writer;
+using detail::fourcc;
+
+constexpr char kTapeMagic[8] = {'O', 'S', 'P', 'T', 'A', 'P', 'E', '1'};
+
+constexpr uint32_t kTagMeta = fourcc('M', 'E', 'T', 'A');
+constexpr uint32_t kTagProg = fourcc('P', 'R', 'O', 'G');
+constexpr uint32_t kTagInit = fourcc('I', 'N', 'I', 'T');
+constexpr uint32_t kTagRimg = fourcc('R', 'I', 'M', 'G');
+constexpr uint32_t kTagFpln = fourcc('F', 'P', 'L', 'N');
+constexpr uint32_t kTagCuts = fourcc('C', 'U', 'T', 'S');
+constexpr uint32_t kTagSysc = fourcc('S', 'Y', 'S', 'C');
+constexpr uint32_t kTagExpt = fourcc('E', 'X', 'P', 'T');
+
+// ---------------------------------------------------------------------------
+// Section payload encoders.
+
+std::vector<uint8_t>
+encodeMeta(const Tape &t)
+{
+    Writer w;
+    w.str(t.specName);
+    w.u64(t.specFingerprint);
+    w.str(t.buildset);
+    w.u8(t.useInterp ? 1 : 0);
+    w.str(t.jobName);
+    w.u64(t.maxInstrs);
+    w.u8(t.strictSyscalls ? 1 : 0);
+    w.u64(t.profileStride);
+    w.u64(t.chunkHint);
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeProg(const Program &p)
+{
+    Writer w;
+    w.str(p.name);
+    w.u64(p.entry);
+    w.u64(p.stackTop);
+    w.u64(p.initialBrk);
+    w.blob(p.stdinData);
+    w.u32(static_cast<uint32_t>(p.segments.size()));
+    for (const auto &seg : p.segments) {
+        w.u64(seg.base);
+        w.blob(seg.bytes);
+    }
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeRimg(const std::vector<std::vector<uint8_t>> &imgs)
+{
+    Writer w;
+    w.u32(static_cast<uint32_t>(imgs.size()));
+    for (const auto &img : imgs)
+        w.blob(img);
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeFpln(const fault::FaultPlan &plan)
+{
+    Writer w;
+    w.u64(plan.seed);
+    w.u32(static_cast<uint32_t>(plan.events.size()));
+    for (const auto &ev : plan.events) {
+        // `fired` is runtime state, not schedule: a decoded plan starts
+        // pristine so replay re-fires the same events.
+        w.u8(static_cast<uint8_t>(ev.op));
+        w.u64(ev.trigger);
+        w.u64(ev.target);
+        w.u32(ev.bit);
+    }
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeCuts(const std::vector<TapeCut> &cuts)
+{
+    Writer w;
+    w.u64(cuts.size());
+    for (const auto &c : cuts) {
+        w.u64(c.instrs);
+        w.u8(static_cast<uint8_t>(c.kind));
+    }
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeSysc(const std::vector<OsEmulator::SyscallRecord> &calls)
+{
+    Writer w;
+    w.u64(calls.size());
+    for (const auto &r : calls) {
+        w.u64(r.num);
+        w.u64(r.a0);
+        w.u64(r.a1);
+        w.u64(r.a2);
+        w.u64(r.ret);
+        w.u8(r.err ? 1 : 0);
+    }
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeExpt(const TapeExpected &x)
+{
+    Writer w;
+    w.u8(x.finished ? 1 : 0);
+    w.u8(static_cast<uint8_t>(x.runStatus));
+    w.u64(x.stateHash);
+    w.u64(x.instrs);
+    w.str(x.output);
+    w.str(x.statsDump);
+    w.u8(static_cast<uint8_t>(x.errorKind));
+    w.str(x.errorContext);
+    w.str(x.errorMessage);
+    return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Section payload decoders.
+
+void
+decodeMeta(Reader r, Tape &t)
+{
+    t.specName = r.str();
+    t.specFingerprint = r.u64();
+    t.buildset = r.str();
+    t.useInterp = r.u8() != 0;
+    t.jobName = r.str();
+    t.maxInstrs = r.u64();
+    t.strictSyscalls = r.u8() != 0;
+    t.profileStride = r.u64();
+    t.chunkHint = r.u64();
+}
+
+void
+decodeProg(Reader r, Tape &t)
+{
+    t.hasProgram = true;
+    t.program.name = r.str();
+    t.program.entry = r.u64();
+    t.program.stackTop = r.u64();
+    t.program.initialBrk = r.u64();
+    t.program.stdinData = r.blob();
+    uint32_t nseg = r.u32();
+    t.program.segments.clear();
+    t.program.segments.reserve(nseg);
+    for (uint32_t i = 0; i < nseg; ++i) {
+        Segment seg;
+        seg.base = r.u64();
+        seg.bytes = r.blob();
+        t.program.segments.push_back(std::move(seg));
+    }
+}
+
+void
+decodeRimg(Reader r, Tape &t)
+{
+    uint32_t n = r.u32();
+    t.restoreImages.clear();
+    t.restoreImages.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        t.restoreImages.push_back(r.blob());
+}
+
+void
+decodeFpln(Reader r, Tape &t)
+{
+    t.faultPlan.seed = r.u64();
+    uint32_t n = r.u32();
+    t.faultPlan.events.clear();
+    t.faultPlan.events.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        fault::FaultEvent ev;
+        ev.op = static_cast<fault::FaultOp>(r.u8());
+        ev.trigger = r.u64();
+        ev.target = r.u64();
+        ev.bit = r.u32();
+        t.faultPlan.events.push_back(ev);
+    }
+}
+
+void
+decodeCuts(Reader r, Tape &t)
+{
+    uint64_t n = r.u64();
+    t.cuts.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        TapeCut c;
+        c.instrs = r.u64();
+        c.kind = static_cast<CutKind>(r.u8());
+        t.cuts.push_back(c);
+    }
+}
+
+void
+decodeSysc(Reader r, Tape &t)
+{
+    uint64_t n = r.u64();
+    t.syscalls.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        OsEmulator::SyscallRecord rec;
+        rec.num = r.u64();
+        rec.a0 = r.u64();
+        rec.a1 = r.u64();
+        rec.a2 = r.u64();
+        rec.ret = r.u64();
+        rec.err = r.u8() != 0;
+        t.syscalls.push_back(rec);
+    }
+}
+
+void
+decodeExpt(Reader r, Tape &t)
+{
+    t.expected.finished = r.u8() != 0;
+    t.expected.runStatus = static_cast<RunStatus>(r.u8());
+    t.expected.stateHash = r.u64();
+    t.expected.instrs = r.u64();
+    t.expected.output = r.str();
+    t.expected.statsDump = r.str();
+    t.expected.errorKind = static_cast<ErrorKind>(r.u8());
+    t.expected.errorContext = r.str();
+    t.expected.errorMessage = r.str();
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeTape(const Tape &t)
+{
+    std::vector<Section> sections;
+    sections.push_back({kTagMeta, encodeMeta(t)});
+    if (t.hasProgram)
+        sections.push_back({kTagProg, encodeProg(t.program)});
+    if (!t.initImage.empty())
+        sections.push_back({kTagInit, t.initImage});
+    if (!t.restoreImages.empty())
+        sections.push_back({kTagRimg, encodeRimg(t.restoreImages)});
+    if (!t.faultPlan.empty())
+        sections.push_back({kTagFpln, encodeFpln(t.faultPlan)});
+    if (!t.cuts.empty())
+        sections.push_back({kTagCuts, encodeCuts(t.cuts)});
+    sections.push_back({kTagSysc, encodeSysc(t.syscalls)});
+    sections.push_back({kTagExpt, encodeExpt(t.expected)});
+    return detail::frameSections(kTapeMagic, kTapeVersion, sections);
+}
+
+Tape
+decodeTape(const std::vector<uint8_t> &bytes)
+{
+    std::vector<Section> sections =
+        detail::unframeSections(bytes, kTapeMagic, kTapeVersion, "tape");
+    Tape t;
+    bool saw_meta = false, saw_expt = false;
+    for (const auto &s : sections) {
+        const uint8_t *p = s.payload.data();
+        size_t len = s.payload.size();
+        if (s.tag == kTagMeta) {
+            decodeMeta(Reader(p, len, "META"), t);
+            saw_meta = true;
+        } else if (s.tag == kTagProg) {
+            decodeProg(Reader(p, len, "PROG"), t);
+        } else if (s.tag == kTagInit) {
+            t.initImage = s.payload;
+        } else if (s.tag == kTagRimg) {
+            decodeRimg(Reader(p, len, "RIMG"), t);
+        } else if (s.tag == kTagFpln) {
+            decodeFpln(Reader(p, len, "FPLN"), t);
+        } else if (s.tag == kTagCuts) {
+            decodeCuts(Reader(p, len, "CUTS"), t);
+        } else if (s.tag == kTagSysc) {
+            decodeSysc(Reader(p, len, "SYSC"), t);
+        } else if (s.tag == kTagExpt) {
+            decodeExpt(Reader(p, len, "EXPT"), t);
+            saw_expt = true;
+        }
+        // Unknown tags: skip (forward compatibility); their CRC was
+        // still verified by the unframer.
+    }
+    if (!saw_meta || !saw_expt)
+        throw TapeError("tape is missing a required section (META/EXPT)");
+    return t;
+}
+
+} // namespace onespec::replay

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic record/replay tapes.
+ *
+ * A Tape is everything needed to re-execute one fleet or service job
+ * bit-for-bit on a machine that has only the OneSpec build and the tape
+ * file: the job's identity (spec name + fingerprint, buildset, back
+ * end), the full Program image, any initial state (an embedded
+ * OSPCKPT2 checkpoint captured after restore chains, or the raw
+ * serialized containers a container-fault job was asked to decode), the
+ * fault plan, the slice/chunk cut schedule the harness drove the run
+ * with, every OS-call result the guest observed, and the outcome the
+ * recording run produced (final state hash, output, stats dump, or the
+ * SimError that quarantined it).
+ *
+ * The on-disk container ("OSPTAPE1") reuses the OSPCKPT2 framing
+ * conventions from src/ckpt/: a magic + version header, a section table
+ * of (FourCC tag, offset, length, CRC-32) rows, a header CRC, and
+ * little-endian byte-by-byte field encoding so a tape written on any
+ * host loads on any other.  Any truncation, CRC mismatch, or structural
+ * damage throws TapeError -- a damaged tape is never silently replayed.
+ * Unknown section tags are skipped, so future writers can extend the
+ * format without breaking this reader.
+ *
+ * The byte-level format is documented in docs/REPLAY.md.
+ */
+
+#ifndef ONESPEC_REPLAY_TAPE_HPP
+#define ONESPEC_REPLAY_TAPE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "iface/functional_simulator.hpp"
+#include "runtime/os.hpp"
+#include "runtime/program.hpp"
+#include "support/sim_error.hpp"
+
+namespace onespec::replay {
+
+/** Raised for any invalid, damaged, or mismatched tape or bundle
+ *  container.  A tape is serialized guest history, so like CkptError
+ *  this is a GuestError: the consumer rejects it and never retries. */
+class TapeError : public GuestError
+{
+  public:
+    explicit TapeError(const std::string &what) : GuestError("tape", what) {}
+};
+
+/** Container format version this build writes and reads. */
+constexpr uint32_t kTapeVersion = 1;
+
+/** Why the harness stopped the simulator at a cut point. */
+enum class CutKind : uint8_t
+{
+    Chunk = 0,   ///< fleet watchdog/fault chunk boundary
+    Preempt = 1, ///< daemon preemption (checkpoint + later restore)
+};
+
+/**
+ * One point where the recording harness split the run into separate
+ * sim->run() calls.  @p instrs is cumulative instructions retired since
+ * the run began.  Replay re-executes the same schedule: chunk
+ * boundaries can shift block-level crossing counts (never architectural
+ * results), and a preempt boundary additionally invalidates simulator
+ * caches the way a checkpoint restore does -- so reproducing the stats
+ * dump requires reproducing the cuts.
+ */
+struct TapeCut
+{
+    uint64_t instrs = 0;
+    CutKind kind = CutKind::Chunk;
+};
+
+/** What the recording run produced; replay compares itself against
+ *  this. */
+struct TapeExpected
+{
+    /** True when the recorded run ran to completion and the final-state
+     *  fields below are meaningful; false when it died in flight (the
+     *  quarantine case) and only the error fields matter. */
+    bool finished = false;
+
+    RunStatus runStatus = RunStatus::Ok;
+    uint64_t stateHash = 0; ///< parallel::contextStateHash of the final state
+    uint64_t instrs = 0;    ///< instructions retired
+    std::string output;     ///< bytes the guest wrote to stdout
+    std::string statsDump;  ///< the job registry's dump() text
+
+    /** Taxonomy class of the error that ended the recorded run
+     *  (ErrorKind::None for a clean run). */
+    ErrorKind errorKind = ErrorKind::None;
+    std::string errorContext; ///< SimError context ("os", "ckpt", ...)
+    std::string errorMessage; ///< SimError what() text
+};
+
+/** A complete recorded run. */
+struct Tape
+{
+    // META: job identity and harness knobs.
+    std::string specName;
+    uint64_t specFingerprint = 0;
+    std::string buildset;
+    bool useInterp = false; ///< back end the recording ran on
+    std::string jobName;
+    uint64_t maxInstrs = ~uint64_t{0};
+    bool strictSyscalls = false;
+    uint64_t profileStride = 0;
+    /** The harness's chunk/slice size: the most the recorded run can
+     *  have executed past the last cut.  Bounds replay of Resource-kind
+     *  (wall-clock) failures, which cannot be re-raised by re-execution. */
+    uint64_t chunkHint = 0;
+
+    // PROG: the initial program image.
+    bool hasProgram = false;
+    Program program;
+
+    // INIT: optional embedded OSPCKPT2 container -- the context state
+    // after any restore chain, so replay composes with checkpoint
+    // restore without access to the original checkpoints.
+    std::vector<uint8_t> initImage;
+
+    // RIMG: serialized checkpoint containers the job decoded *in-job*
+    // (fleet restoreImages).  Kept raw, pre-corruption, so a
+    // container-fault quarantine replays the decode failure itself.
+    std::vector<std::vector<uint8_t>> restoreImages;
+
+    // FPLN: fault plan (empty = no injection).
+    fault::FaultPlan faultPlan;
+
+    // CUTS: the cut schedule, ascending cumulative instruction counts.
+    std::vector<TapeCut> cuts;
+
+    // SYSC: every OS-call result the guest observed, in order.
+    std::vector<OsEmulator::SyscallRecord> syscalls;
+
+    // EXPT: the recorded outcome.
+    TapeExpected expected;
+};
+
+/** Serialize to the OSPTAPE1 container. */
+std::vector<uint8_t> encodeTape(const Tape &t);
+
+/** Parse and validate a container image.  Throws TapeError on bad
+ *  magic, unsupported version, truncation, or any CRC mismatch. */
+Tape decodeTape(const std::vector<uint8_t> &bytes);
+
+} // namespace onespec::replay
+
+#endif // ONESPEC_REPLAY_TAPE_HPP

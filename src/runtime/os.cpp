@@ -22,9 +22,22 @@ OsEmulator::doSyscall()
         return state_->readRef(abi_->args[i]);
     };
     auto setResult = [&](uint64_t v, bool err) {
+        SyscallRecord rec;
+        if (hook_) [[unlikely]] {
+            // Capture the arguments before the result register is
+            // written: on some ABIs (arm32) they alias.
+            rec.num = num;
+            rec.a0 = arg(0);
+            rec.a1 = arg(1);
+            rec.a2 = arg(2);
+            rec.ret = v;
+            rec.err = err;
+        }
         state_->writeRef(abi_->ret, v);
         if (abi_->error.valid)
             state_->writeRef(abi_->error, err ? 1 : 0);
+        if (hook_) [[unlikely]]
+            hook_->onSyscallResult(rec);
     };
 
     if (hook_) [[unlikely]] {

@@ -39,6 +39,19 @@ class OsEmulator
 {
   public:
     /**
+     * One completed OS call as seen at the interface: number, the ABI
+     * argument registers, and the result the guest observed.  This is
+     * the unit of nondeterminism the replay tape records (src/replay/).
+     */
+    struct SyscallRecord
+    {
+        uint64_t num = 0;
+        uint64_t a0 = 0, a1 = 0, a2 = 0;
+        uint64_t ret = 0;
+        bool err = false;
+    };
+
+    /**
      * Fault-injection hook (src/fault/).  Consulted before each OS call
      * is emulated; returning true makes the call fail with -1/error as
      * if the OS had rejected it.  Detached by default (one branch).
@@ -47,6 +60,10 @@ class OsEmulator
     {
         virtual ~SyscallHook() = default;
         virtual bool onSyscall(uint64_t num) = 0;
+        /** Called after every emulated call with the result the guest
+         *  saw (including hook-forced failures).  Default: ignore, so
+         *  existing hooks (the fault injector) are unaffected. */
+        virtual void onSyscallResult(const SyscallRecord &) {}
     };
 
     OsEmulator(const ResolvedAbi &abi, Memory &mem, ArchState &state)
@@ -57,6 +74,7 @@ class OsEmulator
     void doSyscall();
 
     void setSyscallHook(SyscallHook *hook) { hook_ = hook; }
+    SyscallHook *syscallHook() const { return hook_; }
 
     /**
      * In strict mode an unknown OS-call number throws GuestError (the

@@ -43,8 +43,14 @@ ServiceClient::connect(const std::string &socket_path,
     }
     std::strncpy(addr.sun_path, socket_path.c_str(),
                  sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+    // EINTR retry: a signal (profiler tick, SIGCHLD from a test harness)
+    // landing mid-connect must not surface as a connection failure.
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
         int e = errno;
         ::close(fd);
         throw ResourceError("service", "cannot connect to " + socket_path +
@@ -156,7 +162,14 @@ ServiceClient::poll(ClientEvent &out, int timeout_ms)
     pfd.fd = fd_;
     pfd.events = POLLIN;
     pfd.revents = 0;
-    int rc = ::poll(&pfd, 1, timeout_ms);
+    // EINTR retry: treat an interrupted wait like a wakeup with nothing
+    // ready and poll again (the harmless over-wait beats a spurious
+    // ResourceError in the middle of a result stream).
+    int rc;
+    do {
+        pfd.revents = 0;
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
     if (rc < 0)
         throw ResourceError("service", std::string("poll() failed: ") +
                                            strerror(errno));
@@ -175,6 +188,18 @@ ServiceClient::statsz()
         Frame f = readOrThrow("Statsz");
         if (f.type == FrameType::Statsz)
             return decodeStatsz(f.payload);
+        pending_.push_back(toEvent(std::move(f)));
+    }
+}
+
+BundleData
+ServiceClient::fetchBundle(uint64_t job_id)
+{
+    writeFrame(fd_, FrameType::BundleReq, encodeBundleReq(job_id));
+    while (true) {
+        Frame f = readOrThrow("Bundle");
+        if (f.type == FrameType::Bundle)
+            return decodeBundleData(f.payload);
         pending_.push_back(toEvent(std::move(f)));
     }
 }

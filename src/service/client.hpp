@@ -90,6 +90,14 @@ class ServiceClient
     /** Request and return the daemon's /statsz JSON dump. */
     std::string statsz();
 
+    /**
+     * Download the repro bundle the daemon recorded for job @p job_id
+     * (quarantined jobs under a daemon started with --bundle-dir).  The
+     * returned bytes are a verbatim OSPBNDL1 container ready for
+     * `onespec-replay`; found is false when the daemon has none.
+     */
+    BundleData fetchBundle(uint64_t job_id);
+
     /** Ask the daemon to drain and exit; returns once ShutdownAck
      *  arrives (all Results stream out first and are queued). */
     void shutdownServer();

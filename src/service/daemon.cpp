@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,11 +28,14 @@
 #include "parallel/fleet.hpp"
 #include "parallel/threadpool.hpp"
 #include "perf/hostcount.hpp"
+#include "replay/bundle.hpp"
+#include "replay/recorder.hpp"
 #include "runtime/context.hpp"
 #include "service/protocol.hpp"
 #include "sim/interp.hpp"
 #include "stats/json.hpp"
 #include "stats/stats.hpp"
+#include "support/logging.hpp"
 #include "support/sim_error.hpp"
 #include "workload/builder.hpp"
 #include "workload/kernels.hpp"
@@ -155,6 +159,12 @@ struct ServiceDaemon::Impl
         uint64_t sliceSeq = 0;
         std::string ckptName;     ///< live store container; empty if none
         RunStatus lastStatus = RunStatus::Ok;
+
+        /** Record mode (ServiceConfig::bundleDir): the travelling tape
+         *  recorder, created on the first slice and re-attached every
+         *  slice (markSlice/rollbackSlice make checkpoint-resume retries
+         *  safe).  Null when record mode is off. */
+        std::unique_ptr<replay::TapeRecorder> recorder;
     };
 
     // ---- one warm simulator context ------------------------------------
@@ -234,6 +244,12 @@ struct ServiceDaemon::Impl
     std::mutex svcM;
     SvcCounters svc;
     ckpt::CkptCounters svcCkpt; ///< aggregated at job completion
+
+    /** Repro bundles written for quarantined jobs (record mode), keyed
+     *  by job id; served back over the wire on BundleReq.  Outlives the
+     *  JobRecord so a client can fetch after the Result arrived. */
+    std::mutex bundleM;
+    std::map<uint64_t, std::string> bundlePaths;
 
     // ---------------------------------------------------------- lifecycle
 
@@ -469,6 +485,29 @@ struct ServiceDaemon::Impl
         case FrameType::StatszReq:
             conn->send(FrameType::Statsz, encodeStatsz(statszJson()));
             break;
+        case FrameType::BundleReq: {
+            BundleData bd;
+            bd.jobId = decodeBundleReq(f.payload);
+            std::string path;
+            {
+                std::lock_guard<std::mutex> lk(bundleM);
+                auto it = bundlePaths.find(bd.jobId);
+                if (it != bundlePaths.end())
+                    path = it->second;
+            }
+            if (!path.empty()) {
+                std::ifstream in(path, std::ios::binary);
+                if (in) {
+                    bd.bytes.assign(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+                    bd.found = !in.bad();
+                }
+            }
+            if (!bd.found)
+                bd.bytes.clear();
+            conn->send(FrameType::Bundle, encodeBundleData(bd));
+            break;
+        }
         case FrameType::Shutdown:
             handleShutdown(conn);
             break;
@@ -780,13 +819,13 @@ struct ServiceDaemon::Impl
                 ONESPEC_FR_INSTANT(obs::EvType::Deadline,
                                    static_cast<uint32_t>(id), rec->attempt,
                                    rec->spec.deadlineNs);
-                next = onJobError(*rec, e.kind(), e.what(),
+                next = onJobError(*rec, e.kind(), e.context(), e.what(),
                                   /*retryable=*/false);
             } catch (const SimError &e) {
-                next = onJobError(*rec, e.kind(), e.what(),
+                next = onJobError(*rec, e.kind(), e.context(), e.what(),
                                   e.kind() == ErrorKind::Resource);
             } catch (const std::exception &e) {
-                next = onJobError(*rec, ErrorKind::Internal, e.what(),
+                next = onJobError(*rec, ErrorKind::Internal, "", e.what(),
                                   /*retryable=*/false);
             }
             span.setArgs(rec->attempt, rec->instrsDone);
@@ -832,6 +871,19 @@ struct ServiceDaemon::Impl
                                 "' needs preemption slices but the daemon "
                                 "has no checkpoint store (--store)");
 
+        // Record mode: one travelling recorder per job, created on the
+        // first slice and re-attached each slice (the warm OsEmulator is
+        // shared, so the hook cannot stay installed between slices).
+        if (!cfg.bundleDir.empty() && !rec.recorder) {
+            rec.recorder = std::make_unique<replay::TapeRecorder>();
+            rec.recorder->setJob(rec.spec.isa, rec.isaSpec->fingerprint,
+                                 rec.spec.buildset, rec.spec.useInterp,
+                                 rec.spec.name, rec.spec.maxInstrs,
+                                 rec.spec.strictSyscalls,
+                                 rec.spec.profileStride, rec.sliceInstrs);
+            rec.recorder->setProgram(*rec.program);
+        }
+
         std::unique_ptr<WarmEntry> entry = acquireWarm(rec);
         SimContext &ctx = *entry->ctx;
         FunctionalSimulator &sim = *entry->sim;
@@ -865,7 +917,10 @@ struct ServiceDaemon::Impl
                                static_cast<uint32_t>(rec.id), rec.sliceSeq,
                                rec.instrsDone);
         } else if (entry->lastProgram == rec.program.get() &&
-                   !rec.spec.coldStats) {
+                   !rec.spec.coldStats && !rec.recorder) {
+            // (Recording also forces the cold path: the tape's expected
+            // stats dump must be a pure function of the job, and warm
+            // decode/block caches would leak the previous job into it.)
             // Same program image just reloaded: decode/block caches key
             // on PC over identical memory, so they are still valid --
             // this is the warm-pool payoff (docs/SERVICE.md caveats).
@@ -873,6 +928,23 @@ struct ServiceDaemon::Impl
             ++svc.warmReuses;
         } else {
             sim.onStateRestored();
+        }
+
+        // Declared after the lease: detaches (restoring the warm
+        // OsEmulator's previous hook) before the entry returns to the
+        // pool, on every exit path.
+        struct RecGuard
+        {
+            replay::TapeRecorder *r;
+            ~RecGuard()
+            {
+                if (r)
+                    r->detach();
+            }
+        } recGuard{rec.recorder.get()};
+        if (rec.recorder) {
+            rec.recorder->markSlice(); // rollback point for retries
+            rec.recorder->attach(ctx);
         }
 
         if (rec.spec.profileStride && !rec.prof) {
@@ -978,6 +1050,11 @@ struct ServiceDaemon::Impl
     {
         if (!store)
             throw SpecError("service", "preemption without a store");
+        // The slice boundary is part of the job's deterministic cut
+        // schedule: replay re-cuts run() here and flushes the simulator
+        // exactly like the post-restore onStateRestored() below does.
+        if (rec.recorder)
+            rec.recorder->noteCut(rec.instrsDone, replay::CutKind::Preempt);
         ++rec.sliceSeq;
         ckpt::Checkpoint ck = ckpt::capture(ctx, &rec.ckptCounters);
         const std::string name = "j" + std::to_string(rec.id) + "-s" +
@@ -1009,8 +1086,8 @@ struct ServiceDaemon::Impl
     }
 
     Next
-    onJobError(JobRecord &rec, ErrorKind kind, const std::string &msg,
-               bool retryable)
+    onJobError(JobRecord &rec, ErrorKind kind, const std::string &context,
+               const std::string &msg, bool retryable)
     {
         if (retryable && rec.attempt < rec.spec.maxAttempts) {
             ONESPEC_FR_INSTANT(obs::EvType::Retry,
@@ -1042,6 +1119,14 @@ struct ServiceDaemon::Impl
                 rec.prof.reset();
                 rec.instrsDone = 0;
                 rec.runNs = 0;
+                // The tape restarts with the stats: the retry IS the run
+                // the tape describes (first-slice code rebuilds it).
+                rec.recorder.reset();
+            } else if (rec.recorder) {
+                // With a checkpoint: the failed slice re-executes from
+                // the restore point, so its recorded syscalls would
+                // duplicate the stream -- drop back to the slice mark.
+                rec.recorder->rollbackSlice();
             }
             // With a checkpoint: completed slices already published their
             // stats; the failed slice published nothing (it throws before
@@ -1067,9 +1152,31 @@ struct ServiceDaemon::Impl
         res.preemptions = rec.preemptions;
         // Quarantined jobs ship no stats (fleet contract: a failed job
         // contributes nothing to any merge) but do ship a postmortem.
-        obs::FlightControl &fc = obs::FlightControl::instance();
-        if (fc.armed())
-            res.frTail = fc.local().tail(cfg.frTailEvents);
+        // tailOrEmpty: a disarmed or never-armed recorder yields an
+        // empty tail instead of registering this thread as a side effect.
+        res.frTail =
+            obs::FlightControl::instance().tailOrEmpty(cfg.frTailEvents);
+        // Record mode: the quarantine is exactly what bundles exist for.
+        if (rec.recorder) {
+            rec.recorder->finishError(kind, context, msg);
+            try {
+                replay::Bundle b;
+                b.tape = rec.recorder->takeTape();
+                b.frTail = res.frTail;
+                const std::string path = replay::writeBundle(
+                    cfg.bundleDir, rec.spec.name, rec.id, b);
+                {
+                    std::lock_guard<std::mutex> lk(bundleM);
+                    bundlePaths[rec.id] = path;
+                }
+            } catch (const std::exception &e) {
+                // A failed bundle write must not turn one quarantine
+                // into a daemon-level failure.
+                ONESPEC_WARN("failed to write repro bundle for job '",
+                             rec.spec.name, "': ", e.what());
+            }
+            rec.recorder.reset();
+        }
         if (!rec.ckptName.empty() && store) {
             store->removeCheckpoint(rec.ckptName);
             rec.ckptName.clear();

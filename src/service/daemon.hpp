@@ -57,6 +57,15 @@ struct ServiceConfig
     uint64_t backoffBaseNs = 1'000'000; ///< retry backoff base (<< k-1)
     size_t frTailEvents = 32; ///< postmortem events per quarantine
     size_t warmPoolCap = 16;  ///< idle warm contexts kept across all keys
+    /**
+     * Record mode (src/replay/): when non-empty, every job records a
+     * replay tape while it runs and every quarantined job writes a
+     * self-contained repro bundle into this directory; clients download
+     * it with a BundleReq frame (onespec-sub --fetch-bundle).  Recording
+     * forces cold simulator caches so the tape's expected stats dump is
+     * a pure function of the job.  Empty: no recording overhead.
+     */
+    std::string bundleDir;
 };
 
 /** The daemon.  Lifecycle: bind() [optional, pre-fork] -> start() ->

@@ -454,4 +454,49 @@ decodeStatsz(const std::vector<uint8_t> &payload)
     return s;
 }
 
+std::vector<uint8_t>
+encodeBundleReq(uint64_t job_id)
+{
+    WireWriter w;
+    w.u64(job_id);
+    return std::move(w.buf);
+}
+
+uint64_t
+decodeBundleReq(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    uint64_t id = r.u64();
+    r.expectEnd("BundleReq");
+    return id;
+}
+
+std::vector<uint8_t>
+encodeBundleData(const BundleData &m)
+{
+    WireWriter w;
+    w.u64(m.jobId);
+    w.u8(m.found ? 1 : 0);
+    w.u64(m.bytes.size());
+    w.buf.insert(w.buf.end(), m.bytes.begin(), m.bytes.end());
+    return std::move(w.buf);
+}
+
+BundleData
+decodeBundleData(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    BundleData m;
+    m.jobId = r.u64();
+    m.found = r.u8() != 0;
+    uint64_t n = r.u64();
+    if (r.off + n > r.len)
+        throw WireError("payload truncated (bundle of " +
+                        std::to_string(n) + " bytes)");
+    m.bytes.assign(r.p + r.off, r.p + r.off + n);
+    r.off += n;
+    r.expectEnd("Bundle");
+    return m;
+}
+
 } // namespace onespec::service

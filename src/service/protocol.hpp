@@ -59,8 +59,10 @@ enum class FrameType : uint8_t
     Result = 7,      ///< daemon -> client: final job outcome (streamed)
     StatszReq = 8,   ///< client -> daemon: dump service stats
     Statsz = 9,      ///< daemon -> client: service stats as JSON text
-    Shutdown = 10,   ///< client -> daemon: drain and exit
-    ShutdownAck = 11 ///< daemon -> client: drained; exiting
+    Shutdown = 10,    ///< client -> daemon: drain and exit
+    ShutdownAck = 11, ///< daemon -> client: drained; exiting
+    BundleReq = 12,   ///< client -> daemon: fetch a job's repro bundle
+    Bundle = 13       ///< daemon -> client: bundle bytes (or not-found)
 };
 
 /** One parsed frame. */
@@ -226,6 +228,20 @@ struct JobResult
     std::vector<obs::FrEvent> frTail;
 };
 
+/**
+ * Reply to a BundleReq: the raw OSPBNDL1 container the daemon wrote for
+ * a quarantined job (src/replay/bundle.hpp), shipped verbatim so the
+ * client can save it and hand it to `onespec-replay` unchanged.  found
+ * is false (and bytes empty) when the job never quarantined, record
+ * mode was off, or the bundle file has already been pruned.
+ */
+struct BundleData
+{
+    uint64_t jobId = 0;
+    bool found = false;
+    std::vector<uint8_t> bytes;
+};
+
 // Encoders build a full payload; decoders validate exact consumption.
 std::vector<uint8_t> encodeHello(const Hello &m);
 Hello decodeHello(const std::vector<uint8_t> &payload);
@@ -243,6 +259,10 @@ std::vector<uint8_t> encodeResult(const JobResult &m);
 JobResult decodeResult(const std::vector<uint8_t> &payload);
 std::vector<uint8_t> encodeStatsz(const std::string &json);
 std::string decodeStatsz(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeBundleReq(uint64_t job_id);
+uint64_t decodeBundleReq(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeBundleData(const BundleData &m);
+BundleData decodeBundleData(const std::vector<uint8_t> &payload);
 
 } // namespace onespec::service
 

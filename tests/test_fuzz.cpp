@@ -7,6 +7,7 @@
  * specification, any divergence is a synthesis or evaluation bug.
  */
 
+#include <filesystem>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -17,6 +18,8 @@
 #include "iface/registry.hpp"
 #include "parallel/fleet.hpp"
 #include "isa/isa.hpp"
+#include "replay/bundle.hpp"
+#include "replay/replayer.hpp"
 #include "runtime/context.hpp"
 #include "sim/interp.hpp"
 #include "workload/builder.hpp"
@@ -537,6 +540,96 @@ TEST_P(FuzzFaultTest, InjectedCorruptionIsNeverSilentlyAbsorbed)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIsas, FuzzFaultTest,
+                         ::testing::ValuesIn(fuzzCases()),
+                         [](const auto &info) {
+                             return info.param.isa + "_s" +
+                                    std::to_string(info.param.seed);
+                         });
+
+/**
+ * Record/replay family: random control-flow programs are recorded
+ * through the fleet's record mode on each back end, then every tape is
+ * strict-replayed on *both* back ends -- the recording of one must
+ * re-execute bit-identically on the other, since both derive from one
+ * specification.  A seeded single-bit corruption of each tape container
+ * must be rejected with TapeError, never silently replayed.
+ */
+class FuzzReplayTest : public ::testing::TestWithParam<FuzzCfg>
+{
+};
+
+TEST_P(FuzzReplayTest, RecordedRunsReplayIdenticallyOnBothBackEnds)
+{
+    const FuzzCfg &cfg = GetParam();
+    auto spec = loadIsa(cfg.isa);
+    std::mt19937 rng(cfg.seed ^ 0x5e91a700u);
+    parallel::SimFleet fleet(2);
+    const std::string dir = ::testing::TempDir() + "fuzz_replay_" +
+                            cfg.isa + "_s" + std::to_string(cfg.seed);
+
+    for (int round = 0; round < 2; ++round) {
+        uint32_t pseed = rng();
+        std::mt19937 prng(pseed);
+        Program prog = randomLoopProgram(*spec, prng);
+
+        // One recording per back end, via the fleet's record mode.
+        std::vector<parallel::FleetJob> jobs;
+        for (bool interp : {true, false}) {
+            parallel::FleetJob j;
+            j.spec = spec.get();
+            j.program = &prog;
+            j.buildset = interp ? "OneAllNo" : "BlockAllNo";
+            j.useInterp = interp;
+            j.maxInstrs = 100'000;
+            j.name = cfg.isa + (interp ? "/interp" : "/gen");
+            jobs.push_back(std::move(j));
+        }
+        parallel::FleetPolicy pol;
+        pol.bundleDir = dir;
+        pol.bundleAll = true;
+        parallel::FleetReport rep = fleet.run(jobs, pol);
+
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const auto &res = rep.results[i];
+            ASSERT_FALSE(res.quarantined)
+                << jobs[i].name << " seed=" << pseed << ": " << res.error;
+            ASSERT_FALSE(res.bundlePath.empty())
+                << jobs[i].name << " seed=" << pseed
+                << ": record mode emitted no bundle";
+            replay::Bundle b = replay::loadBundleFile(res.bundlePath);
+
+            for (auto be : {replay::ReplayBackend::Interp,
+                            replay::ReplayBackend::Generated}) {
+                replay::ReplayOptions opt;
+                opt.backend = be;
+                replay::ReplayReport rr = replay::replayTape(b.tape, opt);
+                std::string why;
+                for (const auto &m : rr.mismatches)
+                    why += m + "; ";
+                EXPECT_TRUE(rr.identical)
+                    << jobs[i].name << " seed=" << pseed << " replayed on "
+                    << (be == replay::ReplayBackend::Interp ? "interp"
+                                                            : "generated")
+                    << ": " << why;
+                EXPECT_EQ(rr.stateHash, res.stateHash)
+                    << jobs[i].name << " seed=" << pseed;
+            }
+
+            // Damage rejection: one seeded bit flip anywhere in the
+            // container must raise TapeError.
+            std::vector<uint8_t> bytes = replay::encodeTape(b.tape);
+            std::mt19937 crng(pseed ^ 0x7ab0u);
+            bytes[crng() % bytes.size()] ^=
+                static_cast<uint8_t>(1u << (crng() % 8));
+            EXPECT_THROW(replay::decodeTape(bytes), replay::TapeError)
+                << jobs[i].name << " seed=" << pseed;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, FuzzReplayTest,
                          ::testing::ValuesIn(fuzzCases()),
                          [](const auto &info) {
                              return info.param.isa + "_s" +

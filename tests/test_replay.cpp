@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Record/replay tests: OSPTAPE1/OSPBNDL1 container round-trips and
+ * damage rejection, TapeRecorder slice bookkeeping, strict-tape
+ * verification of the OS-call stream, and end-to-end repro bundles --
+ * a fleet quarantine must yield a bundle that re-executes to the same
+ * error kind (and a clean recording to the same state hash) on both
+ * back ends.  Format reference: docs/REPLAY.md.
+ */
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "fault/fault.hpp"
+#include "iface/registry.hpp"
+#include "isa/isa.hpp"
+#include "obs/flight_recorder.hpp"
+#include "parallel/fleet.hpp"
+#include "replay/bundle.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replayer.hpp"
+#include "replay/tape.hpp"
+#include "runtime/context.hpp"
+#include "sim/interp.hpp"
+#include "workload/builder.hpp"
+#include "workload/kernels.hpp"
+
+namespace onespec {
+namespace {
+
+using replay::Bundle;
+using replay::ReplayBackend;
+using replay::ReplayOptions;
+using replay::ReplayReport;
+using replay::Tape;
+using replay::TapeError;
+
+/** A fully populated tape (every section non-empty) for container
+ *  tests.  Small on purpose: damage tests flip every byte. */
+Tape
+sampleTape()
+{
+    auto spec = loadIsa("alpha64");
+    Tape t;
+    t.specName = spec->props.name;
+    t.specFingerprint = spec->fingerprint;
+    t.buildset = "BlockAllNo";
+    t.useInterp = false;
+    t.jobName = "alpha64/sample";
+    t.maxInstrs = 123456;
+    t.strictSyscalls = true;
+    t.profileStride = 64;
+    t.chunkHint = 4096;
+
+    auto b = makeBuilder(*spec);
+    t.program = buildKernel(*b, "fib", 8);
+    t.hasProgram = true;
+
+    t.initImage = {0xde, 0xad, 0xbe, 0xef, 0x01};
+    t.restoreImages.push_back({1, 2, 3});
+    t.restoreImages.push_back({});
+    t.restoreImages.push_back({9, 8, 7, 6});
+    t.faultPlan = fault::FaultPlan::random(
+        77, 1000, {fault::FaultOp::CorruptInstr, fault::FaultOp::PcBitFlip},
+        3);
+    t.cuts.push_back({1000, replay::CutKind::Chunk});
+    t.cuts.push_back({2000, replay::CutKind::Preempt});
+    t.syscalls.push_back({4, 1, 0x200, 9, 9, false});
+    t.syscalls.push_back({1, 42, 0, 0, ~uint64_t{0}, true});
+
+    t.expected.finished = true;
+    t.expected.runStatus = RunStatus::Halted;
+    t.expected.stateHash = 0x1122334455667788ull;
+    t.expected.instrs = 4242;
+    t.expected.output = "0000002b\n";
+    t.expected.statsDump = "fleet.alpha64.BlockAllNo.instrs 4242\n";
+    t.expected.errorKind = ErrorKind::None;
+    return t;
+}
+
+TEST(TapeContainer, RoundTripPreservesEveryField)
+{
+    Tape t = sampleTape();
+    Tape d = replay::decodeTape(replay::encodeTape(t));
+
+    EXPECT_EQ(d.specName, t.specName);
+    EXPECT_EQ(d.specFingerprint, t.specFingerprint);
+    EXPECT_EQ(d.buildset, t.buildset);
+    EXPECT_EQ(d.useInterp, t.useInterp);
+    EXPECT_EQ(d.jobName, t.jobName);
+    EXPECT_EQ(d.maxInstrs, t.maxInstrs);
+    EXPECT_EQ(d.strictSyscalls, t.strictSyscalls);
+    EXPECT_EQ(d.profileStride, t.profileStride);
+    EXPECT_EQ(d.chunkHint, t.chunkHint);
+
+    ASSERT_TRUE(d.hasProgram);
+    EXPECT_EQ(d.program.entry, t.program.entry);
+    ASSERT_EQ(d.program.segments.size(), t.program.segments.size());
+    for (size_t i = 0; i < t.program.segments.size(); ++i) {
+        EXPECT_EQ(d.program.segments[i].base, t.program.segments[i].base);
+        EXPECT_EQ(d.program.segments[i].bytes, t.program.segments[i].bytes);
+    }
+
+    EXPECT_EQ(d.initImage, t.initImage);
+    EXPECT_EQ(d.restoreImages, t.restoreImages);
+
+    EXPECT_EQ(d.faultPlan.seed, t.faultPlan.seed);
+    ASSERT_EQ(d.faultPlan.events.size(), t.faultPlan.events.size());
+    for (size_t i = 0; i < t.faultPlan.events.size(); ++i) {
+        EXPECT_EQ(static_cast<int>(d.faultPlan.events[i].op),
+                  static_cast<int>(t.faultPlan.events[i].op));
+        EXPECT_EQ(d.faultPlan.events[i].trigger,
+                  t.faultPlan.events[i].trigger);
+        EXPECT_EQ(d.faultPlan.events[i].target,
+                  t.faultPlan.events[i].target);
+        EXPECT_EQ(d.faultPlan.events[i].bit, t.faultPlan.events[i].bit);
+    }
+
+    ASSERT_EQ(d.cuts.size(), t.cuts.size());
+    for (size_t i = 0; i < t.cuts.size(); ++i) {
+        EXPECT_EQ(d.cuts[i].instrs, t.cuts[i].instrs);
+        EXPECT_EQ(static_cast<int>(d.cuts[i].kind),
+                  static_cast<int>(t.cuts[i].kind));
+    }
+
+    ASSERT_EQ(d.syscalls.size(), t.syscalls.size());
+    for (size_t i = 0; i < t.syscalls.size(); ++i) {
+        EXPECT_EQ(d.syscalls[i].num, t.syscalls[i].num);
+        EXPECT_EQ(d.syscalls[i].a0, t.syscalls[i].a0);
+        EXPECT_EQ(d.syscalls[i].a1, t.syscalls[i].a1);
+        EXPECT_EQ(d.syscalls[i].a2, t.syscalls[i].a2);
+        EXPECT_EQ(d.syscalls[i].ret, t.syscalls[i].ret);
+        EXPECT_EQ(d.syscalls[i].err, t.syscalls[i].err);
+    }
+
+    EXPECT_EQ(d.expected.finished, t.expected.finished);
+    EXPECT_EQ(static_cast<int>(d.expected.runStatus),
+              static_cast<int>(t.expected.runStatus));
+    EXPECT_EQ(d.expected.stateHash, t.expected.stateHash);
+    EXPECT_EQ(d.expected.instrs, t.expected.instrs);
+    EXPECT_EQ(d.expected.output, t.expected.output);
+    EXPECT_EQ(d.expected.statsDump, t.expected.statsDump);
+    EXPECT_EQ(static_cast<int>(d.expected.errorKind),
+              static_cast<int>(t.expected.errorKind));
+}
+
+TEST(TapeContainer, EveryByteFlipIsRejected)
+{
+    // A tape is serialized guest history: the whole container -- header,
+    // section table, every section payload -- must be CRC-guarded, so
+    // no single-bit flip anywhere can decode.
+    Tape t = sampleTape();
+    t.program = Program{}; // keep the image small enough to sweep fully
+    t.hasProgram = false;
+    const std::vector<uint8_t> good = replay::encodeTape(t);
+    (void)replay::decodeTape(good); // sanity: undamaged image decodes
+
+    for (size_t off = 0; off < good.size(); ++off) {
+        std::vector<uint8_t> bad = good;
+        bad[off] ^= 0x40;
+        EXPECT_THROW(replay::decodeTape(bad), TapeError)
+            << "byte " << off << " of " << good.size()
+            << " flipped undetected";
+    }
+}
+
+TEST(TapeContainer, TruncationIsRejected)
+{
+    const std::vector<uint8_t> good = replay::encodeTape(sampleTape());
+    for (size_t len : {size_t{0}, size_t{1}, size_t{7}, good.size() / 2,
+                       good.size() - 1}) {
+        std::vector<uint8_t> bad(good.begin(), good.begin() + len);
+        EXPECT_THROW(replay::decodeTape(bad), TapeError)
+            << "truncation to " << len << " bytes undetected";
+    }
+}
+
+TEST(BundleContainer, RoundTripRegeneratesManifestAndRejectsDamage)
+{
+    Bundle b;
+    b.tape = sampleTape();
+    obs::FrEvent ev;
+    ev.tsNs = 123;
+    ev.a0 = 7;
+    ev.a1 = 9;
+    ev.id = 3;
+    b.frTail.assign(3, ev);
+
+    // In-memory round trip preserves an explicit manifest verbatim.
+    b.manifest = "custom: manifest\n";
+    Bundle d = replay::decodeBundle(replay::encodeBundle(b));
+    EXPECT_EQ(d.manifest, b.manifest);
+    ASSERT_EQ(d.frTail.size(), b.frTail.size());
+    EXPECT_EQ(d.frTail[1].tsNs, ev.tsNs);
+    EXPECT_EQ(d.frTail[1].a0, ev.a0);
+    EXPECT_EQ(d.frTail[1].a1, ev.a1);
+    EXPECT_EQ(d.frTail[1].id, ev.id);
+    EXPECT_EQ(d.tape.jobName, b.tape.jobName);
+    EXPECT_EQ(d.tape.expected.stateHash, b.tape.expected.stateHash);
+
+    // writeBundle fills in the canonical manifest and returns the path.
+    const std::string dir = ::testing::TempDir() + "replay_bundle_rt";
+    b.manifest.clear();
+    const std::string path = replay::writeBundle(dir, b.tape.jobName, 5, b);
+    ASSERT_TRUE(std::filesystem::exists(path));
+    Bundle loaded = replay::loadBundleFile(path);
+    EXPECT_FALSE(loaded.manifest.empty());
+    EXPECT_NE(loaded.manifest.find("alpha64"), std::string::npos);
+    EXPECT_EQ(loaded.manifest, replay::bundleManifest(loaded));
+
+    // Damage anywhere in the bundle container is rejected too.
+    std::vector<uint8_t> bytes = replay::encodeBundle(b);
+    bytes[bytes.size() / 3] ^= 0x10;
+    EXPECT_THROW(replay::decodeBundle(bytes), TapeError);
+    EXPECT_THROW(replay::loadBundleFile(dir + "/does_not_exist.bundle"),
+                 TapeError);
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Recorder, SliceRollbackDropsRecordsSinceTheMark)
+{
+    // The daemon re-executes a failed slice from its checkpoint, so the
+    // recorder must forget that slice's syscalls and cuts or the tape
+    // would hold the stream twice.
+    replay::TapeRecorder r;
+    r.onSyscallResult({4, 1, 0, 5, 5, false});
+    r.noteCut(100, replay::CutKind::Preempt);
+    r.markSlice();
+    r.onSyscallResult({4, 1, 0, 5, 5, false});
+    r.onSyscallResult({1, 0, 0, 0, 0, false});
+    r.noteCut(200, replay::CutKind::Preempt);
+    EXPECT_EQ(r.tape().syscalls.size(), 3u);
+    EXPECT_EQ(r.tape().cuts.size(), 2u);
+    r.rollbackSlice();
+    EXPECT_EQ(r.tape().syscalls.size(), 1u);
+    EXPECT_EQ(r.tape().cuts.size(), 1u);
+    // A second rollback without a new mark is idempotent.
+    r.rollbackSlice();
+    EXPECT_EQ(r.tape().syscalls.size(), 1u);
+}
+
+/** Record one kernel job through the fleet and return the loaded
+ *  bundle plus the job's FleetResult. */
+Bundle
+recordKernel(const std::string &isa, const std::string &kernel,
+             bool use_interp, parallel::FleetResult *out_res = nullptr,
+             const fault::FaultPlan *plan = nullptr,
+             const std::vector<uint8_t> *restore_image = nullptr)
+{
+    auto spec = loadIsa(isa);
+    auto b = makeBuilder(*spec);
+    Program prog = buildKernel(*b, kernel, 64);
+
+    parallel::FleetJob j;
+    j.spec = spec.get();
+    j.program = &prog;
+    j.buildset = use_interp ? "OneAllNo" : "BlockAllNo";
+    j.useInterp = use_interp;
+    j.maxInstrs = 10'000'000;
+    j.name = isa + "/" + kernel;
+    j.faultPlan = plan;
+    if (restore_image)
+        j.restoreImages.push_back(restore_image);
+
+    parallel::FleetPolicy pol;
+    pol.bundleDir = ::testing::TempDir() + "replay_record";
+    pol.bundleAll = true;
+    parallel::SimFleet fleet(1);
+    parallel::FleetReport rep = fleet.run({j}, pol);
+    const parallel::FleetResult &res = rep.results[0];
+    EXPECT_FALSE(res.quarantined) << res.error;
+    EXPECT_FALSE(res.bundlePath.empty());
+    if (out_res)
+        *out_res = res;
+    return replay::loadBundleFile(res.bundlePath);
+}
+
+TEST(ReplayEndToEnd, RecordedKernelReplaysIdenticallyOnBothBackEnds)
+{
+    parallel::FleetResult res;
+    Bundle b = recordKernel("alpha64", "crc32", /*use_interp=*/false, &res);
+    EXPECT_EQ(b.tape.expected.output, goldenOutput("crc32", 64));
+    ASSERT_FALSE(b.tape.syscalls.empty())
+        << "kernel printed output but the tape recorded no OS calls";
+
+    for (auto be : {ReplayBackend::Recorded, ReplayBackend::Interp,
+                    ReplayBackend::Generated}) {
+        ReplayOptions opt;
+        opt.backend = be;
+        ReplayReport rr = replay::replayTape(b.tape, opt);
+        std::string why;
+        for (const auto &m : rr.mismatches)
+            why += m + "; ";
+        EXPECT_TRUE(rr.identical) << why;
+        EXPECT_EQ(rr.stateHash, res.stateHash);
+        EXPECT_EQ(rr.output, res.output);
+        EXPECT_EQ(rr.instrs, res.run.instrs);
+        EXPECT_EQ(rr.syscallsVerified, b.tape.syscalls.size());
+    }
+}
+
+TEST(ReplayEndToEnd, TamperedSyscallResultDivergesInStrictModeOnly)
+{
+    Bundle b = recordKernel("arm32", "strhash", /*use_interp=*/true);
+    ASSERT_FALSE(b.tape.syscalls.empty());
+
+    Tape tampered = b.tape;
+    tampered.syscalls[0].ret ^= 1;
+
+    // Strict mode verifies each OS-call result as it happens: the
+    // altered record no longer matches what the guest observes.
+    ReplayReport strict = replay::replayTape(tampered, {});
+    EXPECT_FALSE(strict.identical);
+    EXPECT_FALSE(strict.mismatches.empty());
+
+    // throwOnMismatch turns the same divergence into a typed error.
+    ReplayOptions throwing;
+    throwing.throwOnMismatch = true;
+    EXPECT_THROW(replay::replayTape(tampered, throwing),
+                 replay::ReplayDivergence);
+
+    // Without strict-tape the syscall stream is not consulted, so the
+    // tamper is invisible and the end state still matches.
+    ReplayOptions loose;
+    loose.strictTape = false;
+    ReplayReport rr = replay::replayTape(tampered, loose);
+    EXPECT_TRUE(rr.identical);
+}
+
+TEST(ReplayEndToEnd, QuarantineBundleReproducesTheErrorKind)
+{
+    // A poisoned buildset quarantines at simulator creation; the bundle
+    // must replay to the same SimError kind on both back ends.
+    auto spec = loadIsa("ppc32");
+    auto kb = makeBuilder(*spec);
+    Program prog = buildKernel(*kb, "fib", 16);
+
+    parallel::FleetJob j;
+    j.spec = spec.get();
+    j.program = &prog;
+    j.buildset = "NoSuchBuildset";
+    j.name = "ppc32/poisoned";
+
+    parallel::FleetPolicy pol;
+    pol.bundleDir = ::testing::TempDir() + "replay_quarantine";
+    parallel::SimFleet fleet(1);
+    parallel::FleetReport rep = fleet.run({j}, pol);
+    const parallel::FleetResult &res = rep.results[0];
+    ASSERT_TRUE(res.quarantined);
+    ASSERT_EQ(static_cast<int>(res.errorKind),
+              static_cast<int>(ErrorKind::Spec));
+    ASSERT_FALSE(res.bundlePath.empty())
+        << "quarantine did not emit a repro bundle";
+
+    Bundle b = replay::loadBundleFile(res.bundlePath);
+    EXPECT_FALSE(b.tape.expected.finished);
+    EXPECT_EQ(static_cast<int>(b.tape.expected.errorKind),
+              static_cast<int>(ErrorKind::Spec));
+    EXPECT_NE(b.manifest.find("expected_error_kind: spec"),
+              std::string::npos)
+        << "manifest does not name the expected error kind:\n"
+        << b.manifest;
+
+    for (auto be : {ReplayBackend::Interp, ReplayBackend::Generated}) {
+        ReplayOptions opt;
+        opt.backend = be;
+        ReplayReport rr = replay::replayTape(b.tape, opt);
+        std::string why;
+        for (const auto &m : rr.mismatches)
+            why += m + "; ";
+        EXPECT_TRUE(rr.identical) << why;
+        EXPECT_EQ(static_cast<int>(rr.errorKind),
+                  static_cast<int>(ErrorKind::Spec));
+    }
+
+    std::error_code ec;
+    std::filesystem::remove_all(pol.bundleDir, ec);
+}
+
+TEST(ReplayEndToEnd, FaultPlanAndRestoreImagesCompose)
+{
+    // Mid-run checkpoint image restored in-job + a forced syscall
+    // failure: the tape must carry both, and replay must re-create the
+    // restore and re-observe the forced failure on either back end.
+    auto spec = loadIsa("alpha64");
+    auto kb = makeBuilder(*spec);
+    Program prog = buildKernel(*kb, "sieve", 64);
+
+    SimContext mid(*spec);
+    mid.load(prog);
+    auto msim = makeInterpSimulator(mid, "OneAllNo");
+    ASSERT_EQ(static_cast<int>(msim->run(500).status),
+              static_cast<int>(RunStatus::Ok));
+    const std::vector<uint8_t> image = ckpt::encode(ckpt::capture(mid));
+
+    fault::FaultPlan plan;
+    plan.seed = 11;
+    plan.events.push_back({fault::FaultOp::SyscallFail, 1, 0, 0, false});
+
+    parallel::FleetResult res;
+    Bundle b = recordKernel("alpha64", "sieve", /*use_interp=*/false, &res,
+                            &plan, &image);
+    ASSERT_GT(res.faultsInjected, 0u) << "the syscall fault never fired";
+    ASSERT_FALSE(b.tape.restoreImages.empty());
+    ASSERT_FALSE(b.tape.faultPlan.empty());
+    ASSERT_FALSE(b.tape.syscalls.empty());
+    EXPECT_TRUE(b.tape.syscalls[0].err)
+        << "the recorded stream should show the forced failure";
+
+    for (auto be : {ReplayBackend::Interp, ReplayBackend::Generated}) {
+        ReplayOptions opt;
+        opt.backend = be;
+        ReplayReport rr = replay::replayTape(b.tape, opt);
+        std::string why;
+        for (const auto &m : rr.mismatches)
+            why += m + "; ";
+        EXPECT_TRUE(rr.identical) << why;
+        EXPECT_EQ(rr.stateHash, res.stateHash);
+    }
+}
+
+TEST(FlightTail, DisarmedTailIsEmptyAndRegistersNoRing)
+{
+    // Quarantine paths export the postmortem tail unconditionally; when
+    // recording was never armed that must yield an empty tail without
+    // creating (or registering) a ring for this thread.
+    auto &fc = obs::FlightControl::instance();
+    ASSERT_FALSE(fc.armed());
+    const size_t before = fc.recorders().size();
+    EXPECT_TRUE(fc.tailOrEmpty(32).empty());
+    EXPECT_EQ(fc.recorders().size(), before);
+}
+
+} // namespace
+} // namespace onespec

@@ -61,7 +61,15 @@ Validates two things about each report:
    carry profile groups for both back ends whose per-bucket counters
    sum to their sample counters.
 
-7. Distribution shape (any report): every distribution node in the
+7. Record/replay (results.replay, written by bench_replay): a fleet
+   batch with record mode off (no bundle dir) must stay within 5% of
+   the policy-free baseline, at least one bundle -- including one from
+   a quarantined job -- must have been recorded, every bundle must have
+   been replayed on both back ends, and the replay_identical flag must
+   be true: a single divergence between a recording and its strict
+   replay fails the report.
+
+8. Distribution shape (any report): every distribution node in the
    stats dump (an object with count/buckets/p50/p90/p99) must satisfy
    p50 <= p90 <= p99 and count == sum(buckets) + underflow + overflow.
 
@@ -115,6 +123,10 @@ class Checker:
         # Disarmed flight-recorder ceiling (percent): one relaxed load
         # and an untaken branch per site should be noise-level.
         self.trace_disarmed_ceiling = 5.0 if smoke else 2.0
+        # Record-mode-off ceiling (percent): with no bundle dir the
+        # replay recorder is one per-job branch, so a disarmed fleet
+        # batch must stay within 5% of the policy-free baseline.
+        self.replay_disarmed_ceiling = 5.0
 
     def fail(self, msg):
         self.errors.append(msg)
@@ -594,6 +606,61 @@ class Checker:
                 self.fail(f"{gwhere}: pc buckets sum to {total}, "
                           f"samples={gs}")
 
+    # -- record/replay ----------------------------------------------------
+
+    def check_replay(self, doc):
+        results = doc.get("results")
+        if not isinstance(results, dict) or "replay" not in results:
+            return
+        rp = results["replay"]
+        if not isinstance(rp, dict):
+            self.fail("results.replay: not an object")
+            return
+
+        num = (int, float)
+        where = "replay"
+        for key in ("mips_baseline", "mips_disarmed", "mips_record"):
+            v = self.expect(rp, key, num, where)
+            if v is not None and v <= 0:
+                self.fail(f"{where}: {key} must be positive, got {v}")
+        disarmed = self.expect(rp, "record_overhead_pct", num, where)
+        self.expect(rp, "record_mode_overhead_pct", num, where)
+        bundles = self.expect(rp, "bundles", (int,), where)
+        quarantine = self.expect(rp, "quarantine_bundles", (int,), where)
+        replays = self.expect(rp, "replays", (int,), where)
+        bpi = self.expect(rp, "bundle_bytes_per_instr", num, where)
+        for key in ("bundle_bytes", "recorded_instrs"):
+            v = self.expect(rp, key, (int,), where)
+            if v is not None and v <= 0:
+                self.fail(f"{where}: {key} must be positive")
+        if self.errors:
+            return
+
+        self.note(f"replay: record-off overhead {disarmed:.2f}%, "
+                  f"{replays} replays over {bundles} bundles, "
+                  f"{bpi:.4f} bundle bytes/instr")
+        # The headline gates: strict replay of everything recorded --
+        # clean, faulted, and quarantined runs alike, on both back ends
+        # -- must be bit-identical, and record mode left off must be
+        # within noise of no record support at all.
+        if rp.get("replay_identical") is not True:
+            self.fail(f"{where}: replays are not bit-identical to their "
+                      f"recordings")
+        if disarmed > self.replay_disarmed_ceiling:
+            self.fail(f"{where}: record-mode-off overhead "
+                      f"{disarmed:.2f}% exceeds ceiling "
+                      f"{self.replay_disarmed_ceiling}%")
+        if bundles < 1:
+            self.fail(f"{where}: no bundles were recorded")
+        if quarantine < 1:
+            self.fail(f"{where}: no quarantined job was recorded -- the "
+                      f"repro path went unexercised")
+        if replays != 2 * bundles:
+            self.fail(f"{where}: expected every bundle replayed on both "
+                      f"back ends ({2 * bundles}), got {replays}")
+        if isinstance(bpi, num) and bpi <= 0:
+            self.fail(f"{where}: bundle_bytes_per_instr must be positive")
+
     # -- service daemon --------------------------------------------------
 
     def check_service(self, doc):
@@ -705,6 +772,7 @@ class Checker:
         self.check_ckpt_sampling(doc)
         self.check_fault_containment(doc)
         self.check_trace_overhead(doc)
+        self.check_replay(doc)
         self.check_service(doc)
         self.check_distributions(doc)
         return not self.errors

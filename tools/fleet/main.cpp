@@ -91,7 +91,12 @@ usage()
         "  --profile-stride N  sample every N retired instructions "
         "(default 64)\n"
         "  --poison IDX    give job IDX a nonexistent buildset "
-        "(quarantine demo/testing aid)\n");
+        "(quarantine demo/testing aid)\n"
+        "  --bundle-dir D  record replay tapes; quarantined jobs write\n"
+        "                  self-contained repro bundles into D "
+        "(onespec-replay runs them)\n"
+        "  --bundle-all    with --bundle-dir: also bundle successful "
+        "jobs\n");
     return cli::kExitUsage;
 }
 
@@ -169,6 +174,11 @@ realMain(int argc, char **argv)
             profile_stride = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--poison") == 0 && i + 1 < argc) {
             poison = std::strtol(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--bundle-dir") == 0 &&
+                   i + 1 < argc) {
+            policy.bundleDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--bundle-all") == 0) {
+            policy.bundleAll = true;
         } else {
             return usage();
         }
@@ -267,6 +277,8 @@ realMain(int argc, char **argv)
                     printTailEvent(k, res.frTail[k]);
             }
         }
+        if (!res.bundlePath.empty())
+            std::printf("    repro bundle: %s\n", res.bundlePath.c_str());
     }
     unsigned quarantined = report.quarantinedCount();
     if (quarantined)

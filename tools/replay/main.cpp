@@ -1,0 +1,197 @@
+/**
+ * @file
+ * onespec-replay: load repro bundles and re-execute their tapes in
+ * strict-tape mode (format and semantics: docs/REPLAY.md).
+ *
+ *   onespec-replay bundles/                      # replay every *.bundle
+ *   onespec-replay crash.bundle --info           # manifest only
+ *   onespec-replay crash.bundle --backend both   # interp AND generated
+ *   onespec-replay crash.bundle --no-strict --stats
+ *
+ * Each bundle is a self-contained quarantine artifact written by
+ * onespec-fleet --bundle-dir, onespec-served --bundle-dir (downloaded
+ * with onespec-sub --fetch-bundle), or the replay library itself.  The
+ * tape inside carries everything a re-execution needs -- program image,
+ * initial checkpoint, fault plan, OS-call stream, cut schedule, and the
+ * expected outcome -- so a bundle replays bit-identically on any
+ * machine, on either back end, at any thread count.
+ *
+ * Exit codes follow the shared CLI contract (support/cli.hpp,
+ * docs/ROBUSTNESS.md): the number of diverged replays (capped at 100),
+ * 101 for usage errors, 102 for a fatal SimError (e.g. a damaged
+ * bundle container raising TapeError).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "replay/bundle.hpp"
+#include "replay/replayer.hpp"
+#include "support/cli.hpp"
+#include "support/sim_error.hpp"
+
+using namespace onespec;
+using replay::Bundle;
+using replay::ReplayBackend;
+using replay::ReplayOptions;
+using replay::ReplayReport;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: onespec-replay [options] BUNDLE|DIR...\n"
+        "  BUNDLE          a repro bundle file (onespec-fleet/-served "
+        "--bundle-dir)\n"
+        "  DIR             replay every *.bundle inside, sorted by name\n"
+        "  --info          print each bundle's manifest and postmortem "
+        "tail; no replay\n"
+        "  --backend B     recorded (default) | interp | gen | both\n"
+        "                  (both: replay on interpreter AND generated "
+        "back ends)\n"
+        "  --no-strict     skip per-OS-call verification; only compare "
+        "the end state\n"
+        "  --stats         print the replay's stats dump next to the "
+        "recorded one\n");
+    return cli::kExitUsage;
+}
+
+/** Expand files/directories into a sorted list of bundle paths. */
+std::vector<std::string>
+collectBundles(const std::vector<std::string> &args)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    for (const auto &a : args) {
+        std::error_code ec;
+        if (fs::is_directory(a, ec)) {
+            std::vector<std::string> here;
+            for (const auto &de : fs::directory_iterator(a, ec)) {
+                if (de.path().extension() == ".bundle")
+                    here.push_back(de.path().string());
+            }
+            std::sort(here.begin(), here.end());
+            out.insert(out.end(), here.begin(), here.end());
+        } else {
+            out.push_back(a);
+        }
+    }
+    return out;
+}
+
+/** One replay of one tape on one back end; prints one verdict line
+ *  (plus mismatch details) and returns whether it was identical. */
+bool
+replayOne(const Bundle &b, ReplayBackend backend, bool strict,
+          bool want_stats)
+{
+    ReplayOptions opt;
+    opt.backend = backend;
+    opt.strictTape = strict;
+    ReplayReport rep = replay::replayTape(b.tape, opt);
+
+    std::printf("  replay[%s]%s: %s (%llu instrs, state hash %016llx, "
+                "%llu OS calls verified)\n",
+                rep.usedInterp ? "interp" : "gen",
+                strict ? "" : " (no-strict)",
+                rep.identical ? "identical" : "DIVERGED",
+                static_cast<unsigned long long>(rep.instrs),
+                static_cast<unsigned long long>(rep.stateHash),
+                static_cast<unsigned long long>(rep.syscallsVerified));
+    for (const auto &m : rep.mismatches)
+        std::printf("    mismatch: %s\n", m.c_str());
+    if (want_stats && !rep.statsDump.empty())
+        std::printf("  replayed stats dump:\n%s", rep.statsDump.c_str());
+    return rep.identical;
+}
+
+int
+realMain(int argc, char **argv)
+{
+    bool info_only = false, strict = true, want_stats = false;
+    std::string backend = "recorded";
+    std::vector<std::string> args;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--info") == 0) {
+            info_only = true;
+        } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+            backend = argv[++i];
+        } else if (std::strcmp(argv[i], "--no-strict") == 0) {
+            strict = false;
+        } else if (std::strcmp(argv[i], "--stats") == 0) {
+            want_stats = true;
+        } else if (argv[i][0] == '-') {
+            return usage();
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    if (args.empty())
+        return usage();
+    if (backend != "recorded" && backend != "interp" && backend != "gen" &&
+        backend != "both")
+        return usage();
+
+    const std::vector<std::string> bundles = collectBundles(args);
+    if (bundles.empty()) {
+        std::fprintf(stderr, "onespec-replay: no .bundle files found\n");
+        return usage();
+    }
+
+    unsigned diverged = 0;
+    for (const auto &path : bundles) {
+        Bundle b = replay::loadBundleFile(path);
+        std::printf("%s:\n", path.c_str());
+        if (info_only) {
+            // Manifest lines are already "key: value"; indent them.
+            std::string mani =
+                b.manifest.empty() ? replay::bundleManifest(b) : b.manifest;
+            size_t start = 0;
+            while (start < mani.size()) {
+                size_t end = mani.find('\n', start);
+                if (end == std::string::npos)
+                    end = mani.size();
+                std::printf("  %s\n",
+                            mani.substr(start, end - start).c_str());
+                start = end + 1;
+            }
+            continue;
+        }
+        bool ok = true;
+        if (backend == "both") {
+            ok &= replayOne(b, ReplayBackend::Interp, strict, want_stats);
+            ok &= replayOne(b, ReplayBackend::Generated, strict,
+                            want_stats);
+        } else {
+            ReplayBackend be = backend == "interp"
+                                   ? ReplayBackend::Interp
+                               : backend == "gen"
+                                   ? ReplayBackend::Generated
+                                   : ReplayBackend::Recorded;
+            ok = replayOne(b, be, strict, want_stats);
+        }
+        diverged += !ok;
+    }
+    if (!info_only)
+        std::printf("\n%zu bundle%s replayed, %u diverged\n",
+                    bundles.size(), bundles.size() == 1 ? "" : "s",
+                    diverged);
+    return cli::quarantineExitCode(diverged);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::runCliMain("onespec-replay",
+                           [&] { return realMain(argc, argv); });
+}

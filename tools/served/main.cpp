@@ -62,6 +62,9 @@ usage()
         "16)\n"
         "  --fr-capacity N  flight-recorder events per thread "
         "(default 4096)\n"
+        "  --bundle-dir D   record replay tapes; quarantined jobs write\n"
+        "                   repro bundles into D, downloadable with\n"
+        "                   onespec-sub --fetch-bundle\n"
         "  --daemonize      bind, fork, serve in the child; parent exits "
         "0 once the socket exists\n"
         "  --log FILE       daemonized child's stdout/stderr "
@@ -117,6 +120,9 @@ realMain(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--fr-capacity") == 0 &&
                    i + 1 < argc) {
             fr_capacity = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--bundle-dir") == 0 &&
+                   i + 1 < argc) {
+            cfg.bundleDir = argv[++i];
         } else if (std::strcmp(argv[i], "--daemonize") == 0) {
             daemonize = true;
         } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {

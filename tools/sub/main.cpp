@@ -25,6 +25,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -88,6 +90,10 @@ usage()
         "  --strict-syscalls   unknown OS calls quarantine the job\n"
         "  --poison IDX    give job IDX a nonexistent buildset "
         "(quarantine demo/testing aid)\n"
+        "  --bundle-dir D  download each quarantined job's repro bundle\n"
+        "                  from the daemon into D (daemon needs "
+        "--bundle-dir too)\n"
+        "  --fetch-bundle ID  download job ID's repro bundle and exit\n"
         "  --statsz        print the daemon's service stats JSON\n"
         "  --shutdown      drain the daemon and wait for it to exit\n");
     return cli::kExitUsage;
@@ -151,6 +157,26 @@ printResult(const JobResult &res)
     }
 }
 
+/** Save downloaded bundle bytes as <dir>/job<id>.bundle (dir created if
+ *  missing; "." when unset) and return the path written. */
+std::string
+saveFetchedBundle(const std::string &dir, uint64_t job_id,
+                  const std::vector<uint8_t> &bytes)
+{
+    namespace fs = std::filesystem;
+    const fs::path d = dir.empty() ? fs::path(".") : fs::path(dir);
+    std::error_code ec;
+    fs::create_directories(d, ec);
+    const fs::path path = d / ("job" + std::to_string(job_id) + ".bundle");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        throw ResourceError("service",
+                            "cannot write bundle file " + path.string());
+    return path.string();
+}
+
 int
 realMain(int argc, char **argv)
 {
@@ -163,6 +189,9 @@ realMain(int argc, char **argv)
     bool interp = false, cold = false, strict = false;
     bool want_statsz = false, want_shutdown = false;
     long poison = -1;
+    std::string bundle_dir;
+    bool want_fetch = false;
+    uint64_t fetch_id = 0;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
@@ -201,6 +230,13 @@ realMain(int argc, char **argv)
             strict = true;
         } else if (std::strcmp(argv[i], "--poison") == 0 && i + 1 < argc) {
             poison = std::strtol(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--bundle-dir") == 0 &&
+                   i + 1 < argc) {
+            bundle_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--fetch-bundle") == 0 &&
+                   i + 1 < argc) {
+            want_fetch = true;
+            fetch_id = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--statsz") == 0) {
             want_statsz = true;
         } else if (std::strcmp(argv[i], "--shutdown") == 0) {
@@ -215,8 +251,8 @@ realMain(int argc, char **argv)
     ServiceClient client;
     client.connect(socket_path, tenant);
     // Control-only invocations skip the batch entirely.
-    const bool control_only =
-        (want_statsz || want_shutdown) && isas.empty() && kernels.empty();
+    const bool control_only = (want_statsz || want_shutdown || want_fetch) &&
+                              isas.empty() && kernels.empty();
 
     unsigned quarantined = 0;
     if (!control_only) {
@@ -297,6 +333,22 @@ realMain(int argc, char **argv)
                 ++results;
                 quarantined += ev.result.quarantined;
                 printResult(ev.result);
+                // Download the quarantine's repro bundle right away:
+                // fetchBundle queues any Results that race it, so the
+                // streaming loop above loses nothing.
+                if (ev.result.quarantined && !bundle_dir.empty()) {
+                    service::BundleData bd =
+                        client.fetchBundle(ev.result.jobId);
+                    if (bd.found)
+                        std::printf("    repro bundle: %s (%zu bytes)\n",
+                                    saveFetchedBundle(bundle_dir, bd.jobId,
+                                                      bd.bytes)
+                                        .c_str(),
+                                    bd.bytes.size());
+                    else
+                        std::printf("    repro bundle: daemon has none "
+                                    "(started without --bundle-dir?)\n");
+                }
             }
         }
         if (results < accepted)
@@ -308,6 +360,18 @@ realMain(int argc, char **argv)
                     accepted, rejected, quarantined);
     }
 
+    if (want_fetch) {
+        service::BundleData bd = client.fetchBundle(fetch_id);
+        if (!bd.found) {
+            std::printf("onespec-sub: daemon has no bundle for job %llu\n",
+                        static_cast<unsigned long long>(fetch_id));
+            return cli::kExitUsage;
+        }
+        std::printf("onespec-sub: wrote %s (%zu bytes)\n",
+                    saveFetchedBundle(bundle_dir, bd.jobId, bd.bytes)
+                        .c_str(),
+                    bd.bytes.size());
+    }
     if (want_statsz)
         std::printf("%s\n", client.statsz().c_str());
     if (want_shutdown) {
