@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Telemetry benchmark: does observing the service change the service?
+ *
+ *  1. Overhead.  The same closed-loop batch runs twice against fresh
+ *     daemons -- once with the client's trace context disabled (the v1
+ *     wire bytes) and once with every submit minting a 64-bit trace id
+ *     that the daemon threads through admission, queueing, and every
+ *     slice span.  The flight recorder stays *disarmed* on both sides,
+ *     so the comparison isolates the wire-propagated context itself:
+ *     trace ids are metadata, and the jobs/sec gap must stay inside
+ *     tools/check_bench_json.py's ceiling (2% full, slack under
+ *     --smoke where second-long runs jitter far beyond that).
+ *
+ *  2. Read-only scrapes.  A deterministic single-worker job mix (some
+ *     jobs sliced hard enough to preempt through the checkpoint store,
+ *     one poisoned job for the quarantine path) runs twice: once
+ *     undisturbed, once with a second connection scraping OpenMetrics
+ *     (MetricszReq/Metricsz) while every job is in flight.  Every
+ *     per-job result -- status, instruction count, state hash, guest
+ *     output, and the full merged stats dump -- plus the daemon's final
+ *     /statsz snapshot must be bit-identical across the two runs, and
+ *     successive scrapes must be monotone per counter family.  The
+ *     scrape texts are also written out (--scrape-out) so ctest can run
+ *     tools/check_metrics_text.py over real daemon expositions.
+ *
+ * Emits BENCH_telemetry.json (results.telemetry); the checker enforces
+ * the overhead ceiling, scrape_identity, and scrapes_monotone.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchcommon.hpp"
+#include "benchreport.hpp"
+#include "parallel/threadpool.hpp"
+#include "perf/hostcount.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+
+using namespace onespec;
+using namespace onespec::bench;
+using onespec::service::ClientEvent;
+using onespec::service::JobSpec;
+using onespec::service::ServiceClient;
+using onespec::service::ServiceConfig;
+using onespec::service::ServiceDaemon;
+using onespec::service::SubmitOutcome;
+
+namespace {
+
+/** Uniform small job for the overhead phase: one ISA, one kernel, so
+ *  the two timed runs differ in nothing but the trace context. */
+JobSpec
+overheadSpec(uint64_t max_instrs)
+{
+    JobSpec s;
+    s.isa = shippedIsas().front();
+    s.kernel = "fib";
+    s.name = s.isa + "/fib";
+    s.param = benchParam("fib");
+    s.maxInstrs = max_instrs;
+    return s;
+}
+
+/** One timed closed-loop batch: submit everything, drain every Result.
+ *  Returns jobs/sec over the drain window. */
+double
+runRate(const std::string &base, unsigned workers, bool traced,
+        size_t jobs, uint64_t max_instrs, uint64_t &completed)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = base + (traced ? "/ovh_t.sock" : "/ovh_b.sock");
+    cfg.storeDir = base + (traced ? "/ovh_t_store" : "/ovh_b_store");
+    cfg.workers = workers;
+    cfg.queueDepth = uint32_t(jobs) + 8; // closed loop: nothing rejects
+    cfg.tenantQuota = uint32_t(jobs) + 8;
+    ServiceDaemon daemon(cfg);
+    daemon.start();
+
+    ServiceClient client;
+    client.setTraceContext(traced);
+    client.connect(cfg.socketPath, "bench");
+
+    auto runBatch = [&](size_t n) {
+        size_t have = 0;
+        for (size_t i = 0; i < n; ++i) {
+            SubmitOutcome o = client.submit(overheadSpec(max_instrs));
+            if (!o.accepted) {
+                std::fprintf(stderr, "overhead submit rejected: %s\n",
+                             o.reject.reason.c_str());
+                std::exit(1);
+            }
+        }
+        ClientEvent ev;
+        while (have < n && client.next(ev))
+            if (ev.kind == ClientEvent::Kind::Result)
+                ++have;
+        return have;
+    };
+
+    runBatch(std::max<size_t>(2, jobs / 8)); // warm the pool first
+    Stopwatch sw;
+    sw.start();
+    completed += runBatch(jobs);
+    const uint64_t ns = sw.elapsedNs();
+    daemon.stop();
+    return ns ? double(jobs) * 1e9 / double(ns) : 0.0;
+}
+
+/** The scrape phase's deterministic job mix: rotating kernels, every
+ *  third job sliced (preempts through the store), one poisoned job. */
+JobSpec
+mixSpec(size_t i, uint64_t max_instrs)
+{
+    const char *kernels[] = {"fib", "crc32", "listsum"};
+    const auto &isas = shippedIsas();
+    JobSpec s;
+    s.isa = isas[i % isas.size()];
+    s.kernel = kernels[i % 3];
+    s.name = s.isa + "/" + s.kernel;
+    s.param = benchParam(s.kernel);
+    s.maxInstrs = max_instrs;
+    if (i % 3 == 0)
+        s.sliceInstrs = max_instrs / 3 + 1;
+    if (i == 4) // quarantine path under observation
+        s.buildset = "__poisoned__";
+    return s;
+}
+
+/** Everything about one run that scraping must not change. */
+struct MergedOutcome
+{
+    std::string fingerprint; ///< concatenated per-job results
+    std::string finalStatsz; ///< daemon /statsz after the last Result
+};
+
+/**
+ * Run the mix sequentially (one worker, closed loop) so the outcome is
+ * a pure function of the job list.  When @p scrapes is non-null, a
+ * second connection pulls an OpenMetrics exposition while each job is
+ * in flight and the texts are appended there.
+ */
+MergedOutcome
+runMerged(const std::string &base, bool scraped, size_t jobs,
+          uint64_t max_instrs, uint64_t &completed,
+          std::vector<std::string> *scrapes)
+{
+    ServiceConfig cfg;
+    cfg.socketPath = base + (scraped ? "/mrg_s.sock" : "/mrg_p.sock");
+    cfg.storeDir = base + (scraped ? "/mrg_s_store" : "/mrg_p_store");
+    cfg.workers = 1;
+    cfg.queueDepth = 8;
+    cfg.metricsSampleEvery = 1;
+    ServiceDaemon daemon(cfg);
+    daemon.start();
+
+    ServiceClient client;
+    client.connect(cfg.socketPath, "bench");
+    ServiceClient scraper;
+    if (scraped)
+        scraper.connect(cfg.socketPath, "scraper");
+
+    MergedOutcome out;
+    std::ostringstream fp;
+    for (size_t i = 0; i < jobs; ++i) {
+        JobSpec spec = mixSpec(i, max_instrs);
+        SubmitOutcome o = client.submit(spec);
+        if (!o.accepted) {
+            std::fprintf(stderr, "merged submit rejected: %s\n",
+                         o.reject.reason.c_str());
+            std::exit(1);
+        }
+        if (scraped) // scrape with the job genuinely in flight
+            scrapes->push_back(scraper.metricsz());
+        ClientEvent ev;
+        while (client.next(ev)) {
+            if (ev.kind != ClientEvent::Kind::Result)
+                continue;
+            if (!ev.result.quarantined)
+                ++completed;
+            fp << spec.name << '|' << int(ev.result.quarantined) << '|'
+               << int(ev.result.runStatus) << '|' << ev.result.instrs
+               << '|' << ev.result.stateHash << '|' << ev.result.output
+               << '|' << ev.result.statsDump << '\n';
+            break;
+        }
+    }
+    // The last Result is sent before the worker finishes retiring the
+    // job (scheduler gauges, warm-pool release), so settle to a
+    // quiescent dump: nothing running and identical twice in a row.
+    std::string dump = client.statsz();
+    for (int spin = 0; spin < 400; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        std::string cur = client.statsz();
+        const bool idle =
+            cur.find("\"running\": 0") != std::string::npos &&
+            cur.find("\"in_flight_jobs\": 0") != std::string::npos;
+        const bool stable = idle && cur == dump;
+        dump = std::move(cur);
+        if (stable)
+            break;
+    }
+    out.finalStatsz = std::move(dump);
+    out.fingerprint = fp.str();
+    daemon.stop();
+    return out;
+}
+
+/** Counter samples of one exposition: "name{labels}" -> value. */
+std::map<std::string, double>
+counterSamples(const std::string &text)
+{
+    std::map<std::string, double> out;
+    std::map<std::string, bool> isCounter;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream meta(line.substr(7));
+            std::string fam, kind;
+            meta >> fam >> kind;
+            isCounter[fam] = kind == "counter";
+            continue;
+        }
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t sp = line.rfind(' ');
+        if (sp == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sp);
+        const std::string fam = key.substr(0, key.find('{'));
+        if (isCounter[fam])
+            out[key] = std::strtod(line.c_str() + sp + 1, nullptr);
+    }
+    return out;
+}
+
+/** Every counter monotone non-decreasing across successive scrapes? */
+bool
+scrapesMonotone(const std::vector<std::string> &scrapes)
+{
+    std::map<std::string, double> prev;
+    for (const std::string &text : scrapes) {
+        std::map<std::string, double> cur = counterSamples(text);
+        for (const auto &[key, value] : cur) {
+            auto it = prev.find(key);
+            if (it != prev.end() && value < it->second) {
+                std::fprintf(stderr,
+                             "scrape NOT monotone: %s %g -> %g\n",
+                             key.c_str(), it->second, value);
+                return false;
+            }
+        }
+        prev = std::move(cur);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path, scrape_out;
+    unsigned workers = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--scrape-out") == 0 &&
+                   i + 1 < argc) {
+            scrape_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   i + 1 < argc) {
+            workers = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_telemetry [--smoke] [--workers N] "
+                         "[--json FILE] [--scrape-out PREFIX]\n");
+            return 2;
+        }
+    }
+    if (workers == 0)
+        workers = parallel::hardwareThreads();
+
+    auto base = std::filesystem::temp_directory_path() /
+                ("onespec_bench_tel_" +
+                 std::to_string(static_cast<unsigned long>(::getpid())));
+    std::filesystem::remove_all(base);
+    std::filesystem::create_directories(base);
+
+    BenchReport report("telemetry");
+    report.setParam("smoke", stats::Json(smoke));
+    report.setParam("workers", stats::Json(uint64_t{workers}));
+
+    // Phase 1: disarmed trace-context overhead.  Best-of-N rates on
+    // alternating runs, the standard defense against scheduler noise.
+    const uint64_t ovhInstrs = smoke ? 40'000 : 400'000;
+    const size_t ovhJobs = smoke ? 24 : 120;
+    const int repeats = smoke ? 2 : 3;
+    uint64_t completed = 0;
+    std::printf("overhead: %zu-job closed loop x%d, trace context "
+                "off/on (%u workers, recorder disarmed)...\n",
+                ovhJobs, repeats, workers);
+    double bestBase = 0.0, bestTraced = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+        bestBase = std::max(bestBase,
+                            runRate(base.string(), workers, false,
+                                    ovhJobs, ovhInstrs, completed));
+        bestTraced = std::max(bestTraced,
+                              runRate(base.string(), workers, true,
+                                      ovhJobs, ovhInstrs, completed));
+    }
+    const double overheadPct =
+        bestTraced > 0 ? (bestBase / bestTraced - 1.0) * 100.0 : 1e9;
+    std::printf("overhead: base %.1f jobs/s, traced %.1f jobs/s "
+                "(%+.2f%%)\n", bestBase, bestTraced, overheadPct);
+
+    // Phase 2: scrapes must be read-only and monotone.
+    const uint64_t mixInstrs = smoke ? 30'000 : 200'000;
+    const size_t mixJobs = smoke ? 9 : 24;
+    std::printf("scrapes: %zu-job deterministic mix, plain vs scraped "
+                "every job...\n", mixJobs);
+    std::vector<std::string> scrapes;
+    MergedOutcome plain = runMerged(base.string(), false, mixJobs,
+                                    mixInstrs, completed, nullptr);
+    MergedOutcome scraped = runMerged(base.string(), true, mixJobs,
+                                      mixInstrs, completed, &scrapes);
+    const bool identity = plain.fingerprint == scraped.fingerprint &&
+                          plain.finalStatsz == scraped.finalStatsz;
+    const bool monotone = scrapesMonotone(scrapes);
+    std::printf("scrapes: %zu taken, identity %s, monotone %s\n",
+                scrapes.size(), identity ? "bit-identical" : "MISMATCH",
+                monotone ? "yes" : "NO");
+    if (!identity) {
+        if (plain.fingerprint != scraped.fingerprint)
+            std::fprintf(stderr, "per-job results diverged:\n--- plain\n"
+                         "%s--- scraped\n%s", plain.fingerprint.c_str(),
+                         scraped.fingerprint.c_str());
+        if (plain.finalStatsz != scraped.finalStatsz)
+            std::fprintf(stderr, "final /statsz diverged:\n--- plain\n"
+                         "%s\n--- scraped\n%s\n",
+                         plain.finalStatsz.c_str(),
+                         scraped.finalStatsz.c_str());
+    }
+
+    if (!scrape_out.empty()) {
+        for (size_t i = 0; i < scrapes.size(); ++i) {
+            const std::string path =
+                scrape_out + std::to_string(i + 1) + ".txt";
+            std::ofstream f(path, std::ios::binary);
+            f << scrapes[i];
+            if (!f)
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        }
+        std::printf("scrapes: wrote %zu exposition(s) to %s*.txt\n",
+                    scrapes.size(), scrape_out.c_str());
+    }
+
+    stats::Json tel = stats::Json::object();
+    tel.set("jobs_per_sec_base", stats::Json(bestBase));
+    tel.set("jobs_per_sec_traced", stats::Json(bestTraced));
+    tel.set("overhead_pct", stats::Json(overheadPct));
+    tel.set("scrapes", stats::Json(uint64_t{scrapes.size()}));
+    tel.set("completed", stats::Json(completed));
+    tel.set("scrape_identity", stats::Json(identity));
+    tel.set("scrapes_monotone", stats::Json(monotone));
+    tel.set("workers", stats::Json(uint64_t{workers}));
+    report.addResult("telemetry", std::move(tel));
+    report.write(json_path);
+
+    std::filesystem::remove_all(base);
+    return identity && monotone ? 0 : 1;
+}

@@ -16,6 +16,11 @@ evTypeName(EvType t)
       case EvType::Syscall: return "syscall";
       case EvType::Fault: return "fault";
       case EvType::CrossBatch: return "cross_batch";
+      case EvType::Submit: return "submit";
+      case EvType::QueueWait: return "queue_wait";
+      case EvType::Stream: return "stream";
+      case EvType::Warm: return "warm_acquire";
+      case EvType::Sample: return "metrics_sample";
     }
     return "?";
 }
@@ -39,6 +44,13 @@ evCategory(EvType t)
         return "fault";
       case EvType::CrossBatch:
         return "iface";
+      case EvType::Submit:
+      case EvType::QueueWait:
+      case EvType::Stream:
+        return "client";
+      case EvType::Warm:
+      case EvType::Sample:
+        return "service";
     }
     return "?";
 }

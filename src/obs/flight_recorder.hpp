@@ -51,6 +51,11 @@ enum class EvType : uint8_t
     Syscall,     ///< instant: guest OS call (a0=number, a1=running count)
     Fault,       ///< instant: injected fault fired (a0=FaultOp, a1=trigger)
     CrossBatch,  ///< instant: crossing batch mark (a0=instrs, a1=crossings)
+    Submit,      ///< span: Submit sent -> admission verdict (a0/a1=trace id lo/hi)
+    QueueWait,   ///< instant: queue wait elapsed (a0=wait ns, a1=trace id lo)
+    Stream,      ///< instant: Result received (a0=stream ns, a1=trace id lo)
+    Warm,        ///< span: warm-pool acquire (a0=1 if reused, a1=trace id lo)
+    Sample,      ///< instant: metrics ring sample taken (a0=seq, a1=completed)
 };
 
 enum class EvPhase : uint8_t

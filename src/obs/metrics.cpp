@@ -1,0 +1,170 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace onespec::obs {
+
+std::string
+metricLabel(const std::string &key, const std::string &value)
+{
+    std::string out = key;
+    out += "=\"";
+    for (char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+MetricsRing::push(uint64_t completed_at, std::vector<MetricPoint> counters,
+                  std::vector<std::pair<std::string, int64_t>> gauges)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    MetricsSample s;
+    s.seq = ++taken_;
+    s.completedAt = completed_at;
+    s.deltas.reserve(counters.size());
+    for (const MetricPoint &p : counters) {
+        std::string key = p.family + "|" + p.labels;
+        uint64_t prev = 0;
+        auto it = last_.find(key);
+        if (it != last_.end())
+            prev = it->second;
+        MetricPoint d = p;
+        d.value = p.value >= prev ? p.value - prev : 0;
+        s.deltas.push_back(std::move(d));
+        last_[key] = p.value;
+    }
+    s.counters = std::move(counters);
+    s.gauges = std::move(gauges);
+    ring_.push_back(std::move(s));
+    while (ring_.size() > capacity_)
+        ring_.pop_front();
+}
+
+std::vector<MetricsSample>
+MetricsRing::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return {ring_.begin(), ring_.end()};
+}
+
+uint64_t
+MetricsRing::taken() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return taken_;
+}
+
+std::string
+renderOpenMetrics(
+    const MetricsRing &ring,
+    const std::vector<std::pair<std::string, std::string>> &help)
+{
+    std::vector<MetricsSample> samples = ring.snapshot();
+    std::string out;
+    out.reserve(4096);
+
+    auto helpFor = [&help](const std::string &family) -> const std::string * {
+        for (const auto &kv : help)
+            if (kv.first == family)
+                return &kv.second;
+        return nullptr;
+    };
+    auto header = [&](const std::string &family, const char *type) {
+        if (const std::string *h = helpFor(family))
+            out += "# HELP " + family + " " + *h + "\n";
+        out += "# TYPE " + family + " " + type + "\n";
+    };
+    auto sampleLine = [&](const std::string &family,
+                          const std::string &labels, uint64_t v) {
+        out += family;
+        if (!labels.empty())
+            out += "{" + labels + "}";
+        out += " " + std::to_string(v) + "\n";
+    };
+
+    // Exposition meta: always present, even before the first sample, so
+    // a scrape of an idle daemon is still a valid document.
+    header("onespec_metrics_samples_total", "counter");
+    sampleLine("onespec_metrics_samples_total", "", ring.taken());
+    header("onespec_metrics_ring_capacity", "gauge");
+    sampleLine("onespec_metrics_ring_capacity", "", ring.capacity());
+
+    if (!samples.empty()) {
+        const MetricsSample &latest = samples.back();
+
+        header("onespec_metrics_last_sample_seq", "gauge");
+        sampleLine("onespec_metrics_last_sample_seq", "", latest.seq);
+
+        // Counters: cumulative values from the newest sample, grouped by
+        // family in first-appearance order (the daemon emits them in a
+        // deterministic order already).
+        std::vector<std::string> done;
+        for (size_t i = 0; i < latest.counters.size(); ++i) {
+            const std::string &family = latest.counters[i].family;
+            if (std::find(done.begin(), done.end(), family) != done.end())
+                continue;
+            done.push_back(family);
+            header(family, "counter");
+            for (const MetricPoint &p : latest.counters)
+                if (p.family == family)
+                    sampleLine(family, p.labels, p.value);
+        }
+
+        // Gauges.
+        for (const auto &g : latest.gauges) {
+            header(g.first, "gauge");
+            out += g.first + " " + std::to_string(g.second) + "\n";
+        }
+
+        // The delta ring: per-sample increments of every unlabelled
+        // counter family, one `sample` label per ring slot.  Labelled
+        // families are skipped to bound cardinality at
+        // families x capacity.
+        done.clear();
+        for (const MetricPoint &p : latest.deltas) {
+            if (!p.labels.empty())
+                continue;
+            if (std::find(done.begin(), done.end(), p.family) != done.end())
+                continue;
+            done.push_back(p.family);
+            std::string dfam = p.family + "_delta";
+            // "_total_delta" reads badly and would render as a counter;
+            // deltas are gauges named <base>_delta.
+            const std::string suffix = "_total";
+            if (dfam.size() > suffix.size() + 6 &&
+                p.family.size() > suffix.size() &&
+                p.family.compare(p.family.size() - suffix.size(),
+                                 suffix.size(), suffix) == 0)
+                dfam = p.family.substr(0, p.family.size() - suffix.size()) +
+                       "_delta";
+            header(dfam, "gauge");
+            for (const MetricsSample &s : samples)
+                for (const MetricPoint &d : s.deltas)
+                    if (d.family == p.family && d.labels.empty())
+                        sampleLine(
+                            dfam,
+                            "sample=\"" + std::to_string(s.seq) + "\"",
+                            d.value);
+        }
+    }
+
+    out += "# EOF\n";
+    return out;
+}
+
+} // namespace onespec::obs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Time-series metrics: a fixed-capacity ring of counter/gauge samples
+ * plus an OpenMetrics/Prometheus text-format encoder.
+ *
+ * The ring is deliberately dumb about *what* it samples -- callers (the
+ * service daemon) hand it flat lists of already-labelled counter points
+ * and gauge values; the ring stamps a sequence number, computes the
+ * delta of every counter point against the previous sample, and keeps
+ * the last `capacity` samples.  Sampling cadence is the caller's
+ * business; the daemon drives it off its job-completion count, not wall
+ * clock, so the series a test observes is a function of the work done
+ * (docs/OBSERVABILITY.md, "Daemon time-series").
+ *
+ * renderOpenMetrics turns the latest sample into scrape text: counter
+ * families (names ending `_total`) expose the cumulative values of the
+ * newest sample -- which only ever grow, so successive scrapes are
+ * monotone per label set -- gauges expose their newest values, the
+ * unlabelled counter families additionally expose their per-sample
+ * deltas across the whole ring (`<family>_delta{sample="N"}`), and the
+ * text ends with the `# EOF` terminator OpenMetrics requires.  Scraping
+ * is read-only: it cannot perturb the sampled state, which is what lets
+ * bench_telemetry demand bit-identical final stats with and without a
+ * scraper attached.
+ */
+
+#ifndef ONESPEC_OBS_METRICS_HPP
+#define ONESPEC_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace onespec::obs {
+
+/** One labelled counter value at one sample point. */
+struct MetricPoint
+{
+    std::string family; ///< e.g. "onespec_jobs_completed_total"
+    /** Rendered label list without braces, e.g. `tenant="bench"`; empty
+     *  for an unlabelled point.  Build with metricLabel() so escaping
+     *  is consistent. */
+    std::string labels;
+    uint64_t value = 0; ///< cumulative (counters never decrease)
+};
+
+/** `key="value"` with OpenMetrics escaping of \, " and newline. */
+std::string metricLabel(const std::string &key, const std::string &value);
+
+/** One sample held by the ring. */
+struct MetricsSample
+{
+    uint64_t seq = 0;         ///< 1-based sample sequence number
+    uint64_t completedAt = 0; ///< caller's cadence counter when taken
+    std::vector<MetricPoint> counters; ///< cumulative values
+    std::vector<MetricPoint> deltas;   ///< vs the previous sample
+    std::vector<std::pair<std::string, int64_t>> gauges;
+};
+
+/** Fixed-capacity sample ring; push evicts the oldest when full. */
+class MetricsRing
+{
+  public:
+    explicit MetricsRing(size_t capacity = 64)
+        : capacity_(capacity ? capacity : 1)
+    {}
+
+    /** Record one sample.  Counter deltas are computed against the
+     *  previous push for matching (family, labels) pairs; a point seen
+     *  for the first time deltas from zero. */
+    void push(uint64_t completed_at, std::vector<MetricPoint> counters,
+              std::vector<std::pair<std::string, int64_t>> gauges);
+
+    /** Samples currently held, oldest first. */
+    std::vector<MetricsSample> snapshot() const;
+
+    /** Total samples ever taken (including evicted ones). */
+    uint64_t taken() const;
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex m_;
+    std::deque<MetricsSample> ring_;
+    std::map<std::string, uint64_t> last_; ///< family|labels -> value
+    uint64_t taken_ = 0;
+    size_t capacity_;
+};
+
+/**
+ * Render the ring as OpenMetrics text (also valid Prometheus text
+ * exposition).  @p help maps family name -> HELP string; families
+ * without an entry get only their TYPE line.
+ */
+std::string renderOpenMetrics(
+    const MetricsRing &ring,
+    const std::vector<std::pair<std::string, std::string>> &help = {});
+
+} // namespace onespec::obs
+
+#endif // ONESPEC_OBS_METRICS_HPP

@@ -1,6 +1,8 @@
 #include "obs/timeline.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace onespec::obs {
 
@@ -15,7 +17,11 @@ eventName(const FrEvent &ev, const TimelineLabels &labels)
     bool job_scoped = ev.type == EvType::Job || ev.type == EvType::Backoff ||
                       ev.type == EvType::Retry ||
                       ev.type == EvType::Quarantine ||
-                      ev.type == EvType::Deadline;
+                      ev.type == EvType::Deadline ||
+                      ev.type == EvType::Submit ||
+                      ev.type == EvType::QueueWait ||
+                      ev.type == EvType::Stream ||
+                      ev.type == EvType::Warm;
     if (job_scoped) {
         if (ev.id < labels.jobNames.size())
             name += " " + labels.jobNames[ev.id];
@@ -25,19 +31,32 @@ eventName(const FrEvent &ev, const TimelineLabels &labels)
     return name;
 }
 
+/** Fixed-width hex so trace ids compare as plain strings everywhere. */
+std::string
+traceIdHex(uint64_t id)
+{
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
 stats::Json
-eventArgs(const FrEvent &ev)
+eventArgs(const FrEvent &ev, const TimelineLabels &labels)
 {
     stats::Json args = stats::Json::object();
     args.set("a0", stats::Json(ev.a0));
     args.set("a1", stats::Json(ev.a1));
     args.set("id", stats::Json(static_cast<uint64_t>(ev.id)));
+    auto it = labels.traceIds.find(ev.id);
+    if (it != labels.traceIds.end() && it->second != 0)
+        args.set("trace_id", stats::Json(traceIdHex(it->second)));
     return args;
 }
 
 stats::Json
 makeEvent(const char *ph, const std::string &name, const FrEvent &ev,
-          unsigned tid, double ts_us)
+          unsigned tid, double ts_us, const TimelineLabels &labels)
 {
     stats::Json e = stats::Json::object();
     e.set("name", stats::Json(name));
@@ -48,7 +67,7 @@ makeEvent(const char *ph, const std::string &name, const FrEvent &ev,
     e.set("tid", stats::Json(static_cast<int64_t>(tid)));
     if (ph[0] == 'i')
         e.set("s", stats::Json("t")); // thread-scoped instant
-    e.set("args", eventArgs(ev));
+    e.set("args", eventArgs(ev, labels));
     return e;
 }
 
@@ -111,20 +130,21 @@ buildChromeTrace(const TimelineLabels &labels)
             switch (ev.phase) {
               case EvPhase::Begin: {
                 std::string name = eventName(ev, labels);
-                events.push(makeEvent("B", name, ev, tid, ts_us));
+                events.push(makeEvent("B", name, ev, tid, ts_us, labels));
                 open.push_back(Open{ev, std::move(name)});
                 break;
               }
               case EvPhase::End: {
                 if (open.empty() || open.back().ev.type != ev.type)
                     break; // orphan End from ring overwrite
-                events.push(makeEvent("E", open.back().name, ev, tid, ts_us));
+                events.push(
+                    makeEvent("E", open.back().name, ev, tid, ts_us, labels));
                 open.pop_back();
                 break;
               }
               case EvPhase::Instant:
-                events.push(
-                    makeEvent("i", eventName(ev, labels), ev, tid, ts_us));
+                events.push(makeEvent("i", eventName(ev, labels), ev, tid,
+                                      ts_us, labels));
                 break;
             }
         }
@@ -135,7 +155,7 @@ buildChromeTrace(const TimelineLabels &labels)
         while (!open.empty()) {
             events.push(
                 makeEvent("E", open.back().name, open.back().ev, tid,
-                          close_us));
+                          close_us, labels));
             open.pop_back();
         }
     }
@@ -147,6 +167,8 @@ buildChromeTrace(const TimelineLabels &labels)
     other.set("source", stats::Json("onespec flight recorder"));
     other.set("dropped_events",
               stats::Json(FlightControl::instance().totalDropped()));
+    for (const auto &kv : labels.otherData)
+        other.set(kv.first, stats::Json(kv.second));
     doc.set("otherData", std::move(other));
     return doc;
 }
@@ -167,6 +189,131 @@ exportChromeTrace(const std::string &path, const TimelineLabels &labels,
     if (n != text.size() || !closed) {
         if (error)
             *error = "short write to " + path;
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+bool
+loadTraceDoc(const std::string &path, stats::Json &out, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string perr;
+    if (!stats::Json::parse(ss.str(), out, &perr)) {
+        if (error)
+            *error = path + ": " + perr;
+        return false;
+    }
+    if (!out.isObject() || !out.has("traceEvents") ||
+        !out.find("traceEvents")->isArray()) {
+        if (error)
+            *error = path + ": not a Chrome trace document";
+        return false;
+    }
+    return true;
+}
+
+/** Append @p src's events into @p dst under @p pid, shifting every
+ *  timestamp by @p shift_us and tracking the earliest resulting ts. */
+void
+appendSide(stats::Json &dst, const stats::Json &src, int64_t pid,
+           double shift_us, double &min_ts)
+{
+    const stats::Json &evs = *src.find("traceEvents");
+    for (size_t i = 0; i < evs.size(); ++i) {
+        stats::Json e = evs.at(i); // deep copy; set() edits in place
+        e.set("pid", stats::Json(pid));
+        const stats::Json *ph = e.find("ph");
+        bool meta = ph && ph->isString() && ph->asString() == "M";
+        if (!meta) {
+            const stats::Json *ts = e.find("ts");
+            double t = ts ? ts->asDouble() : 0.0;
+            t += shift_us;
+            e.set("ts", stats::Json(t));
+            if (t < min_ts)
+                min_ts = t;
+        }
+        dst.push(std::move(e));
+    }
+}
+
+} // namespace
+
+bool
+mergeChromeTraces(const std::string &daemonPath,
+                  const std::string &clientPath, const std::string &outPath,
+                  std::string *error)
+{
+    stats::Json daemon, client;
+    if (!loadTraceDoc(daemonPath, daemon, error) ||
+        !loadTraceDoc(clientPath, client, error))
+        return false;
+
+    // The client computed daemon_now - client_now at the Hello/HelloAck
+    // handshake; adding it to a client timestamp lands in the daemon's
+    // timebase, so the daemon side is kept as-is and the client side is
+    // shifted onto it.
+    const stats::Json *other = client.find("otherData");
+    const stats::Json *off =
+        other ? other->find("daemon_clock_offset_ns") : nullptr;
+    if (!off || !off->isNumber()) {
+        if (error)
+            *error = clientPath +
+                     ": otherData.daemon_clock_offset_ns missing (was "
+                     "the client trace written with --trace-out?)";
+        return false;
+    }
+    double client_shift_us = off->asDouble() / 1000.0;
+
+    stats::Json events = stats::Json::array();
+    double min_ts = 0.0; // timeline is re-based so nothing sits below 0
+    appendSide(events, daemon, 1, 0.0, min_ts);
+    appendSide(events, client, 2, client_shift_us, min_ts);
+
+    if (min_ts < 0.0) {
+        stats::Json rebased = stats::Json::array();
+        for (size_t i = 0; i < events.size(); ++i) {
+            stats::Json e = events.at(i);
+            const stats::Json *ph = e.find("ph");
+            if (!(ph && ph->isString() && ph->asString() == "M"))
+                e.set("ts",
+                      stats::Json(e.find("ts")->asDouble() - min_ts));
+            rebased.push(std::move(e));
+        }
+        events = std::move(rebased);
+    }
+
+    stats::Json doc = stats::Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", stats::Json("ms"));
+    stats::Json od = stats::Json::object();
+    od.set("source", stats::Json("onespec timeline merge"));
+    od.set("daemon_trace", stats::Json(daemonPath));
+    od.set("client_trace", stats::Json(clientPath));
+    od.set("client_shift_ns", stats::Json(off->asInt()));
+    doc.set("otherData", std::move(od));
+
+    std::string text = doc.dump(2);
+    std::FILE *f = std::fopen(outPath.c_str(), "wb");
+    if (!f) {
+        if (error)
+            *error = "cannot open " + outPath + " for writing";
+        return false;
+    }
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool closed = std::fclose(f) == 0;
+    if (n != text.size() || !closed) {
+        if (error)
+            *error = "short write to " + outPath;
         return false;
     }
     return true;

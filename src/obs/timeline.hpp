@@ -19,6 +19,8 @@
 #define ONESPEC_OBS_TIMELINE_HPP
 
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
@@ -33,6 +35,19 @@ struct TimelineLabels
     std::vector<std::string> jobNames;
     /** Process label for the one pid in the trace. */
     std::string processName = "onespec-fleet";
+    /**
+     * Wire trace ids by correlation id: job-scoped events whose id has
+     * an entry here carry an `args.trace_id` hex string, the join key
+     * the merged client+daemon timeline correlates spans on
+     * (docs/OBSERVABILITY.md, "Cross-process tracing").
+     */
+    std::unordered_map<uint32_t, uint64_t> traceIds;
+    /**
+     * Extra integer fields for the document's otherData block.  The
+     * client-side exporter stores `daemon_clock_offset_ns` here so
+     * mergeChromeTraces can align the two monotonic timebases.
+     */
+    std::vector<std::pair<std::string, int64_t>> otherData;
 };
 
 /**
@@ -48,6 +63,24 @@ stats::Json buildChromeTrace(const TimelineLabels &labels = {});
  */
 bool exportChromeTrace(const std::string &path,
                        const TimelineLabels &labels = {},
+                       std::string *error = nullptr);
+
+/**
+ * Merge a daemon-side and a client-side Chrome trace file (each written
+ * by exportChromeTrace in its own process) into one document at
+ * @p outPath: the daemon keeps pid 1, the client moves to pid 2, and
+ * client timestamps are shifted into the daemon's timebase using the
+ * `daemon_clock_offset_ns` the client computed from the Hello/HelloAck
+ * monotonic-clock exchange (stored in its trace's otherData).  After the
+ * shift the whole timeline is re-based so the earliest event sits at
+ * t=0.  Spans from the two sides that belong to the same job share an
+ * `args.trace_id`, which is what `tools/check_trace_json.py --merged`
+ * verifies.  Returns false and sets @p error on unreadable input,
+ * malformed JSON, or a missing offset.
+ */
+bool mergeChromeTraces(const std::string &daemonPath,
+                       const std::string &clientPath,
+                       const std::string &outPath,
                        std::string *error = nullptr);
 
 } // namespace onespec::obs

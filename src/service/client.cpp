@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 #include "support/sim_error.hpp"
 
 namespace onespec::service {
@@ -60,6 +62,7 @@ ServiceClient::connect(const std::string &socket_path,
 
     Hello h;
     h.tenant = tenant;
+    h.monoNs = obs::FlightControl::instance().nowNs();
     writeFrame(fd_, FrameType::Hello, encodeHello(h));
     Frame f = readOrThrow("HelloAck");
     if (f.type != FrameType::HelloAck)
@@ -70,6 +73,22 @@ ServiceClient::connect(const std::string &socket_path,
         throw WireError("server speaks protocol version " +
                         std::to_string(hello_.version) + ", this client " +
                         std::to_string(kProtocolVersion));
+
+    // Clock alignment: the ack carries the daemon's monotonic clock at
+    // ack time; sampling ours now brackets it within one round trip, so
+    // offset = daemon_now - client_now aligns the two flight-recorder
+    // timebases to well under the spans being merged.
+    const uint64_t now = obs::FlightControl::instance().nowNs();
+    daemonClockOffsetNs_ = static_cast<int64_t>(hello_.monoNs) -
+                           static_cast<int64_t>(now);
+    // Trace-id nonce: distinguishes this connection's ids from another
+    // client's in a merged timeline.  Mixing the clock and the pid is
+    // enough -- ids only need to be unique, not unguessable.
+    traceNonce_ = static_cast<uint32_t>(
+        (now >> 10) ^ (now << 7) ^
+        static_cast<uint64_t>(::getpid()) * 0x9E3779B9ull);
+    if (!traceNonce_)
+        traceNonce_ = 1;
 }
 
 Frame
@@ -91,10 +110,12 @@ ServiceClient::toEvent(Frame &&f)
     case FrameType::Status:
         ev.kind = ClientEvent::Kind::Status;
         ev.status = decodeStatus(f.payload);
+        noteStatus(ev.status);
         break;
     case FrameType::Result:
         ev.kind = ClientEvent::Kind::Result;
         ev.result = decodeResult(f.payload);
+        noteResult(ev.result.jobId);
         break;
     case FrameType::Statsz:
         ev.kind = ClientEvent::Kind::Statsz;
@@ -111,10 +132,69 @@ ServiceClient::toEvent(Frame &&f)
     return ev;
 }
 
+/** Client-side trace bookkeeping, called from toEvent() as streamed
+ *  frames are decoded (whichever call pulled them off the wire). */
+void
+ServiceClient::noteStatus(const JobStatus &st)
+{
+    auto it = jobTrace_.find(st.jobId);
+    if (it == jobTrace_.end())
+        return;
+    JobTrace &jt = it->second;
+    const uint64_t now = obs::FlightControl::instance().nowNs();
+    if (!jt.firstEventNs)
+        jt.firstEventNs = now;
+    if (!jt.runningNoted && (st.phase == JobPhase::Running ||
+                             st.phase == JobPhase::Resumed)) {
+        jt.runningNoted = true;
+        // As seen from the client: admission verdict -> first Running.
+        ONESPEC_FR_INSTANT(obs::EvType::QueueWait, jt.ctr,
+                           now > jt.acceptNs ? now - jt.acceptNs : 0,
+                           static_cast<uint32_t>(jt.traceId));
+    }
+}
+
+void
+ServiceClient::noteResult(uint64_t job_id)
+{
+    auto it = jobTrace_.find(job_id);
+    if (it == jobTrace_.end())
+        return;
+    JobTrace &jt = it->second;
+    const uint64_t now = obs::FlightControl::instance().nowNs();
+    const uint64_t from = jt.firstEventNs ? jt.firstEventNs : jt.acceptNs;
+    ONESPEC_FR_INSTANT(obs::EvType::Stream, jt.ctr,
+                       now > from ? now - from : 0,
+                       static_cast<uint32_t>(jt.traceId));
+    jobTrace_.erase(it); // labels keep the name/id by ctr
+}
+
 SubmitOutcome
 ServiceClient::submit(const JobSpec &spec)
 {
-    writeFrame(fd_, FrameType::Submit, encodeSubmit(spec));
+    // Mint the wire trace context (header comment on setTraceContext).
+    uint64_t traceId = spec.traceId;
+    uint32_t ctr = 0;
+    if (traceContext_ && traceId == 0) {
+        ctr = ++traceCtr_;
+        traceId = (static_cast<uint64_t>(traceNonce_) << 32) | ctr;
+        traceIds_[ctr] = traceId;
+        if (jobNames_.size() <= ctr)
+            jobNames_.resize(ctr + 1);
+        jobNames_[ctr] = spec.name;
+    }
+    // The Submit span covers send -> admission verdict; the client is
+    // single-threaded, so the span nests cleanly around any streamed
+    // frames for other jobs decoded while waiting.
+    obs::FrSpan span(obs::EvType::Submit, ctr,
+                     static_cast<uint32_t>(traceId), traceId >> 32);
+    if (traceId != spec.traceId) {
+        JobSpec traced = spec;
+        traced.traceId = traceId;
+        writeFrame(fd_, FrameType::Submit, encodeSubmit(traced));
+    } else {
+        writeFrame(fd_, FrameType::Submit, encodeSubmit(spec));
+    }
     // The admission verdict is the next Accept/Reject on the wire;
     // Status/Result frames for other jobs may arrive first and are
     // queued in order.
@@ -124,6 +204,13 @@ ServiceClient::submit(const JobSpec &spec)
             SubmitOutcome o;
             o.accepted = true;
             o.jobId = decodeAccept(f.payload);
+            if (ctr) {
+                JobTrace jt;
+                jt.ctr = ctr;
+                jt.traceId = traceId;
+                jt.acceptNs = obs::FlightControl::instance().nowNs();
+                jobTrace_[o.jobId] = jt;
+            }
             return o;
         }
         if (f.type == FrameType::Reject) {
@@ -190,6 +277,34 @@ ServiceClient::statsz()
             return decodeStatsz(f.payload);
         pending_.push_back(toEvent(std::move(f)));
     }
+}
+
+std::string
+ServiceClient::metricsz()
+{
+    writeFrame(fd_, FrameType::MetricszReq, {});
+    while (true) {
+        Frame f = readOrThrow("Metricsz");
+        if (f.type == FrameType::Metricsz)
+            return decodeMetricsz(f.payload);
+        pending_.push_back(toEvent(std::move(f)));
+    }
+}
+
+void
+ServiceClient::fillTimelineLabels(obs::TimelineLabels &labels) const
+{
+    labels.processName = "onespec-sub";
+    for (size_t i = 0; i < jobNames_.size(); ++i) {
+        if (jobNames_[i].empty())
+            continue;
+        if (labels.jobNames.size() <= i)
+            labels.jobNames.resize(i + 1);
+        labels.jobNames[i] = jobNames_[i];
+    }
+    labels.traceIds.insert(traceIds_.begin(), traceIds_.end());
+    labels.otherData.emplace_back("daemon_clock_offset_ns",
+                                  daemonClockOffsetNs_);
 }
 
 BundleData

@@ -16,10 +16,18 @@
 #ifndef ONESPEC_SERVICE_CLIENT_HPP
 #define ONESPEC_SERVICE_CLIENT_HPP
 
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "service/protocol.hpp"
+
+namespace onespec::obs {
+struct TimelineLabels;
+}
 
 namespace onespec::service {
 
@@ -90,6 +98,36 @@ class ServiceClient
     /** Request and return the daemon's /statsz JSON dump. */
     std::string statsz();
 
+    /** Request and return the daemon's OpenMetrics scrape text
+     *  (MetricszReq/Metricsz; docs/SERVICE.md, "Metrics exposition"). */
+    std::string metricsz();
+
+    /**
+     * Trace context: when enabled (the default), every submit() whose
+     * spec carries traceId == 0 gets a fresh client-minted 64-bit trace
+     * id -- (connection nonce << 32) | per-connection counter -- sent
+     * over the wire, and the client records Submit spans plus
+     * queue-wait/stream instants into its own flight-recorder ring
+     * (no-ops while obs::FlightControl is disarmed).  Disabling restores
+     * the exact v1 wire bytes apart from the trailing zero id, which is
+     * what bench_telemetry's overhead gate compares against.
+     */
+    void setTraceContext(bool enabled) { traceContext_ = enabled; }
+
+    /**
+     * daemon_now - client_now in nanoseconds, computed from HelloAck's
+     * monotonic timestamp at connect(); adding it to a client
+     * flight-recorder timestamp lands in the daemon's timebase.  The
+     * client-side timeline export stores it as otherData
+     * `daemon_clock_offset_ns`, which obs::mergeChromeTraces requires.
+     */
+    int64_t daemonClockOffsetNs() const { return daemonClockOffsetNs_; }
+
+    /** Fill @p labels for a client-side timeline export: job names and
+     *  trace ids for every traced submit, processName "onespec-sub",
+     *  and the clock offset in otherData (onespec-sub --trace-out). */
+    void fillTimelineLabels(obs::TimelineLabels &labels) const;
+
     /**
      * Download the repro bundle the daemon recorded for job @p job_id
      * (quarantined jobs under a daemon started with --bundle-dir).  The
@@ -105,12 +143,32 @@ class ServiceClient
     void close();
 
   private:
+    /** Client-side trace state for one in-flight traced job. */
+    struct JobTrace
+    {
+        uint32_t ctr = 0;      ///< low 32 bits of the trace id
+        uint64_t traceId = 0;
+        uint64_t acceptNs = 0; ///< when the Accept arrived
+        uint64_t firstEventNs = 0; ///< first streamed Status/Result
+        bool runningNoted = false; ///< QueueWait instant emitted
+    };
+
     Frame readOrThrow(const char *waiting_for);
     ClientEvent toEvent(Frame &&f);
+    void noteStatus(const JobStatus &st);
+    void noteResult(uint64_t job_id);
 
     int fd_ = -1;
     HelloAck hello_;
     std::deque<ClientEvent> pending_;
+
+    bool traceContext_ = true;
+    uint32_t traceNonce_ = 0; ///< high 32 bits of every minted trace id
+    uint32_t traceCtr_ = 0;
+    int64_t daemonClockOffsetNs_ = 0;
+    std::map<uint64_t, JobTrace> jobTrace_; ///< by daemon job id
+    std::vector<std::string> jobNames_;     ///< by ctr, for labels
+    std::unordered_map<uint32_t, uint64_t> traceIds_; ///< ctr -> trace id
 };
 
 } // namespace onespec::service

@@ -24,7 +24,9 @@
 #include "iface/registry.hpp"
 #include "isa/isa.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/pc_profile.hpp"
+#include "obs/timeline.hpp"
 #include "parallel/fleet.hpp"
 #include "parallel/threadpool.hpp"
 #include "perf/hostcount.hpp"
@@ -152,6 +154,8 @@ struct ServiceDaemon::Impl
         std::unique_ptr<obs::PcProfiler> prof; ///< survives preemption
 
         uint64_t sliceInstrs = 0; ///< resolved at admission (0 = uncut)
+        uint64_t enqueuedNs = 0;  ///< FlightControl::nowNs at admission
+        bool queueNoted = false;  ///< QueueWait instant emitted
         uint64_t instrsDone = 0;
         uint64_t runNs = 0;       ///< active run time across slices
         uint64_t preemptions = 0;
@@ -188,12 +192,32 @@ struct ServiceDaemon::Impl
         uint64_t preempted = 0, resumed = 0, retries = 0;
         uint64_t warmAcquires = 0, warmCreates = 0, warmReuses = 0,
                  warmEvictions = 0;
+        /** Admitted jobs whose Result has not been accounted yet.
+         *  Bumped with accepted and dropped in the same svcM critical
+         *  section as completed/quarantined, so the identity
+         *  completed + quarantined + rejected + inFlight == submitted
+         *  holds under every svcM-coherent observation. */
+        uint64_t inFlight = 0;
+    };
+
+    /** Per-tenant admission/outcome tallies for the metrics breakdown. */
+    struct TenantAgg
+    {
+        uint64_t submitted = 0, completed = 0, quarantined = 0,
+                 rejected = 0;
+    };
+
+    /** Per-(isa,buildset) outcome tallies for the metrics breakdown. */
+    struct WorkloadAgg
+    {
+        uint64_t completed = 0, instrs = 0;
     };
 
     explicit Impl(ServiceConfig c) : cfg(std::move(c))
     {
         if (!cfg.storeDir.empty())
             store = std::make_unique<ckpt::CkptStore>(cfg.storeDir);
+        metrics = std::make_unique<obs::MetricsRing>(cfg.metricsRingCap);
     }
 
     ServiceConfig cfg;
@@ -244,6 +268,18 @@ struct ServiceDaemon::Impl
     std::mutex svcM;
     SvcCounters svc;
     ckpt::CkptCounters svcCkpt; ///< aggregated at job completion
+    std::map<std::string, TenantAgg> tenantAgg;
+    std::map<std::pair<std::string, std::string>, WorkloadAgg> workloadAgg;
+    /** Wire trace context by job id, accumulated over the daemon's
+     *  lifetime (not erased at job completion) so a shutdown-time
+     *  timeline export can label every span it ever recorded. */
+    std::map<uint32_t, uint64_t> traceIds;
+    std::map<uint32_t, std::string> traceNames;
+
+    /** Completion-driven time-series (ServiceConfig::metricsRingCap).
+     *  Pushed to by workers at sampling points, drained read-only by
+     *  MetricszReq scrapes. */
+    std::unique_ptr<obs::MetricsRing> metrics;
 
     /** Repro bundles written for quarantined jobs (record mode), keyed
      *  by job id; served back over the wire on BundleReq.  Outlives the
@@ -299,6 +335,10 @@ struct ServiceDaemon::Impl
             poolWidth = pool->size();
         }
         started.store(true);
+        // Sample 0: a scrape of an idle daemon already carries every
+        // required metric family (all zero), not just the meta block.
+        if (cfg.metricsSampleEvery)
+            takeSample();
         acceptThread = std::thread([this] { acceptLoop(); });
         dispatchThread = std::thread([this] { dispatchLoop(); });
     }
@@ -369,7 +409,12 @@ struct ServiceDaemon::Impl
         while (true) {
             int cfd = ::accept(listenFd, nullptr, nullptr);
             if (cfd < 0) {
-                if (errno == EINTR)
+                // A signal or a client that gave up between connect()
+                // and accept() must not kill the listener; only a real
+                // listener error (stop()'s shutdown()) ends the loop.
+                // The reader/writer loops get the same guarantee from
+                // readFull/writeFull, which retry EINTR internally.
+                if (errno == EINTR || errno == ECONNABORTED)
                     continue;
                 break; // listener shut down by stop()
             }
@@ -476,6 +521,10 @@ struct ServiceDaemon::Impl
             ack.queueDepth = cfg.queueDepth;
             ack.tenantQuota = cfg.tenantQuota;
             ack.serverName = "onespec-served";
+            // Clock exchange: the daemon's monotonic now, in the same
+            // timebase as its flight-recorder timestamps, lets the
+            // client compute the offset a merged timeline aligns on.
+            ack.monoNs = obs::FlightControl::instance().nowNs();
             conn->send(FrameType::HelloAck, encodeHelloAck(ack));
             break;
         }
@@ -484,6 +533,9 @@ struct ServiceDaemon::Impl
             break;
         case FrameType::StatszReq:
             conn->send(FrameType::Statsz, encodeStatsz(statszJson()));
+            break;
+        case FrameType::MetricszReq:
+            conn->send(FrameType::Metricsz, encodeMetricsz(metricsText()));
             break;
         case FrameType::BundleReq: {
             BundleData bd;
@@ -548,6 +600,9 @@ struct ServiceDaemon::Impl
                 std::lock_guard<std::mutex> lk(svcM);
                 ++svc.submitted;
                 ++counter;
+                TenantAgg &ta = tenantAgg[conn->tenant];
+                ++ta.submitted;
+                ++ta.rejected;
             }
             Reject r;
             r.code = code;
@@ -576,6 +631,8 @@ struct ServiceDaemon::Impl
         if (spec.name.empty())
             spec.name = spec.isa + "/" + spec.kernel;
 
+        const uint64_t traceId = spec.traceId;
+        const std::string jobName = spec.name;
         uint64_t id = 0;
         {
             std::lock_guard<std::mutex> lk(schedM);
@@ -608,6 +665,7 @@ struct ServiceDaemon::Impl
             rec->sliceInstrs = rec->spec.sliceInstrs
                                    ? rec->spec.sliceInstrs
                                    : cfg.defaultSliceInstrs;
+            rec->enqueuedNs = obs::FlightControl::instance().nowNs();
             rec->conn = conn;
             jobs[id] = std::move(rec);
             runQueue.push_back(id);
@@ -617,7 +675,15 @@ struct ServiceDaemon::Impl
             std::lock_guard<std::mutex> lk(svcM);
             ++svc.submitted;
             ++svc.accepted;
+            ++svc.inFlight;
+            ++tenantAgg[conn->tenant].submitted;
+            traceNames[static_cast<uint32_t>(id)] = jobName;
+            if (traceId)
+                traceIds[static_cast<uint32_t>(id)] = traceId;
         }
+        ONESPEC_FR_INSTANT(obs::EvType::Submit, static_cast<uint32_t>(id),
+                           static_cast<uint32_t>(traceId),
+                           traceId >> 32);
         conn->send(FrameType::Accept, encodeAccept(id));
         JobStatus st;
         st.jobId = id;
@@ -726,7 +792,7 @@ struct ServiceDaemon::Impl
      *  has none idle.  Creation may throw SpecError (unknown buildset):
      *  the caller quarantines the job. */
     std::unique_ptr<WarmEntry>
-    acquireWarm(JobRecord &rec)
+    acquireWarm(JobRecord &rec, bool *reused = nullptr)
     {
         const std::string key = warmKey(rec);
         {
@@ -738,6 +804,8 @@ struct ServiceDaemon::Impl
                 auto entry = std::move(it->second.back());
                 it->second.pop_back();
                 --warmIdle;
+                if (reused)
+                    *reused = true;
                 return entry;
             }
             ++svc.warmCreates;
@@ -860,6 +928,18 @@ struct ServiceDaemon::Impl
         } else {
             sendStatus(rec, JobPhase::Running);
         }
+        if (!rec.queueNoted) {
+            // Queue wait as an instant carrying the measured wait: the
+            // Begin would have to come from the reader thread, and B/E
+            // pairs may not straddle tracks.
+            rec.queueNoted = true;
+            uint64_t now = obs::FlightControl::instance().nowNs();
+            ONESPEC_FR_INSTANT(obs::EvType::QueueWait,
+                               static_cast<uint32_t>(rec.id),
+                               now > rec.enqueuedNs ? now - rec.enqueuedNs
+                                                    : 0,
+                               static_cast<uint32_t>(rec.spec.traceId));
+        }
 
         if (!rec.isaSpec)
             rec.isaSpec = getSpec(rec.spec.isa);
@@ -884,7 +964,16 @@ struct ServiceDaemon::Impl
             rec.recorder->setProgram(*rec.program);
         }
 
-        std::unique_ptr<WarmEntry> entry = acquireWarm(rec);
+        bool warmReused = false;
+        std::unique_ptr<WarmEntry> entry;
+        {
+            obs::FrSpan wspan(obs::EvType::Warm,
+                              static_cast<uint32_t>(rec.id), 0,
+                              static_cast<uint32_t>(rec.spec.traceId));
+            entry = acquireWarm(rec, &warmReused);
+            wspan.setArgs(warmReused ? 1 : 0,
+                          static_cast<uint32_t>(rec.spec.traceId));
+        }
         SimContext &ctx = *entry->ctx;
         FunctionalSimulator &sim = *entry->sim;
 
@@ -1034,11 +1123,25 @@ struct ServiceDaemon::Impl
             rec.ckptName.clear();
         }
         // Account before the Result leaves: a client holding a Result
-        // must find it already reflected in /statsz.
+        // must find it already reflected in /statsz (and the metrics
+        // ring, when this completion is a sampling point).
+        bool doSample = false;
         {
             std::lock_guard<std::mutex> lk(svcM);
             ++svc.completed;
+            --svc.inFlight;
+            ++tenantAgg[rec.tenant].completed;
+            WorkloadAgg &wa =
+                workloadAgg[{rec.spec.isa, rec.spec.buildset}];
+            ++wa.completed;
+            wa.instrs += rec.instrsDone;
+            doSample = cfg.metricsSampleEvery &&
+                       (svc.completed + svc.quarantined) %
+                               cfg.metricsSampleEvery ==
+                           0;
         }
+        if (doSample)
+            takeSample();
         rec.conn->send(FrameType::Result, encodeResult(res));
         return false;
     }
@@ -1182,10 +1285,19 @@ struct ServiceDaemon::Impl
             rec.ckptName.clear();
         }
         // Account before the Result leaves (see the finish path).
+        bool doSample = false;
         {
             std::lock_guard<std::mutex> lk(svcM);
             ++svc.quarantined;
+            --svc.inFlight;
+            ++tenantAgg[rec.tenant].quarantined;
+            doSample = cfg.metricsSampleEvery &&
+                       (svc.completed + svc.quarantined) %
+                               cfg.metricsSampleEvery ==
+                           0;
         }
+        if (doSample)
+            takeSample();
         rec.conn->send(FrameType::Result, encodeResult(res));
         return Next::Quarantine;
     }
@@ -1210,7 +1322,7 @@ struct ServiceDaemon::Impl
         drainCv.notify_all();
     }
 
-    // ------------------------------------------------------------- statsz
+    // ---------------------------------------------------- statsz / metrics
 
     std::string
     statszJson()
@@ -1221,6 +1333,11 @@ struct ServiceDaemon::Impl
 
         stats::Json jobs_ = stats::Json::object();
         stats::Json warm_ = stats::Json::object();
+        stats::Json ck = stats::Json::object();
+        // One svcM section for every counter: the accounting identity
+        // completed + quarantined + rejected_* + in_flight == submitted
+        // must hold in every dump, so the whole counter block is one
+        // coherent snapshot (tests/test_service.cpp hammers this).
         {
             std::lock_guard<std::mutex> lk(svcM);
             jobs_.set("submitted", svc.submitted);
@@ -1231,6 +1348,7 @@ struct ServiceDaemon::Impl
             jobs_.set("rejected_bad_request", svc.rejBadRequest);
             jobs_.set("completed", svc.completed);
             jobs_.set("quarantined", svc.quarantined);
+            jobs_.set("in_flight", svc.inFlight);
             jobs_.set("preempted", svc.preempted);
             jobs_.set("resumed", svc.resumed);
             jobs_.set("retries", svc.retries);
@@ -1238,13 +1356,6 @@ struct ServiceDaemon::Impl
             warm_.set("creates", svc.warmCreates);
             warm_.set("cache_reuses", svc.warmReuses);
             warm_.set("evictions", svc.warmEvictions);
-        }
-        root.set("jobs", std::move(jobs_));
-        root.set("warm", std::move(warm_));
-
-        stats::Json ck = stats::Json::object();
-        {
-            std::lock_guard<std::mutex> lk(svcM);
             ck.set("full_captures", svcCkpt.fullCaptures);
             ck.set("restores", svcCkpt.restores);
             ck.set("pages_captured", svcCkpt.pagesCaptured);
@@ -1254,6 +1365,8 @@ struct ServiceDaemon::Impl
             ck.set("store_bytes_written", svcCkpt.storeBytesWritten);
             ck.set("store_bytes_read", svcCkpt.storeBytesRead);
         }
+        root.set("jobs", std::move(jobs_));
+        root.set("warm", std::move(warm_));
         root.set("ckpt", std::move(ck));
 
         stats::Json gauges = stats::Json::object();
@@ -1272,6 +1385,119 @@ struct ServiceDaemon::Impl
         }
         root.set("gauges", std::move(gauges));
         return root.dump(2);
+    }
+
+    /**
+     * Snapshot every service counter and gauge into the metrics ring.
+     * Called from worker threads at completion-count sampling points and
+     * once from start() (the seq-1 baseline of an idle daemon), so the
+     * series is a function of the work done, never of wall clock.  The
+     * emission order below is fixed: renderOpenMetrics groups families
+     * in first-appearance order, so this list *is* the scrape layout.
+     */
+    void
+    takeSample()
+    {
+        std::vector<obs::MetricPoint> counters;
+        std::vector<std::pair<std::string, int64_t>> gauges;
+        uint64_t completedAt = 0;
+        {
+            std::lock_guard<std::mutex> lk(svcM);
+            completedAt = svc.completed + svc.quarantined;
+            auto c = [&counters](const char *family, uint64_t v,
+                                 std::string labels = "") {
+                counters.push_back({family, std::move(labels), v});
+            };
+            c("onespec_jobs_submitted_total", svc.submitted);
+            c("onespec_jobs_accepted_total", svc.accepted);
+            c("onespec_jobs_completed_total", svc.completed);
+            c("onespec_jobs_quarantined_total", svc.quarantined);
+            c("onespec_jobs_preempted_total", svc.preempted);
+            c("onespec_jobs_resumed_total", svc.resumed);
+            c("onespec_jobs_retried_total", svc.retries);
+            c("onespec_jobs_rejected_total", svc.rejQueueFull,
+              obs::metricLabel("reason", "queue_full"));
+            c("onespec_jobs_rejected_total", svc.rejQuota,
+              obs::metricLabel("reason", "tenant_quota"));
+            c("onespec_jobs_rejected_total", svc.rejDraining,
+              obs::metricLabel("reason", "draining"));
+            c("onespec_jobs_rejected_total", svc.rejBadRequest,
+              obs::metricLabel("reason", "bad_request"));
+            c("onespec_warm_acquires_total", svc.warmAcquires);
+            c("onespec_warm_creates_total", svc.warmCreates);
+            c("onespec_warm_cache_reuses_total", svc.warmReuses);
+            c("onespec_warm_evictions_total", svc.warmEvictions);
+            for (const auto &kv : tenantAgg) {
+                const std::string t = obs::metricLabel("tenant", kv.first);
+                c("onespec_tenant_jobs_submitted_total",
+                  kv.second.submitted, t);
+                c("onespec_tenant_jobs_completed_total",
+                  kv.second.completed, t);
+            }
+            for (const auto &kv : workloadAgg) {
+                const std::string w =
+                    obs::metricLabel("isa", kv.first.first) + "," +
+                    obs::metricLabel("buildset", kv.first.second);
+                c("onespec_workload_jobs_completed_total",
+                  kv.second.completed, w);
+                c("onespec_workload_instrs_total", kv.second.instrs, w);
+            }
+            gauges.emplace_back("onespec_jobs_in_flight",
+                                static_cast<int64_t>(svc.inFlight));
+        }
+        {
+            std::lock_guard<std::mutex> lk(schedM);
+            gauges.emplace_back("onespec_queue_depth",
+                                static_cast<int64_t>(runQueue.size()));
+            gauges.emplace_back("onespec_jobs_running",
+                                static_cast<int64_t>(running));
+            gauges.emplace_back("onespec_workers",
+                                static_cast<int64_t>(poolWidth));
+        }
+        {
+            std::lock_guard<std::mutex> lk(warmM);
+            gauges.emplace_back("onespec_warm_idle",
+                                static_cast<int64_t>(warmIdle));
+        }
+        metrics->push(completedAt, std::move(counters), std::move(gauges));
+        ONESPEC_FR_INSTANT(obs::EvType::Sample, 0, metrics->taken(),
+                           completedAt);
+    }
+
+    std::string
+    metricsText()
+    {
+        static const std::vector<std::pair<std::string, std::string>>
+            help = {
+                {"onespec_metrics_samples_total",
+                 "Metrics samples taken since daemon start."},
+                {"onespec_jobs_submitted_total",
+                 "Submit frames received, accepted or not."},
+                {"onespec_jobs_completed_total",
+                 "Jobs finished successfully."},
+                {"onespec_jobs_quarantined_total",
+                 "Jobs quarantined after a SimError."},
+                {"onespec_jobs_rejected_total",
+                 "Jobs rejected at admission, by reason."},
+                {"onespec_jobs_in_flight",
+                 "Admitted jobs whose Result has not been sent."},
+                {"onespec_queue_depth", "Admitted-but-not-running jobs."},
+            };
+        return obs::renderOpenMetrics(*metrics, help);
+    }
+
+    /** Daemon-side timeline labels for onespec-served --trace-out. */
+    void
+    fillTimelineLabels(obs::TimelineLabels &labels)
+    {
+        labels.processName = "onespec-served";
+        std::lock_guard<std::mutex> lk(svcM);
+        for (const auto &kv : traceNames) {
+            if (labels.jobNames.size() <= kv.first)
+                labels.jobNames.resize(kv.first + 1);
+            labels.jobNames[kv.first] = kv.second;
+        }
+        labels.traceIds.insert(traceIds.begin(), traceIds.end());
     }
 };
 
@@ -1338,6 +1564,18 @@ std::string
 ServiceDaemon::statszJson()
 {
     return impl_->statszJson();
+}
+
+std::string
+ServiceDaemon::metricsText()
+{
+    return impl_->metricsText();
+}
+
+void
+ServiceDaemon::fillTimelineLabels(obs::TimelineLabels &labels)
+{
+    impl_->fillTimelineLabels(labels);
 }
 
 } // namespace onespec::service

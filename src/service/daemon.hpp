@@ -40,6 +40,10 @@
 #include <memory>
 #include <string>
 
+namespace onespec::obs {
+struct TimelineLabels;
+}
+
 namespace onespec::service {
 
 /** Daemon configuration (CLI flags of onespec-served map 1:1). */
@@ -66,6 +70,17 @@ struct ServiceConfig
      * a pure function of the job.  Empty: no recording overhead.
      */
     std::string bundleDir;
+    /**
+     * Metrics time-series: every @c metricsSampleEvery job completions
+     * (counting quarantines) the daemon snapshots its counters and
+     * gauges into a ring of @c metricsRingCap samples, scraped over the
+     * wire via MetricszReq (docs/SERVICE.md, "Metrics exposition").
+     * Completion-count cadence, not wall clock, so the series a test
+     * observes is a function of the work done.  A sampleEvery of 0
+     * disables sampling; scrapes still answer with the meta families.
+     */
+    size_t metricsRingCap = 64;
+    uint64_t metricsSampleEvery = 1;
 };
 
 /** The daemon.  Lifecycle: bind() [optional, pre-fork] -> start() ->
@@ -116,8 +131,21 @@ class ServiceDaemon
     void setDispatchPaused(bool paused);
 
     /** The /statsz payload: service counters plus live gauges as JSON
-     *  text (schema documented in docs/SERVICE.md). */
+     *  text (schema documented in docs/SERVICE.md).  The counter block
+     *  is one coherent snapshot, so the accounting identity
+     *  completed + quarantined + rejected + in_flight == submitted
+     *  holds at every observation, even mid-batch. */
     std::string statszJson();
+
+    /** The Metricsz payload: the metrics ring rendered as OpenMetrics
+     *  text (also valid Prometheus exposition).  Read-only: scraping
+     *  cannot perturb job results or the sampled counters. */
+    std::string metricsText();
+
+    /** Fill @p labels for a daemon-side timeline export: job names and
+     *  wire trace ids keyed by job id, accumulated over the daemon's
+     *  lifetime (onespec-served --trace-out). */
+    void fillTimelineLabels(obs::TimelineLabels &labels);
 
   private:
     struct Impl;

@@ -210,6 +210,7 @@ encodeHello(const Hello &m)
     WireWriter w;
     w.u32(m.version);
     w.str(m.tenant);
+    w.u64(m.monoNs);
     return std::move(w.buf);
 }
 
@@ -220,6 +221,7 @@ decodeHello(const std::vector<uint8_t> &payload)
     Hello m;
     m.version = r.u32();
     m.tenant = r.str();
+    m.monoNs = r.u64();
     r.expectEnd("Hello");
     return m;
 }
@@ -232,6 +234,7 @@ encodeHelloAck(const HelloAck &m)
     w.u32(m.queueDepth);
     w.u32(m.tenantQuota);
     w.str(m.serverName);
+    w.u64(m.monoNs);
     return std::move(w.buf);
 }
 
@@ -244,6 +247,7 @@ decodeHelloAck(const std::vector<uint8_t> &payload)
     m.queueDepth = r.u32();
     m.tenantQuota = r.u32();
     m.serverName = r.str();
+    m.monoNs = r.u64();
     r.expectEnd("HelloAck");
     return m;
 }
@@ -265,6 +269,7 @@ encodeSubmit(const JobSpec &m)
     w.u64(m.profileStride);
     w.u64(m.deadlineNs);
     w.u32(m.maxAttempts);
+    w.u64(m.traceId);
     return std::move(w.buf);
 }
 
@@ -286,6 +291,7 @@ decodeSubmit(const std::vector<uint8_t> &payload)
     m.profileStride = r.u64();
     m.deadlineNs = r.u64();
     m.maxAttempts = r.u32();
+    m.traceId = r.u64();
     r.expectEnd("Submit");
     return m;
 }
@@ -497,6 +503,23 @@ decodeBundleData(const std::vector<uint8_t> &payload)
     r.off += n;
     r.expectEnd("Bundle");
     return m;
+}
+
+std::vector<uint8_t>
+encodeMetricsz(const std::string &text)
+{
+    WireWriter w;
+    w.str(text);
+    return std::move(w.buf);
+}
+
+std::string
+decodeMetricsz(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    std::string s = r.str();
+    r.expectEnd("Metricsz");
+    return s;
 }
 
 } // namespace onespec::service

@@ -32,8 +32,12 @@
 
 namespace onespec::service {
 
-/** Protocol version this build speaks (checked in Hello/HelloAck). */
-constexpr uint32_t kProtocolVersion = 1;
+/** Protocol version this build speaks (checked in Hello/HelloAck and on
+ *  every frame header).  v2 added the wire-propagated trace context
+ *  (JobSpec.traceId, Hello/HelloAck monoNs) and the MetricszReq/Metricsz
+ *  frame pair; v1 peers are rejected with a typed WireError naming both
+ *  versions. */
+constexpr uint32_t kProtocolVersion = 2;
 
 /** Upper bound on a frame payload; anything larger is a damaged or
  *  hostile peer, not a real message. */
@@ -62,7 +66,9 @@ enum class FrameType : uint8_t
     Shutdown = 10,    ///< client -> daemon: drain and exit
     ShutdownAck = 11, ///< daemon -> client: drained; exiting
     BundleReq = 12,   ///< client -> daemon: fetch a job's repro bundle
-    Bundle = 13       ///< daemon -> client: bundle bytes (or not-found)
+    Bundle = 13,      ///< daemon -> client: bundle bytes (or not-found)
+    MetricszReq = 14, ///< client -> daemon: scrape the metrics ring
+    Metricsz = 15     ///< daemon -> client: OpenMetrics text exposition
 };
 
 /** One parsed frame. */
@@ -125,6 +131,11 @@ struct Hello
 {
     uint32_t version = kProtocolVersion;
     std::string tenant;
+    /** Sender's monotonic clock at send time, in the same timebase as
+     *  its flight-recorder timestamps (obs::FlightControl::nowNs).  The
+     *  Hello/HelloAck pair lets either side compute a clock offset and
+     *  merge the two trace timelines (docs/SERVICE.md, "Trace context"). */
+    uint64_t monoNs = 0;
 };
 
 struct HelloAck
@@ -133,6 +144,7 @@ struct HelloAck
     uint32_t queueDepth = 0;   ///< daemon's admission bound
     uint32_t tenantQuota = 0;  ///< per-tenant in-flight bound
     std::string serverName;    ///< "onespec-served"
+    uint64_t monoNs = 0;       ///< daemon clock at ack (see Hello::monoNs)
 };
 
 /** One submitted job: what FleetJob carries, by name instead of by
@@ -165,6 +177,14 @@ struct JobSpec
     uint64_t profileStride = 0; ///< deterministic hot-PC profiling; 0 off
     uint64_t deadlineNs = 0;    ///< watchdog over *active* run time; 0 off
     uint32_t maxAttempts = 1;   ///< tries incl. first (ResourceError only)
+    /**
+     * Client-minted 64-bit trace id carried through the daemon's
+     * admission, queue, warm-pool, slice, preempt, and restore spans and
+     * echoed in the client's own submit/queue-wait/stream spans, so a
+     * merged timeline can join both sides of the same job.  0 means "no
+     * trace context" and costs nothing on the daemon.
+     */
+    uint64_t traceId = 0;
 };
 
 /** Why admission refused a Submit. */
@@ -263,6 +283,8 @@ std::vector<uint8_t> encodeBundleReq(uint64_t job_id);
 uint64_t decodeBundleReq(const std::vector<uint8_t> &payload);
 std::vector<uint8_t> encodeBundleData(const BundleData &m);
 BundleData decodeBundleData(const std::vector<uint8_t> &payload);
+std::vector<uint8_t> encodeMetricsz(const std::string &text);
+std::string decodeMetricsz(const std::vector<uint8_t> &payload);
 
 } // namespace onespec::service
 

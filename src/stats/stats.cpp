@@ -105,6 +105,7 @@ Distribution::toJson() const
     j.set("p50", Json(quantile(0.5)));
     j.set("p90", Json(quantile(0.9)));
     j.set("p99", Json(quantile(0.99)));
+    j.set("p999", Json(quantile(0.999)));
     Json bk = Json::array();
     for (uint64_t b : buckets_)
         bk.push(Json(b));
@@ -267,7 +268,8 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
             os << "n=" << d.count() << " mean=" << d.mean()
                << " p50=" << d.quantile(0.5)
                << " p90=" << d.quantile(0.9)
-               << " p99=" << d.quantile(0.99);
+               << " p99=" << d.quantile(0.99)
+               << " p99.9=" << d.quantile(0.999);
             break;
           }
         }

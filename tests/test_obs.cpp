@@ -18,6 +18,7 @@
 #include "iface/registry.hpp"
 #include "isa/isa.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/pc_profile.hpp"
 #include "obs/timeline.hpp"
 #include "parallel/fleet.hpp"
@@ -146,10 +147,79 @@ TEST(FlightRecorderRing, EventTypeNamesAndCategoriesCovered)
     for (EvType t : {EvType::Job, EvType::Backoff, EvType::CkptCapture,
                      EvType::CkptRestore, EvType::Retry, EvType::Quarantine,
                      EvType::Deadline, EvType::Syscall, EvType::Fault,
-                     EvType::CrossBatch}) {
+                     EvType::CrossBatch, EvType::Submit, EvType::QueueWait,
+                     EvType::Stream, EvType::Warm, EvType::Sample}) {
         EXPECT_STRNE(obs::evTypeName(t), "?");
         EXPECT_STRNE(obs::evCategory(t), "?");
     }
+}
+
+// ---------------------------------------------------------------------
+// Metrics ring + OpenMetrics rendering
+// ---------------------------------------------------------------------
+
+TEST(MetricsRing, DeltasEvictionAndMonotoneRender)
+{
+    obs::MetricsRing ring(2);
+    EXPECT_EQ(ring.capacity(), 2u);
+
+    auto push = [&ring](uint64_t at, uint64_t done, int64_t depth) {
+        std::vector<obs::MetricPoint> counters = {
+            {"onespec_jobs_completed_total", "", done},
+            {"onespec_jobs_rejected_total",
+             obs::metricLabel("reason", "queue_full"), 0},
+        };
+        ring.push(at, std::move(counters), {{"onespec_queue_depth",
+                                             depth}});
+    };
+    push(1, 10, 3);
+    push(2, 25, 2);
+    push(3, 60, 0);
+
+    // Capacity 2: sample 1 was evicted but stays counted in taken().
+    EXPECT_EQ(ring.taken(), 3u);
+    std::vector<obs::MetricsSample> snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].seq, 2u);
+    EXPECT_EQ(snap[1].seq, 3u);
+    // Deltas are against the previous push, including the evicted one.
+    EXPECT_EQ(snap[0].deltas[0].value, 15u);
+    EXPECT_EQ(snap[1].deltas[0].value, 35u);
+
+    std::string text = obs::renderOpenMetrics(ring);
+    // Counters render the newest cumulative values; the delta ring only
+    // covers unlabelled families; the document is terminated.
+    EXPECT_NE(text.find("# TYPE onespec_jobs_completed_total counter\n"
+                        "onespec_jobs_completed_total 60\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("onespec_jobs_rejected_total"
+                        "{reason=\"queue_full\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("onespec_jobs_completed_delta"
+                        "{sample=\"3\"} 35\n"),
+              std::string::npos);
+    EXPECT_EQ(text.find("onespec_jobs_rejected_delta"),
+              std::string::npos);
+    EXPECT_NE(text.find("onespec_queue_depth 0\n"), std::string::npos);
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+    // Label escaping: backslash, quote, newline.
+    EXPECT_EQ(obs::metricLabel("tenant", "a\"b\\c\nd"),
+              "tenant=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(MetricsRing, EmptyRingStillRendersValidExposition)
+{
+    obs::MetricsRing ring(4);
+    std::string text = obs::renderOpenMetrics(ring);
+    EXPECT_NE(text.find("onespec_metrics_samples_total 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("onespec_metrics_ring_capacity 4\n"),
+              std::string::npos);
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
 }
 
 // ---------------------------------------------------------------------

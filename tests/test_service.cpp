@@ -99,6 +99,7 @@ TEST(ServiceWire, JobSpecRoundTripsEveryField)
     s.profileStride = 997;
     s.deadlineNs = 5'000'000'000;
     s.maxAttempts = 3;
+    s.traceId = 0xfeedfacecafe1234ull;
     JobSpec d = service::decodeSubmit(service::encodeSubmit(s));
     EXPECT_EQ(d.name, s.name);
     EXPECT_EQ(d.isa, s.isa);
@@ -113,6 +114,7 @@ TEST(ServiceWire, JobSpecRoundTripsEveryField)
     EXPECT_EQ(d.profileStride, s.profileStride);
     EXPECT_EQ(d.deadlineNs, s.deadlineNs);
     EXPECT_EQ(d.maxAttempts, s.maxAttempts);
+    EXPECT_EQ(d.traceId, s.traceId);
 }
 
 TEST(ServiceWire, JobResultRoundTripsCountersStatsAndFrTail)
@@ -180,19 +182,23 @@ TEST(ServiceWire, SmallMessagesRoundTrip)
 {
     service::Hello h;
     h.tenant = "bench";
+    h.monoNs = 111'222'333'444ull;
     service::Hello hd = service::decodeHello(service::encodeHello(h));
     EXPECT_EQ(hd.version, service::kProtocolVersion);
     EXPECT_EQ(hd.tenant, "bench");
+    EXPECT_EQ(hd.monoNs, 111'222'333'444ull);
 
     service::HelloAck a;
     a.queueDepth = 8;
     a.tenantQuota = 4;
     a.serverName = "onespec-served";
+    a.monoNs = 999'888'777'666ull;
     service::HelloAck ad =
         service::decodeHelloAck(service::encodeHelloAck(a));
     EXPECT_EQ(ad.queueDepth, 8u);
     EXPECT_EQ(ad.tenantQuota, 4u);
     EXPECT_EQ(ad.serverName, "onespec-served");
+    EXPECT_EQ(ad.monoNs, 999'888'777'666ull);
 
     Reject rj;
     rj.code = RejectCode::TenantQuota;
@@ -216,6 +222,38 @@ TEST(ServiceWire, SmallMessagesRoundTrip)
     EXPECT_EQ(service::decodeAccept(service::encodeAccept(77)), 77u);
     EXPECT_EQ(service::decodeStatsz(service::encodeStatsz("{\"a\":1}")),
               "{\"a\":1}");
+    EXPECT_EQ(service::decodeMetricsz(service::encodeMetricsz(
+                  "# TYPE x gauge\nx 1\n# EOF\n")),
+              "# TYPE x gauge\nx 1\n# EOF\n");
+}
+
+TEST(ServiceWire, OldProtocolVersionIsRejectedWithTypedError)
+{
+    // A v1 peer's frame (version byte 1) against this build's v2:
+    // readFrame must fail with a WireError naming both versions, not
+    // misparse the payload -- that is the whole-version-bump contract
+    // (docs/SERVICE.md, "Framing and versioning").
+    ASSERT_GE(service::kProtocolVersion, 2u);
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const uint8_t v1_hello[8] = {0, 0, 0, 0,
+                                 static_cast<uint8_t>(FrameType::Hello),
+                                 1, 0, 0};
+    ASSERT_EQ(::write(sv[0], v1_hello, sizeof(v1_hello)), 8);
+    Frame f;
+    try {
+        (void)service::readFrame(sv[1], f);
+        FAIL() << "readFrame accepted a version-1 frame";
+    } catch (const WireError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+        EXPECT_NE(msg.find('1'), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(service::kProtocolVersion)),
+                  std::string::npos)
+            << msg;
+    }
+    ::close(sv[0]);
+    ::close(sv[1]);
 }
 
 TEST(ServiceWire, FrameIoOverSocketpair)
@@ -637,6 +675,135 @@ TEST_F(ServiceTest, SubmitsDuringDrainAreRejected)
     EXPECT_EQ(collectResults(late, lateAccepted).size(), lateAccepted);
     shut.join();
     daemon.waitShutdown();
+    daemon.stop();
+}
+
+// ---------------------------------------------------------------------
+// Observability: /statsz coherence and the metrics exposition
+// ---------------------------------------------------------------------
+
+/** Sum of the four typed rejection counters in a /statsz dump. */
+static uint64_t
+rejectedTotal(const stats::Json &jobs)
+{
+    return jobs.find("rejected_queue_full")->asUint() +
+           jobs.find("rejected_tenant_quota")->asUint() +
+           jobs.find("rejected_draining")->asUint() +
+           jobs.find("rejected_bad_request")->asUint();
+}
+
+TEST_F(ServiceTest, StatszAccountingIdentityHoldsUnderConcurrentSubmits)
+{
+    // Small bounds so the hammer provokes real rejections (queue-full
+    // and quota) while jobs complete underneath the polling.
+    cfg_.queueDepth = 4;
+    cfg_.tenantQuota = 3;
+    ServiceDaemon daemon(cfg_);
+    daemon.start();
+
+    constexpr int kThreads = 3;
+    constexpr int kJobsPerThread = 12;
+    std::atomic<int> active{kThreads};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            ServiceClient c;
+            c.connect(cfg_.socketPath, "hammer-" + std::to_string(t));
+            size_t accepted = 0;
+            for (int j = 0; j < kJobsPerThread; ++j)
+                accepted += c.submit(fibSpec(20'000)).accepted ? 1 : 0;
+            collectResults(c, accepted);
+            active.fetch_sub(1);
+        });
+    }
+
+    // The invariant under test: every /statsz dump -- no matter when it
+    // lands relative to admissions, completions, and rejections on
+    // other threads -- satisfies the accounting identity.  One torn
+    // counter block (e.g. submitted bumped, in_flight not yet) fails
+    // here.
+    uint64_t observations = 0;
+    uint64_t lastSubmitted = 0;
+    auto observe = [&](bool final_) {
+        stats::Json j;
+        ASSERT_TRUE(stats::Json::parse(daemon.statszJson(), j));
+        const stats::Json *jobs = j.find("jobs");
+        ASSERT_NE(jobs, nullptr);
+        const uint64_t submitted = jobs->find("submitted")->asUint();
+        const uint64_t completed = jobs->find("completed")->asUint();
+        const uint64_t quarantined = jobs->find("quarantined")->asUint();
+        const uint64_t inFlight = jobs->find("in_flight")->asUint();
+        const uint64_t rejected = rejectedTotal(*jobs);
+        EXPECT_EQ(completed + quarantined + rejected + inFlight,
+                  submitted)
+            << "observation " << observations << ": completed="
+            << completed << " quarantined=" << quarantined
+            << " rejected=" << rejected << " in_flight=" << inFlight
+            << " submitted=" << submitted;
+        EXPECT_GE(submitted, lastSubmitted) << "submitted went backwards";
+        lastSubmitted = submitted;
+        if (final_) {
+            EXPECT_EQ(submitted,
+                      static_cast<uint64_t>(kThreads * kJobsPerThread));
+            EXPECT_EQ(inFlight, 0u);
+            EXPECT_EQ(quarantined, 0u);
+        }
+        ++observations;
+    };
+    while (active.load() > 0)
+        observe(false);
+    for (auto &t : submitters)
+        t.join();
+    observe(true);
+    EXPECT_GE(observations, 2u);
+    daemon.stop();
+}
+
+TEST_F(ServiceTest, MetricsScrapesAreMonotoneSampledAndReadOnly)
+{
+    cfg_.metricsRingCap = 8;
+    cfg_.metricsSampleEvery = 1;
+    ServiceDaemon daemon(cfg_);
+    daemon.start();
+
+    ServiceClient c;
+    c.connect(cfg_.socketPath, "bench");
+    // The start() baseline sample makes an idle scrape carry the full
+    // family set at zero.
+    const std::string s0 = c.metricsz();
+    EXPECT_NE(s0.find("onespec_jobs_completed_total 0\n"),
+              std::string::npos)
+        << s0;
+    EXPECT_NE(s0.find("onespec_metrics_samples_total 1\n"),
+              std::string::npos);
+
+    ASSERT_TRUE(c.submit(fibSpec(20'000)).accepted);
+    ASSERT_TRUE(c.submit(fibSpec(20'000)).accepted);
+    ASSERT_EQ(collectResults(c, 2).size(), 2u);
+
+    const std::string s1 = c.metricsz();
+    EXPECT_NE(s1.find("onespec_jobs_submitted_total 2\n"),
+              std::string::npos)
+        << s1;
+    EXPECT_NE(s1.find("onespec_jobs_completed_total 2\n"),
+              std::string::npos);
+    // Per-tenant and per-(isa,buildset) breakdowns.
+    EXPECT_NE(s1.find("onespec_tenant_jobs_completed_total"
+                      "{tenant=\"bench\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(s1.find("onespec_workload_jobs_completed_total"
+                      "{isa=\"alpha64\",buildset=\"BlockMinNo\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(s1.find("onespec_workload_instrs_total"
+                      "{isa=\"alpha64\",buildset=\"BlockMinNo\"} 40000\n"),
+              std::string::npos);
+    // OpenMetrics framing.
+    ASSERT_GE(s1.size(), 6u);
+    EXPECT_EQ(s1.substr(s1.size() - 6), "# EOF\n");
+
+    // Scraping is read-only: an immediate re-scrape of a quiet daemon
+    // is byte-identical, and no counter in it went backwards.
+    EXPECT_EQ(c.metricsz(), s1);
     daemon.stop();
 }
 

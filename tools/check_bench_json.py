@@ -70,8 +70,18 @@ Validates two things about each report:
    replay fails the report.
 
 8. Distribution shape (any report): every distribution node in the
-   stats dump (an object with count/buckets/p50/p90/p99) must satisfy
-   p50 <= p90 <= p99 and count == sum(buckets) + underflow + overflow.
+   stats dump (an object with count/buckets/p50/p90/p99/p999) must
+   satisfy p50 <= p90 <= p99 <= p999 and
+   count == sum(buckets) + underflow + overflow.
+
+9. Telemetry (results.telemetry, written by bench_telemetry): carrying
+   wire trace context with the flight recorder disarmed must cost at
+   most 2% daemon jobs/sec (generously relaxed under --smoke, where
+   daemon throughput is far too short to measure 2%), concurrent
+   OpenMetrics scrapes must leave the final merged stats bit-identical
+   to a scrape-free run, and successive scrapes must be monotone per
+   counter family (validated in-process and by check_metrics_text.py
+   on the scrape files the bench writes).
 
 With --smoke the speed comparisons use generous tolerance factors:
 smoke runs are short and wall-clock noise can locally reorder
@@ -718,6 +728,51 @@ class Checker:
             self.fail(f"{where}: expected preemptions in the identity "
                       f"batch (preempted={preempted}, resumed={resumed})")
 
+    # -- telemetry -------------------------------------------------------
+
+    def check_telemetry(self, doc):
+        results = doc.get("results")
+        if not isinstance(results, dict) or "telemetry" not in results:
+            return
+        tel = results["telemetry"]
+        if not isinstance(tel, dict):
+            self.fail("results.telemetry: not an object")
+            return
+
+        num = (int, float)
+        where = "telemetry"
+        base = self.expect(tel, "jobs_per_sec_base", num, where)
+        traced = self.expect(tel, "jobs_per_sec_traced", num, where)
+        overhead = self.expect(tel, "overhead_pct", num, where)
+        scrapes = self.expect(tel, "scrapes", (int,), where)
+        self.expect(tel, "completed", (int,), where)
+        if self.errors:
+            return
+
+        self.note(f"telemetry: base {base:.1f} jobs/s, traced "
+                  f"{traced:.1f} jobs/s ({overhead:+.2f}%), "
+                  f"{scrapes} scrapes")
+        if base <= 0 or traced <= 0:
+            self.fail(f"{where}: jobs/sec must be positive "
+                      f"(base={base}, traced={traced})")
+        # The tentpole's cost gate: trace ids on the wire with the
+        # flight recorder disarmed are metadata, not work.  A smoke run
+        # is seconds long, where daemon jobs/sec jitters far beyond 2%,
+        # so smoke only guards against something grossly broken.
+        limit = 50.0 if self.smoke else 2.0
+        if overhead > limit:
+            self.fail(f"{where}: disarmed trace-context overhead "
+                      f"{overhead:.2f}% exceeds {limit:.0f}%")
+        if tel.get("scrape_identity") is not True:
+            self.fail(f"{where}: merged stats with concurrent scrapes "
+                      f"are not bit-identical to the scrape-free run")
+        if tel.get("scrapes_monotone") is not True:
+            self.fail(f"{where}: successive Metricsz scrapes were not "
+                      f"monotone per counter family")
+        if scrapes < 2:
+            self.fail(f"{where}: need at least 2 scrapes to check "
+                      f"monotonicity, got {scrapes}")
+
     # -- distribution shape ----------------------------------------------
 
     def check_distributions(self, doc):
@@ -728,17 +783,18 @@ class Checker:
         def is_dist(node):
             return (isinstance(node, dict) and
                     all(k in node for k in
-                        ("count", "buckets", "p50", "p90", "p99",
+                        ("count", "buckets", "p50", "p90", "p99", "p999",
                          "underflow", "overflow")))
 
         def walk(node, path):
             nonlocal checked
             if is_dist(node):
                 checked += 1
-                if not (node["p50"] <= node["p90"] <= node["p99"]):
+                if not (node["p50"] <= node["p90"] <= node["p99"]
+                        <= node["p999"]):
                     self.fail(f"{path}: quantiles out of order "
                               f"(p50={node['p50']} p90={node['p90']} "
-                              f"p99={node['p99']})")
+                              f"p99={node['p99']} p999={node['p999']})")
                 if isinstance(node["buckets"], list):
                     total = (sum(node["buckets"]) + node["underflow"] +
                              node["overflow"])
@@ -774,6 +830,7 @@ class Checker:
         self.check_trace_overhead(doc)
         self.check_replay(doc)
         self.check_service(doc)
+        self.check_telemetry(doc)
         self.check_distributions(doc)
         return not self.errors
 

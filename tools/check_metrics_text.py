@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validate OpenMetrics text written by the onespec service daemon.
+
+Checks, per file:
+
+1. Syntax: every line is a `# HELP`/`# TYPE` comment, a sample line
+   `name{labels} value` with well-formed labels and a numeric value, or
+   the final `# EOF` terminator -- which must be present, once, as the
+   last line (the OpenMetrics framing that lets a scraper distinguish a
+   complete exposition from a truncated one).
+
+2. Typing: every sample belongs to a family with a `# TYPE` line that
+   precedes it; counter families are named `*_total`; gauge families
+   are not; a family's samples are contiguous and no (family, labels)
+   pair repeats within one exposition.
+
+3. Required families (--require, with a daemon-shaped default list):
+   the scrape of a live daemon must expose at least the exposition meta
+   and the core job-accounting families.
+
+Across files (given in scrape order): every counter sample must be
+monotone non-decreasing per (family, labels) pair -- the daemon renders
+cumulative values from its newest ring sample, so a later scrape that
+goes backwards means the time series lied.
+
+Used by ctest on `onespec-sub --metrics-out` fixtures and on the scrape
+files bench_telemetry writes (docs/SERVICE.md, "Metrics exposition").
+
+Exit status: 0 if every check passes, 1 otherwise.
+"""
+
+import argparse
+import re
+import sys
+
+DEFAULT_REQUIRED = [
+    "onespec_metrics_samples_total",
+    "onespec_metrics_ring_capacity",
+    "onespec_jobs_submitted_total",
+    "onespec_jobs_accepted_total",
+    "onespec_jobs_completed_total",
+    "onespec_jobs_rejected_total",
+    "onespec_jobs_in_flight",
+    "onespec_queue_depth",
+]
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\\\|\\"|\\n)*"$')
+
+
+class Exposition:
+    """One parsed metrics file: types and samples by family."""
+
+    def __init__(self, path):
+        self.path = path
+        self.types = {}    # family -> "counter" | "gauge"
+        self.samples = {}  # (family, labels) -> float
+        self.errors = []
+
+    def fail(self, msg):
+        self.errors.append(f"{self.path}: {msg}")
+
+    def parse(self):
+        try:
+            with open(self.path) as f:
+                text = f.read()
+        except OSError as e:
+            self.fail(f"cannot read: {e}")
+            return
+        if not text.endswith("\n"):
+            self.fail("missing trailing newline")
+            return
+        lines = text.splitlines()
+        if not lines or lines[-1] != "# EOF":
+            self.fail("missing '# EOF' terminator as the last line")
+            return
+
+        family_order = []  # first-sample order, to check contiguity
+        last_family = None
+        for n, line in enumerate(lines, 1):
+            if line == "# EOF":
+                if n != len(lines):
+                    self.fail(f"line {n}: '# EOF' before end of file")
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                    self.fail(f"line {n}: malformed metadata: {line!r}")
+                    continue
+                if parts[1] == "TYPE":
+                    family = parts[2]
+                    kind = parts[3]
+                    if kind not in ("counter", "gauge"):
+                        self.fail(f"line {n}: unsupported type "
+                                  f"{kind!r} for {family}")
+                    if family in self.types:
+                        self.fail(f"line {n}: duplicate TYPE for "
+                                  f"{family}")
+                    self.types[family] = kind
+                continue
+            if line.startswith("#"):
+                self.fail(f"line {n}: unknown comment form: {line!r}")
+                continue
+
+            m = SAMPLE_RE.match(line)
+            if not m:
+                self.fail(f"line {n}: malformed sample line: {line!r}")
+                continue
+            family = m.group("name")
+            labels = m.group("labels") or ""
+            if labels:
+                for item in labels.split(","):
+                    if not LABEL_RE.match(item):
+                        self.fail(f"line {n}: malformed label "
+                                  f"{item!r}")
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                self.fail(f"line {n}: non-numeric value "
+                          f"{m.group('value')!r}")
+                continue
+            if family not in self.types:
+                self.fail(f"line {n}: sample for {family} without a "
+                          f"preceding '# TYPE' line")
+                continue
+            if self.types[family] == "counter":
+                if not family.endswith("_total"):
+                    self.fail(f"line {n}: counter family {family} "
+                              f"does not end in '_total'")
+                if value < 0:
+                    self.fail(f"line {n}: negative counter value in "
+                              f"{family}")
+            elif family.endswith("_total"):
+                self.fail(f"line {n}: gauge family {family} must not "
+                          f"end in '_total'")
+            key = (family, labels)
+            if key in self.samples:
+                self.fail(f"line {n}: duplicate sample for {family}"
+                          f"{{{labels}}}")
+            self.samples[key] = value
+            if family != last_family:
+                if family in family_order:
+                    self.fail(f"line {n}: samples for {family} are "
+                              f"not contiguous")
+                else:
+                    family_order.append(family)
+                last_family = family
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", metavar="FILE",
+                    help="metrics files in scrape order")
+    ap.add_argument("--require", action="append", default=None,
+                    metavar="FAMILY",
+                    help="family that must be present in every file "
+                         "(repeatable; default: the daemon's core set)")
+    ap.add_argument("--no-required", action="store_true",
+                    help="skip the required-family check (for scrapes "
+                         "of a daemon with sampling disabled)")
+    args = ap.parse_args()
+    required = [] if args.no_required else (args.require or
+                                            DEFAULT_REQUIRED)
+
+    errors = []
+    expositions = []
+    for path in args.files:
+        print(f"check {path}")
+        exp = Exposition(path)
+        exp.parse()
+        for fam in required:
+            if not exp.errors and fam not in exp.types:
+                exp.fail(f"required family {fam} missing")
+        if exp.errors:
+            errors.extend(exp.errors)
+            for e in exp.errors:
+                print(f"  FAIL: {e}")
+        else:
+            counters = sum(1 for f, k in exp.types.items()
+                           if k == "counter")
+            print(f"  OK: {len(exp.types)} families "
+                  f"({counters} counters), {len(exp.samples)} samples")
+        expositions.append(exp)
+
+    # Cross-file monotonicity, in the order given.
+    prev = None
+    for exp in expositions:
+        if exp.errors:
+            prev = None
+            continue
+        if prev is not None:
+            for key, value in exp.samples.items():
+                family, labels = key
+                if exp.types.get(family) != "counter":
+                    continue
+                if key in prev.samples and value < prev.samples[key]:
+                    msg = (f"{exp.path}: counter {family}{{{labels}}} "
+                           f"went backwards "
+                           f"({prev.samples[key]} -> {value}, "
+                           f"earlier scrape {prev.path})")
+                    errors.append(msg)
+                    print(f"  FAIL: {msg}")
+        prev = exp
+    if len(expositions) > 1 and not errors:
+        print(f"  OK: counters monotone across {len(expositions)} "
+              f"scrapes")
+
+    return 0 if not errors else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

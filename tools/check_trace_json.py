@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Schema and invariant checker for flight-recorder timeline exports.
 
-Usage: check_trace_json.py [--quiet] [--expect-quarantine] FILE...
+Usage: check_trace_json.py [--quiet] [--expect-quarantine]
+       [--merged] FILE...
 
 Validates that a file written by `onespec-fleet --trace-out` (or
 `obs::exportChromeTrace`) is a well-formed Chrome trace-event /
@@ -27,6 +28,20 @@ Perfetto-loadable JSON document:
    and cross-batch instants.  With --expect-quarantine, additionally
    require a `quarantine` instant (used by the poisoned ctest fixture).
 
+6. Merged timelines (--merged, written by `onespec-sub --merge-trace`
+   from a daemon-side and a client-side export): exactly two process
+   groups, whose process_name metadata names both onespec-served and
+   onespec-sub; and the wire trace context must actually join the two
+   sides -- at least one `args.trace_id` value must appear on a
+   client-side span and on two or more daemon-side spans (a preempted
+   job runs at least two slices, each its own daemon span, all carrying
+   the client-minted id; docs/OBSERVABILITY.md, "Cross-process
+   tracing").
+
+Span discipline, timestamps, and thread metadata are always checked per
+(pid, tid) pair, so the two sides of a merged document are validated
+independently on shared tid numbers.
+
 Exit status: 0 if every file passes, 1 otherwise.
 """
 
@@ -38,10 +53,12 @@ VALID_PH = {"B", "E", "i", "I", "M", "X"}
 
 
 class Checker:
-    def __init__(self, path, quiet=False, expect_quarantine=False):
+    def __init__(self, path, quiet=False, expect_quarantine=False,
+                 merged=False):
         self.path = path
         self.quiet = quiet
         self.expect_quarantine = expect_quarantine
+        self.merged = merged
         self.errors = []
 
     def fail(self, msg):
@@ -73,9 +90,9 @@ class Checker:
             self.fail("missing 'otherData' object")
 
         num = (int, float)
-        per_tid = {}          # tid -> list of non-metadata events
-        thread_names = set()  # tids with a thread_name metadata event
-        have_process_name = False
+        per_track = {}        # (pid, tid) -> list of non-metadata events
+        thread_names = set()  # (pid, tid) with a thread_name metadata
+        process_names = {}    # pid -> process_name metadata args.name
         for i, ev in enumerate(events):
             where = f"traceEvents[{i}]"
             if not isinstance(ev, dict):
@@ -97,38 +114,53 @@ class Checker:
                 continue
             if ph == "M":
                 if ev["name"] == "process_name":
-                    have_process_name = True
+                    args = ev.get("args")
+                    name = args.get("name") if isinstance(args, dict) \
+                        else None
+                    process_names[ev["pid"]] = name
                 elif ev["name"] == "thread_name":
-                    thread_names.add(ev["tid"])
+                    thread_names.add((ev["pid"], ev["tid"]))
                 continue
             if ph in ("i", "I") and ev.get("s") not in (None, "t", "p", "g"):
                 self.fail(f"{where}: bad instant scope {ev.get('s')!r}")
-            per_tid.setdefault(ev["tid"], []).append((i, ev))
+            per_track.setdefault((ev["pid"], ev["tid"]), []).append((i, ev))
 
-        if not have_process_name:
+        if not process_names:
             self.fail("no process_name metadata event")
-        if not per_tid:
+        if not per_track:
             self.fail("no non-metadata events (was the recorder armed?)")
-        for tid in per_tid:
-            if tid not in thread_names:
-                self.fail(f"tid {tid} has events but no thread_name "
+        for pid, tid in per_track:
+            if (pid, tid) not in thread_names:
+                self.fail(f"pid {pid} tid {tid} has events but no "
+                          f"thread_name metadata")
+        for pid in {p for p, _ in per_track}:
+            if pid not in process_names:
+                self.fail(f"pid {pid} has events but no process_name "
                           f"metadata")
 
         spans = 0
         instants = 0
         quarantines = 0
-        for tid, evs in sorted(per_tid.items()):
+        span_traces = {}  # trace_id -> pid -> span count
+        for (pid, tid), evs in sorted(per_track.items()):
             last_ts = -1.0
             stack = []
             for i, ev in evs:
-                where = f"traceEvents[{i}] (tid {tid})"
+                where = f"traceEvents[{i}] (pid {pid} tid {tid})"
                 if ev["ts"] < last_ts:
                     self.fail(f"{where}: ts {ev['ts']} decreases from "
                               f"{last_ts}")
                 last_ts = ev["ts"]
                 ph = ev["ph"]
+                args = ev.get("args")
+                trace_id = args.get("trace_id") \
+                    if isinstance(args, dict) else None
                 if ph == "B":
                     stack.append(ev["name"])
+                    if isinstance(trace_id, str):
+                        span_traces.setdefault(trace_id, {})
+                        span_traces[trace_id][pid] = \
+                            span_traces[trace_id].get(pid, 0) + 1
                 elif ph == "E":
                     if not stack:
                         self.fail(f"{where}: E with no open B")
@@ -144,11 +176,15 @@ class Checker:
                         quarantines += 1
                 elif ph == "X":
                     spans += 1
+                    if isinstance(trace_id, str):
+                        span_traces.setdefault(trace_id, {})
+                        span_traces[trace_id][pid] = \
+                            span_traces[trace_id].get(pid, 0) + 1
             if stack:
-                self.fail(f"tid {tid}: {len(stack)} unclosed B span(s): "
-                          f"{stack}")
+                self.fail(f"pid {pid} tid {tid}: {len(stack)} unclosed "
+                          f"B span(s): {stack}")
 
-        self.note(f"{len(per_tid)} thread track(s), {spans} span(s), "
+        self.note(f"{len(per_track)} thread track(s), {spans} span(s), "
                   f"{instants} instant(s)")
         if spans < 1:
             self.fail("no complete B/E span pair in the whole trace")
@@ -156,7 +192,37 @@ class Checker:
             self.fail("no instant events in the whole trace")
         if self.expect_quarantine and quarantines < 1:
             self.fail("--expect-quarantine: no quarantine instant found")
+        if self.merged:
+            self.check_merged(per_track, process_names, span_traces)
         return not self.errors
+
+    def check_merged(self, per_track, process_names, span_traces):
+        pids = sorted({pid for pid, _ in per_track})
+        if len(pids) != 2:
+            self.fail(f"--merged: expected 2 process groups, got {pids}")
+            return
+        names = {process_names.get(pid): pid for pid in pids}
+        if "onespec-served" not in names or "onespec-sub" not in names:
+            self.fail(f"--merged: expected process_name metadata naming "
+                      f"onespec-served and onespec-sub, got "
+                      f"{sorted(n for n in names if n)}")
+            return
+        daemon_pid = names["onespec-served"]
+        client_pid = names["onespec-sub"]
+        # The join: one wire trace id carried by a client-side span and
+        # by 2+ daemon-side spans (a preempted job's slices).
+        joined = [t for t, by_pid in sorted(span_traces.items())
+                  if by_pid.get(client_pid, 0) >= 1 and
+                  by_pid.get(daemon_pid, 0) >= 2]
+        if not joined:
+            self.fail("--merged: no trace_id appears on both a "
+                      "client-side span and >=2 daemon-side spans")
+            return
+        best = max(joined,
+                   key=lambda t: span_traces[t].get(daemon_pid, 0))
+        self.note(f"{len(span_traces)} trace id(s) on spans, "
+                  f"{len(joined)} joined across both sides (e.g. {best} "
+                  f"with {span_traces[best][daemon_pid]} daemon spans)")
 
 
 def main():
@@ -165,13 +231,17 @@ def main():
     ap.add_argument("--quiet", action="store_true")
     ap.add_argument("--expect-quarantine", action="store_true",
                     help="require a quarantine instant (poisoned fixture)")
+    ap.add_argument("--merged", action="store_true",
+                    help="validate a merged client+daemon timeline "
+                         "(two process groups joined by trace ids)")
     args = ap.parse_args()
 
     ok = True
     for path in args.files:
         print(f"check {path}")
         c = Checker(path, quiet=args.quiet,
-                    expect_quarantine=args.expect_quarantine)
+                    expect_quarantine=args.expect_quarantine,
+                    merged=args.merged)
         if c.run():
             print("  OK")
         else:

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 #include "service/daemon.hpp"
 #include "support/cli.hpp"
 #include "support/sim_error.hpp"
@@ -68,13 +69,16 @@ usage()
         "  --daemonize      bind, fork, serve in the child; parent exits "
         "0 once the socket exists\n"
         "  --log FILE       daemonized child's stdout/stderr "
-        "(default /dev/null)\n");
+        "(default /dev/null)\n"
+        "  --trace-out FILE write the daemon-side timeline (Chrome trace\n"
+        "                   JSON) on shutdown; merge with a client trace\n"
+        "                   via onespec-sub --merge-trace\n");
     return cli::kExitUsage;
 }
 
 /** Serve until a client drains us.  Runs in the child when daemonized. */
 int
-serve(ServiceDaemon &daemon)
+serve(ServiceDaemon &daemon, const std::string &trace_out)
 {
     daemon.start();
     std::printf("onespec-served: listening on %s (%u workers, queue %u, "
@@ -85,6 +89,20 @@ serve(ServiceDaemon &daemon)
     std::fflush(stdout);
     daemon.waitShutdown();
     daemon.stop();
+    // After stop(): every worker joined, so the rings are quiescent and
+    // the export sees every span the daemon ever recorded.
+    if (!trace_out.empty()) {
+        obs::TimelineLabels labels;
+        daemon.fillTimelineLabels(labels);
+        std::string err;
+        if (!obs::exportChromeTrace(trace_out, labels, &err))
+            std::fprintf(stderr,
+                         "onespec-served: trace export failed: %s\n",
+                         err.c_str());
+        else
+            std::printf("onespec-served: wrote timeline %s\n",
+                        trace_out.c_str());
+    }
     std::printf("onespec-served: drained and shut down\n");
     return 0;
 }
@@ -94,7 +112,7 @@ realMain(int argc, char **argv)
 {
     ServiceConfig cfg;
     bool daemonize = false;
-    std::string log_path;
+    std::string log_path, trace_out;
     size_t fr_capacity = obs::FlightControl::kDefaultCapacity;
 
     for (int i = 1; i < argc; ++i) {
@@ -127,6 +145,9 @@ realMain(int argc, char **argv)
             daemonize = true;
         } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
             log_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            trace_out = argv[++i];
         } else {
             return usage();
         }
@@ -138,7 +159,7 @@ realMain(int argc, char **argv)
     ServiceDaemon daemon(cfg);
 
     if (!daemonize)
-        return serve(daemon);
+        return serve(daemon, trace_out);
 
     // Bind before forking: when the parent exits 0, a client's connect()
     // cannot race daemon startup (the listen backlog queues it).
@@ -165,7 +186,7 @@ realMain(int argc, char **argv)
         // Serving blind is worse than dying visibly-by-exit-code.
         ::_exit(static_cast<int>(cli::kExitFatal));
     }
-    return serve(daemon);
+    return serve(daemon, trace_out);
 }
 
 } // namespace

@@ -25,12 +25,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 #include "service/client.hpp"
 #include "support/cli.hpp"
 #include "support/sim_error.hpp"
@@ -95,6 +99,13 @@ usage()
         "--bundle-dir too)\n"
         "  --fetch-bundle ID  download job ID's repro bundle and exit\n"
         "  --statsz        print the daemon's service stats JSON\n"
+        "  --metrics       print the daemon's OpenMetrics scrape text\n"
+        "  --metrics-out FILE  write the OpenMetrics scrape text to FILE\n"
+        "  --trace-out FILE  record client-side spans and write the\n"
+        "                  timeline (Chrome trace JSON) on exit\n"
+        "  --merge-trace DAEMON CLIENT OUT  merge a daemon-side and a\n"
+        "                  client-side timeline into one Chrome trace "
+        "JSON and exit\n"
         "  --shutdown      drain the daemon and wait for it to exit\n");
     return cli::kExitUsage;
 }
@@ -192,6 +203,9 @@ realMain(int argc, char **argv)
     std::string bundle_dir;
     bool want_fetch = false;
     uint64_t fetch_id = 0;
+    bool want_metrics = false;
+    std::string metrics_out, trace_out;
+    std::string merge_daemon, merge_client, merge_out;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
@@ -239,19 +253,61 @@ realMain(int argc, char **argv)
             fetch_id = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--statsz") == 0) {
             want_statsz = true;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            want_metrics = true;
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                   i + 1 < argc) {
+            metrics_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--merge-trace") == 0 &&
+                   i + 3 < argc) {
+            merge_daemon = argv[++i];
+            merge_client = argv[++i];
+            merge_out = argv[++i];
         } else if (std::strcmp(argv[i], "--shutdown") == 0) {
             want_shutdown = true;
         } else {
             return usage();
         }
     }
+
+    // Offline merge: no daemon involved.  The daemon-side file is
+    // written by onespec-served *after* it acks the shutdown, so a
+    // merge scripted right behind `onespec-sub --shutdown` may land
+    // before the file does; retry the merge for a bounded window
+    // instead of failing on the race.
+    if (!merge_out.empty()) {
+        std::string err;
+        for (int waited_ms = 0;; waited_ms += 100) {
+            if (obs::mergeChromeTraces(merge_daemon, merge_client,
+                                       merge_out, &err)) {
+                std::printf("onespec-sub: wrote merged timeline %s\n",
+                            merge_out.c_str());
+                return 0;
+            }
+            if (waited_ms >= 10'000)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        throw ResourceError("service", "trace merge failed: " + err);
+    }
+
     if (socket_path.empty())
         return usage();
+
+    // Client-side tracing: arm before connect so the Submit spans and
+    // queue-wait/stream instants of this run land in the ring.
+    if (!trace_out.empty())
+        obs::FlightControl::instance().arm(
+            obs::FlightControl::kDefaultCapacity);
 
     ServiceClient client;
     client.connect(socket_path, tenant);
     // Control-only invocations skip the batch entirely.
-    const bool control_only = (want_statsz || want_shutdown || want_fetch) &&
+    const bool control_only = (want_statsz || want_shutdown || want_fetch ||
+                               want_metrics || !metrics_out.empty()) &&
                               isas.empty() && kernels.empty();
 
     unsigned quarantined = 0;
@@ -374,9 +430,32 @@ realMain(int argc, char **argv)
     }
     if (want_statsz)
         std::printf("%s\n", client.statsz().c_str());
+    if (want_metrics || !metrics_out.empty()) {
+        const std::string text = client.metricsz();
+        if (want_metrics)
+            std::fputs(text.c_str(), stdout);
+        if (!metrics_out.empty()) {
+            std::ofstream out(metrics_out,
+                              std::ios::binary | std::ios::trunc);
+            out << text;
+            if (!out)
+                throw ResourceError("service",
+                                    "cannot write metrics file " +
+                                        metrics_out);
+        }
+    }
     if (want_shutdown) {
         client.shutdownServer();
         std::printf("onespec-sub: server drained and shut down\n");
+    }
+    if (!trace_out.empty()) {
+        obs::TimelineLabels labels;
+        client.fillTimelineLabels(labels);
+        std::string err;
+        if (!obs::exportChromeTrace(trace_out, labels, &err))
+            throw ResourceError("service",
+                                "trace export failed: " + err);
+        std::printf("onespec-sub: wrote timeline %s\n", trace_out.c_str());
     }
     return cli::quarantineExitCode(quarantined);
 }
